@@ -1,0 +1,315 @@
+package cosmodel
+
+import (
+	"cosmodel/internal/core"
+	"cosmodel/internal/dist"
+	"cosmodel/internal/experiments"
+	"cosmodel/internal/numeric"
+	"cosmodel/internal/simstore"
+	"cosmodel/internal/stats"
+	"cosmodel/internal/trace"
+)
+
+// ---------------------------------------------------------------------------
+// Analytic model (the paper's contribution).
+
+// Core model types; see internal/core for full documentation.
+type (
+	// DeviceProperties are benchmarked per-device performance properties:
+	// fitted disk service-time distributions and parse latencies.
+	DeviceProperties = core.DeviceProperties
+	// OnlineMetrics are the per-device runtime inputs: rates, miss
+	// ratios, process count and observed disk mean service time.
+	OnlineMetrics = core.OnlineMetrics
+	// Options select model variants (WTA mode, disk-queue approximation,
+	// compounding, ODOPR baseline, inverter).
+	Options = core.Options
+	// DeviceModel is the backend-tier model of one storage device.
+	DeviceModel = core.DeviceModel
+	// FrontendModel is the proxy-tier M/G/1 model.
+	FrontendModel = core.FrontendModel
+	// FrontendSet is one homogeneous group within a heterogeneous
+	// frontend tier.
+	FrontendSet = core.FrontendSet
+	// SystemModel is the full response-latency model.
+	SystemModel = core.SystemModel
+	// WTAMode selects the accept-waiting model.
+	WTAMode = core.WTAMode
+	// DiskQueueMode selects the multi-process disk approximation.
+	DiskQueueMode = core.DiskQueueMode
+	// CompoundMode selects the extra-data-read count model.
+	CompoundMode = core.CompoundMode
+	// BestFitReport ranks candidate service-time families (Fig. 5).
+	BestFitReport = core.BestFitReport
+	// DeviceDiagnosis is one row of the bottleneck-identification report.
+	DeviceDiagnosis = core.DeviceDiagnosis
+)
+
+// Model variant constants.
+const (
+	WTAApprox = core.WTAApprox
+	WTANone   = core.WTANone
+	WTAExact  = core.WTAExact
+
+	DiskMM1K = core.DiskMM1K
+	DiskMG1  = core.DiskMG1
+
+	CompoundPoisson   = core.CompoundPoisson
+	CompoundFixed     = core.CompoundFixed
+	CompoundGeometric = core.CompoundGeometric
+)
+
+// Model errors.
+var (
+	// ErrOverload marks operating points with no steady state.
+	ErrOverload = core.ErrOverload
+	// ErrBadParams marks invalid model inputs.
+	ErrBadParams = core.ErrBadParams
+)
+
+// Model constructors and calibration helpers.
+var (
+	// NewDeviceModel builds the backend model of one storage device.
+	NewDeviceModel = core.NewDeviceModel
+	// NewFrontendModel builds the proxy-tier model.
+	NewFrontendModel = core.NewFrontendModel
+	// NewHeterogeneousFrontend builds a frontend tier of several
+	// homogeneous server sets (Section III-C of the paper).
+	NewHeterogeneousFrontend = core.NewHeterogeneousFrontend
+	// NewSystemModel combines frontend and device models (Eqs. 2-3).
+	NewSystemModel = core.NewSystemModel
+	// FitDeviceProperties fits Gamma disk distributions and degenerate
+	// parse latencies from benchmark samples (Fig. 5 calibration).
+	FitDeviceProperties = core.FitDeviceProperties
+	// CompareFits ranks the four candidate families per operation class.
+	CompareFits = core.CompareFits
+	// MissRatioByThreshold classifies hits/misses by latency threshold.
+	MissRatioByThreshold = core.MissRatioByThreshold
+	// SolveServiceTimes decomposes the overall disk mean into
+	// per-operation means (Section IV-B).
+	SolveServiceTimes = core.SolveServiceTimes
+	// RenderDiagnosis writes the bottleneck-identification report.
+	RenderDiagnosis = core.RenderDiagnosis
+)
+
+// DefaultMissThreshold is the hit/miss latency threshold (15 µs).
+const DefaultMissThreshold = core.DefaultMissThreshold
+
+// ---------------------------------------------------------------------------
+// Distributions.
+
+// Distribution types; see internal/dist.
+type (
+	// Distribution is the common interface of all service-time and size
+	// distributions.
+	Distribution = dist.Distribution
+	// Gamma is the paper's disk service-time family.
+	Gamma = dist.Gamma
+	// Exponential, Degenerate, Normal, Lognormal, Uniform and Weibull are
+	// the remaining families.
+	Exponential = dist.Exponential
+	Degenerate  = dist.Degenerate
+	Normal      = dist.Normal
+	Lognormal   = dist.Lognormal
+	Uniform     = dist.Uniform
+	Weibull     = dist.Weibull
+	// Pareto, Erlang and HyperExp extend the family set for what-if
+	// analyses (heavy tails, phase-type services, high-variability
+	// two-moment matches).
+	Pareto   = dist.Pareto
+	Erlang   = dist.Erlang
+	HyperExp = dist.HyperExp
+	// Empirical is the distribution of a recorded sample set.
+	Empirical = dist.Empirical
+)
+
+// Distribution constructors and fitting.
+var (
+	NewGammaMeanSCV        = dist.NewGammaMeanSCV
+	NewExponentialMean     = dist.NewExponentialMean
+	NewLognormalMeanMedian = dist.NewLognormalMeanMedian
+	NewEmpirical           = dist.NewEmpirical
+	NewHyperExp            = dist.NewHyperExp
+	NewHyperExpMeanSCV     = dist.NewHyperExpMeanSCV
+	FitPhaseType           = dist.FitPhaseType
+	FitGamma               = dist.FitGamma
+	FitBest                = dist.FitBest
+	KolmogorovSmirnov      = dist.KolmogorovSmirnov
+	ScaleToMean            = dist.ScaleToMean
+)
+
+// ---------------------------------------------------------------------------
+// Laplace inversion.
+
+// Inverter performs numerical Laplace-transform inversion.
+type Inverter = numeric.Inverter
+
+// Inversion algorithm constructors.
+var (
+	NewEuler         = numeric.NewEuler
+	NewTalbot        = numeric.NewTalbot
+	NewGaverStehfest = numeric.NewGaverStehfest
+)
+
+// ---------------------------------------------------------------------------
+// Cluster simulator (the Swift-like testbed substitute).
+
+// Simulator types; see internal/simstore.
+type (
+	// Cluster is a simulated object storage deployment.
+	Cluster = simstore.Cluster
+	// SimConfig describes a simulated cluster.
+	SimConfig = simstore.Config
+	// Request is one GET moving through the cluster.
+	Request = simstore.Request
+	// SimSnapshot and SimWindow expose the cluster's metrics.
+	SimSnapshot = simstore.Snapshot
+	SimWindow   = simstore.Window
+	// DiskSamples holds calibration measurements per operation class.
+	DiskSamples = simstore.DiskSamples
+	// ParseCalibration holds the parse benchmark result.
+	ParseCalibration = simstore.ParseCalibration
+	// SimArchitecture selects the backend concurrency model.
+	SimArchitecture = simstore.Architecture
+)
+
+// Backend concurrency models.
+const (
+	// EventDriven is the paper's architecture.
+	EventDriven = simstore.EventDriven
+	// ThreadPerConnection is the blocking-thread alternative.
+	ThreadPerConnection = simstore.ThreadPerConnection
+)
+
+// Simulator constructors and calibration benchmarks.
+var (
+	// NewCluster builds a simulated cluster.
+	NewCluster = simstore.New
+	// DefaultSimConfig mirrors the paper's 7-node testbed.
+	DefaultSimConfig = simstore.DefaultConfig
+	// MeasureDiskService runs the sequential disk benchmark.
+	MeasureDiskService = simstore.MeasureDiskService
+	// MeasureParse runs the closed-loop parse benchmark.
+	MeasureParse = simstore.MeasureParse
+)
+
+// ---------------------------------------------------------------------------
+// Workloads.
+
+// Trace types; see internal/trace.
+type (
+	// Catalog is a population of objects with sizes and popularity.
+	Catalog = trace.Catalog
+	// TraceRecord is one request of a workload trace.
+	TraceRecord = trace.Record
+	// Schedule is a phased arrival-rate plan.
+	Schedule = trace.Schedule
+	// Phase is one constant-rate schedule segment.
+	Phase = trace.Phase
+	// WikibenchOptions configures conversion of wikibench-format traces
+	// (the format of the trace the paper replays).
+	WikibenchOptions = trace.WikibenchOptions
+)
+
+// Trace operation types.
+const (
+	OpGet = trace.OpGet
+	OpPut = trace.OpPut
+)
+
+// Workload constructors.
+
+var (
+	NewCatalog         = trace.NewCatalog
+	GenerateTrace      = trace.Generate
+	GenerateMixedTrace = trace.GenerateMixed
+	RescaleTrace       = trace.Rescale
+	SummarizeTrace     = trace.Summarize
+	PaperSchedule      = trace.PaperSchedule
+	WikipediaLikeSizes = trace.WikipediaLikeSizes
+	WriteTrace         = trace.Write
+	ReadTrace          = trace.Read
+	ParseWikibench     = trace.ParseWikibench
+)
+
+// ---------------------------------------------------------------------------
+// Experiments (the paper's evaluation).
+
+// Experiment types; see internal/experiments.
+type (
+	// ScenarioConfig parameterizes a Fig. 6/7-style sweep.
+	ScenarioConfig = experiments.ScenarioConfig
+	// ScenarioResult holds observed and predicted percentiles per step.
+	ScenarioResult = experiments.ScenarioResult
+	// StepResult is one rate step.
+	StepResult = experiments.StepResult
+	// Fig5Config and Fig5Result drive the disk-fitting experiment.
+	Fig5Config = experiments.Fig5Config
+	Fig5Result = experiments.Fig5Result
+	// Variant and AblationResult drive the modeling-choice ablations.
+	Variant        = experiments.Variant
+	AblationResult = experiments.AblationResult
+	// ArchComparisonConfig and ArchComparisonResult drive the
+	// event-driven vs thread-per-connection experiment.
+	ArchComparisonConfig = experiments.ArchComparisonConfig
+	ArchComparisonResult = experiments.ArchComparisonResult
+	// WriteSensitivityConfig/Result test the read-heavy assumption;
+	// WorkloadIndependenceConfig/Result test calibration portability.
+	WriteSensitivityConfig     = experiments.WriteSensitivityConfig
+	WriteSensitivityResult     = experiments.WriteSensitivityResult
+	WorkloadIndependenceConfig = experiments.WorkloadIndependenceConfig
+	WorkloadIndependenceResult = experiments.WorkloadIndependenceResult
+	// MeanVsPercentileConfig/Result drive the §I motivation experiment
+	// (equal means, divergent percentiles).
+	MeanVsPercentileConfig = experiments.MeanVsPercentileConfig
+	MeanVsPercentileResult = experiments.MeanVsPercentileResult
+)
+
+// Experiment drivers.
+var (
+	ScenarioS1        = experiments.DefaultS1
+	ScenarioS16       = experiments.DefaultS16
+	RunScenario       = experiments.RunScenario
+	RunFig5           = experiments.RunFig5
+	DefaultFig5       = experiments.DefaultFig5
+	RunAblation       = experiments.RunAblation
+	BuildSystemModel  = experiments.BuildSystemModel
+	CalibrateDevice   = experiments.Calibrate
+	RenderTable1      = experiments.RenderTable1
+	RenderTable2      = experiments.RenderTable2
+	WTAVariants       = experiments.WTAVariants
+	DiskQueueVariants = experiments.DiskQueueVariants
+	CompoundVariants  = experiments.CompoundVariants
+	InverterVariants  = experiments.InverterVariants
+
+	DefaultArchComparison = experiments.DefaultArchComparison
+	RunArchComparison     = experiments.RunArchComparison
+
+	DefaultWriteSensitivity     = experiments.DefaultWriteSensitivity
+	RunWriteSensitivity         = experiments.RunWriteSensitivity
+	DefaultWorkloadIndependence = experiments.DefaultWorkloadIndependence
+	RunWorkloadIndependence     = experiments.RunWorkloadIndependence
+
+	DefaultMeanVsPercentile = experiments.DefaultMeanVsPercentile
+	RunMeanVsPercentile     = experiments.RunMeanVsPercentile
+)
+
+// ---------------------------------------------------------------------------
+// Online statistics.
+
+// Statistics types; see internal/stats.
+type (
+	// LatencyHistogram is a log-bucketed histogram with quantile queries.
+	LatencyHistogram = stats.Histogram
+	// StatSummary accumulates streaming mean/variance/extremes.
+	StatSummary = stats.Summary
+)
+
+// Statistics constructors.
+var (
+	NewLatencyHistogram = stats.NewLatencyHistogram
+	NewHistogram        = stats.NewHistogram
+	// WilsonInterval is the binomial proportion confidence interval used
+	// for observed SLA-meeting fractions.
+	WilsonInterval = stats.WilsonInterval
+)

@@ -1,0 +1,328 @@
+// Command cosbench regenerates the paper's evaluation: Fig. 5 (disk
+// service-time fitting), Figs. 6-7 (predicted vs observed percentile
+// curves for scenarios S1 and S16), Tables I-II (error summaries), and the
+// modeling-choice ablations from DESIGN.md.
+//
+// Usage:
+//
+//	cosbench -exp all            # everything, full scale
+//	cosbench -exp fig6 -quick    # scenario S1, reduced sweep
+//	cosbench -exp table2 -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"cosmodel"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: fig5 | fig6 | fig7 | table1 | table2 | ablations | arch | writes | workload | motivation | all")
+		quick = flag.Bool("quick", false, "reduced sweep (coarser rate steps, shorter windows)")
+		out   = flag.String("out", "", "directory for CSV/report files (default: stdout only)")
+		seed  = flag.Int64("seed", 1, "base random seed")
+	)
+	flag.Parse()
+
+	runner := &runner{quick: *quick, outDir: *out, seed: *seed}
+	var err error
+	switch *exp {
+	case "fig5":
+		err = runner.fig5()
+	case "fig6":
+		_, err = runner.scenario(cosmodel.ScenarioS1(), "fig6")
+	case "fig7":
+		_, err = runner.scenario(cosmodel.ScenarioS16(), "fig7")
+	case "table1", "table2":
+		err = runner.tables(*exp)
+	case "ablations":
+		err = runner.ablations()
+	case "arch":
+		err = runner.arch()
+	case "writes":
+		err = runner.writes()
+	case "workload":
+		err = runner.workload()
+	case "motivation":
+		err = runner.motivation()
+	case "all":
+		err = runner.all()
+	default:
+		err = fmt.Errorf("unknown experiment %q", *exp)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cosbench:", err)
+		os.Exit(1)
+	}
+}
+
+type runner struct {
+	quick  bool
+	outDir string
+	seed   int64
+
+	cachedS1, cachedS16 *cosmodel.ScenarioResult
+}
+
+// adjust scales a scenario down when -quick is set.
+func (r *runner) adjust(sc cosmodel.ScenarioConfig) cosmodel.ScenarioConfig {
+	sc.Seed = r.seed
+	if r.quick {
+		sc.RateStep *= 5
+		sc.StepDur = 10
+		sc.StepDiscard = 3
+		sc.WarmDur = 20
+		sc.CalibrationOps = 1500
+	}
+	return sc
+}
+
+// output opens a report file in the output directory, or returns stdout.
+func (r *runner) output(name string) (io.Writer, func() error, error) {
+	if r.outDir == "" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	if err := os.MkdirAll(r.outDir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	f, err := os.Create(filepath.Join(r.outDir, name))
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+func (r *runner) fig5() error {
+	cfg := cosmodel.DefaultFig5()
+	cfg.Seed = r.seed
+	if r.quick {
+		cfg.Ops = 2000
+	}
+	res, err := cosmodel.RunFig5(cfg)
+	if err != nil {
+		return err
+	}
+	w, closeFn, err := r.output("fig5.txt")
+	if err != nil {
+		return err
+	}
+	if err := res.Render(w); err != nil {
+		closeFn()
+		return err
+	}
+	return closeFn()
+}
+
+func (r *runner) scenario(sc cosmodel.ScenarioConfig, name string) (*cosmodel.ScenarioResult, error) {
+	sc = r.adjust(sc)
+	fmt.Fprintf(os.Stderr, "running scenario %s (%d processes/device, rates %g..%g step %g)...\n",
+		sc.Name, sc.Sim.ProcsPerDisk, sc.RateStart, sc.RateEnd, sc.RateStep)
+	res, err := cosmodel.RunScenario(sc)
+	if err != nil {
+		return nil, err
+	}
+	w, closeFn, err := r.output(name + ".txt")
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Render(w); err != nil {
+		closeFn()
+		return nil, err
+	}
+	return res, closeFn()
+}
+
+func (r *runner) both() ([]*cosmodel.ScenarioResult, error) {
+	if r.cachedS1 == nil {
+		res, err := r.scenario(cosmodel.ScenarioS1(), "fig6")
+		if err != nil {
+			return nil, err
+		}
+		r.cachedS1 = res
+	}
+	if r.cachedS16 == nil {
+		res, err := r.scenario(cosmodel.ScenarioS16(), "fig7")
+		if err != nil {
+			return nil, err
+		}
+		r.cachedS16 = res
+	}
+	return []*cosmodel.ScenarioResult{r.cachedS1, r.cachedS16}, nil
+}
+
+func (r *runner) tables(which string) error {
+	results, err := r.both()
+	if err != nil {
+		return err
+	}
+	w, closeFn, err := r.output(which + ".txt")
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	if which == "table1" {
+		return cosmodel.RenderTable1(w, results)
+	}
+	return cosmodel.RenderTable2(w, results)
+}
+
+func (r *runner) ablations() error {
+	sc := r.adjust(cosmodel.ScenarioS1())
+	if !r.quick {
+		// Ablations don't need the full 69-step sweep.
+		sc.RateStep *= 5
+	}
+	w, closeFn, err := r.output("ablations.txt")
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	for _, a := range []struct {
+		name     string
+		variants []cosmodel.Variant
+		procs    int
+	}{
+		{"WTA model (paper approx vs exact integral vs none)", cosmodel.WTAVariants(), 1},
+		{"disk queue for Nbe>1 (M/M/1/K vs unbounded M/G/1)", cosmodel.DiskQueueVariants(), 16},
+		{"extra-read compounding (Poisson vs fixed vs geometric)", cosmodel.CompoundVariants(), 1},
+		{"Laplace inversion algorithm", cosmodel.InverterVariants(), 1},
+	} {
+		cfg := sc
+		cfg.Sim.ProcsPerDisk = a.procs
+		if a.procs > 1 {
+			cfg.RateEnd = 600
+		}
+		fmt.Fprintf(os.Stderr, "running ablation: %s...\n", a.name)
+		res, err := cosmodel.RunAblation(a.name, cfg, a.variants)
+		if err != nil {
+			return err
+		}
+		if err := res.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func (r *runner) arch() error {
+	cfg := cosmodel.DefaultArchComparison()
+	cfg.Seed = r.seed
+	if r.quick {
+		cfg.Rates = []float64{150, 300}
+		cfg.StepDur = 12
+		cfg.Discard = 3
+		cfg.CatalogObjects = 50000
+	}
+	fmt.Fprintln(os.Stderr, "running architecture comparison...")
+	res, err := cosmodel.RunArchComparison(cfg)
+	if err != nil {
+		return err
+	}
+	w, closeFn, err := r.output("arch.txt")
+	if err != nil {
+		return err
+	}
+	if err := res.Render(w); err != nil {
+		closeFn()
+		return err
+	}
+	return closeFn()
+}
+
+func (r *runner) writes() error {
+	cfg := cosmodel.DefaultWriteSensitivity()
+	cfg.Seed = r.seed
+	if r.quick {
+		cfg.WriteFractions = []float64{0, 0.1, 0.4}
+		cfg.StepDur = 15
+		cfg.Discard = 4
+		cfg.CatalogObjects = 50000
+		cfg.CalibrationOps = 1200
+	}
+	fmt.Fprintln(os.Stderr, "running write-fraction sensitivity...")
+	res, err := cosmodel.RunWriteSensitivity(cfg)
+	if err != nil {
+		return err
+	}
+	w, closeFn, err := r.output("writes.txt")
+	if err != nil {
+		return err
+	}
+	if err := res.Render(w); err != nil {
+		closeFn()
+		return err
+	}
+	return closeFn()
+}
+
+func (r *runner) workload() error {
+	cfg := cosmodel.DefaultWorkloadIndependence()
+	cfg.Seed = r.seed
+	if r.quick {
+		cfg.StepDur = 15
+		cfg.Discard = 4
+		cfg.CatalogObjects = 50000
+		cfg.CalibrationOps = 1200
+	}
+	fmt.Fprintln(os.Stderr, "running workload-independence test...")
+	res, err := cosmodel.RunWorkloadIndependence(cfg)
+	if err != nil {
+		return err
+	}
+	w, closeFn, err := r.output("workload.txt")
+	if err != nil {
+		return err
+	}
+	if err := res.Render(w); err != nil {
+		closeFn()
+		return err
+	}
+	return closeFn()
+}
+
+func (r *runner) motivation() error {
+	res, err := cosmodel.RunMeanVsPercentile(cosmodel.DefaultMeanVsPercentile())
+	if err != nil {
+		return err
+	}
+	w, closeFn, err := r.output("motivation.txt")
+	if err != nil {
+		return err
+	}
+	if err := res.Render(w); err != nil {
+		closeFn()
+		return err
+	}
+	return closeFn()
+}
+
+func (r *runner) all() error {
+	if err := r.fig5(); err != nil {
+		return err
+	}
+	if err := r.motivation(); err != nil {
+		return err
+	}
+	if err := r.tables("table1"); err != nil {
+		return err
+	}
+	if err := r.tables("table2"); err != nil {
+		return err
+	}
+	if err := r.ablations(); err != nil {
+		return err
+	}
+	if err := r.arch(); err != nil {
+		return err
+	}
+	if err := r.writes(); err != nil {
+		return err
+	}
+	return r.workload()
+}

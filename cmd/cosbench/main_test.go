@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cosmodel"
+)
+
+func TestRunnerAdjustQuick(t *testing.T) {
+	r := &runner{quick: true, seed: 42}
+	sc := r.adjust(cosmodel.ScenarioS1())
+	if sc.Seed != 42 {
+		t.Errorf("seed = %d", sc.Seed)
+	}
+	if sc.RateStep != cosmodel.ScenarioS1().RateStep*5 {
+		t.Errorf("rate step = %v", sc.RateStep)
+	}
+	if sc.StepDur != 10 || sc.WarmDur != 20 {
+		t.Errorf("durations not reduced: %v %v", sc.StepDur, sc.WarmDur)
+	}
+	full := (&runner{seed: 7}).adjust(cosmodel.ScenarioS1())
+	if full.RateStep != cosmodel.ScenarioS1().RateStep {
+		t.Error("non-quick must not rescale")
+	}
+}
+
+func TestRunnerOutput(t *testing.T) {
+	dir := t.TempDir()
+	r := &runner{outDir: dir}
+	w, closeFn, err := r.output("x.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "x.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello" {
+		t.Errorf("content = %q", data)
+	}
+	// stdout mode
+	r2 := &runner{}
+	w2, closeFn2, err := r2.output("ignored")
+	if err != nil || w2 != os.Stdout {
+		t.Errorf("stdout mode: %v %v", w2, err)
+	}
+	if err := closeFn2(); err != nil {
+		t.Errorf("stdout close: %v", err)
+	}
+}
+
+// TestQuickFig5EndToEnd runs the smallest real experiment through the
+// runner to keep the wiring honest.
+func TestQuickFig5EndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	r := &runner{quick: true, outDir: dir, seed: 1}
+	if err := r.fig5(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig5.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty fig5 report")
+	}
+}

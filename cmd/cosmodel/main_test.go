@@ -1,0 +1,28 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseSLAs(t *testing.T) {
+	got, err := parseSLAs("10ms, 50ms,1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.01, 0.05, 1}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("sla %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := parseSLAs("notaduration"); err == nil {
+		t.Error("bad duration should fail")
+	}
+	if _, err := parseSLAs(""); err == nil {
+		t.Error("empty should fail")
+	}
+}

@@ -1,0 +1,153 @@
+// Command cossim runs the Swift-like cluster simulator standalone: it
+// drives a synthetic (or file-based) workload through a configured cluster
+// and reports observed latency percentiles, per-device rates, cache miss
+// ratios and disk utilization — the raw material of the paper's "observed"
+// curves.
+//
+// Usage:
+//
+//	cossim -rate 240 -duration 60 -nbe 1 -slas 10ms,50ms,100ms
+//	cossim -trace workload.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cosmodel"
+)
+
+func main() {
+	var (
+		rate      = flag.Float64("rate", 200, "request arrival rate (req/s) for the synthetic workload")
+		duration  = flag.Float64("duration", 60, "workload duration (s)")
+		warmup    = flag.Float64("warmup", 10, "measurement discard prefix (s)")
+		traceFile = flag.String("trace", "", "replay a CSV trace instead of generating one")
+
+		frontends = flag.Int("frontends", 3, "frontend servers")
+		backends  = flag.Int("backends", 4, "backend servers")
+		nbe       = flag.Int("nbe", 1, "processes per storage device")
+		replicas  = flag.Int("replicas", 3, "replicas per partition")
+		cacheMB   = flag.Int64("cache-mb", 96, "page cache per backend server (MiB)")
+		objects   = flag.Int("objects", 150000, "catalog size for the synthetic workload")
+		zipf      = flag.Float64("zipf", 1.05, "popularity skew (Zipf s)")
+		prewarm   = flag.Bool("prewarm", true, "pre-populate caches with popular objects")
+		slas      = flag.String("slas", "10ms,50ms,100ms", "comma-separated SLA bounds")
+		arch      = flag.String("arch", "event", "backend architecture: event | tpc")
+		threads   = flag.Int("threads", 64, "thread pool per disk (tpc only)")
+		timeout   = flag.Duration("timeout", 0, "request timeout (0 disables)")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := cosmodel.DefaultSimConfig()
+	switch *arch {
+	case "event":
+		cfg.Architecture = cosmodel.EventDriven
+	case "tpc":
+		cfg.Architecture = cosmodel.ThreadPerConnection
+	default:
+		fatal(fmt.Errorf("unknown architecture %q", *arch))
+	}
+	cfg.MaxThreadsPerDisk = *threads
+	cfg.RequestTimeout = timeout.Seconds()
+	cfg.Frontends = *frontends
+	cfg.Backends = *backends
+	cfg.ProcsPerDisk = *nbe
+	cfg.Replicas = *replicas
+	cfg.CacheBytes = *cacheMB << 20
+	cfg.Seed = *seed
+	var err error
+	cfg.SLAs, err = parseSLAs(*slas)
+	if err != nil {
+		fatal(err)
+	}
+
+	cluster, err := cosmodel.NewCluster(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	var records []cosmodel.TraceRecord
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		records, err = cosmodel.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		catalog, err := cosmodel.NewCatalog(*objects, cosmodel.WikipediaLikeSizes(), *zipf, 1, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if *prewarm {
+			if err := cluster.PrewarmCaches(catalog, 0.95); err != nil {
+				fatal(err)
+			}
+		}
+		records, err = cosmodel.GenerateTrace(catalog, cosmodel.Schedule{
+			{Rate: *rate, Duration: *duration, Label: "run"},
+		}, *seed+1)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	st := cosmodel.SummarizeTrace(records)
+	fmt.Printf("workload: %d requests, %.1f s, %.1f req/s, mean object %.1f KiB, %d unique objects\n",
+		st.Requests, st.Duration, st.MeanRate, st.MeanSize/1024, st.Unique)
+
+	cluster.Inject(records)
+	cluster.RunUntil(*warmup)
+	before := cluster.Snapshot()
+	cluster.Drain()
+	after := cluster.Snapshot()
+	win := cluster.Window(before, after)
+
+	fmt.Printf("\nmeasured over %.1f s (%d responses, %v simulator events):\n",
+		win.Duration, win.Responses, cluster.EventsProcessed())
+	for i, sla := range cfg.SLAs {
+		fmt.Printf("  P(latency <= %v): frontend %.4f, backend %.4f\n",
+			time.Duration(sla*float64(time.Second)), win.MeetFraction[i], win.BEMeetFraction[i])
+	}
+	fmt.Printf("  mean latency %.2f ms, mean accept-wait %.3f ms\n",
+		win.MeanLatency*1e3, win.MeanWTA*1e3)
+	if win.Latency != nil {
+		fmt.Printf("  p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, p99.9 %.2f ms\n",
+			win.Latency.Quantile(0.50)*1e3, win.Latency.Quantile(0.95)*1e3,
+			win.Latency.Quantile(0.99)*1e3, win.Latency.Quantile(0.999)*1e3)
+	}
+	if win.Timeouts > 0 || win.Retries > 0 {
+		fmt.Printf("  timeouts %d, retries %d\n", win.Timeouts, win.Retries)
+	}
+	fmt.Println("\nper-device online metrics (model inputs):")
+	for d := range win.DeviceRate {
+		fmt.Printf("  dev %d: r=%.1f/s rdata=%.1f/s miss(i/m/d)=%.2f/%.2f/%.2f disk b=%.2f ms util=%.2f\n",
+			d, win.DeviceRate[d], win.DeviceChunkRate[d],
+			win.MissIndex[d], win.MissMeta[d], win.MissData[d],
+			win.DiskMeanSvc[d]*1e3, win.DiskUtilization[d])
+	}
+}
+
+func parseSLAs(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		d, err := time.ParseDuration(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad SLA %q: %w", part, err)
+		}
+		out = append(out, d.Seconds())
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cossim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseSLAs(t *testing.T) {
+	got, err := parseSLAs("25ms,100ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || math.Abs(got[0]-0.025) > 1e-12 || math.Abs(got[1]-0.1) > 1e-12 {
+		t.Errorf("got %v", got)
+	}
+	if _, err := parseSLAs("bogus"); err == nil {
+		t.Error("bad duration should fail")
+	}
+}

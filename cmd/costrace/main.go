@@ -1,0 +1,183 @@
+// Command costrace generates, rescales and inspects workload traces in the
+// CSV format used by cossim. The synthetic generator substitutes for the
+// paper's Wikipedia media trace: Zipf popularity, lognormal sizes with a
+// 32 KB mean, Poisson arrivals, and the paper's warmup/transition/stepped
+// benchmarking schedule.
+//
+// Usage:
+//
+//	costrace gen -rate 200 -duration 120 -out trace.csv
+//	costrace gen -paper -out paper.csv      # warmup + transition + steps
+//	costrace rescale -factor 0.5 -in trace.csv -out faster.csv
+//	costrace stats -in trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cosmodel"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = genCmd(os.Args[2:])
+	case "rescale":
+		err = rescaleCmd(os.Args[2:])
+	case "stats":
+		err = statsCmd(os.Args[2:])
+	case "wikibench":
+		err = wikibenchCmd(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "costrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: costrace <gen|rescale|stats|wikibench> [flags]")
+	os.Exit(2)
+}
+
+// wikibenchCmd converts a wikibench-format trace (the format of the
+// Wikipedia trace the paper replays) into the CSV format cossim consumes,
+// keeping only media requests as the paper does.
+func wikibenchCmd(args []string) error {
+	fs := flag.NewFlagSet("wikibench", flag.ExitOnError)
+	var (
+		in   = fs.String("in", "", "wikibench trace file (default stdin)")
+		out  = fs.String("out", "", "output CSV (default stdout)")
+		all  = fs.Bool("all", false, "keep all requests, not only upload.wikimedia.org")
+		skip = fs.Bool("skip-malformed", true, "drop unparsable lines")
+	)
+	fs.Parse(args)
+	src := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	records, err := cosmodel.ParseWikibench(src, cosmodel.WikibenchOptions{
+		MediaOnly:     !*all,
+		SkipMalformed: *skip,
+	})
+	if err != nil {
+		return err
+	}
+	return writeOut(*out, records)
+}
+
+func genCmd(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	var (
+		objects  = fs.Int("objects", 150000, "catalog size")
+		zipf     = fs.Float64("zipf", 1.05, "popularity skew (Zipf s)")
+		rate     = fs.Float64("rate", 200, "arrival rate (req/s) for a flat schedule")
+		duration = fs.Float64("duration", 60, "duration (s) for a flat schedule")
+		paper    = fs.Bool("paper", false, "use the paper's warmup/transition/stepped schedule")
+		warmRate = fs.Float64("warm-rate", 300, "warmup rate (paper schedule)")
+		warmDur  = fs.Float64("warm-dur", 300, "warmup duration (paper schedule)")
+		start    = fs.Float64("start", 10, "benchmark start rate (paper schedule)")
+		end      = fs.Float64("end", 350, "benchmark end rate (paper schedule)")
+		step     = fs.Float64("step", 5, "benchmark rate step (paper schedule)")
+		stepDur  = fs.Float64("step-dur", 30, "benchmark step duration (paper schedule)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		out      = fs.String("out", "", "output file (default stdout)")
+	)
+	fs.Parse(args)
+
+	catalog, err := cosmodel.NewCatalog(*objects, cosmodel.WikipediaLikeSizes(), *zipf, 1, *seed)
+	if err != nil {
+		return err
+	}
+	var schedule cosmodel.Schedule
+	if *paper {
+		schedule, err = cosmodel.PaperSchedule(*warmRate, *warmDur, 10, 60, *start, *end, *step, *stepDur)
+		if err != nil {
+			return err
+		}
+	} else {
+		schedule = cosmodel.Schedule{{Rate: *rate, Duration: *duration, Label: "flat"}}
+	}
+	records, err := cosmodel.GenerateTrace(catalog, schedule, *seed+1)
+	if err != nil {
+		return err
+	}
+	return writeOut(*out, records)
+}
+
+func rescaleCmd(args []string) error {
+	fs := flag.NewFlagSet("rescale", flag.ExitOnError)
+	var (
+		factor = fs.Float64("factor", 1, "timestamp scale factor (<1 raises the rate)")
+		in     = fs.String("in", "", "input trace file")
+		out    = fs.String("out", "", "output file (default stdout)")
+	)
+	fs.Parse(args)
+	records, err := readIn(*in)
+	if err != nil {
+		return err
+	}
+	scaled, err := cosmodel.RescaleTrace(records, *factor)
+	if err != nil {
+		return err
+	}
+	return writeOut(*out, scaled)
+}
+
+func statsCmd(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("in", "", "input trace file")
+	fs.Parse(args)
+	records, err := readIn(*in)
+	if err != nil {
+		return err
+	}
+	st := cosmodel.SummarizeTrace(records)
+	fmt.Printf("requests:     %d\n", st.Requests)
+	fmt.Printf("duration:     %.2f s\n", st.Duration)
+	fmt.Printf("mean rate:    %.2f req/s\n", st.MeanRate)
+	fmt.Printf("mean size:    %.1f KiB\n", st.MeanSize/1024)
+	fmt.Printf("total bytes:  %.1f MiB\n", float64(st.TotalSize)/(1<<20))
+	fmt.Printf("unique objs:  %d\n", st.Unique)
+	return nil
+}
+
+func readIn(path string) ([]cosmodel.TraceRecord, error) {
+	if path == "" {
+		return cosmodel.ReadTrace(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return cosmodel.ReadTrace(f)
+}
+
+func writeOut(path string, records []cosmodel.TraceRecord) error {
+	if path == "" {
+		return cosmodel.WriteTrace(os.Stdout, records)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := cosmodel.WriteTrace(f, records); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

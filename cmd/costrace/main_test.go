@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cosmodel"
+)
+
+func TestGenRescaleStatsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "t.csv")
+	if err := genCmd([]string{"-objects", "500", "-rate", "100", "-duration", "5", "-out", traceFile}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := readIn(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cosmodel.SummarizeTrace(recs)
+	if st.Requests < 300 || st.Requests > 700 {
+		t.Fatalf("generated %d records, want ~500", st.Requests)
+	}
+	fast := filepath.Join(dir, "fast.csv")
+	if err := rescaleCmd([]string{"-factor", "0.5", "-in", traceFile, "-out", fast}); err != nil {
+		t.Fatal(err)
+	}
+	fastRecs, err := readIn(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastStats := cosmodel.SummarizeTrace(fastRecs)
+	if fastStats.MeanRate < st.MeanRate*1.8 {
+		t.Errorf("rescale did not double the rate: %v vs %v", fastStats.MeanRate, st.MeanRate)
+	}
+	if err := statsCmd([]string{"-in", traceFile}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWikibenchCmd(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "wb.txt")
+	raw := "1 100.0 http://upload.wikimedia.org/a.jpg -\n" +
+		"2 100.5 http://en.wikipedia.org/wiki/X -\n" +
+		"3 101.0 http://upload.wikimedia.org/b.png -\n"
+	if err := os.WriteFile(in, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "wb.csv")
+	if err := wikibenchCmd([]string{"-in", in, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := readIn(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Errorf("kept %d records, want 2 media requests", len(recs))
+	}
+}
+
+func TestGenPaperSchedule(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "p.csv")
+	err := genCmd([]string{"-objects", "200", "-paper",
+		"-warm-rate", "50", "-warm-dur", "5",
+		"-start", "10", "-end", "30", "-step", "10", "-step-dur", "2",
+		"-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Fatalf("missing output: %v", err)
+	}
+}

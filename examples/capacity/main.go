@@ -1,0 +1,121 @@
+// Capacity planning: the paper's motivating application. Given an SLA
+// ("95% of requests within 100 ms"), a workload forecast, and calibrated
+// device properties, use the analytic model to find the smallest number of
+// storage devices — and the best process count per device — that meets the
+// SLA, without running a single load test.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"cosmodel"
+)
+
+const (
+	slaLatency = 0.100 // seconds
+	slaTarget  = 0.95  // fraction of requests that must meet it
+)
+
+func main() {
+	// Calibrated device properties (from the quickstart's benchmark; here
+	// written out explicitly the way an operator would persist them).
+	props := cosmodel.DeviceProperties{
+		IndexDisk: cosmodel.NewGammaMeanSCV(9e-3, 0.45),
+		MetaDisk:  cosmodel.NewGammaMeanSCV(6e-3, 0.50),
+		DataDisk:  cosmodel.NewGammaMeanSCV(8e-3, 0.40),
+		ParseFE:   cosmodel.Degenerate{Value: 0.3e-3},
+		ParseBE:   cosmodel.Degenerate{Value: 0.5e-3},
+	}
+	// Workload forecast: aggregate rate and cache behaviour expected at
+	// the planning horizon.
+	forecast := struct {
+		rate      float64 // req/s, aggregate
+		chunkFrac float64 // extra data reads per request
+		missIdx   float64
+		missMeta  float64
+		missData  float64
+	}{rate: 900, chunkFrac: 0.2, missIdx: 0.40, missMeta: 0.35, missData: 0.50}
+
+	fmt.Printf("target: %.0f%% of requests within %.0f ms at %.0f req/s\n\n",
+		slaTarget*100, slaLatency*1e3, forecast.rate)
+	fmt.Println("devices  procs/device  P(<=SLA)  verdict")
+
+	best := -1
+	for devices := 2; devices <= 24; devices++ {
+		perDev := cosmodel.OnlineMetrics{
+			Rate:      forecast.rate / float64(devices),
+			DataRate:  forecast.rate * (1 + forecast.chunkFrac) / float64(devices),
+			MissIndex: forecast.missIdx,
+			MissMeta:  forecast.missMeta,
+			MissData:  forecast.missData,
+			Procs:     1,
+		}
+		p, ok := evaluate(props, perDev, devices, forecast.rate)
+		verdict := "insufficient"
+		if ok && p >= slaTarget {
+			verdict = "MEETS SLA"
+			if best < 0 {
+				best = devices
+			}
+		}
+		fmt.Printf("%7d  %12d  %s  %s\n", devices, perDev.Procs, fmtP(p, ok), verdict)
+		if best > 0 && devices >= best+2 {
+			break
+		}
+	}
+	if best < 0 {
+		fmt.Println("\nno configuration up to 24 devices meets the SLA — revisit hardware or SLA")
+		return
+	}
+	fmt.Printf("\nminimum deployment: %d devices\n", best)
+
+	// What-if: can more processes per device substitute for devices?
+	fmt.Println("\nwhat-if on the marginal configuration (one device fewer):")
+	fmt.Println("procs/device  P(<=SLA)")
+	for _, procs := range []int{1, 2, 4, 8, 16} {
+		perDev := cosmodel.OnlineMetrics{
+			Rate:      forecast.rate / float64(best-1),
+			DataRate:  forecast.rate * (1 + forecast.chunkFrac) / float64(best-1),
+			MissIndex: forecast.missIdx,
+			MissMeta:  forecast.missMeta,
+			MissData:  forecast.missData,
+			Procs:     procs,
+		}
+		p, ok := evaluate(props, perDev, best-1, forecast.rate)
+		fmt.Printf("%12d  %s\n", procs, fmtP(p, ok))
+	}
+}
+
+// evaluate predicts the percentile meeting the SLA for a uniform
+// deployment; ok is false when the configuration is overloaded.
+func evaluate(props cosmodel.DeviceProperties, perDev cosmodel.OnlineMetrics, devices int, totalRate float64) (float64, bool) {
+	devs := make([]*cosmodel.DeviceModel, devices)
+	for i := range devs {
+		d, err := cosmodel.NewDeviceModel(props, perDev, cosmodel.Options{})
+		if errors.Is(err, cosmodel.ErrOverload) {
+			return 0, false
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		devs[i] = d
+	}
+	fe, err := cosmodel.NewFrontendModel(totalRate, 12, props.ParseFE)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := cosmodel.NewSystemModel(fe, devs, cosmodel.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sys.PercentileMeetingSLA(slaLatency), true
+}
+
+func fmtP(p float64, ok bool) string {
+	if !ok {
+		return "overload"
+	}
+	return fmt.Sprintf("%.4f  ", p)
+}

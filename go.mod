@@ -1,0 +1,3 @@
+module cosmodel
+
+go 1.22

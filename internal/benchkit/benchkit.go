@@ -1,0 +1,167 @@
+// Package benchkit provides the small reporting toolkit shared by the
+// experiment drivers: absolute-error summaries, aligned ASCII tables and
+// CSV series output.
+package benchkit
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// ErrorSummary aggregates absolute prediction errors the way the paper's
+// Table I does: best case, worst case and mean.
+type ErrorSummary struct {
+	Best  float64
+	Worst float64
+	Mean  float64
+	N     int
+}
+
+// SummarizeAbsErrors computes the summary of |predicted - observed| over
+// paired samples; entries where either value is NaN are skipped.
+func SummarizeAbsErrors(predicted, observed []float64) ErrorSummary {
+	s := ErrorSummary{Best: math.Inf(1), Worst: math.Inf(-1)}
+	total := 0.0
+	for i := range predicted {
+		if i >= len(observed) {
+			break
+		}
+		if math.IsNaN(predicted[i]) || math.IsNaN(observed[i]) {
+			continue
+		}
+		e := math.Abs(predicted[i] - observed[i])
+		if e < s.Best {
+			s.Best = e
+		}
+		if e > s.Worst {
+			s.Worst = e
+		}
+		total += e
+		s.N++
+	}
+	if s.N == 0 {
+		return ErrorSummary{Best: math.NaN(), Worst: math.NaN(), Mean: math.NaN()}
+	}
+	s.Mean = total / float64(s.N)
+	return s
+}
+
+// Table renders aligned ASCII tables.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; values are formatted with %v unless already strings.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		return b.String()
+	}
+	if _, err := fmt.Fprintln(w, line(t.header)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is a named set of columns of equal length, writable as CSV.
+type Series struct {
+	Names   []string
+	Columns [][]float64
+}
+
+// NewSeries creates a series with the given column names.
+func NewSeries(names ...string) *Series {
+	return &Series{Names: names, Columns: make([][]float64, len(names))}
+}
+
+// AddRow appends one value per column.
+func (s *Series) AddRow(values ...float64) error {
+	if len(values) != len(s.Names) {
+		return fmt.Errorf("benchkit: row has %d values, series has %d columns", len(values), len(s.Names))
+	}
+	for i, v := range values {
+		s.Columns[i] = append(s.Columns[i], v)
+	}
+	return nil
+}
+
+// Len returns the number of rows.
+func (s *Series) Len() int {
+	if len(s.Columns) == 0 {
+		return 0
+	}
+	return len(s.Columns[0])
+}
+
+// WriteCSV emits the series as CSV with a header row.
+func (s *Series) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(s.Names, ",")); err != nil {
+		return err
+	}
+	for r := 0; r < s.Len(); r++ {
+		cells := make([]string, len(s.Columns))
+		for c := range s.Columns {
+			cells[c] = fmt.Sprintf("%g", s.Columns[c][r])
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package benchkit
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarizeAbsErrors(t *testing.T) {
+	pred := []float64{0.9, 0.8, 0.5}
+	obs := []float64{0.85, 0.9, 0.5}
+	s := SummarizeAbsErrors(pred, obs)
+	if s.N != 3 {
+		t.Fatalf("n = %d", s.N)
+	}
+	if math.Abs(s.Best-0) > 1e-12 {
+		t.Errorf("best = %v", s.Best)
+	}
+	if math.Abs(s.Worst-0.1) > 1e-12 {
+		t.Errorf("worst = %v", s.Worst)
+	}
+	if math.Abs(s.Mean-0.05) > 1e-12 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+}
+
+func TestSummarizeAbsErrorsSkipsNaN(t *testing.T) {
+	s := SummarizeAbsErrors([]float64{0.5, math.NaN()}, []float64{0.4, 0.2})
+	if s.N != 1 {
+		t.Errorf("n = %d", s.N)
+	}
+	empty := SummarizeAbsErrors(nil, nil)
+	if !math.IsNaN(empty.Mean) {
+		t.Error("empty summary should be NaN")
+	}
+	// Length mismatch: extra predictions ignored.
+	s2 := SummarizeAbsErrors([]float64{0.5, 0.6}, []float64{0.4})
+	if s2.N != 1 {
+		t.Errorf("mismatched n = %d", s2.N)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("scenario", "sla", "error")
+	tab.AddRow("S1", "10ms", 0.0291)
+	tab.AddRow("S16", "100ms", 0.0196)
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "scenario") || !strings.Contains(out, "S16") {
+		t.Errorf("table output missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want 4", len(lines))
+	}
+}
+
+func TestAsciiPlot(t *testing.T) {
+	s := NewSeries("rate", "observed", "predicted")
+	for i := 0; i < 20; i++ {
+		x := float64(i) * 10
+		if err := s.AddRow(x, 1-float64(i)*0.03, 1-float64(i)*0.035); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var b strings.Builder
+	if err := (AsciiPlot{Width: 40, Height: 10}).Render(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "o=observed") || !strings.Contains(out, "+=predicted") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "+") {
+		t.Error("marks missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+10+2 { // legend + body + axis + x labels
+		t.Errorf("plot has %d lines", len(lines))
+	}
+	// Degenerate inputs fail cleanly.
+	if err := (AsciiPlot{}).Render(&b, NewSeries("x")); err == nil {
+		t.Error("single-column series should fail")
+	}
+	if err := (AsciiPlot{}).Render(&b, NewSeries("x", "y")); err == nil {
+		t.Error("empty series should fail")
+	}
+}
+
+func TestAsciiPlotHandlesNaNAndFlat(t *testing.T) {
+	s := NewSeries("x", "y")
+	if err := s.AddRow(1, math.NaN()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRow(1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := (AsciiPlot{Width: 20, Height: 5}).Render(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "o") {
+		t.Error("flat single point should still render")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("rate", "observed", "predicted")
+	if err := s.AddRow(10, 0.95, 0.94); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRow(20, 0.91, 0.90); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRow(1, 2); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	if s.Len() != 2 {
+		t.Errorf("len = %d", s.Len())
+	}
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "rate,observed,predicted\n10,0.95,0.94\n20,0.91,0.9\n"
+	if b.String() != want {
+		t.Errorf("csv = %q, want %q", b.String(), want)
+	}
+	empty := NewSeries()
+	if empty.Len() != 0 {
+		t.Error("empty series should have no rows")
+	}
+}

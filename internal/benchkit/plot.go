@@ -1,0 +1,118 @@
+package benchkit
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// AsciiPlot renders series columns as a terminal line plot: the first
+// column is the x axis, every other column a labeled curve. It keeps
+// cosbench's figure output readable without leaving the terminal.
+type AsciiPlot struct {
+	// Width and Height are the plot body dimensions in characters.
+	Width, Height int
+	// YMin and YMax fix the y range; leave both zero to auto-scale.
+	YMin, YMax float64
+}
+
+// plotMarks assigns one rune per curve, cycling if there are many.
+var plotMarks = []rune{'o', '+', 'x', '*', '#', '@', '%', '~'}
+
+// Render draws the series. The series must have at least two columns and
+// one row.
+func (p AsciiPlot) Render(w io.Writer, s *Series) error {
+	if len(s.Columns) < 2 || s.Len() == 0 {
+		return fmt.Errorf("benchkit: plot needs an x column, one curve and data")
+	}
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 16
+	}
+	xs := s.Columns[0]
+	xmin, xmax := minMax(xs)
+	ymin, ymax := p.YMin, p.YMax
+	if ymin == 0 && ymax == 0 {
+		ymin, ymax = math.Inf(1), math.Inf(-1)
+		for _, col := range s.Columns[1:] {
+			lo, hi := minMax(col)
+			ymin = math.Min(ymin, lo)
+			ymax = math.Max(ymax, hi)
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for ci, col := range s.Columns[1:] {
+		mark := plotMarks[ci%len(plotMarks)]
+		for i := range col {
+			if math.IsNaN(col[i]) {
+				continue
+			}
+			cx := int(math.Round((xs[i] - xmin) / (xmax - xmin) * float64(width-1)))
+			cy := int(math.Round((col[i] - ymin) / (ymax - ymin) * float64(height-1)))
+			if cx < 0 || cx >= width || cy < 0 || cy >= height {
+				continue
+			}
+			row := height - 1 - cy
+			grid[row][cx] = mark
+		}
+	}
+	// Legend.
+	var legend []string
+	for ci, name := range s.Names[1:] {
+		legend = append(legend, fmt.Sprintf("%c=%s", plotMarks[ci%len(plotMarks)], name))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(legend, "  ")); err != nil {
+		return err
+	}
+	for r, row := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.3g", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%8.3g", ymin)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	axis := strings.Repeat("-", width)
+	if _, err := fmt.Fprintf(w, "         +%s\n", axis); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "          %-10.4g%s%10.4g  (%s)\n",
+		xmin, strings.Repeat(" ", maxInt(0, width-20)), xmax, s.Names[0])
+	return err
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return lo, hi
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,181 @@
+// Package cache implements a byte-capacity LRU cache that models the page
+// cache of a backend storage server. Entries carry a class label (index,
+// metadata, data) so the simulator can report per-operation cache miss
+// ratios — the quantities the analytic model consumes as online metrics.
+package cache
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+)
+
+// ErrBadCapacity reports a nonpositive cache capacity.
+var ErrBadCapacity = errors.New("cache: capacity must be positive")
+
+// Class labels a cached entry with the operation type that loads it.
+type Class uint8
+
+// The three entry classes of a cloud object storage backend.
+const (
+	ClassIndex Class = iota
+	ClassMeta
+	ClassData
+	numClasses
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassIndex:
+		return "index"
+	case ClassMeta:
+		return "meta"
+	case ClassData:
+		return "data"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Stats counts accesses per class.
+type Stats struct {
+	Hits   [numClasses]uint64
+	Misses [numClasses]uint64
+}
+
+// MissRatio returns misses/(hits+misses) for a class, or 0 if unobserved.
+func (s *Stats) MissRatio(c Class) float64 {
+	total := s.Hits[c] + s.Misses[c]
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Misses[c]) / float64(total)
+}
+
+// Accesses returns hits+misses for a class.
+func (s *Stats) Accesses(c Class) uint64 { return s.Hits[c] + s.Misses[c] }
+
+// Sub returns the delta s - prev, for windowed metrics.
+func (s Stats) Sub(prev Stats) Stats {
+	var out Stats
+	for i := range s.Hits {
+		out.Hits[i] = s.Hits[i] - prev.Hits[i]
+		out.Misses[i] = s.Misses[i] - prev.Misses[i]
+	}
+	return out
+}
+
+type entry struct {
+	key  string
+	size int64
+}
+
+// LRU is a byte-capacity least-recently-used cache. It stores only keys and
+// sizes (no payloads): the simulator needs residency decisions, not bytes.
+// Not safe for concurrent use.
+type LRU struct {
+	capacity int64
+	used     int64
+	ll       *list.List               // front = most recently used
+	items    map[string]*list.Element // key -> element holding *entry
+	stats    Stats
+}
+
+// NewLRU returns an LRU with the given byte capacity.
+func NewLRU(capacity int64) (*LRU, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadCapacity, capacity)
+	}
+	return &LRU{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}, nil
+}
+
+// Capacity returns the configured byte capacity.
+func (c *LRU) Capacity() int64 { return c.capacity }
+
+// Used returns the bytes currently cached.
+func (c *LRU) Used() int64 { return c.used }
+
+// Len returns the number of cached entries.
+func (c *LRU) Len() int { return c.ll.Len() }
+
+// Stats returns a copy of the access counters.
+func (c *LRU) Stats() Stats { return c.stats }
+
+// Contains reports residency without touching recency or counters.
+func (c *LRU) Contains(key string) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// Access simulates an access of class cl to key of the given size. On a hit
+// the entry is refreshed; on a miss it is inserted (evicting LRU entries as
+// needed) and false is returned. Entries larger than the whole cache are
+// never inserted (they would evict everything for no reuse benefit —
+// mirroring how a page cache thrashes through oversized streams).
+func (c *LRU) Access(cl Class, key string, size int64) bool {
+	if el, ok := c.items[key]; ok {
+		c.stats.Hits[cl]++
+		c.ll.MoveToFront(el)
+		return true
+	}
+	c.stats.Misses[cl]++
+	if size > c.capacity || size < 0 {
+		return false
+	}
+	c.evictFor(size)
+	el := c.ll.PushFront(&entry{key: key, size: size})
+	c.items[key] = el
+	c.used += size
+	return false
+}
+
+// Put inserts or refreshes an entry without counting an access (used to
+// pre-warm the cache).
+func (c *LRU) Put(key string, size int64) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	if size > c.capacity || size < 0 {
+		return
+	}
+	c.evictFor(size)
+	el := c.ll.PushFront(&entry{key: key, size: size})
+	c.items[key] = el
+	c.used += size
+}
+
+// Remove evicts key if present.
+func (c *LRU) Remove(key string) {
+	if el, ok := c.items[key]; ok {
+		c.removeElement(el)
+	}
+}
+
+// Flush empties the cache but keeps the counters.
+func (c *LRU) Flush() {
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+	c.used = 0
+}
+
+func (c *LRU) evictFor(size int64) {
+	for c.used+size > c.capacity {
+		back := c.ll.Back()
+		if back == nil {
+			return
+		}
+		c.removeElement(back)
+	}
+}
+
+func (c *LRU) removeElement(el *list.Element) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.used -= e.size
+}

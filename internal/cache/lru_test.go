@@ -1,0 +1,216 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLRUValidation(t *testing.T) {
+	if _, err := NewLRU(0); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if _, err := NewLRU(-5); err == nil {
+		t.Error("negative capacity should fail")
+	}
+}
+
+func TestHitMissAccounting(t *testing.T) {
+	c, err := NewLRU(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Access(ClassIndex, "a", 10) {
+		t.Error("first access must miss")
+	}
+	if !c.Access(ClassIndex, "a", 10) {
+		t.Error("second access must hit")
+	}
+	st := c.Stats()
+	if st.Hits[ClassIndex] != 1 || st.Misses[ClassIndex] != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if got := st.MissRatio(ClassIndex); got != 0.5 {
+		t.Errorf("miss ratio = %v", got)
+	}
+	if got := st.MissRatio(ClassMeta); got != 0 {
+		t.Errorf("unobserved class miss ratio = %v", got)
+	}
+	if st.Accesses(ClassIndex) != 2 {
+		t.Errorf("accesses = %d", st.Accesses(ClassIndex))
+	}
+}
+
+func TestEvictionIsLRU(t *testing.T) {
+	c, _ := NewLRU(30)
+	c.Access(ClassData, "a", 10)
+	c.Access(ClassData, "b", 10)
+	c.Access(ClassData, "c", 10)
+	// Refresh "a" so "b" is now least recently used.
+	c.Access(ClassData, "a", 10)
+	c.Access(ClassData, "d", 10) // evicts b
+	if !c.Contains("a") || !c.Contains("c") || !c.Contains("d") {
+		t.Error("wrong survivors")
+	}
+	if c.Contains("b") {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	c, _ := NewLRU(1000)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10000; i++ {
+		key := fmt.Sprintf("k%d", rng.Intn(500))
+		size := int64(rng.Intn(300) + 1)
+		c.Access(ClassData, key, size)
+		if c.Used() > c.Capacity() {
+			t.Fatalf("used %d > capacity %d", c.Used(), c.Capacity())
+		}
+	}
+}
+
+func TestOversizedEntryNotInserted(t *testing.T) {
+	c, _ := NewLRU(100)
+	c.Access(ClassData, "big", 200)
+	if c.Contains("big") {
+		t.Error("oversized entry must not be cached")
+	}
+	if c.Used() != 0 {
+		t.Errorf("used = %d", c.Used())
+	}
+	c.Access(ClassData, "ok", 50)
+	c.Access(ClassData, "big", 200) // again: must not evict "ok"
+	if !c.Contains("ok") {
+		t.Error("oversized miss should not evict resident entries")
+	}
+	c.Put("big", 200)
+	if c.Contains("big") {
+		t.Error("oversized Put must be ignored")
+	}
+	c.Access(ClassData, "neg", -1)
+	if c.Contains("neg") {
+		t.Error("negative size must be ignored")
+	}
+}
+
+func TestPutAndRemove(t *testing.T) {
+	c, _ := NewLRU(100)
+	c.Put("a", 40)
+	if !c.Contains("a") {
+		t.Error("Put should insert")
+	}
+	st := c.Stats()
+	if st.Hits[ClassIndex]+st.Misses[ClassIndex] != 0 {
+		t.Error("Put must not count accesses")
+	}
+	c.Put("a", 40) // refresh, no growth
+	if c.Used() != 40 {
+		t.Errorf("used = %d", c.Used())
+	}
+	c.Remove("a")
+	if c.Contains("a") || c.Used() != 0 {
+		t.Error("Remove failed")
+	}
+	c.Remove("missing") // no-op
+}
+
+func TestFlushKeepsCounters(t *testing.T) {
+	c, _ := NewLRU(100)
+	c.Access(ClassMeta, "a", 10)
+	c.Access(ClassMeta, "a", 10)
+	c.Flush()
+	if c.Len() != 0 || c.Used() != 0 {
+		t.Error("flush should empty the cache")
+	}
+	if c.Stats().Hits[ClassMeta] != 1 {
+		t.Error("flush should keep counters")
+	}
+	if c.Access(ClassMeta, "a", 10) {
+		t.Error("entry must be gone after flush")
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	c, _ := NewLRU(100)
+	c.Access(ClassIndex, "a", 1)
+	before := c.Stats()
+	c.Access(ClassIndex, "a", 1)
+	c.Access(ClassIndex, "b", 1)
+	delta := c.Stats().Sub(before)
+	if delta.Hits[ClassIndex] != 1 || delta.Misses[ClassIndex] != 1 {
+		t.Errorf("delta = %+v", delta)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassIndex.String() != "index" || ClassMeta.String() != "meta" || ClassData.String() != "data" {
+		t.Error("class names wrong")
+	}
+	if Class(9).String() != "Class(9)" {
+		t.Errorf("unknown class = %q", Class(9).String())
+	}
+}
+
+// TestInvariantsProperty drives random operation sequences and checks the
+// core invariants: used <= capacity, used equals the sum of resident sizes,
+// and the item map matches the list.
+func TestInvariantsProperty(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		c, _ := NewLRU(500)
+		rng := rand.New(rand.NewSource(seed))
+		sizes := map[string]int64{}
+		for _, op := range ops {
+			key := fmt.Sprintf("k%d", op%64)
+			size := int64(op%200) + 1
+			resident := c.Contains(key)
+			switch op % 3 {
+			case 0:
+				c.Access(Class(op%3), key, size)
+			case 1:
+				c.Put(key, size)
+			case 2:
+				if rng.Intn(4) == 0 {
+					c.Remove(key)
+				} else {
+					c.Access(ClassData, key, size)
+				}
+			}
+			// A hit keeps the originally inserted size; only record the
+			// size when this operation inserted the key.
+			if !resident && c.Contains(key) {
+				sizes[key] = size
+			}
+			if c.Used() > c.Capacity() {
+				return false
+			}
+		}
+		// Recompute used from residents.
+		var total int64
+		for k, s := range sizes {
+			if c.Contains(k) {
+				total += s
+			}
+		}
+		return total == c.Used()
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLRUAccess(b *testing.B) {
+	c, _ := NewLRU(1 << 20)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]string, 4096)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("obj-%d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(ClassData, keys[rng.Intn(len(keys))], 512)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cosmodel/internal/dist"
+)
+
+// buildTwoDeviceSystem returns a system with one healthy and one struggling
+// device (higher load and miss ratios).
+func buildTwoDeviceSystem(t *testing.T) *SystemModel {
+	t.Helper()
+	healthy := testMetrics()
+	healthy.Rate, healthy.DataRate = 20, 24
+	healthy.MissIndex, healthy.MissMeta, healthy.MissData = 0.1, 0.1, 0.15
+	sick := testMetrics()
+	sick.Rate, sick.DataRate = 50, 60 // rho ≈ 0.8 with these miss ratios
+	sick.MissIndex, sick.MissMeta, sick.MissData = 0.6, 0.6, 0.7
+	d0, err := NewDeviceModel(testProps(), healthy, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := NewDeviceModel(testProps(), sick, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := NewFrontendModel(70, 12, dist.Degenerate{Value: 0.3e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystemModel(fe, []*DeviceModel{d0, d1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestDiagnoseRanksTheSickDevice(t *testing.T) {
+	sys := buildTwoDeviceSystem(t)
+	diag := sys.Diagnose(0.05)
+	if len(diag) != 2 {
+		t.Fatalf("diagnoses = %d", len(diag))
+	}
+	if diag[0].Device != 1 {
+		t.Errorf("worst device = %d, want 1 (the loaded, cache-missing one)", diag[0].Device)
+	}
+	if diag[0].SLAContribution <= diag[1].SLAContribution {
+		t.Error("ranking not descending")
+	}
+	total := diag[0].SLAContribution + diag[1].SLAContribution
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("contributions sum to %v", total)
+	}
+	if diag[0].Utilization <= diag[1].Utilization {
+		t.Error("the sick device should also be the more utilized one")
+	}
+	dev, share := sys.Bottleneck(0.05)
+	if dev != 1 || share != diag[0].SLAContribution {
+		t.Errorf("Bottleneck = (%d, %v)", dev, share)
+	}
+}
+
+func TestDiagnoseFieldsPopulated(t *testing.T) {
+	sys := buildTwoDeviceSystem(t)
+	for _, d := range sys.Diagnose(0.05) {
+		if d.Rate <= 0 || d.Utilization <= 0 || d.MeanBackend <= 0 {
+			t.Errorf("device %d: empty fields %+v", d.Device, d)
+		}
+		if d.MeanWTA < 0 || d.SLAContribution < 0 || d.SLAContribution > 1 {
+			t.Errorf("device %d: out-of-range fields %+v", d.Device, d)
+		}
+	}
+}
+
+func TestRenderDiagnosis(t *testing.T) {
+	sys := buildTwoDeviceSystem(t)
+	var b strings.Builder
+	if err := RenderDiagnosis(&b, sys.Diagnose(0.05), 0.05); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "miss share") || !strings.Contains(out, "Bottleneck identification") {
+		t.Errorf("render output:\n%s", out)
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"cosmodel/internal/dist"
+)
+
+// DefaultMissThreshold is the latency threshold (seconds) separating cache
+// hits from misses when classifying measured operation latencies. The paper
+// uses 0.015 ms: anything faster than this must have been served from
+// memory.
+const DefaultMissThreshold = 15e-6
+
+// MissRatioByThreshold estimates a cache miss ratio from measured operation
+// latencies by counting how many exceed the threshold (Section IV-B's
+// latency-threshold method). It returns 0 for an empty sample.
+func MissRatioByThreshold(latencies []float64, threshold float64) float64 {
+	if len(latencies) == 0 {
+		return 0
+	}
+	if threshold <= 0 {
+		threshold = DefaultMissThreshold
+	}
+	misses := 0
+	for _, l := range latencies {
+		if l > threshold {
+			misses++
+		}
+	}
+	return float64(misses) / float64(len(latencies))
+}
+
+// SolveServiceTimes solves the paper's Section IV-B equations for the
+// per-operation mean disk service times given the observed overall mean b,
+// the benchmarked proportions (pi, pm, pd) and the operation mix implied by
+// the online metrics:
+//
+//	bi/pi = bm/pm = bd/pd
+//	mi·bi·r + mm·bm·r + md·bd·rdata = (mi·r + mm·r + md·rdata)·b
+func SolveServiceTimes(b, pi, pm, pd float64, m OnlineMetrics) (bi, bm, bd float64, err error) {
+	if err := m.Validate(); err != nil {
+		return 0, 0, 0, err
+	}
+	if b <= 0 || pi < 0 || pm < 0 || pd < 0 || pi+pm+pd <= 0 {
+		return 0, 0, 0, fmt.Errorf("%w: b=%v proportions=(%v,%v,%v)", ErrBadParams, b, pi, pm, pd)
+	}
+	num := (m.MissIndex*m.Rate + m.MissMeta*m.Rate + m.MissData*m.DataRate) * b
+	den := m.MissIndex*pi*m.Rate + m.MissMeta*pm*m.Rate + m.MissData*pd*m.DataRate
+	if den <= 0 {
+		return 0, 0, 0, fmt.Errorf("%w: no disk traffic to attribute service times to", ErrBadParams)
+	}
+	x := num / den
+	return pi * x, pm * x, pd * x, nil
+}
+
+// FitDeviceProperties runs the paper's Fig. 5 calibration: it fits Gamma
+// distributions to the benchmarked per-operation disk service times and
+// wraps the near-constant parse latencies as Degenerate distributions.
+func FitDeviceProperties(index, meta, data []float64, parseFE, parseBE float64) (DeviceProperties, error) {
+	gi, err := dist.FitGamma(index)
+	if err != nil {
+		return DeviceProperties{}, fmt.Errorf("core: fitting index service times: %w", err)
+	}
+	gm, err := dist.FitGamma(meta)
+	if err != nil {
+		return DeviceProperties{}, fmt.Errorf("core: fitting metadata service times: %w", err)
+	}
+	gd, err := dist.FitGamma(data)
+	if err != nil {
+		return DeviceProperties{}, fmt.Errorf("core: fitting data service times: %w", err)
+	}
+	if parseFE <= 0 || parseBE <= 0 {
+		return DeviceProperties{}, fmt.Errorf("%w: parse latencies must be positive", ErrBadParams)
+	}
+	return DeviceProperties{
+		IndexDisk: gi,
+		MetaDisk:  gm,
+		DataDisk:  gd,
+		ParseBE:   dist.Degenerate{Value: parseBE},
+		ParseFE:   dist.Degenerate{Value: parseFE},
+	}, nil
+}
+
+// BestFitReport ranks the paper's four candidate families on each
+// operation's samples (the comparison behind Fig. 5, where Gamma wins).
+type BestFitReport struct {
+	Index, Meta, Data []dist.FitResult
+}
+
+// CompareFits produces the Fig. 5 family comparison.
+func CompareFits(index, meta, data []float64) (BestFitReport, error) {
+	fi, err := dist.FitBest(index)
+	if err != nil {
+		return BestFitReport{}, err
+	}
+	fm, err := dist.FitBest(meta)
+	if err != nil {
+		return BestFitReport{}, err
+	}
+	fd, err := dist.FitBest(data)
+	if err != nil {
+		return BestFitReport{}, err
+	}
+	return BestFitReport{Index: fi, Meta: fm, Data: fd}, nil
+}

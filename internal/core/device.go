@@ -1,0 +1,297 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"cosmodel/internal/dist"
+	"cosmodel/internal/lst"
+	"cosmodel/internal/numeric"
+	"cosmodel/internal/queueing"
+)
+
+// DeviceModel is the paper's backend-tier model for one storage device: the
+// union-operation M/G/1 queue, its waiting-time distribution (which doubles
+// as the WTA distribution), and the backend response-time distribution.
+type DeviceModel struct {
+	props   DeviceProperties
+	metrics OnlineMetrics
+	opts    Options
+
+	union lst.Transform // Bbe: union operation service time
+	wbe   lst.Transform // waiting time of the request processing queue
+	sbe   lst.Transform // backend response time (Eq. 1)
+	wa    lst.Transform // waiting time for being accept()-ed
+
+	// effective per-operation latency transforms (cache-mixed), kept for
+	// introspection and tests.
+	opIndex, opMeta, opData lst.Transform
+	procRate                float64 // per-process arrival rate r/Nbe
+}
+
+// NewDeviceModel builds the model for one device. It returns ErrOverload
+// (wrapped) if the union-operation queue has no steady state.
+func NewDeviceModel(props DeviceProperties, m OnlineMetrics, opts Options) (*DeviceModel, error) {
+	if err := props.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	d := &DeviceModel{props: props, metrics: m, opts: opts}
+	if err := d.build(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// build assembles the transform pipeline following Section III-B.
+func (d *DeviceModel) build() error {
+	m := d.metrics
+	// Step 1: effective raw disk-latency transforms per operation.
+	idx, meta, data, err := d.diskOperationTransforms()
+	if err != nil {
+		return err
+	}
+	// Step 2: cache-aware operation latencies
+	// index(t) = indexd(t)·m + δ(t)(1-m), etc.
+	mi, mm, md := m.MissIndex, m.MissMeta, m.MissData
+	p := m.ExtraReads()
+	if d.opts.ODOPR {
+		// Baseline: at most one disk operation per request — index,
+		// metadata and extra data reads all "hit".
+		mi, mm, p = 0, 0, 0
+	}
+	d.opIndex = lst.HitOrMiss(idx, mi)
+	d.opMeta = lst.HitOrMiss(meta, mm)
+	d.opData = lst.HitOrMiss(data, md)
+	parse := lst.FromDist(d.props.ParseBE)
+
+	// Step 3: the union operation. Each union operation is one request's
+	// parse + index + meta + data plus a random number of extra data
+	// chunk reads belonging to other requests, interleaved by the event
+	// loop.
+	var extra lst.Transform
+	switch d.opts.Compound {
+	case CompoundFixed:
+		extra = lst.FixedCompound(d.opData, int(math.Round(p)))
+	case CompoundGeometric:
+		extra = lst.GeometricCompound(d.opData, p)
+	default:
+		extra = lst.PoissonCompound(d.opData, p)
+	}
+	d.union = lst.Convolve(parse, d.opIndex, d.opMeta, d.opData, extra)
+
+	// Step 4: the M/G/1 queue of union operations, per process.
+	d.procRate = m.Rate / float64(m.Procs)
+	q, err := queueing.NewMG1(d.procRate, d.union)
+	if err != nil {
+		return fmt.Errorf("%w: device union queue: %v", ErrOverload, err)
+	}
+	d.wbe = q.WaitingLST()
+
+	// Step 5: backend response time, Eq. 1:
+	// Sbe = Wbe ∗ parse ∗ index ∗ meta ∗ data.
+	d.sbe = lst.Convolve(d.wbe, parse, d.opIndex, d.opMeta, d.opData)
+
+	// Step 6: waiting time for being accept()-ed.
+	switch d.opts.WTA {
+	case WTANone:
+		d.wa = lst.One()
+	case WTAExact:
+		d.wa = d.exactWTA()
+	default:
+		d.wa = d.wbe
+	}
+	return nil
+}
+
+// diskOperationTransforms produces the effective raw disk latency transform
+// per operation class, handling both the single-process case (scaled fitted
+// distributions) and the multi-process case (disk queue sojourn).
+func (d *DeviceModel) diskOperationTransforms() (idx, meta, data lst.Transform, err error) {
+	m := d.metrics
+	bi, bm, bd := d.scaledServiceMeans()
+	iDist := dist.ScaleToMean(d.props.IndexDisk, bi)
+	mDist := dist.ScaleToMean(d.props.MetaDisk, bm)
+	dDist := dist.ScaleToMean(d.props.DataDisk, bd)
+
+	if m.Procs == 1 {
+		return lst.FromDist(iDist), lst.FromDist(mDist), lst.FromDist(dDist), nil
+	}
+
+	// Nbe > 1: the disk is shared by Nbe processes, each blocking on its
+	// one outstanding operation, so at most Nbe operations are in the
+	// disk system. Different operation types mix in the disk queue, so a
+	// single "disk response latency" distribution replaces all three.
+	mi, mm, md := m.MissIndex, m.MissMeta, m.MissData
+	if d.opts.ODOPR {
+		mi, mm = 0, 0
+	}
+	rIndex := mi * m.Rate
+	rMeta := mm * m.Rate
+	dataRate := m.DataRate
+	if d.opts.ODOPR {
+		dataRate = m.Rate
+	}
+	rData := md * dataRate
+	rDisk := rIndex + rMeta + rData
+	if rDisk <= 0 {
+		// Nothing reaches the disk; latencies are all zero.
+		zero := lst.FromDist(dist.Degenerate{Value: 0})
+		return zero, zero, zero, nil
+	}
+	// Overall mean raw service time b for the operation mix.
+	b := (rIndex*bi + rMeta*bm + rData*bd) / rDisk
+
+	var sojourn lst.Transform
+	switch d.opts.DiskQueue {
+	case DiskMG1:
+		// Ablation: unbounded disk queue with the true service mixture.
+		svc := lst.Mix(
+			[]lst.Transform{lst.FromDist(iDist), lst.FromDist(mDist), lst.FromDist(dDist)},
+			[]float64{rIndex, rMeta, rData},
+		)
+		q, qerr := queueing.NewMG1(rDisk, svc)
+		if qerr != nil {
+			return idx, meta, data, fmt.Errorf("%w: disk M/G/1: %v", ErrOverload, qerr)
+		}
+		sojourn = q.SojournLST()
+	default:
+		// The paper's approximation: M/M/1/K with K = Nbe.
+		q, qerr := queueing.NewMM1K(rDisk, 1/b, m.Procs)
+		if qerr != nil {
+			return idx, meta, data, fmt.Errorf("%w: %v", ErrBadParams, qerr)
+		}
+		sojourn = q.SojournLST()
+	}
+	return sojourn, sojourn, sojourn, nil
+}
+
+// scaledServiceMeans solves Section IV-B's proportion equations for the
+// per-operation mean service times (bi, bm, bd) given the online overall
+// mean b; if no online measurement is available the fitted means are used
+// unchanged.
+func (d *DeviceModel) scaledServiceMeans() (bi, bm, bd float64) {
+	bi = d.props.IndexDisk.Mean()
+	bm = d.props.MetaDisk.Mean()
+	bd = d.props.DataDisk.Mean()
+	b := d.metrics.DiskMean
+	if b <= 0 {
+		return bi, bm, bd
+	}
+	pi, pm, pd := d.props.Proportions()
+	m := d.metrics
+	// bi/pi = bm/pm = bd/pd = x and
+	// mi·bi·r + mm·bm·r + md·bd·rdata = (mi·r + mm·r + md·rdata)·b.
+	num := (m.MissIndex*m.Rate + m.MissMeta*m.Rate + m.MissData*m.DataRate) * b
+	den := m.MissIndex*pi*m.Rate + m.MissMeta*pm*m.Rate + m.MissData*pd*m.DataRate
+	if den <= 0 || num <= 0 {
+		return bi, bm, bd
+	}
+	x := num / den
+	return pi * x, pm * x, pd * x
+}
+
+// exactWTA evaluates the paper's exact accept-waiting integral numerically:
+// P(Wa > t) = ∫_{x≥t} a(x)·(x-t)/x dx, where a is the accept-lifetime
+// density (the continuous part of Wbe; the atom at zero contributes
+// zero-waiting connections). The resulting CDF is re-encoded as a
+// grid-based transform so it can be convolved with the other components.
+func (d *DeviceModel) exactWTA() lst.Transform {
+	inv := d.opts.inverter()
+	// Grid over the waiting-time support: out to far tail of Wbe.
+	hi := d.wbe.Mean * 12
+	if hi <= 0 {
+		return lst.One()
+	}
+	const gridN = 160
+	step := hi / gridN
+	// Tabulate the continuous density a(x) = rho-weighted pdf for x > 0.
+	dens := make([]float64, gridN+1)
+	xs := make([]float64, gridN+1)
+	for i := 1; i <= gridN; i++ {
+		x := float64(i) * step
+		xs[i] = x
+		dens[i] = lst.PDF(inv, d.wbe, x)
+	}
+	survival := func(t float64) float64 {
+		s := 0.0
+		for i := 1; i <= gridN; i++ {
+			x := xs[i]
+			if x <= t {
+				continue
+			}
+			s += dens[i] * (x - t) / x * step
+		}
+		return numeric.Clamp01(s)
+	}
+	// Build CDF table and mean; P(Wa = 0) >= 1 - rho (atom).
+	cdf := make([]float64, gridN+1)
+	mean := 0.0
+	for i := 0; i <= gridN; i++ {
+		cdf[i] = 1 - survival(float64(i)*step)
+		if i > 0 {
+			mean += (1 - cdf[i]) * step
+		}
+	}
+	return gridTransform(xs, cdf, mean)
+}
+
+// gridTransform builds an lst.Transform from a tabulated CDF via the
+// Laplace–Stieltjes sum over grid increments (a discrete approximation of
+// the distribution).
+func gridTransform(xs, cdf []float64, mean float64) lst.Transform {
+	n := len(xs)
+	masses := make([]float64, n)
+	prev := 0.0
+	for i := 0; i < n; i++ {
+		masses[i] = cdf[i] - prev
+		if masses[i] < 0 {
+			masses[i] = 0
+		}
+		prev = cdf[i]
+	}
+	// Any residual tail mass sits at the last grid point.
+	tail := 1 - prev
+	if tail > 0 {
+		masses[n-1] += tail
+	}
+	points := append([]float64(nil), xs...)
+	return lst.Transform{
+		F: func(s complex128) complex128 {
+			var sum complex128
+			for i, m := range masses {
+				if m == 0 {
+					continue
+				}
+				sum += complex(m, 0) * lst.Delay(points[i]).F(s)
+			}
+			return sum
+		},
+		Mean: mean,
+	}
+}
+
+// Union returns the union-operation service transform Bbe.
+func (d *DeviceModel) Union() lst.Transform { return d.union }
+
+// Waiting returns the request-processing-queue waiting transform Wbe.
+func (d *DeviceModel) Waiting() lst.Transform { return d.wbe }
+
+// Backend returns the backend response transform Sbe (Eq. 1).
+func (d *DeviceModel) Backend() lst.Transform { return d.sbe }
+
+// WTA returns the accept-waiting transform Wa.
+func (d *DeviceModel) WTA() lst.Transform { return d.wa }
+
+// Utilization returns the per-process union-operation utilization ρ.
+func (d *DeviceModel) Utilization() float64 { return d.procRate * d.union.Mean }
+
+// Rate returns the device's request arrival rate r.
+func (d *DeviceModel) Rate() float64 { return d.metrics.Rate }
+
+// BackendCDF evaluates the backend response-latency CDF at t.
+func (d *DeviceModel) BackendCDF(t float64) float64 {
+	return lst.CDF(d.opts.inverter(), d.sbe, t)
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"cosmodel/internal/dist"
+	"cosmodel/internal/lst"
+	"cosmodel/internal/queueing"
+)
+
+// FrontendModel is the paper's frontend-tier model (Section III-C): the
+// frontend processes are homogeneous M/G/1 queues whose service time is the
+// request-parsing latency, so the tier-wide queueing-latency distribution
+// equals any single process's sojourn distribution at rate r/Nfe.
+type FrontendModel struct {
+	// TotalRate is the aggregate request arrival rate at the frontend
+	// tier (req/s).
+	TotalRate float64
+	// Procs is Nfe, the number of frontend processes across all servers
+	// (summed over sets for a heterogeneous tier).
+	Procs int
+	// Parse is the frontend request-parsing latency distribution (nil
+	// for a heterogeneous tier, whose sets have their own).
+	Parse dist.Distribution
+
+	sq   lst.Transform
+	util float64
+}
+
+// NewFrontendModel validates and builds the frontend model. It returns
+// ErrOverload (wrapped) if a frontend process would be saturated.
+func NewFrontendModel(totalRate float64, procs int, parse dist.Distribution) (*FrontendModel, error) {
+	switch {
+	case totalRate <= 0:
+		return nil, fmt.Errorf("%w: frontend rate %v", ErrBadParams, totalRate)
+	case procs < 1:
+		return nil, fmt.Errorf("%w: frontend procs %d", ErrBadParams, procs)
+	case parse == nil || parse.Mean() <= 0:
+		return nil, fmt.Errorf("%w: frontend parse distribution", ErrBadParams)
+	}
+	f := &FrontendModel{TotalRate: totalRate, Procs: procs, Parse: parse}
+	ri := totalRate / float64(procs)
+	q, err := queueing.NewMG1(ri, lst.FromDist(parse))
+	if err != nil {
+		return nil, fmt.Errorf("%w: frontend process: %v", ErrOverload, err)
+	}
+	f.sq = q.SojournLST()
+	f.util = ri * parse.Mean()
+	return f, nil
+}
+
+// FrontendSet is one homogeneous group of frontend servers within a
+// heterogeneous tier: the paper notes that such a tier "can be divided into
+// several sets of homogeneous servers, and the distribution of queueing
+// latencies can be calculated separately".
+type FrontendSet struct {
+	// Rate is the aggregate arrival rate handled by this set (req/s).
+	Rate float64
+	// Procs is the number of processes in the set.
+	Procs int
+	// Parse is the set's request-parsing latency distribution.
+	Parse dist.Distribution
+}
+
+// NewHeterogeneousFrontend builds the frontend model of a tier made of
+// several homogeneous sets: each set is its own M/G/1 family, and the
+// tier-wide queueing-latency distribution is the rate-weighted mixture of
+// the per-set sojourn distributions.
+func NewHeterogeneousFrontend(sets []FrontendSet) (*FrontendModel, error) {
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("%w: heterogeneous frontend needs at least one set", ErrBadParams)
+	}
+	var (
+		transforms []lst.Transform
+		weights    []float64
+		totalRate  float64
+		totalProcs int
+		maxUtil    float64
+	)
+	for i, set := range sets {
+		sub, err := NewFrontendModel(set.Rate, set.Procs, set.Parse)
+		if err != nil {
+			return nil, fmt.Errorf("frontend set %d: %w", i, err)
+		}
+		transforms = append(transforms, sub.Sojourn())
+		weights = append(weights, set.Rate)
+		totalRate += set.Rate
+		totalProcs += set.Procs
+		if u := sub.Utilization(); u > maxUtil {
+			maxUtil = u
+		}
+	}
+	return &FrontendModel{
+		TotalRate: totalRate,
+		Procs:     totalProcs,
+		sq:        lst.Mix(transforms, weights),
+		util:      maxUtil,
+	}, nil
+}
+
+// Sojourn returns Sq: the frontend queueing-plus-parsing latency transform.
+func (f *FrontendModel) Sojourn() lst.Transform { return f.sq }
+
+// Utilization returns the per-process utilization (the maximum over sets
+// for a heterogeneous tier).
+func (f *FrontendModel) Utilization() float64 { return f.util }

@@ -1,0 +1,204 @@
+// Package core implements the paper's analytic performance model for cloud
+// object storage systems: it predicts the percentile of requests meeting an
+// SLA (a response-latency bound) from benchmarked device properties and
+// online system metrics.
+//
+// The model composes, in the Laplace–Stieltjes transform domain,
+//
+//	Sfe = Sq ∗ Wa ∗ Sbe                                      (paper Eq. 2)
+//
+// where Sq is the frontend M/G/1 sojourn time, Wa the waiting time for
+// being accept()-ed (approximated by the backend queue's waiting time), and
+// Sbe the backend response time built from the "union operation"
+// abstraction. The system-level CDF is the arrival-rate-weighted mixture
+// over storage devices (Eq. 3). Numerical transform inversion recovers the
+// CDF at the SLA.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"cosmodel/internal/dist"
+	"cosmodel/internal/numeric"
+)
+
+// ErrBadParams reports invalid model parameters.
+var ErrBadParams = errors.New("core: invalid model parameters")
+
+// ErrOverload reports that the modeled system has no steady state at the
+// given load (utilization >= 1 somewhere). The paper stops analyzing such
+// operating points: "it is enough to know that the system does not perform
+// well in such situations".
+var ErrOverload = errors.New("core: modeled queue is overloaded")
+
+// DeviceProperties are the benchmarked performance properties of one
+// storage device and its server processes (Section IV-A): fitted raw disk
+// service-time distributions per operation class and the (near-constant)
+// request parsing latencies of the two tiers.
+type DeviceProperties struct {
+	// IndexDisk, MetaDisk, DataDisk are the fitted distributions of raw
+	// disk service times for index lookups, metadata reads and data chunk
+	// reads (the paper fits Gamma distributions, Fig. 5).
+	IndexDisk dist.Distribution
+	MetaDisk  dist.Distribution
+	DataDisk  dist.Distribution
+	// ParseBE is the backend request-parsing latency distribution.
+	ParseBE dist.Distribution
+	// ParseFE is the frontend request-parsing latency distribution.
+	ParseFE dist.Distribution
+}
+
+// Validate checks the properties.
+func (p DeviceProperties) Validate() error {
+	check := func(name string, d dist.Distribution) error {
+		if d == nil {
+			return fmt.Errorf("%w: %s distribution is nil", ErrBadParams, name)
+		}
+		if d.Mean() < 0 {
+			return fmt.Errorf("%w: %s mean is negative", ErrBadParams, name)
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		name string
+		d    dist.Distribution
+	}{
+		{"index", p.IndexDisk}, {"meta", p.MetaDisk}, {"data", p.DataDisk},
+		{"parseBE", p.ParseBE}, {"parseFE", p.ParseFE},
+	} {
+		if err := check(c.name, c.d); err != nil {
+			return err
+		}
+	}
+	if p.IndexDisk.Mean()+p.MetaDisk.Mean()+p.DataDisk.Mean() <= 0 {
+		return fmt.Errorf("%w: disk service means are all zero", ErrBadParams)
+	}
+	return nil
+}
+
+// Proportions returns the benchmarked service-time proportions
+// (pi, pm, pd), normalized to sum to 1. The paper assumes these proportions
+// persist while the absolute disk service time fluctuates online.
+func (p DeviceProperties) Proportions() (pi, pm, pd float64) {
+	bi, bm, bd := p.IndexDisk.Mean(), p.MetaDisk.Mean(), p.DataDisk.Mean()
+	total := bi + bm + bd
+	return bi / total, bm / total, bd / total
+}
+
+// OnlineMetrics are the per-device runtime measurements the model consumes
+// (Section IV-B): arrival rates, cache miss ratios, process count and the
+// observed overall mean disk service time.
+type OnlineMetrics struct {
+	// Rate is r: the request arrival rate at the device (req/s).
+	Rate float64
+	// DataRate is rdata: the arrival rate of data read operations
+	// (chunk reads, counting cache hits and misses alike).
+	DataRate float64
+	// MissIndex, MissMeta, MissData are the cache miss ratios of the three
+	// operation classes.
+	MissIndex, MissMeta, MissData float64
+	// Procs is Nbe: the number of processes dedicated to the device.
+	Procs int
+	// DiskMean is the observed overall mean raw disk service time b. If
+	// zero, it is derived from the benchmarked distributions and the
+	// operation mix.
+	DiskMean float64
+}
+
+// Validate checks the metrics.
+func (m OnlineMetrics) Validate() error {
+	switch {
+	case m.Rate <= 0:
+		return fmt.Errorf("%w: rate %v must be positive", ErrBadParams, m.Rate)
+	case m.DataRate < m.Rate:
+		return fmt.Errorf("%w: data rate %v below request rate %v (each request reads at least one chunk)",
+			ErrBadParams, m.DataRate, m.Rate)
+	case m.Procs < 1:
+		return fmt.Errorf("%w: procs %d", ErrBadParams, m.Procs)
+	case m.DiskMean < 0:
+		return fmt.Errorf("%w: disk mean %v", ErrBadParams, m.DiskMean)
+	}
+	for _, miss := range []float64{m.MissIndex, m.MissMeta, m.MissData} {
+		if miss < 0 || miss > 1 {
+			return fmt.Errorf("%w: miss ratio %v outside [0,1]", ErrBadParams, miss)
+		}
+	}
+	return nil
+}
+
+// ExtraReads returns p: the mean number of extra data reads per union
+// operation, (rdata - r)/r, clamped at zero.
+func (m OnlineMetrics) ExtraReads() float64 {
+	p := (m.DataRate - m.Rate) / m.Rate
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// WTAMode selects how the waiting time for being accept()-ed is modeled.
+type WTAMode int
+
+const (
+	// WTAApprox is the paper's model: Wa(t) = Wbe(t), the backend request
+	// processing queue's waiting-time distribution (via PASTA).
+	WTAApprox WTAMode = iota
+	// WTANone ignores the WTA entirely — the paper's "noWTA" baseline.
+	WTANone
+	// WTAExact evaluates the paper's exact integral
+	// P(Wa > t) = ∫_{x≥t} A(x)(x-t)/x dx numerically instead of using the
+	// Wa = A approximation (ablation).
+	WTAExact
+)
+
+// DiskQueueMode selects the disk-queue approximation for Nbe > 1.
+type DiskQueueMode int
+
+const (
+	// DiskMM1K is the paper's choice: M/M/1/K with K = Nbe.
+	DiskMM1K DiskQueueMode = iota
+	// DiskMG1 is an ablation: an unbounded M/G/1 disk queue with the
+	// true (scaled) service mixture.
+	DiskMG1
+)
+
+// CompoundMode selects how the number of extra data reads per union
+// operation is modeled.
+type CompoundMode int
+
+const (
+	// CompoundPoisson is the paper's model: Poisson-many extra reads.
+	CompoundPoisson CompoundMode = iota
+	// CompoundFixed uses the rounded mean as a deterministic count
+	// (ablation).
+	CompoundFixed
+	// CompoundGeometric uses a geometric count with the same mean
+	// (ablation).
+	CompoundGeometric
+)
+
+// Options configure a model instance. The zero value is the paper's model
+// with the Euler inverter.
+type Options struct {
+	// Inverter performs the numerical Laplace inversion; nil means
+	// numeric.NewEuler().
+	Inverter numeric.Inverter
+	// WTA selects the accept-waiting model.
+	WTA WTAMode
+	// DiskQueue selects the multi-process disk approximation.
+	DiskQueue DiskQueueMode
+	// Compound selects the extra-data-read count model.
+	Compound CompoundMode
+	// ODOPR enables the paper's "One Disk Operation Per Request"
+	// baseline: index lookups, metadata reads and extra data reads are
+	// treated as cache hits; only the first data read may touch disk.
+	ODOPR bool
+}
+
+func (o Options) inverter() numeric.Inverter {
+	if o.Inverter == nil {
+		return numeric.NewEuler()
+	}
+	return o.Inverter
+}

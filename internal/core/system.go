@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"cosmodel/internal/lst"
+	"cosmodel/internal/numeric"
+)
+
+// SystemModel combines the frontend model with per-device backend models
+// into the system-level response-latency distribution (Eqs. 2 and 3):
+//
+//	Sj  = Sq ∗ Wa_j ∗ Sbe_j        per device j
+//	S(t) = Σ_j r_j·Sj(t) / Σ_j r_j
+type SystemModel struct {
+	frontend *FrontendModel
+	devices  []*DeviceModel
+	opts     Options
+
+	responses []lst.Transform // per device: Sq ∗ Wa ∗ Sbe
+	weights   []float64
+	totalRate float64
+}
+
+// NewSystemModel assembles the system model. The frontend and at least one
+// device model are required.
+func NewSystemModel(fe *FrontendModel, devices []*DeviceModel, opts Options) (*SystemModel, error) {
+	if fe == nil {
+		return nil, fmt.Errorf("%w: frontend model required", ErrBadParams)
+	}
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("%w: at least one device model required", ErrBadParams)
+	}
+	s := &SystemModel{frontend: fe, devices: devices, opts: opts}
+	sq := fe.Sojourn()
+	for _, d := range devices {
+		if d == nil {
+			return nil, fmt.Errorf("%w: nil device model", ErrBadParams)
+		}
+		s.responses = append(s.responses, lst.Convolve(sq, d.WTA(), d.Backend()))
+		s.weights = append(s.weights, d.Rate())
+		s.totalRate += d.Rate()
+	}
+	if s.totalRate <= 0 {
+		return nil, fmt.Errorf("%w: zero total device rate", ErrBadParams)
+	}
+	return s, nil
+}
+
+// Frontend returns the frontend model.
+func (s *SystemModel) Frontend() *FrontendModel { return s.frontend }
+
+// Devices returns the device models.
+func (s *SystemModel) Devices() []*DeviceModel { return s.devices }
+
+// DeviceResponseCDF evaluates device j's frontend-observed response CDF.
+func (s *SystemModel) DeviceResponseCDF(j int, t float64) float64 {
+	return lst.CDF(s.opts.inverter(), s.responses[j], t)
+}
+
+// CDF evaluates the system response-latency CDF at t: the rate-weighted
+// mixture over devices (Eq. 3).
+func (s *SystemModel) CDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	inv := s.opts.inverter()
+	total := 0.0
+	for j, tr := range s.responses {
+		total += s.weights[j] * lst.CDF(inv, tr, t)
+	}
+	return numeric.Clamp01(total / s.totalRate)
+}
+
+// PercentileMeetingSLA predicts the fraction of requests whose response
+// latency is at most sla seconds — the paper's headline output.
+func (s *SystemModel) PercentileMeetingSLA(sla float64) float64 {
+	return s.CDF(sla)
+}
+
+// BackendCDF evaluates the backend-tier response-latency CDF at t: the
+// rate-weighted mixture of per-device Sbe distributions, without frontend
+// queueing or WTA. The paper's testbed counts SLA compliance at both tiers;
+// this is the backend-tier prediction.
+func (s *SystemModel) BackendCDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	total := 0.0
+	for j, d := range s.devices {
+		total += s.weights[j] * d.BackendCDF(t)
+	}
+	return numeric.Clamp01(total / s.totalRate)
+}
+
+// BackendPercentileMeetingSLA predicts the backend-tier fraction of
+// requests meeting the SLA.
+func (s *SystemModel) BackendPercentileMeetingSLA(sla float64) float64 {
+	return s.BackendCDF(sla)
+}
+
+// Quantile returns the latency below which a fraction p of requests
+// complete (numeric inversion of the mixture CDF).
+func (s *SystemModel) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	hi := s.MeanResponse()
+	if hi <= 0 {
+		hi = 1e-3
+	}
+	for s.CDF(hi) < p {
+		hi *= 2
+		if hi > 1e6 {
+			return hi
+		}
+	}
+	lo := 0.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if s.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// MeanResponse returns the rate-weighted mean response latency.
+func (s *SystemModel) MeanResponse() float64 {
+	total := 0.0
+	for j, tr := range s.responses {
+		total += s.weights[j] * tr.Mean
+	}
+	return total / s.totalRate
+}

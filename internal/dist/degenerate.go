@@ -1,0 +1,53 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// Degenerate is a point mass at Value (the Dirac delta δ(x - Value)).
+// The paper uses it both for the zero-latency memory hit (δ(t)) and for the
+// near-constant request-parsing latency measured on the testbed.
+type Degenerate struct {
+	Value float64
+}
+
+// Mean implements Distribution.
+func (d Degenerate) Mean() float64 { return d.Value }
+
+// Variance implements Distribution.
+func (d Degenerate) Variance() float64 { return 0 }
+
+// CDF implements Distribution.
+func (d Degenerate) CDF(x float64) float64 {
+	if x >= d.Value {
+		return 1
+	}
+	return 0
+}
+
+// Quantile implements Distribution.
+func (d Degenerate) Quantile(p float64) float64 {
+	if p <= 0 || p > 1 || math.IsNaN(p) {
+		if p <= 0 {
+			return d.Value
+		}
+		return math.NaN()
+	}
+	return d.Value
+}
+
+// Sample implements Distribution.
+func (d Degenerate) Sample(*rand.Rand) float64 { return d.Value }
+
+// LST implements Distribution: E[e^{-sX}] = e^{-s·Value}.
+func (d Degenerate) LST(s complex128) complex128 {
+	return cmplx.Exp(-s * complex(d.Value, 0))
+}
+
+// String implements Distribution.
+func (d Degenerate) String() string {
+	return fmt.Sprintf("Degenerate(%g)", d.Value)
+}

@@ -1,0 +1,102 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+)
+
+// ErrNoSamples reports an attempt to build an empirical distribution from an
+// empty sample set.
+var ErrNoSamples = errors.New("dist: empirical distribution needs at least one sample")
+
+// Empirical is the empirical distribution of a recorded sample set — the
+// "recorded" curves in the paper's Fig. 5 and the observed latency CDFs in
+// the evaluation. It owns a sorted copy of the samples.
+type Empirical struct {
+	sorted []float64
+	mean   float64
+	m2     float64 // second moment
+}
+
+// NewEmpirical builds an empirical distribution from samples.
+func NewEmpirical(samples []float64) (*Empirical, error) {
+	if len(samples) == 0 {
+		return nil, ErrNoSamples
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	var sum, sum2 float64
+	for _, v := range s {
+		sum += v
+		sum2 += v * v
+	}
+	n := float64(len(s))
+	return &Empirical{sorted: s, mean: sum / n, m2: sum2 / n}, nil
+}
+
+// Len returns the number of samples.
+func (e *Empirical) Len() int { return len(e.sorted) }
+
+// Sorted returns the sorted samples (treat as read-only).
+func (e *Empirical) Sorted() []float64 { return e.sorted }
+
+// Mean implements Distribution.
+func (e *Empirical) Mean() float64 { return e.mean }
+
+// Variance implements Distribution.
+func (e *Empirical) Variance() float64 { return e.m2 - e.mean*e.mean }
+
+// CDF implements Distribution: the right-continuous step function
+// #(samples <= x)/n.
+func (e *Empirical) CDF(x float64) float64 {
+	idx := sort.SearchFloat64s(e.sorted, x)
+	// SearchFloat64s returns the first index with sorted[i] >= x; advance
+	// over equal values to count samples <= x.
+	for idx < len(e.sorted) && e.sorted[idx] == x {
+		idx++
+	}
+	return float64(idx) / float64(len(e.sorted))
+}
+
+// Quantile implements Distribution (type-1 / inverse-CDF quantile).
+func (e *Empirical) Quantile(p float64) float64 {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	if p == 0 {
+		return e.sorted[0]
+	}
+	idx := int(math.Ceil(p*float64(len(e.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(e.sorted) {
+		idx = len(e.sorted) - 1
+	}
+	return e.sorted[idx]
+}
+
+// Sample implements Distribution (bootstrap resampling).
+func (e *Empirical) Sample(rng *rand.Rand) float64 {
+	return e.sorted[rng.Intn(len(e.sorted))]
+}
+
+// LST implements Distribution: (1/n) Σ e^{-s·x_i}.
+func (e *Empirical) LST(s complex128) complex128 {
+	var total complex128
+	for _, v := range e.sorted {
+		total += cmplx.Exp(-s * complex(v, 0))
+	}
+	return total / complex(float64(len(e.sorted)), 0)
+}
+
+// String implements Distribution.
+func (e *Empirical) String() string {
+	return fmt.Sprintf("Empirical(n=%d, mean=%g)", len(e.sorted), e.mean)
+}
+
+var _ Distribution = (*Empirical)(nil)

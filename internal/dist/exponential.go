@@ -1,0 +1,58 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Exponential is the exponential distribution with the given Rate (λ).
+type Exponential struct {
+	Rate float64
+}
+
+// NewExponentialMean returns an Exponential with the given mean.
+func NewExponentialMean(mean float64) Exponential {
+	return Exponential{Rate: 1 / mean}
+}
+
+// Mean implements Distribution.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+// Variance implements Distribution.
+func (e Exponential) Variance() float64 { return 1 / (e.Rate * e.Rate) }
+
+// CDF implements Distribution.
+func (e Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-e.Rate * x)
+}
+
+// Quantile implements Distribution.
+func (e Exponential) Quantile(p float64) float64 {
+	switch {
+	case p < 0 || p > 1 || math.IsNaN(p):
+		return math.NaN()
+	case p == 1:
+		return math.Inf(1)
+	}
+	return -math.Log1p(-p) / e.Rate
+}
+
+// Sample implements Distribution.
+func (e Exponential) Sample(rng *rand.Rand) float64 {
+	return rng.ExpFloat64() / e.Rate
+}
+
+// LST implements Distribution: λ/(s+λ).
+func (e Exponential) LST(s complex128) complex128 {
+	l := complex(e.Rate, 0)
+	return l / (s + l)
+}
+
+// String implements Distribution.
+func (e Exponential) String() string {
+	return fmt.Sprintf("Exponential(rate=%g)", e.Rate)
+}

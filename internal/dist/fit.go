@@ -1,0 +1,184 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"cosmodel/internal/numeric"
+)
+
+// ErrFit reports that a fitting routine was given unusable data.
+var ErrFit = errors.New("dist: cannot fit distribution to the given samples")
+
+// FitDegenerate fits a point mass (the sample mean).
+func FitDegenerate(samples []float64) (Degenerate, error) {
+	if len(samples) == 0 {
+		return Degenerate{}, ErrFit
+	}
+	m, _ := meanVar(samples)
+	return Degenerate{Value: m}, nil
+}
+
+// FitExponential fits an exponential by maximum likelihood (rate = 1/mean).
+func FitExponential(samples []float64) (Exponential, error) {
+	if len(samples) == 0 {
+		return Exponential{}, ErrFit
+	}
+	m, _ := meanVar(samples)
+	if m <= 0 {
+		return Exponential{}, ErrFit
+	}
+	return Exponential{Rate: 1 / m}, nil
+}
+
+// FitNormal fits a normal by maximum likelihood.
+func FitNormal(samples []float64) (Normal, error) {
+	if len(samples) < 2 {
+		return Normal{}, ErrFit
+	}
+	m, v := meanVar(samples)
+	if v <= 0 {
+		return Normal{}, ErrFit
+	}
+	return Normal{Mu: m, Sigma: math.Sqrt(v)}, nil
+}
+
+// FitGamma fits a Gamma distribution by maximum likelihood: a method-of-
+// moments start refined by Newton iterations on the MLE equation
+// ln(k) - ψ(k) = ln(mean) - mean(log x). This is the calibration step behind
+// the paper's Fig. 5.
+func FitGamma(samples []float64) (Gamma, error) {
+	if len(samples) < 2 {
+		return Gamma{}, ErrFit
+	}
+	m, v := meanVar(samples)
+	if m <= 0 || v <= 0 {
+		return Gamma{}, ErrFit
+	}
+	var logSum float64
+	n := 0
+	for _, x := range samples {
+		if x <= 0 {
+			continue // Gamma support is positive; skip zeros from cache hits
+		}
+		logSum += math.Log(x)
+		n++
+	}
+	if n < 2 {
+		return Gamma{}, ErrFit
+	}
+	s := math.Log(m) - logSum/float64(n)
+	k := m * m / v // method-of-moments start
+	if s > 0 {
+		// Standard closed-form start for the MLE equation.
+		k = (3 - s + math.Sqrt((s-3)*(s-3)+24*s)) / (12 * s)
+	}
+	if k <= 0 || math.IsNaN(k) || math.IsInf(k, 0) {
+		k = 1
+	}
+	for i := 0; i < 50; i++ {
+		f := math.Log(k) - numeric.Digamma(k) - s
+		df := 1/k - numeric.Trigamma(k)
+		next := k - f/df
+		if next <= 0 || math.IsNaN(next) {
+			break
+		}
+		if math.Abs(next-k) < 1e-12*k {
+			k = next
+			break
+		}
+		k = next
+	}
+	return Gamma{Shape: k, Rate: k / m}, nil
+}
+
+// FitLognormal fits a lognormal by maximum likelihood on log-samples.
+func FitLognormal(samples []float64) (Lognormal, error) {
+	logs := make([]float64, 0, len(samples))
+	for _, x := range samples {
+		if x > 0 {
+			logs = append(logs, math.Log(x))
+		}
+	}
+	if len(logs) < 2 {
+		return Lognormal{}, ErrFit
+	}
+	m, v := meanVar(logs)
+	if v <= 0 {
+		return Lognormal{}, ErrFit
+	}
+	return Lognormal{Mu: m, Sigma: math.Sqrt(v)}, nil
+}
+
+// KolmogorovSmirnov returns the K-S statistic sup_x |F_n(x) - F(x)| between
+// the samples' empirical CDF and the candidate distribution.
+func KolmogorovSmirnov(samples []float64, d Distribution) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	n := float64(len(s))
+	maxDev := 0.0
+	for i, x := range s {
+		f := d.CDF(x)
+		lo := float64(i) / n
+		hi := float64(i+1) / n
+		if dev := math.Abs(f - lo); dev > maxDev {
+			maxDev = dev
+		}
+		if dev := math.Abs(f - hi); dev > maxDev {
+			maxDev = dev
+		}
+	}
+	return maxDev
+}
+
+// FitResult is one candidate from FitBest.
+type FitResult struct {
+	Name string
+	Dist Distribution
+	KS   float64
+}
+
+// FitBest fits the paper's four candidate families (Exponential, Degenerate,
+// Normal, Gamma) and ranks them by K-S statistic, best first. Families that
+// fail to fit are skipped.
+func FitBest(samples []float64) ([]FitResult, error) {
+	if len(samples) == 0 {
+		return nil, ErrFit
+	}
+	var results []FitResult
+	if d, err := FitExponential(samples); err == nil {
+		results = append(results, FitResult{"exponential", d, KolmogorovSmirnov(samples, d)})
+	}
+	if d, err := FitDegenerate(samples); err == nil {
+		results = append(results, FitResult{"degenerate", d, KolmogorovSmirnov(samples, d)})
+	}
+	if d, err := FitNormal(samples); err == nil {
+		results = append(results, FitResult{"normal", d, KolmogorovSmirnov(samples, d)})
+	}
+	if d, err := FitGamma(samples); err == nil {
+		results = append(results, FitResult{"gamma", d, KolmogorovSmirnov(samples, d)})
+	}
+	if len(results) == 0 {
+		return nil, ErrFit
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].KS < results[j].KS })
+	return results, nil
+}
+
+func meanVar(samples []float64) (mean, variance float64) {
+	n := float64(len(samples))
+	for _, v := range samples {
+		mean += v
+	}
+	mean /= n
+	for _, v := range samples {
+		d := v - mean
+		variance += d * d
+	}
+	variance /= n
+	return mean, variance
+}

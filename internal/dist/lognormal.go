@@ -1,0 +1,86 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"cosmodel/internal/numeric"
+)
+
+// Lognormal is the lognormal distribution: log X ~ Normal(Mu, Sigma²). It is
+// used for synthetic object sizes (the Wikipedia media objects are small and
+// heavily right-skewed). Its LST has no closed form and is evaluated by
+// numerical integration; the model itself never needs it on the hot path.
+type Lognormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// NewLognormalMeanMedian returns a Lognormal with the given mean and median
+// (mean > median > 0 required): median = e^μ, mean = e^{μ+σ²/2}.
+func NewLognormalMeanMedian(mean, median float64) Lognormal {
+	mu := math.Log(median)
+	sigma := math.Sqrt(2 * (math.Log(mean) - mu))
+	return Lognormal{Mu: mu, Sigma: sigma}
+}
+
+// Mean implements Distribution.
+func (l Lognormal) Mean() float64 {
+	return math.Exp(l.Mu + l.Sigma*l.Sigma/2)
+}
+
+// Variance implements Distribution.
+func (l Lognormal) Variance() float64 {
+	s2 := l.Sigma * l.Sigma
+	return (math.Exp(s2) - 1) * math.Exp(2*l.Mu+s2)
+}
+
+// CDF implements Distribution.
+func (l Lognormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return numeric.NormalCDF((math.Log(x) - l.Mu) / l.Sigma)
+}
+
+// Quantile implements Distribution.
+func (l Lognormal) Quantile(p float64) float64 {
+	switch {
+	case p < 0 || p > 1 || math.IsNaN(p):
+		return math.NaN()
+	case p == 0:
+		return 0
+	case p == 1:
+		return math.Inf(1)
+	}
+	return math.Exp(l.Mu + l.Sigma*numeric.NormalQuantile(p))
+}
+
+// Sample implements Distribution.
+func (l Lognormal) Sample(rng *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+}
+
+// LST implements Distribution by numerical integration of
+// ∫ e^{-sx} dF(x) over the quantile-transformed unit interval.
+func (l Lognormal) LST(s complex128) complex128 {
+	// Substitute x = Quantile(u): E[e^{-sX}] = ∫_0^1 e^{-s q(u)} du.
+	re := numeric.IntegrateAdaptive(func(u float64) float64 {
+		q := l.Quantile(u)
+		return real(cmplx.Exp(-s * complex(q, 0)))
+	}, 1e-9, 1-1e-9, 1e-9)
+	im := numeric.IntegrateAdaptive(func(u float64) float64 {
+		q := l.Quantile(u)
+		return imag(cmplx.Exp(-s * complex(q, 0)))
+	}, 1e-9, 1-1e-9, 1e-9)
+	return complex(re, im)
+}
+
+// String implements Distribution.
+func (l Lognormal) String() string {
+	return fmt.Sprintf("Lognormal(mu=%g, sigma=%g)", l.Mu, l.Sigma)
+}
+
+var _ Distribution = Lognormal{}

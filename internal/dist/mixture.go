@@ -1,0 +1,149 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// ErrBadMixture reports invalid mixture construction arguments.
+var ErrBadMixture = errors.New("dist: mixture needs matching components and nonnegative weights summing to > 0")
+
+// Mixture is a finite probability mixture of component distributions. The
+// paper's cache-aware per-operation latencies are exactly two-component
+// mixtures: disk latency with probability m (the miss ratio) and δ(0) with
+// probability 1-m.
+type Mixture struct {
+	components []Distribution
+	weights    []float64 // normalized, same length as components
+	cum        []float64 // cumulative weights for sampling
+}
+
+// NewMixture builds a mixture from components and (unnormalized) weights.
+func NewMixture(components []Distribution, weights []float64) (*Mixture, error) {
+	if len(components) == 0 || len(components) != len(weights) {
+		return nil, ErrBadMixture
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, ErrBadMixture
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, ErrBadMixture
+	}
+	m := &Mixture{
+		components: append([]Distribution(nil), components...),
+		weights:    make([]float64, len(weights)),
+		cum:        make([]float64, len(weights)),
+	}
+	acc := 0.0
+	for i, w := range weights {
+		m.weights[i] = w / total
+		acc += w / total
+		m.cum[i] = acc
+	}
+	return m, nil
+}
+
+// HitOrMiss builds the paper's two-point operation latency: with probability
+// miss the latency is drawn from disk, otherwise it is 0 (memory hit).
+// index(t) = indexd(t)·m + δ(t)·(1-m) in the paper's notation.
+func HitOrMiss(disk Distribution, miss float64) (*Mixture, error) {
+	if miss < 0 || miss > 1 || math.IsNaN(miss) {
+		return nil, fmt.Errorf("dist: miss ratio %v outside [0,1]: %w", miss, ErrBadMixture)
+	}
+	return NewMixture(
+		[]Distribution{disk, Degenerate{Value: 0}},
+		[]float64{miss, 1 - miss},
+	)
+}
+
+// Components returns the component distributions (not a copy; treat as
+// read-only).
+func (m *Mixture) Components() []Distribution { return m.components }
+
+// Weights returns the normalized weights (treat as read-only).
+func (m *Mixture) Weights() []float64 { return m.weights }
+
+// Mean implements Distribution.
+func (m *Mixture) Mean() float64 {
+	total := 0.0
+	for i, c := range m.components {
+		total += m.weights[i] * c.Mean()
+	}
+	return total
+}
+
+// Variance implements Distribution (law of total variance).
+func (m *Mixture) Variance() float64 {
+	mean := m.Mean()
+	total := 0.0
+	for i, c := range m.components {
+		cm := c.Mean()
+		total += m.weights[i] * (c.Variance() + (cm-mean)*(cm-mean))
+	}
+	return total
+}
+
+// CDF implements Distribution.
+func (m *Mixture) CDF(x float64) float64 {
+	total := 0.0
+	for i, c := range m.components {
+		total += m.weights[i] * c.CDF(x)
+	}
+	return total
+}
+
+// Quantile implements Distribution (numeric inversion).
+func (m *Mixture) Quantile(p float64) float64 {
+	switch {
+	case p < 0 || p > 1 || math.IsNaN(p):
+		return math.NaN()
+	case p == 0:
+		return 0
+	case p == 1:
+		return math.Inf(1)
+	}
+	return quantileByBisection(m.CDF, m.Mean(), StdDev(m), p)
+}
+
+// Sample implements Distribution.
+func (m *Mixture) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	for i, c := range m.cum {
+		if u <= c {
+			return m.components[i].Sample(rng)
+		}
+	}
+	return m.components[len(m.components)-1].Sample(rng)
+}
+
+// LST implements Distribution: the weighted sum of component LSTs.
+func (m *Mixture) LST(s complex128) complex128 {
+	var total complex128
+	for i, c := range m.components {
+		total += complex(m.weights[i], 0) * c.LST(s)
+	}
+	return total
+}
+
+// String implements Distribution.
+func (m *Mixture) String() string {
+	var b strings.Builder
+	b.WriteString("Mixture(")
+	for i, c := range m.components {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%.4g×%s", m.weights[i], c)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+var _ Distribution = (*Mixture)(nil)

@@ -1,0 +1,130 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMixtureValidation(t *testing.T) {
+	g := Gamma{Shape: 2, Rate: 1}
+	cases := []struct {
+		comps   []Distribution
+		weights []float64
+	}{
+		{nil, nil},
+		{[]Distribution{g}, []float64{1, 2}},
+		{[]Distribution{g}, []float64{-1}},
+		{[]Distribution{g, g}, []float64{0, 0}},
+		{[]Distribution{g}, []float64{math.NaN()}},
+	}
+	for i, c := range cases {
+		if _, err := NewMixture(c.comps, c.weights); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestMixtureNormalizesWeights(t *testing.T) {
+	m, err := NewMixture(
+		[]Distribution{Degenerate{Value: 1}, Degenerate{Value: 3}},
+		[]float64{2, 6},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := m.Weights(); math.Abs(w[0]-0.25) > 1e-15 || math.Abs(w[1]-0.75) > 1e-15 {
+		t.Errorf("weights = %v", w)
+	}
+	if got := m.Mean(); math.Abs(got-2.5) > 1e-15 {
+		t.Errorf("mean = %v, want 2.5", got)
+	}
+}
+
+func TestMixtureVarianceTotalLaw(t *testing.T) {
+	// Two degenerate components: variance is purely between-component.
+	m, err := NewMixture(
+		[]Distribution{Degenerate{Value: 0}, Degenerate{Value: 10}},
+		[]float64{0.5, 0.5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Variance(); math.Abs(got-25) > 1e-12 {
+		t.Errorf("variance = %v, want 25", got)
+	}
+}
+
+func TestHitOrMiss(t *testing.T) {
+	disk := Gamma{Shape: 2, Rate: 100} // mean 0.02
+	m, err := HitOrMiss(disk, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Mean(); math.Abs(got-0.005) > 1e-15 {
+		t.Errorf("mean = %v, want 0.005", got)
+	}
+	// CDF has an atom of size 0.75 at zero.
+	if got := m.CDF(0); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("CDF(0) = %v, want 0.75", got)
+	}
+	if _, err := HitOrMiss(disk, 1.5); err == nil {
+		t.Error("miss ratio > 1 should fail")
+	}
+	if _, err := HitOrMiss(disk, -0.1); err == nil {
+		t.Error("negative miss ratio should fail")
+	}
+}
+
+func TestHitOrMissCDFProperty(t *testing.T) {
+	disk := Gamma{Shape: 2, Rate: 100}
+	f := func(rawMiss, rawX float64) bool {
+		miss := math.Mod(math.Abs(rawMiss), 1)
+		x := math.Mod(math.Abs(rawX), 0.2)
+		m, err := HitOrMiss(disk, miss)
+		if err != nil {
+			return false
+		}
+		want := (1 - miss) + miss*disk.CDF(x)
+		return math.Abs(m.CDF(x)-want) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMixtureSamplingProportions(t *testing.T) {
+	m, err := NewMixture(
+		[]Distribution{Degenerate{Value: 1}, Degenerate{Value: 2}},
+		[]float64{0.3, 0.7},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	n1 := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if m.Sample(rng) == 1 {
+			n1++
+		}
+	}
+	if frac := float64(n1) / n; math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("component-1 fraction = %v, want ~0.3", frac)
+	}
+}
+
+func TestMixtureLSTIsWeightedSum(t *testing.T) {
+	a := Exponential{Rate: 3}
+	b := Gamma{Shape: 2, Rate: 5}
+	m, err := NewMixture([]Distribution{a, b}, []float64{0.4, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := complex(1.5, 2.5)
+	want := complex(0.4, 0)*a.LST(s) + complex(0.6, 0)*b.LST(s)
+	if got := m.LST(s); math.Abs(real(got-want)) > 1e-14 || math.Abs(imag(got-want)) > 1e-14 {
+		t.Errorf("LST = %v, want %v", got, want)
+	}
+}

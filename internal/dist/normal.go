@@ -1,0 +1,58 @@
+package dist
+
+import (
+	"fmt"
+	"math/cmplx"
+	"math/rand"
+
+	"cosmodel/internal/numeric"
+)
+
+// Normal is the normal distribution with mean Mu and standard deviation
+// Sigma. It participates in the calibration step as a candidate fit for disk
+// service times (the paper tests Exponential, Degenerate, Normal and Gamma
+// and finds Gamma best). Its bilateral transform e^{-sμ + s²σ²/2} is exact
+// but, unlike the nonnegative distributions, does not correspond to a
+// nonnegative random variable.
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// Mean implements Distribution.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// Variance implements Distribution.
+func (n Normal) Variance() float64 { return n.Sigma * n.Sigma }
+
+// CDF implements Distribution.
+func (n Normal) CDF(x float64) float64 {
+	return numeric.NormalCDF((x - n.Mu) / n.Sigma)
+}
+
+// Quantile implements Distribution.
+func (n Normal) Quantile(p float64) float64 {
+	return n.Mu + n.Sigma*numeric.NormalQuantile(p)
+}
+
+// Sample implements Distribution.
+func (n Normal) Sample(rng *rand.Rand) float64 {
+	return n.Mu + n.Sigma*rng.NormFloat64()
+}
+
+// LST implements Distribution (bilateral transform).
+func (n Normal) LST(s complex128) complex128 {
+	return cmplx.Exp(-s*complex(n.Mu, 0) + s*s*complex(n.Sigma*n.Sigma/2, 0))
+}
+
+// String implements Distribution.
+func (n Normal) String() string {
+	return fmt.Sprintf("Normal(mu=%g, sigma=%g)", n.Mu, n.Sigma)
+}
+
+var (
+	_ Distribution = Normal{}
+	_ Distribution = Gamma{}
+	_ Distribution = Exponential{}
+	_ Distribution = Degenerate{}
+)

@@ -1,0 +1,36 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// FitPhaseType returns a phase-type distribution matching the given mean
+// and squared coefficient of variation, using the standard two-moment
+// recipe from queueing practice:
+//
+//   - scv == 1 → Exponential
+//   - scv  < 1 → Erlang with k = ceil(1/scv) stages, then a Gamma with the
+//     exact scv when 1/scv is not an integer (the generalized Erlang)
+//   - scv  > 1 → balanced two-branch hyperexponential (H2)
+//
+// The result always matches the mean exactly and the scv exactly (Gamma and
+// H2 branches) or exactly when 1/scv is integral (Erlang branch).
+func FitPhaseType(mean, scv float64) (Distribution, error) {
+	switch {
+	case mean <= 0 || math.IsNaN(mean) || math.IsInf(mean, 0):
+		return nil, fmt.Errorf("%w: mean %v", ErrFit, mean)
+	case scv <= 0 || math.IsNaN(scv) || math.IsInf(scv, 0):
+		return nil, fmt.Errorf("%w: scv %v", ErrFit, scv)
+	case math.Abs(scv-1) < 1e-12:
+		return Exponential{Rate: 1 / mean}, nil
+	case scv > 1:
+		return NewHyperExpMeanSCV(mean, scv)
+	}
+	// scv < 1: Erlang if 1/scv is (nearly) integral, else Gamma.
+	k := 1 / scv
+	if rounded := math.Round(k); math.Abs(k-rounded) < 1e-9 {
+		return Erlang{K: int(rounded), Rate: rounded / mean}, nil
+	}
+	return NewGammaMeanSCV(mean, scv), nil
+}

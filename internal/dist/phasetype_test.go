@@ -1,0 +1,78 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitPhaseTypeBranches(t *testing.T) {
+	// scv == 1: exponential.
+	d, err := FitPhaseType(0.02, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.(Exponential); !ok {
+		t.Errorf("scv=1 gave %T", d)
+	}
+	// scv = 0.25: Erlang-4.
+	d, err = FitPhaseType(0.02, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := d.(Erlang); !ok || e.K != 4 {
+		t.Errorf("scv=0.25 gave %v", d)
+	}
+	// scv = 0.3: generalized (Gamma).
+	d, err = FitPhaseType(0.02, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.(Gamma); !ok {
+		t.Errorf("scv=0.3 gave %T", d)
+	}
+	// scv = 3: H2.
+	d, err = FitPhaseType(0.02, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.(*HyperExp); !ok {
+		t.Errorf("scv=3 gave %T", d)
+	}
+}
+
+func TestFitPhaseTypeValidation(t *testing.T) {
+	for _, c := range []struct{ mean, scv float64 }{
+		{0, 1}, {-1, 1}, {1, 0}, {1, -2},
+		{math.NaN(), 1}, {1, math.NaN()}, {math.Inf(1), 1},
+	} {
+		if _, err := FitPhaseType(c.mean, c.scv); err == nil {
+			t.Errorf("mean=%v scv=%v should fail", c.mean, c.scv)
+		}
+	}
+}
+
+// TestFitPhaseTypeMomentsProperty: mean always exact, scv exact across the
+// whole range.
+func TestFitPhaseTypeMomentsProperty(t *testing.T) {
+	f := func(rawMean, rawSCV uint16) bool {
+		mean := 0.001 + float64(rawMean%1000)/1000
+		scv := 0.05 + float64(rawSCV%100)/10 // 0.05 .. 10.05
+		d, err := FitPhaseType(mean, scv)
+		if err != nil {
+			return false
+		}
+		if math.Abs(d.Mean()-mean)/mean > 1e-9 {
+			return false
+		}
+		gotSCV := SCV(d)
+		if _, isErlang := d.(Erlang); isErlang {
+			// Erlang matches 1/k, the nearest stage count.
+			return gotSCV <= 1
+		}
+		return math.Abs(gotSCV-scv)/scv < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

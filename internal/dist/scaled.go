@@ -1,0 +1,72 @@
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Scaled is the distribution of c·X for a base distribution of X and scale
+// factor c > 0. The model uses it to rescale calibrated disk service-time
+// distributions to the online-measured mean while preserving shape
+// (Section IV-B of the paper: the proportion of per-operation service times
+// is assumed stable while the overall disk service time fluctuates).
+type Scaled struct {
+	Base  Distribution
+	Scale float64
+}
+
+// ScaleToMean rescales d so that its mean becomes mean. A Gamma base is
+// rescaled exactly in its own parameterization (rate division) to keep LST
+// evaluation cheap; other distributions are wrapped.
+func ScaleToMean(d Distribution, mean float64) Distribution {
+	m := d.Mean()
+	if m <= 0 || mean <= 0 {
+		return d
+	}
+	return ScaleBy(d, mean/m)
+}
+
+// ScaleBy returns the distribution of factor·X.
+func ScaleBy(d Distribution, factor float64) Distribution {
+	if factor == 1 {
+		return d
+	}
+	switch t := d.(type) {
+	case Gamma:
+		return Gamma{Shape: t.Shape, Rate: t.Rate / factor}
+	case Exponential:
+		return Exponential{Rate: t.Rate / factor}
+	case Degenerate:
+		return Degenerate{Value: t.Value * factor}
+	case Scaled:
+		return Scaled{Base: t.Base, Scale: t.Scale * factor}
+	}
+	return Scaled{Base: d, Scale: factor}
+}
+
+// Mean implements Distribution.
+func (s Scaled) Mean() float64 { return s.Scale * s.Base.Mean() }
+
+// Variance implements Distribution.
+func (s Scaled) Variance() float64 { return s.Scale * s.Scale * s.Base.Variance() }
+
+// CDF implements Distribution.
+func (s Scaled) CDF(x float64) float64 { return s.Base.CDF(x / s.Scale) }
+
+// Quantile implements Distribution.
+func (s Scaled) Quantile(p float64) float64 { return s.Scale * s.Base.Quantile(p) }
+
+// Sample implements Distribution.
+func (s Scaled) Sample(rng *rand.Rand) float64 { return s.Scale * s.Base.Sample(rng) }
+
+// LST implements Distribution: E[e^{-s·cX}] = LST_X(c·s).
+func (s Scaled) LST(z complex128) complex128 {
+	return s.Base.LST(z * complex(s.Scale, 0))
+}
+
+// String implements Distribution.
+func (s Scaled) String() string {
+	return fmt.Sprintf("Scaled(%g × %s)", s.Scale, s.Base)
+}
+
+var _ Distribution = Scaled{}

@@ -1,0 +1,70 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// Uniform is the continuous uniform distribution on [Lo, Hi].
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// Mean implements Distribution.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// Variance implements Distribution.
+func (u Uniform) Variance() float64 {
+	w := u.Hi - u.Lo
+	return w * w / 12
+}
+
+// CDF implements Distribution.
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= u.Lo:
+		return 0
+	case x >= u.Hi:
+		return 1
+	}
+	return (x - u.Lo) / (u.Hi - u.Lo)
+}
+
+// Quantile implements Distribution.
+func (u Uniform) Quantile(p float64) float64 {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	return u.Lo + p*(u.Hi-u.Lo)
+}
+
+// Sample implements Distribution.
+func (u Uniform) Sample(rng *rand.Rand) float64 {
+	return u.Lo + rng.Float64()*(u.Hi-u.Lo)
+}
+
+// LST implements Distribution. The textbook form
+// (e^{-s·Lo} - e^{-s·Hi}) / (s (Hi-Lo)) cancels catastrophically for small
+// |s|, so it is evaluated as e^{-s·mid} · sinh(z)/z with z = s·width/2 and a
+// Taylor series near z = 0.
+func (u Uniform) LST(s complex128) complex128 {
+	mid := complex((u.Lo+u.Hi)/2, 0)
+	z := s * complex((u.Hi-u.Lo)/2, 0)
+	var sinhc complex128
+	if cmplx.Abs(z) < 1e-3 {
+		z2 := z * z
+		sinhc = 1 + z2/6 + z2*z2/120
+	} else {
+		sinhc = cmplx.Sinh(z) / z
+	}
+	return cmplx.Exp(-s*mid) * sinhc
+}
+
+// String implements Distribution.
+func (u Uniform) String() string {
+	return fmt.Sprintf("Uniform(%g, %g)", u.Lo, u.Hi)
+}
+
+var _ Distribution = Uniform{}

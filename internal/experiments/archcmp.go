@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"cosmodel/internal/benchkit"
+	"cosmodel/internal/simstore"
+	"cosmodel/internal/trace"
+)
+
+// ArchComparisonConfig parameterizes the event-driven vs thread-per-
+// connection comparison (the claim the paper cites from [22] to justify
+// modeling the event-driven architecture: better throughput and tail
+// latency under high concurrency).
+type ArchComparisonConfig struct {
+	Sim            simstore.Config // base; Architecture is overridden per run
+	CatalogObjects int
+	ZipfS          float64
+	Rates          []float64
+	StepDur        float64
+	Discard        float64
+	Seed           int64
+}
+
+// DefaultArchComparison compares the two architectures with matched
+// concurrency resources (threads per disk = event-loop processes per
+// disk = 1). The contrast is sharpest with scarce workers: the event loop
+// interleaves network transmissions while a blocking thread holds its
+// worker through them.
+func DefaultArchComparison() ArchComparisonConfig {
+	cfg := simstore.DefaultConfig()
+	cfg.ProcsPerDisk = 1
+	cfg.MaxThreadsPerDisk = 1
+	return ArchComparisonConfig{
+		Sim:            cfg,
+		CatalogObjects: 100000,
+		ZipfS:          1.05,
+		Rates:          []float64{100, 200, 300, 400},
+		StepDur:        25,
+		Discard:        5,
+		Seed:           3,
+	}
+}
+
+// ArchPoint is one (architecture, rate) measurement.
+type ArchPoint struct {
+	Rate         float64
+	MeanLatency  float64
+	P99, P999    float64
+	MeetFraction []float64 // per SLA
+	Responses    uint64
+}
+
+// ArchComparisonResult holds both sweeps.
+type ArchComparisonResult struct {
+	SLAs        []float64
+	EventDriven []ArchPoint
+	ThreadPer   []ArchPoint
+}
+
+// RunArchComparison drives the same workload through both architectures.
+func RunArchComparison(cfg ArchComparisonConfig) (*ArchComparisonResult, error) {
+	if len(cfg.Rates) == 0 || cfg.StepDur <= cfg.Discard {
+		return nil, fmt.Errorf("experiments: bad architecture comparison config")
+	}
+	res := &ArchComparisonResult{SLAs: append([]float64(nil), cfg.Sim.SLAs...)}
+	for _, arch := range []simstore.Architecture{simstore.EventDriven, simstore.ThreadPerConnection} {
+		points, err := runArchSweep(cfg, arch)
+		if err != nil {
+			return nil, err
+		}
+		if arch == simstore.EventDriven {
+			res.EventDriven = points
+		} else {
+			res.ThreadPer = points
+		}
+	}
+	return res, nil
+}
+
+func runArchSweep(cfg ArchComparisonConfig, arch simstore.Architecture) ([]ArchPoint, error) {
+	sim := cfg.Sim
+	sim.Architecture = arch
+	catalog, err := trace.NewCatalog(cfg.CatalogObjects, trace.WikipediaLikeSizes(), cfg.ZipfS, 1, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := simstore.New(sim)
+	if err != nil {
+		return nil, err
+	}
+	if err := cluster.PrewarmCaches(catalog, 0.95); err != nil {
+		return nil, err
+	}
+	var points []ArchPoint
+	now := 0.0
+	for i, rate := range cfg.Rates {
+		recs, err := trace.Generate(catalog, trace.Schedule{{Rate: rate, Duration: cfg.StepDur, Label: "step"}}, cfg.Seed+int64(i)+1)
+		if err != nil {
+			return nil, err
+		}
+		for j := range recs {
+			recs[j].At += now
+		}
+		cluster.Inject(recs)
+		now += cfg.StepDur
+		cluster.RunUntil(now - cfg.StepDur + cfg.Discard)
+		before := cluster.Snapshot()
+		cluster.RunUntil(now)
+		win := cluster.Window(before, cluster.Snapshot())
+		pt := ArchPoint{
+			Rate:         rate,
+			MeanLatency:  win.MeanLatency,
+			MeetFraction: append([]float64(nil), win.MeetFraction...),
+			Responses:    win.Responses,
+		}
+		if win.Latency != nil {
+			pt.P99 = win.Latency.Quantile(0.99)
+			pt.P999 = win.Latency.Quantile(0.999)
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// Render writes the comparison table.
+func (r *ArchComparisonResult) Render(w io.Writer) error {
+	fmt.Fprintln(w, "Architecture comparison: event-driven vs thread-per-connection (matched concurrency)")
+	tab := benchkit.NewTable("rate", "arch", "mean ms", "p99 ms", "p99.9 ms", "P(<=50ms)")
+	slaIdx := 0
+	for i, sla := range r.SLAs {
+		if sla == 0.050 {
+			slaIdx = i
+		}
+	}
+	for i := range r.EventDriven {
+		ed, tp := r.EventDriven[i], r.ThreadPer[i]
+		tab.AddRow(ed.Rate, "event-driven", ed.MeanLatency*1e3, ed.P99*1e3, ed.P999*1e3, ed.MeetFraction[slaIdx])
+		tab.AddRow(tp.Rate, "thread-per-conn", tp.MeanLatency*1e3, tp.P99*1e3, tp.P999*1e3, tp.MeetFraction[slaIdx])
+	}
+	return tab.Render(w)
+}

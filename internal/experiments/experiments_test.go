@@ -1,0 +1,408 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cosmodel/internal/core"
+)
+
+// smallS1 is a scaled-down S1 sweep for tests: fewer, shorter steps at
+// moderate load.
+func smallS1() ScenarioConfig {
+	sc := DefaultS1()
+	sc.CatalogObjects = 60000
+	sc.WarmRate, sc.WarmDur = 100, 20
+	sc.RateStart, sc.RateEnd, sc.RateStep = 60, 300, 60
+	sc.StepDur, sc.StepDiscard = 10, 3
+	sc.CalibrationOps = 1500
+	return sc
+}
+
+func smallS16() ScenarioConfig {
+	sc := smallS1()
+	sc.Name = "S16"
+	sc.Sim.ProcsPerDisk = 16
+	sc.RateStart, sc.RateEnd, sc.RateStep = 80, 400, 80
+	sc.Seed = 2
+	return sc
+}
+
+func runSmallS1(t *testing.T) *ScenarioResult {
+	t.Helper()
+	res, err := RunScenario(smallS1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestScenarioS1ShapeMatchesPaper(t *testing.T) {
+	res := runSmallS1(t)
+	if res.AnalyzedSteps() < 4 {
+		t.Fatalf("only %d analyzed steps", res.AnalyzedSteps())
+	}
+	first := res.Steps[0]
+	last := res.Steps[len(res.Steps)-1]
+	// Percentiles meeting the tight 10ms SLA degrade with load.
+	if last.Observed[0] >= first.Observed[0] {
+		t.Errorf("10ms percentile did not degrade: %v -> %v", first.Observed[0], last.Observed[0])
+	}
+	for _, st := range res.Steps {
+		if st.Skipped {
+			continue
+		}
+		for i := range res.SLAs {
+			for _, v := range []float64{st.Observed[i], st.Our[i], st.ODOPR[i], st.NoWTA[i]} {
+				if v < -1e-9 || v > 1+1e-9 || math.IsNaN(v) {
+					t.Fatalf("rate %v SLA %d: value %v outside [0,1]", st.Rate, i, v)
+				}
+			}
+		}
+		// Percentile meeting a looser SLA can only be higher.
+		if st.Observed[0] > st.Observed[1]+1e-9 || st.Observed[1] > st.Observed[2]+1e-9 {
+			t.Errorf("rate %v: observed percentiles not monotone in SLA: %v", st.Rate, st.Observed)
+		}
+		if st.Our[0] > st.Our[1]+1e-9 || st.Our[1] > st.Our[2]+1e-9 {
+			t.Errorf("rate %v: predicted percentiles not monotone in SLA: %v", st.Rate, st.Our)
+		}
+	}
+}
+
+func TestOurModelBeatsODOPR(t *testing.T) {
+	res := runSmallS1(t)
+	// The union-operation abstraction is the paper's headline win over
+	// ODOPR: wherever the percentile has headroom (the 10ms and 50ms
+	// SLAs in this small sweep; at 100ms everything sits at ~1.0 and the
+	// models are indistinguishable), ODOPR — which ignores
+	// index/meta/extra-read disk traffic — must be clearly worse.
+	for _, i := range []int{0, 1} {
+		our := res.ErrorSummary(i, "our").Mean
+		odopr := res.ErrorSummary(i, "odopr").Mean
+		if !(odopr > our) {
+			t.Errorf("SLA %d: ODOPR mean error %v not worse than ours %v", i, odopr, our)
+		}
+	}
+}
+
+func TestOurModelBeatsNoWTAAtLooseSLAs(t *testing.T) {
+	res := runSmallS1(t)
+	// Paper Table II: modeling the WTA helps at the 50ms and 100ms SLAs
+	// (the 10ms SLA is the documented exception where the WTA
+	// overestimation can hurt).
+	our := res.ErrorSummary(1, "our").Mean
+	nowta := res.ErrorSummary(1, "nowta").Mean
+	if !(our <= nowta+0.01) {
+		t.Errorf("50ms: our mean error %v much worse than noWTA %v", our, nowta)
+	}
+}
+
+func TestOurModelAccuracyReasonable(t *testing.T) {
+	res := runSmallS1(t)
+	// At moderate loads the model should track the observation within a
+	// few percentage points at the 50ms and 100ms SLAs.
+	for _, i := range []int{1, 2} {
+		if mean := res.ErrorSummary(i, "our").Mean; mean > 0.08 {
+			t.Errorf("SLA %v: mean abs error %.1f%% too large", res.SLAs[i], mean*100)
+		}
+	}
+}
+
+func TestODOPRIsSystematicallyOptimistic(t *testing.T) {
+	res := runSmallS1(t)
+	for _, st := range res.Steps {
+		if st.Skipped {
+			continue
+		}
+		for i := range res.SLAs {
+			if st.ODOPR[i] < st.Our[i]-1e-6 {
+				t.Errorf("rate %v SLA %d: ODOPR %v below our model %v", st.Rate, i, st.ODOPR[i], st.Our[i])
+			}
+			if st.NoWTA[i] < st.Our[i]-1e-6 {
+				t.Errorf("rate %v SLA %d: noWTA %v below our model %v", st.Rate, i, st.NoWTA[i], st.Our[i])
+			}
+		}
+	}
+}
+
+func TestScenarioS16Runs(t *testing.T) {
+	res, err := RunScenario(smallS16())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AnalyzedSteps() < 3 {
+		t.Fatalf("only %d analyzed steps", res.AnalyzedSteps())
+	}
+	// The multi-process model must still produce sane, monotone-in-SLA
+	// predictions.
+	for _, st := range res.Steps {
+		if st.Skipped {
+			continue
+		}
+		if st.Our[0] > st.Our[1]+1e-9 || st.Our[1] > st.Our[2]+1e-9 {
+			t.Errorf("rate %v: predictions not monotone in SLA: %v", st.Rate, st.Our)
+		}
+	}
+}
+
+func TestSLASeriesAndRender(t *testing.T) {
+	res := runSmallS1(t)
+	s, err := res.SLASeries(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != res.AnalyzedSteps() {
+		t.Errorf("series rows %d, analyzed steps %d", s.Len(), res.AnalyzedSteps())
+	}
+	if _, err := res.SLASeries(99); err == nil {
+		t.Error("out-of-range SLA index should fail")
+	}
+	var b strings.Builder
+	if err := res.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Scenario S1") {
+		t.Error("render output missing scenario header")
+	}
+	if res.Errors(0, "bogus") != nil {
+		t.Error("unknown model should return nil errors")
+	}
+}
+
+func TestTables(t *testing.T) {
+	res := runSmallS1(t)
+	var b strings.Builder
+	if err := RenderTable1(&b, []*ScenarioResult{res}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "S1") {
+		t.Errorf("table 1 output:\n%s", out)
+	}
+	b.Reset()
+	if err := RenderTable2(&b, []*ScenarioResult{res}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "ODOPR Model") {
+		t.Errorf("table 2 output:\n%s", b.String())
+	}
+}
+
+func TestFig5(t *testing.T) {
+	cfg := DefaultFig5()
+	cfg.Ops = 2000
+	res, err := RunFig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's finding: Gamma fits best for every operation class.
+	if res.Fits.Index[0].Name != "gamma" || res.Fits.Meta[0].Name != "gamma" || res.Fits.Data[0].Name != "gamma" {
+		t.Errorf("gamma should win: %s %s %s",
+			res.Fits.Index[0].Name, res.Fits.Meta[0].Name, res.Fits.Data[0].Name)
+	}
+	// Fitted means recover the configured disk distributions.
+	if math.Abs(res.GammaIndex.Mean()-cfg.Sim.DiskIndex.Mean())/cfg.Sim.DiskIndex.Mean() > 0.1 {
+		t.Errorf("index mean %v, want %v", res.GammaIndex.Mean(), cfg.Sim.DiskIndex.Mean())
+	}
+	if res.Series.Len() != cfg.Points+1 {
+		t.Errorf("series rows = %d", res.Series.Len())
+	}
+	var b strings.Builder
+	if err := res.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "gamma_index_lookup") {
+		t.Error("render missing CSV header")
+	}
+	if _, err := RunFig5(Fig5Config{Sim: cfg.Sim, Ops: 1, Points: 2}); err == nil {
+		t.Error("tiny ops should fail")
+	}
+}
+
+func TestAblationWTA(t *testing.T) {
+	sc := smallS1()
+	sc.RateStart, sc.RateEnd, sc.RateStep = 100, 300, 100
+	res, err := RunAblation("wta", sc, WTAVariants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps < 2 {
+		t.Fatalf("analyzed %d steps", res.Steps)
+	}
+	for v := range res.Variants {
+		for i := range res.SLAs {
+			if e := res.MeanErr[v][i]; e < 0 || e > 1 || math.IsNaN(e) {
+				t.Errorf("variant %d SLA %d: error %v", v, i, e)
+			}
+		}
+	}
+	var b strings.Builder
+	if err := res.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "wa=wbe (paper)") {
+		t.Error("render missing variant name")
+	}
+	if _, err := RunAblation("empty", sc, nil); err == nil {
+		t.Error("no variants should fail")
+	}
+}
+
+func TestBuildSystemModelEdgeCases(t *testing.T) {
+	sc := smallS1()
+	data, err := RunSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := data.Windows[0]
+	// Normal build works.
+	if _, err := BuildSystemModel(sc.Sim, data.Props, win, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// All-idle window fails cleanly.
+	idle := win
+	idle.DeviceRate = make([]float64, len(win.DeviceRate))
+	if _, err := BuildSystemModel(sc.Sim, data.Props, idle, core.Options{}); err == nil {
+		t.Error("idle window should fail")
+	}
+}
+
+func TestBackendTierPredictions(t *testing.T) {
+	res := runSmallS1(t)
+	for _, st := range res.Steps {
+		if st.Skipped {
+			continue
+		}
+		for i := range res.SLAs {
+			if math.IsNaN(st.OurBE[i]) || st.OurBE[i] < 0 || st.OurBE[i] > 1 {
+				t.Fatalf("rate %v: backend prediction %v", st.Rate, st.OurBE[i])
+			}
+			// The backend tier omits frontend queueing and WTA, so its
+			// percentile can only be at least the frontend-tier one.
+			if st.OurBE[i] < st.Our[i]-1e-6 {
+				t.Errorf("rate %v SLA %d: backend %v below frontend %v",
+					st.Rate, i, st.OurBE[i], st.Our[i])
+			}
+			if st.ObservedBE[i] < st.Observed[i]-1e-6 {
+				t.Errorf("rate %v SLA %d: observed backend %v below frontend %v",
+					st.Rate, i, st.ObservedBE[i], st.Observed[i])
+			}
+		}
+	}
+	// Backend-tier accuracy should be on par with the frontend tier at
+	// the looser SLAs.
+	for _, i := range []int{1, 2} {
+		var errSum float64
+		var n int
+		for _, st := range res.Steps {
+			if st.Skipped {
+				continue
+			}
+			errSum += math.Abs(st.OurBE[i] - st.ObservedBE[i])
+			n++
+		}
+		if n > 0 && errSum/float64(n) > 0.10 {
+			t.Errorf("SLA %v: backend mean error %.1f%%", res.SLAs[i], errSum/float64(n)*100)
+		}
+	}
+}
+
+// TestPerDevicePredictions compares the model's per-device response CDFs
+// against the simulator's per-device SLA accounting (the paper counts SLA
+// compliance per storage device).
+func TestPerDevicePredictions(t *testing.T) {
+	sc := smallS1()
+	data, err := RunSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Use a mid-sweep window with real load.
+	win := data.Windows[len(data.Windows)/2]
+	if win.Responses == 0 {
+		t.Skip("empty window")
+	}
+	sys, err := BuildSystemModel(sc.Sim, data.Props, win, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Model devices appear in window order (idle devices skipped); with
+	// load on all four devices the indices align.
+	if len(sys.Devices()) != len(win.DeviceRate) {
+		t.Skip("an idle device broke index alignment")
+	}
+	const slaIdx = 1 // 50ms
+	sla := sc.Sim.SLAs[slaIdx]
+	for d := range win.DeviceRate {
+		obs := win.DeviceMeetFraction[d][slaIdx]
+		if math.IsNaN(obs) {
+			continue
+		}
+		pred := sys.DeviceResponseCDF(d, sla)
+		if math.Abs(pred-obs) > 0.15 {
+			t.Errorf("device %d: predicted %.3f, observed %.3f", d, pred, obs)
+		}
+	}
+}
+
+func TestArchComparison(t *testing.T) {
+	cfg := DefaultArchComparison()
+	cfg.CatalogObjects = 40000
+	cfg.Rates = []float64{150, 300}
+	cfg.StepDur = 12
+	cfg.Discard = 3
+	res, err := RunArchComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EventDriven) != 2 || len(res.ThreadPer) != 2 {
+		t.Fatalf("points: %d / %d", len(res.EventDriven), len(res.ThreadPer))
+	}
+	for i := range res.EventDriven {
+		ed, tp := res.EventDriven[i], res.ThreadPer[i]
+		if ed.Responses == 0 || tp.Responses == 0 {
+			t.Fatal("empty measurement")
+		}
+		if ed.P99 <= 0 || tp.P99 <= 0 {
+			t.Fatal("missing tail quantiles")
+		}
+	}
+	// At the high-load point the event-driven tail should win (the
+	// paper's stated reason for modeling that architecture).
+	last := len(res.EventDriven) - 1
+	if !(res.EventDriven[last].P99 < res.ThreadPer[last].P99) {
+		t.Errorf("event-driven p99 %.1fms should beat TPC %.1fms",
+			res.EventDriven[last].P99*1e3, res.ThreadPer[last].P99*1e3)
+	}
+	var b strings.Builder
+	if err := res.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "event-driven") {
+		t.Error("render missing architecture rows")
+	}
+	bad := cfg
+	bad.Rates = nil
+	if _, err := RunArchComparison(bad); err == nil {
+		t.Error("empty rates should fail")
+	}
+}
+
+func TestRunScenarioValidation(t *testing.T) {
+	sc := smallS1()
+	sc.RateStep = 0
+	if _, err := RunScenario(sc); err == nil {
+		t.Error("zero step should fail")
+	}
+	sc = smallS1()
+	sc.StepDur = 1
+	sc.StepDiscard = 2
+	if _, err := RunScenario(sc); err == nil {
+		t.Error("discard >= duration should fail")
+	}
+	sc = smallS1()
+	sc.Sim.Frontends = 0
+	if _, err := RunScenario(sc); err == nil {
+		t.Error("bad sim config should fail")
+	}
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"cosmodel/internal/benchkit"
+	"cosmodel/internal/core"
+	"cosmodel/internal/dist"
+	"cosmodel/internal/simstore"
+)
+
+// Fig5Result reproduces the paper's Fig. 5: for each disk operation class,
+// the recorded service-time percentile curve next to the fitted Gamma
+// curve, plus the full candidate-family ranking.
+type Fig5Result struct {
+	// Series has columns: service_time_ms, then per class
+	// recorded/gamma percentile pairs.
+	Series *benchkit.Series
+	// Fits ranks the candidate families per class (the paper's finding:
+	// Gamma is best everywhere).
+	Fits core.BestFitReport
+	// Gamma holds the winning fitted distributions.
+	GammaIndex, GammaMeta, GammaData dist.Gamma
+}
+
+// Fig5Config parameterizes the disk benchmark.
+type Fig5Config struct {
+	Sim    simstore.Config
+	Ops    int // operations measured per class
+	Points int // percentile-curve resolution
+	Seed   int64
+}
+
+// DefaultFig5 returns the standard Fig. 5 configuration.
+func DefaultFig5() Fig5Config {
+	return Fig5Config{Sim: simstore.DefaultConfig(), Ops: 8000, Points: 60, Seed: 5}
+}
+
+// RunFig5 benchmarks the disk (sequential, one outstanding operation),
+// fits the four candidate families, and tabulates recorded vs Gamma CDFs.
+func RunFig5(cfg Fig5Config) (*Fig5Result, error) {
+	if cfg.Ops < 10 || cfg.Points < 2 {
+		return nil, fmt.Errorf("experiments: fig5 needs ops >= 10 and points >= 2")
+	}
+	samples, err := simstore.MeasureDiskService(cfg.Sim, cfg.Ops, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	fits, err := core.CompareFits(samples.Index, samples.Meta, samples.Data)
+	if err != nil {
+		return nil, err
+	}
+	gi, err := dist.FitGamma(samples.Index)
+	if err != nil {
+		return nil, err
+	}
+	gm, err := dist.FitGamma(samples.Meta)
+	if err != nil {
+		return nil, err
+	}
+	gd, err := dist.FitGamma(samples.Data)
+	if err != nil {
+		return nil, err
+	}
+	empIdx, err := dist.NewEmpirical(samples.Index)
+	if err != nil {
+		return nil, err
+	}
+	empMeta, err := dist.NewEmpirical(samples.Meta)
+	if err != nil {
+		return nil, err
+	}
+	empData, err := dist.NewEmpirical(samples.Data)
+	if err != nil {
+		return nil, err
+	}
+	series := benchkit.NewSeries(
+		"service_time_ms",
+		"recorded_index_lookup", "gamma_index_lookup",
+		"recorded_meta_read", "gamma_meta_read",
+		"recorded_data_read", "gamma_data_read",
+	)
+	hi := maxOf(empIdx.Quantile(0.999), empMeta.Quantile(0.999), empData.Quantile(0.999))
+	for i := 0; i <= cfg.Points; i++ {
+		t := hi * float64(i) / float64(cfg.Points)
+		if err := series.AddRow(
+			t*1e3,
+			empIdx.CDF(t), gi.CDF(t),
+			empMeta.CDF(t), gm.CDF(t),
+			empData.CDF(t), gd.CDF(t),
+		); err != nil {
+			return nil, err
+		}
+	}
+	return &Fig5Result{
+		Series:     series,
+		Fits:       fits,
+		GammaIndex: gi,
+		GammaMeta:  gm,
+		GammaData:  gd,
+	}, nil
+}
+
+// Render writes the Fig. 5 fitting report.
+func (r *Fig5Result) Render(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 5: fitting the disk service times (recorded vs fitted CDFs)")
+	fmt.Fprintln(w)
+	tab := benchkit.NewTable("operation", "family", "K-S statistic")
+	for _, c := range []struct {
+		name string
+		fits []dist.FitResult
+	}{{"index lookup", r.Fits.Index}, {"metadata read", r.Fits.Meta}, {"data read", r.Fits.Data}} {
+		for _, f := range c.fits {
+			tab.AddRow(c.name, f.Name, f.KS)
+		}
+	}
+	if err := tab.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "fitted gamma (index): %v\n", r.GammaIndex)
+	fmt.Fprintf(w, "fitted gamma (meta):  %v\n", r.GammaMeta)
+	fmt.Fprintf(w, "fitted gamma (data):  %v\n", r.GammaData)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "percentile curves (CSV):")
+	return r.Series.WriteCSV(w)
+}
+
+func maxOf(vals ...float64) float64 {
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMeanVsPercentile(t *testing.T) {
+	res, err := RunMeanVsPercentile(DefaultMeanVsPercentile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The means are matched by construction.
+	if rel := math.Abs(res.MeanLow-res.MeanHigh) / res.MeanLow; rel > 0.02 {
+		t.Fatalf("means not matched: %v vs %v", res.MeanLow, res.MeanHigh)
+	}
+	// Yet the percentiles differ substantially somewhere — the paper's
+	// point that means hide tail behaviour.
+	maxGap := 0.0
+	for i := range res.SLAs {
+		gap := math.Abs(res.PercLow[i] - res.PercHigh[i])
+		if gap > maxGap {
+			maxGap = gap
+		}
+		for _, p := range []float64{res.PercLow[i], res.PercHigh[i]} {
+			if p < 0 || p > 1 {
+				t.Fatalf("percentile %v out of range", p)
+			}
+		}
+	}
+	if maxGap < 0.05 {
+		t.Errorf("max percentile gap %.3f — equal means did not hide tail differences", maxGap)
+	}
+	// The high-variability deployment sustains less load at equal mean.
+	if !(res.RateHigh < res.RateLow) {
+		t.Errorf("high-variability rate %v should be below %v", res.RateHigh, res.RateLow)
+	}
+	var b strings.Builder
+	if err := res.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "percentiles, not means") {
+		t.Error("render missing header")
+	}
+}
+
+func TestMeanVsPercentileValidation(t *testing.T) {
+	bad := DefaultMeanVsPercentile()
+	bad.BaseRate = 0
+	if _, err := RunMeanVsPercentile(bad); err == nil {
+		t.Error("zero rate should fail")
+	}
+	bad = DefaultMeanVsPercentile()
+	bad.HighSCV = bad.LowSCV
+	if _, err := RunMeanVsPercentile(bad); err == nil {
+		t.Error("equal SCVs should fail")
+	}
+}

@@ -1,0 +1,76 @@
+package numeric
+
+import "math"
+
+// IntegrateAdaptive computes ∫_a^b f(x) dx with adaptive Simpson quadrature
+// to the requested absolute tolerance. It is intended for smooth integrands;
+// integrable endpoint singularities should be transformed away by the caller.
+func IntegrateAdaptive(f func(float64) float64, a, b, tol float64) float64 {
+	if a == b {
+		return 0
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	fa, fm, fb := f(a), f((a+b)/2), f(b)
+	whole := simpson(a, b, fa, fm, fb)
+	return adaptiveSimpson(f, a, b, fa, fm, fb, whole, tol, 50)
+}
+
+func simpson(a, b, fa, fm, fb float64) float64 {
+	return (b - a) / 6 * (fa + 4*fm + fb)
+}
+
+func adaptiveSimpson(f func(float64) float64, a, b, fa, fm, fb, whole, tol float64, depth int) float64 {
+	m := (a + b) / 2
+	lm := (a + m) / 2
+	rm := (m + b) / 2
+	flm, frm := f(lm), f(rm)
+	left := simpson(a, m, fa, flm, fm)
+	right := simpson(m, b, fm, frm, fb)
+	delta := left + right - whole
+	if depth <= 0 || math.Abs(delta) <= 15*tol {
+		return left + right + delta/15
+	}
+	return adaptiveSimpson(f, a, m, fa, flm, fm, left, tol/2, depth-1) +
+		adaptiveSimpson(f, m, b, fm, frm, fb, right, tol/2, depth-1)
+}
+
+// IntegrateToInfinity computes ∫_a^∞ f(x) dx for an integrand that decays to
+// zero, by integrating successive octaves until the contribution of an octave
+// falls below tol.
+func IntegrateToInfinity(f func(float64) float64, a, tol float64) float64 {
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	lo := a
+	width := 1.0
+	if a > 0 {
+		width = a
+	}
+	total := 0.0
+	for i := 0; i < 80; i++ {
+		hi := lo + width
+		part := IntegrateAdaptive(f, lo, hi, tol/8)
+		total += part
+		if math.Abs(part) < tol && i > 2 {
+			break
+		}
+		lo = hi
+		width *= 2
+	}
+	return total
+}
+
+// Trapezoid integrates pre-tabulated samples ys at abscissae xs.
+// The slices must have equal length >= 2 and xs must be increasing.
+func Trapezoid(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	total := 0.0
+	for i := 1; i < len(xs); i++ {
+		total += (xs[i] - xs[i-1]) * (ys[i] + ys[i-1]) / 2
+	}
+	return total
+}

@@ -1,0 +1,269 @@
+// Package numeric provides the numerical substrate used by the analytic
+// model: numerical inversion of Laplace transforms, special functions
+// (regularized incomplete gamma, digamma), adaptive quadrature, and root
+// finding. Everything is implemented with the standard library only.
+package numeric
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// TransformFunc is a Laplace transform evaluated at a complex frequency s.
+// For the model it is either the transform of a probability density
+// (a Laplace–Stieltjes transform, LST) or of a CDF (LST divided by s).
+type TransformFunc func(s complex128) complex128
+
+// Inverter numerically inverts a Laplace transform, recovering the original
+// time-domain function at a given point t > 0.
+type Inverter interface {
+	// Invert evaluates the inverse transform of f at time t. t must be
+	// positive; behaviour for t <= 0 is implementation-defined (the
+	// implementations in this package return 0).
+	Invert(f TransformFunc, t float64) float64
+	// Name identifies the algorithm, for reports and ablation tables.
+	Name() string
+}
+
+// Euler implements the Abate–Whitt "EULER" algorithm: a Fourier-series
+// expansion of the Bromwich integral accelerated with Euler summation.
+// It is the workhorse inverter for this package: robust for probability
+// CDFs, including those with atoms away from the evaluation point.
+//
+// The zero value is NOT ready for use; call NewEuler or set the fields.
+type Euler struct {
+	// A controls the discretization error bound (roughly e^-A). 18.4
+	// targets ~1e-8 discretization error in double precision.
+	A float64
+	// Terms is the number of plain partial-sum terms before Euler
+	// acceleration kicks in.
+	Terms int
+	// MTerms is the number of terms combined binomially by Euler
+	// summation.
+	MTerms int
+
+	binom []float64 // C(MTerms, j) / 2^MTerms, len MTerms+1
+}
+
+// NewEuler returns an Euler inverter with the standard Abate–Whitt
+// parameters (A=18.4, 15 plain terms, 11 Euler terms).
+func NewEuler() *Euler {
+	return NewEulerN(18.4, 15, 11)
+}
+
+// NewEulerN returns an Euler inverter with explicit parameters.
+func NewEulerN(a float64, terms, mTerms int) *Euler {
+	e := &Euler{A: a, Terms: terms, MTerms: mTerms}
+	e.initBinom()
+	return e
+}
+
+func (e *Euler) initBinom() {
+	m := e.MTerms
+	e.binom = make([]float64, m+1)
+	c := math.Exp2(-float64(m)) // C(m,0)/2^m
+	for j := 0; j <= m; j++ {
+		e.binom[j] = c
+		c = c * float64(m-j) / float64(j+1)
+	}
+}
+
+// Name implements Inverter.
+func (e *Euler) Name() string { return "euler" }
+
+// Invert implements Inverter.
+func (e *Euler) Invert(f TransformFunc, t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	if e.binom == nil {
+		e.initBinom()
+	}
+	x := e.A / (2 * t)
+	h := math.Pi / t
+	u := math.Exp(e.A/2) / t
+
+	sum := real(f(complex(x, 0))) / 2
+	sign := -1.0
+	for k := 1; k <= e.Terms; k++ {
+		sum += sign * real(f(complex(x, float64(k)*h)))
+		sign = -sign
+	}
+	// Euler acceleration over the next MTerms partial sums.
+	acc := 0.0
+	partial := sum
+	for j := 0; j <= e.MTerms; j++ {
+		if j > 0 {
+			k := e.Terms + j
+			s := 1.0
+			if k%2 == 1 {
+				s = -1.0
+			}
+			partial += s * real(f(complex(x, float64(k)*h)))
+		}
+		acc += e.binom[j] * partial
+	}
+	return u * acc
+}
+
+// Talbot implements the fixed-Talbot method (Abate–Valkó). It deforms the
+// Bromwich contour into a cotangent spiral; excellent for smooth functions,
+// less robust than Euler near discontinuities.
+type Talbot struct {
+	// M is the number of contour nodes (also the achievable significant
+	// digits is roughly 0.6*M in exact arithmetic; float64 caps it).
+	M int
+}
+
+// NewTalbot returns a Talbot inverter with M=32 nodes.
+func NewTalbot() *Talbot { return &Talbot{M: 32} }
+
+// Name implements Inverter.
+func (tb *Talbot) Name() string { return "talbot" }
+
+// Invert implements Inverter.
+func (tb *Talbot) Invert(f TransformFunc, t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	m := tb.M
+	if m < 2 {
+		m = 2
+	}
+	r := 2 * float64(m) / (5 * t)
+	sum := 0.5 * math.Exp(r*t) * real(f(complex(r, 0)))
+	for k := 1; k < m; k++ {
+		theta := float64(k) * math.Pi / float64(m)
+		cot := math.Cos(theta) / math.Sin(theta)
+		sk := complex(r*theta*cot, r*theta)
+		sigma := theta + (theta*cot-1)*cot
+		term := cmplx.Exp(complex(t, 0)*sk) * f(sk) * complex(1, sigma)
+		sum += real(term)
+	}
+	return r / float64(m) * sum
+}
+
+// GaverStehfest implements the Gaver–Stehfest algorithm. It evaluates the
+// transform only on the real axis, which makes it attractive when the
+// transform is awkward for complex arguments, but it is numerically fragile
+// in double precision: N beyond ~14 loses all accuracy to cancellation.
+type GaverStehfest struct {
+	// N is the (even) number of terms. Default 14.
+	N int
+
+	coef []float64
+}
+
+// NewGaverStehfest returns a Gaver–Stehfest inverter with N=14.
+func NewGaverStehfest() *GaverStehfest { return &GaverStehfest{N: 14} }
+
+// Name implements Inverter.
+func (g *GaverStehfest) Name() string { return "gaver-stehfest" }
+
+func (g *GaverStehfest) initCoef() {
+	n := g.N
+	if n <= 0 {
+		n = 14
+		g.N = n
+	}
+	if n%2 == 1 {
+		n++
+		g.N = n
+	}
+	g.coef = make([]float64, n+1)
+	half := n / 2
+	for k := 1; k <= n; k++ {
+		var sum float64
+		lo := (k + 1) / 2
+		hi := min(k, half)
+		for j := lo; j <= hi; j++ {
+			term := math.Pow(float64(j), float64(half)) * factorial(2*j)
+			term /= factorial(half-j) * factorial(j) * factorial(j-1) *
+				factorial(k-j) * factorial(2*j-k)
+			sum += term
+		}
+		if (k+half)%2 == 1 {
+			sum = -sum
+		}
+		g.coef[k] = sum
+	}
+}
+
+// Invert implements Inverter.
+func (g *GaverStehfest) Invert(f TransformFunc, t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	if g.coef == nil {
+		g.initCoef()
+	}
+	ln2t := math.Ln2 / t
+	var sum float64
+	for k := 1; k <= g.N; k++ {
+		sum += g.coef[k] * real(f(complex(float64(k)*ln2t, 0)))
+	}
+	return ln2t * sum
+}
+
+func factorial(n int) float64 {
+	r := 1.0
+	for i := 2; i <= n; i++ {
+		r *= float64(i)
+	}
+	return r
+}
+
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r = r * float64(n-i) / float64(i+1)
+	}
+	return r
+}
+
+// InvertCDF inverts the transform of a probability density f̂ into its CDF at
+// t, clamping the result to [0, 1]. The CDF transform is f̂(s)/s.
+func InvertCDF(inv Inverter, pdfTransform TransformFunc, t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	v := inv.Invert(func(s complex128) complex128 {
+		return pdfTransform(s) / s
+	}, t)
+	return Clamp01(v)
+}
+
+// Clamp01 clamps v to the closed unit interval.
+func Clamp01(v float64) float64 {
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	}
+	return v
+}
+
+// MeanFromLST estimates the mean of a nonnegative random variable from its
+// LST by one-sided numerical differentiation at the origin:
+// E[X] = -d/ds E[e^{-sX}] at s=0.
+func MeanFromLST(f TransformFunc, scale float64) float64 {
+	if scale <= 0 {
+		scale = 1
+	}
+	h := 1e-6 / scale
+	// 4th-order one-sided difference for -f'(0) with f(0)=1.
+	f1 := real(f(complex(h, 0)))
+	f2 := real(f(complex(2*h, 0)))
+	f3 := real(f(complex(3*h, 0)))
+	f4 := real(f(complex(4*h, 0)))
+	return -(-25.0/12.0 + 4*f1 - 3*f2 + 4.0/3.0*f3 - 0.25*f4) / h
+}

@@ -1,0 +1,190 @@
+package numeric
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+// expPDF is the transform of an Exponential(rate) density: rate/(s+rate).
+func expPDF(rate float64) TransformFunc {
+	return func(s complex128) complex128 {
+		return complex(rate, 0) / (s + complex(rate, 0))
+	}
+}
+
+// gammaPDF is the transform of a Gamma(shape k, rate l) density: (l/(s+l))^k.
+func gammaPDF(k, l float64) TransformFunc {
+	return func(s complex128) complex128 {
+		return cmplx.Pow(complex(l, 0)/(s+complex(l, 0)), complex(k, 0))
+	}
+}
+
+func inverters() []Inverter {
+	return []Inverter{NewEuler(), NewTalbot(), NewGaverStehfest()}
+}
+
+func TestInvertExponentialDensity(t *testing.T) {
+	const rate = 2.5
+	for _, inv := range inverters() {
+		tol := 1e-5
+		if inv.Name() == "gaver-stehfest" {
+			tol = 5e-4 // fragile in float64, by design
+		}
+		for _, x := range []float64{0.05, 0.2, 0.5, 1, 2, 4} {
+			got := inv.Invert(expPDF(rate), x)
+			want := rate * math.Exp(-rate*x)
+			if math.Abs(got-want) > tol*(1+want) {
+				t.Errorf("%s: pdf(%v) = %v, want %v", inv.Name(), x, got, want)
+			}
+		}
+	}
+}
+
+func TestInvertExponentialCDF(t *testing.T) {
+	const rate = 3.0
+	for _, inv := range inverters() {
+		tol := 1e-6
+		if inv.Name() == "gaver-stehfest" {
+			tol = 5e-4 // fragile in float64, by design
+		}
+		for _, x := range []float64{0.01, 0.1, 0.3, 1, 3} {
+			got := InvertCDF(inv, expPDF(rate), x)
+			want := 1 - math.Exp(-rate*x)
+			if math.Abs(got-want) > tol {
+				t.Errorf("%s: cdf(%v) = %v, want %v", inv.Name(), x, got, want)
+			}
+		}
+	}
+}
+
+func TestInvertGammaCDF(t *testing.T) {
+	cases := []struct{ k, l float64 }{
+		{1, 1}, {2.5, 4}, {0.8, 10}, {7, 0.5},
+	}
+	for _, inv := range inverters() {
+		for _, c := range cases {
+			for _, x := range []float64{0.1, 0.5, 1, 2, 5} {
+				got := InvertCDF(inv, gammaPDF(c.k, c.l), x)
+				want := RegularizedGammaP(c.k, c.l*x)
+				tol := 1e-6
+				if inv.Name() == "gaver-stehfest" {
+					tol = 1e-3 // fragile in float64, by design
+				}
+				if math.Abs(got-want) > tol {
+					t.Errorf("%s: Gamma(%v,%v) cdf(%v) = %v, want %v",
+						inv.Name(), c.k, c.l, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestInvertMixtureWithAtom checks a distribution with an atom at zero:
+// with prob 0.4 value 0, otherwise Exponential(2). The CDF at t>0 is
+// 0.4 + 0.6*(1-e^{-2t}).
+func TestInvertMixtureWithAtom(t *testing.T) {
+	f := func(s complex128) complex128 {
+		return complex(0.4, 0) + complex(0.6, 0)*expPDF(2)(s)
+	}
+	inv := NewEuler()
+	for _, x := range []float64{0.1, 0.5, 1, 2} {
+		got := InvertCDF(inv, f, x)
+		want := 0.4 + 0.6*(1-math.Exp(-2*x))
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("cdf(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+// TestInvertDegenerateShift checks a transform with a pure delay:
+// e^{-s c} is a point mass at c; its CDF is a step at c.
+func TestInvertDegenerateShift(t *testing.T) {
+	const c = 1.0
+	f := func(s complex128) complex128 { return cmplx.Exp(-s * complex(c, 0)) }
+	inv := NewEuler()
+	if got := InvertCDF(inv, f, 0.5); got > 0.02 {
+		t.Errorf("cdf before the step = %v, want ~0", got)
+	}
+	if got := InvertCDF(inv, f, 1.5); got < 0.98 {
+		t.Errorf("cdf after the step = %v, want ~1", got)
+	}
+}
+
+func TestInvertAtNonPositiveTime(t *testing.T) {
+	for _, inv := range inverters() {
+		if got := inv.Invert(expPDF(1), 0); got != 0 {
+			t.Errorf("%s: Invert at t=0 = %v, want 0", inv.Name(), got)
+		}
+		if got := inv.Invert(expPDF(1), -1); got != 0 {
+			t.Errorf("%s: Invert at t<0 = %v, want 0", inv.Name(), got)
+		}
+	}
+}
+
+func TestMeanFromLST(t *testing.T) {
+	cases := []struct {
+		f    TransformFunc
+		mean float64
+	}{
+		{expPDF(2), 0.5},
+		{gammaPDF(3, 6), 0.5},
+		{func(s complex128) complex128 { return cmplx.Exp(-s * 0.25) }, 0.25},
+	}
+	for i, c := range cases {
+		got := MeanFromLST(c.f, 1/c.mean)
+		if math.Abs(got-c.mean) > 1e-4*c.mean {
+			t.Errorf("case %d: mean = %v, want %v", i, got, c.mean)
+		}
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{-0.5, 0}, {0, 0}, {0.5, 0.5}, {1, 1}, {1.5, 1}, {math.NaN(), 0},
+	}
+	for _, c := range cases {
+		if got := Clamp01(c.in); got != c.want {
+			t.Errorf("Clamp01(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBinomialAndFactorial(t *testing.T) {
+	if got := binomial(5, 2); got != 10 {
+		t.Errorf("binomial(5,2) = %v, want 10", got)
+	}
+	if got := binomial(5, 6); got != 0 {
+		t.Errorf("binomial(5,6) = %v, want 0", got)
+	}
+	if got := factorial(5); got != 120 {
+		t.Errorf("factorial(5) = %v, want 120", got)
+	}
+}
+
+func BenchmarkInvertEulerCDF(b *testing.B) {
+	inv := NewEuler()
+	f := gammaPDF(2.5, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		InvertCDF(inv, f, 0.7)
+	}
+}
+
+func BenchmarkInvertTalbotCDF(b *testing.B) {
+	inv := NewTalbot()
+	f := gammaPDF(2.5, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		InvertCDF(inv, f, 0.7)
+	}
+}
+
+func BenchmarkInvertGaverStehfestCDF(b *testing.B) {
+	inv := NewGaverStehfest()
+	f := gammaPDF(2.5, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		InvertCDF(inv, f, 0.7)
+	}
+}

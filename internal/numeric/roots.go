@@ -1,0 +1,143 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoBracket is returned when a root finder is given an interval whose
+// endpoints do not bracket a sign change.
+var ErrNoBracket = errors.New("numeric: endpoints do not bracket a root")
+
+// ErrNoConverge is returned when an iterative method exhausts its iteration
+// budget without meeting the tolerance.
+var ErrNoConverge = errors.New("numeric: iteration did not converge")
+
+// Bisect finds a root of f in [a, b] by bisection. f(a) and f(b) must have
+// opposite signs. The result is accurate to tol in x.
+func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if (fa > 0) == (fb > 0) {
+		return math.NaN(), ErrNoBracket
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	for i := 0; i < 200; i++ {
+		m := (a + b) / 2
+		fm := f(m)
+		if fm == 0 || (b-a)/2 < tol {
+			return m, nil
+		}
+		if (fm > 0) == (fa > 0) {
+			a, fa = m, fm
+		} else {
+			b = m
+		}
+	}
+	return (a + b) / 2, nil
+}
+
+// Brent finds a root of f in [a, b] using Brent's method (inverse quadratic
+// interpolation with bisection fallback). f(a) and f(b) must bracket a root.
+func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if (fa > 0) == (fb > 0) {
+		return math.NaN(), ErrNoBracket
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	c, fc := a, fa
+	d, e := b-a, b-a
+	for i := 0; i < 200; i++ {
+		if math.Abs(fc) < math.Abs(fb) {
+			a, b, c = b, c, b
+			fa, fb, fc = fb, fc, fb
+		}
+		tol1 := 2*math.SmallestNonzeroFloat64*math.Abs(b) + tol/2
+		xm := (c - b) / 2
+		if math.Abs(xm) <= tol1 || fb == 0 {
+			return b, nil
+		}
+		if math.Abs(e) >= tol1 && math.Abs(fa) > math.Abs(fb) {
+			s := fb / fa
+			var p, q float64
+			if a == c {
+				p = 2 * xm * s
+				q = 1 - s
+			} else {
+				q = fa / fc
+				r := fb / fc
+				p = s * (2*xm*q*(q-r) - (b-a)*(r-1))
+				q = (q - 1) * (r - 1) * (s - 1)
+			}
+			if p > 0 {
+				q = -q
+			}
+			p = math.Abs(p)
+			if 2*p < math.Min(3*xm*q-math.Abs(tol1*q), math.Abs(e*q)) {
+				e, d = d, p/q
+			} else {
+				d, e = xm, xm
+			}
+		} else {
+			d, e = xm, xm
+		}
+		a, fa = b, fb
+		if math.Abs(d) > tol1 {
+			b += d
+		} else if xm > 0 {
+			b += tol1
+		} else {
+			b -= tol1
+		}
+		fb = f(b)
+		if (fb > 0) == (fc > 0) {
+			c, fc = a, fa
+			d, e = b-a, b-a
+		}
+	}
+	return b, ErrNoConverge
+}
+
+// NewtonWithFallback runs Newton iterations from x0 using derivative df,
+// falling back to bisection on [lo, hi] if an iterate escapes the bracket or
+// the derivative degenerates.
+func NewtonWithFallback(f, df func(float64) float64, x0, lo, hi, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	x := x0
+	for i := 0; i < 100; i++ {
+		fx := f(x)
+		if math.Abs(fx) == 0 {
+			return x, nil
+		}
+		d := df(x)
+		if d == 0 || math.IsNaN(d) {
+			break
+		}
+		next := x - fx/d
+		if math.IsNaN(next) || next <= lo || next >= hi {
+			break
+		}
+		if math.Abs(next-x) < tol*(1+math.Abs(x)) {
+			return next, nil
+		}
+		x = next
+	}
+	return Bisect(f, lo, hi, tol)
+}

@@ -1,0 +1,133 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegularizedGammaPKnownValues(t *testing.T) {
+	cases := []struct{ a, x, want float64 }{
+		// P(1, x) = 1 - e^{-x}
+		{1, 0.5, 1 - math.Exp(-0.5)},
+		{1, 2, 1 - math.Exp(-2)},
+		// P(2, x) = 1 - e^{-x}(1+x)
+		{2, 1, 1 - math.Exp(-1)*2},
+		{2, 3, 1 - math.Exp(-3)*4},
+		// P(0.5, x) = erf(sqrt(x))
+		{0.5, 0.25, math.Erf(0.5)},
+		{0.5, 4, math.Erf(2)},
+	}
+	for _, c := range cases {
+		if got := RegularizedGammaP(c.a, c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P(%v,%v) = %v, want %v", c.a, c.x, got, c.want)
+		}
+	}
+}
+
+func TestRegularizedGammaEdgeCases(t *testing.T) {
+	if got := RegularizedGammaP(2, 0); got != 0 {
+		t.Errorf("P(2,0) = %v, want 0", got)
+	}
+	if got := RegularizedGammaQ(2, 0); got != 1 {
+		t.Errorf("Q(2,0) = %v, want 1", got)
+	}
+	if !math.IsNaN(RegularizedGammaP(0, 1)) {
+		t.Error("P(0,1) should be NaN")
+	}
+	if !math.IsNaN(RegularizedGammaP(-1, 1)) {
+		t.Error("P(-1,1) should be NaN")
+	}
+}
+
+func TestRegularizedGammaComplementProperty(t *testing.T) {
+	f := func(aRaw, xRaw float64) bool {
+		a := 0.1 + math.Mod(math.Abs(aRaw), 50)
+		x := math.Mod(math.Abs(xRaw), 100)
+		p := RegularizedGammaP(a, x)
+		q := RegularizedGammaQ(a, x)
+		return p >= -1e-14 && p <= 1+1e-14 && math.Abs(p+q-1) < 1e-10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegularizedGammaMonotone(t *testing.T) {
+	for _, a := range []float64{0.3, 1, 2.7, 15} {
+		prev := -1.0
+		for x := 0.0; x < 8*a; x += 0.1 * a {
+			p := RegularizedGammaP(a, x)
+			if p < prev-1e-12 {
+				t.Fatalf("P(%v,·) not monotone at x=%v: %v < %v", a, x, p, prev)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestDigamma(t *testing.T) {
+	const euler = 0.5772156649015329
+	cases := []struct{ x, want float64 }{
+		{1, -euler},
+		{2, 1 - euler},
+		{0.5, -euler - 2*math.Ln2},
+		{10, 2.2517525890667214}, // reference value
+	}
+	for _, c := range cases {
+		if got := Digamma(c.x); math.Abs(got-c.want) > 1e-10 {
+			t.Errorf("Digamma(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if !math.IsNaN(Digamma(-1)) || !math.IsNaN(Digamma(0)) {
+		t.Error("Digamma should be NaN for x <= 0")
+	}
+}
+
+func TestDigammaRecurrence(t *testing.T) {
+	// ψ(x+1) = ψ(x) + 1/x
+	for _, x := range []float64{0.2, 1.5, 3.3, 12} {
+		lhs := Digamma(x + 1)
+		rhs := Digamma(x) + 1/x
+		if math.Abs(lhs-rhs) > 1e-10 {
+			t.Errorf("recurrence fails at %v: %v vs %v", x, lhs, rhs)
+		}
+	}
+}
+
+func TestTrigamma(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{1, math.Pi * math.Pi / 6},
+		{0.5, math.Pi * math.Pi / 2},
+		{2, math.Pi*math.Pi/6 - 1},
+	}
+	for _, c := range cases {
+		if got := Trigamma(c.x); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Trigamma(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalCDFQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{0.001, 0.01, 0.1, 0.25, 0.5, 0.9, 0.975, 0.999} {
+		z := NormalQuantile(p)
+		if got := NormalCDF(z); math.Abs(got-p) > 1e-9 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+	if NormalQuantile(0) != math.Inf(-1) || NormalQuantile(1) != math.Inf(1) {
+		t.Error("quantile endpoints should be infinite")
+	}
+	if !math.IsNaN(NormalQuantile(-0.1)) || !math.IsNaN(NormalQuantile(1.1)) {
+		t.Error("quantile outside [0,1] should be NaN")
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	if got := NormalCDF(0); math.Abs(got-0.5) > 1e-15 {
+		t.Errorf("CDF(0) = %v", got)
+	}
+	if got := NormalCDF(1.959963984540054); math.Abs(got-0.975) > 1e-12 {
+		t.Errorf("CDF(1.96) = %v", got)
+	}
+}

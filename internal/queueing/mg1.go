@@ -1,0 +1,78 @@
+// Package queueing implements the queueing-theoretic building blocks of the
+// model: the M/G/1 queue (Pollaczek–Khinchin transform), the M/M/1 queue
+// (closed forms used for validation), the M/M/1/K queue (the paper's disk
+// approximation for multi-process devices) and a numerically exact M/G/1/K
+// embedded Markov chain used to assess that approximation.
+package queueing
+
+import (
+	"errors"
+	"fmt"
+
+	"cosmodel/internal/lst"
+)
+
+// ErrUnstable reports a queue whose utilization is >= 1, for which no steady
+// state exists.
+var ErrUnstable = errors.New("queueing: utilization >= 1, queue is unstable")
+
+// ErrBadParam reports nonpositive rates or service times.
+var ErrBadParam = errors.New("queueing: rates and service times must be positive")
+
+// MG1 is an M/G/1 queue: Poisson arrivals at rate Lambda served FCFS by a
+// single server with service-time transform Service.
+type MG1 struct {
+	Lambda  float64
+	Service lst.Transform
+}
+
+// NewMG1 validates and constructs an M/G/1 queue. It returns ErrUnstable if
+// λ·E[S] >= 1.
+func NewMG1(lambda float64, service lst.Transform) (MG1, error) {
+	q := MG1{Lambda: lambda, Service: service}
+	if lambda <= 0 || service.Mean <= 0 {
+		return q, fmt.Errorf("%w: lambda=%v, mean service=%v", ErrBadParam, lambda, service.Mean)
+	}
+	if q.Utilization() >= 1 {
+		return q, fmt.Errorf("%w: rho=%.4f", ErrUnstable, q.Utilization())
+	}
+	return q, nil
+}
+
+// Utilization returns ρ = λ·E[S].
+func (q MG1) Utilization() float64 { return q.Lambda * q.Service.Mean }
+
+// WaitingLST returns the Laplace–Stieltjes transform of the FCFS waiting
+// time (time in queue before service) by the Pollaczek–Khinchin formula:
+//
+//	W(s) = (1-ρ)·s / (λ·B(s) + s - λ)
+//
+// Its mean is computed from the P-K mean formula using the numeric second
+// moment of the service transform.
+func (q MG1) WaitingLST() lst.Transform {
+	rho := q.Utilization()
+	lambda := q.Lambda
+	b := q.Service.F
+	m2 := lst.SecondMomentNumeric(q.Service)
+	return lst.Transform{
+		F: func(s complex128) complex128 {
+			if s == 0 {
+				return 1
+			}
+			return complex(1-rho, 0) * s / (complex(lambda, 0)*b(s) + s - complex(lambda, 0))
+		},
+		Mean: lambda * m2 / (2 * (1 - rho)),
+	}
+}
+
+// SojournLST returns the transform of the sojourn (response) time: the
+// waiting time convolved with one service time.
+func (q MG1) SojournLST() lst.Transform {
+	return lst.Convolve(q.WaitingLST(), q.Service)
+}
+
+// MeanQueueLength returns the mean number of customers in the system by
+// Little's law applied to the sojourn time.
+func (q MG1) MeanQueueLength() float64 {
+	return q.Lambda * q.SojournLST().Mean
+}

@@ -1,0 +1,138 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"cosmodel/internal/dist"
+	"cosmodel/internal/lst"
+	"cosmodel/internal/numeric"
+)
+
+var inv = numeric.NewEuler()
+
+func TestNewMG1Validation(t *testing.T) {
+	svc := lst.FromDist(dist.Exponential{Rate: 10})
+	if _, err := NewMG1(0, svc); err == nil {
+		t.Error("lambda=0 should fail")
+	}
+	if _, err := NewMG1(-1, svc); err == nil {
+		t.Error("negative lambda should fail")
+	}
+	if _, err := NewMG1(10, svc); err == nil {
+		t.Error("rho=1 should fail")
+	}
+	if _, err := NewMG1(11, svc); err == nil {
+		t.Error("rho>1 should fail")
+	}
+	if _, err := NewMG1(5, svc); err != nil {
+		t.Errorf("rho=0.5 should succeed: %v", err)
+	}
+}
+
+// TestMG1MatchesMM1 anchors the Pollaczek–Khinchin transform against the
+// closed-form M/M/1 waiting and sojourn CDFs.
+func TestMG1MatchesMM1(t *testing.T) {
+	const lambda, mu = 6.0, 10.0
+	mg1, err := NewMG1(lambda, lst.FromDist(dist.Exponential{Rate: mu}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm1, err := NewMM1(lambda, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := mg1.WaitingLST()
+	s := mg1.SojournLST()
+	for _, x := range []float64{0.05, 0.1, 0.3, 0.6, 1.2} {
+		if got, want := lst.CDF(inv, w, x), mm1.WaitingCDF(x); math.Abs(got-want) > 1e-5 {
+			t.Errorf("waiting CDF(%v) = %v, want %v", x, got, want)
+		}
+		if got, want := lst.CDF(inv, s, x), mm1.SojournCDF(x); math.Abs(got-want) > 1e-5 {
+			t.Errorf("sojourn CDF(%v) = %v, want %v", x, got, want)
+		}
+	}
+	// Means use a numeric second moment of the service LST (~1e-3 rel).
+	if got, want := w.Mean, mm1.MeanWaiting(); math.Abs(got-want) > 1e-3*want {
+		t.Errorf("mean waiting = %v, want %v", got, want)
+	}
+	if got, want := s.Mean, mm1.MeanSojourn(); math.Abs(got-want) > 1e-3*want {
+		t.Errorf("mean sojourn = %v, want %v", got, want)
+	}
+	if got, want := mg1.MeanQueueLength(), mm1.MeanQueueLength(); math.Abs(got-want) > 1e-3*want {
+		t.Errorf("mean queue length = %v, want %v", got, want)
+	}
+}
+
+// TestMG1DeterministicService checks the M/D/1 mean waiting against the
+// exact P-K value ρ·b/(2(1-ρ)).
+func TestMG1DeterministicService(t *testing.T) {
+	const lambda, b = 5.0, 0.1
+	q, err := NewMG1(lambda, lst.FromDist(dist.Degenerate{Value: b}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := lambda * b
+	want := rho * b / (2 * (1 - rho))
+	if got := q.WaitingLST().Mean; math.Abs(got-want) > 1e-4*want {
+		t.Errorf("M/D/1 mean waiting = %v, want %v", got, want)
+	}
+}
+
+// TestMG1GammaServiceMeanWaiting checks P-K mean waiting λE[S²]/(2(1-ρ))
+// for Gamma service.
+func TestMG1GammaServiceMeanWaiting(t *testing.T) {
+	g := dist.Gamma{Shape: 2, Rate: 40} // mean .05, E[S²] = k(k+1)/l² = 6/1600
+	const lambda = 10.0
+	q, err := NewMG1(lambda, lst.FromDist(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := dist.SecondMoment(g)
+	rho := lambda * g.Mean()
+	want := lambda * m2 / (2 * (1 - rho))
+	if got := q.WaitingLST().Mean; math.Abs(got-want) > 1e-3*want {
+		t.Errorf("mean waiting = %v, want %v", got, want)
+	}
+}
+
+func TestMG1WaitingAtomAtZero(t *testing.T) {
+	// P(W = 0) = 1 - ρ; the CDF just above zero should be close to it.
+	q, err := NewMG1(4, lst.FromDist(dist.Exponential{Rate: 10}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := q.WaitingLST()
+	got := lst.CDF(inv, w, 1e-6)
+	if math.Abs(got-0.6) > 5e-3 {
+		t.Errorf("CDF(0+) = %v, want ~0.6", got)
+	}
+}
+
+func TestMM1Validation(t *testing.T) {
+	if _, err := NewMM1(1, 1); err == nil {
+		t.Error("rho=1 should fail")
+	}
+	if _, err := NewMM1(0, 1); err == nil {
+		t.Error("lambda=0 should fail")
+	}
+	if _, err := NewMM1(1, 0); err == nil {
+		t.Error("mu=0 should fail")
+	}
+	q, err := NewMM1(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Utilization(); math.Abs(got-0.3) > 1e-15 {
+		t.Errorf("rho = %v", got)
+	}
+	if got := q.WaitingCDF(-1); got != 0 {
+		t.Errorf("waiting CDF at t<0 = %v", got)
+	}
+	if got := q.WaitingCDF(0); math.Abs(got-0.7) > 1e-15 {
+		t.Errorf("waiting CDF at 0 = %v, want 1-rho", got)
+	}
+	if got := q.MeanQueueLength(); math.Abs(got-3.0/7.0) > 1e-12 {
+		t.Errorf("mean queue length = %v", got)
+	}
+}

@@ -1,0 +1,269 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+
+	"cosmodel/internal/dist"
+	"cosmodel/internal/lst"
+	"cosmodel/internal/numeric"
+)
+
+// MG1K is an M/G/1/K queue solved numerically via the embedded Markov chain
+// at departure epochs. The paper approximates this queue with an M/M/1/K
+// (Section III-B, citing J.M. Smith); this exact solver quantifies the
+// approximation error in the ablation benches.
+type MG1K struct {
+	Lambda  float64
+	Service dist.Distribution
+	K       int
+
+	aj []float64 // P(j Poisson arrivals during one service)
+	pj []float64 // time-stationary state probabilities, len K+1
+}
+
+// NewMG1K constructs and solves the queue. K is the system capacity
+// (in service + waiting).
+func NewMG1K(lambda float64, service dist.Distribution, k int) (*MG1K, error) {
+	if lambda <= 0 || service == nil || service.Mean() <= 0 || k < 1 {
+		return nil, fmt.Errorf("%w: lambda=%v, K=%d", ErrBadParam, lambda, k)
+	}
+	q := &MG1K{Lambda: lambda, Service: service, K: k}
+	q.computeArrivalProbs()
+	if err := q.solve(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// computeArrivalProbs fills aj[j] = E[e^{-λT}(λT)^j / j!] for j = 0..K.
+// Gamma and Exponential services have closed forms; anything else is
+// integrated numerically over the quantile-transformed unit interval.
+func (q *MG1K) computeArrivalProbs() {
+	k := q.K
+	q.aj = make([]float64, k+1)
+	lam := q.Lambda
+	switch svc := q.Service.(type) {
+	case dist.Exponential:
+		q.gammaArrivalProbs(1, svc.Rate)
+	case dist.Gamma:
+		q.gammaArrivalProbs(svc.Shape, svc.Rate)
+	case dist.Degenerate:
+		x := lam * svc.Value
+		term := math.Exp(-x)
+		for j := 0; j <= k; j++ {
+			q.aj[j] = term
+			term *= x / float64(j+1)
+		}
+	default:
+		for j := 0; j <= k; j++ {
+			jj := j
+			q.aj[j] = numeric.IntegrateAdaptive(func(u float64) float64 {
+				t := q.Service.Quantile(u)
+				logp := -lam*t + float64(jj)*math.Log(lam*t+1e-300) - logFactorial(jj)
+				return math.Exp(logp)
+			}, 1e-9, 1-1e-9, 1e-10)
+		}
+	}
+}
+
+// gammaArrivalProbs uses the closed form for Gamma(shape, rate) service:
+// a_j = (Γ(shape+j)/(Γ(shape) j!)) (rate/(rate+λ))^shape (λ/(rate+λ))^j.
+func (q *MG1K) gammaArrivalProbs(shape, rate float64) {
+	lam := q.Lambda
+	p := lam / (rate + lam)
+	base := math.Pow(rate/(rate+lam), shape)
+	term := base // j = 0
+	for j := 0; j <= q.K; j++ {
+		q.aj[j] = term
+		term *= (shape + float64(j)) / float64(j+1) * p
+	}
+}
+
+func logFactorial(n int) float64 {
+	lg, _ := math.Lgamma(float64(n + 1))
+	return lg
+}
+
+// solve builds the embedded-chain transition matrix, finds its stationary
+// distribution, and converts it to time-stationary probabilities using the
+// standard M/G/1/K relations p_j = π_j/(π_0+ρ) (j<K), p_K = 1 - 1/(π_0+ρ).
+func (q *MG1K) solve() error {
+	k := q.K
+	n := k // embedded states 0..K-1 (system size just after a departure)
+	P := make([][]float64, n)
+	for i := range P {
+		P[i] = make([]float64, n)
+	}
+	// tailFrom(roomIdx) = 1 - Σ_{j<roomIdx} a_j.
+	tail := func(room int) float64 {
+		s := 0.0
+		for j := 0; j < room; j++ {
+			s += q.aj[j]
+		}
+		return math.Max(0, 1-s)
+	}
+	for from := 0; from < n; from++ {
+		// Effective pre-service level: a departure leaving `from`
+		// customers behaves like from=1 when from=0 (the next service
+		// starts at the next arrival, with room K-1 during it).
+		eff := from
+		if eff == 0 {
+			eff = 1
+		}
+		room := k - eff // spare capacity while the next service runs
+		for m := eff - 1; m < n; m++ {
+			j := m - (eff - 1) // arrivals accepted during the service
+			if m == n-1 {
+				P[from][m] = tail(room)
+			} else if j <= room {
+				P[from][m] = q.aj[j]
+			}
+		}
+	}
+	pi, err := stationary(P)
+	if err != nil {
+		return err
+	}
+	rho := q.Lambda * q.Service.Mean()
+	denom := pi[0] + rho
+	q.pj = make([]float64, k+1)
+	blocked := 1 - 1/denom
+	if blocked < 0 {
+		blocked = 0
+	}
+	for j := 0; j < k; j++ {
+		q.pj[j] = pi[j] / denom
+	}
+	q.pj[k] = blocked
+	return nil
+}
+
+// stationary solves πP = π, Σπ = 1 by Gaussian elimination on (Pᵀ-I) with
+// the normalization row appended.
+func stationary(P [][]float64) ([]float64, error) {
+	n := len(P)
+	// Build A = Pᵀ - I with last row replaced by ones; b = e_n.
+	a := make([][]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			a[i][j] = P[j][i]
+		}
+		a[i][i] -= 1
+	}
+	for j := 0; j < n; j++ {
+		a[n-1][j] = 1
+	}
+	b[n-1] = 1
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-14 {
+			return nil, fmt.Errorf("queueing: singular embedded chain matrix")
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}
+
+// StateProbability returns the time-stationary probability of i customers in
+// the system.
+func (q *MG1K) StateProbability(i int) float64 {
+	if i < 0 || i > q.K {
+		return 0
+	}
+	return q.pj[i]
+}
+
+// BlockingProbability returns the fraction of arrivals lost (PASTA).
+func (q *MG1K) BlockingProbability() float64 { return q.pj[q.K] }
+
+// MeanNumber returns the mean number in the system.
+func (q *MG1K) MeanNumber() float64 {
+	total := 0.0
+	for i, p := range q.pj {
+		total += float64(i) * p
+	}
+	return total
+}
+
+// MeanSojourn returns the mean response time of accepted customers by
+// Little's law.
+func (q *MG1K) MeanSojourn() float64 {
+	return q.MeanNumber() / (q.Lambda * (1 - q.BlockingProbability()))
+}
+
+// SojournLST returns an approximate sojourn-time transform for accepted
+// customers. An accepted arrival finding j customers (PASTA, conditioned on
+// acceptance) waits for the in-service customer's *residual* service, then
+// j-1 full services, then its own:
+//
+//	S(s) ≈ p'_0·B(s) + Σ_{j>=1} p'_j · Be(s)·B(s)^j
+//
+// with Be the equilibrium (residual) service transform (1-B(s))/(s·E[B]).
+// The construction is exact for exponential service (where it reduces to
+// the M/M/1/K Erlang mixture) and a standard approximation otherwise: it
+// ignores the correlation between the queue length found and the elapsed
+// service age.
+func (q *MG1K) SojournLST() lst.Transform {
+	b := lst.FromDist(q.Service)
+	residualMean := dist.SecondMoment(q.Service) / (2 * q.Service.Mean())
+	be := lst.Transform{
+		F: func(s complex128) complex128 {
+			if s == 0 {
+				return 1
+			}
+			return (1 - b.F(s)) / (s * complex(q.Service.Mean(), 0))
+		},
+		Mean: residualMean,
+	}
+	accepted := 1 - q.BlockingProbability()
+	weights := make([]float64, q.K)
+	for j := 0; j < q.K; j++ {
+		weights[j] = q.pj[j] / accepted
+	}
+	mean := 0.0
+	for j, w := range weights {
+		if j == 0 {
+			mean += w * q.Service.Mean()
+		} else {
+			mean += w * (residualMean + float64(j)*q.Service.Mean())
+		}
+	}
+	return lst.Transform{
+		F: func(s complex128) complex128 {
+			bs := b.F(s)
+			total := complex(weights[0], 0) * bs
+			pow := bs // B(s)^j for j=1
+			for j := 1; j < q.K; j++ {
+				total += complex(weights[j], 0) * be.F(s) * pow
+				pow *= bs
+			}
+			return total
+		},
+		Mean: mean,
+	}
+}

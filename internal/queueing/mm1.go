@@ -1,0 +1,63 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MM1 is an M/M/1 queue: Poisson arrivals at rate Lambda, exponential
+// service at rate Mu. Its closed forms anchor the validation of both the
+// numeric machinery and the simulator.
+type MM1 struct {
+	Lambda float64
+	Mu     float64
+}
+
+// NewMM1 validates and constructs an M/M/1 queue.
+func NewMM1(lambda, mu float64) (MM1, error) {
+	q := MM1{Lambda: lambda, Mu: mu}
+	if lambda <= 0 || mu <= 0 {
+		return q, fmt.Errorf("%w: lambda=%v, mu=%v", ErrBadParam, lambda, mu)
+	}
+	if lambda >= mu {
+		return q, fmt.Errorf("%w: rho=%.4f", ErrUnstable, lambda/mu)
+	}
+	return q, nil
+}
+
+// Utilization returns ρ = λ/μ.
+func (q MM1) Utilization() float64 { return q.Lambda / q.Mu }
+
+// WaitingCDF is the exact FCFS waiting-time CDF:
+// W(t) = 1 - ρ·e^{-(μ-λ)t}, with an atom 1-ρ at zero.
+func (q MM1) WaitingCDF(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	rho := q.Utilization()
+	return 1 - rho*math.Exp(-(q.Mu-q.Lambda)*t)
+}
+
+// SojournCDF is the exact sojourn-time CDF: 1 - e^{-(μ-λ)t}.
+func (q MM1) SojournCDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return -math.Expm1(-(q.Mu - q.Lambda) * t)
+}
+
+// MeanWaiting returns ρ/(μ-λ).
+func (q MM1) MeanWaiting() float64 {
+	return q.Utilization() / (q.Mu - q.Lambda)
+}
+
+// MeanSojourn returns 1/(μ-λ).
+func (q MM1) MeanSojourn() float64 {
+	return 1 / (q.Mu - q.Lambda)
+}
+
+// MeanQueueLength returns ρ/(1-ρ).
+func (q MM1) MeanQueueLength() float64 {
+	rho := q.Utilization()
+	return rho / (1 - rho)
+}

@@ -1,0 +1,151 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"cosmodel/internal/lst"
+)
+
+// MM1K is an M/M/1/K queue: Poisson arrivals at rate Lambda, exponential
+// service at rate Mu, and at most K customers in the system (arrivals that
+// find K customers are lost). The paper uses it, with K = Nbe, as the
+// tractable approximation of the disk queue shared by the Nbe processes of a
+// storage device.
+type MM1K struct {
+	Lambda float64
+	Mu     float64
+	K      int
+}
+
+// NewMM1K validates and constructs an M/M/1/K queue. Unlike the infinite
+// queues it is stable for any utilization, so only positivity is checked.
+func NewMM1K(lambda, mu float64, k int) (MM1K, error) {
+	q := MM1K{Lambda: lambda, Mu: mu, K: k}
+	if lambda <= 0 || mu <= 0 || k < 1 {
+		return q, fmt.Errorf("%w: lambda=%v, mu=%v, K=%d", ErrBadParam, lambda, mu, k)
+	}
+	return q, nil
+}
+
+// Utilization returns the offered load u = λ/μ (which may exceed 1).
+func (q MM1K) Utilization() float64 { return q.Lambda / q.Mu }
+
+// nearCritical reports whether u is too close to 1 for the geometric-series
+// closed forms, in which case the uniform-limit forms are used.
+func (q MM1K) nearCritical() bool {
+	return math.Abs(q.Utilization()-1) < 1e-9
+}
+
+// StateProbability returns P_i, the steady-state probability of i customers
+// in the system, for i in [0, K]:
+// P_i = (1-u)·u^i / (1-u^{K+1}), or 1/(K+1) when u = 1.
+func (q MM1K) StateProbability(i int) float64 {
+	if i < 0 || i > q.K {
+		return 0
+	}
+	if q.nearCritical() {
+		return 1 / float64(q.K+1)
+	}
+	u := q.Utilization()
+	return (1 - u) * math.Pow(u, float64(i)) / (1 - math.Pow(u, float64(q.K+1)))
+}
+
+// BlockingProbability returns P_K, the fraction of arrivals lost.
+func (q MM1K) BlockingProbability() float64 { return q.StateProbability(q.K) }
+
+// MeanNumber returns N, the mean number of customers in the system:
+// N = u(1-(K+1)u^K + K·u^{K+1}) / ((1-u)(1-u^{K+1})), or K/2 when u = 1.
+func (q MM1K) MeanNumber() float64 {
+	if q.nearCritical() {
+		return float64(q.K) / 2
+	}
+	u := q.Utilization()
+	k := float64(q.K)
+	uk := math.Pow(u, k)
+	return u * (1 - (k+1)*uk + k*uk*u) / ((1 - u) * (1 - uk*u))
+}
+
+// MeanSojourn returns the mean response time of accepted customers by
+// Little's law: N / (λ(1-P_K)).
+func (q MM1K) MeanSojourn() float64 {
+	return q.MeanNumber() / (q.Lambda * (1 - q.BlockingProbability()))
+}
+
+// SojournLST returns the Laplace–Stieltjes transform of the sojourn time of
+// an accepted customer (the paper's "disk service time" seen by a process):
+//
+//	L[S](s) = (v·P0/(1-P_K)) · (1-(λ/(v+s))^K) / (v - λ + s)
+//
+// where v = μ. The removable singularity at s = λ - v (for u > 1) and the
+// s = 0 endpoint are handled explicitly.
+func (q MM1K) SojournLST() lst.Transform {
+	v := q.Mu
+	lam := q.Lambda
+	k := q.K
+	p0 := q.StateProbability(0)
+	pk := q.BlockingProbability()
+	mean := q.MeanSojourn()
+	return lst.Transform{
+		F: func(s complex128) complex128 {
+			if s == 0 {
+				return 1
+			}
+			x := complex(lam, 0) / (complex(v, 0) + s)
+			den := complex(v-lam, 0) + s
+			if cmplx.Abs(den) < 1e-12 {
+				// lim_{den→0}: the sojourn is Erlang-mixture; use the
+				// explicit sum instead of the closed form.
+				return q.sojournSum(s)
+			}
+			num := 1 - cmplx.Pow(x, complex(float64(k), 0))
+			return complex(v*p0/(1-pk), 0) * num / den
+		},
+		Mean: mean,
+	}
+}
+
+// sojournSum evaluates the sojourn LST as the explicit Erlang mixture
+// Σ_{j=0}^{K-1} [P_j/(1-P_K)] (v/(v+s))^{j+1}; used near the removable
+// singularity of the closed form.
+func (q MM1K) sojournSum(s complex128) complex128 {
+	v := complex(q.Mu, 0)
+	x := v / (v + s)
+	pk := q.BlockingProbability()
+	var sum complex128
+	pow := x
+	for j := 0; j < q.K; j++ {
+		sum += complex(q.StateProbability(j)/(1-pk), 0) * pow
+		pow *= x
+	}
+	return sum
+}
+
+// SojournCDF returns the exact sojourn CDF of an accepted customer: the
+// P_j/(1-P_K)-weighted mixture of Erlang(j+1, μ) CDFs.
+func (q MM1K) SojournCDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	pk := q.BlockingProbability()
+	total := 0.0
+	for j := 0; j < q.K; j++ {
+		w := q.StateProbability(j) / (1 - pk)
+		total += w * erlangCDF(j+1, q.Mu, t)
+	}
+	return total
+}
+
+// erlangCDF is the CDF of an Erlang(n, rate) distribution:
+// 1 - e^{-rate·t} Σ_{i=0}^{n-1} (rate·t)^i/i!.
+func erlangCDF(n int, rate, t float64) float64 {
+	x := rate * t
+	sum := 0.0
+	term := 1.0
+	for i := 0; i < n; i++ {
+		sum += term
+		term *= x / float64(i+1)
+	}
+	return 1 - math.Exp(-x)*sum
+}

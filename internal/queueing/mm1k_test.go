@@ -1,0 +1,242 @@
+package queueing
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cosmodel/internal/dist"
+	"cosmodel/internal/lst"
+)
+
+func TestNewMM1KValidation(t *testing.T) {
+	if _, err := NewMM1K(0, 1, 4); err == nil {
+		t.Error("lambda=0 should fail")
+	}
+	if _, err := NewMM1K(1, 0, 4); err == nil {
+		t.Error("mu=0 should fail")
+	}
+	if _, err := NewMM1K(1, 1, 0); err == nil {
+		t.Error("K=0 should fail")
+	}
+	if _, err := NewMM1K(2, 1, 4); err != nil {
+		t.Errorf("overloaded M/M/1/K is fine: %v", err)
+	}
+}
+
+func TestMM1KStateProbabilitiesSumToOne(t *testing.T) {
+	for _, u := range []float64{0.2, 0.8, 1.0, 1.5, 3} {
+		q, err := NewMM1K(u*100, 100, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for i := 0; i <= q.K; i++ {
+			p := q.StateProbability(i)
+			if p < 0 || p > 1 {
+				t.Fatalf("u=%v: P_%d = %v", u, i, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("u=%v: ΣP = %v", u, sum)
+		}
+		if q.StateProbability(-1) != 0 || q.StateProbability(q.K+1) != 0 {
+			t.Error("out-of-range state probability should be 0")
+		}
+	}
+}
+
+func TestMM1KCriticalLoadLimits(t *testing.T) {
+	q, err := NewMM1K(100, 100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := q.StateProbability(3), 1.0/9.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("P_3 at u=1: %v, want %v", got, want)
+	}
+	if got, want := q.MeanNumber(), 4.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("N at u=1: %v, want %v", got, want)
+	}
+	// Continuity: u slightly off 1 should be close to the limit.
+	qq, _ := NewMM1K(100.001, 100, 8)
+	if math.Abs(qq.MeanNumber()-4.0) > 1e-2 {
+		t.Errorf("N near u=1: %v", qq.MeanNumber())
+	}
+}
+
+func TestMM1KSojournLSTMatchesCDF(t *testing.T) {
+	for _, u := range []float64{0.5, 0.95, 1.0, 1.4} {
+		q, err := NewMM1K(u*200, 200, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := q.SojournLST()
+		if got := tr.F(0); math.Abs(real(got)-1) > 1e-12 {
+			t.Errorf("u=%v: LST(0) = %v", u, got)
+		}
+		for _, x := range []float64{0.002, 0.01, 0.03, 0.08} {
+			got := lst.CDF(inv, tr, x)
+			want := q.SojournCDF(x)
+			if math.Abs(got-want) > 1e-5 {
+				t.Errorf("u=%v: CDF(%v) = %v, want %v", u, x, got, want)
+			}
+		}
+	}
+}
+
+func TestMM1KSojournMeanMatchesMixture(t *testing.T) {
+	// Mean from Little must equal the Erlang-mixture mean Σ w_j (j+1)/μ.
+	for _, u := range []float64{0.4, 1.0, 2.0} {
+		q, _ := NewMM1K(u*50, 50, 6)
+		pk := q.BlockingProbability()
+		want := 0.0
+		for j := 0; j < q.K; j++ {
+			want += q.StateProbability(j) / (1 - pk) * float64(j+1) / q.Mu
+		}
+		if got := q.MeanSojourn(); math.Abs(got-want) > 1e-10 {
+			t.Errorf("u=%v: mean sojourn = %v, want %v", u, got, want)
+		}
+	}
+}
+
+// TestMM1KHeavyTrafficLimit: as u → ∞ the system is always full, so an
+// accepted customer sees K-1 ahead and sojourn → Erlang(K, μ).
+func TestMM1KHeavyTrafficLimit(t *testing.T) {
+	q, _ := NewMM1K(1e6, 10, 4)
+	want := 4.0 / 10.0
+	if got := q.MeanSojourn(); math.Abs(got-want) > 1e-3 {
+		t.Errorf("mean sojourn = %v, want %v", got, want)
+	}
+}
+
+// simulateMG1K is a direct event simulation of an M/G/1/K queue, used to
+// validate both the exact MG1K solver and the quality of the paper's
+// M/M/1/K approximation.
+func simulateMG1K(lambda float64, svc dist.Distribution, k int, n int, seed int64) (blocking, meanSojourn float64) {
+	rng := rand.New(rand.NewSource(seed))
+	now := 0.0
+	prevDeparture := 0.0     // departure of the most recently accepted customer
+	var departures []float64 // pending departure times, ascending (FCFS)
+	blocked, accepted := 0, 0
+	var totalSojourn float64
+	for i := 0; i < n; i++ {
+		now += rng.ExpFloat64() / lambda
+		// Drop customers that have already departed.
+		idx := sort.SearchFloat64s(departures, now)
+		departures = departures[idx:]
+		if len(departures) >= k {
+			blocked++
+			continue
+		}
+		start := now
+		if len(departures) > 0 {
+			start = math.Max(start, prevDeparture)
+		}
+		depart := start + svc.Sample(rng)
+		departures = append(departures, depart)
+		prevDeparture = depart
+		totalSojourn += depart - now
+		accepted++
+	}
+	return float64(blocked) / float64(n), totalSojourn / float64(accepted)
+}
+
+func TestMG1KExponentialMatchesMM1K(t *testing.T) {
+	// With exponential service, the exact M/G/1/K solution must coincide
+	// with the M/M/1/K closed forms.
+	for _, u := range []float64{0.3, 0.9, 1.2} {
+		mu := 120.0
+		lam := u * mu
+		exact, err := NewMG1K(lam, dist.Exponential{Rate: mu}, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		closed, _ := NewMM1K(lam, mu, 5)
+		for i := 0; i <= 5; i++ {
+			got := exact.StateProbability(i)
+			want := closed.StateProbability(i)
+			if math.Abs(got-want) > 1e-10 {
+				t.Errorf("u=%v: P_%d = %v, want %v", u, i, got, want)
+			}
+		}
+		if got, want := exact.MeanSojourn(), closed.MeanSojourn(); math.Abs(got-want) > 1e-9 {
+			t.Errorf("u=%v: mean sojourn %v, want %v", u, got, want)
+		}
+	}
+}
+
+func TestMG1KAgainstSimulation(t *testing.T) {
+	svc := dist.Gamma{Shape: 2.5, Rate: 250} // mean 0.01, SCV 0.4
+	const lam = 140.0
+	q, err := NewMG1K(lam, svc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocking, sojourn := simulateMG1K(lam, svc, 4, 400000, 99)
+	if math.Abs(q.BlockingProbability()-blocking) > 0.01 {
+		t.Errorf("blocking = %v, sim %v", q.BlockingProbability(), blocking)
+	}
+	if math.Abs(q.MeanSojourn()-sojourn)/sojourn > 0.05 {
+		t.Errorf("mean sojourn = %v, sim %v", q.MeanSojourn(), sojourn)
+	}
+}
+
+// TestMM1KApproximationQuality quantifies the paper's M/M/1/K-for-M/G/1/K
+// substitution on a Gamma-service disk queue: means should agree within a
+// modest relative error at moderate load.
+func TestMM1KApproximationQuality(t *testing.T) {
+	svc := dist.Gamma{Shape: 2, Rate: 200} // mean 0.01
+	for _, u := range []float64{0.4, 0.8} {
+		lam := u / svc.Mean()
+		exact, err := NewMG1K(lam, svc, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, _ := NewMM1K(lam, 1/svc.Mean(), 8)
+		rel := math.Abs(exact.MeanSojourn()-approx.MeanSojourn()) / exact.MeanSojourn()
+		if rel > 0.30 {
+			t.Errorf("u=%v: approximation off by %.0f%%", u, rel*100)
+		}
+	}
+}
+
+func TestMG1KValidation(t *testing.T) {
+	if _, err := NewMG1K(0, dist.Exponential{Rate: 1}, 3); err == nil {
+		t.Error("lambda=0 should fail")
+	}
+	if _, err := NewMG1K(1, nil, 3); err == nil {
+		t.Error("nil service should fail")
+	}
+	if _, err := NewMG1K(1, dist.Exponential{Rate: 1}, 0); err == nil {
+		t.Error("K=0 should fail")
+	}
+}
+
+func TestMG1KStateProbsSumToOne(t *testing.T) {
+	for _, svc := range []dist.Distribution{
+		dist.Degenerate{Value: 0.008},
+		dist.Gamma{Shape: 3, Rate: 300},
+		dist.Uniform{Lo: 0.001, Hi: 0.02},
+	} {
+		q, err := NewMG1K(90, svc, 6)
+		if err != nil {
+			t.Fatalf("%v: %v", svc, err)
+		}
+		sum := 0.0
+		for i := 0; i <= q.K; i++ {
+			p := q.StateProbability(i)
+			if p < -1e-12 {
+				t.Fatalf("%v: negative P_%d = %v", svc, i, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%v: ΣP = %v", svc, sum)
+		}
+		if q.StateProbability(-1) != 0 || q.StateProbability(q.K+1) != 0 {
+			t.Error("out-of-range state probability should be 0")
+		}
+	}
+}

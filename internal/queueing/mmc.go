@@ -1,0 +1,90 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+
+	"cosmodel/internal/dist"
+	"cosmodel/internal/lst"
+)
+
+// MMC is an M/M/c queue: Poisson arrivals at rate Lambda, c parallel
+// exponential servers of rate Mu each, FCFS. It models a pool of identical
+// workers fed from one queue — a useful what-if contrast to the paper's
+// one-queue-per-process architecture.
+type MMC struct {
+	Lambda float64
+	Mu     float64
+	C      int
+}
+
+// NewMMC validates and constructs an M/M/c queue.
+func NewMMC(lambda, mu float64, c int) (MMC, error) {
+	q := MMC{Lambda: lambda, Mu: mu, C: c}
+	if lambda <= 0 || mu <= 0 || c < 1 {
+		return q, fmt.Errorf("%w: lambda=%v mu=%v c=%d", ErrBadParam, lambda, mu, c)
+	}
+	if q.Utilization() >= 1 {
+		return q, fmt.Errorf("%w: rho=%.4f", ErrUnstable, q.Utilization())
+	}
+	return q, nil
+}
+
+// Utilization returns ρ = λ/(c·μ).
+func (q MMC) Utilization() float64 { return q.Lambda / (float64(q.C) * q.Mu) }
+
+// offeredLoad returns a = λ/μ.
+func (q MMC) offeredLoad() float64 { return q.Lambda / q.Mu }
+
+// ErlangC returns the probability that an arriving customer must wait
+// (all c servers busy), computed stably via the iterative Erlang-B
+// recursion.
+func (q MMC) ErlangC() float64 {
+	a := q.offeredLoad()
+	// Erlang B recursion: B(0)=1; B(k) = a·B(k-1)/(k + a·B(k-1)).
+	b := 1.0
+	for k := 1; k <= q.C; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := q.Utilization()
+	return b / (1 - rho*(1-b))
+}
+
+// MeanWaiting returns E[Wq] = C(c,a)/(cμ - λ).
+func (q MMC) MeanWaiting() float64 {
+	return q.ErlangC() / (float64(q.C)*q.Mu - q.Lambda)
+}
+
+// MeanSojourn returns E[T] = E[Wq] + 1/μ.
+func (q MMC) MeanSojourn() float64 { return q.MeanWaiting() + 1/q.Mu }
+
+// MeanQueueLength returns E[N] by Little's law.
+func (q MMC) MeanQueueLength() float64 { return q.Lambda * q.MeanSojourn() }
+
+// WaitingCDF is the exact FCFS waiting-time CDF:
+// P(Wq <= t) = 1 - C(c,a)·e^{-(cμ-λ)t}.
+func (q MMC) WaitingCDF(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	return 1 - q.ErlangC()*math.Exp(-(float64(q.C)*q.Mu-q.Lambda)*t)
+}
+
+// WaitingLST returns the waiting-time transform: an atom of size 1-C at
+// zero plus C·Exponential(cμ-λ).
+func (q MMC) WaitingLST() lst.Transform {
+	c := q.ErlangC()
+	theta := float64(q.C)*q.Mu - q.Lambda
+	exp := lst.FromDist(dist.Exponential{Rate: theta})
+	return lst.Transform{
+		F: func(s complex128) complex128 {
+			return complex(1-c, 0) + complex(c, 0)*exp.F(s)
+		},
+		Mean: c / theta,
+	}
+}
+
+// SojournLST returns the response-time transform (waiting ∗ service).
+func (q MMC) SojournLST() lst.Transform {
+	return lst.Convolve(q.WaitingLST(), lst.FromDist(dist.Exponential{Rate: q.Mu}))
+}

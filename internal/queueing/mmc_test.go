@@ -1,0 +1,170 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"cosmodel/internal/dist"
+	"cosmodel/internal/lst"
+)
+
+func TestNewMMCValidation(t *testing.T) {
+	if _, err := NewMMC(0, 1, 2); err == nil {
+		t.Error("lambda=0 should fail")
+	}
+	if _, err := NewMMC(1, 0, 2); err == nil {
+		t.Error("mu=0 should fail")
+	}
+	if _, err := NewMMC(1, 1, 0); err == nil {
+		t.Error("c=0 should fail")
+	}
+	if _, err := NewMMC(4, 1, 4); err == nil {
+		t.Error("rho=1 should fail")
+	}
+	if _, err := NewMMC(3, 1, 4); err != nil {
+		t.Errorf("rho=0.75 should succeed: %v", err)
+	}
+}
+
+func TestMMCWithOneServerIsMM1(t *testing.T) {
+	mmc, err := NewMMC(6, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm1, err := NewMM1(6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Erlang C with one server is exactly rho.
+	if got := mmc.ErlangC(); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("ErlangC = %v, want 0.6", got)
+	}
+	if math.Abs(mmc.MeanWaiting()-mm1.MeanWaiting()) > 1e-12 {
+		t.Errorf("mean waiting %v vs %v", mmc.MeanWaiting(), mm1.MeanWaiting())
+	}
+	if math.Abs(mmc.MeanSojourn()-mm1.MeanSojourn()) > 1e-12 {
+		t.Errorf("mean sojourn %v vs %v", mmc.MeanSojourn(), mm1.MeanSojourn())
+	}
+	for _, x := range []float64{0.05, 0.2, 0.8} {
+		if math.Abs(mmc.WaitingCDF(x)-mm1.WaitingCDF(x)) > 1e-12 {
+			t.Errorf("waiting CDF(%v) disagrees", x)
+		}
+	}
+}
+
+func TestMMCErlangCKnownValue(t *testing.T) {
+	// Textbook value: a=2, c=3 -> ErlangC = (8/6)/( (1-2/3)(1+2+2) + 8/6 )
+	// = (4/3)/(5/3 + 4/3)·... direct evaluation: B(3,2) via recursion, then C.
+	q, err := NewMMC(2, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct series: C = (a^c/c!)/((1-rho)·Σ_{k<c} a^k/k! + a^c/c!).
+	a, c := 2.0, 3
+	sum := 0.0
+	fact := 1.0
+	powA := 1.0
+	for k := 0; k < c; k++ {
+		if k > 0 {
+			fact *= float64(k)
+			powA *= a
+		}
+		sum += powA / fact
+	}
+	top := powA * a / (fact * float64(c))
+	rho := a / float64(c)
+	want := top / ((1-rho)*sum + top)
+	if got := q.ErlangC(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ErlangC = %v, want %v", got, want)
+	}
+}
+
+func TestMMCWaitingLSTMatchesCDF(t *testing.T) {
+	q, err := NewMMC(14, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := q.WaitingLST()
+	if math.Abs(w.Mean-q.MeanWaiting()) > 1e-12 {
+		t.Errorf("LST mean %v vs %v", w.Mean, q.MeanWaiting())
+	}
+	for _, x := range []float64{0.02, 0.1, 0.4} {
+		got := lst.CDF(inv, w, x)
+		want := q.WaitingCDF(x)
+		if math.Abs(got-want) > 1e-5 {
+			t.Errorf("waiting CDF(%v) = %v, want %v", x, got, want)
+		}
+	}
+	s := q.SojournLST()
+	if math.Abs(s.Mean-q.MeanSojourn()) > 1e-12 {
+		t.Errorf("sojourn mean %v vs %v", s.Mean, q.MeanSojourn())
+	}
+	if got := q.MeanQueueLength(); math.Abs(got-q.Lambda*q.MeanSojourn()) > 1e-12 {
+		t.Errorf("Little's law broken: %v", got)
+	}
+}
+
+// TestMMCPoolVsSplit: a pooled M/M/c beats c separate M/M/1 queues fed a
+// split stream — the resource-pooling inequality the what-if examples rely
+// on.
+func TestMMCPoolVsSplit(t *testing.T) {
+	const lambda, mu, c = 32.0, 10.0, 4
+	pool, err := NewMMC(lambda, mu, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := NewMM1(lambda/c, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(pool.MeanSojourn() < split.MeanSojourn()) {
+		t.Errorf("pooling should win: %v vs %v", pool.MeanSojourn(), split.MeanSojourn())
+	}
+}
+
+func TestMG1KSojournLSTExponentialExact(t *testing.T) {
+	// With exponential service the approximation is exact: it must match
+	// the M/M/1/K sojourn CDF.
+	mu := 150.0
+	for _, u := range []float64{0.5, 1.0, 1.6} {
+		lam := u * mu
+		exact, err := NewMG1K(lam, dist.Exponential{Rate: mu}, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		closed, _ := NewMM1K(lam, mu, 6)
+		tr := exact.SojournLST()
+		if math.Abs(tr.Mean-closed.MeanSojourn()) > 1e-9 {
+			t.Errorf("u=%v: mean %v, want %v", u, tr.Mean, closed.MeanSojourn())
+		}
+		for _, x := range []float64{0.005, 0.02, 0.06} {
+			got := lst.CDF(inv, tr, x)
+			want := closed.SojournCDF(x)
+			if math.Abs(got-want) > 1e-5 {
+				t.Errorf("u=%v: CDF(%v) = %v, want %v", u, x, got, want)
+			}
+		}
+	}
+}
+
+func TestMG1KSojournLSTGammaAgainstSimulation(t *testing.T) {
+	svc := dist.Gamma{Shape: 2.5, Rate: 250}
+	const lam = 160.0
+	q, err := NewMG1K(lam, svc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := q.SojournLST()
+	_, meanSim := simulateMG1K(lam, svc, 5, 300000, 321)
+	if math.Abs(tr.Mean-meanSim)/meanSim > 0.06 {
+		t.Errorf("approx mean sojourn %v, sim %v", tr.Mean, meanSim)
+	}
+	// Mean from the transform construction must match Little's law mean.
+	if math.Abs(tr.Mean-q.MeanSojourn())/q.MeanSojourn() > 0.05 {
+		t.Errorf("transform mean %v vs Little %v", tr.Mean, q.MeanSojourn())
+	}
+	// LST(0) = 1.
+	if got := tr.F(0); math.Abs(real(got)-1) > 1e-9 {
+		t.Errorf("LST(0) = %v", got)
+	}
+}

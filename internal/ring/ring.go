@@ -1,0 +1,124 @@
+// Package ring implements a Swift-style consistent-hash ring: object names
+// hash (MD5, as in OpenStack Swift) to one of a power-of-two number of
+// partitions, and each partition is assigned a fixed number of replicas on
+// distinct devices, balanced as evenly as possible.
+package ring
+
+import (
+	"crypto/md5"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// ErrBadConfig reports invalid ring construction parameters.
+var ErrBadConfig = errors.New("ring: partitions must be a power of two >= 1, replicas >= 1, devices >= replicas")
+
+// Ring maps object names to replica device sets.
+type Ring struct {
+	partPower  uint // partitions = 1 << partPower
+	partitions int
+	replicas   int
+	devices    int
+	assign     [][]int32 // partition -> replica device ids
+}
+
+// New builds a ring with the given number of partitions (a power of two),
+// replicas per partition, and devices. Replicas of one partition always land
+// on distinct devices, which requires devices >= replicas. Assignment is
+// deterministic for a given seed and balanced: device partition counts
+// differ by at most one per replica rank.
+func New(partitions, replicas, devices int, seed int64) (*Ring, error) {
+	if partitions < 1 || partitions&(partitions-1) != 0 ||
+		replicas < 1 || devices < replicas {
+		return nil, fmt.Errorf("%w: partitions=%d replicas=%d devices=%d",
+			ErrBadConfig, partitions, replicas, devices)
+	}
+	power := uint(0)
+	for 1<<power < partitions {
+		power++
+	}
+	r := &Ring{
+		partPower:  power,
+		partitions: partitions,
+		replicas:   replicas,
+		devices:    devices,
+		assign:     make([][]int32, partitions),
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Per-replica-rank round-robin over a shuffled device order, with a
+	// rotation per rank so ranks don't correlate; collisions within a
+	// partition are resolved by skipping to the next unused device.
+	order := rng.Perm(devices)
+	for p := 0; p < partitions; p++ {
+		r.assign[p] = make([]int32, replicas)
+		used := make(map[int32]bool, replicas)
+		for rep := 0; rep < replicas; rep++ {
+			idx := (p + rep*(devices/replicas+1)) % devices
+			for tries := 0; tries < devices; tries++ {
+				dev := int32(order[(idx+tries)%devices])
+				if !used[dev] {
+					used[dev] = true
+					r.assign[p][rep] = dev
+					break
+				}
+			}
+		}
+	}
+	return r, nil
+}
+
+// Partitions returns the number of partitions.
+func (r *Ring) Partitions() int { return r.partitions }
+
+// Replicas returns the replica count.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// Devices returns the device count.
+func (r *Ring) Devices() int { return r.devices }
+
+// PartitionOf hashes an object name to its partition (top partPower bits of
+// the MD5 digest, as Swift does).
+func (r *Ring) PartitionOf(object string) int {
+	sum := md5.Sum([]byte(object))
+	top := binary.BigEndian.Uint32(sum[:4])
+	return int(top >> (32 - r.partPower))
+}
+
+// PartitionOfID hashes a numeric object ID (the trace toolkit identifies
+// objects by uint64) to its partition.
+func (r *Ring) PartitionOfID(id uint64) int {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], id)
+	sum := md5.Sum(buf[:])
+	top := binary.BigEndian.Uint32(sum[:4])
+	return int(top >> (32 - r.partPower))
+}
+
+// ReplicasOf returns the device ids holding the partition's replicas.
+// The returned slice is owned by the ring; do not modify it.
+func (r *Ring) ReplicasOf(partition int) []int32 {
+	return r.assign[partition]
+}
+
+// PickReplica returns one of the partition's replica devices uniformly at
+// random — OpenStack Swift's proxy picks a replica with randomness, which
+// the paper notes as the source of run-to-run variation.
+func (r *Ring) PickReplica(partition int, rng *rand.Rand) int32 {
+	devs := r.assign[partition]
+	return devs[rng.Intn(len(devs))]
+}
+
+// DevicePartitionCounts returns, for each device, how many (partition,
+// replica) assignments it holds. Useful for balance checks and capacity
+// planning.
+func (r *Ring) DevicePartitionCounts() []int {
+	counts := make([]int, r.devices)
+	for _, devs := range r.assign {
+		for _, d := range devs {
+			counts[d]++
+		}
+	}
+	return counts
+}

@@ -1,0 +1,165 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct{ parts, reps, devs int }{
+		{0, 3, 4},   // no partitions
+		{100, 3, 4}, // not a power of two
+		{128, 0, 4}, // no replicas
+		{128, 3, 2}, // fewer devices than replicas
+	}
+	for _, c := range cases {
+		if _, err := New(c.parts, c.reps, c.devs, 1); err == nil {
+			t.Errorf("New(%d,%d,%d) should fail", c.parts, c.reps, c.devs)
+		}
+	}
+	if _, err := New(1024, 3, 4, 1); err != nil {
+		t.Errorf("valid config failed: %v", err)
+	}
+}
+
+func TestReplicasAreDistinctDevices(t *testing.T) {
+	r, err := New(1024, 3, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < r.Partitions(); p++ {
+		devs := r.ReplicasOf(p)
+		if len(devs) != 3 {
+			t.Fatalf("partition %d has %d replicas", p, len(devs))
+		}
+		seen := map[int32]bool{}
+		for _, d := range devs {
+			if d < 0 || int(d) >= r.Devices() {
+				t.Fatalf("partition %d: device %d out of range", p, d)
+			}
+			if seen[d] {
+				t.Fatalf("partition %d: duplicate device %d", p, d)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+func TestBalancedAssignment(t *testing.T) {
+	// The paper's testbed: 1024 partitions, 3 replicas, 4 disks — Swift
+	// distributes all replicas evenly among the disks.
+	r, err := New(1024, 3, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := r.DevicePartitionCounts()
+	total := 0
+	ideal := 1024 * 3 / 4
+	for dev, c := range counts {
+		total += c
+		if c < ideal*9/10 || c > ideal*11/10 {
+			t.Errorf("device %d holds %d assignments, ideal %d", dev, c, ideal)
+		}
+	}
+	if total != 1024*3 {
+		t.Errorf("total assignments = %d", total)
+	}
+}
+
+func TestPartitionOfIsDeterministicAndInRange(t *testing.T) {
+	r, _ := New(256, 2, 5, 3)
+	for i := 0; i < 1000; i++ {
+		name := fmt.Sprintf("object-%d", i)
+		p := r.PartitionOf(name)
+		if p != r.PartitionOf(name) {
+			t.Fatal("PartitionOf not deterministic")
+		}
+		if p < 0 || p >= 256 {
+			t.Fatalf("partition %d out of range", p)
+		}
+	}
+}
+
+func TestPartitionOfIDUniformity(t *testing.T) {
+	r, _ := New(64, 1, 2, 1)
+	counts := make([]int, 64)
+	const n = 64000
+	for i := 0; i < n; i++ {
+		counts[r.PartitionOfID(uint64(i))]++
+	}
+	// Each partition should get about n/64 = 1000 objects.
+	for p, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("partition %d got %d objects, want ~1000", p, c)
+		}
+	}
+}
+
+func TestPickReplicaCoversAllReplicas(t *testing.T) {
+	r, _ := New(16, 3, 6, 9)
+	rng := rand.New(rand.NewSource(2))
+	seen := map[int32]int{}
+	for i := 0; i < 3000; i++ {
+		seen[r.PickReplica(5, rng)]++
+	}
+	devs := r.ReplicasOf(5)
+	if len(seen) != len(devs) {
+		t.Errorf("replica choice visited %d devices, want %d", len(seen), len(devs))
+	}
+	for d, c := range seen {
+		if c < 800 || c > 1200 {
+			t.Errorf("device %d picked %d times, want ~1000", d, c)
+		}
+	}
+}
+
+func TestSameSeedSameRing(t *testing.T) {
+	a, _ := New(128, 3, 7, 1234)
+	b, _ := New(128, 3, 7, 1234)
+	for p := 0; p < 128; p++ {
+		da, db := a.ReplicasOf(p), b.ReplicasOf(p)
+		for i := range da {
+			if da[i] != db[i] {
+				t.Fatalf("partition %d differs between same-seed rings", p)
+			}
+		}
+	}
+}
+
+// TestRingProperty: any valid configuration yields full coverage with
+// distinct replica devices per partition.
+func TestRingProperty(t *testing.T) {
+	f := func(rawParts uint8, rawReps, rawDevs uint8, seed int64) bool {
+		partPow := int(rawParts%8) + 1 // 2..256 partitions
+		parts := 1 << partPow
+		reps := int(rawReps%3) + 1
+		devs := reps + int(rawDevs%8)
+		r, err := New(parts, reps, devs, seed)
+		if err != nil {
+			return false
+		}
+		for p := 0; p < parts; p++ {
+			seen := map[int32]bool{}
+			for _, d := range r.ReplicasOf(p) {
+				if d < 0 || int(d) >= devs || seen[d] {
+					return false
+				}
+				seen[d] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPartitionLookup(b *testing.B) {
+	r, _ := New(1024, 3, 4, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.PartitionOfID(uint64(i))
+	}
+}

@@ -1,0 +1,119 @@
+// Package sim provides a minimal discrete-event simulation kernel: a
+// priority queue of timestamped events with deterministic tie-breaking, a
+// simulation clock, and helpers for seeded random-number streams. The
+// cluster simulator in internal/simstore is built on it.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// event is a scheduled callback.
+type event struct {
+	time float64
+	seq  uint64 // FIFO tie-break for simultaneous events
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulator. It is not safe for concurrent use;
+// a simulation is a single logical thread of control.
+type Kernel struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	count  uint64 // total events executed
+}
+
+// NewKernel returns a kernel with the clock at zero.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current simulation time in seconds.
+func (k *Kernel) Now() float64 { return k.now }
+
+// Processed returns the number of events executed so far.
+func (k *Kernel) Processed() uint64 { return k.count }
+
+// Pending returns the number of scheduled, not-yet-fired events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past runs the
+// event at the current time (never rewinds the clock).
+func (k *Kernel) At(t float64, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.events, &event{time: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now.
+func (k *Kernel) After(d float64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.At(k.now+d, fn)
+}
+
+// Step executes the next event, if any, and reports whether one ran.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(*event)
+	k.now = e.time
+	k.count++
+	e.fn()
+	return true
+}
+
+// RunUntil executes events in timestamp order until the clock would pass
+// limit or no events remain. Events scheduled exactly at limit still run.
+func (k *Kernel) RunUntil(limit float64) {
+	for len(k.events) > 0 && k.events[0].time <= limit {
+		k.Step()
+	}
+	if k.now < limit {
+		k.now = limit
+	}
+}
+
+// Drain executes all remaining events. Use only for workloads that are known
+// to terminate.
+func (k *Kernel) Drain() {
+	for k.Step() {
+	}
+}
+
+// Stream derives an independent deterministic random stream from a base seed
+// and a stream index, so that simulator components don't share RNG state.
+func Stream(seed int64, index int64) *rand.Rand {
+	// SplitMix64-style mixing of seed and index.
+	z := uint64(seed) + uint64(index)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return rand.New(rand.NewSource(int64(z)))
+}

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	var order []float64
+	for _, tt := range []float64{3, 1, 2, 5, 4} {
+		tt := tt
+		k.At(tt, func() { order = append(order, tt) })
+	}
+	k.Drain()
+	if !sort.Float64sAreSorted(order) {
+		t.Errorf("events out of order: %v", order)
+	}
+	if len(order) != 5 {
+		t.Errorf("ran %d events, want 5", len(order))
+	}
+	if k.Now() != 5 {
+		t.Errorf("clock = %v, want 5", k.Now())
+	}
+	if k.Processed() != 5 {
+		t.Errorf("processed = %d", k.Processed())
+	}
+}
+
+func TestSimultaneousEventsAreFIFO(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(1.0, func() { order = append(order, i) })
+	}
+	k.Drain()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	k := NewKernel()
+	var hit float64
+	k.At(2, func() {
+		k.After(3, func() { hit = k.Now() })
+	})
+	k.Drain()
+	if hit != 5 {
+		t.Errorf("nested After fired at %v, want 5", hit)
+	}
+}
+
+func TestSchedulingInThePastClampsToNow(t *testing.T) {
+	k := NewKernel()
+	var hit float64
+	k.At(10, func() {
+		k.At(1, func() { hit = k.Now() }) // in the past
+	})
+	k.Drain()
+	if hit != 10 {
+		t.Errorf("past event fired at %v, want 10", hit)
+	}
+	k2 := NewKernel()
+	k2.At(5, func() {})
+	k2.Drain()
+	k2.After(-3, func() {})
+	k2.Drain()
+	if k2.Now() != 5 {
+		t.Errorf("negative After moved clock to %v", k2.Now())
+	}
+}
+
+func TestRunUntilStopsAtLimit(t *testing.T) {
+	k := NewKernel()
+	ran := 0
+	for i := 1; i <= 10; i++ {
+		k.At(float64(i), func() { ran++ })
+	}
+	k.RunUntil(5)
+	if ran != 5 {
+		t.Errorf("ran %d events, want 5", ran)
+	}
+	if k.Now() != 5 {
+		t.Errorf("clock = %v, want 5", k.Now())
+	}
+	if k.Pending() != 5 {
+		t.Errorf("pending = %d, want 5", k.Pending())
+	}
+	// RunUntil advances the clock even with no events in range.
+	k.RunUntil(5.5)
+	if k.Now() != 5.5 {
+		t.Errorf("clock = %v, want 5.5", k.Now())
+	}
+}
+
+func TestStepOnEmptyKernel(t *testing.T) {
+	k := NewKernel()
+	if k.Step() {
+		t.Error("Step on empty kernel should return false")
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	// A chain of N events, each scheduling the next.
+	k := NewKernel()
+	count := 0
+	var next func()
+	next = func() {
+		count++
+		if count < 1000 {
+			k.After(0.001, next)
+		}
+	}
+	k.At(0, next)
+	k.Drain()
+	if count != 1000 {
+		t.Errorf("chain ran %d times", count)
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	a := Stream(42, 7)
+	b := Stream(42, 7)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same (seed, index) must give identical streams")
+		}
+	}
+	c := Stream(42, 8)
+	d := Stream(43, 7)
+	same := 0
+	for i := 0; i < 100; i++ {
+		x := c.Float64()
+		y := d.Float64()
+		if x == y {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different streams look identical (%d collisions)", same)
+	}
+}
+
+func TestStreamIndependenceProperty(t *testing.T) {
+	f := func(seed int64, i, j uint8) bool {
+		if i == j {
+			return true
+		}
+		a := Stream(seed, int64(i))
+		b := Stream(seed, int64(j))
+		return a.Uint64() != b.Uint64() || a.Uint64() != b.Uint64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkKernelEventThroughput(b *testing.B) {
+	k := NewKernel()
+	rng := rand.New(rand.NewSource(1))
+	var next func()
+	n := 0
+	next = func() {
+		n++
+		if n < b.N {
+			k.After(rng.Float64(), next)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.At(0, next)
+	k.Drain()
+}

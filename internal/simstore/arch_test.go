@@ -1,0 +1,225 @@
+package simstore
+
+import (
+	"testing"
+
+	"cosmodel/internal/trace"
+)
+
+// runArch drives the same workload through a cluster with the given
+// architecture and returns the measurement window.
+func runArch(t *testing.T, arch Architecture, rate float64) Window {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Architecture = arch
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := testCatalog(t, 60000, 5)
+	if err := cl.PrewarmCaches(cat, 0.95); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := trace.Generate(cat, trace.Schedule{{Rate: rate, Duration: 30, Label: "x"}}, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Inject(recs)
+	cl.RunUntil(8)
+	before := cl.Snapshot()
+	cl.Drain()
+	return cl.Window(before, cl.Snapshot())
+}
+
+func TestThreadPerConnectionServesRequests(t *testing.T) {
+	win := runArch(t, ThreadPerConnection, 150)
+	if win.Responses == 0 {
+		t.Fatal("no responses under thread-per-connection")
+	}
+	for i, f := range win.MeetFraction {
+		if f < 0 || f > 1 {
+			t.Errorf("meet fraction %d = %v", i, f)
+		}
+	}
+	if win.MeanLatency <= 0 {
+		t.Errorf("mean latency = %v", win.MeanLatency)
+	}
+}
+
+// TestThreadLimitCreatesPoolWaiting: with a tiny thread pool, connections
+// must queue for threads (positive WTA) and everything still completes.
+func TestThreadLimitCreatesPoolWaiting(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Architecture = ThreadPerConnection
+	cfg.MaxThreadsPerDisk = 1
+	cfg.CacheBytes = 1
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := testCatalog(t, 5000, 5)
+	recs, _ := trace.Generate(cat, trace.Schedule{{Rate: 60, Duration: 20, Label: "x"}}, 7)
+	cl.Inject(recs)
+	cl.Drain()
+	snap := cl.Snapshot()
+	if snap.Responses != uint64(len(recs)) {
+		t.Fatalf("served %d of %d", snap.Responses, len(recs))
+	}
+	if snap.WTASum <= 0 {
+		t.Error("single-thread pool should produce accept waiting")
+	}
+}
+
+// TestEventDrivenBeatsTPCTailLatency reproduces the claim the paper cites
+// (Section II, [22]): at identical high load the event-driven architecture
+// has better tail response latency than thread-per-connection, because TPC
+// threads hold the device through whole transfers while the event loop
+// interleaves.
+func TestEventDrivenBeatsTPCTailLatency(t *testing.T) {
+	const rate = 320
+	ed := runArch(t, EventDriven, rate)
+	// A thread pool as scarce as the event-driven process count (the
+	// apples-to-apples resource comparison).
+	cfg := DefaultConfig()
+	cfg.Architecture = ThreadPerConnection
+	cfg.MaxThreadsPerDisk = cfg.ProcsPerDisk
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := testCatalog(t, 60000, 5)
+	if err := cl.PrewarmCaches(cat, 0.95); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := trace.Generate(cat, trace.Schedule{{Rate: rate, Duration: 30, Label: "x"}}, 31)
+	cl.Inject(recs)
+	cl.RunUntil(8)
+	before := cl.Snapshot()
+	cl.Drain()
+	tpc := cl.Window(before, cl.Snapshot())
+
+	if ed.Latency == nil || tpc.Latency == nil {
+		t.Fatal("missing latency histograms")
+	}
+	edP99 := ed.Latency.Quantile(0.99)
+	tpcP99 := tpc.Latency.Quantile(0.99)
+	if !(edP99 < tpcP99) {
+		t.Errorf("event-driven p99 %.1fms should beat TPC p99 %.1fms", edP99*1e3, tpcP99*1e3)
+	}
+}
+
+func TestArchitectureString(t *testing.T) {
+	if EventDriven.String() != "event-driven" {
+		t.Error(EventDriven.String())
+	}
+	if ThreadPerConnection.String() != "thread-per-connection" {
+		t.Error(ThreadPerConnection.String())
+	}
+	if Architecture(7).String() != "Architecture(7)" {
+		t.Error(Architecture(7).String())
+	}
+}
+
+func TestTimeoutAndRetry(t *testing.T) {
+	cfg := smallConfig()
+	cfg.CacheBytes = 1
+	cfg.RequestTimeout = 0.05 // 50ms: disk-bound requests will trip it
+	cfg.MaxRetries = 1
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := testCatalog(t, 10000, 5)
+	// Overdrive a single device so queueing delays exceed the timeout.
+	recs, _ := trace.Generate(cat, trace.Schedule{{Rate: 80, Duration: 20, Label: "x"}}, 7)
+	cl.Inject(recs)
+	cl.Drain()
+	snap := cl.Snapshot()
+	if snap.Timeouts == 0 {
+		t.Fatal("expected timeouts under overload with a 50ms budget")
+	}
+	if snap.Retries == 0 {
+		t.Fatal("expected retries")
+	}
+	if snap.Retries > snap.Timeouts {
+		t.Errorf("retries %d > timeouts %d", snap.Retries, snap.Timeouts)
+	}
+	// No response is double-counted despite retries: responses equal the
+	// number of distinct trace requests.
+	if snap.Responses != uint64(len(recs)) {
+		t.Errorf("responses %d, requests %d", snap.Responses, len(recs))
+	}
+	if cl.Metrics().Timeouts() != snap.Timeouts || cl.Metrics().Retries() != snap.Retries {
+		t.Error("metrics accessors disagree with snapshot")
+	}
+}
+
+func TestNoTimeoutsWhenDisabled(t *testing.T) {
+	cfg := smallConfig()
+	cfg.CacheBytes = 1
+	cfg.RequestTimeout = 0
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := testCatalog(t, 5000, 5)
+	recs, _ := trace.Generate(cat, trace.Schedule{{Rate: 80, Duration: 10, Label: "x"}}, 7)
+	cl.Inject(recs)
+	cl.Drain()
+	if got := cl.Snapshot().Timeouts; got != 0 {
+		t.Errorf("timeouts = %d with timeouts disabled", got)
+	}
+}
+
+func TestWindowLatencyHistogram(t *testing.T) {
+	cfg := DefaultConfig()
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := testCatalog(t, 5000, 5)
+	recs, _ := trace.Generate(cat, trace.Schedule{{Rate: 100, Duration: 20, Label: "x"}}, 7)
+	cl.Inject(recs)
+	cl.RunUntil(10)
+	before := cl.Snapshot()
+	cl.Drain()
+	win := cl.Window(before, cl.Snapshot())
+	if win.Latency == nil {
+		t.Fatal("window should carry a latency histogram")
+	}
+	if win.Latency.Count() != win.Responses {
+		t.Errorf("histogram count %d, responses %d", win.Latency.Count(), win.Responses)
+	}
+	p50 := win.Latency.Quantile(0.5)
+	p99 := win.Latency.Quantile(0.99)
+	if !(p50 > 0 && p50 <= p99) {
+		t.Errorf("p50 %v, p99 %v", p50, p99)
+	}
+	// Histogram's FractionBelow should roughly agree with the SLA meet
+	// fraction counters.
+	for i, sla := range cfg.SLAs {
+		hist := win.Latency.FractionBelow(sla)
+		if diff := hist - win.MeetFraction[i]; diff > 0.05 || diff < -0.05 {
+			t.Errorf("SLA %v: histogram %.3f vs counter %.3f", sla, hist, win.MeetFraction[i])
+		}
+	}
+}
+
+func TestTPCValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Architecture = ThreadPerConnection
+	cfg.MaxThreadsPerDisk = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero threads should fail validation")
+	}
+	cfg = DefaultConfig()
+	cfg.RequestTimeout = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative timeout should fail validation")
+	}
+	cfg = DefaultConfig()
+	cfg.MaxRetries = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative retries should fail validation")
+	}
+}

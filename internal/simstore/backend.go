@@ -1,0 +1,230 @@
+package simstore
+
+import (
+	"cosmodel/internal/cache"
+)
+
+// backendServer is one backend machine: a shared page cache and one or more
+// storage devices.
+type backendServer struct {
+	id      int
+	cache   *cache.LRU
+	devices []*device
+}
+
+// device is one storage device: a disk, its dedicated object-server
+// processes, and a per-process connection pool. Incoming connections are
+// spread over the processes round-robin (the kernel's listen-socket wakeup
+// order is not load-aware).
+type device struct {
+	id     int
+	srv    *backendServer
+	disk   *disk
+	procs  []*beProc
+	rrNext int
+
+	// Thread-per-connection state (Architecture == ThreadPerConnection).
+	threadsActive int
+	threadPool    []*Request
+}
+
+// connect delivers a connection request from the frontend tier. In the
+// event-driven architecture it enters the per-process connection pool and
+// waits for an accept() operation — the paper's WTA; in thread-per-
+// connection mode it waits for a free thread.
+func (d *device) connect(req *Request) {
+	if d.procs[0].cl.cfg.Architecture == ThreadPerConnection {
+		d.connectTPC(req)
+		return
+	}
+	req.PoolAt = d.procs[0].cl.kern.Now()
+	p := d.procs[d.rrNext]
+	d.rrNext = (d.rrNext + 1) % len(d.procs)
+	p.pool = append(p.pool, req)
+	if !p.acceptQueued {
+		p.acceptQueued = true
+		p.enqueue(beOp{kind: opAccept})
+	}
+}
+
+// opKind enumerates the operations a backend process schedules on its FCFS
+// event queue. accept() is scheduled identically to normal operations —
+// the property the WTA model rests on.
+type opKind uint8
+
+const (
+	opAccept     opKind = iota
+	opServe             // parse + index lookup + metadata read + first data chunk
+	opChunk             // one subsequent data chunk read
+	opWriteChunk        // one received data chunk to write to disk
+)
+
+// beOp is one entry of a backend process's operation queue.
+type beOp struct {
+	kind  opKind
+	req   *Request
+	chunk int
+}
+
+// beProc is one event-driven object-server process. It executes exactly one
+// operation at a time; a disk access blocks it (the process cannot run other
+// queued operations while its synchronous I/O is outstanding), while chunk
+// transmission is asynchronous and releases it immediately.
+type beProc struct {
+	cl  *Cluster
+	dev *device
+
+	q       []beOp
+	running bool
+
+	pool         []*Request // connections waiting to be accept()-ed
+	acceptQueued bool
+}
+
+func (p *beProc) enqueue(op beOp) {
+	p.q = append(p.q, op)
+	p.kick()
+}
+
+// kick starts the next queued operation if the process is idle.
+func (p *beProc) kick() {
+	if p.running || len(p.q) == 0 {
+		return
+	}
+	p.running = true
+	op := p.q[0]
+	p.q = p.q[1:]
+	switch op.kind {
+	case opAccept:
+		p.execAccept()
+	case opServe:
+		if op.req.IsWrite {
+			p.execWriteServe(op.req)
+		} else {
+			p.execServe(op.req)
+		}
+	case opChunk:
+		p.stepData(op.req, op.chunk)
+	case opWriteChunk:
+		p.execWriteChunk(op.req, op.chunk)
+	}
+}
+
+// finish marks the current operation complete and resumes the event loop.
+func (p *beProc) finish() {
+	p.running = false
+	p.kick()
+}
+
+// execAccept performs a batched accept(): every connection in the pool at
+// completion time is accepted at once (processes "may batch accept()
+// requests", as the paper notes when discussing load imbalance).
+func (p *beProc) execAccept() {
+	p.cl.kern.After(p.cl.cfg.AcceptCost, func() {
+		accepted := p.pool
+		p.pool = nil
+		p.acceptQueued = false
+		now := p.cl.kern.Now()
+		for _, req := range accepted {
+			req.AcceptedAt = now
+			req.proc = p
+			p.cl.metrics.noteAccepted(req)
+			r := req
+			// The frontend sends the HTTP request once the connection
+			// is established; it reaches the process an RTT later.
+			p.cl.kern.After(p.cl.cfg.NetRTT, func() {
+				r.BEArriveAt = p.cl.kern.Now()
+				p.enqueue(beOp{kind: opServe, req: r})
+			})
+		}
+		p.finish()
+	})
+}
+
+// execServe runs the head of a request's backend work: request parsing,
+// then index lookup, metadata read and the first data chunk, each possibly
+// hitting the disk.
+func (p *beProc) execServe(req *Request) {
+	p.cl.kern.After(p.cl.cfg.ParseBE, func() {
+		p.stepIndex(req)
+	})
+}
+
+func (p *beProc) stepIndex(req *Request) {
+	if p.dev.srv.cache.Access(cache.ClassIndex, indexKey(req.Object), p.cl.cfg.IndexEntrySize) {
+		p.stepMeta(req)
+		return
+	}
+	p.dev.disk.submit(cache.ClassIndex, func() { p.stepMeta(req) })
+}
+
+func (p *beProc) stepMeta(req *Request) {
+	if p.dev.srv.cache.Access(cache.ClassMeta, metaKey(req.Object), p.cl.cfg.MetaEntrySize) {
+		p.stepData(req, 0)
+		return
+	}
+	p.dev.disk.submit(cache.ClassMeta, func() { p.stepData(req, 0) })
+}
+
+// stepData reads one data chunk (from cache or disk) and then starts its
+// asynchronous transmission.
+func (p *beProc) stepData(req *Request, chunk int) {
+	p.cl.metrics.noteChunkRead(p.dev.id)
+	size := chunkBytes(req.Size, p.cl.cfg.ChunkSize, chunk)
+	if p.dev.srv.cache.Access(cache.ClassData, chunkKey(req.Object, chunk), size) {
+		p.afterData(req, chunk, size)
+		return
+	}
+	p.dev.disk.submit(cache.ClassData, func() { p.afterData(req, chunk, size) })
+}
+
+// afterData runs once a chunk is in memory: it records first-byte latency
+// (the paper's response point: metadata plus first chunk ready), starts the
+// asynchronous send, schedules the next chunk operation for when the send
+// completes, and releases the process to its next queued operation.
+func (p *beProc) afterData(req *Request, chunk int, size int64) {
+	kern := p.cl.kern
+	now := kern.Now()
+	if chunk == 0 {
+		req.BEFirstByteAt = now
+		req.FEFirstByteAt = now + p.cl.cfg.NetRTT
+		r := req
+		kern.At(req.FEFirstByteAt, func() { p.cl.metrics.recordResponse(r) })
+	}
+	req.bytesSent += size
+	sendDur := float64(size) / p.cl.cfg.NetBandwidth
+	r := req
+	if req.bytesSent >= req.Size {
+		// The response completes when the last byte reaches the frontend.
+		kern.After(sendDur+p.cl.cfg.NetRTT, func() {
+			r.DoneAt = kern.Now()
+			p.cl.metrics.noteDone(r)
+		})
+	} else {
+		next := chunk + 1
+		kern.After(sendDur, func() {
+			p.enqueue(beOp{kind: opChunk, req: r, chunk: next})
+		})
+	}
+	p.finish()
+}
+
+// queueLen returns the current operation-queue length (excluding the running
+// operation).
+func (p *beProc) queueLen() int { return len(p.q) }
+
+// chunkBytes returns the size of the chunk-th chunk of an object.
+func chunkBytes(objSize, chunkSize int64, chunk int) int64 {
+	if objSize <= 0 {
+		return 0
+	}
+	off := int64(chunk) * chunkSize
+	if off >= objSize {
+		return 0
+	}
+	remain := objSize - off
+	if remain > chunkSize {
+		return chunkSize
+	}
+	return remain
+}

@@ -1,0 +1,114 @@
+package simstore
+
+import (
+	"fmt"
+
+	"cosmodel/internal/cache"
+	"cosmodel/internal/sim"
+	"cosmodel/internal/trace"
+)
+
+// DiskSamples holds per-operation-class disk service-time measurements from
+// the device benchmark (the input of the paper's Fig. 5 fitting step).
+type DiskSamples struct {
+	Index []float64
+	Meta  []float64
+	Data  []float64
+}
+
+// MeasureDiskService benchmarks a storage device the way the paper does:
+// operations are issued sequentially with at most one outstanding, so each
+// recorded latency is a raw service time with no queueing. n operations are
+// measured per class.
+func MeasureDiskService(cfg Config, n int, seed int64) (DiskSamples, error) {
+	if err := cfg.Validate(); err != nil {
+		return DiskSamples{}, err
+	}
+	if n < 1 {
+		return DiskSamples{}, fmt.Errorf("%w: need n >= 1 samples", ErrBadConfig)
+	}
+	kern := sim.NewKernel()
+	d := newDisk(kern, &cfg, sim.Stream(seed, 5000))
+	out := DiskSamples{
+		Index: make([]float64, 0, n),
+		Meta:  make([]float64, 0, n),
+		Data:  make([]float64, 0, n),
+	}
+	measure := func(class cache.Class, sink *[]float64) {
+		for i := 0; i < n; i++ {
+			start := kern.Now()
+			done := false
+			d.submit(class, func() {
+				*sink = append(*sink, kern.Now()-start)
+				done = true
+			})
+			for !done && kern.Step() {
+			}
+		}
+	}
+	measure(cache.ClassIndex, &out.Index)
+	measure(cache.ClassMeta, &out.Meta)
+	measure(cache.ClassData, &out.Data)
+	return out, nil
+}
+
+// ParseCalibration is the result of the closed-loop parse benchmark.
+type ParseCalibration struct {
+	// DFP is the measured frontend duration (request receipt to start of
+	// response) and DBP the backend one, as defined in Section IV-A.
+	DFP, DBP float64
+	// FE and BE are the derived parse service times after subtracting the
+	// network components.
+	FE, BE float64
+}
+
+// MeasureParse runs the paper's parse benchmark: a closed loop with one
+// outstanding request, always reading the same (cached) object, so no disk
+// access and no queueing occur. It records Dfp and Dbp and derives the
+// parse latencies; with the simulator's known network model the derivation
+// subtracts the accept cost and three one-way trips (connect, request,
+// first response byte).
+func MeasureParse(cfg Config, n int, seed int64) (ParseCalibration, error) {
+	if err := cfg.Validate(); err != nil {
+		return ParseCalibration{}, err
+	}
+	if n < 1 {
+		return ParseCalibration{}, fmt.Errorf("%w: need n >= 1 samples", ErrBadConfig)
+	}
+	cl, err := New(cfg)
+	if err != nil {
+		return ParseCalibration{}, err
+	}
+	const obj = uint64(0)
+	size := cfg.ChunkSize / 2 // single small chunk
+	// Cache the object on every backend server so all accesses hit.
+	for _, srv := range cl.servers {
+		srv.cache.Put(indexKey(obj), cfg.IndexEntrySize)
+		srv.cache.Put(metaKey(obj), cfg.MetaEntrySize)
+		srv.cache.Put(chunkKey(obj, 0), size)
+	}
+	var dfpSum, dbpSum float64
+	var count int
+	cl.metrics.SetResponseHook(func(r *Request) {
+		dfpSum += r.Latency()
+		dbpSum += r.BackendLatency()
+		count++
+	})
+	// Closed loop: requests spaced far apart (1 second each) so exactly
+	// one is ever in flight.
+	for i := 0; i < n; i++ {
+		cl.InjectRecord(trace.Record{At: float64(i + 1), Object: obj, Size: size})
+	}
+	cl.Drain()
+	if count == 0 {
+		return ParseCalibration{}, fmt.Errorf("simstore: parse benchmark recorded no responses")
+	}
+	dfp := dfpSum / float64(count)
+	dbp := dbpSum / float64(count)
+	return ParseCalibration{
+		DFP: dfp,
+		DBP: dbp,
+		FE:  dfp - dbp - cfg.AcceptCost - 3*cfg.NetRTT,
+		BE:  dbp,
+	}, nil
+}

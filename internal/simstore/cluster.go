@@ -1,0 +1,261 @@
+package simstore
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cosmodel/internal/cache"
+	"cosmodel/internal/ring"
+	"cosmodel/internal/sim"
+	"cosmodel/internal/trace"
+)
+
+// Cluster is a simulated object storage deployment.
+type Cluster struct {
+	cfg     Config
+	kern    *sim.Kernel
+	ring    *ring.Ring
+	fes     []*frontendServer
+	servers []*backendServer
+	devices []*device
+	metrics *Metrics
+
+	devToServer []int
+	lbRNG       *rand.Rand // client-side load balancing (ssbench)
+	nextReqID   uint64
+}
+
+// New builds a cluster from the configuration.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	kern := sim.NewKernel()
+	rg, err := ring.New(cfg.Partitions, cfg.Replicas, cfg.Devices(), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		kern:    kern,
+		ring:    rg,
+		metrics: newMetrics(&cfg),
+		lbRNG:   sim.Stream(cfg.Seed, 1),
+	}
+	// Frontend tier.
+	for f := 0; f < cfg.Frontends; f++ {
+		fe := &frontendServer{id: f}
+		for p := 0; p < cfg.ProcsPerFrontend; p++ {
+			fe.procs = append(fe.procs, &feProc{
+				cl:  c,
+				rng: sim.Stream(cfg.Seed, int64(1000+f*100+p)),
+			})
+		}
+		c.fes = append(c.fes, fe)
+	}
+	// Backend tier.
+	devID := 0
+	for b := 0; b < cfg.Backends; b++ {
+		lru, err := cache.NewLRU(cfg.CacheBytes)
+		if err != nil {
+			return nil, err
+		}
+		srv := &backendServer{id: b, cache: lru}
+		for dk := 0; dk < cfg.DisksPerBackend; dk++ {
+			dev := &device{
+				id:   devID,
+				srv:  srv,
+				disk: newDisk(kern, &cfg, sim.Stream(cfg.Seed, int64(2000+devID))),
+			}
+			for p := 0; p < cfg.ProcsPerDisk; p++ {
+				dev.procs = append(dev.procs, &beProc{cl: c, dev: dev})
+			}
+			srv.devices = append(srv.devices, dev)
+			c.devices = append(c.devices, dev)
+			c.devToServer = append(c.devToServer, b)
+			devID++
+		}
+		c.servers = append(c.servers, srv)
+	}
+	return c, nil
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Ring returns the placement ring.
+func (c *Cluster) Ring() *ring.Ring { return c.ring }
+
+// Metrics returns the live metrics collector.
+func (c *Cluster) Metrics() *Metrics { return c.metrics }
+
+// Now returns the simulation clock.
+func (c *Cluster) Now() float64 { return c.kern.Now() }
+
+// EventsProcessed returns the kernel event count (for benchmarks).
+func (c *Cluster) EventsProcessed() uint64 { return c.kern.Processed() }
+
+// InjectRecord schedules one trace record: the request arrives at a
+// uniformly random frontend server at its timestamp (ssbench-style load
+// balancing).
+func (c *Cluster) InjectRecord(rec trace.Record) {
+	c.nextReqID++
+	req := &Request{
+		ID:      c.nextReqID,
+		Object:  rec.Object,
+		Size:    rec.Size,
+		IsWrite: rec.Op == trace.OpPut,
+	}
+	fe := c.fes[c.lbRNG.Intn(len(c.fes))]
+	c.kern.At(rec.At, func() {
+		req.ArriveFE = c.kern.Now()
+		fe.arrive(req)
+	})
+}
+
+// Inject schedules a batch of trace records.
+func (c *Cluster) Inject(records []trace.Record) {
+	for _, r := range records {
+		c.InjectRecord(r)
+	}
+}
+
+// RunUntil advances the simulation to the given absolute time.
+func (c *Cluster) RunUntil(t float64) { c.kern.RunUntil(t) }
+
+// Drain runs until no events remain.
+func (c *Cluster) Drain() { c.kern.Drain() }
+
+// Snapshot copies all cumulative counters.
+func (c *Cluster) Snapshot() Snapshot {
+	s := Snapshot{
+		Time:      c.kern.Now(),
+		Responses: c.metrics.responses,
+		Meet:      append([]uint64(nil), c.metrics.meet...),
+		BEMeet:    append([]uint64(nil), c.metrics.beMeet...),
+		LatSum:    c.metrics.latSum,
+		BELatSum:  c.metrics.beLatSum,
+		Completed: c.metrics.completed,
+		WTASum:    c.metrics.wtaSum,
+		WTACount:  c.metrics.wtaCount,
+		Timeouts:  c.metrics.timeouts,
+		Retries:   c.metrics.retries,
+		DevReqs:   append([]uint64(nil), c.metrics.devReqs...),
+		DevChunks: append([]uint64(nil), c.metrics.devChunks...),
+		DevWrites: append([]uint64(nil), c.metrics.devWrites...),
+		DevResp:   append([]uint64(nil), c.metrics.devResponses...),
+		WriteResp: c.metrics.writeResponses,
+		WriteLat:  c.metrics.writeLatSum,
+		LatHist:   c.metrics.latHist.Clone(),
+	}
+	s.DevMeet = make([][]uint64, len(c.metrics.devMeet))
+	for d := range c.metrics.devMeet {
+		s.DevMeet[d] = append([]uint64(nil), c.metrics.devMeet[d]...)
+	}
+	for _, d := range c.devices {
+		s.Disk = append(s.Disk, d.disk.stats)
+	}
+	for _, srv := range c.servers {
+		s.Cache = append(s.Cache, srv.cache.Stats())
+	}
+	return s
+}
+
+// Window computes the interval view between two snapshots.
+func (c *Cluster) Window(prev, cur Snapshot) Window {
+	return cur.Sub(prev, c.devToServer)
+}
+
+// PrewarmCaches pre-populates every backend server's page cache with the
+// index, metadata and data chunks of the most popular catalog objects, most
+// popular last (so they are the most recently used). It stands in for the
+// paper's 3-hour warmup phase; fill is the fraction of each cache to fill.
+func (c *Cluster) PrewarmCaches(cat *trace.Catalog, fill float64) error {
+	if fill <= 0 || fill > 1 {
+		return fmt.Errorf("%w: prewarm fill %v outside (0,1]", ErrBadConfig, fill)
+	}
+	target := int64(float64(c.cfg.CacheBytes) * fill)
+	// Per-server bytes inserted so far.
+	inserted := make([]int64, len(c.servers))
+	full := 0
+	ids := cat.PopularIDs(cat.Len())
+	// Iterate from least popular of the considered prefix to most popular
+	// so the most popular end up most recently used. First find the prefix
+	// that fits, then insert in reverse.
+	type item struct {
+		srv int
+		obj uint64
+	}
+	var plan []item
+	need := make([]bool, len(c.servers))
+	for i := range need {
+		need[i] = true
+	}
+	for _, id := range ids {
+		if full == len(c.servers) {
+			break
+		}
+		part := c.ring.PartitionOfID(id)
+		size := cat.Size(id)
+		for _, devID := range c.ring.ReplicasOf(part) {
+			srv := c.devToServer[devID]
+			if !need[srv] {
+				continue
+			}
+			cost := c.cfg.IndexEntrySize + c.cfg.MetaEntrySize + size
+			if inserted[srv]+cost > target {
+				need[srv] = false
+				full++
+				continue
+			}
+			inserted[srv] += cost
+			plan = append(plan, item{srv: srv, obj: id})
+		}
+	}
+	for i := len(plan) - 1; i >= 0; i-- {
+		it := plan[i]
+		lru := c.servers[it.srv].cache
+		size := cat.Size(it.obj)
+		chunks := int((size + c.cfg.ChunkSize - 1) / c.cfg.ChunkSize)
+		for ch := chunks - 1; ch >= 0; ch-- {
+			lru.Put(chunkKey(it.obj, ch), chunkBytes(size, c.cfg.ChunkSize, ch))
+		}
+		lru.Put(metaKey(it.obj), c.cfg.MetaEntrySize)
+		lru.Put(indexKey(it.obj), c.cfg.IndexEntrySize)
+	}
+	return nil
+}
+
+// DeviceQueueLengths returns, per device, the summed backend-process
+// operation-queue lengths plus pool sizes (diagnostics for overload
+// detection).
+func (c *Cluster) DeviceQueueLengths() []int {
+	out := make([]int, len(c.devices))
+	for i, d := range c.devices {
+		n := d.disk.queueLen()
+		for _, p := range d.procs {
+			n += p.queueLen() + len(p.pool)
+		}
+		out[i] = n
+	}
+	return out
+}
+
+// DeviceServer returns the backend-server index hosting the given device.
+func (c *Cluster) DeviceServer(dev int) int { return c.devToServer[dev] }
+
+// DegradeDisk injects a media-degradation failure: from now on, device
+// dev's raw disk service times are multiplied by factor (>= 1 slows it
+// down; 1 restores health). The online metrics pipeline picks the change up
+// through the measured mean service time, which is how the model is meant
+// to track it.
+func (c *Cluster) DegradeDisk(dev int, factor float64) error {
+	if dev < 0 || dev >= len(c.devices) {
+		return fmt.Errorf("%w: device %d out of range", ErrBadConfig, dev)
+	}
+	if factor <= 0 {
+		return fmt.Errorf("%w: degradation factor %v must be positive", ErrBadConfig, factor)
+	}
+	c.devices[dev].disk.degrade = factor
+	return nil
+}

@@ -1,0 +1,198 @@
+// Package simstore is a discrete-event simulator of an event-driven cloud
+// object storage system in the style of OpenStack Swift: a frontend tier of
+// proxy processes, a backend tier of object-server processes with FCFS
+// operation queues, one shared disk per storage device, a byte-LRU page
+// cache per backend server, connection pools with batched accept(), and
+// chunked data reads whose asynchronous sends interleave the processing of
+// different requests.
+//
+// It substitutes for the paper's 7-node Swift testbed: every queueing
+// mechanism the model targets (diverse disk operations, data chunking,
+// waiting time for being accept()-ed) is reproduced structurally, so the
+// simulator provides the "observed" curves of Figs. 6-7 while the analytic
+// model in internal/core provides the predictions.
+package simstore
+
+import (
+	"errors"
+	"fmt"
+
+	"cosmodel/internal/dist"
+)
+
+// ErrBadConfig reports an invalid cluster configuration.
+var ErrBadConfig = errors.New("simstore: invalid configuration")
+
+// Architecture selects the backend concurrency model. The paper models the
+// event-driven architecture and cites thread-per-connection as the
+// alternative it outperforms (Section II); the simulator implements both so
+// the comparison can be reproduced.
+type Architecture int
+
+const (
+	// EventDriven is the paper's model: per-device processes with FCFS
+	// operation queues, batched accept(), asynchronous chunk sends.
+	EventDriven Architecture = iota
+	// ThreadPerConnection dedicates one blocking thread (up to
+	// MaxThreadsPerDisk) to each connection: the thread holds the
+	// request through every disk read and chunk transmission.
+	ThreadPerConnection
+)
+
+// String returns the architecture name.
+func (a Architecture) String() string {
+	switch a {
+	case EventDriven:
+		return "event-driven"
+	case ThreadPerConnection:
+		return "thread-per-connection"
+	}
+	return fmt.Sprintf("Architecture(%d)", int(a))
+}
+
+// Config describes a simulated cluster. The zero value is not usable; start
+// from DefaultConfig.
+type Config struct {
+	// Frontends is the number of frontend (proxy) servers.
+	Frontends int
+	// ProcsPerFrontend is the number of event-loop worker processes per
+	// frontend server.
+	ProcsPerFrontend int
+	// Backends is the number of backend (object) servers.
+	Backends int
+	// DisksPerBackend is the number of storage devices per backend server.
+	DisksPerBackend int
+	// ProcsPerDisk is Nbe: the number of object-server processes dedicated
+	// to each storage device.
+	ProcsPerDisk int
+
+	// Partitions and Replicas configure the placement ring.
+	Partitions int
+	Replicas   int
+
+	// ChunkSize is the data read/transmit granularity in bytes.
+	ChunkSize int64
+	// NetBandwidth is the backend→frontend transfer bandwidth in
+	// bytes/second (per transfer; the network is assumed uncontended,
+	// matching the paper's sufficient-resources assumption).
+	NetBandwidth float64
+	// NetRTT is the one-way frontend↔backend latency in seconds.
+	NetRTT float64
+
+	// ParseFE and ParseBE are the request-parsing service times (seconds)
+	// at the two tiers; the paper measures them as near-constant.
+	ParseFE float64
+	ParseBE float64
+	// AcceptCost is the event-loop cost of executing one accept()
+	// operation (a batched accept of everything in the pool).
+	AcceptCost float64
+
+	// DiskIndex, DiskMeta and DiskData are the raw per-operation disk
+	// service time distributions (seconds).
+	DiskIndex dist.Distribution
+	DiskMeta  dist.Distribution
+	DiskData  dist.Distribution
+
+	// CacheBytes is the page-cache capacity per backend server.
+	CacheBytes int64
+	// IndexEntrySize and MetaEntrySize are the cached footprint of an
+	// object's index and metadata entries (the paper's ~1 KB I&M).
+	IndexEntrySize int64
+	MetaEntrySize  int64
+
+	// SLAs are the response-latency bounds (seconds) tracked by the
+	// metrics collector.
+	SLAs []float64
+
+	// Architecture selects the backend concurrency model.
+	Architecture Architecture
+	// MaxThreadsPerDisk bounds the thread pool per storage device in
+	// ThreadPerConnection mode (ignored for EventDriven).
+	MaxThreadsPerDisk int
+
+	// RequestTimeout aborts and retries a request whose first response
+	// byte has not arrived within this many seconds; 0 disables timeouts.
+	// The paper's evaluation discards measurement windows in which
+	// timeouts or retries occurred.
+	RequestTimeout float64
+	// MaxRetries is the number of re-issues after a timeout before the
+	// request is left to complete whenever it completes.
+	MaxRetries int
+
+	// Seed drives all randomness in the cluster deterministically.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's testbed: 3 frontend servers, 4 backend
+// servers with one 1 TB HDD each, 1024 partitions × 3 replicas, 64 KB
+// chunks, 1 Gbps interconnect, and Gamma disk service times in the range of
+// the paper's Fig. 5. The backend page cache is sized to be scarce relative
+// to the catalog, as in the paper's 5 GB memory limit.
+func DefaultConfig() Config {
+	return Config{
+		Frontends:         3,
+		ProcsPerFrontend:  4,
+		Backends:          4,
+		DisksPerBackend:   1,
+		ProcsPerDisk:      1,
+		Partitions:        1024,
+		Replicas:          3,
+		ChunkSize:         64 * 1024,
+		NetBandwidth:      100e6, // ~1 Gbps effective
+		NetRTT:            100e-6,
+		ParseFE:           0.3e-3,
+		ParseBE:           0.5e-3,
+		AcceptCost:        0.05e-3,
+		DiskIndex:         dist.NewGammaMeanSCV(9e-3, 0.45),
+		DiskMeta:          dist.NewGammaMeanSCV(6e-3, 0.50),
+		DiskData:          dist.NewGammaMeanSCV(8e-3, 0.40),
+		CacheBytes:        96 << 20,
+		IndexEntrySize:    512,
+		MetaEntrySize:     512,
+		SLAs:              []float64{0.010, 0.050, 0.100},
+		Architecture:      EventDriven,
+		MaxThreadsPerDisk: 64,
+		RequestTimeout:    0,
+		MaxRetries:        1,
+		Seed:              1,
+	}
+}
+
+// Devices returns the total number of storage devices.
+func (c Config) Devices() int { return c.Backends * c.DisksPerBackend }
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Frontends < 1 || c.ProcsPerFrontend < 1:
+		return fmt.Errorf("%w: need at least one frontend process", ErrBadConfig)
+	case c.Backends < 1 || c.DisksPerBackend < 1 || c.ProcsPerDisk < 1:
+		return fmt.Errorf("%w: need at least one backend process per disk", ErrBadConfig)
+	case c.Partitions < 1 || c.Partitions&(c.Partitions-1) != 0:
+		return fmt.Errorf("%w: partitions must be a power of two", ErrBadConfig)
+	case c.Replicas < 1 || c.Replicas > c.Devices():
+		return fmt.Errorf("%w: replicas=%d with %d devices", ErrBadConfig, c.Replicas, c.Devices())
+	case c.ChunkSize < 1:
+		return fmt.Errorf("%w: chunk size must be positive", ErrBadConfig)
+	case c.NetBandwidth <= 0 || c.NetRTT < 0:
+		return fmt.Errorf("%w: bad network parameters", ErrBadConfig)
+	case c.ParseFE <= 0 || c.ParseBE <= 0 || c.AcceptCost < 0:
+		return fmt.Errorf("%w: bad parse/accept costs", ErrBadConfig)
+	case c.DiskIndex == nil || c.DiskMeta == nil || c.DiskData == nil:
+		return fmt.Errorf("%w: disk service distributions required", ErrBadConfig)
+	case c.CacheBytes <= 0 || c.IndexEntrySize < 0 || c.MetaEntrySize < 0:
+		return fmt.Errorf("%w: bad cache parameters", ErrBadConfig)
+	case len(c.SLAs) == 0:
+		return fmt.Errorf("%w: at least one SLA required", ErrBadConfig)
+	case c.Architecture == ThreadPerConnection && c.MaxThreadsPerDisk < 1:
+		return fmt.Errorf("%w: thread-per-connection needs MaxThreadsPerDisk >= 1", ErrBadConfig)
+	case c.RequestTimeout < 0 || c.MaxRetries < 0:
+		return fmt.Errorf("%w: bad timeout/retry parameters", ErrBadConfig)
+	}
+	for _, s := range c.SLAs {
+		if s <= 0 {
+			return fmt.Errorf("%w: SLA %v must be positive", ErrBadConfig, s)
+		}
+	}
+	return nil
+}

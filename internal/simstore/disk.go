@@ -1,0 +1,113 @@
+package simstore
+
+import (
+	"math/rand"
+
+	"cosmodel/internal/cache"
+	"cosmodel/internal/dist"
+	"cosmodel/internal/sim"
+)
+
+// diskJob is one outstanding disk operation.
+type diskJob struct {
+	class cache.Class
+	done  func()
+}
+
+// disk models one storage device's HDD: a single server with a FCFS queue
+// of operations whose raw service times are drawn per operation class
+// (index lookup, metadata read, data read) from the configured
+// distributions. Backend processes submitting to the disk block until their
+// operation completes — the disk queue is what turns Nbe processes into the
+// paper's M/G/1/K system.
+type disk struct {
+	kern *sim.Kernel
+	rng  *rand.Rand
+	svc  [3]dist.Distribution // indexed by cache.Class
+	q    []diskJob
+	busy bool
+
+	// degrade scales every sampled service time; 1 is healthy. Failure
+	// injection (media degradation, remapping storms) raises it mid-run.
+	degrade float64
+
+	stats diskStats
+}
+
+// diskStats accumulates per-class operation counts and total raw service
+// time, plus total busy time — the inputs for the "system online metrics"
+// estimation (Section IV-B of the paper).
+type diskStats struct {
+	Ops      [3]uint64
+	SvcTotal [3]float64
+	BusyTime float64
+	MaxQueue int
+}
+
+func newDisk(kern *sim.Kernel, cfg *Config, rng *rand.Rand) *disk {
+	return &disk{
+		kern:    kern,
+		rng:     rng,
+		svc:     [3]dist.Distribution{cfg.DiskIndex, cfg.DiskMeta, cfg.DiskData},
+		degrade: 1,
+	}
+}
+
+// submit enqueues an operation; done runs when it completes.
+func (d *disk) submit(class cache.Class, done func()) {
+	d.q = append(d.q, diskJob{class: class, done: done})
+	if n := len(d.q); n > d.stats.MaxQueue {
+		d.stats.MaxQueue = n
+	}
+	d.maybeServe()
+}
+
+func (d *disk) maybeServe() {
+	if d.busy || len(d.q) == 0 {
+		return
+	}
+	d.busy = true
+	job := d.q[0]
+	d.q = d.q[1:]
+	t := d.svc[job.class].Sample(d.rng) * d.degrade
+	if t < 0 {
+		t = 0
+	}
+	d.stats.Ops[job.class]++
+	d.stats.SvcTotal[job.class] += t
+	d.stats.BusyTime += t
+	d.kern.After(t, func() {
+		d.busy = false
+		job.done()
+		d.maybeServe()
+	})
+}
+
+// queueLen returns the number of waiting (not in service) operations.
+func (d *disk) queueLen() int { return len(d.q) }
+
+// meanService returns the overall mean raw service time observed so far
+// (the paper's online "b").
+func (s *diskStats) meanService() float64 {
+	var ops uint64
+	var total float64
+	for i := range s.Ops {
+		ops += s.Ops[i]
+		total += s.SvcTotal[i]
+	}
+	if ops == 0 {
+		return 0
+	}
+	return total / float64(ops)
+}
+
+// sub returns the delta s - prev.
+func (s diskStats) sub(prev diskStats) diskStats {
+	out := s
+	for i := range s.Ops {
+		out.Ops[i] -= prev.Ops[i]
+		out.SvcTotal[i] -= prev.SvcTotal[i]
+	}
+	out.BusyTime -= prev.BusyTime
+	return out
+}

@@ -1,0 +1,116 @@
+package simstore
+
+import (
+	"math"
+	"testing"
+
+	"cosmodel/internal/trace"
+)
+
+func TestDegradeDiskValidation(t *testing.T) {
+	cl, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.DegradeDisk(-1, 2); err == nil {
+		t.Error("negative device should fail")
+	}
+	if err := cl.DegradeDisk(99, 2); err == nil {
+		t.Error("out-of-range device should fail")
+	}
+	if err := cl.DegradeDisk(0, 0); err == nil {
+		t.Error("zero factor should fail")
+	}
+	if err := cl.DegradeDisk(0, 2); err != nil {
+		t.Errorf("valid degradation failed: %v", err)
+	}
+}
+
+// TestDiskDegradationIsObservable injects a mid-run media degradation and
+// checks that (a) the degraded device's observed SLA compliance drops while
+// the healthy devices' stays put, and (b) the online metrics pipeline sees
+// the slower mean service time — the signal the model uses to track it.
+func TestDiskDegradationIsObservable(t *testing.T) {
+	cfg := DefaultConfig()
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := testCatalog(t, 40000, 9)
+	if err := cl.PrewarmCaches(cat, 0.95); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := trace.Generate(cat, trace.Schedule{{Rate: 150, Duration: 60, Label: "x"}}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Inject(recs)
+	// Healthy first half.
+	cl.RunUntil(5)
+	s0 := cl.Snapshot()
+	cl.RunUntil(30)
+	s1 := cl.Snapshot()
+	healthy := cl.Window(s0, s1)
+	// Degrade device 0 by 3x and measure the second half.
+	if err := cl.DegradeDisk(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	cl.RunUntil(35)
+	s2 := cl.Snapshot()
+	cl.RunUntil(60)
+	s3 := cl.Snapshot()
+	degraded := cl.Window(s2, s3)
+
+	// (a) the degraded device's 50ms compliance collapses relative to its
+	// healthy window.
+	before := healthy.DeviceMeetFraction[0][1]
+	after := degraded.DeviceMeetFraction[0][1]
+	if math.IsNaN(before) || math.IsNaN(after) {
+		t.Fatal("missing per-device observations")
+	}
+	if !(after < before-0.05) {
+		t.Errorf("device 0 compliance %v -> %v: degradation invisible", before, after)
+	}
+	// A healthy device is unaffected (within noise).
+	hb := healthy.DeviceMeetFraction[2][1]
+	ha := degraded.DeviceMeetFraction[2][1]
+	if ha < hb-0.15 {
+		t.Errorf("healthy device compliance moved too much: %v -> %v", hb, ha)
+	}
+	// (b) the measured mean disk service time roughly triples.
+	ratio := degraded.DiskMeanSvc[0] / healthy.DiskMeanSvc[0]
+	if ratio < 2.2 || ratio > 3.8 {
+		t.Errorf("disk mean service ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestPerDeviceSLAAccountingConsistency(t *testing.T) {
+	cfg := DefaultConfig()
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := testCatalog(t, 10000, 9)
+	recs, _ := trace.Generate(cat, trace.Schedule{{Rate: 80, Duration: 15, Label: "x"}}, 7)
+	cl.Inject(recs)
+	cl.Drain()
+	snap := cl.Snapshot()
+	// Per-device responses sum to the total, and per-device meets sum to
+	// the tier-wide meets.
+	var resp uint64
+	meets := make([]uint64, len(cfg.SLAs))
+	for d := range snap.DevResp {
+		resp += snap.DevResp[d]
+		for i := range meets {
+			meets[i] += snap.DevMeet[d][i]
+		}
+	}
+	if resp != snap.Responses {
+		t.Errorf("device responses sum %d, total %d", resp, snap.Responses)
+	}
+	for i := range meets {
+		if meets[i] != snap.Meet[i] {
+			t.Errorf("SLA %d: device meets sum %d, total %d", i, meets[i], snap.Meet[i])
+		}
+	}
+}

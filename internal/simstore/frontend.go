@@ -1,0 +1,139 @@
+package simstore
+
+import "math/rand"
+
+// frontendServer is one proxy machine with several event-loop worker
+// processes. Incoming requests are spread round-robin over the processes.
+type frontendServer struct {
+	id     int
+	procs  []*feProc
+	rrNext int
+}
+
+func (f *frontendServer) arrive(req *Request) {
+	p := f.procs[f.rrNext]
+	f.rrNext = (f.rrNext + 1) % len(f.procs)
+	p.enqueue(req)
+}
+
+// feProc is one event-driven proxy process. Its only synchronous work is
+// request parsing; connection establishment to the backend and response
+// streaming are asynchronous, matching the paper's frontend model (an M/G/1
+// queue whose service time is the parse latency).
+type feProc struct {
+	cl  *Cluster
+	rng *rand.Rand // replica choice
+
+	q       []*Request
+	running bool
+}
+
+func (p *feProc) enqueue(req *Request) {
+	p.q = append(p.q, req)
+	p.kick()
+}
+
+func (p *feProc) kick() {
+	if p.running || len(p.q) == 0 {
+		return
+	}
+	p.running = true
+	req := p.q[0]
+	p.q = p.q[1:]
+	p.cl.kern.After(p.cl.cfg.ParseFE, func() {
+		p.route(req)
+		p.running = false
+		p.kick()
+	})
+}
+
+// route dispatches a parsed request: GETs go to one randomly chosen
+// replica, PUTs to all of them.
+func (p *feProc) route(req *Request) {
+	if req.IsWrite {
+		p.routeWrite(req)
+		return
+	}
+	p.routeRead(req)
+}
+
+// routeWrite sends a PUT to every replica of the object's partition; the
+// client is acknowledged once a majority of replicas has durably written
+// the object (Swift's write quorum).
+func (p *feProc) routeWrite(req *Request) {
+	part := p.cl.ring.PartitionOfID(req.Object)
+	devs := p.cl.ring.ReplicasOf(part)
+	state := &writeState{
+		arriveFE:   req.ArriveFE,
+		acksNeeded: len(devs)/2 + 1,
+	}
+	req.ConnectAt = p.cl.kern.Now()
+	for _, dev := range devs {
+		p.cl.nextReqID++
+		sub := &Request{
+			ID:       p.cl.nextReqID,
+			Object:   req.Object,
+			Size:     req.Size,
+			ArriveFE: req.ArriveFE,
+			IsWrite:  true,
+			write:    state,
+			Device:   int(dev),
+		}
+		p.cl.metrics.noteDeviceWrite(int(dev))
+		s := sub
+		target := int(dev)
+		p.cl.kern.After(p.cl.cfg.NetRTT, func() {
+			p.cl.devices[target].connect(s)
+		})
+	}
+}
+
+// routeRead picks a replica device for the object (uniformly at random, as
+// the Swift proxy does) and initiates the backend connection, arming the
+// request timeout when one is configured.
+func (p *feProc) routeRead(req *Request) {
+	req.Attempt++
+	part := p.cl.ring.PartitionOfID(req.Object)
+	dev := int(p.cl.ring.PickReplica(part, p.rng))
+	req.Device = dev
+	req.ConnectAt = p.cl.kern.Now()
+	p.cl.metrics.noteDeviceRequest(dev)
+	r := req
+	p.cl.kern.After(p.cl.cfg.NetRTT, func() {
+		p.cl.devices[dev].connect(r)
+	})
+	if p.cl.cfg.RequestTimeout > 0 {
+		p.watch(req)
+	}
+}
+
+// watch aborts and retries the request if its first response byte has not
+// arrived within the configured timeout. The superseded attempt keeps
+// running at the backend (its work is already enqueued — as in the real
+// system) but is excluded from response accounting. After MaxRetries the
+// request is left to complete whenever it completes, counting against the
+// SLA naturally.
+func (p *feProc) watch(req *Request) {
+	p.cl.kern.After(p.cl.cfg.RequestTimeout, func() {
+		if req.recorded || req.abandoned {
+			return
+		}
+		p.cl.metrics.noteTimeout()
+		if req.Attempt > p.cl.cfg.MaxRetries {
+			return
+		}
+		req.abandoned = true
+		p.cl.metrics.noteRetry()
+		p.cl.nextReqID++
+		retry := &Request{
+			ID:       p.cl.nextReqID,
+			Object:   req.Object,
+			Size:     req.Size,
+			ArriveFE: req.ArriveFE, // latency spans all attempts
+			Attempt:  req.Attempt,
+		}
+		// The proxy already parsed the request: the retry goes straight
+		// to routing on another (possibly the same) replica.
+		p.route(retry)
+	})
+}

@@ -1,0 +1,292 @@
+package simstore
+
+import (
+	"math"
+
+	"cosmodel/internal/cache"
+	"cosmodel/internal/stats"
+)
+
+// Metrics accumulates the cluster's cumulative counters. Windowed views are
+// obtained by subtracting two Snapshots.
+type Metrics struct {
+	slas []float64
+
+	responses uint64
+	meet      []uint64 // per SLA, frontend-tier latency
+	beMeet    []uint64 // per SLA, backend-tier latency
+	latSum    float64
+	beLatSum  float64
+	completed uint64
+	wtaSum    float64
+	wtaCount  uint64
+	devReqs   []uint64 // arrivals routed per device
+	devChunks []uint64 // data read operations per device
+
+	latHist  *stats.Histogram
+	timeouts uint64
+	retries  uint64
+
+	devWrites      []uint64 // PUT replica sub-requests per device
+	writeResponses uint64   // quorum-acknowledged PUTs
+	writeLatSum    float64
+
+	// Per-device SLA accounting (the paper: "the system counts the number
+	// of requests that meet or violate the SLA for each storage device").
+	devResponses []uint64
+	devMeet      [][]uint64 // [device][sla]
+
+	recordLatencies bool
+	latencies       []float64
+	wtas            []float64
+
+	onResponse func(*Request)
+}
+
+func newMetrics(cfg *Config) *Metrics {
+	m := &Metrics{
+		slas:         append([]float64(nil), cfg.SLAs...),
+		meet:         make([]uint64, len(cfg.SLAs)),
+		beMeet:       make([]uint64, len(cfg.SLAs)),
+		devReqs:      make([]uint64, cfg.Devices()),
+		devChunks:    make([]uint64, cfg.Devices()),
+		devWrites:    make([]uint64, cfg.Devices()),
+		devResponses: make([]uint64, cfg.Devices()),
+		devMeet:      make([][]uint64, cfg.Devices()),
+		latHist:      stats.NewLatencyHistogram(),
+	}
+	for d := range m.devMeet {
+		m.devMeet[d] = make([]uint64, len(cfg.SLAs))
+	}
+	return m
+}
+
+// RecordLatencies enables (or disables) storing every response latency and
+// WTA sample, for CDF-level validation.
+func (m *Metrics) RecordLatencies(on bool) { m.recordLatencies = on }
+
+// Latencies returns the recorded frontend response latencies (if enabled).
+func (m *Metrics) Latencies() []float64 { return m.latencies }
+
+// WTASamples returns the recorded accept-waiting times (if enabled).
+func (m *Metrics) WTASamples() []float64 { return m.wtas }
+
+func (m *Metrics) recordResponse(req *Request) {
+	if req.recorded || req.abandoned {
+		return
+	}
+	req.recorded = true
+	lat := req.Latency()
+	beLat := req.BackendLatency()
+	m.responses++
+	m.latHist.Observe(lat)
+	m.latSum += lat
+	m.beLatSum += beLat
+	m.devResponses[req.Device]++
+	for i, sla := range m.slas {
+		if lat <= sla {
+			m.meet[i]++
+			m.devMeet[req.Device][i]++
+		}
+		if beLat <= sla {
+			m.beMeet[i]++
+		}
+	}
+	if m.recordLatencies {
+		m.latencies = append(m.latencies, lat)
+	}
+	if m.onResponse != nil {
+		m.onResponse(req)
+	}
+}
+
+// SetResponseHook installs a callback invoked for every completed response
+// (used by calibration and tests that need per-request timestamps).
+func (m *Metrics) SetResponseHook(fn func(*Request)) { m.onResponse = fn }
+
+func (m *Metrics) noteAccepted(req *Request) {
+	m.wtaSum += req.WTA()
+	m.wtaCount++
+	if m.recordLatencies {
+		m.wtas = append(m.wtas, req.WTA())
+	}
+}
+
+func (m *Metrics) noteDone(*Request)         { m.completed++ }
+func (m *Metrics) noteDeviceRequest(dev int) { m.devReqs[dev]++ }
+func (m *Metrics) noteChunkRead(dev int)     { m.devChunks[dev]++ }
+func (m *Metrics) noteTimeout()              { m.timeouts++ }
+func (m *Metrics) noteRetry()                { m.retries++ }
+func (m *Metrics) noteDeviceWrite(dev int)   { m.devWrites[dev]++ }
+
+// noteWriteAck counts one replica acknowledgement of a PUT; the PUT is
+// recorded as responded when its write quorum is reached.
+func (m *Metrics) noteWriteAck(req *Request, now float64) {
+	ws := req.write
+	if ws == nil || ws.recorded {
+		return
+	}
+	ws.acks++
+	if ws.acks < ws.acksNeeded {
+		return
+	}
+	ws.recorded = true
+	m.writeResponses++
+	m.writeLatSum += now - ws.arriveFE
+}
+
+// Timeouts returns the cumulative number of request timeouts.
+func (m *Metrics) Timeouts() uint64 { return m.timeouts }
+
+// Retries returns the cumulative number of retried requests.
+func (m *Metrics) Retries() uint64 { return m.retries }
+
+// Snapshot is a copy of all cumulative counters at a point in simulated
+// time, including per-device disk statistics and per-server cache
+// statistics.
+type Snapshot struct {
+	Time      float64
+	Responses uint64
+	Meet      []uint64
+	BEMeet    []uint64
+	LatSum    float64
+	BELatSum  float64
+	Completed uint64
+	WTASum    float64
+	WTACount  uint64
+	Timeouts  uint64
+	Retries   uint64
+	DevReqs   []uint64
+	DevChunks []uint64
+	DevWrites []uint64
+	DevResp   []uint64
+	DevMeet   [][]uint64
+	WriteResp uint64
+	WriteLat  float64
+	Disk      []diskStats      // per device
+	Cache     []cache.Stats    // per backend server
+	LatHist   *stats.Histogram // cumulative latency histogram
+}
+
+// Window is the derived per-interval view of a Snapshot delta: everything
+// the analytic model needs as "system online metrics" plus the observed
+// percentiles it is validated against.
+type Window struct {
+	Duration  float64
+	Responses uint64
+	// MeetFraction[i] is the fraction of responses meeting SLAs[i],
+	// measured at the frontend tier.
+	MeetFraction []float64
+	// BEMeetFraction is the same measured at the backend tier.
+	BEMeetFraction []float64
+	MeanLatency    float64
+	MeanWTA        float64
+	// Timeouts and Retries in the window; the paper's evaluation only
+	// analyzes windows where both are zero.
+	Timeouts uint64
+	Retries  uint64
+	// Latency is the window's latency histogram (nil when the snapshots
+	// carry no histograms); use it for quantile queries.
+	Latency *stats.Histogram
+	// WriteRate is the aggregate quorum-acknowledged PUT rate and
+	// MeanWriteLatency the mean PUT latency; DeviceWriteRate is the rate
+	// of PUT replica sub-requests per device (unmodeled disk load).
+	WriteRate        float64
+	MeanWriteLatency float64
+	DeviceWriteRate  []float64
+
+	// Per-device online metrics (model inputs).
+	DeviceRate      []float64 // r: request arrival rate per device
+	DeviceChunkRate []float64 // rdata: data read operation rate per device
+	// DeviceMeetFraction[d][i] is device d's observed fraction of
+	// responses meeting SLA i (NaN when the device had no responses).
+	DeviceMeetFraction [][]float64
+	MissIndex          []float64 // per device (its server's cache)
+	MissMeta           []float64
+	MissData           []float64
+	DiskMeanSvc        []float64 // b: overall mean raw disk service time
+	DiskUtilization    []float64
+}
+
+// Sub computes the windowed delta cur - prev.
+func (cur Snapshot) Sub(prev Snapshot, devToServer []int) Window {
+	n := len(cur.DevReqs)
+	w := Window{
+		Duration:           cur.Time - prev.Time,
+		Responses:          cur.Responses - prev.Responses,
+		MeetFraction:       make([]float64, len(cur.Meet)),
+		BEMeetFraction:     make([]float64, len(cur.Meet)),
+		DeviceRate:         make([]float64, n),
+		DeviceChunkRate:    make([]float64, n),
+		MissIndex:          make([]float64, n),
+		MissMeta:           make([]float64, n),
+		MissData:           make([]float64, n),
+		DiskMeanSvc:        make([]float64, n),
+		DiskUtilization:    make([]float64, n),
+		DeviceWriteRate:    make([]float64, n),
+		DeviceMeetFraction: make([][]float64, n),
+	}
+	if w.Responses > 0 {
+		for i := range cur.Meet {
+			w.MeetFraction[i] = float64(cur.Meet[i]-prev.Meet[i]) / float64(w.Responses)
+			w.BEMeetFraction[i] = float64(cur.BEMeet[i]-prev.BEMeet[i]) / float64(w.Responses)
+		}
+		w.MeanLatency = (cur.LatSum - prev.LatSum) / float64(w.Responses)
+	}
+	if dw := cur.WTACount - prev.WTACount; dw > 0 {
+		w.MeanWTA = (cur.WTASum - prev.WTASum) / float64(dw)
+	}
+	w.Timeouts = cur.Timeouts - prev.Timeouts
+	w.Retries = cur.Retries - prev.Retries
+	if w.Duration > 0 {
+		w.WriteRate = float64(cur.WriteResp-prev.WriteResp) / w.Duration
+	}
+	if dw := cur.WriteResp - prev.WriteResp; dw > 0 {
+		w.MeanWriteLatency = (cur.WriteLat - prev.WriteLat) / float64(dw)
+	}
+	if cur.LatHist != nil && prev.LatHist != nil {
+		if d, err := cur.LatHist.Sub(prev.LatHist); err == nil {
+			w.Latency = d
+		}
+	} else if cur.LatHist != nil {
+		w.Latency = cur.LatHist.Clone()
+	}
+	for d := 0; d < n; d++ {
+		if w.Duration > 0 {
+			w.DeviceRate[d] = float64(cur.DevReqs[d]-prev.DevReqs[d]) / w.Duration
+			w.DeviceChunkRate[d] = float64(cur.DevChunks[d]-prev.DevChunks[d]) / w.Duration
+			w.DeviceWriteRate[d] = float64(cur.DevWrites[d]-prev.DevWrites[d]) / w.Duration
+		}
+		ds := cur.Disk[d].sub(prev.Disk[d])
+		w.DiskMeanSvc[d] = ds.meanService()
+		if w.Duration > 0 {
+			w.DiskUtilization[d] = ds.BusyTime / w.Duration
+		}
+		cs := cur.Cache[devToServer[d]].Sub(prev.Cache[devToServer[d]])
+		w.MissIndex[d] = cs.MissRatio(cache.ClassIndex)
+		w.MissMeta[d] = cs.MissRatio(cache.ClassMeta)
+		w.MissData[d] = cs.MissRatio(cache.ClassData)
+		w.DeviceMeetFraction[d] = make([]float64, len(cur.Meet))
+		if len(cur.DevResp) > d && len(prev.DevResp) > d {
+			resp := cur.DevResp[d] - prev.DevResp[d]
+			for i := range w.DeviceMeetFraction[d] {
+				if resp == 0 {
+					w.DeviceMeetFraction[d][i] = math.NaN()
+					continue
+				}
+				w.DeviceMeetFraction[d][i] =
+					float64(cur.DevMeet[d][i]-prev.DevMeet[d][i]) / float64(resp)
+			}
+		}
+	}
+	return w
+}
+
+// TotalRate returns the summed per-device request rate.
+func (w Window) TotalRate() float64 {
+	total := 0.0
+	for _, r := range w.DeviceRate {
+		total += r
+	}
+	return total
+}

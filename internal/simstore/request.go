@@ -1,0 +1,95 @@
+package simstore
+
+import "fmt"
+
+// Request is one GET moving through the simulated cluster. All timestamps
+// are simulation seconds; a zero timestamp means "not reached yet" (requests
+// arrive strictly after time zero).
+type Request struct {
+	ID     uint64
+	Object uint64
+	Size   int64
+
+	// Device is the storage device chosen by the proxy (replica pick).
+	Device int
+
+	// ArriveFE is the arrival time at the frontend tier.
+	ArriveFE float64
+	// ConnectAt is when the frontend initiated the backend connection
+	// (after frontend queueing and parsing).
+	ConnectAt float64
+	// PoolAt is when the connection entered the backend connection pool.
+	PoolAt float64
+	// AcceptedAt is when a backend process accept()-ed the connection.
+	// AcceptedAt - PoolAt is the observed WTA.
+	AcceptedAt float64
+	// BEArriveAt is when the HTTP request reached the backend process
+	// queue (one RTT after accept).
+	BEArriveAt float64
+	// BEFirstByteAt is when the backend started responding (metadata and
+	// first data chunk ready).
+	BEFirstByteAt float64
+	// FEFirstByteAt is when the first response byte reached the frontend;
+	// FEFirstByteAt - ArriveFE is the response latency the paper models.
+	FEFirstByteAt float64
+	// DoneAt is when the last chunk finished transmitting.
+	DoneAt float64
+
+	// Attempt is 1 for the initial issue and increments per retry.
+	Attempt int
+	// IsWrite marks a PUT. Writes go to every replica and are
+	// acknowledged at write quorum; the analytic model does not cover
+	// them (the paper's read-heavy assumption), which the write
+	// sensitivity experiment exploits.
+	IsWrite bool
+
+	// bytesSent tracks transmission progress.
+	bytesSent int64
+	// proc is the backend process serving the request.
+	proc *beProc
+	// recorded marks that the response has been counted (dedupes retry
+	// races); abandoned marks an attempt superseded by a retry.
+	recorded  bool
+	abandoned bool
+	// write is the quorum state shared by a PUT's replica sub-requests.
+	write *writeState
+}
+
+// writeState tracks a PUT's replica acknowledgements.
+type writeState struct {
+	arriveFE   float64
+	acksNeeded int
+	acks       int
+	recorded   bool
+}
+
+// Latency returns the frontend-observed response latency (time to first
+// byte), the quantity the model predicts.
+func (r *Request) Latency() float64 { return r.FEFirstByteAt - r.ArriveFE }
+
+// BackendLatency returns the backend-tier response latency: from HTTP
+// request arrival at the backend process to start-of-response.
+func (r *Request) BackendLatency() float64 { return r.BEFirstByteAt - r.BEArriveAt }
+
+// WTA returns the observed waiting time for being accept()-ed.
+func (r *Request) WTA() float64 { return r.AcceptedAt - r.PoolAt }
+
+// Chunks returns the number of data chunks for the given chunk size.
+func (r *Request) Chunks(chunkSize int64) int {
+	if r.Size <= 0 {
+		return 1
+	}
+	return int((r.Size + chunkSize - 1) / chunkSize)
+}
+
+// String implements fmt.Stringer for debugging.
+func (r *Request) String() string {
+	return fmt.Sprintf("req{id=%d obj=%d size=%d dev=%d}", r.ID, r.Object, r.Size, r.Device)
+}
+
+// indexKey, metaKey and chunkKey name the cache entries of an object.
+func indexKey(obj uint64) string { return fmt.Sprintf("i:%d", obj) }
+func metaKey(obj uint64) string  { return fmt.Sprintf("m:%d", obj) }
+func chunkKey(obj uint64, chunk int) string {
+	return fmt.Sprintf("d:%d:%d", obj, chunk)
+}

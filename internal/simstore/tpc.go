@@ -1,0 +1,110 @@
+package simstore
+
+import (
+	"cosmodel/internal/cache"
+)
+
+// Thread-per-connection backend path: each connection gets a dedicated
+// blocking thread, bounded per device by MaxThreadsPerDisk. The thread
+// holds the request through parsing, every disk read and — unlike the
+// event-driven path — every chunk transmission. Connections beyond the
+// thread limit wait in the accept backlog until a thread frees, which is
+// this architecture's version of the WTA.
+
+// connectTPC delivers a connection in ThreadPerConnection mode.
+func (d *device) connectTPC(req *Request) {
+	cl := d.procs[0].cl
+	req.PoolAt = cl.kern.Now()
+	if d.threadsActive < cl.cfg.MaxThreadsPerDisk {
+		d.startThread(req)
+		return
+	}
+	d.threadPool = append(d.threadPool, req)
+}
+
+// startThread accepts the connection and runs its request on a dedicated
+// thread.
+func (d *device) startThread(req *Request) {
+	cl := d.procs[0].cl
+	d.threadsActive++
+	req.AcceptedAt = cl.kern.Now()
+	cl.metrics.noteAccepted(req)
+	r := req
+	cl.kern.After(cl.cfg.NetRTT, func() {
+		r.BEArriveAt = cl.kern.Now()
+		cl.kern.After(cl.cfg.ParseBE, func() {
+			if r.IsWrite {
+				d.tpcWriteIndex(r)
+			} else {
+				d.tpcIndex(r)
+			}
+		})
+	})
+}
+
+func (d *device) tpcIndex(req *Request) {
+	cl := d.procs[0].cl
+	if d.srv.cache.Access(cache.ClassIndex, indexKey(req.Object), cl.cfg.IndexEntrySize) {
+		d.tpcMeta(req)
+		return
+	}
+	d.disk.submit(cache.ClassIndex, func() { d.tpcMeta(req) })
+}
+
+func (d *device) tpcMeta(req *Request) {
+	cl := d.procs[0].cl
+	if d.srv.cache.Access(cache.ClassMeta, metaKey(req.Object), cl.cfg.MetaEntrySize) {
+		d.tpcData(req, 0)
+		return
+	}
+	d.disk.submit(cache.ClassMeta, func() { d.tpcData(req, 0) })
+}
+
+func (d *device) tpcData(req *Request, chunk int) {
+	cl := d.procs[0].cl
+	cl.metrics.noteChunkRead(d.id)
+	size := chunkBytes(req.Size, cl.cfg.ChunkSize, chunk)
+	if d.srv.cache.Access(cache.ClassData, chunkKey(req.Object, chunk), size) {
+		d.tpcSend(req, chunk, size)
+		return
+	}
+	d.disk.submit(cache.ClassData, func() { d.tpcSend(req, chunk, size) })
+}
+
+// tpcSend transmits one chunk synchronously: the thread blocks for the
+// whole transfer, the defining difference from the event-driven path.
+func (d *device) tpcSend(req *Request, chunk int, size int64) {
+	cl := d.procs[0].cl
+	now := cl.kern.Now()
+	if chunk == 0 {
+		req.BEFirstByteAt = now
+		req.FEFirstByteAt = now + cl.cfg.NetRTT
+		r := req
+		cl.kern.At(req.FEFirstByteAt, func() { cl.metrics.recordResponse(r) })
+	}
+	req.bytesSent += size
+	sendDur := float64(size) / cl.cfg.NetBandwidth
+	r := req
+	if req.bytesSent >= req.Size {
+		cl.kern.After(sendDur+cl.cfg.NetRTT, func() {
+			r.DoneAt = cl.kern.Now()
+			cl.metrics.noteDone(r)
+			d.threadDone()
+		})
+		return
+	}
+	next := chunk + 1
+	cl.kern.After(sendDur, func() {
+		d.tpcData(r, next)
+	})
+}
+
+// threadDone releases the thread and admits the next pooled connection.
+func (d *device) threadDone() {
+	d.threadsActive--
+	if len(d.threadPool) > 0 {
+		next := d.threadPool[0]
+		d.threadPool = d.threadPool[1:]
+		d.startThread(next)
+	}
+}

@@ -1,0 +1,105 @@
+package simstore
+
+import (
+	"cosmodel/internal/cache"
+)
+
+// Event-driven PUT handling. A write is parsed, creates the object's index
+// entry (a disk operation — writes always reach the device), then receives
+// the body chunk by chunk: the process is free while a chunk is in flight
+// from the proxy (asynchronous network I/O, like the read path's sends) and
+// blocked while it is written to disk. The metadata write follows the last
+// chunk, after which the replica acknowledges the proxy. The proxy answers
+// the client at write quorum.
+
+// execWriteServe runs the head of a PUT: parsing and the index create.
+func (p *beProc) execWriteServe(req *Request) {
+	p.cl.kern.After(p.cl.cfg.ParseBE, func() {
+		p.dev.disk.submit(cache.ClassIndex, func() {
+			p.scheduleWriteChunk(req, 0)
+			p.finish()
+		})
+	})
+}
+
+// scheduleWriteChunk waits for the next body chunk to arrive from the
+// proxy, then enqueues its disk write as a normal FCFS operation.
+func (p *beProc) scheduleWriteChunk(req *Request, chunk int) {
+	size := chunkBytes(req.Size, p.cl.cfg.ChunkSize, chunk)
+	recvDur := float64(size) / p.cl.cfg.NetBandwidth
+	r := req
+	next := chunk
+	p.cl.kern.After(recvDur, func() {
+		p.enqueue(beOp{kind: opWriteChunk, req: r, chunk: next})
+	})
+}
+
+// execWriteChunk writes one received chunk to disk; after the last chunk it
+// writes the metadata and acknowledges.
+func (p *beProc) execWriteChunk(req *Request, chunk int) {
+	p.dev.disk.submit(cache.ClassData, func() {
+		written := int64(chunk+1) * p.cl.cfg.ChunkSize
+		if written < req.Size {
+			p.scheduleWriteChunk(req, chunk+1)
+			p.finish()
+			return
+		}
+		p.dev.disk.submit(cache.ClassMeta, func() {
+			p.dev.completeWrite(req)
+			p.finish()
+		})
+	})
+}
+
+// completeWrite populates the server's page cache with the freshly written
+// entries (they are in memory right after the write), acknowledges the
+// proxy, and records the client response once a write quorum is reached.
+func (d *device) completeWrite(req *Request) {
+	cl := d.procs[0].cl
+	now := cl.kern.Now()
+	populateWriteCache(d.srv.cache, &cl.cfg, req)
+	req.BEFirstByteAt = now
+	req.DoneAt = now
+	r := req
+	ackAt := now + cl.cfg.NetRTT
+	cl.kern.At(ackAt, func() {
+		cl.metrics.noteWriteAck(r, ackAt)
+	})
+}
+
+// populateWriteCache inserts a written object's entries most-recent-first.
+func populateWriteCache(lru *cache.LRU, cfg *Config, req *Request) {
+	chunks := req.Chunks(cfg.ChunkSize)
+	for ch := chunks - 1; ch >= 0; ch-- {
+		lru.Put(chunkKey(req.Object, ch), chunkBytes(req.Size, cfg.ChunkSize, ch))
+	}
+	lru.Put(metaKey(req.Object), cfg.MetaEntrySize)
+	lru.Put(indexKey(req.Object), cfg.IndexEntrySize)
+}
+
+// Thread-per-connection PUT handling: the dedicated thread blocks through
+// chunk receives and disk writes alike.
+
+func (d *device) tpcWriteIndex(req *Request) {
+	d.disk.submit(cache.ClassIndex, func() { d.tpcWriteChunk(req, 0) })
+}
+
+func (d *device) tpcWriteChunk(req *Request, chunk int) {
+	cl := d.procs[0].cl
+	size := chunkBytes(req.Size, cl.cfg.ChunkSize, chunk)
+	recvDur := float64(size) / cl.cfg.NetBandwidth
+	r := req
+	cl.kern.After(recvDur, func() {
+		d.disk.submit(cache.ClassData, func() {
+			written := int64(chunk+1) * cl.cfg.ChunkSize
+			if written < r.Size {
+				d.tpcWriteChunk(r, chunk+1)
+				return
+			}
+			d.disk.submit(cache.ClassMeta, func() {
+				d.completeWrite(r)
+				d.threadDone()
+			})
+		})
+	})
+}

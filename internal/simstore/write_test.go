@@ -1,0 +1,175 @@
+package simstore
+
+import (
+	"testing"
+
+	"cosmodel/internal/trace"
+)
+
+func TestWriteQuorumLifecycle(t *testing.T) {
+	cfg := DefaultConfig()
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.InjectRecord(trace.Record{At: 1, Object: 42, Size: 100 * 1024, Op: trace.OpPut})
+	cl.Drain()
+	snap := cl.Snapshot()
+	if snap.WriteResp != 1 {
+		t.Fatalf("write responses = %d, want 1", snap.WriteResp)
+	}
+	if snap.Responses != 0 {
+		t.Errorf("a PUT must not count as a read response (got %d)", snap.Responses)
+	}
+	// All three replicas received the write.
+	var subs uint64
+	for _, w := range snap.DevWrites {
+		subs += w
+	}
+	if subs != uint64(cfg.Replicas) {
+		t.Errorf("replica sub-requests = %d, want %d", subs, cfg.Replicas)
+	}
+	// Write latency is positive and includes at least parse + index +
+	// chunks + meta disk time.
+	if snap.WriteLat <= cfg.ParseBE {
+		t.Errorf("write latency = %v, implausibly small", snap.WriteLat)
+	}
+	// The written object is now cached on its replica servers: a
+	// follow-up read must not touch the disk.
+	before := cl.Snapshot()
+	cl.InjectRecord(trace.Record{At: cl.Now() + 1, Object: 42, Size: 100 * 1024, Op: trace.OpGet})
+	cl.Drain()
+	after := cl.Snapshot()
+	for d := range after.Disk {
+		delta := after.Disk[d].sub(before.Disk[d])
+		if delta.Ops[0]+delta.Ops[1]+delta.Ops[2] != 0 {
+			t.Errorf("device %d: read-after-write hit the disk", d)
+		}
+	}
+	if after.Responses != 1 {
+		t.Errorf("read responses = %d", after.Responses)
+	}
+}
+
+func TestWritesGoToDiskEvenWhenCached(t *testing.T) {
+	cfg := smallConfig()
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two writes of the same object: both must reach the disk (no
+	// write caching), with index+data+meta ops each.
+	cl.InjectRecord(trace.Record{At: 1, Object: 7, Size: 1024, Op: trace.OpPut})
+	cl.InjectRecord(trace.Record{At: 10, Object: 7, Size: 1024, Op: trace.OpPut})
+	cl.Drain()
+	snap := cl.Snapshot()
+	if got := snap.Disk[0].Ops[0]; got != 2 {
+		t.Errorf("index writes = %d, want 2", got)
+	}
+	if got := snap.Disk[0].Ops[2]; got != 2 {
+		t.Errorf("data writes = %d, want 2", got)
+	}
+	if got := snap.Disk[0].Ops[1]; got != 2 {
+		t.Errorf("meta writes = %d, want 2", got)
+	}
+}
+
+func TestMultiChunkWrite(t *testing.T) {
+	cfg := smallConfig()
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := cfg.ChunkSize*2 + 10 // 3 chunks
+	cl.InjectRecord(trace.Record{At: 1, Object: 9, Size: size, Op: trace.OpPut})
+	cl.Drain()
+	snap := cl.Snapshot()
+	if got := snap.Disk[0].Ops[2]; got != 3 {
+		t.Errorf("data writes = %d, want 3", got)
+	}
+	if snap.WriteResp != 1 {
+		t.Errorf("write responses = %d", snap.WriteResp)
+	}
+}
+
+func TestMixedWorkloadAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := testCatalog(t, 20000, 9)
+	recs, err := trace.GenerateMixed(cat, trace.Schedule{{Rate: 100, Duration: 20, Label: "x"}},
+		0.2, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trace.Summarize(recs)
+	if wf := st.WriteFraction(); wf < 0.15 || wf > 0.25 {
+		t.Fatalf("write fraction = %v, want ~0.2", wf)
+	}
+	cl.Inject(recs)
+	cl.RunUntil(5)
+	before := cl.Snapshot()
+	cl.Drain()
+	final := cl.Snapshot()
+	win := cl.Window(before, final)
+	if win.WriteRate <= 0 || win.MeanWriteLatency <= 0 {
+		t.Errorf("write rate %v, mean write latency %v", win.WriteRate, win.MeanWriteLatency)
+	}
+	// Reads and writes together must roughly account for the trace rate.
+	total := win.TotalRate() + win.WriteRate
+	if total < 70 || total > 130 {
+		t.Errorf("total accounted rate = %v, want ~100", total)
+	}
+	for d, wr := range win.DeviceWriteRate {
+		if wr < 0 {
+			t.Errorf("device %d: negative write rate", d)
+		}
+	}
+	// Over the whole run, every request is accounted exactly once: reads
+	// as responses, writes as quorum acks.
+	if final.Responses != uint64(st.Requests-st.Writes) {
+		t.Errorf("read responses = %d, want %d", final.Responses, st.Requests-st.Writes)
+	}
+	if final.WriteResp != uint64(st.Writes) {
+		t.Errorf("write responses = %d, want %d", final.WriteResp, st.Writes)
+	}
+}
+
+func TestWritesUnderThreadPerConnection(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Architecture = ThreadPerConnection
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := testCatalog(t, 5000, 9)
+	recs, err := trace.GenerateMixed(cat, trace.Schedule{{Rate: 50, Duration: 10, Label: "x"}}, 0.3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Inject(recs)
+	cl.Drain()
+	snap := cl.Snapshot()
+	st := trace.Summarize(recs)
+	if snap.WriteResp != uint64(st.Writes) {
+		t.Errorf("acknowledged %d of %d writes", snap.WriteResp, st.Writes)
+	}
+	if snap.Responses != uint64(st.Requests-st.Writes) {
+		t.Errorf("read responses = %d, want %d", snap.Responses, st.Requests-st.Writes)
+	}
+}
+
+func TestZeroSizeWrite(t *testing.T) {
+	cfg := smallConfig()
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.InjectRecord(trace.Record{At: 1, Object: 3, Size: 0, Op: trace.OpPut})
+	cl.Drain()
+	if got := cl.Snapshot().WriteResp; got != 1 {
+		t.Errorf("zero-size write responses = %d", got)
+	}
+}

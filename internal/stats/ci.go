@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+)
+
+// WilsonInterval returns the Wilson score confidence interval for a
+// binomial proportion: successes k out of n trials at the given confidence
+// level (e.g. 0.95). It is well-behaved near 0 and 1, where the observed
+// SLA-meeting fractions live.
+func WilsonInterval(k, n uint64, confidence float64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	z := normalQuantileTwoSided(confidence)
+	nn := float64(n)
+	p := float64(k) / nn
+	z2 := z * z
+	denom := 1 + z2/nn
+	center := (p + z2/(2*nn)) / denom
+	half := z * math.Sqrt(p*(1-p)/nn+z2/(4*nn*nn)) / denom
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// normalQuantileTwoSided returns the z value such that the standard normal
+// mass within ±z equals the confidence level.
+func normalQuantileTwoSided(confidence float64) float64 {
+	if confidence <= 0 || confidence >= 1 {
+		return 1.959963984540054 // default to 95%
+	}
+	// Φ(z) = (1+confidence)/2; invert via the Acklam approximation in
+	// numeric (re-implemented locally to avoid a dependency cycle if
+	// numeric ever uses stats).
+	p := (1 + confidence) / 2
+	// Beasley-Springer-Moro style rational approximation refined by one
+	// Newton step against erfc.
+	z := bsmQuantile(p)
+	for i := 0; i < 2; i++ {
+		f := 0.5*math.Erfc(-z/math.Sqrt2) - p
+		d := math.Exp(-z*z/2) / math.Sqrt(2*math.Pi)
+		z -= f / d
+	}
+	return z
+}
+
+func bsmQuantile(p float64) float64 {
+	a := [4]float64{2.50662823884, -18.61500062529, 41.39119773534, -25.44106049637}
+	b := [4]float64{-8.47351093090, 23.08336743743, -21.06224101826, 3.13082909833}
+	c := [9]float64{0.3374754822726147, 0.9761690190917186, 0.1607979714918209,
+		0.0276438810333863, 0.0038405729373609, 0.0003951896511919,
+		0.0000321767881768, 0.0000002888167364, 0.0000003960315187}
+	y := p - 0.5
+	if math.Abs(y) < 0.42 {
+		r := y * y
+		return y * (((a[3]*r+a[2])*r+a[1])*r + a[0]) /
+			((((b[3]*r+b[2])*r+b[1])*r+b[0])*r + 1)
+	}
+	r := p
+	if y > 0 {
+		r = 1 - p
+	}
+	r = math.Log(-math.Log(r))
+	x := c[0]
+	pow := 1.0
+	for i := 1; i < 9; i++ {
+		pow *= r
+		x += c[i] * pow
+	}
+	if y < 0 {
+		x = -x
+	}
+	return x
+}
+
+// Summary accumulates streaming count/mean/variance/min/max via Welford's
+// algorithm.
+type Summary struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one value.
+func (s *Summary) Add(v float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	delta := v - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (v - s.mean)
+}
+
+// N returns the count.
+func (s *Summary) N() uint64 { return s.n }
+
+// Mean returns the running mean (0 when empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Variance returns the population variance (0 for fewer than 2 values).
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// StdDev returns the population standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min and Max return the observed extremes (0 when empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observed value (0 when empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// MeanCI returns a normal-approximation confidence interval for the mean.
+func (s *Summary) MeanCI(confidence float64) (lo, hi float64) {
+	if s.n < 2 {
+		return s.mean, s.mean
+	}
+	z := normalQuantileTwoSided(confidence)
+	half := z * s.StdDev() / math.Sqrt(float64(s.n))
+	return s.mean - half, s.mean + half
+}

@@ -1,0 +1,203 @@
+// Package stats provides online statistics for the simulator's metrics
+// pipeline: a log-bucketed latency histogram with quantile queries (HDR
+// style, constant memory), binomial proportion confidence intervals for
+// observed percentiles, and streaming summary statistics.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadHistogram reports invalid histogram construction parameters.
+var ErrBadHistogram = errors.New("stats: histogram needs 0 < min < max and growth > 1")
+
+// Histogram is a logarithmically bucketed histogram for positive values
+// (latencies). Bucket i covers [min·g^i, min·g^(i+1)); values below min go
+// to an underflow bucket, values at or above max to an overflow bucket.
+// Quantile queries return bucket upper bounds, giving a relative error
+// bounded by the growth factor.
+type Histogram struct {
+	min, max float64
+	growth   float64
+	logG     float64
+
+	underflow uint64
+	overflow  uint64
+	buckets   []uint64
+	count     uint64
+	sum       float64
+	maxSeen   float64
+}
+
+// NewHistogram builds a histogram covering [min, max) with the given bucket
+// growth factor (e.g. 1.1 for ~10% quantile resolution).
+func NewHistogram(min, max, growth float64) (*Histogram, error) {
+	if !(min > 0) || !(max > min) || !(growth > 1) {
+		return nil, fmt.Errorf("%w: min=%v max=%v growth=%v", ErrBadHistogram, min, max, growth)
+	}
+	n := int(math.Ceil(math.Log(max/min)/math.Log(growth))) + 1
+	return &Histogram{
+		min:     min,
+		max:     max,
+		growth:  growth,
+		logG:    math.Log(growth),
+		buckets: make([]uint64, n),
+	}, nil
+}
+
+// NewLatencyHistogram returns a histogram suitable for request latencies:
+// 1 µs to 1000 s with 5% resolution.
+func NewLatencyHistogram() *Histogram {
+	h, err := NewHistogram(1e-6, 1e3, 1.05)
+	if err != nil {
+		panic("stats: latency histogram construction cannot fail: " + err.Error())
+	}
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.count++
+	h.sum += v
+	if v > h.maxSeen {
+		h.maxSeen = v
+	}
+	switch {
+	case v < h.min:
+		h.underflow++
+	case v >= h.max:
+		h.overflow++
+	default:
+		i := int(math.Log(v/h.min) / h.logG)
+		if i >= len(h.buckets) {
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i]++
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the exact mean of the observed values.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Max returns the largest observed value.
+func (h *Histogram) Max() float64 { return h.maxSeen }
+
+// Quantile returns an upper bound of the q-quantile (the upper edge of the
+// bucket containing it). q outside (0,1] returns NaN; an empty histogram
+// returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q <= 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	acc := h.underflow
+	if acc >= target {
+		return h.min
+	}
+	for i, c := range h.buckets {
+		acc += c
+		if acc >= target {
+			return h.min * math.Pow(h.growth, float64(i+1))
+		}
+	}
+	// In the overflow region the best bound we have is the observed max.
+	return h.maxSeen
+}
+
+// FractionBelow returns an estimate of P(X <= x): the fraction of
+// observations in buckets entirely at or below x, interpolating within the
+// straddling bucket.
+func (h *Histogram) FractionBelow(x float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if x < h.min {
+		return 0
+	}
+	acc := float64(h.underflow)
+	for i, c := range h.buckets {
+		lo := h.min * math.Pow(h.growth, float64(i))
+		hi := lo * h.growth
+		switch {
+		case hi <= x:
+			acc += float64(c)
+		case lo <= x:
+			acc += float64(c) * (x - lo) / (hi - lo)
+		default:
+			return acc / float64(h.count)
+		}
+	}
+	if x >= h.max {
+		acc += float64(h.overflow)
+	}
+	return acc / float64(h.count)
+}
+
+// Merge adds other's observations into h. The histograms must have
+// identical bucket layouts.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other.min != h.min || other.max != h.max || other.growth != h.growth {
+		return fmt.Errorf("%w: mismatched layouts", ErrBadHistogram)
+	}
+	h.underflow += other.underflow
+	h.overflow += other.overflow
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.maxSeen > h.maxSeen {
+		h.maxSeen = other.maxSeen
+	}
+	return nil
+}
+
+// Reset clears all observations.
+func (h *Histogram) Reset() {
+	h.underflow, h.overflow, h.count = 0, 0, 0
+	h.sum, h.maxSeen = 0, 0
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+}
+
+// Clone returns a deep copy (for snapshot/delta bookkeeping).
+func (h *Histogram) Clone() *Histogram {
+	out := *h
+	out.buckets = append([]uint64(nil), h.buckets...)
+	return &out
+}
+
+// Sub returns the delta histogram h - prev, where prev is an earlier
+// snapshot of the same (monotonically growing) histogram. The exact sum is
+// preserved; the delta's Max is h's (an upper bound for the window).
+func (h *Histogram) Sub(prev *Histogram) (*Histogram, error) {
+	if prev.min != h.min || prev.max != h.max || prev.growth != h.growth {
+		return nil, fmt.Errorf("%w: mismatched layouts", ErrBadHistogram)
+	}
+	if prev.count > h.count {
+		return nil, fmt.Errorf("%w: subtracting a later snapshot", ErrBadHistogram)
+	}
+	out := h.Clone()
+	out.underflow -= prev.underflow
+	out.overflow -= prev.overflow
+	for i := range out.buckets {
+		out.buckets[i] -= prev.buckets[i]
+	}
+	out.count -= prev.count
+	out.sum -= prev.sum
+	return out, nil
+}

@@ -1,0 +1,286 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	cases := []struct{ min, max, growth float64 }{
+		{0, 1, 1.1},
+		{-1, 1, 1.1},
+		{1, 1, 1.1},
+		{1, 2, 1},
+		{1, 2, 0.9},
+	}
+	for i, c := range cases {
+		if _, err := NewHistogram(c.min, c.max, c.growth); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	if _, err := NewHistogram(1e-6, 10, 1.05); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewLatencyHistogram()
+	rng := rand.New(rand.NewSource(7))
+	values := make([]float64, 50000)
+	for i := range values {
+		// Latency-shaped: lognormal around 10ms.
+		values[i] = 0.010 * math.Exp(0.8*rng.NormFloat64())
+		h.Observe(values[i])
+	}
+	sort.Float64s(values)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 0.999} {
+		exact := values[int(q*float64(len(values)))-1]
+		got := h.Quantile(q)
+		// Log-bucketed: relative error bounded by the growth factor.
+		if got < exact/1.06 || got > exact*1.12 {
+			t.Errorf("q%v = %v, exact %v", q, got, exact)
+		}
+	}
+	if got := h.Mean(); math.Abs(got-mean(values))/mean(values) > 1e-9 {
+		t.Errorf("mean = %v, want %v", got, mean(values))
+	}
+	if h.Max() != values[len(values)-1] {
+		t.Errorf("max = %v", h.Max())
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestHistogramEdges(t *testing.T) {
+	h, err := NewHistogram(0.001, 1, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	if !math.IsNaN(h.Quantile(0)) || !math.IsNaN(h.Quantile(1.5)) {
+		t.Error("out-of-range q should be NaN")
+	}
+	h.Observe(1e-9) // underflow
+	h.Observe(100)  // overflow
+	if h.Count() != 2 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if got := h.Quantile(0.5); got != h.min {
+		t.Errorf("underflow quantile = %v, want min", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("overflow quantile = %v, want observed max", got)
+	}
+	if got := h.FractionBelow(1e-10); got != 0 {
+		t.Errorf("FractionBelow(min-) = %v", got)
+	}
+	if got := h.FractionBelow(1000); got != 1 {
+		t.Errorf("FractionBelow(max+) = %v", got)
+	}
+}
+
+func TestHistogramFractionBelow(t *testing.T) {
+	h := NewLatencyHistogram()
+	rng := rand.New(rand.NewSource(11))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		h.Observe(rng.ExpFloat64() * 0.01)
+	}
+	for _, x := range []float64{0.002, 0.01, 0.05} {
+		want := 1 - math.Exp(-x/0.01)
+		got := h.FractionBelow(x)
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("FractionBelow(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestHistogramMergeAndReset(t *testing.T) {
+	a := NewLatencyHistogram()
+	b := NewLatencyHistogram()
+	a.Observe(0.001)
+	b.Observe(0.1)
+	b.Observe(0.2)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 3 {
+		t.Errorf("merged count = %d", a.Count())
+	}
+	if a.Max() != 0.2 {
+		t.Errorf("merged max = %v", a.Max())
+	}
+	other, _ := NewHistogram(1, 2, 1.5)
+	if err := a.Merge(other); err == nil {
+		t.Error("mismatched layouts should fail")
+	}
+	c := a.Clone()
+	a.Reset()
+	if a.Count() != 0 || a.Mean() != 0 {
+		t.Error("reset failed")
+	}
+	if c.Count() != 3 {
+		t.Error("clone should be independent of reset")
+	}
+}
+
+func TestHistogramSub(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(0.001)
+	h.Observe(0.010)
+	snap := h.Clone()
+	h.Observe(0.100)
+	h.Observe(0.200)
+	delta, err := h.Sub(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Count() != 2 {
+		t.Errorf("delta count = %d", delta.Count())
+	}
+	if math.Abs(delta.Mean()-0.15) > 1e-12 {
+		t.Errorf("delta mean = %v", delta.Mean())
+	}
+	if q := delta.Quantile(0.5); q < 0.1 || q > 0.115 {
+		t.Errorf("delta median = %v", q)
+	}
+	if _, err := snap.Sub(h); err == nil {
+		t.Error("subtracting a later snapshot should fail")
+	}
+	other, _ := NewHistogram(1, 2, 1.5)
+	if _, err := h.Sub(other); err == nil {
+		t.Error("mismatched layouts should fail")
+	}
+}
+
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	h := NewLatencyHistogram()
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 10000; i++ {
+		h.Observe(rng.Float64() * 0.5)
+	}
+	f := func(rawA, rawB float64) bool {
+		qa := 0.01 + 0.98*math.Mod(math.Abs(rawA), 1)
+		qb := 0.01 + 0.98*math.Mod(math.Abs(rawB), 1)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return h.Quantile(qa) <= h.Quantile(qb)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := WilsonInterval(95, 100, 0.95)
+	if !(lo < 0.95 && 0.95 < hi) {
+		t.Errorf("interval [%v, %v] should contain the point estimate", lo, hi)
+	}
+	if lo < 0.87 || hi > 0.99 {
+		t.Errorf("interval [%v, %v] implausibly wide", lo, hi)
+	}
+	// Edge cases stay in [0,1].
+	lo, hi = WilsonInterval(0, 50, 0.95)
+	if lo != 0 || hi < 0.01 || hi > 0.2 {
+		t.Errorf("zero-success interval [%v, %v]", lo, hi)
+	}
+	lo, hi = WilsonInterval(50, 50, 0.95)
+	if hi != 1 || lo > 0.99 || lo < 0.8 {
+		t.Errorf("all-success interval [%v, %v]", lo, hi)
+	}
+	if lo, hi = WilsonInterval(0, 0, 0.95); lo != 0 || hi != 1 {
+		t.Errorf("empty interval [%v, %v]", lo, hi)
+	}
+}
+
+func TestWilsonIntervalCoverageProperty(t *testing.T) {
+	// Frequentist sanity: over many binomial draws at p=0.9, the 95%
+	// interval should cover p in roughly 95% of cases.
+	rng := rand.New(rand.NewSource(17))
+	const trials = 2000
+	const n = 200
+	const p = 0.9
+	covered := 0
+	for i := 0; i < trials; i++ {
+		k := uint64(0)
+		for j := 0; j < n; j++ {
+			if rng.Float64() < p {
+				k++
+			}
+		}
+		lo, hi := WilsonInterval(k, n, 0.95)
+		if lo <= p && p <= hi {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.92 || frac > 0.985 {
+		t.Errorf("coverage = %v, want ~0.95", frac)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Variance() != 0 {
+		t.Error("empty summary should be zero")
+	}
+	lo, hi := s.MeanCI(0.95)
+	if lo != 0 || hi != 0 {
+		t.Error("empty CI should be degenerate")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 || math.Abs(s.Mean()-5) > 1e-12 {
+		t.Errorf("n=%d mean=%v", s.N(), s.Mean())
+	}
+	if math.Abs(s.Variance()-4) > 1e-12 {
+		t.Errorf("variance = %v, want 4", s.Variance())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	lo, hi = s.MeanCI(0.95)
+	if !(lo < 5 && 5 < hi) {
+		t.Errorf("CI [%v, %v]", lo, hi)
+	}
+}
+
+func TestNormalQuantileTwoSided(t *testing.T) {
+	if z := normalQuantileTwoSided(0.95); math.Abs(z-1.959964) > 1e-5 {
+		t.Errorf("z(95%%) = %v", z)
+	}
+	if z := normalQuantileTwoSided(0.99); math.Abs(z-2.575829) > 1e-5 {
+		t.Errorf("z(99%%) = %v", z)
+	}
+	// Out-of-range confidence falls back to 95%.
+	if z := normalQuantileTwoSided(0); math.Abs(z-1.959964) > 1e-5 {
+		t.Errorf("fallback z = %v", z)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewLatencyHistogram()
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = rng.ExpFloat64() * 0.01
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(vals[i&4095])
+	}
+}

@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+
+	"cosmodel/internal/dist"
+)
+
+// Op is a request operation type.
+type Op uint8
+
+// Operation types. The paper's workloads are read-dominant (>95-99% GET in
+// the production systems it cites); PUT support exists to test how the
+// model degrades when the read-heavy assumption is violated.
+const (
+	OpGet Op = iota
+	OpPut
+)
+
+// String returns the operation name.
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "GET"
+	case OpPut:
+		return "PUT"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Record is one request in a trace.
+type Record struct {
+	// At is the arrival time in seconds from trace start.
+	At float64
+	// Object is the requested object's ID.
+	Object uint64
+	// Size is the object size in bytes (denormalized into the trace so a
+	// replayer does not need the catalog).
+	Size int64
+	// Op is the operation type (GET unless set otherwise).
+	Op Op
+}
+
+// ErrBadRecord reports a malformed trace line.
+var ErrBadRecord = errors.New("trace: malformed record")
+
+// Generate produces an open-loop Poisson GET trace for the schedule: within
+// each phase, interarrival times are exponential with the phase rate;
+// objects are drawn from the catalog's popularity law.
+func Generate(c *Catalog, s Schedule, seed int64) ([]Record, error) {
+	return GenerateMixed(c, s, 0, seed)
+}
+
+// GenerateMixed produces an open-loop Poisson trace where each request is a
+// PUT with probability writeFraction (overwriting an existing object, the
+// dominant write pattern for read-heavy stores) and a GET otherwise.
+func GenerateMixed(c *Catalog, s Schedule, writeFraction float64, seed int64) ([]Record, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if writeFraction < 0 || writeFraction > 1 {
+		return nil, fmt.Errorf("trace: write fraction %v outside [0,1]", writeFraction)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sampler := c.Sampler(rng)
+	records := make([]Record, 0, int(s.ExpectedRequests()))
+	phaseStart := 0.0
+	for _, p := range s {
+		t := phaseStart + rng.ExpFloat64()/p.Rate
+		for t < phaseStart+p.Duration {
+			id := sampler.Next()
+			rec := Record{At: t, Object: id, Size: c.Size(id), Op: OpGet}
+			if writeFraction > 0 && rng.Float64() < writeFraction {
+				rec.Op = OpPut
+			}
+			records = append(records, rec)
+			t += rng.ExpFloat64() / p.Rate
+		}
+		phaseStart += p.Duration
+	}
+	return records, nil
+}
+
+// Rescale returns a copy of records with all timestamps multiplied by
+// factor. A factor < 1 compresses the trace, raising the arrival rate by
+// 1/factor — exactly the paper's timestamp-rewriting mechanism for sweeping
+// workload intensity.
+func Rescale(records []Record, factor float64) ([]Record, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("trace: rescale factor must be positive, got %v", factor)
+	}
+	out := make([]Record, len(records))
+	for i, r := range records {
+		out[i] = r
+		out[i].At = r.At * factor
+	}
+	return out, nil
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Requests  int
+	Writes    int
+	Duration  float64
+	MeanRate  float64
+	MeanSize  float64
+	TotalSize int64
+	Unique    int
+}
+
+// WriteFraction returns the fraction of PUT requests.
+func (s Stats) WriteFraction() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Writes) / float64(s.Requests)
+}
+
+// Summarize computes trace statistics.
+func Summarize(records []Record) Stats {
+	st := Stats{Requests: len(records)}
+	if len(records) == 0 {
+		return st
+	}
+	seen := make(map[uint64]struct{})
+	for _, r := range records {
+		st.TotalSize += r.Size
+		seen[r.Object] = struct{}{}
+		if r.Op == OpPut {
+			st.Writes++
+		}
+	}
+	st.Duration = records[len(records)-1].At - records[0].At
+	if st.Duration > 0 {
+		st.MeanRate = float64(len(records)) / st.Duration
+	}
+	st.MeanSize = float64(st.TotalSize) / float64(len(records))
+	st.Unique = len(seen)
+	return st
+}
+
+// Write serializes records as CSV: at,object,size,op with a header line.
+func Write(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	if err := cw.Write([]string{"at", "object", "size", "op"}); err != nil {
+		return err
+	}
+	row := make([]string, 4)
+	for _, r := range records {
+		row[0] = strconv.FormatFloat(r.At, 'g', 17, 64)
+		row[1] = strconv.FormatUint(r.Object, 10)
+		row[2] = strconv.FormatInt(r.Size, 10)
+		row[3] = r.Op.String()
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read parses a CSV trace written by Write. The op column is optional
+// (3-column traces are read as all-GET) for compatibility with older
+// files.
+func Read(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated per row below
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing header: %v", ErrBadRecord, err)
+	}
+	if len(header) < 3 || header[0] != "at" || header[1] != "object" || header[2] != "size" {
+		return nil, fmt.Errorf("%w: unexpected header %v", ErrBadRecord, header)
+	}
+	hasOp := len(header) == 4 && header[3] == "op"
+	if len(header) == 4 && !hasOp {
+		return nil, fmt.Errorf("%w: unexpected header %v", ErrBadRecord, header)
+	}
+	if len(header) > 4 {
+		return nil, fmt.Errorf("%w: unexpected header %v", ErrBadRecord, header)
+	}
+	var out []Record
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrBadRecord, line, err)
+		}
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("%w: line %d: %d fields, want %d", ErrBadRecord, line, len(row), len(header))
+		}
+		at, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: at %q", ErrBadRecord, line, row[0])
+		}
+		obj, err := strconv.ParseUint(row[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: object %q", ErrBadRecord, line, row[1])
+		}
+		size, err := strconv.ParseInt(row[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: size %q", ErrBadRecord, line, row[2])
+		}
+		rec := Record{At: at, Object: obj, Size: size, Op: OpGet}
+		if hasOp {
+			switch row[3] {
+			case "GET":
+				rec.Op = OpGet
+			case "PUT":
+				rec.Op = OpPut
+			default:
+				return nil, fmt.Errorf("%w: line %d: op %q", ErrBadRecord, line, row[3])
+			}
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// WikipediaLikeSizes returns the object-size distribution used throughout
+// the experiments: lognormal with a 32 KB mean and 10 KB median, matching
+// the paper's description of the remaining Wikipedia media objects ("the
+// average size of remaining objects is about 32KB" with a small-object-
+// heavy skew).
+func WikipediaLikeSizes() dist.Distribution {
+	return dist.NewLognormalMeanMedian(32*1024, 10*1024)
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadSchedule reports an invalid phase list.
+var ErrBadSchedule = errors.New("trace: schedule phases need positive rate and duration")
+
+// Phase is a constant-rate segment of a workload schedule.
+type Phase struct {
+	// Rate is the request arrival rate in requests/second.
+	Rate float64
+	// Duration is the phase length in seconds.
+	Duration float64
+	// Label tags the phase (warmup, transition, or the benchmark step's
+	// rate) for reporting.
+	Label string
+}
+
+// Schedule is a sequence of phases replayed back to back. It mirrors the
+// paper's workload construction: a warmup phase, a transition phase, and a
+// benchmarking phase whose rate steps up by a fixed increment.
+type Schedule []Phase
+
+// Validate checks all phases.
+func (s Schedule) Validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("%w: empty schedule", ErrBadSchedule)
+	}
+	for i, p := range s {
+		if p.Rate <= 0 || p.Duration <= 0 {
+			return fmt.Errorf("%w: phase %d rate=%v duration=%v",
+				ErrBadSchedule, i, p.Rate, p.Duration)
+		}
+	}
+	return nil
+}
+
+// TotalDuration returns the summed phase durations.
+func (s Schedule) TotalDuration() float64 {
+	total := 0.0
+	for _, p := range s {
+		total += p.Duration
+	}
+	return total
+}
+
+// ExpectedRequests returns the expected number of arrivals.
+func (s Schedule) ExpectedRequests() float64 {
+	total := 0.0
+	for _, p := range s {
+		total += p.Rate * p.Duration
+	}
+	return total
+}
+
+// PaperSchedule builds the paper's three-part workload: a warmup phase, a
+// low-rate transition phase, and benchmark steps from startRate to endRate
+// (inclusive) in increments of stepRate, each lasting stepDur seconds.
+func PaperSchedule(warmRate, warmDur, transRate, transDur, startRate, endRate, stepRate, stepDur float64) (Schedule, error) {
+	if stepRate <= 0 || startRate > endRate {
+		return nil, fmt.Errorf("%w: steps from %v to %v by %v",
+			ErrBadSchedule, startRate, endRate, stepRate)
+	}
+	var s Schedule
+	if warmDur > 0 {
+		s = append(s, Phase{Rate: warmRate, Duration: warmDur, Label: "warmup"})
+	}
+	if transDur > 0 {
+		s = append(s, Phase{Rate: transRate, Duration: transDur, Label: "transition"})
+	}
+	for r := startRate; r <= endRate+1e-9; r += stepRate {
+		s = append(s, Phase{Rate: r, Duration: stepDur, Label: fmt.Sprintf("rate=%g", r)})
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// BenchmarkPhases returns the indices of the phases that belong to the
+// benchmarking part (everything after warmup/transition).
+func (s Schedule) BenchmarkPhases() []int {
+	var out []int
+	for i, p := range s {
+		if p.Label != "warmup" && p.Label != "transition" {
+			out = append(out, i)
+		}
+	}
+	return out
+}

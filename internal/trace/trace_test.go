@@ -1,0 +1,357 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testCatalog(t *testing.T, n int) *Catalog {
+	t.Helper()
+	c, err := NewCatalog(n, WikipediaLikeSizes(), 1.2, 1, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCatalogValidation(t *testing.T) {
+	sizes := WikipediaLikeSizes()
+	if _, err := NewCatalog(0, sizes, 1.2, 1, 1); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := NewCatalog(10, nil, 1.2, 1, 1); err == nil {
+		t.Error("nil size dist should fail")
+	}
+	if _, err := NewCatalog(10, sizes, 1.0, 1, 1); err == nil {
+		t.Error("zipf s<=1 should fail")
+	}
+	if _, err := NewCatalog(10, sizes, 1.2, 0.5, 1); err == nil {
+		t.Error("zipf v<1 should fail")
+	}
+}
+
+func TestCatalogSizes(t *testing.T) {
+	c := testCatalog(t, 20000)
+	if c.Len() != 20000 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	mean := c.MeanSize()
+	if mean < 25*1024 || mean > 40*1024 {
+		t.Errorf("mean size = %v, want ~32 KiB", mean)
+	}
+	var total int64
+	for id := uint64(0); id < uint64(c.Len()); id++ {
+		s := c.Size(id)
+		if s < 1 {
+			t.Fatalf("object %d has size %d", id, s)
+		}
+		total += s
+	}
+	if total != c.TotalBytes() {
+		t.Errorf("TotalBytes = %d, want %d", c.TotalBytes(), total)
+	}
+}
+
+func TestSamplerIsSkewed(t *testing.T) {
+	c := testCatalog(t, 10000)
+	rng := rand.New(rand.NewSource(9))
+	s := c.Sampler(rng)
+	counts := map[uint64]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.Next()]++
+	}
+	// Zipf: the most popular object should take a noticeable share and the
+	// sampled set should be far smaller than uniform would give.
+	max := 0
+	for _, v := range counts {
+		if v > max {
+			max = v
+		}
+	}
+	if float64(max)/n < 0.02 {
+		t.Errorf("top object share = %v, want skewed", float64(max)/n)
+	}
+	if len(counts) > n/2 {
+		t.Errorf("%d unique objects in %d samples — not skewed", len(counts), n)
+	}
+	// The most popular objects by construction should match PopularIDs.
+	top := c.PopularIDs(1)[0]
+	if counts[top] != max {
+		t.Logf("note: sampled max %d, rank-1 count %d", max, counts[top])
+	}
+}
+
+func TestPopularIDs(t *testing.T) {
+	c := testCatalog(t, 100)
+	ids := c.PopularIDs(10)
+	if len(ids) != 10 {
+		t.Fatalf("len = %d", len(ids))
+	}
+	if got := c.PopularIDs(1000); len(got) != 100 {
+		t.Errorf("clamped len = %d", len(got))
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	if err := (Schedule{}).Validate(); err == nil {
+		t.Error("empty schedule should fail")
+	}
+	if err := (Schedule{{Rate: 0, Duration: 1}}).Validate(); err == nil {
+		t.Error("zero rate should fail")
+	}
+	if err := (Schedule{{Rate: 1, Duration: -1}}).Validate(); err == nil {
+		t.Error("negative duration should fail")
+	}
+	s := Schedule{{Rate: 10, Duration: 5}, {Rate: 20, Duration: 2}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalDuration(); got != 7 {
+		t.Errorf("duration = %v", got)
+	}
+	if got := s.ExpectedRequests(); got != 90 {
+		t.Errorf("expected requests = %v", got)
+	}
+}
+
+func TestPaperSchedule(t *testing.T) {
+	s, err := PaperSchedule(300, 3600, 10, 600, 10, 350, 5, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[0].Label != "warmup" || s[1].Label != "transition" {
+		t.Errorf("phases: %v %v", s[0].Label, s[1].Label)
+	}
+	bench := s.BenchmarkPhases()
+	if len(bench) != 69 { // 10,15,...,350
+		t.Errorf("benchmark steps = %d, want 69", len(bench))
+	}
+	if s[bench[0]].Rate != 10 || s[bench[len(bench)-1]].Rate != 350 {
+		t.Error("step endpoints wrong")
+	}
+	if _, err := PaperSchedule(1, 1, 1, 1, 100, 50, 5, 60); err == nil {
+		t.Error("start>end should fail")
+	}
+	if _, err := PaperSchedule(1, 1, 1, 1, 10, 20, 0, 60); err == nil {
+		t.Error("zero step should fail")
+	}
+}
+
+func TestGeneratePoissonArrivals(t *testing.T) {
+	c := testCatalog(t, 1000)
+	s := Schedule{{Rate: 200, Duration: 50, Label: "x"}}
+	recs, err := Generate(c, s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect ~10000 arrivals.
+	if len(recs) < 9000 || len(recs) > 11000 {
+		t.Fatalf("generated %d records, want ~10000", len(recs))
+	}
+	// Timestamps ordered and inside the phase.
+	for i, r := range recs {
+		if r.At < 0 || r.At >= 50 {
+			t.Fatalf("record %d at %v outside phase", i, r.At)
+		}
+		if i > 0 && r.At < recs[i-1].At {
+			t.Fatal("timestamps not monotone")
+		}
+		if r.Size != c.Size(r.Object) {
+			t.Fatal("denormalized size mismatch")
+		}
+	}
+	// Interarrival CV ~ 1 for Poisson.
+	var gaps []float64
+	for i := 1; i < len(recs); i++ {
+		gaps = append(gaps, recs[i].At-recs[i-1].At)
+	}
+	mean, sd := meanStd(gaps)
+	if cv := sd / mean; cv < 0.9 || cv > 1.1 {
+		t.Errorf("interarrival CV = %v, want ~1", cv)
+	}
+}
+
+func meanStd(xs []float64) (mean, sd float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		sd += (x - mean) * (x - mean)
+	}
+	sd = math.Sqrt(sd / float64(len(xs)))
+	return mean, sd
+}
+
+func TestGenerateInvalidSchedule(t *testing.T) {
+	c := testCatalog(t, 10)
+	if _, err := Generate(c, Schedule{}, 1); err == nil {
+		t.Error("empty schedule should fail")
+	}
+}
+
+func TestRescale(t *testing.T) {
+	recs := []Record{{At: 1, Object: 1, Size: 10}, {At: 2, Object: 2, Size: 20}}
+	out, err := Rescale(recs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].At != 0.5 || out[1].At != 1 {
+		t.Errorf("rescaled = %+v", out)
+	}
+	// Original untouched.
+	if recs[0].At != 1 {
+		t.Error("Rescale must copy")
+	}
+	if _, err := Rescale(recs, 0); err == nil {
+		t.Error("factor 0 should fail")
+	}
+	if _, err := Rescale(recs, -1); err == nil {
+		t.Error("negative factor should fail")
+	}
+}
+
+func TestRescaleDoublesRate(t *testing.T) {
+	c := testCatalog(t, 100)
+	recs, err := Generate(c, Schedule{{Rate: 100, Duration: 30, Label: "x"}}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := Rescale(recs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Summarize(half)
+	if st.MeanRate < 170 || st.MeanRate > 230 {
+		t.Errorf("rescaled rate = %v, want ~200", st.MeanRate)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if st := Summarize(nil); st.Requests != 0 {
+		t.Error("empty summary should be zero")
+	}
+	recs := []Record{
+		{At: 0, Object: 1, Size: 100},
+		{At: 5, Object: 2, Size: 200},
+		{At: 10, Object: 1, Size: 100},
+	}
+	st := Summarize(recs)
+	if st.Requests != 3 || st.Unique != 2 || st.Duration != 10 {
+		t.Errorf("summary = %+v", st)
+	}
+	if math.Abs(st.MeanRate-0.3) > 1e-12 {
+		t.Errorf("rate = %v", st.MeanRate)
+	}
+	if st.TotalSize != 400 {
+		t.Errorf("total = %d", st.TotalSize)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	c := testCatalog(t, 50)
+	recs, err := Generate(c, Schedule{{Rate: 100, Duration: 5, Label: "x"}}, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip lost records: %d vs %d", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReadRejectsMalformedInput(t *testing.T) {
+	cases := []string{
+		"",
+		"x,y,z\n1,2,3\n",
+		"at,object,size\nnotanumber,2,3\n",
+		"at,object,size\n1,-2,3\n",
+		"at,object,size\n1,2,bad\n",
+		"at,object,size\n1,2\n",
+	}
+	for i, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+// TestGenerateRateProperty: for any phase rate, the realized rate is close
+// to the requested one.
+func TestGenerateRateProperty(t *testing.T) {
+	c := testCatalog(t, 100)
+	f := func(raw uint16) bool {
+		rate := float64(raw%400) + 20
+		recs, err := Generate(c, Schedule{{Rate: rate, Duration: 30, Label: "p"}}, int64(raw))
+		if err != nil {
+			return false
+		}
+		realized := float64(len(recs)) / 30
+		return math.Abs(realized-rate)/rate < 0.25
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	c := testCatalog(t, 100)
+	s := Schedule{{Rate: 50, Duration: 10, Label: "x"}}
+	a, _ := Generate(c, s, 123)
+	b, _ := Generate(c, s, 123)
+	if len(a) != len(b) {
+		t.Fatal("same seed, different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different records")
+		}
+	}
+}
+
+func TestSizesAreSorted(t *testing.T) {
+	// Sanity check on the documented shape: median well below mean.
+	c := testCatalog(t, 50000)
+	sizes := make([]float64, c.Len())
+	for i := range sizes {
+		sizes[i] = float64(c.Size(uint64(i)))
+	}
+	sort.Float64s(sizes)
+	median := sizes[len(sizes)/2]
+	if median > c.MeanSize() {
+		t.Errorf("median %v >= mean %v: not right-skewed", median, c.MeanSize())
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	c, err := NewCatalog(10000, WikipediaLikeSizes(), 1.2, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := Schedule{{Rate: 1000, Duration: 10, Label: "x"}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(c, s, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleWikibench = `1 1194892800.000 http://en.wikipedia.org/wiki/Main_Page -
+2 1194892800.100 http://upload.wikimedia.org/wikipedia/commons/a.jpg -
+3 1194892800.250 http://upload.wikimedia.org/wikipedia/commons/b.png save
+4 1194892800.400 http://de.wikipedia.org/wiki/Hauptseite -
+5 1194892800.600 http://upload.wikimedia.org/wikipedia/commons/a.jpg -
+`
+
+func TestParseWikibenchMediaFilter(t *testing.T) {
+	recs, err := ParseWikibench(strings.NewReader(sampleWikibench), WikibenchOptions{MediaOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("kept %d records, want 3 media requests", len(recs))
+	}
+	// Rebased timestamps: first kept record at 0.
+	if recs[0].At != 0 {
+		t.Errorf("first At = %v", recs[0].At)
+	}
+	if recs[1].At <= recs[0].At || recs[2].At <= recs[1].At {
+		t.Error("timestamps not increasing")
+	}
+	// Same URL -> same object ID and size.
+	if recs[0].Object != recs[2].Object || recs[0].Size != recs[2].Size {
+		t.Error("repeated URL must map to the same object")
+	}
+	// Different URLs -> different IDs (with overwhelming probability).
+	if recs[0].Object == recs[1].Object {
+		t.Error("distinct URLs collided")
+	}
+	for _, r := range recs {
+		if r.Size < 1 || r.Op != OpGet {
+			t.Errorf("bad record %+v", r)
+		}
+	}
+}
+
+func TestParseWikibenchKeepAll(t *testing.T) {
+	recs, err := ParseWikibench(strings.NewReader(sampleWikibench), WikibenchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("kept %d records, want all 5", len(recs))
+	}
+}
+
+func TestParseWikibenchMalformed(t *testing.T) {
+	bad := "notanumber notatime\n"
+	if _, err := ParseWikibench(strings.NewReader(bad), WikibenchOptions{}); err == nil {
+		t.Error("malformed line should fail")
+	}
+	badTS := "1 notatime http://upload.wikimedia.org/x -\n"
+	if _, err := ParseWikibench(strings.NewReader(badTS), WikibenchOptions{}); err == nil {
+		t.Error("bad timestamp should fail")
+	}
+	// SkipMalformed tolerates both.
+	mixed := bad + badTS + "2 100.5 http://upload.wikimedia.org/y -\n"
+	recs, err := ParseWikibench(strings.NewReader(mixed), WikibenchOptions{SkipMalformed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Errorf("kept %d, want 1", len(recs))
+	}
+}
+
+func TestParseWikibenchCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n1 5.0 http://upload.wikimedia.org/z -\n"
+	recs, err := ParseWikibench(strings.NewReader(in), WikibenchOptions{MediaOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Errorf("kept %d", len(recs))
+	}
+}
+
+func TestParseWikibenchReplayable(t *testing.T) {
+	// The produced records must satisfy the invariants the simulator
+	// needs: nonnegative increasing-ish times, positive sizes.
+	recs, err := ParseWikibench(strings.NewReader(sampleWikibench), WikibenchOptions{MediaOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Summarize(recs)
+	if st.Requests != 3 || st.Unique != 2 {
+		t.Errorf("summary %+v", st)
+	}
+}
