@@ -1,0 +1,33 @@
+# Development entry points. `make check` is the full gate: formatting,
+# vet, build, and the race-enabled test suite.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench tidy
+
+check: fmt vet build race
+
+# gofmt -l prints offending files; fail when it prints anything.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+tidy:
+	gofmt -w .

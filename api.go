@@ -5,6 +5,7 @@ import (
 	"cosmodel/internal/dist"
 	"cosmodel/internal/experiments"
 	"cosmodel/internal/numeric"
+	"cosmodel/internal/serve"
 	"cosmodel/internal/simstore"
 	"cosmodel/internal/stats"
 	"cosmodel/internal/trace"
@@ -94,6 +95,54 @@ var (
 
 // DefaultMissThreshold is the hit/miss latency threshold (15 µs).
 const DefaultMissThreshold = core.DefaultMissThreshold
+
+// ---------------------------------------------------------------------------
+// Admission control and capacity planning.
+
+// Deployment describes a homogeneous deployment (identical devices behind a
+// shared frontend tier) evaluated at varying aggregate load — the shared
+// operating-point parameterization of the capacity and overload examples
+// and of cosserve's /advise endpoint.
+type Deployment = core.Deployment
+
+var (
+	// MaxAdmissibleRate finds the admission threshold: the largest
+	// aggregate rate at which the deployment still meets the SLA target.
+	MaxAdmissibleRate = core.MaxAdmissibleRate
+	// Headroom returns MaxAdmissibleRate minus the current rate.
+	Headroom = core.Headroom
+	// MaxRateWhere is the underlying monotone bisection.
+	MaxRateWhere = core.MaxRateWhere
+)
+
+// ---------------------------------------------------------------------------
+// Online serving (cmd/cosserve); see internal/serve.
+
+type (
+	// ServeConfig configures the SLA-prediction service: device properties,
+	// deployment size, sliding-window span and serving limits.
+	ServeConfig = serve.Config
+	// ServeServer is the HTTP front of the prediction engine.
+	ServeServer = serve.Server
+	// ServeEngine is the concurrent, memoizing prediction engine.
+	ServeEngine = serve.Engine
+	// ServeObservation is one interval of per-device measurements — the
+	// /ingest wire format.
+	ServeObservation = serve.Observation
+	// ServePrediction is the answer for one SLA bound.
+	ServePrediction = serve.Prediction
+	// ServeAdvice is the /advise admission-control answer.
+	ServeAdvice = serve.Advice
+)
+
+var (
+	// NewServeServer builds a serving instance from the configuration.
+	NewServeServer = serve.NewServer
+	// NewServeEngine builds the engine without the HTTP layer.
+	NewServeEngine = serve.NewEngine
+	// DefaultServeConfig returns serving defaults for a deployment size.
+	DefaultServeConfig = serve.DefaultConfig
+)
 
 // ---------------------------------------------------------------------------
 // Distributions.

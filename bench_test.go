@@ -274,3 +274,69 @@ func BenchmarkSimulatorRequests(b *testing.B) {
 	cluster.Drain()
 	b.ReportMetric(float64(cluster.EventsProcessed())/float64(b.N), "events/req")
 }
+
+// BenchmarkServePredictColdVsCached measures the serving engine's memoized
+// prediction path against cold evaluation: "cold" invalidates the model
+// cache every iteration (forcing a model build and transform inversions per
+// SLA), "cached" answers the same query from the memo. The cached path is
+// required to be at least 10x faster (see internal/serve's timing test); in
+// practice the gap is several orders of magnitude.
+func BenchmarkServePredictColdVsCached(b *testing.B) {
+	props := cosmodel.DeviceProperties{
+		IndexDisk: cosmodel.NewGammaMeanSCV(9e-3, 0.45),
+		MetaDisk:  cosmodel.NewGammaMeanSCV(6e-3, 0.50),
+		DataDisk:  cosmodel.NewGammaMeanSCV(8e-3, 0.40),
+		ParseFE:   cosmodel.Degenerate{Value: 0.3e-3},
+		ParseBE:   cosmodel.Degenerate{Value: 0.5e-3},
+	}
+	newEngine := func(b *testing.B) *cosmodel.ServeEngine {
+		cfg := cosmodel.DefaultServeConfig(props, 4)
+		eng, err := cosmodel.NewServeEngine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch := make([]cosmodel.ServeObservation, cfg.Devices)
+		for d := range batch {
+			batch[d] = cosmodel.ServeObservation{
+				Device: d, Interval: 10, Requests: 500, DataReads: 600,
+				IndexHits: 700, IndexMisses: 300,
+				MetaHits: 650, MetaMisses: 350,
+				DataHits: 500, DataMisses: 500,
+				DiskBusy: 8, DiskOps: 1000,
+			}
+		}
+		if err := eng.Ingest(batch); err != nil {
+			b.Fatal(err)
+		}
+		return eng
+	}
+	slas := []float64{0.01, 0.05, 0.1}
+	b.Run("cold", func(b *testing.B) {
+		eng := newEngine(b)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng.InvalidateCache()
+			if _, err := eng.Predict(slas); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		eng := newEngine(b)
+		if _, err := eng.Predict(slas); err != nil { // warm the cache
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			preds, err := eng.Predict(slas)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !preds[0].Cached {
+				b.Fatal("cache miss on the warmed path")
+			}
+		}
+		b.ReportMetric(eng.Stats().CacheHitRatio, "hit-ratio")
+	})
+}

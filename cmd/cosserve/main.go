@@ -1,0 +1,110 @@
+// Command cosserve runs the online SLA-prediction and admission-control
+// service: monitoring agents POST per-device observations to /ingest, and
+// clients query /predict (percentile predictions at the current operating
+// point), /advise (max admissible rate and headroom for an SLA target),
+// /metrics and /healthz. Predictions are memoized per quantized operating
+// point, so a stable workload is served without re-inverting transforms.
+//
+// Usage:
+//
+//	cosserve -addr :8080 -devices 4 -nbe 1 -fe-procs 12 -slas 10ms,50ms,100ms
+//
+// Device properties default to the simulated testbed's calibrated hardware;
+// override the disk service-time fits with the -disk-* flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"cosmodel"
+)
+
+func main() {
+	cfg, addr, err := configure(os.Args[1:])
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := cosmodel.NewServeServer(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cosserve: %d devices x %d procs, %d frontend procs, SLAs %v, window %.0fs\n",
+		cfg.Devices, cfg.ProcsPerDevice, cfg.FrontendProcs, cfg.SLAs, cfg.Window)
+	fmt.Printf("cosserve: listening on %s\n", addr)
+	if err := http.ListenAndServe(addr, srv.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+// configure parses flags into a serving configuration; split from main so
+// tests can exercise it without binding a socket.
+func configure(args []string) (cosmodel.ServeConfig, string, error) {
+	fs := flag.NewFlagSet("cosserve", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		devices  = fs.Int("devices", 4, "storage devices in the deployment")
+		nbe      = fs.Int("nbe", 1, "object-server processes per storage device")
+		feProcs  = fs.Int("fe-procs", 12, "frontend event-loop processes (tier total)")
+		slas     = fs.String("slas", "10ms,50ms,100ms", "comma-separated default SLA bounds")
+		window   = fs.Duration("window", time.Minute, "sliding measurement window span")
+		maxObs   = fs.Int("max-observations", 128, "retained observations per device")
+		inflight = fs.Int("max-inflight", 64, "concurrent model evaluations before shedding with 503")
+		cacheN   = fs.Int("cache-entries", 4096, "memoized predictions kept")
+
+		idxMean = fs.Float64("disk-index-mean", 9e-3, "index disk service mean (s)")
+		idxSCV  = fs.Float64("disk-index-scv", 0.45, "index disk service SCV")
+		metMean = fs.Float64("disk-meta-mean", 6e-3, "metadata disk service mean (s)")
+		metSCV  = fs.Float64("disk-meta-scv", 0.50, "metadata disk service SCV")
+		datMean = fs.Float64("disk-data-mean", 8e-3, "data disk service mean (s)")
+		datSCV  = fs.Float64("disk-data-scv", 0.40, "data disk service SCV")
+		parseFE = fs.Duration("parse-fe", 300*time.Microsecond, "frontend parse time")
+		parseBE = fs.Duration("parse-be", 500*time.Microsecond, "backend parse time")
+	)
+	if err := fs.Parse(args); err != nil {
+		return cosmodel.ServeConfig{}, "", err
+	}
+	props := cosmodel.DeviceProperties{
+		IndexDisk: cosmodel.NewGammaMeanSCV(*idxMean, *idxSCV),
+		MetaDisk:  cosmodel.NewGammaMeanSCV(*metMean, *metSCV),
+		DataDisk:  cosmodel.NewGammaMeanSCV(*datMean, *datSCV),
+		ParseFE:   cosmodel.Degenerate{Value: parseFE.Seconds()},
+		ParseBE:   cosmodel.Degenerate{Value: parseBE.Seconds()},
+	}
+	cfg := cosmodel.DefaultServeConfig(props, *devices)
+	cfg.ProcsPerDevice = *nbe
+	cfg.FrontendProcs = *feProcs
+	cfg.Window = window.Seconds()
+	cfg.MaxObservations = *maxObs
+	cfg.MaxInflight = *inflight
+	cfg.CacheEntries = *cacheN
+	var err error
+	if cfg.SLAs, err = parseSLAs(*slas); err != nil {
+		return cosmodel.ServeConfig{}, "", err
+	}
+	if err := cfg.Validate(); err != nil {
+		return cosmodel.ServeConfig{}, "", err
+	}
+	return cfg, *addr, nil
+}
+
+func parseSLAs(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		d, err := time.ParseDuration(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad SLA %q: %w", part, err)
+		}
+		out = append(out, d.Seconds())
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cosserve:", err)
+	os.Exit(1)
+}

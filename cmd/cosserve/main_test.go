@@ -1,0 +1,70 @@
+package main
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cosmodel"
+)
+
+func TestConfigure(t *testing.T) {
+	cfg, addr, err := configure([]string{
+		"-addr", ":9999", "-devices", "8", "-nbe", "16",
+		"-slas", "25ms,100ms", "-window", "30s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != ":9999" || cfg.Devices != 8 || cfg.ProcsPerDevice != 16 {
+		t.Errorf("cfg %+v addr %q", cfg, addr)
+	}
+	if len(cfg.SLAs) != 2 || math.Abs(cfg.SLAs[0]-0.025) > 1e-12 {
+		t.Errorf("SLAs %v", cfg.SLAs)
+	}
+	if cfg.Window != 30 {
+		t.Errorf("window %v", cfg.Window)
+	}
+	if _, _, err := configure([]string{"-slas", "bogus"}); err == nil {
+		t.Error("bad SLA list should fail")
+	}
+	if _, _, err := configure([]string{"-devices", "0"}); err == nil {
+		t.Error("zero devices should fail")
+	}
+}
+
+// TestServeSmoke builds a server from default flags and drives one
+// ingest/predict round trip through the HTTP handler.
+func TestServeSmoke(t *testing.T) {
+	cfg, _, err := configure(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := cosmodel.NewServeServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := `{"observations":[{"device":0,"interval":10,"requests":400,"dataReads":480,
+		"indexHits":700,"indexMisses":300,"metaHits":650,"metaMisses":350,
+		"dataHits":500,"dataMisses":500}]}`
+	resp, err := ts.Client().Post(ts.URL+"/ingest", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	resp, err = ts.Client().Get(ts.URL + "/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("predict status %d", resp.StatusCode)
+	}
+}

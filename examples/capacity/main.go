@@ -2,7 +2,9 @@
 // ("95% of requests within 100 ms"), a workload forecast, and calibrated
 // device properties, use the analytic model to find the smallest number of
 // storage devices — and the best process count per device — that meets the
-// SLA, without running a single load test.
+// SLA, without running a single load test. The evaluation goes through the
+// shared cosmodel.Deployment operating-point abstraction, the same code
+// path the cosserve /advise endpoint uses online.
 package main
 
 import (
@@ -38,21 +40,26 @@ func main() {
 		missData  float64
 	}{rate: 900, chunkFrac: 0.2, missIdx: 0.40, missMeta: 0.35, missData: 0.50}
 
+	deployment := func(devices, procs int) cosmodel.Deployment {
+		return cosmodel.Deployment{
+			Props:         props,
+			Devices:       devices,
+			Procs:         procs,
+			FrontendProcs: 12,
+			ExtraReadFrac: forecast.chunkFrac,
+			MissIndex:     forecast.missIdx,
+			MissMeta:      forecast.missMeta,
+			MissData:      forecast.missData,
+		}
+	}
+
 	fmt.Printf("target: %.0f%% of requests within %.0f ms at %.0f req/s\n\n",
 		slaTarget*100, slaLatency*1e3, forecast.rate)
 	fmt.Println("devices  procs/device  P(<=SLA)  verdict")
 
 	best := -1
 	for devices := 2; devices <= 24; devices++ {
-		perDev := cosmodel.OnlineMetrics{
-			Rate:      forecast.rate / float64(devices),
-			DataRate:  forecast.rate * (1 + forecast.chunkFrac) / float64(devices),
-			MissIndex: forecast.missIdx,
-			MissMeta:  forecast.missMeta,
-			MissData:  forecast.missData,
-			Procs:     1,
-		}
-		p, ok := evaluate(props, perDev, devices, forecast.rate)
+		p, ok := evaluate(deployment(devices, 1), forecast.rate)
 		verdict := "insufficient"
 		if ok && p >= slaTarget {
 			verdict = "MEETS SLA"
@@ -60,7 +67,7 @@ func main() {
 				best = devices
 			}
 		}
-		fmt.Printf("%7d  %12d  %s  %s\n", devices, perDev.Procs, fmtP(p, ok), verdict)
+		fmt.Printf("%7d  %12d  %s  %s\n", devices, 1, fmtP(p, ok), verdict)
 		if best > 0 && devices >= best+2 {
 			break
 		}
@@ -71,46 +78,34 @@ func main() {
 	}
 	fmt.Printf("\nminimum deployment: %d devices\n", best)
 
+	// How much growth does the minimum deployment leave before the SLA
+	// breaks? The same question cosserve's /advise answers online.
+	headroom, err := cosmodel.Headroom(deployment(best, 1), forecast.rate, slaLatency, slaTarget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("headroom at %d devices: %+.0f req/s beyond the forecast\n", best, headroom)
+
 	// What-if: can more processes per device substitute for devices?
 	fmt.Println("\nwhat-if on the marginal configuration (one device fewer):")
 	fmt.Println("procs/device  P(<=SLA)")
 	for _, procs := range []int{1, 2, 4, 8, 16} {
-		perDev := cosmodel.OnlineMetrics{
-			Rate:      forecast.rate / float64(best-1),
-			DataRate:  forecast.rate * (1 + forecast.chunkFrac) / float64(best-1),
-			MissIndex: forecast.missIdx,
-			MissMeta:  forecast.missMeta,
-			MissData:  forecast.missData,
-			Procs:     procs,
-		}
-		p, ok := evaluate(props, perDev, best-1, forecast.rate)
+		p, ok := evaluate(deployment(best-1, procs), forecast.rate)
 		fmt.Printf("%12d  %s\n", procs, fmtP(p, ok))
 	}
 }
 
-// evaluate predicts the percentile meeting the SLA for a uniform
-// deployment; ok is false when the configuration is overloaded.
-func evaluate(props cosmodel.DeviceProperties, perDev cosmodel.OnlineMetrics, devices int, totalRate float64) (float64, bool) {
-	devs := make([]*cosmodel.DeviceModel, devices)
-	for i := range devs {
-		d, err := cosmodel.NewDeviceModel(props, perDev, cosmodel.Options{})
-		if errors.Is(err, cosmodel.ErrOverload) {
-			return 0, false
-		}
-		if err != nil {
-			log.Fatal(err)
-		}
-		devs[i] = d
+// evaluate predicts the percentile meeting the SLA for a deployment; ok is
+// false when the configuration is overloaded.
+func evaluate(dep cosmodel.Deployment, totalRate float64) (float64, bool) {
+	p, err := dep.MeetFraction(totalRate, slaLatency)
+	if errors.Is(err, cosmodel.ErrOverload) {
+		return 0, false
 	}
-	fe, err := cosmodel.NewFrontendModel(totalRate, 12, props.ParseFE)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys, err := cosmodel.NewSystemModel(fe, devs, cosmodel.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	return sys.PercentileMeetingSLA(slaLatency), true
+	return p, true
 }
 
 func fmtP(p float64, ok bool) string {

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"testing"
+
+	"cosmodel"
+)
+
+// TestEvaluateMonotoneInDevices smoke-tests the example's computation: with
+// the forecast workload, adding devices must not hurt the predicted
+// percentile, and some device count within the sweep must meet the SLA.
+func TestEvaluateMonotoneInDevices(t *testing.T) {
+	props := cosmodel.DeviceProperties{
+		IndexDisk: cosmodel.NewGammaMeanSCV(9e-3, 0.45),
+		MetaDisk:  cosmodel.NewGammaMeanSCV(6e-3, 0.50),
+		DataDisk:  cosmodel.NewGammaMeanSCV(8e-3, 0.40),
+		ParseFE:   cosmodel.Degenerate{Value: 0.3e-3},
+		ParseBE:   cosmodel.Degenerate{Value: 0.5e-3},
+	}
+	const rate = 900.0
+	dep := func(devices int) cosmodel.Deployment {
+		return cosmodel.Deployment{
+			Props:         props,
+			Devices:       devices,
+			Procs:         1,
+			FrontendProcs: 12,
+			ExtraReadFrac: 0.2,
+			MissIndex:     0.40,
+			MissMeta:      0.35,
+			MissData:      0.50,
+		}
+	}
+	prev := -1.0
+	met := false
+	for _, devices := range []int{8, 12, 16, 24} {
+		p, ok := evaluate(dep(devices), rate)
+		if ok && p < prev-1e-6 {
+			t.Errorf("percentile fell from %v to %v when growing to %d devices", prev, p, devices)
+		}
+		if ok {
+			prev = p
+			if p >= slaTarget {
+				met = true
+			}
+		}
+	}
+	if !met {
+		t.Error("no configuration up to 24 devices met the SLA; the example would find nothing")
+	}
+}

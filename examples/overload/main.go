@@ -1,13 +1,12 @@
 // Overload control: one of the paper's what-if applications. A proxy that
 // can turn away excess requests needs an admission threshold: the highest
-// arrival rate at which the SLA still holds. This example sweeps the rate
-// through the analytic model to find that threshold — and shows how the
+// arrival rate at which the SLA still holds. This example asks the analytic
+// model for that threshold (cosmodel.MaxAdmissibleRate) — and shows how the
 // threshold moves when the cache degrades (miss ratios rise), which is
 // exactly the situation where a static threshold fails.
 package main
 
 import (
-	"errors"
 	"fmt"
 	"log"
 
@@ -40,58 +39,23 @@ func main() {
 		{"degraded cache", 0.40, 0.35, 0.50},
 		{"cold cache (restart)", 0.85, 0.85, 0.90},
 	} {
-		rate := maxAdmissible(props, c.mi, c.mm, c.md)
+		dep := cosmodel.Deployment{
+			Props:         props,
+			Devices:       devices,
+			Procs:         1,
+			FrontendProcs: 12,
+			ExtraReadFrac: chunkFrac,
+			MissIndex:     c.mi,
+			MissMeta:      c.mm,
+			MissData:      c.md,
+		}
+		rate, err := cosmodel.MaxAdmissibleRate(dep, slaLatency, slaTarget)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-22s %.2f/%.2f/%.2f   %8.0f req/s\n", c.name, c.mi, c.mm, c.md, rate)
 	}
 	fmt.Println("\nA static admission threshold tuned for the healthy cache would accept")
 	fmt.Println("far more traffic than a cold cache can serve within the SLA; the model")
 	fmt.Println("gives the controller a threshold that tracks the observed miss ratios.")
-}
-
-// maxAdmissible binary-searches the largest aggregate rate whose predicted
-// percentile still meets the target.
-func maxAdmissible(props cosmodel.DeviceProperties, mi, mm, md float64) float64 {
-	meets := func(rate float64) bool {
-		perDev := cosmodel.OnlineMetrics{
-			Rate:      rate / devices,
-			DataRate:  rate * (1 + chunkFrac) / devices,
-			MissIndex: mi,
-			MissMeta:  mm,
-			MissData:  md,
-			Procs:     1,
-		}
-		devs := make([]*cosmodel.DeviceModel, devices)
-		for i := range devs {
-			d, err := cosmodel.NewDeviceModel(props, perDev, cosmodel.Options{})
-			if errors.Is(err, cosmodel.ErrOverload) {
-				return false
-			}
-			if err != nil {
-				log.Fatal(err)
-			}
-			devs[i] = d
-		}
-		fe, err := cosmodel.NewFrontendModel(rate, 12, props.ParseFE)
-		if err != nil {
-			return false
-		}
-		sys, err := cosmodel.NewSystemModel(fe, devs, cosmodel.Options{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		return sys.PercentileMeetingSLA(slaLatency) >= slaTarget
-	}
-	lo, hi := 1.0, 4000.0
-	if !meets(lo) {
-		return 0
-	}
-	for hi-lo > 1 {
-		mid := (lo + hi) / 2
-		if meets(mid) {
-			lo = mid
-		} else {
-			hi = mid
-		}
-	}
-	return lo
 }

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"testing"
+
+	"cosmodel"
+)
+
+// TestAdmissionThresholds smoke-tests the example's computation: the shared
+// cosmodel.MaxAdmissibleRate must yield positive thresholds that shrink as
+// the cache degrades.
+func TestAdmissionThresholds(t *testing.T) {
+	props := cosmodel.DeviceProperties{
+		IndexDisk: cosmodel.NewGammaMeanSCV(9e-3, 0.45),
+		MetaDisk:  cosmodel.NewGammaMeanSCV(6e-3, 0.50),
+		DataDisk:  cosmodel.NewGammaMeanSCV(8e-3, 0.40),
+		ParseFE:   cosmodel.Degenerate{Value: 0.3e-3},
+		ParseBE:   cosmodel.Degenerate{Value: 0.5e-3},
+	}
+	dep := func(mi, mm, md float64) cosmodel.Deployment {
+		return cosmodel.Deployment{
+			Props:         props,
+			Devices:       devices,
+			Procs:         1,
+			FrontendProcs: 12,
+			ExtraReadFrac: chunkFrac,
+			MissIndex:     mi,
+			MissMeta:      mm,
+			MissData:      md,
+		}
+	}
+	healthy, err := cosmodel.MaxAdmissibleRate(dep(0.20, 0.18, 0.25), slaLatency, slaTarget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := cosmodel.MaxAdmissibleRate(dep(0.85, 0.85, 0.90), slaLatency, slaTarget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy <= 0 || cold <= 0 {
+		t.Fatalf("thresholds must be positive: healthy=%v cold=%v", healthy, cold)
+	}
+	if cold >= healthy {
+		t.Errorf("cold-cache threshold %v should be below healthy %v", cold, healthy)
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import "fmt"
+
+// Deployment describes a homogeneous deployment whose admissible load is
+// being asked about: identical storage devices behind a shared frontend
+// tier, with the aggregate arrival rate split evenly across devices. It is
+// the operating-point parameterization shared by the capacity-planning and
+// overload-control applications (the paper's §I use cases) and by the
+// serving layer's /advise endpoint.
+type Deployment struct {
+	// Props are the benchmarked device properties (Section IV-A).
+	Props DeviceProperties
+	// Devices is the number of storage devices.
+	Devices int
+	// Procs is Nbe, the process count per device.
+	Procs int
+	// FrontendProcs is the frontend process count across the tier.
+	FrontendProcs int
+	// ExtraReadFrac is p: mean extra data reads per request, so each
+	// device's data-read rate is its request rate times (1 + p).
+	ExtraReadFrac float64
+	// MissIndex, MissMeta, MissData are the cache miss ratios assumed at
+	// the operating point.
+	MissIndex, MissMeta, MissData float64
+	// DiskMean optionally overrides the observed overall mean disk service
+	// time b; 0 derives it from Props and the operation mix.
+	DiskMean float64
+	// Opts select model variants.
+	Opts Options
+}
+
+// Validate checks the deployment description.
+func (d Deployment) Validate() error {
+	if err := d.Props.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case d.Devices < 1:
+		return fmt.Errorf("%w: deployment needs at least one device", ErrBadParams)
+	case d.Procs < 1:
+		return fmt.Errorf("%w: deployment needs at least one process per device", ErrBadParams)
+	case d.FrontendProcs < 1:
+		return fmt.Errorf("%w: deployment needs at least one frontend process", ErrBadParams)
+	case d.ExtraReadFrac < 0:
+		return fmt.Errorf("%w: extra read fraction %v", ErrBadParams, d.ExtraReadFrac)
+	case d.DiskMean < 0:
+		return fmt.Errorf("%w: disk mean %v", ErrBadParams, d.DiskMean)
+	}
+	for _, miss := range []float64{d.MissIndex, d.MissMeta, d.MissData} {
+		if miss < 0 || miss > 1 {
+			return fmt.Errorf("%w: miss ratio %v outside [0,1]", ErrBadParams, miss)
+		}
+	}
+	return nil
+}
+
+// Metrics returns the per-device online metrics at aggregate rate.
+func (d Deployment) Metrics(rate float64) OnlineMetrics {
+	return OnlineMetrics{
+		Rate:      rate / float64(d.Devices),
+		DataRate:  rate * (1 + d.ExtraReadFrac) / float64(d.Devices),
+		MissIndex: d.MissIndex,
+		MissMeta:  d.MissMeta,
+		MissData:  d.MissData,
+		Procs:     d.Procs,
+		DiskMean:  d.DiskMean,
+	}
+}
+
+// Model builds the system model at aggregate arrival rate. It returns
+// ErrOverload (wrapped) when the operating point has no steady state.
+func (d Deployment) Model(rate float64) (*SystemModel, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if rate <= 0 {
+		return nil, fmt.Errorf("%w: rate %v must be positive", ErrBadParams, rate)
+	}
+	dev, err := NewDeviceModel(d.Props, d.Metrics(rate), d.Opts)
+	if err != nil {
+		return nil, err
+	}
+	// The devices are identical, so one model can stand in for all of
+	// them: the system mixture weights each slot by its own rate.
+	devs := make([]*DeviceModel, d.Devices)
+	for i := range devs {
+		devs[i] = dev
+	}
+	fe, err := NewFrontendModel(rate, d.FrontendProcs, d.Props.ParseFE)
+	if err != nil {
+		return nil, err
+	}
+	return NewSystemModel(fe, devs, d.Opts)
+}
+
+// MeetFraction predicts the fraction of requests meeting the SLA bound at
+// aggregate rate. It returns ErrOverload (wrapped) when the operating point
+// has no steady state.
+func (d Deployment) MeetFraction(rate, sla float64) (float64, error) {
+	sys, err := d.Model(rate)
+	if err != nil {
+		return 0, err
+	}
+	return sys.PercentileMeetingSLA(sla), nil
+}
+
+// MaxAdmissibleRate returns the largest aggregate arrival rate (req/s, to
+// within 1 req/s) at which the deployment still meets target — the
+// admission threshold of the paper's overload-control application. It
+// returns 0 when even minimal load misses the target.
+func MaxAdmissibleRate(d Deployment, sla, target float64) (float64, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	if sla <= 0 || target <= 0 || target > 1 {
+		return 0, fmt.Errorf("%w: sla %v, target %v", ErrBadParams, sla, target)
+	}
+	meets := func(rate float64) bool {
+		p, err := d.MeetFraction(rate, sla)
+		return err == nil && p >= target
+	}
+	return MaxRateWhere(meets, 1, 1), nil
+}
+
+// Headroom returns the additional aggregate rate the deployment can admit
+// before the predicted percentile drops below target: MaxAdmissibleRate
+// minus current. Negative headroom means the deployment is already past the
+// admission threshold.
+func Headroom(d Deployment, current, sla, target float64) (float64, error) {
+	max, err := MaxAdmissibleRate(d, sla, target)
+	if err != nil {
+		return 0, err
+	}
+	return max - current, nil
+}
+
+// MaxRateWhere returns the largest rate at which meets still holds,
+// assuming meets is monotone non-increasing in rate (true for SLA
+// compliance under increasing load). The search starts at lo (> 0), doubles
+// until meets fails, and bisects to within tol. It returns 0 when meets
+// fails already at lo.
+func MaxRateWhere(meets func(rate float64) bool, lo, tol float64) float64 {
+	if lo <= 0 {
+		lo = 1
+	}
+	if tol <= 0 {
+		tol = lo * 1e-3
+	}
+	if !meets(lo) {
+		return 0
+	}
+	hi := lo * 2
+	const ceiling = 1e9 // far beyond any physically admissible rate here
+	for meets(hi) {
+		lo = hi
+		hi *= 2
+		if hi > ceiling {
+			return lo
+		}
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if meets(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

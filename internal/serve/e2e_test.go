@@ -1,0 +1,187 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"cosmodel/internal/experiments"
+	"cosmodel/internal/serve"
+	"cosmodel/internal/simstore"
+)
+
+// TestEndToEndAgainstSimulator drives the service with traffic measured from
+// the discrete-event simulator: each sweep step's per-device window becomes
+// an /ingest batch, /predict answers are compared against the
+// simulator-observed SLA-meeting fractions, and the memo cache must show
+// hits after repeated queries. The acceptance bar is MAE <= 0.10 across all
+// (step, SLA) pairs at moderate load — the same tolerance band the paper's
+// Table I comfortably clears.
+func TestEndToEndAgainstSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator-driven e2e")
+	}
+	sc := experiments.DefaultS1()
+	sc.CatalogObjects = 60000
+	sc.WarmRate, sc.WarmDur = 100, 20
+	sc.RateStart, sc.RateEnd, sc.RateStep = 60, 240, 60
+	sc.StepDur, sc.StepDiscard = 10, 3
+	sc.CalibrationOps = 1500
+	data, err := experiments.RunSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	measured := sc.StepDur - sc.StepDiscard
+	cfg := serve.DefaultConfig(data.Props, sc.Sim.Devices())
+	cfg.ProcsPerDevice = sc.Sim.ProcsPerDisk
+	cfg.FrontendProcs = sc.Sim.Frontends * sc.Sim.ProcsPerFrontend
+	cfg.SLAs = sc.Sim.SLAs
+	// One measurement window per step: the sliding window holds exactly the
+	// latest step so predictions match that step's operating point.
+	cfg.Window = measured
+
+	srv, err := serve.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var absErr []float64
+	for step, win := range data.Windows {
+		if win.Timeouts > 0 || win.Retries > 0 || win.Responses == 0 {
+			continue // same exclusions as the paper's analysis
+		}
+		batch := windowToObservations(win)
+		if len(batch) == 0 {
+			continue
+		}
+		buf, err := json.Marshal(serve.IngestRequest{Observations: batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/ingest", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("step %d ingest: %d %s", step, resp.StatusCode, body)
+		}
+
+		pr := predictHTTP(t, ts.URL)
+		if pr.Saturated {
+			t.Errorf("rate %.0f predicted saturated; simulator completed the window fine", data.Rates[step])
+			continue
+		}
+		for i, p := range pr.Predictions {
+			e := p.MeetRatio - win.MeetFraction[i]
+			absErr = append(absErr, math.Abs(e))
+			t.Logf("rate %.0f sla %.3f: predicted %.4f observed %.4f (err %+.4f)",
+				data.Rates[step], p.SLA, p.MeetRatio, win.MeetFraction[i], e)
+		}
+
+		// Repeat the identical query: must be answered from the cache.
+		again := predictHTTP(t, ts.URL)
+		for _, p := range again.Predictions {
+			if !p.Cached {
+				t.Errorf("rate %.0f: repeated query not served from cache", data.Rates[step])
+			}
+		}
+	}
+	if len(absErr) < 6 {
+		t.Fatalf("only %d comparable predictions; sweep degenerated", len(absErr))
+	}
+	var sum float64
+	for _, e := range absErr {
+		sum += e
+	}
+	mae := sum / float64(len(absErr))
+	t.Logf("MAE %.4f over %d (step, SLA) pairs", mae, len(absErr))
+	if mae > 0.10 {
+		t.Errorf("MAE %.4f exceeds 0.10", mae)
+	}
+
+	// /advise at the final operating point: a finite, positive threshold
+	// consistent with its own headroom.
+	var adv serve.Advice
+	getInto(t, ts.URL+"/advise?sla=0.1&target=0.5", &adv)
+	if adv.MaxAdmissibleRate <= 0 {
+		t.Errorf("advise found no admissible rate at a survivable load: %+v", adv)
+	}
+	if math.Abs(adv.Headroom-(adv.MaxAdmissibleRate-adv.CurrentRate)) > 1e-9 {
+		t.Errorf("inconsistent headroom: %+v", adv)
+	}
+
+	// /metrics: the repeated predictions above must show up as cache hits.
+	var m serve.MetricsResponse
+	getInto(t, ts.URL+"/metrics", &m)
+	if m.CacheHitRatio <= 0 {
+		t.Errorf("cache hit ratio %v after repeated identical queries", m.CacheHitRatio)
+	}
+	if m.Reporting == 0 || m.Ingested == 0 {
+		t.Errorf("ingest counters empty: %+v", m.EngineStats)
+	}
+}
+
+// windowToObservations converts a simulator measurement window into the wire
+// observations a real deployment's monitoring agent would report. Ratios are
+// carried as synthetic hit/miss counts over a fixed number of accesses.
+func windowToObservations(win simstore.Window) []serve.Observation {
+	const accesses = 1_000_000
+	var out []serve.Observation
+	for d := range win.DeviceRate {
+		if win.DeviceRate[d] <= 0 {
+			continue
+		}
+		hits := func(miss float64) (uint64, uint64) {
+			m := uint64(math.Round(miss * accesses))
+			return accesses - m, m
+		}
+		o := serve.Observation{
+			Device:    d,
+			Interval:  win.Duration,
+			Requests:  uint64(math.Round(win.DeviceRate[d] * win.Duration)),
+			DataReads: uint64(math.Round(win.DeviceChunkRate[d] * win.Duration)),
+			DiskBusy:  win.DiskMeanSvc[d] * accesses,
+			DiskOps:   accesses,
+		}
+		o.IndexHits, o.IndexMisses = hits(win.MissIndex[d])
+		o.MetaHits, o.MetaMisses = hits(win.MissMeta[d])
+		o.DataHits, o.DataMisses = hits(win.MissData[d])
+		out = append(out, o)
+	}
+	return out
+}
+
+func predictHTTP(t *testing.T, base string) serve.PredictResponse {
+	t.Helper()
+	var pr serve.PredictResponse
+	getInto(t, base+"/predict", &pr)
+	return pr
+}
+
+func getInto(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatalf("unmarshal %q: %v", data, err)
+	}
+}

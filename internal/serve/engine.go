@@ -1,0 +1,296 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"cosmodel/internal/core"
+)
+
+// Engine is the concurrent prediction engine: it derives the current
+// operating point from the ingest state and answers prediction and
+// admission queries through the memoizing model cache.
+type Engine struct {
+	cfg   Config
+	state *stateTable
+	cache *modelCache
+
+	predictions atomic.Uint64 // SLA evaluations answered
+	saturations atomic.Uint64 // evaluations that hit an overloaded point
+}
+
+// NewEngine validates the configuration and builds an engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg}
+	e.state = newStateTable(&e.cfg)
+	e.cache = newModelCache(cfg.CacheEntries)
+	return e, nil
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Ingest absorbs a batch of per-device observations (all-or-nothing).
+func (e *Engine) Ingest(batch []Observation) error {
+	return e.state.ingest(batch)
+}
+
+// Prediction is the answer for one SLA bound.
+type Prediction struct {
+	// SLA is the latency bound (seconds).
+	SLA float64 `json:"sla"`
+	// MeetRatio is the predicted fraction of requests with latency at
+	// most SLA; 0 when Saturated.
+	MeetRatio float64 `json:"meetRatio"`
+	// Saturated marks an operating point with no steady state
+	// (core.ErrOverload): the honest prediction is that the SLA target
+	// will not be met at all.
+	Saturated bool `json:"saturated"`
+	// Cached reports whether the answer came from the memo cache.
+	Cached bool `json:"cached"`
+}
+
+// Predict evaluates the predicted SLA-meeting fraction at the current
+// operating point for each bound. It returns ErrNotReady before any
+// observations arrive and ErrBadQuery for invalid bounds; saturation is not
+// an error (see Prediction.Saturated).
+func (e *Engine) Predict(slas []float64) ([]Prediction, error) {
+	if len(slas) == 0 {
+		slas = e.cfg.SLAs
+	}
+	for _, s := range slas {
+		if !(s > 0) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("%w: SLA %v must be positive and finite", ErrBadQuery, s)
+		}
+	}
+	ms, err := e.state.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	key := opKey(ms)
+	out := make([]Prediction, len(slas))
+	for i, sla := range slas {
+		v, cached, err := e.evaluate(ms, key, sla, 1)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Prediction{SLA: sla, MeetRatio: v.p, Saturated: v.saturated, Cached: cached}
+	}
+	return out, nil
+}
+
+// evaluate answers one (operating point, SLA) query through the cache,
+// scaling every device's load by factor (used by admission bisection).
+func (e *Engine) evaluate(ms []core.OnlineMetrics, key string, sla, factor float64) (cachedValue, bool, error) {
+	ck := key
+	if factor != 1 {
+		ck += "|f=" + quantStr(factor)
+	}
+	ck += "|sla=" + quantStr(sla)
+	v, cached, err := e.cache.do(ck, func() (cachedValue, error) {
+		sys, err := e.buildModel(ms, factor)
+		if errors.Is(err, core.ErrOverload) {
+			return cachedValue{p: 0, saturated: true}, nil
+		}
+		if err != nil {
+			return cachedValue{}, err
+		}
+		return cachedValue{p: sys.PercentileMeetingSLA(sla)}, nil
+	})
+	if err == nil {
+		e.predictions.Add(1)
+		if v.saturated {
+			e.saturations.Add(1)
+		}
+	}
+	return v, cached, err
+}
+
+// buildModel assembles the system model for the snapshot with every
+// device's rates scaled by factor.
+func (e *Engine) buildModel(ms []core.OnlineMetrics, factor float64) (*core.SystemModel, error) {
+	devs := make([]*core.DeviceModel, 0, len(ms))
+	total := 0.0
+	for _, m := range ms {
+		m.Rate *= factor
+		m.DataRate *= factor
+		dm, err := core.NewDeviceModel(e.cfg.Props, m, e.cfg.Opts)
+		if err != nil {
+			return nil, err
+		}
+		devs = append(devs, dm)
+		total += m.Rate
+	}
+	fe, err := core.NewFrontendModel(total, e.cfg.FrontendProcs, e.cfg.Props.ParseFE)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSystemModel(fe, devs, e.cfg.Opts)
+}
+
+// Advice is the admission-control answer for one SLA constraint.
+type Advice struct {
+	// SLA and Target restate the constraint ("Target of requests within
+	// SLA seconds").
+	SLA    float64 `json:"sla"`
+	Target float64 `json:"target"`
+	// CurrentRate is the aggregate request rate of the current window.
+	CurrentRate float64 `json:"currentRate"`
+	// CurrentMeetRatio is the predicted compliance at the current point.
+	CurrentMeetRatio float64 `json:"currentMeetRatio"`
+	// Saturated marks the current operating point as overloaded.
+	Saturated bool `json:"saturated"`
+	// MaxAdmissibleRate is the highest aggregate rate (same workload mix,
+	// proportionally scaled) still predicted to meet the target; 0 when
+	// even minimal load misses it.
+	MaxAdmissibleRate float64 `json:"maxAdmissibleRate"`
+	// Headroom is MaxAdmissibleRate - CurrentRate (negative when the
+	// system is already past the admission threshold).
+	Headroom float64 `json:"headroom"`
+	// Admit is the admission decision: the current rate is within the
+	// threshold and the target is met.
+	Admit bool `json:"admit"`
+}
+
+// Advise answers the admission-control question "what fraction meets the
+// SLA now, and how much more load fits before target breaks?" by bisecting
+// a proportional scaling of the current per-device operating point. Every
+// probe goes through the memo cache, so repeated advice at a stable
+// operating point is nearly free.
+func (e *Engine) Advise(sla, target float64) (Advice, error) {
+	if !(sla > 0) || math.IsInf(sla, 0) {
+		return Advice{}, fmt.Errorf("%w: SLA %v must be positive and finite", ErrBadQuery, sla)
+	}
+	if !(target > 0) || target > 1 {
+		return Advice{}, fmt.Errorf("%w: target %v outside (0,1]", ErrBadQuery, target)
+	}
+	ms, err := e.state.snapshot()
+	if err != nil {
+		return Advice{}, err
+	}
+	key := opKey(ms)
+	current := 0.0
+	for _, m := range ms {
+		current += m.Rate
+	}
+	adv := Advice{SLA: sla, Target: target, CurrentRate: current}
+	cur, _, err := e.evaluate(ms, key, sla, 1)
+	if err != nil {
+		return Advice{}, err
+	}
+	adv.CurrentMeetRatio = cur.p
+	adv.Saturated = cur.saturated
+	meets := func(rate float64) bool {
+		v, _, err := e.evaluate(ms, key, sla, rate/current)
+		return err == nil && !v.saturated && v.p >= target
+	}
+	// Resolve the threshold to ~0.5% of the current rate; quantization
+	// below that would alias probe points anyway.
+	adv.MaxAdmissibleRate = core.MaxRateWhere(meets, current/64, current/200)
+	adv.Headroom = adv.MaxAdmissibleRate - current
+	adv.Admit = !adv.Saturated && cur.p >= target && adv.Headroom >= 0
+	return adv, nil
+}
+
+// InvalidateCache starts a new cache generation: every memoized prediction
+// becomes stale. Call after changing what the model would answer (e.g. a
+// recalibration of device properties).
+func (e *Engine) InvalidateCache() { e.cache.invalidate() }
+
+// EngineStats is a point-in-time view of the engine's internal counters.
+type EngineStats struct {
+	Predictions     uint64  `json:"predictions"`
+	Saturations     uint64  `json:"saturations"`
+	CacheHits       uint64  `json:"cacheHits"`
+	CacheMisses     uint64  `json:"cacheMisses"`
+	CacheHitRatio   float64 `json:"cacheHitRatio"`
+	CacheEntries    int     `json:"cacheEntries"`
+	CacheGeneration uint64  `json:"cacheGeneration"`
+	Ingested        uint64  `json:"ingestedObservations"`
+	Reporting       int     `json:"devicesReporting"`
+	// CalibrationAge is the seconds since the last accepted ingest;
+	// negative (-1) before any ingest.
+	CalibrationAge float64 `json:"calibrationAgeSeconds"`
+	TotalRate      float64 `json:"totalRate"`
+}
+
+// Stats assembles the engine counters.
+func (e *Engine) Stats() EngineStats {
+	cs := e.cache.stats()
+	ingested, reporting := e.state.stats()
+	st := EngineStats{
+		Predictions:     e.predictions.Load(),
+		Saturations:     e.saturations.Load(),
+		CacheHits:       cs.Hits,
+		CacheMisses:     cs.Misses,
+		CacheHitRatio:   cs.hitRatio(),
+		CacheEntries:    cs.Entries,
+		CacheGeneration: cs.Generation,
+		Ingested:        ingested,
+		Reporting:       reporting,
+		CalibrationAge:  -1,
+	}
+	if age, ok := e.state.calibrationAge(); ok {
+		st.CalibrationAge = age
+	}
+	if ms, err := e.state.snapshot(); err == nil {
+		for _, m := range ms {
+			st.TotalRate += m.Rate
+		}
+	}
+	return st
+}
+
+// ---------------------------------------------------------------------------
+// Operating-point quantization.
+
+// quantize rounds x to 3 significant decimal digits. Nearby operating
+// points then share cache entries: a ≤0.5% perturbation of a rate or miss
+// ratio moves the prediction far less than the model's own accuracy
+// (mean absolute errors of a few percentage points, Table I), so serving
+// the memoized neighbour is indistinguishable from recomputing.
+func quantize(x float64) float64 {
+	if x == 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+		return x
+	}
+	exp := math.Floor(math.Log10(math.Abs(x)))
+	scale := math.Pow(10, exp-2)
+	return math.Round(x/scale) * scale
+}
+
+func quantStr(x float64) string {
+	return strconv.FormatFloat(quantize(x), 'g', -1, 64)
+}
+
+// opKey serializes a quantized operating point: every device's rates, miss
+// ratios, process count and disk mean. Identical keys mean (up to
+// quantization) identical model inputs.
+func opKey(ms []core.OnlineMetrics) string {
+	var b strings.Builder
+	for i, m := range ms {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(quantStr(m.Rate))
+		b.WriteByte(',')
+		b.WriteString(quantStr(m.DataRate))
+		b.WriteByte(',')
+		b.WriteString(quantStr(m.MissIndex))
+		b.WriteByte(',')
+		b.WriteString(quantStr(m.MissMeta))
+		b.WriteByte(',')
+		b.WriteString(quantStr(m.MissData))
+		b.WriteByte(',')
+		b.WriteString(strconv.Itoa(m.Procs))
+		b.WriteByte(',')
+		b.WriteString(quantStr(m.DiskMean))
+	}
+	return b.String()
+}

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cachedValue is one memoized prediction: the fraction of requests meeting
+// an SLA at a quantized operating point, or the fact that the operating
+// point is saturated (core.ErrOverload — a legitimate, cacheable answer).
+type cachedValue struct {
+	p         float64
+	saturated bool
+}
+
+// modelCache memoizes predictions keyed by quantized operating point. It
+// reuses the ideas of internal/cache's byte-LRU (recency list + map) but is
+// keyed by operating point, generation-aware — Invalidate makes every
+// existing entry stale without touching it, so a recalibration never serves
+// predictions computed from old device properties — and deduplicating:
+// concurrent lookups of the same key block on a single computation
+// (singleflight) instead of inverting the same transform in parallel.
+type modelCache struct {
+	mu       sync.Mutex
+	capacity int
+	gen      uint64
+	ll       *list.List               // front = most recently used
+	items    map[string]*list.Element // key -> element holding *cacheEntry
+	hits     uint64                   // lookups served from memory or deduped onto an in-flight computation
+	misses   uint64                   // lookups that had to compute
+}
+
+type cacheEntry struct {
+	key   string
+	gen   uint64
+	ready chan struct{} // closed once val/err are set
+	val   cachedValue
+	err   error
+}
+
+func newModelCache(capacity int) *modelCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &modelCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// do returns the cached value for key, computing it with fn exactly once
+// per (key, generation) no matter how many goroutines ask concurrently.
+// cached reports whether the caller was served without running fn itself.
+// A computation that fails with a non-cacheable error is forgotten so later
+// lookups retry.
+func (c *modelCache) do(key string, fn func() (cachedValue, error)) (v cachedValue, cached bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*cacheEntry)
+		if e.gen == c.gen {
+			c.hits++
+			c.ll.MoveToFront(el)
+			c.mu.Unlock()
+			<-e.ready
+			return e.val, true, e.err
+		}
+		// Stale generation: drop and recompute below.
+		c.removeLocked(el)
+	}
+	e := &cacheEntry{key: key, gen: c.gen, ready: make(chan struct{})}
+	el := c.ll.PushFront(e)
+	c.items[key] = el
+	c.misses++
+	for c.ll.Len() > c.capacity {
+		// Evicting an in-flight entry is safe: waiters hold the entry
+		// pointer and its ready channel is still closed by the computer.
+		c.removeLocked(c.ll.Back())
+	}
+	c.mu.Unlock()
+
+	e.val, e.err = fn()
+	close(e.ready)
+	if e.err != nil {
+		c.mu.Lock()
+		if cur, ok := c.items[key]; ok && cur.Value.(*cacheEntry) == e {
+			c.removeLocked(cur)
+		}
+		c.mu.Unlock()
+	}
+	return e.val, false, e.err
+}
+
+// invalidate makes every current entry stale (a new generation).
+func (c *modelCache) invalidate() {
+	c.mu.Lock()
+	c.gen++
+	c.mu.Unlock()
+}
+
+// cacheStats is a point-in-time view of the cache counters.
+type cacheStats struct {
+	Hits       uint64
+	Misses     uint64
+	Entries    int
+	Generation uint64
+}
+
+func (s cacheStats) hitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+func (c *modelCache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Generation: c.gen}
+}
+
+func (c *modelCache) removeLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+}

@@ -1,0 +1,127 @@
+// Package serve turns the analytic model into a long-running service: an
+// online SLA-prediction and admission-control server in the spirit of the
+// paper's §IV online-calibration loop. Storage backends stream per-device
+// observations (request counts, cache hit/miss counters, disk busy time,
+// response latencies) into sliding windows; the server continuously
+// re-derives each device's core.OnlineMetrics and answers
+// percentile-prediction (/predict) and admission-control (/advise) queries
+// from a concurrent prediction engine.
+//
+// Because Laplace-transform inversion is the hot path (~ms per operating
+// point), the engine memoizes predictions in a keyed, generation-aware
+// cache of quantized operating points with singleflight deduplication:
+// concurrent identical queries compute once, and repeat queries at a
+// near-identical operating point are served from memory.
+//
+// The service degrades gracefully rather than piling up work: an operating
+// point with no steady state (core.ErrOverload) is a structured 200
+// response with meetRatio 0 and a saturated flag; malformed input is a 400;
+// and a bounded in-flight limit sheds excess prediction load with 503.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cosmodel/internal/core"
+)
+
+// Service errors.
+var (
+	// ErrBadConfig reports an invalid service configuration.
+	ErrBadConfig = errors.New("serve: invalid configuration")
+	// ErrNotReady reports that no observations have been ingested yet, so
+	// there is no operating point to predict from.
+	ErrNotReady = errors.New("serve: no observations ingested yet")
+	// ErrBadQuery reports an invalid prediction or advice query.
+	ErrBadQuery = errors.New("serve: invalid query")
+)
+
+// Config describes a cosserve instance. Start from DefaultConfig.
+type Config struct {
+	// Props are the benchmarked device properties (the paper's §IV-A
+	// offline calibration), shared by all devices.
+	Props core.DeviceProperties
+	// Opts select model variants; the zero value is the paper's model.
+	Opts core.Options
+	// Devices is the number of storage devices reporting observations.
+	Devices int
+	// ProcsPerDevice is Nbe, the process count per device.
+	ProcsPerDevice int
+	// FrontendProcs is the frontend process count across the tier.
+	FrontendProcs int
+	// SLAs are the default SLA bounds (seconds) answered by /predict when
+	// a query names none.
+	SLAs []float64
+	// Window is the sliding-window span in seconds of observation
+	// coverage: observations are dropped once the window holds newer
+	// coverage spanning at least this long.
+	Window float64
+	// MaxObservations additionally bounds the retained observations per
+	// device (memory bound when clients report very fine-grained
+	// intervals).
+	MaxObservations int
+	// MaxInflight bounds concurrently evaluated /predict and /advise
+	// queries; excess queries are shed with 503.
+	MaxInflight int
+	// CacheEntries bounds the memoized prediction cache.
+	CacheEntries int
+	// Now supplies wall-clock time; nil means time.Now. Tests inject
+	// fakes to control calibration-age reporting.
+	Now func() time.Time
+}
+
+// DefaultConfig returns a serving configuration for a deployment of the
+// given size with sensible operational bounds.
+func DefaultConfig(props core.DeviceProperties, devices int) Config {
+	return Config{
+		Props:           props,
+		Devices:         devices,
+		ProcsPerDevice:  1,
+		FrontendProcs:   12,
+		SLAs:            []float64{0.010, 0.050, 0.100},
+		Window:          60,
+		MaxObservations: 128,
+		MaxInflight:     64,
+		CacheEntries:    4096,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Props.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	switch {
+	case c.Devices < 1:
+		return fmt.Errorf("%w: need at least one device", ErrBadConfig)
+	case c.ProcsPerDevice < 1:
+		return fmt.Errorf("%w: need at least one process per device", ErrBadConfig)
+	case c.FrontendProcs < 1:
+		return fmt.Errorf("%w: need at least one frontend process", ErrBadConfig)
+	case len(c.SLAs) == 0:
+		return fmt.Errorf("%w: at least one default SLA required", ErrBadConfig)
+	case c.Window <= 0:
+		return fmt.Errorf("%w: window must be positive", ErrBadConfig)
+	case c.MaxObservations < 1:
+		return fmt.Errorf("%w: need at least one retained observation", ErrBadConfig)
+	case c.MaxInflight < 1:
+		return fmt.Errorf("%w: need at least one in-flight slot", ErrBadConfig)
+	case c.CacheEntries < 1:
+		return fmt.Errorf("%w: need at least one cache entry", ErrBadConfig)
+	}
+	for _, s := range c.SLAs {
+		if s <= 0 {
+			return fmt.Errorf("%w: SLA %v must be positive", ErrBadConfig, s)
+		}
+	}
+	return nil
+}
+
+func (c Config) now() time.Time {
+	if c.Now != nil {
+		return c.Now()
+	}
+	return time.Now()
+}

@@ -1,0 +1,556 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"cosmodel/internal/core"
+	"cosmodel/internal/dist"
+)
+
+func testProps() core.DeviceProperties {
+	return core.DeviceProperties{
+		IndexDisk: dist.NewGammaMeanSCV(9e-3, 0.45),
+		MetaDisk:  dist.NewGammaMeanSCV(6e-3, 0.50),
+		DataDisk:  dist.NewGammaMeanSCV(8e-3, 0.40),
+		ParseFE:   dist.Degenerate{Value: 0.3e-3},
+		ParseBE:   dist.Degenerate{Value: 0.5e-3},
+	}
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig(testProps(), 4)
+	cfg.SLAs = []float64{0.010, 0.050, 0.100}
+	return cfg
+}
+
+// obsAtRate builds one device's observation for a moderate operating point.
+func obsAtRate(device int, rate float64) Observation {
+	const interval = 10.0
+	reqs := uint64(rate * interval)
+	return Observation{
+		Device:      device,
+		Interval:    interval,
+		Requests:    reqs,
+		DataReads:   uint64(float64(reqs) * 1.2),
+		IndexHits:   700,
+		IndexMisses: 300,
+		MetaHits:    650,
+		MetaMisses:  350,
+		DataHits:    500,
+		DataMisses:  500,
+	}
+}
+
+func ingestAll(t testing.TB, e *Engine, rate float64) {
+	t.Helper()
+	batch := make([]Observation, e.Config().Devices)
+	for d := range batch {
+		batch[d] = obsAtRate(d, rate)
+	}
+	if err := e.Ingest(batch); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnginePredict(t *testing.T) {
+	eng, err := NewEngine(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Predict(nil); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("predict before ingest: %v", err)
+	}
+	ingestAll(t, eng, 50)
+	preds, err := eng.Predict(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 3 {
+		t.Fatalf("got %d predictions", len(preds))
+	}
+	for i, p := range preds {
+		if p.Saturated {
+			t.Errorf("saturated at a moderate load: %+v", p)
+		}
+		if p.MeetRatio < 0 || p.MeetRatio > 1 {
+			t.Errorf("meet ratio %v", p.MeetRatio)
+		}
+		if i > 0 && p.MeetRatio < preds[i-1].MeetRatio-1e-9 {
+			t.Errorf("meet ratio not monotone in SLA: %v after %v", p.MeetRatio, preds[i-1].MeetRatio)
+		}
+	}
+	// Identical query again: answered from the cache.
+	preds2, err := eng.Predict(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range preds2 {
+		if !p.Cached {
+			t.Errorf("repeat query not cached: %+v", p)
+		}
+	}
+	if st := eng.Stats(); st.CacheHitRatio <= 0 {
+		t.Errorf("cache hit ratio %v", st.CacheHitRatio)
+	}
+	if _, err := eng.Predict([]float64{-1}); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("negative SLA: %v", err)
+	}
+}
+
+func TestEngineSaturation(t *testing.T) {
+	eng, err := NewEngine(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Far beyond what ~8ms disk service times can sustain per device.
+	ingestAll(t, eng, 2000)
+	preds, err := eng.Predict([]float64{0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !preds[0].Saturated || preds[0].MeetRatio != 0 {
+		t.Errorf("expected saturated zero prediction, got %+v", preds[0])
+	}
+	if st := eng.Stats(); st.Saturations == 0 {
+		t.Error("saturation counter not bumped")
+	}
+}
+
+func TestEngineSlidingWindow(t *testing.T) {
+	cfg := testConfig()
+	cfg.Window = 20 // two 10s observations per device
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturating load first, then enough moderate observations to push
+	// the overloaded ones out of the window.
+	ingestAll(t, eng, 2000)
+	for i := 0; i < 3; i++ {
+		ingestAll(t, eng, 40)
+	}
+	preds, err := eng.Predict([]float64{0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preds[0].Saturated {
+		t.Fatalf("old overload still dominates the window: %+v", preds[0])
+	}
+	if preds[0].MeetRatio <= 0.5 {
+		t.Errorf("meet ratio %v at a light load", preds[0].MeetRatio)
+	}
+}
+
+func TestEngineAdvise(t *testing.T) {
+	eng, err := NewEngine(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, eng, 40)
+	adv, err := eng.Advise(0.05, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adv.Admit || adv.Saturated {
+		t.Errorf("light load should admit: %+v", adv)
+	}
+	if adv.MaxAdmissibleRate <= adv.CurrentRate {
+		t.Errorf("threshold %v should exceed current %v", adv.MaxAdmissibleRate, adv.CurrentRate)
+	}
+	if math.Abs(adv.Headroom-(adv.MaxAdmissibleRate-adv.CurrentRate)) > 1e-9 {
+		t.Errorf("headroom %v inconsistent", adv.Headroom)
+	}
+	// The threshold is meaningful: hammering the system at far above it
+	// must flip the decision.
+	ingestAll(t, eng, adv.MaxAdmissibleRate) // new window dominated by max-rate load
+	ingestAll(t, eng, adv.MaxAdmissibleRate)
+	over, err := eng.Advise(0.05, 0.9999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Admit {
+		t.Errorf("hard target at the threshold should not admit: %+v", over)
+	}
+	if _, err := eng.Advise(0, 0.9); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("zero SLA: %v", err)
+	}
+	if _, err := eng.Advise(0.05, 2); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("target 2: %v", err)
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	for _, tc := range []struct{ in, want float64 }{
+		{0, 0},
+		{123.456, 123},
+		{0.04567, 0.0457},
+		{1234, 1230},
+		{-0.04567, -0.0457},
+	} {
+		if got := quantize(tc.in); math.Abs(got-tc.want) > 1e-12*math.Max(1, math.Abs(tc.want)) {
+			t.Errorf("quantize(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	a := []core.OnlineMetrics{{Rate: 100.004, DataRate: 120.01, MissIndex: 0.30002, Procs: 1}}
+	b := []core.OnlineMetrics{{Rate: 100.003, DataRate: 120.02, MissIndex: 0.30003, Procs: 1}}
+	if opKey(a) != opKey(b) {
+		t.Errorf("near-identical points should share a key:\n%s\n%s", opKey(a), opKey(b))
+	}
+	c := []core.OnlineMetrics{{Rate: 150, DataRate: 180, MissIndex: 0.3, Procs: 1}}
+	if opKey(a) == opKey(c) {
+		t.Error("distinct operating points must not collide")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// HTTP layer.
+
+func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t testing.TB, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func getJSON(t testing.TB, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		if err := json.Unmarshal(data, v); err != nil {
+			t.Fatalf("unmarshal %q: %v", data, err)
+		}
+	}
+	return resp
+}
+
+func ingestHTTP(t testing.TB, base string, rate float64, devices int, latencies []float64) {
+	t.Helper()
+	batch := make([]Observation, devices)
+	for d := range batch {
+		batch[d] = obsAtRate(d, rate)
+		batch[d].Latencies = latencies
+	}
+	resp, body := postJSON(t, base+"/ingest", IngestRequest{Observations: batch})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+
+	// healthz: alive but not ready before ingest.
+	var health HealthResponse
+	if resp := getJSON(t, ts.URL+"/healthz", &health); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d", resp.StatusCode)
+	}
+	if health.Status != "ok" || health.Ready {
+		t.Errorf("health before ingest: %+v", health)
+	}
+
+	// predict before ingest: 409.
+	if resp := getJSON(t, ts.URL+"/predict", nil); resp.StatusCode != http.StatusConflict {
+		t.Errorf("predict before ingest: %d", resp.StatusCode)
+	}
+
+	ingestHTTP(t, ts.URL, 50, 4, []float64{0.004, 0.008, 0.020, 0.045})
+
+	if getJSON(t, ts.URL+"/healthz", &health); !health.Ready {
+		t.Error("not ready after ingest")
+	}
+
+	var pr PredictResponse
+	if resp := getJSON(t, ts.URL+"/predict?sla=0.05,0.1", &pr); resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict %d", resp.StatusCode)
+	}
+	if len(pr.Predictions) != 2 || pr.Saturated {
+		t.Fatalf("predict response %+v", pr)
+	}
+	if pr.TotalRate < 150 || pr.TotalRate > 250 {
+		t.Errorf("total rate %v, ingested 4x50", pr.TotalRate)
+	}
+
+	// POST body form.
+	resp, body := postJSON(t, ts.URL+"/predict", PredictRequest{SLAs: []float64{0.05}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict POST: %d %s", resp.StatusCode, body)
+	}
+
+	var adv Advice
+	if resp := getJSON(t, ts.URL+"/advise?sla=0.05&target=0.8", &adv); resp.StatusCode != http.StatusOK {
+		t.Fatalf("advise %d", resp.StatusCode)
+	}
+	if !adv.Admit || adv.MaxAdmissibleRate <= 0 {
+		t.Errorf("advise %+v", adv)
+	}
+
+	var m MetricsResponse
+	if resp := getJSON(t, ts.URL+"/metrics", &m); resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics %d", resp.StatusCode)
+	}
+	if m.Ingested != 4 || m.Reporting != 4 {
+		t.Errorf("ingest counters %+v", m)
+	}
+	if m.ObservedCount != 16 || m.ObservedP95 <= 0 {
+		t.Errorf("observed latency counters: count=%d p95=%v", m.ObservedCount, m.ObservedP95)
+	}
+	if m.QueriesServed < 3 {
+		t.Errorf("queries served %d", m.QueriesServed)
+	}
+}
+
+func TestServerBadInput(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	for name, tc := range map[string]struct {
+		method, path, body string
+		want               int
+	}{
+		"garbage json":      {"POST", "/ingest", "{not json", http.StatusBadRequest},
+		"unknown field":     {"POST", "/ingest", `{"observatons":[]}`, http.StatusBadRequest},
+		"empty batch":       {"POST", "/ingest", `{"observations":[]}`, http.StatusBadRequest},
+		"bad device":        {"POST", "/ingest", `{"observations":[{"device":99,"interval":1}]}`, http.StatusBadRequest},
+		"zero interval":     {"POST", "/ingest", `{"observations":[{"device":0,"interval":0}]}`, http.StatusBadRequest},
+		"negative latency":  {"POST", "/ingest", `{"observations":[{"device":0,"interval":1,"latencies":[-1]}]}`, http.StatusBadRequest},
+		"bad sla query":     {"GET", "/predict?sla=banana", "", http.StatusBadRequest},
+		"bad advise target": {"GET", "/advise?sla=0.05&target=banana", "", http.StatusBadRequest},
+		"ingest get":        {"GET", "/ingest", "", http.StatusMethodNotAllowed},
+		"metrics post":      {"POST", "/metrics", "", http.StatusMethodNotAllowed},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, bytes.NewBufferString(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: got %d, want %d", name, resp.StatusCode, tc.want)
+		}
+	}
+	// A batch with one invalid observation is rejected whole.
+	_, ts2 := newTestServer(t, testConfig())
+	resp, _ := postJSON(t, ts2.URL+"/ingest", IngestRequest{Observations: []Observation{
+		obsAtRate(0, 50), {Device: -1, Interval: 1},
+	}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("mixed batch: %d", resp.StatusCode)
+	}
+	if r := getJSON(t, ts2.URL+"/predict", nil); r.StatusCode != http.StatusConflict {
+		t.Errorf("state changed by a rejected batch: predict %d", r.StatusCode)
+	}
+}
+
+// TestServerShedsLoad fills the in-flight pool by hand and checks that the
+// next query is shed with 503 and counted.
+func TestServerShedsLoad(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxInflight = 2
+	s, ts := newTestServer(t, cfg)
+	ingestHTTP(t, ts.URL, 50, 4, nil)
+
+	s.sem <- struct{}{}
+	s.sem <- struct{}{}
+	resp := getJSON(t, ts.URL+"/predict", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("expected 503, got %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 should carry Retry-After")
+	}
+	<-s.sem
+	<-s.sem
+	if resp := getJSON(t, ts.URL+"/predict", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("after slots free: %d", resp.StatusCode)
+	}
+	var m MetricsResponse
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.Shed != 1 {
+		t.Errorf("shed counter %d, want 1", m.Shed)
+	}
+}
+
+// TestServerConcurrentClients drives ≥8 concurrent clients mixing /ingest,
+// /predict, /advise and /metrics against one instance; run with -race.
+func TestServerConcurrentClients(t *testing.T) {
+	cfg := testConfig()
+	_, ts := newTestServer(t, cfg)
+	ingestHTTP(t, ts.URL, 40, 4, nil) // make predictions possible from the start
+
+	const (
+		ingesters  = 4
+		predictors = 6
+		advisers   = 2
+		iters      = 25
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, (ingesters+predictors+advisers)*iters)
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				rate := 30 + float64((g*iters+i)%40)
+				batch := make([]Observation, cfg.Devices)
+				for d := range batch {
+					batch[d] = obsAtRate(d, rate)
+					batch[d].Latencies = []float64{0.004, 0.02}
+				}
+				buf, _ := json.Marshal(IngestRequest{Observations: batch})
+				resp, err := http.Post(ts.URL+"/ingest", "application/json", bytes.NewReader(buf))
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("ingest status %d", resp.StatusCode)
+				}
+			}
+		}(g)
+	}
+	query := func(path string) {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			resp, err := http.Get(ts.URL + path)
+			if err != nil {
+				errs <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			// 503 (shed) is an acceptable answer under pressure; errors
+			// and 4xx/5xx beyond that are not.
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+				errs <- fmt.Errorf("%s status %d", path, resp.StatusCode)
+			}
+		}
+	}
+	for g := 0; g < predictors; g++ {
+		wg.Add(1)
+		go query("/predict?sla=0.01,0.05,0.1")
+	}
+	for g := 0; g < advisers; g++ {
+		wg.Add(1)
+		go query("/advise?sla=0.05&target=0.9")
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	var m MetricsResponse
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.Ingested != 4+ingesters*iters*uint64(cfg.Devices) {
+		t.Errorf("ingested %d", m.Ingested)
+	}
+	if m.CacheHitRatio <= 0 {
+		t.Errorf("no cache hits across concurrent identical queries: %+v", m.EngineStats)
+	}
+	if m.Inflight != 0 {
+		t.Errorf("inflight %d after drain", m.Inflight)
+	}
+}
+
+// TestCachedPredictionSpeedup measures the memoization win directly: the
+// cached path must be at least 10x faster than cold prediction (in practice
+// it is orders of magnitude faster — a map lookup vs transform inversions).
+func TestCachedPredictionSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	eng, err := NewEngine(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, eng, 50)
+	slas := []float64{0.01, 0.05, 0.1}
+
+	const coldIters = 10
+	start := time.Now()
+	for i := 0; i < coldIters; i++ {
+		eng.InvalidateCache()
+		if _, err := eng.Predict(slas); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cold := time.Since(start) / coldIters
+
+	if _, err := eng.Predict(slas); err != nil { // warm
+		t.Fatal(err)
+	}
+	const warmIters = 2000
+	start = time.Now()
+	for i := 0; i < warmIters; i++ {
+		if _, err := eng.Predict(slas); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm := time.Since(start) / warmIters
+
+	t.Logf("cold %v, cached %v (%.0fx)", cold, warm, float64(cold)/float64(warm))
+	if cold < 10*warm {
+		t.Errorf("cached path only %.1fx faster than cold (%v vs %v)",
+			float64(cold)/float64(warm), warm, cold)
+	}
+}
+
+func TestNewServerBadConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.Devices = 0
+	if _, err := NewServer(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero devices: %v", err)
+	}
+	cfg = testConfig()
+	cfg.SLAs = nil
+	if _, err := NewServer(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("no SLAs: %v", err)
+	}
+	cfg = testConfig()
+	cfg.Props = core.DeviceProperties{}
+	if _, err := NewServer(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad props: %v", err)
+	}
+}

@@ -1,0 +1,357 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"cosmodel/internal/stats"
+)
+
+// Server is the HTTP front of the prediction engine. Create with NewServer
+// and mount Handler on any http server.
+type Server struct {
+	engine *Engine
+	// sem is the bounded work queue for model-evaluating endpoints: a
+	// slot per allowed in-flight query, nothing queued behind it. A full
+	// pool sheds with 503 instead of accumulating goroutines.
+	sem   chan struct{}
+	start time.Time
+
+	// latAll accumulates every ingested latency for the lifetime
+	// percentile diagnostics in /metrics.
+	latAll *stats.ConcurrentHistogram
+
+	inflight    atomic.Int64
+	shed        atomic.Uint64
+	badRequests atomic.Uint64
+	served      atomic.Uint64
+}
+
+// NewServer builds a serving instance from the configuration.
+func NewServer(cfg Config) (*Server, error) {
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		engine: eng,
+		sem:    make(chan struct{}, cfg.MaxInflight),
+		start:  cfg.now(),
+		latAll: stats.NewConcurrentLatencyHistogram(),
+	}, nil
+}
+
+// Engine exposes the underlying prediction engine (benchmarks and embedders
+// bypass HTTP through it).
+func (s *Server) Engine() *Engine { return s.engine }
+
+// Handler returns the route table:
+//
+//	POST /ingest   — absorb per-device observations
+//	GET/POST /predict — percentile predictions at the current operating point
+//	GET/POST /advise  — admission control: max admissible rate, headroom
+//	GET  /metrics  — internal counters (JSON)
+//	GET  /healthz  — liveness + readiness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/advise", s.handleAdvise)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, err error) {
+	s.badRequests.Add(1)
+	writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+}
+
+// acquire takes an in-flight slot, or sheds the request with 503.
+func (s *Server) acquire(w http.ResponseWriter) bool {
+	select {
+	case s.sem <- struct{}{}:
+		s.inflight.Add(1)
+		return true
+	default:
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorBody{Error: "prediction queue full, load shed"})
+		return false
+	}
+}
+
+func (s *Server) release() {
+	s.inflight.Add(-1)
+	<-s.sem
+}
+
+// ---------------------------------------------------------------------------
+// /ingest
+
+// IngestRequest is the /ingest payload.
+type IngestRequest struct {
+	Observations []Observation `json:"observations"`
+}
+
+// IngestResponse acknowledges an accepted batch.
+type IngestResponse struct {
+	Accepted int `json:"accepted"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
+		return
+	}
+	var req IngestRequest
+	if err := decodeStrict(r, &req); err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	if err := s.engine.Ingest(req.Observations); err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	for _, o := range req.Observations {
+		for _, l := range o.Latencies {
+			s.latAll.Observe(l)
+		}
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{Accepted: len(req.Observations)})
+}
+
+// ---------------------------------------------------------------------------
+// /predict
+
+// PredictRequest is the /predict payload; GET requests pass the bounds as
+// ?sla=0.01,0.05 instead. Empty bounds mean the configured defaults.
+type PredictRequest struct {
+	SLAs []float64 `json:"slas"`
+}
+
+// PredictResponse carries one prediction per requested SLA bound.
+type PredictResponse struct {
+	Predictions []Prediction `json:"predictions"`
+	// Saturated aggregates the per-prediction flags: the current
+	// operating point has no steady state.
+	Saturated bool `json:"saturated"`
+	// TotalRate is the aggregate request rate of the current window and
+	// CalibrationAge the seconds since the last ingest.
+	TotalRate      float64 `json:"totalRate"`
+	CalibrationAge float64 `json:"calibrationAgeSeconds"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequest
+	switch r.Method {
+	case http.MethodGet:
+		slas, err := parseFloats(r.URL.Query().Get("sla"))
+		if err != nil {
+			s.badRequest(w, err)
+			return
+		}
+		req.SLAs = slas
+	case http.MethodPost:
+		if err := decodeStrict(r, &req); err != nil {
+			s.badRequest(w, err)
+			return
+		}
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET or POST required"})
+		return
+	}
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+	preds, err := s.engine.Predict(req.SLAs)
+	if err != nil {
+		s.queryError(w, err)
+		return
+	}
+	resp := PredictResponse{Predictions: preds}
+	st := s.engine.Stats()
+	resp.TotalRate = st.TotalRate
+	resp.CalibrationAge = st.CalibrationAge
+	for _, p := range preds {
+		resp.Saturated = resp.Saturated || p.Saturated
+	}
+	s.served.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---------------------------------------------------------------------------
+// /advise
+
+// AdviseRequest is the /advise payload; GET passes ?sla=0.05&target=0.9.
+type AdviseRequest struct {
+	SLA    float64 `json:"sla"`
+	Target float64 `json:"target"`
+}
+
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	var req AdviseRequest
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query()
+		var err error
+		if req.SLA, err = parseFloat(q.Get("sla")); err != nil {
+			s.badRequest(w, fmt.Errorf("sla: %w", err))
+			return
+		}
+		if req.Target, err = parseFloat(q.Get("target")); err != nil {
+			s.badRequest(w, fmt.Errorf("target: %w", err))
+			return
+		}
+	case http.MethodPost:
+		if err := decodeStrict(r, &req); err != nil {
+			s.badRequest(w, err)
+			return
+		}
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET or POST required"})
+		return
+	}
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+	adv, err := s.engine.Advise(req.SLA, req.Target)
+	if err != nil {
+		s.queryError(w, err)
+		return
+	}
+	s.served.Add(1)
+	writeJSON(w, http.StatusOK, adv)
+}
+
+// queryError maps engine errors to HTTP statuses: invalid queries are 400,
+// asking before any ingest is 409 (the client did nothing malformed; the
+// server just has no operating point yet), anything else is 500.
+func (s *Server) queryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrBadQuery):
+		s.badRequest(w, err)
+	case errors.Is(err, ErrNotReady):
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// /metrics and /healthz
+
+// MetricsResponse exposes the service's internal counters.
+type MetricsResponse struct {
+	EngineStats
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Inflight      int64   `json:"inflight"`
+	Shed          uint64  `json:"shedRequests"`
+	BadRequests   uint64  `json:"badRequests"`
+	QueriesServed uint64  `json:"queriesServed"`
+	// Observed latency diagnostics over every ingested latency sample.
+	ObservedCount uint64  `json:"observedLatencyCount"`
+	ObservedP50   float64 `json:"observedP50"`
+	ObservedP95   float64 `json:"observedP95"`
+	ObservedP99   float64 `json:"observedP99"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET required"})
+		return
+	}
+	m := MetricsResponse{
+		EngineStats:   s.engine.Stats(),
+		UptimeSeconds: s.engine.Config().now().Sub(s.start).Seconds(),
+		Inflight:      s.inflight.Load(),
+		Shed:          s.shed.Load(),
+		BadRequests:   s.badRequests.Load(),
+		QueriesServed: s.served.Load(),
+		ObservedCount: s.latAll.Count(),
+	}
+	if m.ObservedCount > 0 {
+		m.ObservedP50 = s.latAll.Quantile(0.50)
+		m.ObservedP95 = s.latAll.Quantile(0.95)
+		m.ObservedP99 = s.latAll.Quantile(0.99)
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// HealthResponse is the /healthz payload: Status is always "ok" when the
+// process serves; Ready reports whether observations have been ingested so
+// predictions are possible.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Ready  bool   `json:"ready"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	_, reporting := s.engine.state.stats()
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Ready: reporting > 0})
+}
+
+// ---------------------------------------------------------------------------
+// Parsing helpers.
+
+// decodeStrict decodes a JSON body rejecting unknown fields and trailing
+// garbage, so typos in payloads fail loudly with 400 instead of silently
+// predicting from defaults.
+func decodeStrict(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	if dec.More() {
+		return fmt.Errorf("%w: trailing data after JSON body", ErrBadQuery)
+	}
+	return nil
+}
+
+func parseFloat(s string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	return v, nil
+}
+
+// parseFloats parses a comma-separated float list; empty means nil (use
+// defaults).
+func parseFloats(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := parseFloat(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"cosmodel/internal/core"
+	"cosmodel/internal/stats"
+)
+
+// Observation is one batch of per-device measurements covering Interval
+// seconds of operation — the raw material of the paper's §IV-B online
+// metrics. Counters are deltas over the interval, not cumulative totals.
+type Observation struct {
+	// Device identifies the storage device, 0 <= Device < Config.Devices.
+	Device int `json:"device"`
+	// Interval is the wall-clock span the counters cover (seconds).
+	Interval float64 `json:"interval"`
+	// Requests is the number of requests routed to the device (r·Interval).
+	Requests uint64 `json:"requests"`
+	// DataReads is the number of data read operations, cache hits and
+	// misses alike (rdata·Interval).
+	DataReads uint64 `json:"dataReads"`
+	// Cache accesses per operation class.
+	IndexHits   uint64 `json:"indexHits"`
+	IndexMisses uint64 `json:"indexMisses"`
+	MetaHits    uint64 `json:"metaHits"`
+	MetaMisses  uint64 `json:"metaMisses"`
+	DataHits    uint64 `json:"dataHits"`
+	DataMisses  uint64 `json:"dataMisses"`
+	// DiskBusy is the disk busy time (seconds) over DiskOps operations;
+	// together they give the observed overall mean disk service time b.
+	DiskBusy float64 `json:"diskBusy"`
+	DiskOps  uint64  `json:"diskOps"`
+	// Latencies are optional raw response latencies (seconds) observed at
+	// the frontend, kept in sliding-window histograms for the observed
+	// SLA-compliance diagnostics in /metrics.
+	Latencies []float64 `json:"latencies,omitempty"`
+}
+
+// Validate checks one observation against the deployment size.
+func (o Observation) Validate(devices int) error {
+	switch {
+	case o.Device < 0 || o.Device >= devices:
+		return fmt.Errorf("%w: device %d outside [0,%d)", ErrBadQuery, o.Device, devices)
+	case o.Interval <= 0 || math.IsNaN(o.Interval) || math.IsInf(o.Interval, 0):
+		return fmt.Errorf("%w: interval %v must be positive and finite", ErrBadQuery, o.Interval)
+	case o.DiskBusy < 0 || math.IsNaN(o.DiskBusy) || math.IsInf(o.DiskBusy, 0):
+		return fmt.Errorf("%w: disk busy time %v", ErrBadQuery, o.DiskBusy)
+	}
+	for _, l := range o.Latencies {
+		if l < 0 || math.IsNaN(l) || math.IsInf(l, 0) {
+			return fmt.Errorf("%w: latency %v", ErrBadQuery, l)
+		}
+	}
+	return nil
+}
+
+// windowEntry is one retained observation with its latency histogram.
+type windowEntry struct {
+	obs Observation
+	lat *stats.Histogram // nil when the observation carried no latencies
+}
+
+// deviceWindow is the sliding window of one device's observations, newest
+// last.
+type deviceWindow struct {
+	entries []windowEntry
+	span    float64 // summed intervals of the retained entries
+}
+
+// add appends an entry and evicts the oldest ones that fall outside the
+// window span or the entry-count bound. At least one entry is always kept
+// so a device that reports rarely still has an operating point.
+func (w *deviceWindow) add(e windowEntry, window float64, maxEntries int) {
+	w.entries = append(w.entries, e)
+	w.span += e.obs.Interval
+	for len(w.entries) > 1 &&
+		(w.span-w.entries[0].obs.Interval >= window || len(w.entries) > maxEntries) {
+		w.span -= w.entries[0].obs.Interval
+		w.entries[0] = windowEntry{}
+		w.entries = w.entries[1:]
+	}
+}
+
+// metrics derives the device's current online metrics from the window.
+// ok is false when the window holds no requests (idle device).
+func (w *deviceWindow) metrics(procs int) (core.OnlineMetrics, bool) {
+	if w.span <= 0 {
+		return core.OnlineMetrics{}, false
+	}
+	var (
+		requests, dataReads    uint64
+		idxH, idxM, metH, metM uint64
+		datH, datM, diskOps    uint64
+		diskBusy               float64
+	)
+	for _, e := range w.entries {
+		requests += e.obs.Requests
+		dataReads += e.obs.DataReads
+		idxH += e.obs.IndexHits
+		idxM += e.obs.IndexMisses
+		metH += e.obs.MetaHits
+		metM += e.obs.MetaMisses
+		datH += e.obs.DataHits
+		datM += e.obs.DataMisses
+		diskBusy += e.obs.DiskBusy
+		diskOps += e.obs.DiskOps
+	}
+	if requests == 0 {
+		return core.OnlineMetrics{}, false
+	}
+	m := core.OnlineMetrics{
+		Rate:      float64(requests) / w.span,
+		MissIndex: missRatio(idxM, idxH),
+		MissMeta:  missRatio(metM, metH),
+		MissData:  missRatio(datM, datH),
+		Procs:     procs,
+	}
+	m.DataRate = math.Max(float64(dataReads)/w.span, m.Rate)
+	if diskOps > 0 {
+		m.DiskMean = diskBusy / float64(diskOps)
+	}
+	return m, true
+}
+
+func missRatio(misses, hits uint64) float64 {
+	if misses+hits == 0 {
+		return 0
+	}
+	return float64(misses) / float64(misses+hits)
+}
+
+// stateTable holds every device's sliding window plus ingest bookkeeping.
+// All methods are safe for concurrent use.
+type stateTable struct {
+	cfg *Config
+
+	mu         sync.RWMutex
+	devices    []deviceWindow
+	lastIngest time.Time
+	ingested   uint64 // observations accepted
+}
+
+func newStateTable(cfg *Config) *stateTable {
+	return &stateTable{cfg: cfg, devices: make([]deviceWindow, cfg.Devices)}
+}
+
+// ingest validates and absorbs a batch of observations. The batch is
+// all-or-nothing: a single invalid observation rejects the whole batch so
+// partial state never depends on payload order.
+func (t *stateTable) ingest(batch []Observation) error {
+	if len(batch) == 0 {
+		return fmt.Errorf("%w: empty observation batch", ErrBadQuery)
+	}
+	for _, o := range batch {
+		if err := o.Validate(t.cfg.Devices); err != nil {
+			return err
+		}
+	}
+	entries := make([]windowEntry, len(batch))
+	for i, o := range batch {
+		e := windowEntry{obs: o}
+		if len(o.Latencies) > 0 {
+			e.lat = stats.NewLatencyHistogram()
+			for _, l := range o.Latencies {
+				e.lat.Observe(l)
+			}
+			e.obs.Latencies = nil // retained as a histogram, not raw samples
+		}
+		entries[i] = e
+	}
+	now := t.cfg.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range entries {
+		t.devices[e.obs.Device].add(e, t.cfg.Window, t.cfg.MaxObservations)
+	}
+	t.lastIngest = now
+	t.ingested += uint64(len(entries))
+	return nil
+}
+
+// snapshot derives the current per-device online metrics. Idle devices are
+// omitted (they contribute nothing to the system mixture). ErrNotReady is
+// returned when no device has observations.
+func (t *stateTable) snapshot() ([]core.OnlineMetrics, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []core.OnlineMetrics
+	for d := range t.devices {
+		if m, ok := t.devices[d].metrics(t.cfg.ProcsPerDevice); ok {
+			out = append(out, m)
+		}
+	}
+	if len(out) == 0 {
+		return nil, ErrNotReady
+	}
+	return out, nil
+}
+
+// observedLatency merges the windowed latency histograms of all devices
+// (nil when no latencies were ingested).
+func (t *stateTable) observedLatency() *stats.Histogram {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var merged *stats.Histogram
+	for d := range t.devices {
+		for _, e := range t.devices[d].entries {
+			if e.lat == nil {
+				continue
+			}
+			if merged == nil {
+				merged = stats.NewLatencyHistogram()
+			}
+			// Layouts always match (both NewLatencyHistogram).
+			merged.Merge(e.lat) //nolint:errcheck
+		}
+	}
+	return merged
+}
+
+// calibrationAge returns the seconds since the last accepted ingest, and
+// whether any ingest happened at all.
+func (t *stateTable) calibrationAge() (float64, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.lastIngest.IsZero() {
+		return 0, false
+	}
+	return t.cfg.now().Sub(t.lastIngest).Seconds(), true
+}
+
+// stats returns ingest counters.
+func (t *stateTable) stats() (ingested uint64, reporting int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for d := range t.devices {
+		if _, ok := t.devices[d].metrics(t.cfg.ProcsPerDevice); ok {
+			reporting++
+		}
+	}
+	return t.ingested, reporting
+}

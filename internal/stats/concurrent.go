@@ -1,0 +1,99 @@
+package stats
+
+import "sync"
+
+// ConcurrentHistogram is a mutex-guarded Histogram safe for concurrent
+// writers and readers. The serving layer uses it for histograms fed by
+// request handlers while metrics endpoints read quantiles; the plain
+// Histogram remains lock-free for the single-threaded simulator hot path.
+type ConcurrentHistogram struct {
+	mu sync.RWMutex
+	h  *Histogram
+}
+
+// NewConcurrentHistogram builds a concurrent histogram covering [min, max)
+// with the given bucket growth factor.
+func NewConcurrentHistogram(min, max, growth float64) (*ConcurrentHistogram, error) {
+	h, err := NewHistogram(min, max, growth)
+	if err != nil {
+		return nil, err
+	}
+	return &ConcurrentHistogram{h: h}, nil
+}
+
+// NewConcurrentLatencyHistogram returns a concurrent histogram with the
+// standard latency layout (1 µs to 1000 s, 5% resolution).
+func NewConcurrentLatencyHistogram() *ConcurrentHistogram {
+	return &ConcurrentHistogram{h: NewLatencyHistogram()}
+}
+
+// Observe records one value.
+func (c *ConcurrentHistogram) Observe(v float64) {
+	c.mu.Lock()
+	c.h.Observe(v)
+	c.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (c *ConcurrentHistogram) Count() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.h.Count()
+}
+
+// Mean returns the exact mean of the observed values (0 when empty).
+func (c *ConcurrentHistogram) Mean() float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.h.Mean()
+}
+
+// Max returns the largest observed value (0 when empty).
+func (c *ConcurrentHistogram) Max() float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.h.Max()
+}
+
+// Quantile returns an upper bound of the q-quantile (0 when empty).
+func (c *ConcurrentHistogram) Quantile(q float64) float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.h.Quantile(q)
+}
+
+// FractionBelow estimates P(X <= x) (0 when empty).
+func (c *ConcurrentHistogram) FractionBelow(x float64) float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.h.FractionBelow(x)
+}
+
+// Merge adds a plain histogram's observations. The layouts must match.
+func (c *ConcurrentHistogram) Merge(other *Histogram) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.h.Merge(other)
+}
+
+// MergeConcurrent adds another concurrent histogram's observations. It
+// snapshots the other histogram first, so the two locks are never held
+// together (no ordering deadlock when two histograms merge each other).
+func (c *ConcurrentHistogram) MergeConcurrent(other *ConcurrentHistogram) error {
+	snap := other.Snapshot()
+	return c.Merge(snap)
+}
+
+// Snapshot returns a deep copy as a plain Histogram for lock-free reading.
+func (c *ConcurrentHistogram) Snapshot() *Histogram {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.h.Clone()
+}
+
+// Reset clears all observations.
+func (c *ConcurrentHistogram) Reset() {
+	c.mu.Lock()
+	c.h.Reset()
+	c.mu.Unlock()
+}

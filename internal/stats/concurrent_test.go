@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentHistogramRace exercises parallel writers, readers and
+// mergers; run with -race to verify the locking.
+func TestConcurrentHistogramRace(t *testing.T) {
+	h := NewConcurrentLatencyHistogram()
+	other := NewConcurrentLatencyHistogram()
+	const (
+		writers = 8
+		readers = 4
+		perG    = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(1e-3 * float64(w*perG+i+1) / perG)
+				if i%100 == 0 {
+					other.Observe(2e-3)
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if q := h.Quantile(0.95); math.IsNaN(q) || q < 0 {
+					t.Errorf("bad quantile %v", q)
+					return
+				}
+				_ = h.Mean()
+				_ = h.Count()
+				_ = h.FractionBelow(5e-3)
+				if i%200 == 0 {
+					_ = h.Snapshot()
+					if err := h.MergeConcurrent(other); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() < writers*perG {
+		t.Errorf("lost observations: %d < %d", h.Count(), writers*perG)
+	}
+	if h.Max() <= 0 {
+		t.Errorf("max %v", h.Max())
+	}
+}
+
+// TestConcurrentHistogramDelegation checks that the wrapper returns the same
+// answers as a plain histogram fed identically.
+func TestConcurrentHistogramDelegation(t *testing.T) {
+	c, err := NewConcurrentHistogram(1e-6, 1e3, 1.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewLatencyHistogram()
+	for i := 1; i <= 1000; i++ {
+		v := float64(i) * 1e-4
+		c.Observe(v)
+		p.Observe(v)
+	}
+	if c.Count() != p.Count() || c.Mean() != p.Mean() || c.Max() != p.Max() {
+		t.Errorf("summary mismatch: %d/%v/%v vs %d/%v/%v",
+			c.Count(), c.Mean(), c.Max(), p.Count(), p.Mean(), p.Max())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 1} {
+		if c.Quantile(q) != p.Quantile(q) {
+			t.Errorf("quantile(%v): %v vs %v", q, c.Quantile(q), p.Quantile(q))
+		}
+	}
+	snap := c.Snapshot()
+	if snap.Count() != p.Count() {
+		t.Errorf("snapshot count %d", snap.Count())
+	}
+	c.Reset()
+	if c.Count() != 0 {
+		t.Errorf("reset left %d observations", c.Count())
+	}
+}
+
+func TestNewConcurrentHistogramBadParams(t *testing.T) {
+	if _, err := NewConcurrentHistogram(0, 1, 1.1); err == nil {
+		t.Error("min=0 should fail")
+	}
+	if _, err := NewConcurrentHistogram(1e-6, 1e3, 1); err == nil {
+		t.Error("growth=1 should fail")
+	}
+}
+
+// TestEmptyHistogramEdgeCases pins the behaviour of every query on a
+// histogram with zero observations.
+func TestEmptyHistogramEdgeCases(t *testing.T) {
+	h := NewLatencyHistogram()
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("Quantile on empty = %v, want 0", got)
+	}
+	if got := h.Quantile(1); got != 0 {
+		t.Errorf("Quantile(1) on empty = %v, want 0", got)
+	}
+	if !math.IsNaN(h.Quantile(0)) || !math.IsNaN(h.Quantile(1.5)) {
+		t.Error("out-of-range q should stay NaN")
+	}
+	if got := h.Mean(); got != 0 {
+		t.Errorf("Mean on empty = %v, want 0", got)
+	}
+	if got := h.Max(); got != 0 {
+		t.Errorf("Max on empty = %v, want 0", got)
+	}
+	if got := h.FractionBelow(1); got != 0 {
+		t.Errorf("FractionBelow on empty = %v, want 0", got)
+	}
+	// Nil-safe merge and sub.
+	if err := h.Merge(nil); err != nil {
+		t.Errorf("Merge(nil): %v", err)
+	}
+	h.Observe(1e-3)
+	delta, err := h.Sub(nil)
+	if err != nil {
+		t.Fatalf("Sub(nil): %v", err)
+	}
+	if delta.Count() != 1 {
+		t.Errorf("Sub(nil) count = %d, want 1", delta.Count())
+	}
+	// Merging an empty histogram of a different layout is a no-op, not an
+	// error: there is nothing to misattribute.
+	empty, err := NewHistogram(1, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Merge(empty); err != nil {
+		t.Errorf("merging empty mismatched layout: %v", err)
+	}
+	if h.Count() != 1 {
+		t.Errorf("count changed to %d", h.Count())
+	}
+}

@@ -147,8 +147,11 @@ func (h *Histogram) FractionBelow(x float64) float64 {
 }
 
 // Merge adds other's observations into h. The histograms must have
-// identical bucket layouts.
+// identical bucket layouts. A nil or empty other is a no-op.
 func (h *Histogram) Merge(other *Histogram) error {
+	if other == nil || other.count == 0 {
+		return nil
+	}
 	if other.min != h.min || other.max != h.max || other.growth != h.growth {
 		return fmt.Errorf("%w: mismatched layouts", ErrBadHistogram)
 	}
@@ -183,8 +186,12 @@ func (h *Histogram) Clone() *Histogram {
 
 // Sub returns the delta histogram h - prev, where prev is an earlier
 // snapshot of the same (monotonically growing) histogram. The exact sum is
-// preserved; the delta's Max is h's (an upper bound for the window).
+// preserved; the delta's Max is h's (an upper bound for the window). A nil
+// prev is treated as an empty snapshot: the delta is a copy of h.
 func (h *Histogram) Sub(prev *Histogram) (*Histogram, error) {
+	if prev == nil {
+		return h.Clone(), nil
+	}
 	if prev.min != h.min || prev.max != h.max || prev.growth != h.growth {
 		return nil, fmt.Errorf("%w: mismatched layouts", ErrBadHistogram)
 	}

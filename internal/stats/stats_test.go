@@ -122,6 +122,7 @@ func TestHistogramMergeAndReset(t *testing.T) {
 		t.Errorf("merged max = %v", a.Max())
 	}
 	other, _ := NewHistogram(1, 2, 1.5)
+	other.Observe(1.5)
 	if err := a.Merge(other); err == nil {
 		t.Error("mismatched layouts should fail")
 	}
