@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench tidy
+.PHONY: check fmt vet build test race bench bench-smoke tidy
 
-check: fmt vet build race
+check: fmt vet build race bench-smoke
 
 # gofmt -l prints offending files; fail when it prints anything.
 fmt:
@@ -28,6 +28,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Smoke-run the headline benchmarks (one iteration each) and write the
+# measured engine speedup to results/BENCH_PR2.json.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Fig6|ServePredictColdVsCached' -benchtime=1x .
+	COSMODEL_BENCH_SMOKE=1 $(GO) test -run TestBenchSmokeArtifact .
 
 tidy:
 	gofmt -w .

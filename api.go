@@ -292,6 +292,9 @@ type (
 	ScenarioResult = experiments.ScenarioResult
 	// StepResult is one rate step.
 	StepResult = experiments.StepResult
+	// SweepData is a captured rate sweep (measurement windows plus
+	// calibrated device properties), re-evaluable without re-simulating.
+	SweepData = experiments.SweepData
 	// Fig5Config and Fig5Result drive the disk-fitting experiment.
 	Fig5Config = experiments.Fig5Config
 	Fig5Result = experiments.Fig5Result
@@ -319,6 +322,8 @@ var (
 	ScenarioS1        = experiments.DefaultS1
 	ScenarioS16       = experiments.DefaultS16
 	RunScenario       = experiments.RunScenario
+	RunSweep          = experiments.RunSweep
+	EvaluateSweep     = experiments.EvaluateSweep
 	RunFig5           = experiments.RunFig5
 	DefaultFig5       = experiments.DefaultFig5
 	RunAblation       = experiments.RunAblation

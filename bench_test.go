@@ -7,6 +7,7 @@ package cosmodel_test
 
 import (
 	"io"
+	"sync"
 	"testing"
 
 	"cosmodel"
@@ -69,6 +70,54 @@ func benchScenario(b *testing.B, sc cosmodel.ScenarioConfig) {
 			b.ReportMetric(s.Mean*100, "mean_err_%")
 		}
 	}
+}
+
+// legacyInverter hides the node-based quadrature API behind a plain
+// Inverter, forcing the model down the pre-engine evaluation path (every
+// composed transform closure inverted independently). It benchmarks the
+// shared-subexpression engine against its predecessor on identical inputs.
+type legacyInverter struct{ cosmodel.Inverter }
+
+// fig6Sweep simulates the quick S1 sweep once and shares the captured
+// windows across all prediction-sweep benchmarks.
+var fig6Sweep = sync.OnceValues(func() (*cosmodel.SweepData, error) {
+	sc := quickScenario(cosmodel.ScenarioS1())
+	sc.Seed = 1
+	return cosmodel.RunSweep(sc)
+})
+
+// BenchmarkFig6PredictionSweep measures the model-evaluation half of Fig. 6
+// in isolation — the full rate × SLA × variant prediction sweep over a
+// pre-captured simulation — which is what PR 2's evaluation engine
+// accelerates (BenchmarkFig6ScenarioS1 is dominated by simulation time).
+// Sub-benchmarks: "baseline" is the pre-engine path (independent closure
+// inversions, sequential), "sequential" the shared-subexpression engine on
+// one goroutine, "parallel" the engine with the default worker pool.
+func BenchmarkFig6PredictionSweep(b *testing.B) {
+	data, err := fig6Sweep()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := quickScenario(cosmodel.ScenarioS1())
+	sc.Seed = 1
+	run := func(b *testing.B, overlay cosmodel.Options) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res := cosmodel.EvaluateSweep(sc, data, overlay)
+			if res.AnalyzedSteps() == 0 {
+				b.Fatal("no analyzed steps")
+			}
+		}
+	}
+	b.Run("baseline", func(b *testing.B) {
+		run(b, cosmodel.Options{Inverter: legacyInverter{cosmodel.NewEuler()}, Workers: 1})
+	})
+	b.Run("sequential", func(b *testing.B) {
+		run(b, cosmodel.Options{Workers: 1})
+	})
+	b.Run("parallel", func(b *testing.B) {
+		run(b, cosmodel.Options{})
+	})
 }
 
 // BenchmarkTable1ErrorSummary regenerates Table I: best/worst/mean absolute

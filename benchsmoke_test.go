@@ -1,0 +1,93 @@
+// Bench-smoke artifact: a one-shot measurement of the evaluation engine's
+// speedup over the pre-engine path, written to results/BENCH_PR2.json.
+// Gated behind COSMODEL_BENCH_SMOKE=1 so ordinary `go test` runs stay fast
+// and deterministic; `make bench-smoke` sets the gate.
+package cosmodel_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"cosmodel"
+)
+
+type benchSmokeReport struct {
+	// GOMAXPROCS records the parallelism available to the "parallel" path.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Steps and SLAs size the measured prediction sweep.
+	Steps int `json:"steps"`
+	SLAs  int `json:"slas"`
+	// BaselineNs, SequentialNs and ParallelNs are per-sweep wall times:
+	// the pre-engine path (independent closure inversions), the
+	// shared-subexpression engine on one goroutine, and the engine with
+	// the default worker pool.
+	BaselineNs   int64 `json:"baseline_ns"`
+	SequentialNs int64 `json:"sequential_ns"`
+	ParallelNs   int64 `json:"parallel_ns"`
+	// SpeedupSequential = baseline/sequential: the single-core win from
+	// shared-subexpression evaluation. SpeedupParallel = baseline/parallel
+	// adds the worker pool (equals SpeedupSequential at GOMAXPROCS=1).
+	SpeedupSequential float64 `json:"speedup_sequential"`
+	SpeedupParallel   float64 `json:"speedup_parallel"`
+}
+
+// TestBenchSmokeArtifact times the Fig. 6 prediction sweep on its three
+// evaluation paths and records the measured speedups.
+func TestBenchSmokeArtifact(t *testing.T) {
+	if os.Getenv("COSMODEL_BENCH_SMOKE") == "" {
+		t.Skip("set COSMODEL_BENCH_SMOKE=1 to produce results/BENCH_PR2.json")
+	}
+	data, err := fig6Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := quickScenario(cosmodel.ScenarioS1())
+	sc.Seed = 1
+	const rounds = 5
+	measure := func(overlay cosmodel.Options) int64 {
+		best := time.Duration(1<<63 - 1)
+		for r := 0; r < rounds; r++ {
+			start := time.Now()
+			res := cosmodel.EvaluateSweep(sc, data, overlay)
+			if elapsed := time.Since(start); elapsed < best {
+				best = elapsed
+			}
+			if res.AnalyzedSteps() == 0 {
+				t.Fatal("no analyzed steps")
+			}
+		}
+		return best.Nanoseconds()
+	}
+	rep := benchSmokeReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Steps:      len(data.Windows),
+		SLAs:       len(sc.Sim.SLAs),
+		BaselineNs: measure(cosmodel.Options{
+			Inverter: legacyInverter{cosmodel.NewEuler()}, Workers: 1,
+		}),
+		SequentialNs: measure(cosmodel.Options{Workers: 1}),
+		ParallelNs:   measure(cosmodel.Options{}),
+	}
+	rep.SpeedupSequential = float64(rep.BaselineNs) / float64(rep.SequentialNs)
+	rep.SpeedupParallel = float64(rep.BaselineNs) / float64(rep.ParallelNs)
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("results", "BENCH_PR2.json")
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("engine speedup: %.2fx sequential, %.2fx parallel (GOMAXPROCS=%d) -> %s",
+		rep.SpeedupSequential, rep.SpeedupParallel, rep.GOMAXPROCS, path)
+	if rep.SpeedupParallel < 2 {
+		t.Errorf("parallel path speedup %.2fx below the 2x target", rep.SpeedupParallel)
+	}
+}

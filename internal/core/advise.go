@@ -140,6 +140,11 @@ func Headroom(d Deployment, current, sla, target float64) (float64, error) {
 // compliance under increasing load). The search starts at lo (> 0), doubles
 // until meets fails, and bisects to within tol. It returns 0 when meets
 // fails already at lo.
+//
+// The probes run sequentially — bisection is inherently serial — but each
+// probe typically builds a model whose own evaluation fans out across the
+// worker pool configured by Options.Workers, so admission searches over
+// wide device mixtures parallelize from the inside.
 func MaxRateWhere(meets func(rate float64) bool, lo, tol float64) float64 {
 	if lo <= 0 {
 		lo = 1

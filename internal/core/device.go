@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/cmplx"
 
 	"cosmodel/internal/dist"
 	"cosmodel/internal/lst"
@@ -27,6 +28,18 @@ type DeviceModel struct {
 	// introspection and tests.
 	opIndex, opMeta, opData lst.Transform
 	procRate                float64 // per-process arrival rate r/Nbe
+
+	// Shared-subexpression state for responseNode: the flattened form of
+	// the transform pipeline above, letting the evaluation engine compute
+	// Wa(s) and Sbe(s) at one frequency with each leaf transform evaluated
+	// exactly once (union, wbe and sbe all share the parse/op factors).
+	parse                    lst.Transform // backend parse latency
+	unionQ                   queueing.MG1  // per-process union-operation queue
+	rawIdx, rawMeta, rawData lst.Transform // raw disk latency per class
+	rawShared                bool          // one disk transform stands in for all three classes
+	missIdx, missMeta        float64       // effective (ODOPR-adjusted, clamped) miss ratios
+	missData                 float64
+	extraVal                 func(pd complex128) complex128 // extra-reads factor given the opData value
 }
 
 // NewDeviceModel builds the model for one device. It returns ErrOverload
@@ -49,10 +62,11 @@ func NewDeviceModel(props DeviceProperties, m OnlineMetrics, opts Options) (*Dev
 func (d *DeviceModel) build() error {
 	m := d.metrics
 	// Step 1: effective raw disk-latency transforms per operation.
-	idx, meta, data, err := d.diskOperationTransforms()
+	idx, meta, data, shared, err := d.diskOperationTransforms()
 	if err != nil {
 		return err
 	}
+	d.rawIdx, d.rawMeta, d.rawData, d.rawShared = idx, meta, data, shared
 	// Step 2: cache-aware operation latencies
 	// index(t) = indexd(t)·m + δ(t)(1-m), etc.
 	mi, mm, md := m.MissIndex, m.MissMeta, m.MissData
@@ -65,22 +79,45 @@ func (d *DeviceModel) build() error {
 	d.opIndex = lst.HitOrMiss(idx, mi)
 	d.opMeta = lst.HitOrMiss(meta, mm)
 	d.opData = lst.HitOrMiss(data, md)
-	parse := lst.FromDist(d.props.ParseBE)
+	d.missIdx, d.missMeta, d.missData = clampUnit(mi), clampUnit(mm), clampUnit(md)
+	d.parse = lst.FromDist(d.props.ParseBE)
 
 	// Step 3: the union operation. Each union operation is one request's
 	// parse + index + meta + data plus a random number of extra data
 	// chunk reads belonging to other requests, interleaved by the event
-	// loop.
+	// loop. extraVal mirrors the compound transform's arithmetic exactly
+	// so responseNode reproduces extra.F from an already-computed opData
+	// value.
 	var extra lst.Transform
 	switch d.opts.Compound {
 	case CompoundFixed:
-		extra = lst.FixedCompound(d.opData, int(math.Round(p)))
+		n := int(math.Round(p))
+		extra = lst.FixedCompound(d.opData, n)
+		d.extraVal = func(pd complex128) complex128 {
+			if n <= 0 {
+				return 1
+			}
+			return cmplx.Pow(pd, complex(float64(n), 0))
+		}
 	case CompoundGeometric:
 		extra = lst.GeometricCompound(d.opData, p)
+		q := p / (1 + p)
+		d.extraVal = func(pd complex128) complex128 {
+			if p <= 0 {
+				return 1
+			}
+			return complex(1-q, 0) / (1 - complex(q, 0)*pd)
+		}
 	default:
 		extra = lst.PoissonCompound(d.opData, p)
+		d.extraVal = func(pd complex128) complex128 {
+			if p <= 0 {
+				return 1
+			}
+			return cmplx.Exp(complex(p, 0) * (pd - 1))
+		}
 	}
-	d.union = lst.Convolve(parse, d.opIndex, d.opMeta, d.opData, extra)
+	d.union = lst.Convolve(d.parse, d.opIndex, d.opMeta, d.opData, extra)
 
 	// Step 4: the M/G/1 queue of union operations, per process.
 	d.procRate = m.Rate / float64(m.Procs)
@@ -88,11 +125,12 @@ func (d *DeviceModel) build() error {
 	if err != nil {
 		return fmt.Errorf("%w: device union queue: %v", ErrOverload, err)
 	}
+	d.unionQ = q
 	d.wbe = q.WaitingLST()
 
 	// Step 5: backend response time, Eq. 1:
 	// Sbe = Wbe ∗ parse ∗ index ∗ meta ∗ data.
-	d.sbe = lst.Convolve(d.wbe, parse, d.opIndex, d.opMeta, d.opData)
+	d.sbe = lst.Convolve(d.wbe, d.parse, d.opIndex, d.opMeta, d.opData)
 
 	// Step 6: waiting time for being accept()-ed.
 	switch d.opts.WTA {
@@ -108,8 +146,10 @@ func (d *DeviceModel) build() error {
 
 // diskOperationTransforms produces the effective raw disk latency transform
 // per operation class, handling both the single-process case (scaled fitted
-// distributions) and the multi-process case (disk queue sojourn).
-func (d *DeviceModel) diskOperationTransforms() (idx, meta, data lst.Transform, err error) {
+// distributions) and the multi-process case (disk queue sojourn). shared
+// reports that one transform stands in for all three classes, letting the
+// evaluation engine evaluate it once per frequency.
+func (d *DeviceModel) diskOperationTransforms() (idx, meta, data lst.Transform, shared bool, err error) {
 	m := d.metrics
 	bi, bm, bd := d.scaledServiceMeans()
 	iDist := dist.ScaleToMean(d.props.IndexDisk, bi)
@@ -117,7 +157,7 @@ func (d *DeviceModel) diskOperationTransforms() (idx, meta, data lst.Transform, 
 	dDist := dist.ScaleToMean(d.props.DataDisk, bd)
 
 	if m.Procs == 1 {
-		return lst.FromDist(iDist), lst.FromDist(mDist), lst.FromDist(dDist), nil
+		return lst.FromDist(iDist), lst.FromDist(mDist), lst.FromDist(dDist), false, nil
 	}
 
 	// Nbe > 1: the disk is shared by Nbe processes, each blocking on its
@@ -139,7 +179,7 @@ func (d *DeviceModel) diskOperationTransforms() (idx, meta, data lst.Transform, 
 	if rDisk <= 0 {
 		// Nothing reaches the disk; latencies are all zero.
 		zero := lst.FromDist(dist.Degenerate{Value: 0})
-		return zero, zero, zero, nil
+		return zero, zero, zero, true, nil
 	}
 	// Overall mean raw service time b for the operation mix.
 	b := (rIndex*bi + rMeta*bm + rData*bd) / rDisk
@@ -154,18 +194,18 @@ func (d *DeviceModel) diskOperationTransforms() (idx, meta, data lst.Transform, 
 		)
 		q, qerr := queueing.NewMG1(rDisk, svc)
 		if qerr != nil {
-			return idx, meta, data, fmt.Errorf("%w: disk M/G/1: %v", ErrOverload, qerr)
+			return idx, meta, data, false, fmt.Errorf("%w: disk M/G/1: %v", ErrOverload, qerr)
 		}
 		sojourn = q.SojournLST()
 	default:
 		// The paper's approximation: M/M/1/K with K = Nbe.
 		q, qerr := queueing.NewMM1K(rDisk, 1/b, m.Procs)
 		if qerr != nil {
-			return idx, meta, data, fmt.Errorf("%w: %v", ErrBadParams, qerr)
+			return idx, meta, data, false, fmt.Errorf("%w: %v", ErrBadParams, qerr)
 		}
 		sojourn = q.SojournLST()
 	}
-	return sojourn, sojourn, sojourn, nil
+	return sojourn, sojourn, sojourn, true, nil
 }
 
 // scaledServiceMeans solves Section IV-B's proportion equations for the
@@ -294,4 +334,54 @@ func (d *DeviceModel) Rate() float64 { return d.metrics.Rate }
 // BackendCDF evaluates the backend response-latency CDF at t.
 func (d *DeviceModel) BackendCDF(t float64) float64 {
 	return lst.CDF(d.opts.inverter(), d.sbe, t)
+}
+
+// clampUnit clamps a miss ratio to [0,1], matching lst.HitOrMiss.
+func clampUnit(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// responseNode evaluates the accept-waiting transform Wa and the backend
+// response transform Sbe at one inversion frequency s, sharing every leaf
+// evaluation between them. The nested Transform closures built in build()
+// would evaluate the parse/index/meta/data factors up to three times each
+// per frequency (once inside the union service time feeding the P-K waiting
+// term, once in Sbe's own convolution, and once more through Wa = Wbe);
+// here each leaf is evaluated exactly once, and in multi-process mode the
+// shared disk-sojourn transform once for all three operation classes. The
+// arithmetic mirrors the closure pipeline term for term, so results agree
+// with Transform.F to floating-point associativity (well below 1e-12).
+// It is safe for concurrent use: all receiver state is immutable after
+// build().
+func (d *DeviceModel) responseNode(s complex128) (wa, sbe complex128) {
+	pr := d.parse.F(s)
+	var pi, pm, pd complex128
+	if d.rawShared {
+		raw := d.rawData.F(s)
+		pi = complex(d.missIdx, 0)*raw + complex(1-d.missIdx, 0)
+		pm = complex(d.missMeta, 0)*raw + complex(1-d.missMeta, 0)
+		pd = complex(d.missData, 0)*raw + complex(1-d.missData, 0)
+	} else {
+		pi = complex(d.missIdx, 0)*d.rawIdx.F(s) + complex(1-d.missIdx, 0)
+		pm = complex(d.missMeta, 0)*d.rawMeta.F(s) + complex(1-d.missMeta, 0)
+		pd = complex(d.missData, 0)*d.rawData.F(s) + complex(1-d.missData, 0)
+	}
+	union := pr * pi * pm * pd * d.extraVal(pd)
+	w := d.unionQ.WaitingValue(s, union)
+	sbe = w * pr * pi * pm * pd
+	switch d.opts.WTA {
+	case WTANone:
+		wa = 1
+	case WTAExact:
+		wa = d.wa.F(s)
+	default:
+		wa = w
+	}
+	return wa, sbe
 }

@@ -21,6 +21,7 @@ import (
 
 	"cosmodel/internal/dist"
 	"cosmodel/internal/numeric"
+	"cosmodel/internal/parallel"
 )
 
 // ErrBadParams reports invalid model parameters.
@@ -194,11 +195,32 @@ type Options struct {
 	// baseline: index lookups, metadata reads and extra data reads are
 	// treated as cache hits; only the first data read may touch disk.
 	ODOPR bool
+	// Workers bounds the goroutines the evaluation engine may use when a
+	// system model fans its device mixture out (see SystemModel.CDF).
+	// 0 uses the process-wide shared pool sized to GOMAXPROCS; 1 forces
+	// fully sequential evaluation; n > 1 gives the model its own pool of
+	// that size.
+	Workers int
 }
+
+// defaultEuler is the shared inverter behind the nil-Inverter default.
+// Inverters are immutable after construction (see numeric.Inverter's safety
+// contract), so one instance serves every model and goroutine.
+var defaultEuler = numeric.NewEuler()
 
 func (o Options) inverter() numeric.Inverter {
 	if o.Inverter == nil {
-		return numeric.NewEuler()
+		return defaultEuler
 	}
 	return o.Inverter
+}
+
+func (o Options) pool() *parallel.Pool {
+	switch {
+	case o.Workers == 1:
+		return nil
+	case o.Workers > 1:
+		return parallel.New(o.Workers)
+	}
+	return parallel.Default()
 }

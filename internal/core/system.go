@@ -2,23 +2,52 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"cosmodel/internal/lst"
 	"cosmodel/internal/numeric"
+	"cosmodel/internal/parallel"
 )
+
+// minDevicesParallel is the mixture width below which the evaluation engine
+// stays sequential: fanning out two inversions costs more in goroutine
+// hand-off than it saves.
+const minDevicesParallel = 3
+
+// mixGroup is one distinct device model in the system mixture with its
+// summed arrival-rate weight. Duplicate *DeviceModel entries (homogeneous
+// deployments pass the same model for every slot) collapse into one group,
+// so the engine inverts each distinct backend transform once.
+type mixGroup struct {
+	dev      *DeviceModel
+	weight   float64
+	response lst.Transform // Sq ∗ Wa ∗ Sbe, for non-node inverters
+}
 
 // SystemModel combines the frontend model with per-device backend models
 // into the system-level response-latency distribution (Eqs. 2 and 3):
 //
 //	Sj  = Sq ∗ Wa_j ∗ Sbe_j        per device j
 //	S(t) = Σ_j r_j·Sj(t) / Σ_j r_j
+//
+// CDF and BackendCDF are evaluated by a shared-subexpression engine: when
+// the configured inverter exposes its quadrature (numeric.NodeInverter, as
+// all built-in inverters do), the frontend factor Sq(s_k) is computed once
+// per inversion node and shared across the whole device mixture, each
+// device's leaf transforms are evaluated once per node
+// (DeviceModel.responseNode), and distinct devices are fanned across a
+// bounded worker pool (Options.Workers) when the mixture is at least
+// minDevicesParallel wide. Results are reduced in device order, so they are
+// deterministic and agree with the sequential path exactly.
 type SystemModel struct {
 	frontend *FrontendModel
 	devices  []*DeviceModel
 	opts     Options
+	pool     *parallel.Pool
 
 	responses []lst.Transform // per device: Sq ∗ Wa ∗ Sbe
 	weights   []float64
+	groups    []mixGroup
 	totalRate float64
 }
 
@@ -31,8 +60,9 @@ func NewSystemModel(fe *FrontendModel, devices []*DeviceModel, opts Options) (*S
 	if len(devices) == 0 {
 		return nil, fmt.Errorf("%w: at least one device model required", ErrBadParams)
 	}
-	s := &SystemModel{frontend: fe, devices: devices, opts: opts}
+	s := &SystemModel{frontend: fe, devices: devices, opts: opts, pool: opts.pool()}
 	sq := fe.Sojourn()
+	seen := make(map[*DeviceModel]int, len(devices))
 	for _, d := range devices {
 		if d == nil {
 			return nil, fmt.Errorf("%w: nil device model", ErrBadParams)
@@ -40,6 +70,16 @@ func NewSystemModel(fe *FrontendModel, devices []*DeviceModel, opts Options) (*S
 		s.responses = append(s.responses, lst.Convolve(sq, d.WTA(), d.Backend()))
 		s.weights = append(s.weights, d.Rate())
 		s.totalRate += d.Rate()
+		if g, ok := seen[d]; ok {
+			s.groups[g].weight += d.Rate()
+		} else {
+			seen[d] = len(s.groups)
+			s.groups = append(s.groups, mixGroup{
+				dev:      d,
+				weight:   d.Rate(),
+				response: s.responses[len(s.responses)-1],
+			})
+		}
 	}
 	if s.totalRate <= 0 {
 		return nil, fmt.Errorf("%w: zero total device rate", ErrBadParams)
@@ -61,15 +101,7 @@ func (s *SystemModel) DeviceResponseCDF(j int, t float64) float64 {
 // CDF evaluates the system response-latency CDF at t: the rate-weighted
 // mixture over devices (Eq. 3).
 func (s *SystemModel) CDF(t float64) float64 {
-	if t <= 0 {
-		return 0
-	}
-	inv := s.opts.inverter()
-	total := 0.0
-	for j, tr := range s.responses {
-		total += s.weights[j] * lst.CDF(inv, tr, t)
-	}
-	return numeric.Clamp01(total / s.totalRate)
+	return s.mixtureCDF(t, true)
 }
 
 // PercentileMeetingSLA predicts the fraction of requests whose response
@@ -83,12 +115,67 @@ func (s *SystemModel) PercentileMeetingSLA(sla float64) float64 {
 // queueing or WTA. The paper's testbed counts SLA compliance at both tiers;
 // this is the backend-tier prediction.
 func (s *SystemModel) BackendCDF(t float64) float64 {
+	return s.mixtureCDF(t, false)
+}
+
+// mixtureCDF evaluates the rate-weighted mixture CDF at t. frontend selects
+// the frontend-observed response Sq ∗ Wa ∗ Sbe; otherwise the backend-only
+// Sbe mixture.
+func (s *SystemModel) mixtureCDF(t float64, frontend bool) float64 {
 	if t <= 0 {
 		return 0
 	}
+	// evalGroup returns the clamped CDF of one mixture group at t.
+	var evalGroup func(i int) float64
+	if ni, ok := s.opts.inverter().(numeric.NodeInverter); ok {
+		// 32 covers every built-in quadrature (Euler 27, Talbot 32,
+		// Gaver-Stehfest 14) without append regrowth.
+		nodes, ws := ni.AppendNodes(make([]complex128, 0, 32), make([]complex128, 0, 32), t)
+		var fe []complex128
+		if frontend {
+			// The frontend sojourn factor is identical across the
+			// mixture: evaluate it once per inversion node.
+			sq := s.frontend.Sojourn().F
+			fe = make([]complex128, len(nodes))
+			for k, sk := range nodes {
+				fe[k] = sq(sk)
+			}
+		}
+		evalGroup = func(i int) float64 {
+			var sum float64
+			for k, sk := range nodes {
+				wa, sbe := s.groups[i].dev.responseNode(sk)
+				fv := sbe
+				if frontend {
+					fv = fe[k] * wa * sbe
+				}
+				sum += real(ws[k] * (fv / sk))
+			}
+			return numeric.Clamp01(sum)
+		}
+	} else {
+		// Opaque custom inverter: fall back to inverting each group's
+		// composed transform closure independently.
+		inv := s.opts.inverter()
+		evalGroup = func(i int) float64 {
+			if frontend {
+				return lst.CDF(inv, s.groups[i].response, t)
+			}
+			return lst.CDF(inv, s.groups[i].dev.Backend(), t)
+		}
+	}
+	res := make([]float64, len(s.groups))
+	run := func(i int) { res[i] = s.groups[i].weight * evalGroup(i) }
+	if len(s.groups) >= minDevicesParallel {
+		s.pool.ForEach(len(s.groups), run)
+	} else {
+		for i := range s.groups {
+			run(i)
+		}
+	}
 	total := 0.0
-	for j, d := range s.devices {
-		total += s.weights[j] * d.BackendCDF(t)
+	for _, r := range res {
+		total += r
 	}
 	return numeric.Clamp01(total / s.totalRate)
 }
@@ -100,10 +187,15 @@ func (s *SystemModel) BackendPercentileMeetingSLA(sla float64) float64 {
 }
 
 // Quantile returns the latency below which a fraction p of requests
-// complete (numeric inversion of the mixture CDF).
+// complete (numeric inversion of the mixture CDF). It returns +Inf when the
+// quantile exceeds the search ceiling (an effectively saturated model) or
+// when p >= 1, matching lst.Quantile.
 func (s *SystemModel) Quantile(p float64) float64 {
 	if p <= 0 {
 		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
 	}
 	hi := s.MeanResponse()
 	if hi <= 0 {
@@ -112,7 +204,7 @@ func (s *SystemModel) Quantile(p float64) float64 {
 	for s.CDF(hi) < p {
 		hi *= 2
 		if hi > 1e6 {
-			return hi
+			return math.Inf(1)
 		}
 	}
 	lo := 0.0

@@ -7,6 +7,7 @@ import (
 	"cosmodel/internal/benchkit"
 	"cosmodel/internal/core"
 	"cosmodel/internal/numeric"
+	"cosmodel/internal/parallel"
 )
 
 // Variant is one model configuration under ablation.
@@ -45,30 +46,36 @@ func RunAblation(name string, sc ScenarioConfig, variants []Variant) (*AblationR
 	for v := range variants {
 		errsByVariant[v] = make([][]float64, len(res.SLAs))
 	}
-	for _, win := range data.Windows {
+	// Windows evaluate independently across the pool; predictions land in
+	// per-window slots and are folded below in window order, so the summary
+	// matches a sequential run exactly.
+	preds := make([][][]float64, len(data.Windows)) // [window][v][sla]; nil = unusable
+	parallel.Default().ForEach(len(data.Windows), func(w int) {
+		win := data.Windows[w]
 		if win.Responses == 0 || win.Timeouts > 0 || win.Retries > 0 {
-			continue
+			return
 		}
-		usable := true
-		preds := make([][]float64, len(variants))
+		p := make([][]float64, len(variants))
 		for v, variant := range variants {
 			sys, err := BuildSystemModel(sc.Sim, data.Props, win, variant.Opts)
 			if err != nil {
-				usable = false
-				break
+				return
 			}
-			preds[v] = make([]float64, len(res.SLAs))
+			p[v] = make([]float64, len(res.SLAs))
 			for i, sla := range res.SLAs {
-				preds[v][i] = sys.PercentileMeetingSLA(sla)
+				p[v][i] = sys.PercentileMeetingSLA(sla)
 			}
 		}
-		if !usable {
+		preds[w] = p
+	})
+	for w, p := range preds {
+		if p == nil {
 			continue
 		}
 		res.Steps++
 		for v := range variants {
 			for i := range res.SLAs {
-				e := preds[v][i] - win.MeetFraction[i]
+				e := p[v][i] - data.Windows[w].MeetFraction[i]
 				if e < 0 {
 					e = -e
 				}

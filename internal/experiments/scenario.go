@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"cosmodel/internal/core"
+	"cosmodel/internal/parallel"
 	"cosmodel/internal/simstore"
 	"cosmodel/internal/trace"
 )
@@ -196,16 +197,56 @@ func RunScenario(sc ScenarioConfig) (*ScenarioResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &ScenarioResult{Config: sc, SLAs: append([]float64(nil), sc.Sim.SLAs...), Props: data.Props}
-	for i, win := range data.Windows {
-		res.Steps = append(res.Steps, evaluateStep(sc, data.Props, win, data.Rates[i]))
+	return EvaluateSweep(sc, data), nil
+}
+
+// EvaluateSweep runs the paper's three model variants over every measurement
+// window of a captured sweep. Rate steps are independent, so they are fanned
+// across the worker pool; each StepResult is written at its own step index,
+// so the output is deterministic and identical to a sequential evaluation.
+//
+// The optional overlay pins evaluation machinery on every variant: a non-nil
+// overlay Inverter replaces the default, and a nonzero overlay Workers sets
+// the parallelism budget (Workers == 1 forces the entire evaluation — step
+// fan-out included — sequential; benchmarks and equivalence tests use this).
+func EvaluateSweep(sc ScenarioConfig, data *SweepData, overlay ...core.Options) *ScenarioResult {
+	var base core.Options
+	if len(overlay) > 0 {
+		base = overlay[0]
 	}
-	return res, nil
+	res := &ScenarioResult{Config: sc, SLAs: append([]float64(nil), sc.Sim.SLAs...), Props: data.Props}
+	res.Steps = make([]StepResult, len(data.Windows))
+	stepPool(base).ForEach(len(data.Windows), func(i int) {
+		res.Steps[i] = evaluateStep(sc, data.Props, data.Windows[i], data.Rates[i], base)
+	})
+	return res
+}
+
+// stepPool picks the pool for a sweep-level fan-out from the overlay's
+// worker budget: the shared default pool unless the overlay asks for a
+// specific size (or for sequential evaluation).
+func stepPool(base core.Options) *parallel.Pool {
+	if base.Workers != 0 {
+		return parallel.New(base.Workers)
+	}
+	return parallel.Default()
+}
+
+// overlayOptions applies the sweep-level evaluation overrides onto one model
+// variant's options.
+func overlayOptions(v, base core.Options) core.Options {
+	if base.Inverter != nil {
+		v.Inverter = base.Inverter
+	}
+	if base.Workers != 0 {
+		v.Workers = base.Workers
+	}
+	return v
 }
 
 // evaluateStep turns one measurement window into a StepResult by running
 // the three models on the window's online metrics.
-func evaluateStep(sc ScenarioConfig, props core.DeviceProperties, win simstore.Window, rate float64) StepResult {
+func evaluateStep(sc ScenarioConfig, props core.DeviceProperties, win simstore.Window, rate float64, base core.Options) StepResult {
 	nSLA := len(sc.Sim.SLAs)
 	st := StepResult{
 		Rate:       rate,
@@ -250,7 +291,7 @@ func evaluateStep(sc ScenarioConfig, props core.DeviceProperties, win simstore.W
 		{core.Options{WTA: core.WTANone}, st.NoWTA, nil},
 	}
 	for _, v := range variants {
-		sys, err := BuildSystemModel(sc.Sim, props, win, v.opts)
+		sys, err := BuildSystemModel(sc.Sim, props, win, overlayOptions(v.opts, base))
 		if err != nil {
 			if errors.Is(err, core.ErrOverload) {
 				st.Skipped = true

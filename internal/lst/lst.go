@@ -175,6 +175,19 @@ func CDF(inv numeric.Inverter, t Transform, x float64) float64 {
 	return numeric.InvertCDF(inv, t.F, x)
 }
 
+// CDFAtNodes evaluates a CDF from precomputed inversion nodes and weights
+// (see numeric.NodeInverter): Σ_k Re(w_k · f(s_k)/s_k), clamped to [0,1].
+// Given nodes for time x it equals CDF(inv, Transform{F: f}, x); sharing the
+// nodes lets an evaluation engine invert many transforms with common factors
+// without re-deriving the quadrature.
+func CDFAtNodes(s, w []complex128, f numeric.TransformFunc) float64 {
+	var sum float64
+	for k := range s {
+		sum += real(w[k] * (f(s[k]) / s[k]))
+	}
+	return numeric.Clamp01(sum)
+}
+
 // PDF evaluates the density behind t at x using the given inverter. It is
 // meaningful only where the distribution is absolutely continuous.
 func PDF(inv numeric.Inverter, t Transform, x float64) float64 {

@@ -234,3 +234,23 @@ func TestCDFMonotoneProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCDFAtNodesMatchesCDF(t *testing.T) {
+	u := Convolve(
+		HitOrMiss(FromDist(dist.Gamma{Shape: 2, Rate: 100}), 0.4),
+		Delay(0.001),
+		PoissonCompound(FromDist(dist.Gamma{Shape: 1.5, Rate: 80}), 0.6),
+	)
+	var ni numeric.NodeInverter = inv
+	for _, x := range []float64{0.005, 0.02, 0.1, 0.3} {
+		s, w := ni.AppendNodes(nil, nil, x)
+		got := CDFAtNodes(s, w, u.F)
+		want := CDF(inv, u, x)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("CDFAtNodes(%v) = %v, CDF = %v", x, got, want)
+		}
+	}
+	if got := CDFAtNodes(nil, nil, u.F); got != 0 {
+		t.Errorf("CDFAtNodes with no nodes = %v, want 0", got)
+	}
+}

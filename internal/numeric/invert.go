@@ -7,6 +7,7 @@ package numeric
 import (
 	"math"
 	"math/cmplx"
+	"sync"
 )
 
 // TransformFunc is a Laplace transform evaluated at a complex frequency s.
@@ -16,6 +17,15 @@ type TransformFunc func(s complex128) complex128
 
 // Inverter numerically inverts a Laplace transform, recovering the original
 // time-domain function at a given point t > 0.
+//
+// Safety contract: every implementation in this package is safe for
+// concurrent use by multiple goroutines once constructed — all coefficient
+// tables are computed in the constructors (with a sync.Once fallback for
+// zero values), and Invert never mutates the receiver. Custom
+// implementations passed into the model are expected to honor the same
+// contract: the evaluation engine shares one Inverter across its worker
+// pool. Parameter fields (Euler.A, Talbot.M, ...) must not be modified
+// after the first Invert call.
 type Inverter interface {
 	// Invert evaluates the inverse transform of f at time t. t must be
 	// positive; behaviour for t <= 0 is implementation-defined (the
@@ -25,12 +35,31 @@ type Inverter interface {
 	Name() string
 }
 
+// NodeInverter is an Inverter whose rule is a fixed weighted sum of
+// transform evaluations:
+//
+//	Invert(f, t) = Σ_k Re(w_k · f(s_k))
+//
+// Exposing the quadrature lets an evaluation engine invert many transforms
+// that share factors — e.g. a mixture of per-device convolutions with a
+// common frontend term — by evaluating the shared factor once per node and
+// only the distinct factors per member, with results identical to
+// independent Invert calls. All inverters in this package implement it.
+type NodeInverter interface {
+	Inverter
+	// AppendNodes appends the quadrature nodes and matching weights for
+	// time t to s and w and returns the extended slices. For t <= 0 the
+	// slices are returned unchanged (Invert is identically 0 there).
+	AppendNodes(s, w []complex128, t float64) ([]complex128, []complex128)
+}
+
 // Euler implements the Abate–Whitt "EULER" algorithm: a Fourier-series
 // expansion of the Bromwich integral accelerated with Euler summation.
 // It is the workhorse inverter for this package: robust for probability
 // CDFs, including those with atoms away from the evaluation point.
 //
-// The zero value is NOT ready for use; call NewEuler or set the fields.
+// The zero value is NOT ready for use; call NewEuler or set the fields
+// before first use (they must not change afterwards).
 type Euler struct {
 	// A controls the discretization error bound (roughly e^-A). 18.4
 	// targets ~1e-8 discretization error in double precision.
@@ -42,7 +71,11 @@ type Euler struct {
 	// summation.
 	MTerms int
 
-	binom []float64 // C(MTerms, j) / 2^MTerms, len MTerms+1
+	once sync.Once
+	// weights[k] is the flattened Euler-accelerated weight of node k: the
+	// alternating sign times the binomial tail Σ_{j≥k-Terms} C(M,j)/2^M
+	// (1 for k ≤ Terms, halved at k = 0).
+	weights []float64
 }
 
 // NewEuler returns an Euler inverter with the standard Abate–Whitt
@@ -54,18 +87,42 @@ func NewEuler() *Euler {
 // NewEulerN returns an Euler inverter with explicit parameters.
 func NewEulerN(a float64, terms, mTerms int) *Euler {
 	e := &Euler{A: a, Terms: terms, MTerms: mTerms}
-	e.initBinom()
+	e.init()
 	return e
 }
 
-func (e *Euler) initBinom() {
-	m := e.MTerms
-	e.binom = make([]float64, m+1)
-	c := math.Exp2(-float64(m)) // C(m,0)/2^m
-	for j := 0; j <= m; j++ {
-		e.binom[j] = c
-		c = c * float64(m-j) / float64(j+1)
-	}
+// init precomputes the node weights exactly once; constructors call it
+// eagerly so constructed inverters are immutable, and Invert calls it
+// through the sync.Once to keep manually-filled values safe.
+func (e *Euler) init() {
+	e.once.Do(func() {
+		m := e.MTerms
+		binom := make([]float64, m+1) // C(m,j)/2^m
+		c := math.Exp2(-float64(m))
+		for j := 0; j <= m; j++ {
+			binom[j] = c
+			c = c * float64(m-j) / float64(j+1)
+		}
+		// Suffix sums: tail[i] = Σ_{j=i..m} binom[j] (tail[0] ≈ 1).
+		tail := make([]float64, m+2)
+		for j := m; j >= 0; j-- {
+			tail[j] = tail[j+1] + binom[j]
+		}
+		e.weights = make([]float64, e.Terms+m+1)
+		for k := range e.weights {
+			w := tail[0]
+			if k > e.Terms {
+				w = tail[k-e.Terms]
+			}
+			if k == 0 {
+				w /= 2
+			}
+			if k%2 == 1 {
+				w = -w
+			}
+			e.weights[k] = w
+		}
+	})
 }
 
 // Name implements Inverter.
@@ -76,39 +133,37 @@ func (e *Euler) Invert(f TransformFunc, t float64) float64 {
 	if t <= 0 {
 		return 0
 	}
-	if e.binom == nil {
-		e.initBinom()
-	}
+	e.init()
 	x := e.A / (2 * t)
 	h := math.Pi / t
 	u := math.Exp(e.A/2) / t
+	var sum float64
+	for k, w := range e.weights {
+		sum += (u * w) * real(f(complex(x, float64(k)*h)))
+	}
+	return sum
+}
 
-	sum := real(f(complex(x, 0))) / 2
-	sign := -1.0
-	for k := 1; k <= e.Terms; k++ {
-		sum += sign * real(f(complex(x, float64(k)*h)))
-		sign = -sign
+// AppendNodes implements NodeInverter.
+func (e *Euler) AppendNodes(s, w []complex128, t float64) ([]complex128, []complex128) {
+	if t <= 0 {
+		return s, w
 	}
-	// Euler acceleration over the next MTerms partial sums.
-	acc := 0.0
-	partial := sum
-	for j := 0; j <= e.MTerms; j++ {
-		if j > 0 {
-			k := e.Terms + j
-			s := 1.0
-			if k%2 == 1 {
-				s = -1.0
-			}
-			partial += s * real(f(complex(x, float64(k)*h)))
-		}
-		acc += e.binom[j] * partial
+	e.init()
+	x := e.A / (2 * t)
+	h := math.Pi / t
+	u := math.Exp(e.A/2) / t
+	for k, wk := range e.weights {
+		s = append(s, complex(x, float64(k)*h))
+		w = append(w, complex(u*wk, 0))
 	}
-	return u * acc
+	return s, w
 }
 
 // Talbot implements the fixed-Talbot method (Abate–Valkó). It deforms the
 // Bromwich contour into a cotangent spiral; excellent for smooth functions,
-// less robust than Euler near discontinuities.
+// less robust than Euler near discontinuities. It holds no mutable state
+// and is safe for concurrent use.
 type Talbot struct {
 	// M is the number of contour nodes (also the achievable significant
 	// digits is roughly 0.6*M in exact arithmetic; float64 caps it).
@@ -121,26 +176,52 @@ func NewTalbot() *Talbot { return &Talbot{M: 32} }
 // Name implements Inverter.
 func (tb *Talbot) Name() string { return "talbot" }
 
+func (tb *Talbot) nodes() int {
+	if tb.M < 2 {
+		return 2
+	}
+	return tb.M
+}
+
+// node returns the k-th contour node and its weight for time t.
+func (tb *Talbot) node(k int, t float64) (s, w complex128) {
+	m := tb.nodes()
+	r := 2 * float64(m) / (5 * t)
+	if k == 0 {
+		return complex(r, 0), complex(0.5*math.Exp(r*t)*r/float64(m), 0)
+	}
+	theta := float64(k) * math.Pi / float64(m)
+	cot := math.Cos(theta) / math.Sin(theta)
+	s = complex(r*theta*cot, r*theta)
+	sigma := theta + (theta*cot-1)*cot
+	w = complex(r/float64(m), 0) * cmplx.Exp(complex(t, 0)*s) * complex(1, sigma)
+	return s, w
+}
+
 // Invert implements Inverter.
 func (tb *Talbot) Invert(f TransformFunc, t float64) float64 {
 	if t <= 0 {
 		return 0
 	}
-	m := tb.M
-	if m < 2 {
-		m = 2
+	var sum float64
+	for k := 0; k < tb.nodes(); k++ {
+		s, w := tb.node(k, t)
+		sum += real(w * f(s))
 	}
-	r := 2 * float64(m) / (5 * t)
-	sum := 0.5 * math.Exp(r*t) * real(f(complex(r, 0)))
-	for k := 1; k < m; k++ {
-		theta := float64(k) * math.Pi / float64(m)
-		cot := math.Cos(theta) / math.Sin(theta)
-		sk := complex(r*theta*cot, r*theta)
-		sigma := theta + (theta*cot-1)*cot
-		term := cmplx.Exp(complex(t, 0)*sk) * f(sk) * complex(1, sigma)
-		sum += real(term)
+	return sum
+}
+
+// AppendNodes implements NodeInverter.
+func (tb *Talbot) AppendNodes(s, w []complex128, t float64) ([]complex128, []complex128) {
+	if t <= 0 {
+		return s, w
 	}
-	return r / float64(m) * sum
+	for k := 0; k < tb.nodes(); k++ {
+		sk, wk := tb.node(k, t)
+		s = append(s, sk)
+		w = append(w, wk)
+	}
+	return s, w
 }
 
 // GaverStehfest implements the Gaver–Stehfest algorithm. It evaluates the
@@ -151,42 +232,50 @@ type GaverStehfest struct {
 	// N is the (even) number of terms. Default 14.
 	N int
 
+	once sync.Once
+	n    int // effective (evened, defaulted) term count
 	coef []float64
 }
 
 // NewGaverStehfest returns a Gaver–Stehfest inverter with N=14.
-func NewGaverStehfest() *GaverStehfest { return &GaverStehfest{N: 14} }
+func NewGaverStehfest() *GaverStehfest {
+	g := &GaverStehfest{N: 14}
+	g.init()
+	return g
+}
 
 // Name implements Inverter.
 func (g *GaverStehfest) Name() string { return "gaver-stehfest" }
 
-func (g *GaverStehfest) initCoef() {
-	n := g.N
-	if n <= 0 {
-		n = 14
-		g.N = n
-	}
-	if n%2 == 1 {
-		n++
-		g.N = n
-	}
-	g.coef = make([]float64, n+1)
-	half := n / 2
-	for k := 1; k <= n; k++ {
-		var sum float64
-		lo := (k + 1) / 2
-		hi := min(k, half)
-		for j := lo; j <= hi; j++ {
-			term := math.Pow(float64(j), float64(half)) * factorial(2*j)
-			term /= factorial(half-j) * factorial(j) * factorial(j-1) *
-				factorial(k-j) * factorial(2*j-k)
-			sum += term
+// init computes the Stehfest coefficients exactly once (see Euler.init).
+func (g *GaverStehfest) init() {
+	g.once.Do(func() {
+		n := g.N
+		if n <= 0 {
+			n = 14
 		}
-		if (k+half)%2 == 1 {
-			sum = -sum
+		if n%2 == 1 {
+			n++
 		}
-		g.coef[k] = sum
-	}
+		g.n = n
+		g.coef = make([]float64, n+1)
+		half := n / 2
+		for k := 1; k <= n; k++ {
+			var sum float64
+			lo := (k + 1) / 2
+			hi := min(k, half)
+			for j := lo; j <= hi; j++ {
+				term := math.Pow(float64(j), float64(half)) * factorial(2*j)
+				term /= factorial(half-j) * factorial(j) * factorial(j-1) *
+					factorial(k-j) * factorial(2*j-k)
+				sum += term
+			}
+			if (k+half)%2 == 1 {
+				sum = -sum
+			}
+			g.coef[k] = sum
+		}
+	})
 }
 
 // Invert implements Inverter.
@@ -194,35 +283,33 @@ func (g *GaverStehfest) Invert(f TransformFunc, t float64) float64 {
 	if t <= 0 {
 		return 0
 	}
-	if g.coef == nil {
-		g.initCoef()
-	}
+	g.init()
 	ln2t := math.Ln2 / t
 	var sum float64
-	for k := 1; k <= g.N; k++ {
-		sum += g.coef[k] * real(f(complex(float64(k)*ln2t, 0)))
+	for k := 1; k <= g.n; k++ {
+		sum += (ln2t * g.coef[k]) * real(f(complex(float64(k)*ln2t, 0)))
 	}
-	return ln2t * sum
+	return sum
+}
+
+// AppendNodes implements NodeInverter.
+func (g *GaverStehfest) AppendNodes(s, w []complex128, t float64) ([]complex128, []complex128) {
+	if t <= 0 {
+		return s, w
+	}
+	g.init()
+	ln2t := math.Ln2 / t
+	for k := 1; k <= g.n; k++ {
+		s = append(s, complex(float64(k)*ln2t, 0))
+		w = append(w, complex(ln2t*g.coef[k], 0))
+	}
+	return s, w
 }
 
 func factorial(n int) float64 {
 	r := 1.0
 	for i := 2; i <= n; i++ {
 		r *= float64(i)
-	}
-	return r
-}
-
-func binomial(n, k int) float64 {
-	if k < 0 || k > n {
-		return 0
-	}
-	if k > n-k {
-		k = n - k
-	}
-	r := 1.0
-	for i := 0; i < k; i++ {
-		r = r * float64(n-i) / float64(i+1)
 	}
 	return r
 }

@@ -3,6 +3,7 @@ package numeric
 import (
 	"math"
 	"math/cmplx"
+	"sync"
 	"testing"
 )
 
@@ -150,15 +151,82 @@ func TestClamp01(t *testing.T) {
 	}
 }
 
-func TestBinomialAndFactorial(t *testing.T) {
-	if got := binomial(5, 2); got != 10 {
-		t.Errorf("binomial(5,2) = %v, want 10", got)
-	}
-	if got := binomial(5, 6); got != 0 {
-		t.Errorf("binomial(5,6) = %v, want 0", got)
-	}
+func TestFactorial(t *testing.T) {
 	if got := factorial(5); got != 120 {
 		t.Errorf("factorial(5) = %v, want 120", got)
+	}
+	if got := factorial(0); got != 1 {
+		t.Errorf("factorial(0) = %v, want 1", got)
+	}
+}
+
+// TestSharedInverterGoroutineSafety hammers a single shared instance of
+// every inverter from many goroutines, including zero-value instances whose
+// coefficient tables are initialized lazily through the sync.Once. Run with
+// -race this is the regression test for the former lazy-init data race
+// (Euler.binom / GaverStehfest.coef were populated inside Invert without
+// synchronization).
+func TestSharedInverterGoroutineSafety(t *testing.T) {
+	shared := []Inverter{
+		NewEuler(),
+		NewTalbot(),
+		NewGaverStehfest(),
+		&Euler{A: 18.4, Terms: 15, MTerms: 11}, // lazy init path
+		&GaverStehfest{},                       // lazy init + defaulted N
+	}
+	f := gammaPDF(2.5, 4)
+	for _, inv := range shared {
+		want := make([]float64, 8)
+		for i := range want {
+			want[i] = inv.Invert(f, 0.1*float64(i+1))
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 16; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range want {
+					if got := inv.Invert(f, 0.1*float64(i+1)); got != want[i] {
+						t.Errorf("%s: concurrent Invert = %v, want %v", inv.Name(), got, want[i])
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// TestAppendNodesMatchesInvert asserts the NodeInverter contract: the
+// weighted node sum reproduces Invert to within a few ulps (the
+// implementations share their arithmetic; only the complex multiply by a
+// purely real weight differs).
+func TestAppendNodesMatchesInvert(t *testing.T) {
+	fs := []TransformFunc{expPDF(2.5), gammaPDF(2.5, 4), gammaPDF(0.8, 10)}
+	for _, inv := range inverters() {
+		ni, ok := inv.(NodeInverter)
+		if !ok {
+			t.Fatalf("%s does not implement NodeInverter", inv.Name())
+		}
+		for _, f := range fs {
+			for _, x := range []float64{0.05, 0.3, 1, 4} {
+				nodes, weights := ni.AppendNodes(nil, nil, x)
+				if len(nodes) == 0 || len(nodes) != len(weights) {
+					t.Fatalf("%s: bad node set (%d nodes, %d weights)", inv.Name(), len(nodes), len(weights))
+				}
+				var sum float64
+				for k := range nodes {
+					sum += real(weights[k] * f(nodes[k]))
+				}
+				want := inv.Invert(f, x)
+				if math.Abs(sum-want) > 1e-12*(1+math.Abs(want)) {
+					t.Errorf("%s: node sum at t=%v = %v, Invert = %v", inv.Name(), x, sum, want)
+				}
+			}
+		}
+		if s, w := ni.AppendNodes(nil, nil, 0); len(s) != 0 || len(w) != 0 {
+			t.Errorf("%s: AppendNodes at t=0 returned %d nodes", inv.Name(), len(s))
+		}
 	}
 }
 

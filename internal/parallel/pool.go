@@ -1,0 +1,111 @@
+// Package parallel provides the bounded worker pool behind the model's
+// device-parallel evaluation engine and the experiment sweep drivers.
+//
+// The pool is deliberately tiny: a semaphore bounding helper goroutines plus
+// a work-stealing ForEach. Two properties matter to its callers:
+//
+//   - The calling goroutine always participates in the fan-out, so nested
+//     ForEach calls (a pooled experiment sweep whose steps evaluate pooled
+//     device mixtures) can never deadlock — when the helper budget is
+//     exhausted an inner call simply degrades to a sequential loop.
+//   - Results are written by iteration index, never reduced concurrently,
+//     so callers that fold results in index order get deterministic output
+//     regardless of scheduling.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool bounds the helper goroutines used by ForEach fan-outs. A nil *Pool
+// is valid and means "no helpers": ForEach runs every iteration inline on
+// the caller. Pools are safe for concurrent use; the helper budget is
+// shared by all concurrent ForEach calls on the same pool.
+type Pool struct {
+	helpers chan struct{} // semaphore: one token per live helper goroutine
+}
+
+// New returns a pool allowing up to workers goroutines per fan-out,
+// counting the calling goroutine. workers <= 1 returns nil: a purely
+// sequential pool.
+func New(workers int) *Pool {
+	if workers <= 1 {
+		return nil
+	}
+	return &Pool{helpers: make(chan struct{}, workers-1)}
+}
+
+var defaultPool = sync.OnceValue(func() *Pool { return New(runtime.GOMAXPROCS(0)) })
+
+// Default returns the process-wide shared pool, sized to GOMAXPROCS at
+// first use. With GOMAXPROCS=1 it is nil (sequential).
+func Default() *Pool { return defaultPool() }
+
+// Workers reports the concurrency bound of the pool, counting the caller.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return cap(p.helpers) + 1
+}
+
+type panicValue struct{ v any }
+
+// ForEach runs fn(i) for every i in [0, n) and returns once all iterations
+// have completed. Iterations are spread across the calling goroutine plus
+// as many helper goroutines as the pool's remaining budget allows (at most
+// n-1). fn must be safe for concurrent invocation with distinct indices
+// and must not assume any iteration ordering. If any iteration panics, the
+// remaining iterations are abandoned and the first panic is re-raised on
+// the calling goroutine.
+func (p *Pool) ForEach(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		panicked atomic.Pointer[panicValue]
+		wg       sync.WaitGroup
+	)
+	run := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.CompareAndSwap(nil, &panicValue{v: r})
+			}
+		}()
+		for panicked.Load() == nil {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+spawn:
+	for spawned := 0; spawned < n-1; spawned++ {
+		select {
+		case p.helpers <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-p.helpers }()
+				run()
+			}()
+		default:
+			break spawn // budget exhausted; the caller picks up the slack
+		}
+	}
+	run()
+	wg.Wait()
+	if pv := panicked.Load(); pv != nil {
+		panic(pv.v)
+	}
+}

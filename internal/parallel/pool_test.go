@@ -1,0 +1,79 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, p := range []*Pool{nil, New(1), New(2), New(8)} {
+		for _, n := range []int{0, 1, 2, 7, 100} {
+			hits := make([]atomic.Int32, n)
+			p.ForEach(n, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", p.Workers(), n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachNestedDoesNotDeadlock(t *testing.T) {
+	p := New(3)
+	var total atomic.Int64
+	p.ForEach(8, func(i int) {
+		p.ForEach(8, func(j int) { total.Add(1) })
+	})
+	if got := total.Load(); got != 64 {
+		t.Fatalf("nested ForEach ran %d iterations, want 64", got)
+	}
+}
+
+func TestForEachConcurrentCallsShareBudget(t *testing.T) {
+	p := New(4)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			var sum atomic.Int64
+			p.ForEach(50, func(i int) { sum.Add(int64(i)) })
+			if got := sum.Load(); got != 50*49/2 {
+				t.Errorf("sum = %d, want %d", got, 50*49/2)
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}
+
+func TestForEachPropagatesPanic(t *testing.T) {
+	p := New(4)
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	p.ForEach(16, func(i int) {
+		if i == 5 {
+			panic("boom")
+		}
+	})
+	t.Fatal("ForEach returned instead of panicking")
+}
+
+func TestWorkers(t *testing.T) {
+	if got := (*Pool)(nil).Workers(); got != 1 {
+		t.Fatalf("nil pool workers = %d, want 1", got)
+	}
+	if got := New(1).Workers(); got != 1 {
+		t.Fatalf("New(1) workers = %d, want 1", got)
+	}
+	if got := New(6).Workers(); got != 6 {
+		t.Fatalf("New(6) workers = %d, want 6", got)
+	}
+	if Default() == nil && Default().Workers() != 1 {
+		t.Fatal("nil default pool must report 1 worker")
+	}
+}

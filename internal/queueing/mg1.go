@@ -50,19 +50,27 @@ func (q MG1) Utilization() float64 { return q.Lambda * q.Service.Mean }
 // Its mean is computed from the P-K mean formula using the numeric second
 // moment of the service transform.
 func (q MG1) WaitingLST() lst.Transform {
-	rho := q.Utilization()
-	lambda := q.Lambda
 	b := q.Service.F
 	m2 := lst.SecondMomentNumeric(q.Service)
 	return lst.Transform{
 		F: func(s complex128) complex128 {
-			if s == 0 {
-				return 1
-			}
-			return complex(1-rho, 0) * s / (complex(lambda, 0)*b(s) + s - complex(lambda, 0))
+			return q.WaitingValue(s, b(s))
 		},
-		Mean: lambda * m2 / (2 * (1 - rho)),
+		Mean: q.Lambda * m2 / (2 * (1 - q.Utilization())),
 	}
+}
+
+// WaitingValue evaluates the Pollaczek–Khinchin waiting transform at s
+// given a precomputed service-transform value bs = B(s). It is the exact
+// arithmetic behind WaitingLST, exposed so evaluation engines that already
+// hold B(s) (because the service transform is shared with other convolution
+// factors at the same node) avoid re-evaluating the service transform.
+func (q MG1) WaitingValue(s, bs complex128) complex128 {
+	if s == 0 {
+		return 1
+	}
+	rho := q.Utilization()
+	return complex(1-rho, 0) * s / (complex(q.Lambda, 0)*bs + s - complex(q.Lambda, 0))
 }
 
 // SojournLST returns the transform of the sojourn (response) time: the

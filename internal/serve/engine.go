@@ -114,7 +114,10 @@ func (e *Engine) evaluate(ms []core.OnlineMetrics, key string, sla, factor float
 }
 
 // buildModel assembles the system model for the snapshot with every
-// device's rates scaled by factor.
+// device's rates scaled by factor. The cold path (a cache miss) inherits
+// cfg.Opts wholesale, so the model's device-parallel evaluation engine and
+// its worker budget (core.Options.Workers) apply to every uncached
+// prediction and admission probe.
 func (e *Engine) buildModel(ms []core.OnlineMetrics, factor float64) (*core.SystemModel, error) {
 	devs := make([]*core.DeviceModel, 0, len(ms))
 	total := 0.0
@@ -163,7 +166,8 @@ type Advice struct {
 // SLA now, and how much more load fits before target breaks?" by bisecting
 // a proportional scaling of the current per-device operating point. Every
 // probe goes through the memo cache, so repeated advice at a stable
-// operating point is nearly free.
+// operating point is nearly free; cold probes evaluate through the pooled
+// model engine (see buildModel).
 func (e *Engine) Advise(sla, target float64) (Advice, error) {
 	if !(sla > 0) || math.IsInf(sla, 0) {
 		return Advice{}, fmt.Errorf("%w: SLA %v must be positive and finite", ErrBadQuery, sla)

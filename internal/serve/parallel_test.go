@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPredictParallelMatchesSequential checks that the worker budget is
+// purely a performance knob for the serving engine: cold-path predictions
+// and admission advice computed with a pooled model evaluation agree with a
+// fully sequential engine to within 1e-12.
+func TestPredictParallelMatchesSequential(t *testing.T) {
+	build := func(workers int) *Engine {
+		cfg := testConfig()
+		cfg.Opts.Workers = workers
+		eng, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ingestAll(t, eng, 55)
+		return eng
+	}
+	seq := build(1)
+	par := build(8)
+	slas := seq.Config().SLAs
+	ps, err := seq.Predict(slas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := par.Predict(slas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ps {
+		if ps[i].Saturated != pp[i].Saturated {
+			t.Fatalf("sla %v: saturation mismatch", slas[i])
+		}
+		if math.Abs(ps[i].MeetRatio-pp[i].MeetRatio) > 1e-12 {
+			t.Errorf("sla %v: parallel %v, sequential %v", slas[i], pp[i].MeetRatio, ps[i].MeetRatio)
+		}
+	}
+	as, err := seq.Advise(0.050, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := par.Advise(0.050, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(as.CurrentMeetRatio-ap.CurrentMeetRatio) > 1e-12 {
+		t.Errorf("advise meet ratio: parallel %v, sequential %v", ap.CurrentMeetRatio, as.CurrentMeetRatio)
+	}
+	if math.Abs(as.MaxAdmissibleRate-ap.MaxAdmissibleRate) > 1e-9*(1+as.MaxAdmissibleRate) {
+		t.Errorf("advise max rate: parallel %v, sequential %v", ap.MaxAdmissibleRate, as.MaxAdmissibleRate)
+	}
+}
