@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-smoke tidy
+.PHONY: check fmt vet build test race bench bench-smoke fuzz-smoke chaos tidy
 
-check: fmt vet build race bench-smoke
+check: fmt vet build race bench-smoke fuzz-smoke
 
 # gofmt -l prints offending files; fail when it prints anything.
 fmt:
@@ -23,8 +23,10 @@ build:
 test:
 	$(GO) test ./...
 
+# Shuffled execution order surfaces inter-test state dependencies that a
+# fixed order hides.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
@@ -34,6 +36,19 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Fig6|ServePredictColdVsCached' -benchtime=1x .
 	COSMODEL_BENCH_SMOKE=1 $(GO) test -run TestBenchSmokeArtifact .
+
+# Short native-fuzzing runs over the HTTP request parsers: enough to catch
+# regressions in the strict decoder without turning check into a soak.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeStrict$$' -fuzztime=10s ./internal/serve
+	$(GO) test -run '^$$' -fuzz '^FuzzParseFloats$$' -fuzztime=10s ./internal/serve
+
+# Repeated race-enabled runs of the fault-injection and cancellation suites:
+# the tests that depend on goroutine interleavings get three chances to flake.
+chaos:
+	$(GO) test -race -count=3 \
+		-run 'Fault|Chaos|Cancel|Panic|SlowLoris|Graceful|Shed|Timeout|Fallback|Context' \
+		./internal/serve ./internal/parallel ./internal/core ./internal/numeric
 
 tidy:
 	gofmt -w .

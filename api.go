@@ -1,6 +1,8 @@
 package cosmodel
 
 import (
+	"net/http"
+
 	"cosmodel/internal/core"
 	"cosmodel/internal/dist"
 	"cosmodel/internal/experiments"
@@ -113,6 +115,12 @@ var (
 	Headroom = core.Headroom
 	// MaxRateWhere is the underlying monotone bisection.
 	MaxRateWhere = core.MaxRateWhere
+	// MaxAdmissibleRateContext, HeadroomContext and MaxRateWhereContext
+	// are the cancellable variants: the search observes ctx (and the
+	// deployment's Options.EvalTimeout) before every bisection probe.
+	MaxAdmissibleRateContext = core.MaxAdmissibleRateContext
+	HeadroomContext          = core.HeadroomContext
+	MaxRateWhereContext      = core.MaxRateWhereContext
 )
 
 // ---------------------------------------------------------------------------
@@ -143,6 +151,27 @@ var (
 	// DefaultServeConfig returns serving defaults for a deployment size.
 	DefaultServeConfig = serve.DefaultConfig
 )
+
+// Hardened HTTP serving: slow-client timeouts and graceful drain.
+var (
+	// NewServeHTTPServer wraps a handler in an http.Server with hardened
+	// read/write/idle timeouts (zero ServeHTTPTimeouts = defaults).
+	NewServeHTTPServer = func(addr string, h http.Handler) *http.Server {
+		return serve.NewHTTPServer(addr, h, serve.HTTPTimeouts{})
+	}
+	// ListenAndServeGraceful serves until ctx is cancelled, then drains
+	// in-flight requests for up to grace before closing hard.
+	ListenAndServeGraceful = serve.ListenAndServeGraceful
+	// ServeGraceful is the listener-injecting variant (tests, systemd
+	// socket activation).
+	ServeGraceful = serve.ServeGraceful
+)
+
+// ServeHTTPTimeouts are the hardened http.Server limits.
+type ServeHTTPTimeouts = serve.HTTPTimeouts
+
+// DefaultServeHTTPTimeouts returns the production limits.
+var DefaultServeHTTPTimeouts = serve.DefaultHTTPTimeouts
 
 // ---------------------------------------------------------------------------
 // Distributions.
@@ -193,11 +222,23 @@ var (
 // Inverter performs numerical Laplace-transform inversion.
 type Inverter = numeric.Inverter
 
+// InversionError details one guarded inversion that failed even after
+// every fallback inverter; it wraps ErrNumerical.
+type InversionError = numeric.InversionError
+
+// ErrNumerical marks inversions whose result was invalid (NaN, Inf, far
+// outside [0,1]) after exhausting the fallback chain. Predictions carrying
+// this error are withheld, never served as garbage.
+var ErrNumerical = numeric.ErrNumerical
+
 // Inversion algorithm constructors.
 var (
 	NewEuler         = numeric.NewEuler
 	NewTalbot        = numeric.NewTalbot
 	NewGaverStehfest = numeric.NewGaverStehfest
+	// DefaultFallbackInverters is the guarded evaluation engine's standard
+	// fallback chain (Euler, then Gaver–Stehfest).
+	DefaultFallbackInverters = numeric.DefaultFallbacks
 )
 
 // ---------------------------------------------------------------------------
@@ -319,22 +360,25 @@ type (
 
 // Experiment drivers.
 var (
-	ScenarioS1        = experiments.DefaultS1
-	ScenarioS16       = experiments.DefaultS16
-	RunScenario       = experiments.RunScenario
-	RunSweep          = experiments.RunSweep
-	EvaluateSweep     = experiments.EvaluateSweep
-	RunFig5           = experiments.RunFig5
-	DefaultFig5       = experiments.DefaultFig5
-	RunAblation       = experiments.RunAblation
-	BuildSystemModel  = experiments.BuildSystemModel
-	CalibrateDevice   = experiments.Calibrate
-	RenderTable1      = experiments.RenderTable1
-	RenderTable2      = experiments.RenderTable2
-	WTAVariants       = experiments.WTAVariants
-	DiskQueueVariants = experiments.DiskQueueVariants
-	CompoundVariants  = experiments.CompoundVariants
-	InverterVariants  = experiments.InverterVariants
+	ScenarioS1    = experiments.DefaultS1
+	ScenarioS16   = experiments.DefaultS16
+	RunScenario   = experiments.RunScenario
+	RunSweep      = experiments.RunSweep
+	EvaluateSweep = experiments.EvaluateSweep
+	// EvaluateSweepContext is the cancellable re-evaluation: ctx is
+	// observed between sweep steps and inside each step's inversions.
+	EvaluateSweepContext = experiments.EvaluateSweepContext
+	RunFig5              = experiments.RunFig5
+	DefaultFig5          = experiments.DefaultFig5
+	RunAblation          = experiments.RunAblation
+	BuildSystemModel     = experiments.BuildSystemModel
+	CalibrateDevice      = experiments.Calibrate
+	RenderTable1         = experiments.RenderTable1
+	RenderTable2         = experiments.RenderTable2
+	WTAVariants          = experiments.WTAVariants
+	DiskQueueVariants    = experiments.DiskQueueVariants
+	CompoundVariants     = experiments.CompoundVariants
+	InverterVariants     = experiments.InverterVariants
 
 	DefaultArchComparison = experiments.DefaultArchComparison
 	RunArchComparison     = experiments.RunArchComparison

@@ -14,18 +14,21 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"cosmodel"
 )
 
 func main() {
-	cfg, addr, err := configure(os.Args[1:])
+	cfg, run, err := configure(os.Args[1:])
 	if err != nil {
 		fatal(err)
 	}
@@ -35,15 +38,34 @@ func main() {
 	}
 	fmt.Printf("cosserve: %d devices x %d procs, %d frontend procs, SLAs %v, window %.0fs\n",
 		cfg.Devices, cfg.ProcsPerDevice, cfg.FrontendProcs, cfg.SLAs, cfg.Window)
-	fmt.Printf("cosserve: listening on %s\n", addr)
-	if err := http.ListenAndServe(addr, srv.Handler()); err != nil {
+	fmt.Printf("cosserve: listening on %s\n", run.addr)
+
+	// SIGINT/SIGTERM start a graceful drain: the listener closes, in-flight
+	// requests get run.grace to finish, then the process exits.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hs := cosmodel.NewServeHTTPServer(run.addr, srv.Handler())
+	err = cosmodel.ListenAndServeGraceful(ctx, hs, run.grace)
+	switch {
+	case err == nil:
+		fmt.Println("cosserve: drained cleanly, bye")
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintln(os.Stderr, "cosserve: shutdown grace expired with requests still in flight")
+		os.Exit(1)
+	default:
 		fatal(err)
 	}
 }
 
+// runOptions are the process-level (non-model) settings from the flags.
+type runOptions struct {
+	addr  string
+	grace time.Duration
+}
+
 // configure parses flags into a serving configuration; split from main so
 // tests can exercise it without binding a socket.
-func configure(args []string) (cosmodel.ServeConfig, string, error) {
+func configure(args []string) (cosmodel.ServeConfig, runOptions, error) {
 	fs := flag.NewFlagSet("cosserve", flag.ContinueOnError)
 	var (
 		addr     = fs.String("addr", ":8080", "listen address")
@@ -55,6 +77,8 @@ func configure(args []string) (cosmodel.ServeConfig, string, error) {
 		maxObs   = fs.Int("max-observations", 128, "retained observations per device")
 		inflight = fs.Int("max-inflight", 64, "concurrent model evaluations before shedding with 503")
 		cacheN   = fs.Int("cache-entries", 4096, "memoized predictions kept")
+		evalTO   = fs.Duration("eval-timeout", 10*time.Second, "per-query model evaluation budget (0 = unbounded)")
+		grace    = fs.Duration("shutdown-grace", 15*time.Second, "drain time for in-flight requests on SIGINT/SIGTERM")
 
 		idxMean = fs.Float64("disk-index-mean", 9e-3, "index disk service mean (s)")
 		idxSCV  = fs.Float64("disk-index-scv", 0.45, "index disk service SCV")
@@ -66,7 +90,7 @@ func configure(args []string) (cosmodel.ServeConfig, string, error) {
 		parseBE = fs.Duration("parse-be", 500*time.Microsecond, "backend parse time")
 	)
 	if err := fs.Parse(args); err != nil {
-		return cosmodel.ServeConfig{}, "", err
+		return cosmodel.ServeConfig{}, runOptions{}, err
 	}
 	props := cosmodel.DeviceProperties{
 		IndexDisk: cosmodel.NewGammaMeanSCV(*idxMean, *idxSCV),
@@ -82,14 +106,15 @@ func configure(args []string) (cosmodel.ServeConfig, string, error) {
 	cfg.MaxObservations = *maxObs
 	cfg.MaxInflight = *inflight
 	cfg.CacheEntries = *cacheN
+	cfg.Opts.EvalTimeout = *evalTO
 	var err error
 	if cfg.SLAs, err = parseSLAs(*slas); err != nil {
-		return cosmodel.ServeConfig{}, "", err
+		return cosmodel.ServeConfig{}, runOptions{}, err
 	}
 	if err := cfg.Validate(); err != nil {
-		return cosmodel.ServeConfig{}, "", err
+		return cosmodel.ServeConfig{}, runOptions{}, err
 	}
-	return cfg, *addr, nil
+	return cfg, runOptions{addr: *addr, grace: *grace}, nil
 }
 
 func parseSLAs(s string) ([]float64, error) {

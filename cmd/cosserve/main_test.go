@@ -5,20 +5,25 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"cosmodel"
 )
 
 func TestConfigure(t *testing.T) {
-	cfg, addr, err := configure([]string{
+	cfg, run, err := configure([]string{
 		"-addr", ":9999", "-devices", "8", "-nbe", "16",
 		"-slas", "25ms,100ms", "-window", "30s",
+		"-eval-timeout", "2s", "-shutdown-grace", "3s",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if addr != ":9999" || cfg.Devices != 8 || cfg.ProcsPerDevice != 16 {
-		t.Errorf("cfg %+v addr %q", cfg, addr)
+	if run.addr != ":9999" || cfg.Devices != 8 || cfg.ProcsPerDevice != 16 {
+		t.Errorf("cfg %+v run %+v", cfg, run)
+	}
+	if cfg.Opts.EvalTimeout != 2*time.Second || run.grace != 3*time.Second {
+		t.Errorf("eval timeout %v grace %v", cfg.Opts.EvalTimeout, run.grace)
 	}
 	if len(cfg.SLAs) != 2 || math.Abs(cfg.SLAs[0]-0.025) > 1e-12 {
 		t.Errorf("SLAs %v", cfg.SLAs)

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"context"
+	"errors"
+	"fmt"
+)
 
 // Deployment describes a homogeneous deployment whose admissible load is
 // being asked about: identical storage devices behind a shared frontend
@@ -98,11 +102,18 @@ func (d Deployment) Model(rate float64) (*SystemModel, error) {
 // aggregate rate. It returns ErrOverload (wrapped) when the operating point
 // has no steady state.
 func (d Deployment) MeetFraction(rate, sla float64) (float64, error) {
+	return d.MeetFractionContext(context.Background(), rate, sla)
+}
+
+// MeetFractionContext is the context-aware MeetFraction: the guarded
+// mixture evaluation observes ctx and the deployment's Opts.EvalTimeout,
+// and a numerically poisoned inversion surfaces as numeric.ErrNumerical.
+func (d Deployment) MeetFractionContext(ctx context.Context, rate, sla float64) (float64, error) {
 	sys, err := d.Model(rate)
 	if err != nil {
 		return 0, err
 	}
-	return sys.PercentileMeetingSLA(sla), nil
+	return sys.CDFContext(ctx, sla)
 }
 
 // MaxAdmissibleRate returns the largest aggregate arrival rate (req/s, to
@@ -110,17 +121,36 @@ func (d Deployment) MeetFraction(rate, sla float64) (float64, error) {
 // admission threshold of the paper's overload-control application. It
 // returns 0 when even minimal load misses the target.
 func MaxAdmissibleRate(d Deployment, sla, target float64) (float64, error) {
+	return MaxAdmissibleRateContext(context.Background(), d, sla, target)
+}
+
+// MaxAdmissibleRateContext is the context-aware admission search: ctx and
+// the deployment's Opts.EvalTimeout are observed at every bisection probe
+// (overload at a probe point simply bounds the search; cancellation and
+// numerical failure abort it with the error).
+func MaxAdmissibleRateContext(ctx context.Context, d Deployment, sla, target float64) (float64, error) {
 	if err := d.Validate(); err != nil {
 		return 0, err
 	}
 	if sla <= 0 || target <= 0 || target > 1 {
 		return 0, fmt.Errorf("%w: sla %v, target %v", ErrBadParams, sla, target)
 	}
-	meets := func(rate float64) bool {
-		p, err := d.MeetFraction(rate, sla)
-		return err == nil && p >= target
+	ctx, cancel := d.Opts.EvalContext(ctx)
+	defer cancel()
+	meets := func(ctx context.Context, rate float64) (bool, error) {
+		p, err := d.MeetFractionContext(ctx, rate, sla)
+		switch {
+		case err == nil:
+			return p >= target, nil
+		case errors.Is(err, ErrOverload) || errors.Is(err, ErrBadParams):
+			// No steady state at this probe point: the rate is simply
+			// inadmissible, not a search failure.
+			return false, nil
+		default:
+			return false, err // cancellation, deadline or numerical failure
+		}
 	}
-	return MaxRateWhere(meets, 1, 1), nil
+	return MaxRateWhereContext(ctx, meets, 1, 1)
 }
 
 // Headroom returns the additional aggregate rate the deployment can admit
@@ -128,7 +158,13 @@ func MaxAdmissibleRate(d Deployment, sla, target float64) (float64, error) {
 // minus current. Negative headroom means the deployment is already past the
 // admission threshold.
 func Headroom(d Deployment, current, sla, target float64) (float64, error) {
-	max, err := MaxAdmissibleRate(d, sla, target)
+	return HeadroomContext(context.Background(), d, current, sla, target)
+}
+
+// HeadroomContext is the context-aware Headroom; see
+// MaxAdmissibleRateContext.
+func HeadroomContext(ctx context.Context, d Deployment, current, sla, target float64) (float64, error) {
+	max, err := MaxAdmissibleRateContext(ctx, d, sla, target)
 	if err != nil {
 		return 0, err
 	}
@@ -146,31 +182,69 @@ func Headroom(d Deployment, current, sla, target float64) (float64, error) {
 // worker pool configured by Options.Workers, so admission searches over
 // wide device mixtures parallelize from the inside.
 func MaxRateWhere(meets func(rate float64) bool, lo, tol float64) float64 {
+	v, _ := MaxRateWhereContext(context.Background(),
+		func(_ context.Context, rate float64) (bool, error) { return meets(rate), nil },
+		lo, tol)
+	return v
+}
+
+// MaxRateWhereContext is the cancellable monotone bisection underlying
+// every admission search: ctx is checked before each probe, and a probe
+// returning an error (cancellation propagated by the model evaluation, a
+// numerical failure, ...) aborts the search immediately with that error.
+// The bounded probe count (geometric doubling to a 1e9 ceiling plus
+// bisection to tol) guarantees the search terminates even when meets is
+// pathological.
+func MaxRateWhereContext(ctx context.Context, meets func(ctx context.Context, rate float64) (bool, error), lo, tol float64) (float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if lo <= 0 {
 		lo = 1
 	}
 	if tol <= 0 {
 		tol = lo * 1e-3
 	}
-	if !meets(lo) {
-		return 0
+	probe := func(rate float64) (bool, error) {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		return meets(ctx, rate)
+	}
+	ok, err := probe(lo)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, nil
 	}
 	hi := lo * 2
 	const ceiling = 1e9 // far beyond any physically admissible rate here
-	for meets(hi) {
+	for {
+		ok, err := probe(hi)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
 		lo = hi
 		hi *= 2
 		if hi > ceiling {
-			return lo
+			return lo, nil
 		}
 	}
 	for hi-lo > tol {
 		mid := (lo + hi) / 2
-		if meets(mid) {
+		ok, err := probe(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
 			lo = mid
 		} else {
 			hi = mid
 		}
 	}
-	return lo
+	return lo, nil
 }

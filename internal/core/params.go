@@ -16,8 +16,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"cosmodel/internal/dist"
 	"cosmodel/internal/numeric"
@@ -201,6 +203,27 @@ type Options struct {
 	// fully sequential evaluation; n > 1 gives the model its own pool of
 	// that size.
 	Workers int
+	// EvalTimeout bounds one call of any context-aware entry point
+	// (CDFContext, QuantileContext, MaxAdmissibleRateContext, ...): the
+	// evaluation observes the derived deadline at its internal cancellation
+	// checkpoints (between mixture groups, bisection probes and sweep
+	// steps) and returns context.DeadlineExceeded. 0 means no per-call
+	// budget. The context-free API delegates through the same path, so a
+	// nonzero EvalTimeout also bounds CDF, Quantile, MaxAdmissibleRate and
+	// friends.
+	EvalTimeout time.Duration
+	// Fallbacks is the inverter chain the guarded evaluation engine tries
+	// when the primary inverter produces an invalid CDF value (NaN, Inf,
+	// far outside [0,1]). nil means numeric.DefaultFallbacks()
+	// (Euler → Gaver–Stehfest); an empty non-nil slice disables fallback,
+	// so invalid inversions surface immediately as numeric.ErrNumerical.
+	Fallbacks []numeric.Inverter
+	// OnFallback, when non-nil, is called each time the evaluation engine
+	// recovers from an invalid inversion by switching from inverter `from`
+	// to fallback `to`. It may be called concurrently from worker
+	// goroutines and must be safe for concurrent use. Serving layers hook
+	// it to report degraded health.
+	OnFallback func(from, to string)
 }
 
 // defaultEuler is the shared inverter behind the nil-Inverter default.
@@ -213,6 +236,28 @@ func (o Options) inverter() numeric.Inverter {
 		return defaultEuler
 	}
 	return o.Inverter
+}
+
+// fallbacks resolves the guarded engine's fallback chain.
+func (o Options) fallbacks() []numeric.Inverter {
+	if o.Fallbacks != nil {
+		return o.Fallbacks
+	}
+	return numeric.DefaultFallbacks()
+}
+
+// EvalContext applies the per-call evaluation budget to ctx. The returned
+// cancel function must always be called. Nested entry points may re-apply
+// it; a child deadline can only shorten the parent's, so the budget of the
+// outermost call the user made always governs.
+func (o Options) EvalContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if o.EvalTimeout > 0 {
+		return context.WithTimeout(ctx, o.EvalTimeout)
+	}
+	return ctx, func() {}
 }
 
 func (o Options) pool() *parallel.Pool {

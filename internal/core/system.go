@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -99,9 +100,24 @@ func (s *SystemModel) DeviceResponseCDF(j int, t float64) float64 {
 }
 
 // CDF evaluates the system response-latency CDF at t: the rate-weighted
-// mixture over devices (Eq. 3).
+// mixture over devices (Eq. 3). It delegates to CDFContext with a
+// background context; an evaluation that fails numerically even after the
+// fallback chain reports 0 (the pre-guard behaviour was an arbitrary
+// clamped value; 0 is the conservative end of the clamp).
 func (s *SystemModel) CDF(t float64) float64 {
-	return s.mixtureCDF(t, true)
+	v, _ := s.CDFContext(context.Background(), t)
+	return v
+}
+
+// CDFContext evaluates the system CDF at t under ctx: cancellation is
+// observed between mixture groups, Options.EvalTimeout bounds the call, and
+// every per-group inversion is validated — an invalid value (NaN, Inf, far
+// outside [0,1]) retries through Options.Fallbacks before surfacing as
+// numeric.ErrNumerical. On error the returned value is 0.
+func (s *SystemModel) CDFContext(ctx context.Context, t float64) (float64, error) {
+	ctx, cancel := s.opts.EvalContext(ctx)
+	defer cancel()
+	return s.mixtureCDF(ctx, t, true)
 }
 
 // PercentileMeetingSLA predicts the fraction of requests whose response
@@ -115,19 +131,23 @@ func (s *SystemModel) PercentileMeetingSLA(sla float64) float64 {
 // queueing or WTA. The paper's testbed counts SLA compliance at both tiers;
 // this is the backend-tier prediction.
 func (s *SystemModel) BackendCDF(t float64) float64 {
-	return s.mixtureCDF(t, false)
+	v, _ := s.BackendCDFContext(context.Background(), t)
+	return v
 }
 
-// mixtureCDF evaluates the rate-weighted mixture CDF at t. frontend selects
-// the frontend-observed response Sq ∗ Wa ∗ Sbe; otherwise the backend-only
-// Sbe mixture.
-func (s *SystemModel) mixtureCDF(t float64, frontend bool) float64 {
-	if t <= 0 {
-		return 0
-	}
-	// evalGroup returns the clamped CDF of one mixture group at t.
-	var evalGroup func(i int) float64
-	if ni, ok := s.opts.inverter().(numeric.NodeInverter); ok {
+// BackendCDFContext is the context-aware, guarded form of BackendCDF; see
+// CDFContext for the cancellation and fallback semantics.
+func (s *SystemModel) BackendCDFContext(ctx context.Context, t float64) (float64, error) {
+	ctx, cancel := s.opts.EvalContext(ctx)
+	defer cancel()
+	return s.mixtureCDF(ctx, t, false)
+}
+
+// groupEvaluator builds the raw (unclamped) per-group CDF evaluator at t
+// for one inverter. frontend selects the frontend-observed response
+// Sq ∗ Wa ∗ Sbe; otherwise the backend-only Sbe mixture.
+func (s *SystemModel) groupEvaluator(inv numeric.Inverter, t float64, frontend bool) func(i int) float64 {
+	if ni, ok := inv.(numeric.NodeInverter); ok {
 		// 32 covers every built-in quadrature (Euler 27, Talbot 32,
 		// Gaver-Stehfest 14) without append regrowth.
 		nodes, ws := ni.AppendNodes(make([]complex128, 0, 32), make([]complex128, 0, 32), t)
@@ -141,7 +161,7 @@ func (s *SystemModel) mixtureCDF(t float64, frontend bool) float64 {
 				fe[k] = sq(sk)
 			}
 		}
-		evalGroup = func(i int) float64 {
+		return func(i int) float64 {
 			var sum float64
 			for k, sk := range nodes {
 				wa, sbe := s.groups[i].dev.responseNode(sk)
@@ -151,33 +171,81 @@ func (s *SystemModel) mixtureCDF(t float64, frontend bool) float64 {
 				}
 				sum += real(ws[k] * (fv / sk))
 			}
-			return numeric.Clamp01(sum)
-		}
-	} else {
-		// Opaque custom inverter: fall back to inverting each group's
-		// composed transform closure independently.
-		inv := s.opts.inverter()
-		evalGroup = func(i int) float64 {
-			if frontend {
-				return lst.CDF(inv, s.groups[i].response, t)
-			}
-			return lst.CDF(inv, s.groups[i].dev.Backend(), t)
+			return sum
 		}
 	}
-	res := make([]float64, len(s.groups))
-	run := func(i int) { res[i] = s.groups[i].weight * evalGroup(i) }
-	if len(s.groups) >= minDevicesParallel {
-		s.pool.ForEach(len(s.groups), run)
-	} else {
-		for i := range s.groups {
-			run(i)
+	// Opaque custom inverter: invert each group's composed transform
+	// closure independently.
+	return func(i int) float64 {
+		tr := s.groups[i].response
+		if !frontend {
+			tr = s.groups[i].dev.Backend()
 		}
+		return inv.Invert(func(sc complex128) complex128 { return tr.F(sc) / sc }, t)
+	}
+}
+
+// groupCDF evaluates one mixture group with the primary evaluator and
+// validates the result, walking the fallback inverter chain on an invalid
+// value. A recovered value fires Options.OnFallback; exhaustion returns a
+// *numeric.InversionError.
+func (s *SystemModel) groupCDF(eval func(int) float64, i int, t float64, frontend bool) (float64, error) {
+	v := eval(i)
+	reason := numeric.CheckCDF(v)
+	if reason == "" {
+		return numeric.Clamp01(v), nil
+	}
+	primary := s.opts.inverter().Name()
+	tried := []string{primary}
+	for _, fb := range s.opts.fallbacks() {
+		if fb == nil || fb.Name() == primary {
+			continue
+		}
+		tried = append(tried, fb.Name())
+		fv := s.groupEvaluator(fb, t, frontend)(i)
+		if numeric.CheckCDF(fv) == "" {
+			if cb := s.opts.OnFallback; cb != nil {
+				cb(primary, fb.Name())
+			}
+			return numeric.Clamp01(fv), nil
+		}
+		v = fv
+	}
+	return 0, &numeric.InversionError{T: t, Value: v, Reason: reason, Tried: tried}
+}
+
+// mixtureCDF evaluates the rate-weighted mixture CDF at t under ctx.
+// Narrow mixtures run inline through a nil pool — same panic capture and
+// cancellation checks, no goroutine hand-off.
+func (s *SystemModel) mixtureCDF(ctx context.Context, t float64, frontend bool) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if t <= 0 {
+		return 0, nil
+	}
+	eval := s.groupEvaluator(s.opts.inverter(), t, frontend)
+	res := make([]float64, len(s.groups))
+	run := func(i int) error {
+		v, err := s.groupCDF(eval, i, t, frontend)
+		if err != nil {
+			return err
+		}
+		res[i] = s.groups[i].weight * v
+		return nil
+	}
+	pool := s.pool
+	if len(s.groups) < minDevicesParallel {
+		pool = nil
+	}
+	if err := pool.ForEachContext(ctx, len(s.groups), run); err != nil {
+		return 0, err
 	}
 	total := 0.0
 	for _, r := range res {
 		total += r
 	}
-	return numeric.Clamp01(total / s.totalRate)
+	return numeric.Clamp01(total / s.totalRate), nil
 }
 
 // BackendPercentileMeetingSLA predicts the backend-tier fraction of
@@ -189,34 +257,73 @@ func (s *SystemModel) BackendPercentileMeetingSLA(sla float64) float64 {
 // Quantile returns the latency below which a fraction p of requests
 // complete (numeric inversion of the mixture CDF). It returns +Inf when the
 // quantile exceeds the search ceiling (an effectively saturated model) or
-// when p >= 1, matching lst.Quantile.
+// when p >= 1, matching lst.Quantile. It delegates to QuantileContext; a
+// numerical failure reports NaN.
 func (s *SystemModel) Quantile(p float64) float64 {
+	v, err := s.QuantileContext(context.Background(), p)
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}
+
+// QuantileContext is the context-aware quantile: cancellation and the
+// Options.EvalTimeout budget are observed at every bisection probe, each
+// probe runs the guarded mixture evaluation, and the bisection additionally
+// detects a grossly non-monotone CDF (a probe at a larger t reporting a
+// value more than numeric.CDFSlack below a probe at a smaller t, or vice
+// versa), returning numeric.ErrNumerical instead of a garbage quantile.
+func (s *SystemModel) QuantileContext(ctx context.Context, p float64) (float64, error) {
+	ctx, cancel := s.opts.EvalContext(ctx)
+	defer cancel()
 	if p <= 0 {
-		return 0
+		return 0, nil
 	}
 	if p >= 1 {
-		return math.Inf(1)
+		return math.Inf(1), nil
 	}
 	hi := s.MeanResponse()
 	if hi <= 0 {
 		hi = 1e-3
 	}
-	for s.CDF(hi) < p {
+	vHi, err := s.mixtureCDF(ctx, hi, true)
+	if err != nil {
+		return 0, err
+	}
+	for vHi < p {
 		hi *= 2
 		if hi > 1e6 {
-			return math.Inf(1)
+			return math.Inf(1), nil
+		}
+		if vHi, err = s.mixtureCDF(ctx, hi, true); err != nil {
+			return 0, err
 		}
 	}
-	lo := 0.0
+	lo, vLo := 0.0, 0.0
 	for i := 0; i < 60; i++ {
 		mid := (lo + hi) / 2
-		if s.CDF(mid) < p {
-			lo = mid
+		v, err := s.mixtureCDF(ctx, mid, true)
+		if err != nil {
+			return 0, err
+		}
+		// lo < mid < hi, so a monotone CDF keeps v within [vLo, vHi] up
+		// to inversion noise; a gross excursion means the inverted CDF
+		// itself is broken.
+		if v < vLo-numeric.CDFSlack || v > vHi+numeric.CDFSlack {
+			return 0, &numeric.InversionError{
+				T:      mid,
+				Value:  v,
+				Reason: "grossly non-monotone CDF in quantile bisection",
+				Tried:  []string{s.opts.inverter().Name()},
+			}
+		}
+		if v < p {
+			lo, vLo = mid, v
 		} else {
-			hi = mid
+			hi, vHi = mid, v
 		}
 	}
-	return (lo + hi) / 2
+	return (lo + hi) / 2, nil
 }
 
 // MeanResponse returns the rate-weighted mean response latency.

@@ -6,7 +6,7 @@
 package experiments
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math"
 
@@ -210,16 +210,37 @@ func RunScenario(sc ScenarioConfig) (*ScenarioResult, error) {
 // the parallelism budget (Workers == 1 forces the entire evaluation — step
 // fan-out included — sequential; benchmarks and equivalence tests use this).
 func EvaluateSweep(sc ScenarioConfig, data *SweepData, overlay ...core.Options) *ScenarioResult {
+	res, _ := EvaluateSweepContext(context.Background(), sc, data, overlay...)
+	return res
+}
+
+// EvaluateSweepContext is the cancellable sweep evaluation: ctx (and the
+// overlay's EvalTimeout, if set) is observed between rate steps and inside
+// each step's guarded model evaluations, so a sweep over hundreds of
+// operating points can be abandoned mid-flight. A panic in a pooled step is
+// captured by the pool and returned as an error. Numerical failures inside
+// one step do not abort the sweep — the step is marked Skipped with the
+// failure as its Reason, mirroring how overloaded steps are excluded — so
+// a partially poisoned sweep still yields every healthy step. On error the
+// partially filled result is returned alongside it.
+func EvaluateSweepContext(ctx context.Context, sc ScenarioConfig, data *SweepData, overlay ...core.Options) (*ScenarioResult, error) {
 	var base core.Options
 	if len(overlay) > 0 {
 		base = overlay[0]
 	}
+	ctx, cancel := base.EvalContext(ctx)
+	defer cancel()
 	res := &ScenarioResult{Config: sc, SLAs: append([]float64(nil), sc.Sim.SLAs...), Props: data.Props}
 	res.Steps = make([]StepResult, len(data.Windows))
-	stepPool(base).ForEach(len(data.Windows), func(i int) {
-		res.Steps[i] = evaluateStep(sc, data.Props, data.Windows[i], data.Rates[i], base)
+	err := stepPool(base).ForEachContext(ctx, len(data.Windows), func(i int) error {
+		st, err := evaluateStep(ctx, sc, data.Props, data.Windows[i], data.Rates[i], base)
+		if err != nil {
+			return err
+		}
+		res.Steps[i] = st
+		return nil
 	})
-	return res
+	return res, err
 }
 
 // stepPool picks the pool for a sweep-level fan-out from the overlay's
@@ -245,8 +266,10 @@ func overlayOptions(v, base core.Options) core.Options {
 }
 
 // evaluateStep turns one measurement window into a StepResult by running
-// the three models on the window's online metrics.
-func evaluateStep(sc ScenarioConfig, props core.DeviceProperties, win simstore.Window, rate float64, base core.Options) StepResult {
+// the three models on the window's online metrics. Context errors abort the
+// step (and with it the sweep); model-level failures — overload, numerical
+// poisoning — only skip the step.
+func evaluateStep(ctx context.Context, sc ScenarioConfig, props core.DeviceProperties, win simstore.Window, rate float64, base core.Options) (StepResult, error) {
 	nSLA := len(sc.Sim.SLAs)
 	st := StepResult{
 		Rate:       rate,
@@ -266,7 +289,7 @@ func evaluateStep(sc ScenarioConfig, props core.DeviceProperties, win simstore.W
 	if win.Responses == 0 {
 		st.Skipped = true
 		st.Reason = "no responses in window"
-		return st
+		return st, nil
 	}
 	// The paper analyzes prediction results only "when there is no
 	// timeout and retry" (Section V-A); a saturated disk is the same
@@ -274,12 +297,12 @@ func evaluateStep(sc ScenarioConfig, props core.DeviceProperties, win simstore.W
 	if win.Timeouts > 0 || win.Retries > 0 {
 		st.Skipped = true
 		st.Reason = fmt.Sprintf("overload: %d timeouts, %d retries in window", win.Timeouts, win.Retries)
-		return st
+		return st, nil
 	}
 	if st.MaxDiskUtilization >= 0.98 {
 		st.Skipped = true
 		st.Reason = fmt.Sprintf("overload: disk utilization %.2f", st.MaxDiskUtilization)
-		return st
+		return st, nil
 	}
 	variants := []struct {
 		opts    core.Options
@@ -293,23 +316,38 @@ func evaluateStep(sc ScenarioConfig, props core.DeviceProperties, win simstore.W
 	for _, v := range variants {
 		sys, err := BuildSystemModel(sc.Sim, props, win, overlayOptions(v.opts, base))
 		if err != nil {
-			if errors.Is(err, core.ErrOverload) {
-				st.Skipped = true
-				st.Reason = err.Error()
-				continue
-			}
 			st.Skipped = true
 			st.Reason = err.Error()
 			continue
 		}
 		for i, sla := range sc.Sim.SLAs {
-			v.out[i] = sys.PercentileMeetingSLA(sla)
+			p, err := sys.CDFContext(ctx, sla)
+			if err != nil {
+				if ctx.Err() != nil {
+					return st, ctx.Err()
+				}
+				// Numerical poisoning: exclude the variant's step like an
+				// overloaded one instead of recording garbage.
+				st.Skipped = true
+				st.Reason = err.Error()
+				break
+			}
+			v.out[i] = p
 			if v.backend != nil {
-				v.backend[i] = sys.BackendPercentileMeetingSLA(sla)
+				be, err := sys.BackendCDFContext(ctx, sla)
+				if err != nil {
+					if ctx.Err() != nil {
+						return st, ctx.Err()
+					}
+					st.Skipped = true
+					st.Reason = err.Error()
+					break
+				}
+				v.backend[i] = be
 			}
 		}
 	}
-	return st
+	return st, nil
 }
 
 // BuildSystemModel glues a measurement window to the analytic model: each

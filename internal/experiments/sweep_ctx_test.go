@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"cosmodel/internal/core"
+)
+
+// TestEvaluateSweepContextCancellation checks a cancelled context aborts
+// the sweep with the error instead of grinding through every step.
+func TestEvaluateSweepContextCancellation(t *testing.T) {
+	data, err := RunSweep(smallS1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := smallS1()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EvaluateSweepContext(ctx, sc, data); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// A live context reproduces the legacy result exactly.
+	want := EvaluateSweep(sc, data, core.Options{Workers: 1})
+	got, err := EvaluateSweepContext(context.Background(), sc, data, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Steps) != len(want.Steps) {
+		t.Fatalf("steps %d, want %d", len(got.Steps), len(want.Steps))
+	}
+	for i := range want.Steps {
+		a, b := got.Steps[i], want.Steps[i]
+		if a.Rate != b.Rate || a.Skipped != b.Skipped {
+			t.Errorf("step %d diverged: %+v vs %+v", i, a, b)
+		}
+		for k := range b.Our {
+			if a.Our[k] != b.Our[k] {
+				t.Errorf("step %d sla %d: %v vs %v", i, k, a.Our[k], b.Our[k])
+			}
+		}
+	}
+}

@@ -11,10 +11,19 @@
 //   - Results are written by iteration index, never reduced concurrently,
 //     so callers that fold results in index order get deterministic output
 //     regardless of scheduling.
+//
+// ForEachContext adds the fail-safe variant the serving stack is built on:
+// cooperative cancellation between iterations and panic capture, so a
+// poisoned task surfaces as an error on the caller instead of killing the
+// process or leaking a helper token.
 package parallel
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -51,7 +60,27 @@ func (p *Pool) Workers() int {
 	return cap(p.helpers) + 1
 }
 
-type panicValue struct{ v any }
+// PanicError is the error a panicking task is converted into by
+// ForEachContext: the panic is recovered on the worker, captured with its
+// stack, and returned to the caller instead of unwinding through the pool.
+// A panicking task therefore can never kill the process, strand a helper
+// token, or deadlock sibling workers.
+type PanicError struct {
+	// Value is the value the task panicked with.
+	Value any
+	// Stack is the stack trace captured at the recovery point.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: task panicked: %v", e.Value)
+}
+
+// IsPanic reports whether err carries a task panic captured by the pool.
+func IsPanic(err error) bool {
+	var pe *PanicError
+	return errors.As(err, &pe)
+}
 
 // ForEach runs fn(i) for every i in [0, n) and returns once all iterations
 // have completed. Iterations are spread across the calling goroutine plus
@@ -61,51 +90,87 @@ type panicValue struct{ v any }
 // remaining iterations are abandoned and the first panic is re-raised on
 // the calling goroutine.
 func (p *Pool) ForEach(n int, fn func(int)) {
-	if n <= 0 {
-		return
+	err := p.ForEachContext(context.Background(), n, func(i int) error {
+		fn(i)
+		return nil
+	})
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		panic(pe.Value)
 	}
-	if p == nil || n == 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
+}
+
+// ForEachContext runs fn(i) for every i in [0, n) with cooperative
+// cancellation and panic capture. Scheduling stops as soon as ctx is done or
+// any iteration fails; iterations already running are allowed to finish
+// (fn itself must poll ctx if a single iteration can be long). The first
+// failure wins and is returned: a task error, a *PanicError wrapping a task
+// panic, or ctx.Err(). A nil return means every iteration ran and
+// succeeded. Like ForEach, the calling goroutine participates, so nested
+// calls cannot deadlock, and helper tokens are always returned — even when
+// tasks panic.
+func (p *Pool) ForEachContext(ctx context.Context, n int, fn func(int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	var (
 		next     atomic.Int64
-		panicked atomic.Pointer[panicValue]
+		failure  atomic.Pointer[error]
 		wg       sync.WaitGroup
+		done     = ctx.Done()
+		fail     = func(err error) { failure.CompareAndSwap(nil, &err) }
+		safeCall = func(i int) (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = &PanicError{Value: r, Stack: debug.Stack()}
+				}
+			}()
+			return fn(i)
+		}
 	)
 	run := func() {
-		defer func() {
-			if r := recover(); r != nil {
-				panicked.CompareAndSwap(nil, &panicValue{v: r})
+		for failure.Load() == nil {
+			if done != nil {
+				select {
+				case <-done:
+					fail(ctx.Err())
+					return
+				default:
+				}
 			}
-		}()
-		for panicked.Load() == nil {
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
 			}
-			fn(i)
+			if err := safeCall(i); err != nil {
+				fail(err)
+				return
+			}
 		}
 	}
-spawn:
-	for spawned := 0; spawned < n-1; spawned++ {
-		select {
-		case p.helpers <- struct{}{}:
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				defer func() { <-p.helpers }()
-				run()
-			}()
-		default:
-			break spawn // budget exhausted; the caller picks up the slack
+	if p != nil && n > 1 {
+	spawn:
+		for spawned := 0; spawned < n-1; spawned++ {
+			select {
+			case p.helpers <- struct{}{}:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-p.helpers }()
+					run()
+				}()
+			default:
+				break spawn // budget exhausted; the caller picks up the slack
+			}
 		}
 	}
 	run()
 	wg.Wait()
-	if pv := panicked.Load(); pv != nil {
-		panic(pv.v)
+	if e := failure.Load(); e != nil {
+		return *e
 	}
+	return nil
 }

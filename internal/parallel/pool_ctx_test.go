@@ -1,0 +1,130 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachContextRunsAll(t *testing.T) {
+	for _, p := range []*Pool{nil, New(4)} {
+		var ran atomic.Int64
+		err := p.ForEachContext(context.Background(), 100, func(i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("pool %v: %v", p, err)
+		}
+		if ran.Load() != 100 {
+			t.Errorf("pool %v: ran %d of 100", p, ran.Load())
+		}
+	}
+}
+
+func TestForEachContextFirstErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	err := New(4).ForEachContext(context.Background(), 64, func(i int) error {
+		if i == 17 {
+			return fmt.Errorf("task %d: %w", i, boom)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestForEachContextCancellationStopsEarly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := New(2).ForEachContext(ctx, 10_000, func(i int) error {
+		if ran.Add(1) == 8 {
+			cancel()
+		}
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Workers notice the cancellation between tasks; far fewer than the
+	// full 10k must have run.
+	if n := ran.Load(); n > 1000 {
+		t.Errorf("%d tasks ran after cancellation", n)
+	}
+}
+
+func TestForEachContextExpiredContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := New(4).ForEachContext(ctx, 50, func(i int) error { ran.Add(1); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d tasks ran under an already-cancelled context", ran.Load())
+	}
+}
+
+func TestForEachContextPanicBecomesError(t *testing.T) {
+	for _, p := range []*Pool{nil, New(4)} {
+		err := p.ForEachContext(context.Background(), 16, func(i int) error {
+			if i == 3 {
+				panic("kaboom")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("pool %v: err = %v, want *PanicError", p, err)
+		}
+		if pe.Value != "kaboom" || len(pe.Stack) == 0 {
+			t.Errorf("pool %v: PanicError %v stack=%dB", p, pe.Value, len(pe.Stack))
+		}
+		if !IsPanic(err) {
+			t.Error("IsPanic should match")
+		}
+	}
+}
+
+// TestForEachRepanics pins the legacy contract: ForEach re-raises a task
+// panic in the caller's goroutine instead of returning it.
+func TestForEachRepanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "legacy" {
+			t.Fatalf("recovered %v, want \"legacy\"", r)
+		}
+	}()
+	New(2).ForEach(8, func(i int) {
+		if i == 0 {
+			panic("legacy")
+		}
+	})
+	t.Fatal("ForEach returned instead of panicking")
+}
+
+// TestForEachContextPanicNoWorkerLeak checks a panicking task does not
+// wedge the pool: the same pool keeps serving afterwards.
+func TestForEachContextPanicNoWorkerLeak(t *testing.T) {
+	p := New(4)
+	for round := 0; round < 20; round++ {
+		_ = p.ForEachContext(context.Background(), 32, func(i int) error {
+			if i%7 == 0 {
+				panic(i)
+			}
+			return nil
+		})
+	}
+	var ran atomic.Int64
+	if err := p.ForEachContext(context.Background(), 64, func(i int) error { ran.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 64 {
+		t.Errorf("pool degraded after panics: ran %d of 64", ran.Load())
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -9,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"cosmodel/internal/core"
+	"cosmodel/internal/numeric"
 )
 
 // Engine is the concurrent prediction engine: it derives the current
@@ -21,6 +23,10 @@ type Engine struct {
 
 	predictions atomic.Uint64 // SLA evaluations answered
 	saturations atomic.Uint64 // evaluations that hit an overloaded point
+	fallbacks   atomic.Uint64 // inversions recovered by a fallback inverter
+	// lastFallbackNS is the cfg.now() timestamp (UnixNano) of the most
+	// recent inverter fallback; 0 before any.
+	lastFallbackNS atomic.Int64
 }
 
 // NewEngine validates the configuration and builds an engine.
@@ -29,9 +35,30 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{cfg: cfg}
+	// Observe every inverter fallback the guarded evaluation engine
+	// performs on our behalf, chaining any callback the embedder installed.
+	user := e.cfg.Opts.OnFallback
+	e.cfg.Opts.OnFallback = func(from, to string) {
+		e.fallbacks.Add(1)
+		e.lastFallbackNS.Store(e.cfg.now().UnixNano())
+		if user != nil {
+			user(from, to)
+		}
+	}
 	e.state = newStateTable(&e.cfg)
 	e.cache = newModelCache(cfg.CacheEntries)
 	return e, nil
+}
+
+// RecentFallback reports whether an inverter fallback happened within the
+// last window seconds — the "numerics degraded but recovering" health
+// signal surfaced by /healthz.
+func (e *Engine) RecentFallback(window float64) bool {
+	ns := e.lastFallbackNS.Load()
+	if ns == 0 {
+		return false
+	}
+	return e.cfg.now().UnixNano()-ns <= int64(window*1e9)
 }
 
 // Config returns the engine's configuration.
@@ -62,6 +89,16 @@ type Prediction struct {
 // observations arrive and ErrBadQuery for invalid bounds; saturation is not
 // an error (see Prediction.Saturated).
 func (e *Engine) Predict(slas []float64) ([]Prediction, error) {
+	return e.PredictContext(context.Background(), slas)
+}
+
+// PredictContext is the context-aware Predict: cancellation and the
+// configured Opts.EvalTimeout are observed inside the transform inversion
+// itself (between mixture groups), so a hung or saturated evaluation stops
+// burning CPU the moment the client gives up. A numerically poisoned
+// inversion surfaces as an error wrapping numeric.ErrNumerical, never as a
+// garbage prediction.
+func (e *Engine) PredictContext(ctx context.Context, slas []float64) ([]Prediction, error) {
 	if len(slas) == 0 {
 		slas = e.cfg.SLAs
 	}
@@ -74,10 +111,12 @@ func (e *Engine) Predict(slas []float64) ([]Prediction, error) {
 	if err != nil {
 		return nil, err
 	}
+	ctx, cancel := e.cfg.Opts.EvalContext(ctx)
+	defer cancel()
 	key := opKey(ms)
 	out := make([]Prediction, len(slas))
 	for i, sla := range slas {
-		v, cached, err := e.evaluate(ms, key, sla, 1)
+		v, cached, err := e.evaluate(ctx, ms, key, sla, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -88,13 +127,13 @@ func (e *Engine) Predict(slas []float64) ([]Prediction, error) {
 
 // evaluate answers one (operating point, SLA) query through the cache,
 // scaling every device's load by factor (used by admission bisection).
-func (e *Engine) evaluate(ms []core.OnlineMetrics, key string, sla, factor float64) (cachedValue, bool, error) {
+func (e *Engine) evaluate(ctx context.Context, ms []core.OnlineMetrics, key string, sla, factor float64) (cachedValue, bool, error) {
 	ck := key
 	if factor != 1 {
 		ck += "|f=" + quantStr(factor)
 	}
 	ck += "|sla=" + quantStr(sla)
-	v, cached, err := e.cache.do(ck, func() (cachedValue, error) {
+	v, cached, err := e.cache.do(ctx, ck, func(ctx context.Context) (cachedValue, error) {
 		sys, err := e.buildModel(ms, factor)
 		if errors.Is(err, core.ErrOverload) {
 			return cachedValue{p: 0, saturated: true}, nil
@@ -102,7 +141,11 @@ func (e *Engine) evaluate(ms []core.OnlineMetrics, key string, sla, factor float
 		if err != nil {
 			return cachedValue{}, err
 		}
-		return cachedValue{p: sys.PercentileMeetingSLA(sla)}, nil
+		p, err := sys.CDFContext(ctx, sla)
+		if err != nil {
+			return cachedValue{}, err
+		}
+		return cachedValue{p: p}, nil
 	})
 	if err == nil {
 		e.predictions.Add(1)
@@ -169,6 +212,15 @@ type Advice struct {
 // operating point is nearly free; cold probes evaluate through the pooled
 // model engine (see buildModel).
 func (e *Engine) Advise(sla, target float64) (Advice, error) {
+	return e.AdviseContext(context.Background(), sla, target)
+}
+
+// AdviseContext is the context-aware Advise: ctx and the configured
+// Opts.EvalTimeout bound the entire admission search, observed before every
+// bisection probe and inside each probe's transform inversion. A probe that
+// fails numerically or is cancelled aborts the search with the error; a
+// probe at an overloaded point merely bounds it.
+func (e *Engine) AdviseContext(ctx context.Context, sla, target float64) (Advice, error) {
 	if !(sla > 0) || math.IsInf(sla, 0) {
 		return Advice{}, fmt.Errorf("%w: SLA %v must be positive and finite", ErrBadQuery, sla)
 	}
@@ -179,25 +231,41 @@ func (e *Engine) Advise(sla, target float64) (Advice, error) {
 	if err != nil {
 		return Advice{}, err
 	}
+	ctx, cancel := e.cfg.Opts.EvalContext(ctx)
+	defer cancel()
 	key := opKey(ms)
 	current := 0.0
 	for _, m := range ms {
 		current += m.Rate
 	}
 	adv := Advice{SLA: sla, Target: target, CurrentRate: current}
-	cur, _, err := e.evaluate(ms, key, sla, 1)
+	cur, _, err := e.evaluate(ctx, ms, key, sla, 1)
 	if err != nil {
 		return Advice{}, err
 	}
 	adv.CurrentMeetRatio = cur.p
 	adv.Saturated = cur.saturated
-	meets := func(rate float64) bool {
-		v, _, err := e.evaluate(ms, key, sla, rate/current)
-		return err == nil && !v.saturated && v.p >= target
+	meets := func(ctx context.Context, rate float64) (bool, error) {
+		v, _, err := e.evaluate(ctx, ms, key, sla, rate/current)
+		switch {
+		case err == nil:
+			return !v.saturated && v.p >= target, nil
+		case isContextErr(err) || errors.Is(err, numeric.ErrNumerical):
+			return false, err
+		default:
+			// A model-construction failure at an extreme probe point
+			// (ErrBadParams from a degenerate scaled rate) bounds the
+			// search like overload does.
+			return false, nil
+		}
 	}
 	// Resolve the threshold to ~0.5% of the current rate; quantization
 	// below that would alias probe points anyway.
-	adv.MaxAdmissibleRate = core.MaxRateWhere(meets, current/64, current/200)
+	maxRate, err := core.MaxRateWhereContext(ctx, meets, current/64, current/200)
+	if err != nil {
+		return Advice{}, err
+	}
+	adv.MaxAdmissibleRate = maxRate
 	adv.Headroom = adv.MaxAdmissibleRate - current
 	adv.Admit = !adv.Saturated && cur.p >= target && adv.Headroom >= 0
 	return adv, nil
@@ -210,8 +278,12 @@ func (e *Engine) InvalidateCache() { e.cache.invalidate() }
 
 // EngineStats is a point-in-time view of the engine's internal counters.
 type EngineStats struct {
-	Predictions     uint64  `json:"predictions"`
-	Saturations     uint64  `json:"saturations"`
+	Predictions uint64 `json:"predictions"`
+	Saturations uint64 `json:"saturations"`
+	// Fallbacks counts inversions recovered by a fallback inverter;
+	// LastFallbackAge is the seconds since the most recent one (-1: never).
+	Fallbacks       uint64  `json:"inverterFallbacks"`
+	LastFallbackAge float64 `json:"lastFallbackAgeSeconds"`
 	CacheHits       uint64  `json:"cacheHits"`
 	CacheMisses     uint64  `json:"cacheMisses"`
 	CacheHitRatio   float64 `json:"cacheHitRatio"`
@@ -232,6 +304,8 @@ func (e *Engine) Stats() EngineStats {
 	st := EngineStats{
 		Predictions:     e.predictions.Load(),
 		Saturations:     e.saturations.Load(),
+		Fallbacks:       e.fallbacks.Load(),
+		LastFallbackAge: -1,
 		CacheHits:       cs.Hits,
 		CacheMisses:     cs.Misses,
 		CacheHitRatio:   cs.hitRatio(),
@@ -243,6 +317,9 @@ func (e *Engine) Stats() EngineStats {
 	}
 	if age, ok := e.state.calibrationAge(); ok {
 		st.CalibrationAge = age
+	}
+	if ns := e.lastFallbackNS.Load(); ns != 0 {
+		st.LastFallbackAge = float64(e.cfg.now().UnixNano()-ns) / 1e9
 	}
 	if ms, err := e.state.snapshot(); err == nil {
 		for _, m := range ms {

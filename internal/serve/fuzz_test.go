@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"bytes"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+)
+
+// FuzzDecodeStrict throws arbitrary bytes at the strict request decoder: it
+// must never panic, and every accepted payload must decode deterministically
+// (re-decoding the same bytes gives the same verdict).
+func FuzzDecodeStrict(f *testing.F) {
+	f.Add([]byte(`{"slas":[0.01,0.05]}`))
+	f.Add([]byte(`{"observations":[{"device":0,"interval":1}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{not json`))
+	f.Add([]byte(`{"slas":[1]} trailing`))
+	f.Add([]byte(`{"unknown":true}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"slas":[1e309]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decode := func() error {
+			r := httptest.NewRequest(http.MethodPost, "/predict", bytes.NewReader(data))
+			var req PredictRequest
+			return decodeStrict(httptest.NewRecorder(), r, &req)
+		}
+		first := decode()
+		if again := decode(); (first == nil) != (again == nil) {
+			t.Fatalf("non-deterministic verdict for %q: %v vs %v", data, first, again)
+		}
+	})
+}
+
+// FuzzParseFloats feeds arbitrary strings to the query-parameter list
+// parser: no panic, and on success every element is a finite-or-inf float
+// that strconv can reproduce (i.e. the parse really consumed the input).
+func FuzzParseFloats(f *testing.F) {
+	f.Add("0.01,0.05,0.1")
+	f.Add("")
+	f.Add(" 1 , 2 ")
+	f.Add("banana")
+	f.Add("1,,2")
+	f.Add("NaN")
+	f.Add("-Inf")
+	f.Add("1e400")
+	f.Add(",")
+	f.Fuzz(func(t *testing.T, s string) {
+		vals, err := parseFloats(s)
+		if err != nil {
+			if len(vals) != 0 {
+				t.Fatalf("parseFloats(%q) returned values %v alongside error %v", s, vals, err)
+			}
+			return
+		}
+		for i, v := range vals {
+			if math.IsNaN(v) {
+				// NaN is representable input ("nan"); the round-trip check
+				// below would fail on NaN != NaN.
+				continue
+			}
+			if _, perr := strconv.ParseFloat(strconv.FormatFloat(v, 'g', -1, 64), 64); perr != nil {
+				t.Fatalf("parseFloats(%q)[%d] = %v does not round-trip: %v", s, i, v, perr)
+			}
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// HTTPTimeouts are the hardened http.Server limits applied by
+// NewHTTPServer. Each guards one slow-client attack surface: a peer that
+// dribbles header bytes (slow loris), a peer that never finishes its body,
+// a peer that never reads the response, and an idle keep-alive connection
+// pinned open forever.
+type HTTPTimeouts struct {
+	ReadHeader time.Duration
+	Read       time.Duration
+	Write      time.Duration
+	Idle       time.Duration
+}
+
+// DefaultHTTPTimeouts returns the production limits. The write timeout
+// comfortably exceeds any sane Options.EvalTimeout, so evaluation budgets
+// fire first and produce structured 503s instead of a torn connection.
+func DefaultHTTPTimeouts() HTTPTimeouts {
+	return HTTPTimeouts{
+		ReadHeader: 5 * time.Second,
+		Read:       15 * time.Second,
+		Write:      30 * time.Second,
+		Idle:       60 * time.Second,
+	}
+}
+
+// NewHTTPServer wraps h in an http.Server with the given timeouts and a
+// bounded header size. The zero HTTPTimeouts value is replaced with
+// DefaultHTTPTimeouts.
+func NewHTTPServer(addr string, h http.Handler, t HTTPTimeouts) *http.Server {
+	if t == (HTTPTimeouts{}) {
+		t = DefaultHTTPTimeouts()
+	}
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: t.ReadHeader,
+		ReadTimeout:       t.Read,
+		WriteTimeout:      t.Write,
+		IdleTimeout:       t.Idle,
+		MaxHeaderBytes:    1 << 16,
+	}
+}
+
+// ServeGraceful serves on ln until ctx is cancelled, then drains: new
+// connections stop being accepted and in-flight requests get up to grace
+// to finish before the server is closed hard. It returns nil on a clean
+// drain, context.DeadlineExceeded-wrapped errors when the grace expired
+// with requests still running, and the original serve error when serving
+// failed for any reason other than shutdown.
+func ServeGraceful(ctx context.Context, srv *http.Server, ln net.Listener, grace time.Duration) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		// Serve failed before any shutdown was requested.
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := srv.Shutdown(shutCtx)
+	// Serve returns ErrServerClosed once Shutdown begins; reap the goroutine.
+	if serr := <-errCh; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+		err = serr
+	}
+	return err
+}
+
+// ListenAndServeGraceful binds srv.Addr and runs ServeGraceful on it.
+func ListenAndServeGraceful(ctx context.Context, srv *http.Server, grace time.Duration) error {
+	ln, err := net.Listen("tcp", srv.Addr)
+	if err != nil {
+		return err
+	}
+	return ServeGraceful(ctx, srv, ln, grace)
+}

@@ -2,6 +2,8 @@ package serve
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"sync"
 )
 
@@ -54,41 +56,64 @@ func newModelCache(capacity int) *modelCache {
 // cached reports whether the caller was served without running fn itself.
 // A computation that fails with a non-cacheable error is forgotten so later
 // lookups retry.
-func (c *modelCache) do(key string, fn func() (cachedValue, error)) (v cachedValue, cached bool, err error) {
-	c.mu.Lock()
-	if el, ok := c.items[key]; ok {
-		e := el.Value.(*cacheEntry)
-		if e.gen == c.gen {
-			c.hits++
-			c.ll.MoveToFront(el)
-			c.mu.Unlock()
-			<-e.ready
-			return e.val, true, e.err
-		}
-		// Stale generation: drop and recompute below.
-		c.removeLocked(el)
-	}
-	e := &cacheEntry{key: key, gen: c.gen, ready: make(chan struct{})}
-	el := c.ll.PushFront(e)
-	c.items[key] = el
-	c.misses++
-	for c.ll.Len() > c.capacity {
-		// Evicting an in-flight entry is safe: waiters hold the entry
-		// pointer and its ready channel is still closed by the computer.
-		c.removeLocked(c.ll.Back())
-	}
-	c.mu.Unlock()
-
-	e.val, e.err = fn()
-	close(e.ready)
-	if e.err != nil {
+//
+// ctx governs the caller's wait, not the shared computation: a waiter whose
+// context expires abandons the entry immediately (the computing goroutine
+// finishes and caches on its own), and a waiter whose computing owner was
+// itself cancelled retries the lookup — one request's client hanging up
+// must never poison the answer for everyone deduplicated behind it.
+func (c *modelCache) do(ctx context.Context, key string, fn func(context.Context) (cachedValue, error)) (v cachedValue, cached bool, err error) {
+	for {
 		c.mu.Lock()
-		if cur, ok := c.items[key]; ok && cur.Value.(*cacheEntry) == e {
-			c.removeLocked(cur)
+		if el, ok := c.items[key]; ok {
+			e := el.Value.(*cacheEntry)
+			if e.gen == c.gen {
+				c.hits++
+				c.ll.MoveToFront(el)
+				c.mu.Unlock()
+				select {
+				case <-e.ready:
+				case <-ctx.Done():
+					return cachedValue{}, false, ctx.Err()
+				}
+				if e.err != nil && isContextErr(e.err) && ctx.Err() == nil {
+					// The owner's client hung up mid-computation but ours is
+					// still here: take over with a fresh lookup.
+					continue
+				}
+				return e.val, true, e.err
+			}
+			// Stale generation: drop and recompute below.
+			c.removeLocked(el)
+		}
+		e := &cacheEntry{key: key, gen: c.gen, ready: make(chan struct{})}
+		el := c.ll.PushFront(e)
+		c.items[key] = el
+		c.misses++
+		for c.ll.Len() > c.capacity {
+			// Evicting an in-flight entry is safe: waiters hold the entry
+			// pointer and its ready channel is still closed by the computer.
+			c.removeLocked(c.ll.Back())
 		}
 		c.mu.Unlock()
+
+		e.val, e.err = fn(ctx)
+		close(e.ready)
+		if e.err != nil {
+			c.mu.Lock()
+			if cur, ok := c.items[key]; ok && cur.Value.(*cacheEntry) == e {
+				c.removeLocked(cur)
+			}
+			c.mu.Unlock()
+		}
+		return e.val, false, e.err
 	}
-	return e.val, false, e.err
+}
+
+// isContextErr reports whether err is (or wraps) a context cancellation or
+// deadline error.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // invalidate makes every current entry stale (a new generation).

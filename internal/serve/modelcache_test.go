@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -8,18 +9,21 @@ import (
 	"testing"
 )
 
+// ctxBG saves typing in tests that don't exercise cancellation.
+var ctxBG = context.Background()
+
 func TestModelCacheMemoizes(t *testing.T) {
 	c := newModelCache(16)
 	calls := 0
-	fn := func() (cachedValue, error) {
+	fn := func(context.Context) (cachedValue, error) {
 		calls++
 		return cachedValue{p: 0.9}, nil
 	}
-	v, cached, err := c.do("k", fn)
+	v, cached, err := c.do(ctxBG, "k", fn)
 	if err != nil || cached || v.p != 0.9 {
 		t.Fatalf("first call: v=%v cached=%v err=%v", v, cached, err)
 	}
-	v, cached, err = c.do("k", fn)
+	v, cached, err = c.do(ctxBG, "k", fn)
 	if err != nil || !cached || v.p != 0.9 {
 		t.Fatalf("second call: v=%v cached=%v err=%v", v, cached, err)
 	}
@@ -38,13 +42,13 @@ func TestModelCacheMemoizes(t *testing.T) {
 func TestModelCacheGeneration(t *testing.T) {
 	c := newModelCache(16)
 	calls := 0
-	fn := func() (cachedValue, error) {
+	fn := func(context.Context) (cachedValue, error) {
 		calls++
 		return cachedValue{p: float64(calls)}, nil
 	}
-	c.do("k", fn) //nolint:errcheck
+	c.do(ctxBG, "k", fn) //nolint:errcheck
 	c.invalidate()
-	v, cached, err := c.do("k", fn)
+	v, cached, err := c.do(ctxBG, "k", fn)
 	if err != nil || cached {
 		t.Fatalf("stale entry served: v=%v cached=%v err=%v", v, cached, err)
 	}
@@ -63,10 +67,10 @@ func TestModelCacheErrorNotCached(t *testing.T) {
 	c := newModelCache(16)
 	boom := errors.New("boom")
 	calls := 0
-	if _, _, err := c.do("k", func() (cachedValue, error) { calls++; return cachedValue{}, boom }); !errors.Is(err, boom) {
+	if _, _, err := c.do(ctxBG, "k", func(context.Context) (cachedValue, error) { calls++; return cachedValue{}, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
-	v, cached, err := c.do("k", func() (cachedValue, error) { calls++; return cachedValue{p: 1}, nil })
+	v, cached, err := c.do(ctxBG, "k", func(context.Context) (cachedValue, error) { calls++; return cachedValue{p: 1}, nil })
 	if err != nil || cached || v.p != 1 {
 		t.Fatalf("retry after error: v=%v cached=%v err=%v", v, cached, err)
 	}
@@ -79,18 +83,18 @@ func TestModelCacheEvicts(t *testing.T) {
 	c := newModelCache(4)
 	for i := 0; i < 10; i++ {
 		key := fmt.Sprintf("k%d", i)
-		c.do(key, func() (cachedValue, error) { return cachedValue{p: float64(i)}, nil }) //nolint:errcheck
+		c.do(ctxBG, key, func(context.Context) (cachedValue, error) { return cachedValue{p: float64(i)}, nil }) //nolint:errcheck
 	}
 	if st := c.stats(); st.Entries > 4 {
 		t.Errorf("entries %d exceed capacity 4", st.Entries)
 	}
 	// Most recent key still resident.
-	_, cached, _ := c.do("k9", func() (cachedValue, error) { return cachedValue{}, nil })
+	_, cached, _ := c.do(ctxBG, "k9", func(context.Context) (cachedValue, error) { return cachedValue{}, nil })
 	if !cached {
 		t.Error("most recently used entry was evicted")
 	}
 	// Oldest key evicted.
-	_, cached, _ = c.do("k0", func() (cachedValue, error) { return cachedValue{}, nil })
+	_, cached, _ = c.do(ctxBG, "k0", func(context.Context) (cachedValue, error) { return cachedValue{}, nil })
 	if cached {
 		t.Error("least recently used entry survived beyond capacity")
 	}
@@ -109,7 +113,7 @@ func TestModelCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, _, err := c.do("k", func() (cachedValue, error) {
+			v, _, err := c.do(ctxBG, "k", func(context.Context) (cachedValue, error) {
 				calls.Add(1)
 				<-gate // hold the computation open so everyone piles up
 				return cachedValue{p: 0.75}, nil

@@ -22,6 +22,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"log"
 	"time"
 
 	"cosmodel/internal/core"
@@ -70,6 +71,10 @@ type Config struct {
 	// Now supplies wall-clock time; nil means time.Now. Tests inject
 	// fakes to control calibration-age reporting.
 	Now func() time.Time
+	// Logf receives diagnostic log lines (recovered panics, failed
+	// response writes); nil means the standard library logger. Tests
+	// inject collectors.
+	Logf func(format string, args ...any)
 }
 
 // DefaultConfig returns a serving configuration for a deployment of the
@@ -124,4 +129,12 @@ func (c Config) now() time.Time {
 		return c.Now()
 	}
 	return time.Now()
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
 }

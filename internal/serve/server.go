@@ -5,13 +5,28 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
+	"cosmodel/internal/numeric"
+	"cosmodel/internal/parallel"
 	"cosmodel/internal/stats"
 )
+
+// statusClientClosedRequest is the non-standard (nginx-originated) status
+// recorded when the client abandoned the request before the evaluation
+// finished. Nothing is actually written to the closed connection; the code
+// exists for accounting and logs.
+const statusClientClosedRequest = 499
+
+// maxBodyBytes bounds request bodies: the largest legitimate payload (a
+// full ingest batch) is a few hundred KiB; anything beyond 1 MiB is either
+// a mistake or an attack, and reading it unbounded would let one client
+// exhaust memory.
+const maxBodyBytes = 1 << 20
 
 // Server is the HTTP front of the prediction engine. Create with NewServer
 // and mount Handler on any http server.
@@ -31,6 +46,13 @@ type Server struct {
 	shed        atomic.Uint64
 	badRequests atomic.Uint64
 	served      atomic.Uint64
+
+	clientGone  atomic.Uint64 // requests abandoned by the client mid-evaluation
+	timeouts    atomic.Uint64 // evaluations that exceeded the per-call budget
+	numerical   atomic.Uint64 // evaluations rejected as numerically poisoned
+	panics      atomic.Uint64 // panics recovered (handlers and pooled tasks)
+	encodeFails atomic.Uint64 // JSON responses that failed to encode/write
+	tooLarge    atomic.Uint64 // request bodies over maxBodyBytes
 }
 
 // NewServer builds a serving instance from the configuration.
@@ -58,6 +80,11 @@ func (s *Server) Engine() *Engine { return s.engine }
 //	GET/POST /advise  — admission control: max admissible rate, headroom
 //	GET  /metrics  — internal counters (JSON)
 //	GET  /healthz  — liveness + readiness
+//
+// Every route runs behind the panic-recovery middleware: a panicking
+// handler (or a panic captured inside the pooled model evaluation and
+// re-surfaced) is logged with its stack, counted, and answered with a 500
+// JSON body instead of killing the connection served by this goroutine.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/ingest", s.handleIngest)
@@ -65,7 +92,29 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/advise", s.handleAdvise)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
-	return mux
+	return s.recoverMiddleware(mux)
+}
+
+// recoverMiddleware converts handler panics into logged, counted 500s.
+// http.ErrAbortHandler is re-raised: it is the sanctioned way to abort a
+// response and net/http suppresses its stack trace.
+func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if err, ok := rec.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+				panic(rec)
+			}
+			s.panics.Add(1)
+			s.logf("serve: panic in %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			s.writeJSON(w, http.StatusInternalServerError,
+				errorBody{Error: "internal error (panic recovered)"})
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // errorBody is the uniform error payload.
@@ -73,17 +122,33 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON writes v as an indented JSON response. Encode failures (an
+// unmarshalable value, or a client that vanished mid-write) are counted and
+// logged rather than silently dropped: a response the client never saw is
+// an operational signal, not a non-event.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+	if err := enc.Encode(v); err != nil {
+		s.encodeFails.Add(1)
+		s.logf("serve: writing %d response: %v", status, err)
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	s.engine.Config().logf(format, args...)
 }
 
 func (s *Server) badRequest(w http.ResponseWriter, err error) {
+	if errors.Is(err, errBodyTooLarge) {
+		s.tooLarge.Add(1)
+		s.writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: err.Error()})
+		return
+	}
 	s.badRequests.Add(1)
-	writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	s.writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 }
 
 // acquire takes an in-flight slot, or sheds the request with 503.
@@ -95,7 +160,7 @@ func (s *Server) acquire(w http.ResponseWriter) bool {
 	default:
 		s.shed.Add(1)
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable,
+		s.writeJSON(w, http.StatusServiceUnavailable,
 			errorBody{Error: "prediction queue full, load shed"})
 		return false
 	}
@@ -121,11 +186,11 @@ type IngestResponse struct {
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
 		return
 	}
 	var req IngestRequest
-	if err := decodeStrict(r, &req); err != nil {
+	if err := decodeStrict(w, r, &req); err != nil {
 		s.badRequest(w, err)
 		return
 	}
@@ -138,7 +203,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			s.latAll.Observe(l)
 		}
 	}
-	writeJSON(w, http.StatusOK, IngestResponse{Accepted: len(req.Observations)})
+	s.writeJSON(w, http.StatusOK, IngestResponse{Accepted: len(req.Observations)})
 }
 
 // ---------------------------------------------------------------------------
@@ -173,21 +238,21 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		req.SLAs = slas
 	case http.MethodPost:
-		if err := decodeStrict(r, &req); err != nil {
+		if err := decodeStrict(w, r, &req); err != nil {
 			s.badRequest(w, err)
 			return
 		}
 	default:
-		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET or POST required"})
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET or POST required"})
 		return
 	}
 	if !s.acquire(w) {
 		return
 	}
 	defer s.release()
-	preds, err := s.engine.Predict(req.SLAs)
+	preds, err := s.engine.PredictContext(r.Context(), req.SLAs)
 	if err != nil {
-		s.queryError(w, err)
+		s.queryError(w, r, err)
 		return
 	}
 	resp := PredictResponse{Predictions: preds}
@@ -198,7 +263,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		resp.Saturated = resp.Saturated || p.Saturated
 	}
 	s.served.Add(1)
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // ---------------------------------------------------------------------------
@@ -225,38 +290,63 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	case http.MethodPost:
-		if err := decodeStrict(r, &req); err != nil {
+		if err := decodeStrict(w, r, &req); err != nil {
 			s.badRequest(w, err)
 			return
 		}
 	default:
-		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET or POST required"})
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET or POST required"})
 		return
 	}
 	if !s.acquire(w) {
 		return
 	}
 	defer s.release()
-	adv, err := s.engine.Advise(req.SLA, req.Target)
+	adv, err := s.engine.AdviseContext(r.Context(), req.SLA, req.Target)
 	if err != nil {
-		s.queryError(w, err)
+		s.queryError(w, r, err)
 		return
 	}
 	s.served.Add(1)
-	writeJSON(w, http.StatusOK, adv)
+	s.writeJSON(w, http.StatusOK, adv)
 }
 
-// queryError maps engine errors to HTTP statuses: invalid queries are 400,
+// queryError maps engine errors to HTTP statuses. Invalid queries are 400;
 // asking before any ingest is 409 (the client did nothing malformed; the
-// server just has no operating point yet), anything else is 500.
-func (s *Server) queryError(w http.ResponseWriter, err error) {
+// server just has no operating point yet). Degradation paths each get a
+// distinct, accounted answer:
+//
+//   - the client hung up mid-evaluation → 499 (nothing readable is
+//     written; the status exists for logs and counters),
+//   - the per-call evaluation budget (Opts.EvalTimeout) expired → 503 with
+//     Retry-After: the server is temporarily too slow, not broken,
+//   - the inversion was numerically poisoned and every fallback failed →
+//     500 with the structured reason (never a NaN in a 200 body),
+//   - a panic captured inside the pooled evaluation → 500, counted with
+//     the handler-level panics.
+func (s *Server) queryError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, ErrBadQuery):
 		s.badRequest(w, err)
 	case errors.Is(err, ErrNotReady):
-		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+		s.writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+	case isContextErr(err) && r.Context().Err() != nil:
+		s.clientGone.Add(1)
+		s.writeJSON(w, statusClientClosedRequest, errorBody{Error: "client closed request"})
+	case isContextErr(err):
+		s.timeouts.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.writeJSON(w, http.StatusServiceUnavailable,
+			errorBody{Error: "evaluation budget exceeded: " + err.Error()})
+	case errors.Is(err, numeric.ErrNumerical):
+		s.numerical.Add(1)
+		s.writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	case parallel.IsPanic(err):
+		s.panics.Add(1)
+		s.logf("serve: panic inside model evaluation: %v", err)
+		s.writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 	default:
-		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		s.writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 	}
 }
 
@@ -271,6 +361,14 @@ type MetricsResponse struct {
 	Shed          uint64  `json:"shedRequests"`
 	BadRequests   uint64  `json:"badRequests"`
 	QueriesServed uint64  `json:"queriesServed"`
+	// Degradation accounting: each counter is one failure path of the
+	// robustness design (see queryError and recoverMiddleware).
+	ClientGone     uint64 `json:"clientClosedRequests"`
+	Timeouts       uint64 `json:"evaluationTimeouts"`
+	NumericalFails uint64 `json:"numericalFailures"`
+	PanicsRecov    uint64 `json:"panicsRecovered"`
+	EncodeFails    uint64 `json:"responseEncodeFailures"`
+	TooLarge       uint64 `json:"oversizedBodies"`
 	// Observed latency diagnostics over every ingested latency sample.
 	ObservedCount uint64  `json:"observedLatencyCount"`
 	ObservedP50   float64 `json:"observedP50"`
@@ -280,29 +378,37 @@ type MetricsResponse struct {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET required"})
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET required"})
 		return
 	}
 	m := MetricsResponse{
-		EngineStats:   s.engine.Stats(),
-		UptimeSeconds: s.engine.Config().now().Sub(s.start).Seconds(),
-		Inflight:      s.inflight.Load(),
-		Shed:          s.shed.Load(),
-		BadRequests:   s.badRequests.Load(),
-		QueriesServed: s.served.Load(),
-		ObservedCount: s.latAll.Count(),
+		EngineStats:    s.engine.Stats(),
+		UptimeSeconds:  s.engine.Config().now().Sub(s.start).Seconds(),
+		Inflight:       s.inflight.Load(),
+		Shed:           s.shed.Load(),
+		BadRequests:    s.badRequests.Load(),
+		QueriesServed:  s.served.Load(),
+		ClientGone:     s.clientGone.Load(),
+		Timeouts:       s.timeouts.Load(),
+		NumericalFails: s.numerical.Load(),
+		PanicsRecov:    s.panics.Load(),
+		EncodeFails:    s.encodeFails.Load(),
+		TooLarge:       s.tooLarge.Load(),
+		ObservedCount:  s.latAll.Count(),
 	}
 	if m.ObservedCount > 0 {
 		m.ObservedP50 = s.latAll.Quantile(0.50)
 		m.ObservedP95 = s.latAll.Quantile(0.95)
 		m.ObservedP99 = s.latAll.Quantile(0.99)
 	}
-	writeJSON(w, http.StatusOK, m)
+	s.writeJSON(w, http.StatusOK, m)
 }
 
-// HealthResponse is the /healthz payload: Status is always "ok" when the
-// process serves; Ready reports whether observations have been ingested so
-// predictions are possible.
+// HealthResponse is the /healthz payload: Status is "ok" while the process
+// serves normally and "degraded" when the evaluation engine recently had to
+// recover an inversion through a fallback inverter (still answering, but
+// the numerics deserve attention); Ready reports whether observations have
+// been ingested so predictions are possible.
 type HealthResponse struct {
 	Status string `json:"status"`
 	Ready  bool   `json:"ready"`
@@ -310,19 +416,34 @@ type HealthResponse struct {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	_, reporting := s.engine.state.stats()
-	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Ready: reporting > 0})
+	status := "ok"
+	if s.engine.RecentFallback(s.engine.Config().Window) {
+		status = "degraded"
+	}
+	s.writeJSON(w, http.StatusOK, HealthResponse{Status: status, Ready: reporting > 0})
 }
 
 // ---------------------------------------------------------------------------
 // Parsing helpers.
 
-// decodeStrict decodes a JSON body rejecting unknown fields and trailing
-// garbage, so typos in payloads fail loudly with 400 instead of silently
-// predicting from defaults.
-func decodeStrict(r *http.Request, v any) error {
-	dec := json.NewDecoder(r.Body)
+// errBodyTooLarge distinguishes an oversized body (413) from a merely
+// malformed one (400).
+var errBodyTooLarge = errors.New("serve: request body exceeds limit")
+
+// decodeStrict decodes a JSON body rejecting unknown fields, trailing
+// garbage and bodies over maxBodyBytes, so typos in payloads fail loudly
+// with 400 instead of silently predicting from defaults and an unbounded
+// body cannot exhaust server memory. The http.MaxBytesReader also closes
+// the connection on overflow, stopping the client from streaming the rest.
+func decodeStrict(w http.ResponseWriter, r *http.Request, v any) error {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return fmt.Errorf("%w: body exceeds %d bytes", errBodyTooLarge, mbe.Limit)
+		}
 		return fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	if dec.More() {
