@@ -32,10 +32,11 @@ bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
 # Smoke-run the headline benchmarks (one iteration each) and write the
-# measured engine speedup to results/BENCH_PR2.json.
+# measured engine speedup to results/BENCH_PR2.json plus the calibration
+# refresh latency to BENCH_PR4.json (repo root, mirrored in results/).
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Fig6|ServePredictColdVsCached' -benchtime=1x .
-	COSMODEL_BENCH_SMOKE=1 $(GO) test -run TestBenchSmokeArtifact .
+	COSMODEL_BENCH_SMOKE=1 $(GO) test -run 'TestBenchSmokeArtifact|TestBenchSmokeCalibration' .
 
 # Short native-fuzzing runs over the HTTP request parsers: enough to catch
 # regressions in the strict decoder without turning check into a soak.

@@ -3,6 +3,7 @@ package cosmodel
 import (
 	"net/http"
 
+	"cosmodel/internal/calib"
 	"cosmodel/internal/core"
 	"cosmodel/internal/dist"
 	"cosmodel/internal/experiments"
@@ -172,6 +173,53 @@ type ServeHTTPTimeouts = serve.HTTPTimeouts
 
 // DefaultServeHTTPTimeouts returns the production limits.
 var DefaultServeHTTPTimeouts = serve.DefaultHTTPTimeouts
+
+// ---------------------------------------------------------------------------
+// Online calibration and drift detection; see internal/calib.
+
+type (
+	// CalibConfig tunes the streaming estimators, drift detectors and
+	// recalibration policy; assign one to ServeConfig.Calib (or pass the
+	// cosserve -calib flags) to enable the subsystem.
+	CalibConfig = calib.Config
+	// CalibController is the standalone calibration controller for
+	// embedding outside the serving layer.
+	CalibController = calib.Controller
+	// CalibWindowStats is one observation window fed to the controller.
+	CalibWindowStats = calib.WindowStats
+	// CalibStatus and CalibDeviceStatus snapshot the drift state exposed
+	// by /calibration and /metrics.
+	CalibStatus       = calib.Status
+	CalibDeviceStatus = calib.DeviceStatus
+	// PageHinkley and CUSUM are the mean-shift detectors, exported for
+	// reuse on other telemetry streams.
+	PageHinkley = calib.PageHinkley
+	CUSUM       = calib.CUSUM
+	// ServeCalibrationResponse is the /calibration endpoint's answer.
+	ServeCalibrationResponse = serve.CalibrationResponse
+	// ServeDistSummary summarizes one served distribution (mean, SCV).
+	ServeDistSummary = serve.DistSummary
+)
+
+var (
+	// DefaultCalibConfig returns detector thresholds tuned for windows
+	// carrying on the order of a hundred disk operations per device.
+	DefaultCalibConfig = calib.DefaultConfig
+	// NewCalibController builds a controller around baseline properties
+	// and an apply callback (e.g. ServeEngine.Recalibrate).
+	NewCalibController = calib.New
+	// NewPageHinkley and NewCUSUM build the detectors directly.
+	NewPageHinkley = calib.NewPageHinkley
+	NewCUSUM       = calib.NewCUSUM
+	// ErrCalibBadConfig and ErrCalibBadWindow mark invalid calibration
+	// configurations and malformed observation windows.
+	ErrCalibBadConfig = calib.ErrBadConfig
+	ErrCalibBadWindow = calib.ErrBadWindow
+	// RescaleDeviceProperties shifts fitted distributions to an observed
+	// disk mean while preserving their shape (the recalibration fallback
+	// when drift evidence has no raw service-time samples).
+	RescaleDeviceProperties = core.RescaleDeviceProperties
+)
 
 // ---------------------------------------------------------------------------
 // Distributions.

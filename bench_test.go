@@ -388,4 +388,23 @@ func BenchmarkServePredictColdVsCached(b *testing.B) {
 		}
 		b.ReportMetric(eng.Stats().CacheHitRatio, "hit-ratio")
 	})
+	// refresh is the calibration hot-swap path: Recalibrate validates and
+	// atomically publishes new properties, bumps the cache generation, and
+	// the next prediction re-inverts from scratch — the full latency a
+	// client sees right after a drift-triggered recalibration.
+	b.Run("refresh", func(b *testing.B) {
+		eng := newEngine(b)
+		variants := [2]cosmodel.DeviceProperties{props, props}
+		variants[1].DataDisk = cosmodel.NewGammaMeanSCV(12e-3, 0.9)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.Recalibrate(variants[i%2]); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Predict(slas); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -1,0 +1,129 @@
+// Bench-smoke artifact for the calibration subsystem: one-shot measurements
+// of the recalibration refresh path (hot swap + cold re-inversion) against
+// the warm cached path, written to BENCH_PR4.json at the repo root and
+// mirrored under results/. Gated behind COSMODEL_BENCH_SMOKE=1 like the
+// engine artifact; `make bench-smoke` sets the gate.
+package cosmodel_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"cosmodel"
+)
+
+type calibSmokeReport struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Devices and SLAs size the measured deployment.
+	Devices int `json:"devices"`
+	SLAs    int `json:"slas"`
+	// CachedNs is a warm /predict (memoized, no inversion). RefreshNs is
+	// Recalibrate (validate + atomic swap + generation bump) followed by
+	// the first cold prediction under the new properties — the end-to-end
+	// latency of serving fresh numbers after a confirmed drift. SwapNs
+	// isolates the Recalibrate call itself.
+	CachedNs  int64 `json:"cached_ns"`
+	SwapNs    int64 `json:"swap_ns"`
+	RefreshNs int64 `json:"refresh_ns"`
+	// RefreshOverCached is the cost ratio a client pays on the first query
+	// after a recalibration relative to steady-state serving.
+	RefreshOverCached float64 `json:"refresh_over_cached"`
+}
+
+// TestBenchSmokeCalibration measures the calibration refresh latency and
+// writes the PR's bench artifact.
+func TestBenchSmokeCalibration(t *testing.T) {
+	if os.Getenv("COSMODEL_BENCH_SMOKE") == "" {
+		t.Skip("set COSMODEL_BENCH_SMOKE=1 to produce BENCH_PR4.json")
+	}
+	props := cosmodel.DeviceProperties{
+		IndexDisk: cosmodel.NewGammaMeanSCV(9e-3, 0.45),
+		MetaDisk:  cosmodel.NewGammaMeanSCV(6e-3, 0.50),
+		DataDisk:  cosmodel.NewGammaMeanSCV(8e-3, 0.40),
+		ParseFE:   cosmodel.Degenerate{Value: 0.3e-3},
+		ParseBE:   cosmodel.Degenerate{Value: 0.5e-3},
+	}
+	cfg := cosmodel.DefaultServeConfig(props, 4)
+	eng, err := cosmodel.NewServeEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]cosmodel.ServeObservation, cfg.Devices)
+	for d := range batch {
+		batch[d] = cosmodel.ServeObservation{
+			Device: d, Interval: 10, Requests: 500, DataReads: 600,
+			IndexHits: 700, IndexMisses: 300,
+			MetaHits: 650, MetaMisses: 350,
+			DataHits: 500, DataMisses: 500,
+			DiskBusy: 8, DiskOps: 1000,
+		}
+	}
+	if err := eng.Ingest(batch); err != nil {
+		t.Fatal(err)
+	}
+	slas := []float64{0.01, 0.05, 0.1}
+	variants := [2]cosmodel.DeviceProperties{props, props}
+	variants[1].DataDisk = cosmodel.NewGammaMeanSCV(12e-3, 0.9)
+
+	const rounds = 20
+	best := func(op func(i int)) int64 {
+		b := time.Duration(1<<63 - 1)
+		for r := 0; r < rounds; r++ {
+			start := time.Now()
+			op(r)
+			if elapsed := time.Since(start); elapsed < b {
+				b = elapsed
+			}
+		}
+		return b.Nanoseconds()
+	}
+	predict := func() {
+		if _, err := eng.Predict(slas); err != nil {
+			t.Fatal(err)
+		}
+	}
+	predict() // warm the cache
+	rep := calibSmokeReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Devices:    cfg.Devices,
+		SLAs:       len(slas),
+		CachedNs:   best(func(int) { predict() }),
+		SwapNs: best(func(i int) {
+			if err := eng.Recalibrate(variants[i%2]); err != nil {
+				t.Fatal(err)
+			}
+		}),
+		RefreshNs: best(func(i int) {
+			if err := eng.Recalibrate(variants[i%2]); err != nil {
+				t.Fatal(err)
+			}
+			predict()
+		}),
+	}
+	rep.RefreshOverCached = float64(rep.RefreshNs) / float64(rep.CachedNs)
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile("BENCH_PR4.json", out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join("results", "BENCH_PR4.json"), out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("calibration refresh: swap %s, refresh %s, cached %s (refresh/cached %.1fx)",
+		time.Duration(rep.SwapNs), time.Duration(rep.RefreshNs),
+		time.Duration(rep.CachedNs), rep.RefreshOverCached)
+	if rep.RefreshNs <= rep.CachedNs {
+		t.Error("refresh measured faster than a cached hit; measurement broken")
+	}
+}

@@ -10,7 +10,11 @@
 //	cosserve -addr :8080 -devices 4 -nbe 1 -fe-procs 12 -slas 10ms,50ms,100ms
 //
 // Device properties default to the simulated testbed's calibrated hardware;
-// override the disk service-time fits with the -disk-* flags.
+// override the disk service-time fits with the -disk-* flags. With -calib the
+// online calibration and drift-detection subsystem watches the ingested
+// observations, re-solves the device properties on confirmed drift and swaps
+// them into the engine; inspect its state at /calibration. The -calib-*
+// flags override individual detector thresholds (0 keeps the default).
 package main
 
 import (
@@ -38,6 +42,10 @@ func main() {
 	}
 	fmt.Printf("cosserve: %d devices x %d procs, %d frontend procs, SLAs %v, window %.0fs\n",
 		cfg.Devices, cfg.ProcsPerDevice, cfg.FrontendProcs, cfg.SLAs, cfg.Window)
+	if cfg.Calib != nil {
+		fmt.Printf("cosserve: online calibration on (confirm %d windows, cooldown %d, KS factor %.2f)\n",
+			cfg.Calib.ConfirmWindows, cfg.Calib.CooldownWindows, cfg.Calib.KSFactor)
+	}
 	fmt.Printf("cosserve: listening on %s\n", run.addr)
 
 	// SIGINT/SIGTERM start a graceful drain: the listener closes, in-flight
@@ -80,6 +88,15 @@ func configure(args []string) (cosmodel.ServeConfig, runOptions, error) {
 		evalTO   = fs.Duration("eval-timeout", 10*time.Second, "per-query model evaluation budget (0 = unbounded)")
 		grace    = fs.Duration("shutdown-grace", 15*time.Second, "drain time for in-flight requests on SIGINT/SIGTERM")
 
+		calibOn   = fs.Bool("calib", false, "enable online calibration and drift detection")
+		calibPHD  = fs.Float64("calib-ph-delta", 0, "Page-Hinkley drift magnitude (0 = default)")
+		calibPHL  = fs.Float64("calib-ph-lambda", 0, "Page-Hinkley alarm threshold (0 = default)")
+		calibCUS  = fs.Float64("calib-cusum-slack", 0, "CUSUM slack on miss-ratio drift (0 = default)")
+		calibCUT  = fs.Float64("calib-cusum-threshold", 0, "CUSUM alarm threshold (0 = default)")
+		calibKS   = fs.Float64("calib-ks-factor", 0, "Kolmogorov-Smirnov threshold factor (0 = default)")
+		calibConf = fs.Int("calib-confirm", 0, "consecutive flagged windows before recalibrating (0 = default)")
+		calibCool = fs.Int("calib-cooldown", 0, "windows suppressed after a recalibration (0 = default)")
+
 		idxMean = fs.Float64("disk-index-mean", 9e-3, "index disk service mean (s)")
 		idxSCV  = fs.Float64("disk-index-scv", 0.45, "index disk service SCV")
 		metMean = fs.Float64("disk-meta-mean", 6e-3, "metadata disk service mean (s)")
@@ -107,6 +124,26 @@ func configure(args []string) (cosmodel.ServeConfig, runOptions, error) {
 	cfg.MaxInflight = *inflight
 	cfg.CacheEntries = *cacheN
 	cfg.Opts.EvalTimeout = *evalTO
+	if *calibOn {
+		cc := cosmodel.DefaultCalibConfig(cfg.Devices)
+		override := func(dst *float64, v float64) {
+			if v != 0 {
+				*dst = v
+			}
+		}
+		override(&cc.PHDelta, *calibPHD)
+		override(&cc.PHLambda, *calibPHL)
+		override(&cc.CUSUMSlack, *calibCUS)
+		override(&cc.CUSUMThreshold, *calibCUT)
+		override(&cc.KSFactor, *calibKS)
+		if *calibConf != 0 {
+			cc.ConfirmWindows = *calibConf
+		}
+		if *calibCool != 0 {
+			cc.CooldownWindows = *calibCool
+		}
+		cfg.Calib = &cc
+	}
 	var err error
 	if cfg.SLAs, err = parseSLAs(*slas); err != nil {
 		return cosmodel.ServeConfig{}, runOptions{}, err

@@ -31,11 +31,40 @@ func TestConfigure(t *testing.T) {
 	if cfg.Window != 30 {
 		t.Errorf("window %v", cfg.Window)
 	}
+	if cfg.Calib != nil {
+		t.Error("calibration must stay disabled without -calib")
+	}
 	if _, _, err := configure([]string{"-slas", "bogus"}); err == nil {
 		t.Error("bad SLA list should fail")
 	}
 	if _, _, err := configure([]string{"-devices", "0"}); err == nil {
 		t.Error("zero devices should fail")
+	}
+}
+
+func TestConfigureCalib(t *testing.T) {
+	cfg, _, err := configure([]string{
+		"-calib", "-devices", "6",
+		"-calib-ks-factor", "2.5", "-calib-confirm", "3", "-calib-cooldown", "5",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Calib == nil {
+		t.Fatal("-calib did not enable the subsystem")
+	}
+	def := cosmodel.DefaultCalibConfig(6)
+	switch {
+	case cfg.Calib.KSFactor != 2.5:
+		t.Errorf("KS factor %v", cfg.Calib.KSFactor)
+	case cfg.Calib.ConfirmWindows != 3 || cfg.Calib.CooldownWindows != 5:
+		t.Errorf("confirm/cooldown %d/%d", cfg.Calib.ConfirmWindows, cfg.Calib.CooldownWindows)
+	case cfg.Calib.PHDelta != def.PHDelta || cfg.Calib.CUSUMSlack != def.CUSUMSlack:
+		t.Errorf("unset thresholds must keep defaults: %+v", cfg.Calib)
+	}
+	// Out-of-range detector settings must fail configuration, not serve.
+	if _, _, err := configure([]string{"-calib", "-calib-ph-lambda", "-1"}); err == nil {
+		t.Error("negative Page-Hinkley lambda should fail")
 	}
 }
 

@@ -149,6 +149,18 @@ func (c *LRU) Put(key string, size int64) {
 	c.used += size
 }
 
+// Resize changes the byte capacity, evicting least-recently-used entries
+// until the cached bytes fit. Growing never evicts. Failure injection uses
+// it to model a page cache shrinking under memory pressure mid-run.
+func (c *LRU) Resize(capacity int64) error {
+	if capacity <= 0 {
+		return fmt.Errorf("%w: %d", ErrBadCapacity, capacity)
+	}
+	c.capacity = capacity
+	c.evictFor(0)
+	return nil
+}
+
 // Remove evicts key if present.
 func (c *LRU) Remove(key string) {
 	if el, ok := c.items[key]; ok {

@@ -16,6 +16,57 @@ func TestNewLRUValidation(t *testing.T) {
 	}
 }
 
+func TestResize(t *testing.T) {
+	c, err := NewLRU(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("k%d", i), 10) // fills to capacity, k0 is LRU
+	}
+	if c.Used() != 100 {
+		t.Fatalf("used %d, want 100", c.Used())
+	}
+	// Shrinking evicts from the LRU end until the bytes fit.
+	if err := c.Resize(45); err != nil {
+		t.Fatal(err)
+	}
+	if c.Capacity() != 45 || c.Used() != 40 || c.Len() != 4 {
+		t.Errorf("after shrink: cap=%d used=%d len=%d, want 45/40/4", c.Capacity(), c.Used(), c.Len())
+	}
+	for i := 0; i < 6; i++ {
+		if c.Contains(fmt.Sprintf("k%d", i)) {
+			t.Errorf("k%d survived the shrink; LRU entries must go first", i)
+		}
+	}
+	for i := 6; i < 10; i++ {
+		if !c.Contains(fmt.Sprintf("k%d", i)) {
+			t.Errorf("k%d evicted; MRU entries must survive", i)
+		}
+	}
+	// Growing never evicts and new inserts use the headroom.
+	if err := c.Resize(200); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 4 || c.Used() != 40 {
+		t.Errorf("grow evicted entries: used=%d len=%d", c.Used(), c.Len())
+	}
+	c.Put("big", 150)
+	if !c.Contains("big") || c.Used() != 190 {
+		t.Errorf("headroom not usable after grow: used=%d", c.Used())
+	}
+	// Invalid capacities are rejected without touching state.
+	if err := c.Resize(0); err == nil {
+		t.Error("Resize(0) should fail")
+	}
+	if err := c.Resize(-7); err == nil {
+		t.Error("Resize(-7) should fail")
+	}
+	if c.Capacity() != 200 {
+		t.Errorf("failed resize changed capacity to %d", c.Capacity())
+	}
+}
+
 func TestHitMissAccounting(t *testing.T) {
 	c, err := NewLRU(100)
 	if err != nil {

@@ -1,0 +1,363 @@
+package calib
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"cosmodel/internal/core"
+	"cosmodel/internal/dist"
+)
+
+func baseProps() core.DeviceProperties {
+	return core.DeviceProperties{
+		IndexDisk: dist.NewGammaMeanSCV(9e-3, 0.45),
+		MetaDisk:  dist.NewGammaMeanSCV(6e-3, 0.50),
+		DataDisk:  dist.NewGammaMeanSCV(8e-3, 0.40),
+		ParseBE:   dist.Degenerate{Value: 0.5e-3},
+		ParseFE:   dist.Degenerate{Value: 0.3e-3},
+	}
+}
+
+// windowFrom draws one device-window of raw samples from the given per-class
+// distributions and derives consistent metrics.
+func windowFrom(dev int, index, meta, data dist.Distribution, missData float64, rng *rand.Rand) WindowStats {
+	ws := WindowStats{
+		Device:   dev,
+		Interval: 3,
+		Index:    sampleN(index, 20, rng),
+		Meta:     sampleN(meta, 20, rng),
+		Data:     sampleN(data, 60, rng),
+	}
+	var sum float64
+	var n int
+	for _, set := range [][]float64{ws.Index, ws.Meta, ws.Data} {
+		for _, v := range set {
+			sum += v
+		}
+		n += len(set)
+	}
+	ws.Metrics = core.OnlineMetrics{
+		Rate:      40,
+		DataRate:  50,
+		MissIndex: 0.05,
+		MissMeta:  0.08,
+		MissData:  missData,
+		Procs:     1,
+		DiskMean:  sum / float64(n),
+	}
+	return ws
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(4).Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Devices = 0 },
+		func(c *Config) { c.EWAlpha = 0 },
+		func(c *Config) { c.EWAlpha = 1.5 },
+		func(c *Config) { c.SampleWindows = 0 },
+		func(c *Config) { c.PHLambda = 0 },
+		func(c *Config) { c.PHDelta = -1 },
+		func(c *Config) { c.CUSUMThreshold = 0 },
+		func(c *Config) { c.CUSUMSlack = -1 },
+		func(c *Config) { c.KSFactor = 0 },
+		func(c *Config) { c.MinKSSamples = 1 },
+		func(c *Config) { c.ConfirmWindows = 0 },
+		func(c *Config) { c.CooldownWindows = -1 },
+		func(c *Config) { c.MinRefitSamples = 1 },
+		func(c *Config) { c.MissThreshold = -1 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig(4)
+		mutate(&c)
+		if err := c.Validate(); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("mutation %d: error %v, want ErrBadConfig", i, err)
+		}
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	c, err := New(DefaultConfig(2), baseProps(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ws := range []WindowStats{
+		{Device: -1, Interval: 3},
+		{Device: 2, Interval: 3},
+		{Device: 0, Interval: 0},
+		{Device: 0, Interval: 3, Data: []float64{-1}},
+		{Device: 0, Interval: 3, OpLatencies: []float64{math.NaN()}},
+	} {
+		if _, err := c.Observe(ws); !errors.Is(err, ErrBadWindow) {
+			t.Errorf("Observe(%+v) error %v, want ErrBadWindow", ws, err)
+		}
+	}
+	if _, err := New(DefaultConfig(0), baseProps(), nil); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad config accepted: %v", err)
+	}
+	if _, err := New(DefaultConfig(2), core.DeviceProperties{}, nil); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad base properties accepted: %v", err)
+	}
+}
+
+// TestStationaryNoFalsePositives feeds 60 windows per device drawn from the
+// served calibration itself: nothing may flag, nothing may recalibrate.
+func TestStationaryNoFalsePositives(t *testing.T) {
+	props := baseProps()
+	applied := 0
+	c, err := New(DefaultConfig(2), props, func(core.DeviceProperties) error {
+		applied++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for w := 0; w < 60; w++ {
+		for dev := 0; dev < 2; dev++ {
+			miss := 0.30 + 0.02*rng.NormFloat64()
+			recal, err := c.Observe(windowFrom(dev, props.IndexDisk, props.MetaDisk, props.DataDisk, miss, rng))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if recal {
+				t.Fatalf("false recalibration at window %d device %d", w, dev)
+			}
+		}
+	}
+	st := c.Status()
+	if applied != 0 || st.Recalibrations != 0 {
+		t.Errorf("applied=%d recalibrations=%d on a stationary run", applied, st.Recalibrations)
+	}
+	for _, ds := range st.Devices {
+		if ds.State != "stable" {
+			t.Errorf("device %d state %q, want stable", ds.Device, ds.State)
+		}
+	}
+	if st.Windows != 120 {
+		t.Errorf("windows observed = %d, want 120", st.Windows)
+	}
+}
+
+// TestShapeDriftTriggersRefit injects a regime where the data-read service
+// distribution becomes slower and much burstier, and checks that the
+// controller confirms drift within a few windows and refits the data class
+// from post-drift samples.
+func TestShapeDriftTriggersRefit(t *testing.T) {
+	props := baseProps()
+	var applied []core.DeviceProperties
+	cfg := DefaultConfig(2)
+	c, err := New(cfg, props, func(p core.DeviceProperties) error {
+		applied = append(applied, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	// Stationary warmup.
+	for w := 0; w < 20; w++ {
+		for dev := 0; dev < 2; dev++ {
+			if _, err := c.Observe(windowFrom(dev, props.IndexDisk, props.MetaDisk, props.DataDisk, 0.30, rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Regime shift: data reads 2x slower and far burstier, misses up.
+	slow := dist.NewGammaMeanSCV(16e-3, 1.6)
+	confirmedAt := -1
+	for w := 0; w < 8; w++ {
+		for dev := 0; dev < 2; dev++ {
+			recal, err := c.Observe(windowFrom(dev, props.IndexDisk, props.MetaDisk, slow, 0.45, rng))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if recal && confirmedAt < 0 {
+				confirmedAt = w
+			}
+		}
+	}
+	if confirmedAt < 0 {
+		t.Fatal("drift never confirmed")
+	}
+	if confirmedAt > 4 {
+		t.Errorf("drift confirmed at window %d after the shift, want within 5", confirmedAt+1)
+	}
+	if len(applied) != 1 {
+		t.Fatalf("apply called %d times, want 1 (cooldown must debounce)", len(applied))
+	}
+	st := c.Status()
+	if st.Recalibrations != 1 || st.LastFitSource != "refit" {
+		t.Errorf("recalibrations=%d source=%q, want 1/refit", st.Recalibrations, st.LastFitSource)
+	}
+	// The refitted data distribution tracks the new regime's mean and
+	// shape; the untouched classes keep their served calibration.
+	got := c.Props()
+	if m := got.DataDisk.Mean(); m < 12e-3 || m > 20e-3 {
+		t.Errorf("refitted data mean %v, want near 16e-3", m)
+	}
+	scv := got.DataDisk.Variance() / (got.DataDisk.Mean() * got.DataDisk.Mean())
+	if scv < 0.9 {
+		t.Errorf("refitted data SCV %v, want near 1.6 (burstier than the old 0.4)", scv)
+	}
+	if got.IndexDisk != props.IndexDisk || got.MetaDisk != props.MetaDisk {
+		t.Error("classes without drift evidence must keep their served distributions")
+	}
+}
+
+// TestMeanDriftRescaleFallback starves the controller of raw samples so a
+// confirmed drift must fall back to the §IV-B rescale path.
+func TestMeanDriftRescaleFallback(t *testing.T) {
+	props := baseProps()
+	cfg := DefaultConfig(1)
+	var applied []core.DeviceProperties
+	c, err := New(cfg, props, func(p core.DeviceProperties) error {
+		applied = append(applied, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(b float64) WindowStats {
+		return WindowStats{
+			Device:   0,
+			Interval: 3,
+			Metrics: core.OnlineMetrics{
+				Rate: 40, DataRate: 50,
+				MissIndex: 0.05, MissMeta: 0.08, MissData: 0.30,
+				Procs: 1, DiskMean: b,
+			},
+		}
+	}
+	for w := 0; w < 10; w++ {
+		if _, err := c.Observe(mk(8e-3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recals := 0
+	for w := 0; w < 6; w++ {
+		recal, err := c.Observe(mk(20e-3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if recal {
+			recals++
+		}
+	}
+	if recals != 1 || len(applied) != 1 {
+		t.Fatalf("recals=%d applied=%d, want exactly one rescale", recals, len(applied))
+	}
+	if st := c.Status(); st.LastFitSource != "rescale" {
+		t.Errorf("fit source %q, want rescale", st.LastFitSource)
+	}
+	// The rescale preserves shape (SCV) while moving the means up.
+	got := applied[0]
+	if got.DataDisk.Mean() <= props.DataDisk.Mean()*1.5 {
+		t.Errorf("rescaled data mean %v did not track the drifted b", got.DataDisk.Mean())
+	}
+	oldSCV := props.DataDisk.Variance() / (props.DataDisk.Mean() * props.DataDisk.Mean())
+	newSCV := got.DataDisk.Variance() / (got.DataDisk.Mean() * got.DataDisk.Mean())
+	if math.Abs(oldSCV-newSCV) > 1e-9 {
+		t.Errorf("rescale changed SCV %v -> %v", oldSCV, newSCV)
+	}
+}
+
+// TestApplyErrorIsSurfacedAndDebounced checks a failing swap is reported,
+// counted, and does not re-fire every subsequent window.
+func TestApplyErrorIsSurfacedAndDebounced(t *testing.T) {
+	props := baseProps()
+	boom := errors.New("swap failed")
+	calls := 0
+	cfg := DefaultConfig(1)
+	c, err := New(cfg, props, func(core.DeviceProperties) error {
+		calls++
+		return boom
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for w := 0; w < 10; w++ {
+		if _, err := c.Observe(windowFrom(0, props.IndexDisk, props.MetaDisk, props.DataDisk, 0.30, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	slow := dist.NewGammaMeanSCV(16e-3, 1.6)
+	var sawErr bool
+	for w := 0; w < 6; w++ {
+		_, err := c.Observe(windowFrom(0, props.IndexDisk, props.MetaDisk, slow, 0.45, rng))
+		if errors.Is(err, boom) {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("apply error never surfaced")
+	}
+	if calls != 1 {
+		t.Errorf("apply called %d times within the cooldown, want 1", calls)
+	}
+	st := c.Status()
+	if st.ApplyErrors != 1 {
+		t.Errorf("applyErrors = %d, want 1", st.ApplyErrors)
+	}
+	if st.Recalibrations != 0 {
+		t.Errorf("recalibrations = %d after failed swap, want 0", st.Recalibrations)
+	}
+	// The served properties must be unchanged after the failed swap.
+	if c.Props().DataDisk != props.DataDisk {
+		t.Error("failed apply must not change the served properties")
+	}
+}
+
+// TestStatusReportsDriftState checks the tri-state is externally visible.
+func TestStatusReportsDriftState(t *testing.T) {
+	props := baseProps()
+	now := time.Unix(1000, 0)
+	cfg := DefaultConfig(1)
+	cfg.ConfirmWindows = 3
+	cfg.Now = func() time.Time { return now }
+	c, err := New(cfg, props, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(14))
+	for w := 0; w < 10; w++ {
+		if _, err := c.Observe(windowFrom(0, props.IndexDisk, props.MetaDisk, props.DataDisk, 0.30, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Status(); st.Devices[0].State != "stable" {
+		t.Fatalf("state %q, want stable", st.Devices[0].State)
+	}
+	slow := dist.NewGammaMeanSCV(48e-3, 1.6)
+	if _, err := c.Observe(windowFrom(0, props.IndexDisk, props.MetaDisk, slow, 0.60, rng)); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Status()
+	if st.Devices[0].State != "drifting" {
+		t.Fatalf("state %q after one flagged window, want drifting", st.Devices[0].State)
+	}
+	if st.Devices[0].LastDriftAge != 0 {
+		t.Errorf("lastDriftAge = %v, want 0 with a frozen clock", st.Devices[0].LastDriftAge)
+	}
+	if st.Devices[0].DriftScore < 1 {
+		t.Errorf("driftScore = %v on a flagged window, want >= 1", st.Devices[0].DriftScore)
+	}
+	// Drive to confirmation; afterwards the device cools down.
+	for w := 0; w < 3; w++ {
+		if _, err := c.Observe(windowFrom(0, props.IndexDisk, props.MetaDisk, slow, 0.60, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = c.Status()
+	if st.Devices[0].State != "recalibrating" {
+		t.Errorf("state %q after confirmation, want recalibrating (cooldown)", st.Devices[0].State)
+	}
+	if st.Recalibrations != 1 {
+		t.Errorf("recalibrations = %d, want 1", st.Recalibrations)
+	}
+}

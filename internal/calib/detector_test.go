@@ -1,0 +1,101 @@
+package calib
+
+import (
+	"math/rand"
+	"testing"
+
+	"cosmodel/internal/dist"
+)
+
+func TestPageHinkleyDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dir := range []float64{+1, -1} {
+		ph := NewPageHinkley(0.03, 0.8)
+		// Stationary phase: unit mean with 3% noise must not flag.
+		for i := 0; i < 200; i++ {
+			if ph.Add(1 + 0.03*rng.NormFloat64()) {
+				t.Fatalf("dir %v: flagged on stationary input at step %d (score %v)", dir, i, ph.Score())
+			}
+		}
+		// A 60% shift must flag within a few steps.
+		fired := -1
+		for i := 0; i < 10; i++ {
+			if ph.Add(1 + dir*0.6 + 0.03*rng.NormFloat64()) {
+				fired = i
+				break
+			}
+		}
+		if fired < 0 || fired > 4 {
+			t.Errorf("dir %v: shift flagged at step %d, want within 4", dir, fired)
+		}
+		ph.Reset()
+		if ph.Score() != 0 {
+			t.Errorf("dir %v: score %v after reset", dir, ph.Score())
+		}
+	}
+}
+
+func TestCUSUMDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, dir := range []float64{+1, -1} {
+		cu := NewCUSUM(0.04, 0.15)
+		for i := 0; i < 200; i++ {
+			if cu.Add(0.3 + 0.02*rng.NormFloat64()) {
+				t.Fatalf("dir %v: flagged on stationary input at step %d", dir, i)
+			}
+		}
+		fired := -1
+		for i := 0; i < 10; i++ {
+			if cu.Add(0.3 + dir*0.15 + 0.02*rng.NormFloat64()) {
+				fired = i
+				break
+			}
+		}
+		if fired < 0 || fired > 4 {
+			t.Errorf("dir %v: shift flagged at step %d, want within 4", dir, fired)
+		}
+		cu.Reset()
+		if cu.Score() != 0 {
+			t.Errorf("dir %v: score %v after reset", dir, cu.Score())
+		}
+	}
+}
+
+func sampleN(d dist.Distribution, n int, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Sample(rng)
+	}
+	return out
+}
+
+func TestKSCheckShapeOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	served := dist.NewGammaMeanSCV(8e-3, 0.4)
+
+	// Same family: no flag.
+	same := sampleN(served, 400, rng)
+	stat, thr, flag := ksCheck(same, served, 2.2, 150)
+	if flag {
+		t.Errorf("same-family samples flagged: stat %v > thr %v", stat, thr)
+	}
+	// Pure mean shift (same SCV): the check rescales first, so no flag —
+	// the online mean tracking absorbs this without recalibration.
+	shifted := sampleN(dist.NewGammaMeanSCV(16e-3, 0.4), 400, rng)
+	if stat, thr, flag := ksCheck(shifted, served, 2.2, 150); flag {
+		t.Errorf("pure mean shift flagged: stat %v > thr %v", stat, thr)
+	}
+	// A genuine shape change (SCV 0.4 -> 1.6) must flag.
+	fat := sampleN(dist.NewGammaMeanSCV(8e-3, 1.6), 400, rng)
+	if stat, thr, flag := ksCheck(fat, served, 2.2, 150); !flag {
+		t.Errorf("shape change not flagged: stat %v <= thr %v", stat, thr)
+	}
+	// Below the sample gate: no verdict.
+	if stat, thr, flag := ksCheck(fat[:100], served, 2.2, 150); flag || stat != 0 || thr != 0 {
+		t.Error("under-sampled check must not run")
+	}
+	// Nil served distribution: no verdict.
+	if _, _, flag := ksCheck(fat, nil, 2.2, 150); flag {
+		t.Error("nil served distribution must not flag")
+	}
+}

@@ -54,6 +54,29 @@ func SolveServiceTimes(b, pi, pm, pd float64, m OnlineMetrics) (bi, bm, bd float
 	return pi * x, pm * x, pd * x, nil
 }
 
+// RescaleDeviceProperties re-solves Section IV-B against a freshly observed
+// overall mean disk service time b and operation mix m, and returns a copy
+// of base whose per-operation disk distributions are rescaled (shape
+// preserved) to the solved means bi, bm, bd. This is the online-recalibration
+// counterpart of FitDeviceProperties: when drift is confirmed but no raw
+// per-class samples are available for a full refit, the benchmarked
+// proportions persist and only the absolute service times move.
+func RescaleDeviceProperties(base DeviceProperties, b float64, m OnlineMetrics) (DeviceProperties, error) {
+	if err := base.Validate(); err != nil {
+		return DeviceProperties{}, err
+	}
+	pi, pm, pd := base.Proportions()
+	bi, bm, bd, err := SolveServiceTimes(b, pi, pm, pd, m)
+	if err != nil {
+		return DeviceProperties{}, err
+	}
+	out := base
+	out.IndexDisk = dist.ScaleToMean(base.IndexDisk, bi)
+	out.MetaDisk = dist.ScaleToMean(base.MetaDisk, bm)
+	out.DataDisk = dist.ScaleToMean(base.DataDisk, bd)
+	return out, nil
+}
+
 // FitDeviceProperties runs the paper's Fig. 5 calibration: it fits Gamma
 // distributions to the benchmarked per-operation disk service times and
 // wraps the near-constant parse latencies as Degenerate distributions.

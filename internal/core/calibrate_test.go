@@ -1,0 +1,142 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cosmodel/internal/dist"
+)
+
+// The online calibrator leans on SolveServiceTimes and MissRatioByThreshold
+// behaving predictably on degenerate windows; these tests pin that contract.
+
+func validMetrics() OnlineMetrics {
+	return OnlineMetrics{
+		Rate: 100, DataRate: 120,
+		MissIndex: 0.2, MissMeta: 0.3, MissData: 0.4,
+		Procs: 1,
+	}
+}
+
+func TestSolveServiceTimesDegenerate(t *testing.T) {
+	m := validMetrics()
+	// Zero denominator: no operation class misses, so there is no disk
+	// traffic to attribute the observed mean to.
+	noMiss := m
+	noMiss.MissIndex, noMiss.MissMeta, noMiss.MissData = 0, 0, 0
+	if _, _, _, err := SolveServiceTimes(8e-3, 0.3, 0.3, 0.4, noMiss); !errors.Is(err, ErrBadParams) {
+		t.Errorf("zero-denominator error = %v, want ErrBadParams", err)
+	}
+	// Nonpositive observed mean.
+	for _, b := range []float64{0, -1e-3} {
+		if _, _, _, err := SolveServiceTimes(b, 0.3, 0.3, 0.4, m); !errors.Is(err, ErrBadParams) {
+			t.Errorf("b=%v error = %v, want ErrBadParams", b, err)
+		}
+	}
+	// All-zero and negative proportions.
+	if _, _, _, err := SolveServiceTimes(8e-3, 0, 0, 0, m); !errors.Is(err, ErrBadParams) {
+		t.Errorf("zero proportions error = %v, want ErrBadParams", err)
+	}
+	if _, _, _, err := SolveServiceTimes(8e-3, -0.1, 0.5, 0.6, m); !errors.Is(err, ErrBadParams) {
+		t.Errorf("negative proportion error = %v, want ErrBadParams", err)
+	}
+	// Invalid metrics are rejected before any arithmetic.
+	bad := m
+	bad.Rate = 0
+	if _, _, _, err := SolveServiceTimes(8e-3, 0.3, 0.3, 0.4, bad); !errors.Is(err, ErrBadParams) {
+		t.Errorf("invalid metrics error = %v, want ErrBadParams", err)
+	}
+}
+
+func TestSolveServiceTimesConsistency(t *testing.T) {
+	m := validMetrics()
+	b := 8e-3
+	pi, pm, pd := 0.35, 0.25, 0.40
+	bi, bm, bd, err := SolveServiceTimes(b, pi, pm, pd, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Proportions persist: bi/pi = bm/pm = bd/pd.
+	if r1, r2 := bi/pi, bm/pm; math.Abs(r1-r2) > 1e-12*r1 {
+		t.Errorf("proportion ratios differ: %v vs %v", r1, r2)
+	}
+	if r1, r2 := bi/pi, bd/pd; math.Abs(r1-r2) > 1e-12*r1 {
+		t.Errorf("proportion ratios differ: %v vs %v", r1, r2)
+	}
+	// The mix-weighted mean reproduces the observed b.
+	num := m.MissIndex*m.Rate*bi + m.MissMeta*m.Rate*bm + m.MissData*m.DataRate*bd
+	den := m.MissIndex*m.Rate + m.MissMeta*m.Rate + m.MissData*m.DataRate
+	if got := num / den; math.Abs(got-b) > 1e-12 {
+		t.Errorf("reconstructed b = %v, want %v", got, b)
+	}
+}
+
+func TestMissRatioByThresholdDegenerate(t *testing.T) {
+	// Empty sample: 0, not NaN.
+	if got := MissRatioByThreshold(nil, 1e-3); got != 0 {
+		t.Errorf("empty sample ratio = %v, want 0", got)
+	}
+	// Nonpositive thresholds fall back to the paper's default.
+	lat := []float64{1e-6, 2e-6, 1e-3, 2e-3} // two below 15 µs, two above
+	for _, th := range []float64{0, -1} {
+		if got := MissRatioByThreshold(lat, th); got != 0.5 {
+			t.Errorf("threshold %v ratio = %v, want 0.5 (default threshold)", th, got)
+		}
+	}
+	// All hits / all misses.
+	if got := MissRatioByThreshold([]float64{1e-6, 2e-6}, 1e-3); got != 0 {
+		t.Errorf("all-hit ratio = %v, want 0", got)
+	}
+	if got := MissRatioByThreshold([]float64{1e-2, 2e-2}, 1e-3); got != 1 {
+		t.Errorf("all-miss ratio = %v, want 1", got)
+	}
+	// Exactly at the threshold counts as a hit (strict >).
+	if got := MissRatioByThreshold([]float64{1e-3}, 1e-3); got != 0 {
+		t.Errorf("boundary ratio = %v, want 0", got)
+	}
+}
+
+func TestRescaleDeviceProperties(t *testing.T) {
+	base := DeviceProperties{
+		IndexDisk: dist.NewGammaMeanSCV(9e-3, 0.45),
+		MetaDisk:  dist.NewGammaMeanSCV(6e-3, 0.50),
+		DataDisk:  dist.NewGammaMeanSCV(8e-3, 0.40),
+		ParseBE:   dist.Degenerate{Value: 0.5e-3},
+		ParseFE:   dist.Degenerate{Value: 0.3e-3},
+	}
+	m := validMetrics()
+	// Inflate the observed overall mean 1.5x: every per-operation mean
+	// scales by the same factor (proportions persist) and the SCVs are
+	// untouched.
+	pi, pm, pd := base.Proportions()
+	bi0, bm0, bd0, err := SolveServiceTimes(8e-3, pi, pm, pd, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RescaleDeviceProperties(base, 1.5*8e-3, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := func(a, b float64) bool { return math.Abs(a-b) <= 1e-12*math.Abs(b) }
+	if !approx(got.IndexDisk.Mean(), 1.5*bi0) || !approx(got.MetaDisk.Mean(), 1.5*bm0) || !approx(got.DataDisk.Mean(), 1.5*bd0) {
+		t.Errorf("rescaled means (%v, %v, %v), want 1.5x (%v, %v, %v)",
+			got.IndexDisk.Mean(), got.MetaDisk.Mean(), got.DataDisk.Mean(), bi0, bm0, bd0)
+	}
+	scv := func(d dist.Distribution) float64 { mu := d.Mean(); return d.Variance() / (mu * mu) }
+	if !approx(scv(got.IndexDisk), scv(base.IndexDisk)) || !approx(scv(got.DataDisk), scv(base.DataDisk)) {
+		t.Errorf("rescaling changed the SCV: %v vs %v", scv(got.IndexDisk), scv(base.IndexDisk))
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("rescaled properties invalid: %v", err)
+	}
+	// Degenerate inputs surface as errors, never as invalid properties.
+	noMiss := m
+	noMiss.MissIndex, noMiss.MissMeta, noMiss.MissData = 0, 0, 0
+	if _, err := RescaleDeviceProperties(base, 8e-3, noMiss); !errors.Is(err, ErrBadParams) {
+		t.Errorf("no-disk-traffic rescale error = %v, want ErrBadParams", err)
+	}
+	if _, err := RescaleDeviceProperties(DeviceProperties{}, 8e-3, m); !errors.Is(err, ErrBadParams) {
+		t.Errorf("nil-props rescale error = %v, want ErrBadParams", err)
+	}
+}

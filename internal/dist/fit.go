@@ -2,6 +2,7 @@ package dist
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 
@@ -11,23 +12,44 @@ import (
 // ErrFit reports that a fitting routine was given unusable data.
 var ErrFit = errors.New("dist: cannot fit distribution to the given samples")
 
+// Typed refinements of ErrFit (errors.Is(err, ErrFit) holds for both): the
+// streaming calibration path feeds fitters small, possibly constant windows
+// and needs to distinguish "wait for more data" from "fall back to a point
+// mass".
+var (
+	// ErrTooFewSamples reports that the sample is too small for the family.
+	ErrTooFewSamples = fmt.Errorf("%w: too few samples", ErrFit)
+	// ErrZeroVariance reports a (numerically) constant sample: families
+	// with a scale parameter have no maximum-likelihood fit.
+	ErrZeroVariance = fmt.Errorf("%w: sample variance is zero", ErrFit)
+	// ErrBadSamples reports NaN/Inf/nonpositive contamination that makes
+	// the sample unusable for the requested family.
+	ErrBadSamples = fmt.Errorf("%w: samples contain NaN, Inf or nonpositive values", ErrFit)
+)
+
 // FitDegenerate fits a point mass (the sample mean).
 func FitDegenerate(samples []float64) (Degenerate, error) {
 	if len(samples) == 0 {
-		return Degenerate{}, ErrFit
+		return Degenerate{}, ErrTooFewSamples
 	}
 	m, _ := meanVar(samples)
+	if math.IsNaN(m) || math.IsInf(m, 0) {
+		return Degenerate{}, ErrBadSamples
+	}
 	return Degenerate{Value: m}, nil
 }
 
 // FitExponential fits an exponential by maximum likelihood (rate = 1/mean).
 func FitExponential(samples []float64) (Exponential, error) {
 	if len(samples) == 0 {
-		return Exponential{}, ErrFit
+		return Exponential{}, ErrTooFewSamples
 	}
 	m, _ := meanVar(samples)
+	if math.IsNaN(m) || math.IsInf(m, 0) {
+		return Exponential{}, ErrBadSamples
+	}
 	if m <= 0 {
-		return Exponential{}, ErrFit
+		return Exponential{}, ErrBadSamples
 	}
 	return Exponential{Rate: 1 / m}, nil
 }
@@ -35,11 +57,14 @@ func FitExponential(samples []float64) (Exponential, error) {
 // FitNormal fits a normal by maximum likelihood.
 func FitNormal(samples []float64) (Normal, error) {
 	if len(samples) < 2 {
-		return Normal{}, ErrFit
+		return Normal{}, ErrTooFewSamples
 	}
 	m, v := meanVar(samples)
+	if math.IsNaN(m) || math.IsInf(m, 0) || math.IsNaN(v) || math.IsInf(v, 0) {
+		return Normal{}, ErrBadSamples
+	}
 	if v <= 0 {
-		return Normal{}, ErrFit
+		return Normal{}, ErrZeroVariance
 	}
 	return Normal{Mu: m, Sigma: math.Sqrt(v)}, nil
 }
@@ -50,11 +75,17 @@ func FitNormal(samples []float64) (Normal, error) {
 // the paper's Fig. 5.
 func FitGamma(samples []float64) (Gamma, error) {
 	if len(samples) < 2 {
-		return Gamma{}, ErrFit
+		return Gamma{}, ErrTooFewSamples
 	}
 	m, v := meanVar(samples)
-	if m <= 0 || v <= 0 {
-		return Gamma{}, ErrFit
+	if math.IsNaN(m) || math.IsInf(m, 0) || math.IsNaN(v) || math.IsInf(v, 0) {
+		return Gamma{}, ErrBadSamples
+	}
+	if m <= 0 {
+		return Gamma{}, ErrBadSamples
+	}
+	if v <= 0 {
+		return Gamma{}, ErrZeroVariance
 	}
 	var logSum float64
 	n := 0
@@ -66,7 +97,7 @@ func FitGamma(samples []float64) (Gamma, error) {
 		n++
 	}
 	if n < 2 {
-		return Gamma{}, ErrFit
+		return Gamma{}, ErrTooFewSamples
 	}
 	s := math.Log(m) - logSum/float64(n)
 	k := m * m / v // method-of-moments start
@@ -90,7 +121,49 @@ func FitGamma(samples []float64) (Gamma, error) {
 		}
 		k = next
 	}
-	return Gamma{Shape: k, Rate: k / m}, nil
+	g := Gamma{Shape: k, Rate: k / m}
+	// A near-constant sample can push the MLE iteration to astronomically
+	// large shapes whose LST evaluation over- or underflows; cap well inside
+	// the safe range (SCV 1e-8 is indistinguishable from a point mass).
+	const maxShape = 1e8
+	if g.Shape > maxShape {
+		return Gamma{}, ErrZeroVariance
+	}
+	if !isFinitePositive(g.Shape) || !isFinitePositive(g.Rate) {
+		return Gamma{}, fmt.Errorf("%w: fitted parameters not finite (shape=%v rate=%v)", ErrFit, g.Shape, g.Rate)
+	}
+	return g, nil
+}
+
+// FitGammaOrDegenerate is FitGamma with the fallback the streaming
+// calibrators need: a sample the Gamma family cannot represent — constant
+// (zero variance) or a single positive observation — degrades to a point
+// mass at the sample mean instead of an error, so a tiny or quiet window
+// still yields a servable distribution. Errors are only returned for samples
+// that carry no usable information at all (empty, nonpositive, NaN/Inf).
+func FitGammaOrDegenerate(samples []float64) (Distribution, error) {
+	g, err := FitGamma(samples)
+	if err == nil {
+		return g, nil
+	}
+	if !errors.Is(err, ErrZeroVariance) && !errors.Is(err, ErrTooFewSamples) {
+		return nil, err
+	}
+	m, n := 0.0, 0
+	for _, x := range samples {
+		if x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x) {
+			m += x
+			n++
+		}
+	}
+	if n == 0 {
+		return nil, ErrBadSamples
+	}
+	return Degenerate{Value: m / float64(n)}, nil
+}
+
+func isFinitePositive(x float64) bool {
+	return x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x)
 }
 
 // FitLognormal fits a lognormal by maximum likelihood on log-samples.
@@ -102,11 +175,14 @@ func FitLognormal(samples []float64) (Lognormal, error) {
 		}
 	}
 	if len(logs) < 2 {
-		return Lognormal{}, ErrFit
+		return Lognormal{}, ErrTooFewSamples
 	}
 	m, v := meanVar(logs)
+	if math.IsNaN(m) || math.IsInf(m, 0) || math.IsNaN(v) || math.IsInf(v, 0) {
+		return Lognormal{}, ErrBadSamples
+	}
 	if v <= 0 {
-		return Lognormal{}, ErrFit
+		return Lognormal{}, ErrZeroVariance
 	}
 	return Lognormal{Mu: m, Sigma: math.Sqrt(v)}, nil
 }

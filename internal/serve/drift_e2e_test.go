@@ -1,0 +1,235 @@
+package serve_test
+
+import (
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"cosmodel/internal/calib"
+	"cosmodel/internal/dist"
+	"cosmodel/internal/experiments"
+	"cosmodel/internal/serve"
+	"cosmodel/internal/simstore"
+	"cosmodel/internal/trace"
+)
+
+// TestRegimeShiftRecalibration is the drift e2e: the simulator runs a long
+// stationary phase, then suffers a mid-run regime shift (data reads become
+// slower and much burstier, and every backend's page cache halves). Two
+// servers watch the same measurement stream:
+//
+//   - the online server has the calibration subsystem enabled and keeps
+//     ingesting through the shift;
+//   - the frozen baseline stops ingesting at the shift — the classical
+//     "calibrate once, serve forever" deployment.
+//
+// Acceptance (the PR's bar): no recalibration fires across the >= 50
+// stationary windows; after the shift the detector confirms drift within 5
+// windows; once recalibrated, the online server's SLA-fraction MAE over the
+// post-shift windows is <= 0.10 while the frozen baseline exceeds it; and
+// the /calibration endpoint exposes the state transitions.
+func TestRegimeShiftRecalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator-driven drift e2e")
+	}
+	const (
+		winDur         = 4.0
+		warmup         = 9.0
+		stationaryWins = 50
+		shiftWins      = 12
+	)
+	simCfg := simstore.DefaultConfig()
+	simCfg.DiskSampleEvery = 1
+	shiftAt := warmup + stationaryWins*winDur
+	endAt := shiftAt + shiftWins*winDur
+
+	props, err := experiments.Calibrate(simCfg, 1500, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := simstore.New(simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := trace.NewCatalog(40000, trace.WikipediaLikeSizes(), 1.2, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.PrewarmCaches(cat, 0.95); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := trace.Generate(cat, trace.Schedule{{Rate: 300, Duration: endAt, Label: "drift"}}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Inject(recs)
+
+	mkServer := func(withCalib bool) (*serve.Server, *httptest.Server) {
+		t.Helper()
+		cfg := serve.DefaultConfig(props, simCfg.Devices())
+		cfg.ProcsPerDevice = simCfg.ProcsPerDisk
+		cfg.FrontendProcs = simCfg.Frontends * simCfg.ProcsPerFrontend
+		cfg.SLAs = simCfg.SLAs
+		cfg.Window = winDur
+		if withCalib {
+			cc := calib.DefaultConfig(simCfg.Devices())
+			cfg.Calib = &cc
+		}
+		srv, err := serve.NewServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv, httptest.NewServer(srv.Handler())
+	}
+	online, onlineTS := mkServer(true)
+	defer onlineTS.Close()
+	frozen, frozenTS := mkServer(false)
+	defer frozenTS.Close()
+
+	ingest := func(e *serve.Engine, batch []serve.Observation) {
+		t.Helper()
+		if err := e.Ingest(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Stationary phase: 50 windows, both servers ingesting.
+	cl.RunUntil(warmup)
+	prev := cl.Snapshot()
+	for w := 0; w < stationaryWins; w++ {
+		cl.RunUntil(warmup + float64(w+1)*winDur)
+		cur := cl.Snapshot()
+		win := cl.Window(prev, cur)
+		prev = cur
+		batch := driftObservations(win)
+		if len(batch) == 0 {
+			t.Fatalf("stationary window %d had no reporting devices", w)
+		}
+		ingest(online.Engine(), batch)
+		ingest(frozen.Engine(), batch)
+		if st := online.Engine().Stats(); st.Recalibrations != 0 {
+			t.Fatalf("false-positive recalibration at stationary window %d", w)
+		}
+	}
+	var calResp serve.CalibrationResponse
+	getInto(t, onlineTS.URL+"/calibration", &calResp)
+	if !calResp.Enabled || calResp.Recalibrations != 0 {
+		t.Fatalf("stationary /calibration: %+v", calResp)
+	}
+
+	// Regime shift: data reads 2x slower with SCV 0.4 -> 1.6 on every
+	// device, and every backend cache halves.
+	slow := dist.NewGammaMeanSCV(16e-3, 1.6)
+	for d := 0; d < simCfg.Devices(); d++ {
+		if err := cl.SetDiskService(d, nil, nil, slow); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for b := 0; b < simCfg.Backends; b++ {
+		if err := cl.ResizeCache(b, simCfg.CacheBytes/2); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Post-shift: only the online server keeps ingesting. Frozen serves
+	// from its last pre-shift operating point and the original props.
+	type comparison struct{ online, frozen, observed []float64 }
+	var post []comparison
+	detectedAt := -1
+	for w := 0; w < shiftWins; w++ {
+		cl.RunUntil(shiftAt + float64(w+1)*winDur)
+		cur := cl.Snapshot()
+		win := cl.Window(prev, cur)
+		prev = cur
+		if win.Responses == 0 || win.Timeouts > 0 || win.Retries > 0 {
+			continue
+		}
+		batch := driftObservations(win)
+		ingest(online.Engine(), batch)
+		if detectedAt < 0 && online.Engine().Stats().Recalibrations > 0 {
+			detectedAt = w
+		}
+		if detectedAt < 0 || w <= detectedAt {
+			continue // compare only fully post-recalibration windows
+		}
+		op := predictHTTP(t, onlineTS.URL)
+		fp := predictHTTP(t, frozenTS.URL)
+		c := comparison{}
+		for i := range win.MeetFraction {
+			c.observed = append(c.observed, win.MeetFraction[i])
+			c.online = append(c.online, op.Predictions[i].MeetRatio)
+			c.frozen = append(c.frozen, fp.Predictions[i].MeetRatio)
+		}
+		post = append(post, c)
+	}
+	if detectedAt < 0 {
+		t.Fatal("drift never detected")
+	}
+	// Detection within 5 observation windows of the shift (0-indexed).
+	if detectedAt > 4 {
+		t.Errorf("drift confirmed at post-shift window %d, want within 5", detectedAt+1)
+	}
+	if len(post) < 4 {
+		t.Fatalf("only %d post-recalibration comparison windows", len(post))
+	}
+	mae := func(pick func(comparison) ([]float64, []float64)) float64 {
+		var sum float64
+		var n int
+		for _, c := range post {
+			pred, obs := pick(c)
+			for i := range pred {
+				sum += math.Abs(pred[i] - obs[i])
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	onlineMAE := mae(func(c comparison) ([]float64, []float64) { return c.online, c.observed })
+	frozenMAE := mae(func(c comparison) ([]float64, []float64) { return c.frozen, c.observed })
+	t.Logf("post-recalibration MAE: online %.4f, frozen baseline %.4f (%d windows, detected at window %d)",
+		onlineMAE, frozenMAE, len(post), detectedAt+1)
+	if onlineMAE > 0.10 {
+		t.Errorf("online MAE %.4f exceeds 0.10 after recalibration", onlineMAE)
+	}
+	if frozenMAE <= 0.10 {
+		t.Errorf("frozen baseline MAE %.4f within 0.10; the regime shift did not bite", frozenMAE)
+	}
+	if frozenMAE <= onlineMAE {
+		t.Errorf("frozen MAE %.4f <= online MAE %.4f; recalibration did not help", frozenMAE, onlineMAE)
+	}
+
+	// The calibration state is fully visible over HTTP.
+	getInto(t, onlineTS.URL+"/calibration", &calResp)
+	if calResp.Recalibrations < 1 || calResp.Status == nil {
+		t.Fatalf("post-shift /calibration: %+v", calResp)
+	}
+	if calResp.Status.LastFitSource == "" {
+		t.Error("fit source missing after recalibration")
+	}
+	if got := calResp.DataDisk; got.Mean < 12e-3 || got.SCV < 0.8 {
+		t.Errorf("served data calibration {mean %v, SCV %v} did not track the new regime", got.Mean, got.SCV)
+	}
+	var m serve.MetricsResponse
+	getInto(t, onlineTS.URL+"/metrics", &m)
+	if m.Calibration == nil || m.Recalibrations != calResp.Recalibrations {
+		t.Errorf("metrics calibration block inconsistent: %+v vs %+v", m.Recalibrations, calResp.Recalibrations)
+	}
+}
+
+// driftObservations converts a simulator window into wire observations
+// including the raw per-class disk service samples the calibration subsystem
+// feeds on.
+func driftObservations(win simstore.Window) []serve.Observation {
+	out := windowToObservations(win)
+	for i := range out {
+		d := out[i].Device
+		if win.DiskSamples == nil || d >= len(win.DiskSamples) {
+			continue
+		}
+		out[i].DiskIndexLat = win.DiskSamples[d].Index
+		out[i].DiskMetaLat = win.DiskSamples[d].Meta
+		out[i].DiskDataLat = win.DiskSamples[d].Data
+	}
+	return out
+}

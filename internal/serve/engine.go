@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"cosmodel/internal/calib"
 	"cosmodel/internal/core"
 	"cosmodel/internal/numeric"
 )
@@ -21,9 +22,17 @@ type Engine struct {
 	state *stateTable
 	cache *modelCache
 
+	// props is the currently served device-properties calibration,
+	// hot-swappable via Recalibrate without restarting the engine.
+	props atomic.Pointer[core.DeviceProperties]
+	// calibrator is the online drift-detection controller; nil when
+	// Config.Calib is nil.
+	calibrator *calib.Controller
+
 	predictions atomic.Uint64 // SLA evaluations answered
 	saturations atomic.Uint64 // evaluations that hit an overloaded point
 	fallbacks   atomic.Uint64 // inversions recovered by a fallback inverter
+	recals      atomic.Uint64 // property swaps applied via Recalibrate
 	// lastFallbackNS is the cfg.now() timestamp (UnixNano) of the most
 	// recent inverter fallback; 0 before any.
 	lastFallbackNS atomic.Int64
@@ -45,9 +54,42 @@ func NewEngine(cfg Config) (*Engine, error) {
 			user(from, to)
 		}
 	}
+	props := e.cfg.Props
+	e.props.Store(&props)
 	e.state = newStateTable(&e.cfg)
 	e.cache = newModelCache(cfg.CacheEntries)
+	if cfg.Calib != nil {
+		cc := *cfg.Calib
+		cc.Devices = cfg.Devices
+		if cc.Logf == nil {
+			cc.Logf = e.cfg.Logf
+		}
+		ctrl, err := calib.New(cc, props, e.Recalibrate)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		e.calibrator = ctrl
+	}
 	return e, nil
+}
+
+// Props returns the currently served device-properties calibration.
+func (e *Engine) Props() core.DeviceProperties { return *e.props.Load() }
+
+// Recalibrate atomically swaps the served device properties and starts a
+// new cache generation, so every memoized prediction computed under the old
+// calibration is stale. In-flight evaluations finish under whichever
+// calibration they started with. This is the apply path of the online
+// calibration controller, and is also available to embedders directly.
+func (e *Engine) Recalibrate(props core.DeviceProperties) error {
+	if err := props.Validate(); err != nil {
+		return err
+	}
+	p := props
+	e.props.Store(&p)
+	e.recals.Add(1)
+	e.cache.invalidate()
+	return nil
 }
 
 // RecentFallback reports whether an inverter fallback happened within the
@@ -64,9 +106,57 @@ func (e *Engine) RecentFallback(window float64) bool {
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
-// Ingest absorbs a batch of per-device observations (all-or-nothing).
+// Ingest absorbs a batch of per-device observations (all-or-nothing). With
+// online calibration enabled the accepted batch also feeds the drift
+// detectors; a recalibration failure does not reject the batch (the
+// observations are sound — the swap is what failed) but is logged and
+// counted in the calibration status.
 func (e *Engine) Ingest(batch []Observation) error {
-	return e.state.ingest(batch)
+	if err := e.state.ingest(batch); err != nil {
+		return err
+	}
+	e.feedCalibration(batch)
+	return nil
+}
+
+// feedCalibration forwards accepted observations to the drift controller.
+func (e *Engine) feedCalibration(batch []Observation) {
+	if e.calibrator == nil {
+		return
+	}
+	for _, o := range batch {
+		ws := calib.WindowStats{
+			Device:   o.Device,
+			Interval: o.Interval,
+			Index:    o.DiskIndexLat,
+			Meta:     o.DiskMetaLat,
+			Data:     o.DiskDataLat,
+		}
+		m := core.OnlineMetrics{
+			Rate:      float64(o.Requests) / o.Interval,
+			MissIndex: missRatio(o.IndexMisses, o.IndexHits),
+			MissMeta:  missRatio(o.MetaMisses, o.MetaHits),
+			MissData:  missRatio(o.DataMisses, o.DataHits),
+			Procs:     e.cfg.ProcsPerDevice,
+		}
+		m.DataRate = math.Max(float64(o.DataReads)/o.Interval, m.Rate)
+		if o.DiskOps > 0 {
+			m.DiskMean = o.DiskBusy / float64(o.DiskOps)
+		}
+		ws.Metrics = m
+		if _, err := e.calibrator.Observe(ws); err != nil {
+			e.cfg.logf("serve: calibration observe (device %d): %v", o.Device, err)
+		}
+	}
+}
+
+// CalibrationStatus reports the online-calibration subsystem's state; ok is
+// false when the subsystem is disabled.
+func (e *Engine) CalibrationStatus() (calib.Status, bool) {
+	if e.calibrator == nil {
+		return calib.Status{}, false
+	}
+	return e.calibrator.Status(), true
 }
 
 // Prediction is the answer for one SLA bound.
@@ -162,19 +252,20 @@ func (e *Engine) evaluate(ctx context.Context, ms []core.OnlineMetrics, key stri
 // its worker budget (core.Options.Workers) apply to every uncached
 // prediction and admission probe.
 func (e *Engine) buildModel(ms []core.OnlineMetrics, factor float64) (*core.SystemModel, error) {
+	props := e.Props()
 	devs := make([]*core.DeviceModel, 0, len(ms))
 	total := 0.0
 	for _, m := range ms {
 		m.Rate *= factor
 		m.DataRate *= factor
-		dm, err := core.NewDeviceModel(e.cfg.Props, m, e.cfg.Opts)
+		dm, err := core.NewDeviceModel(props, m, e.cfg.Opts)
 		if err != nil {
 			return nil, err
 		}
 		devs = append(devs, dm)
 		total += m.Rate
 	}
-	fe, err := core.NewFrontendModel(total, e.cfg.FrontendProcs, e.cfg.Props.ParseFE)
+	fe, err := core.NewFrontendModel(total, e.cfg.FrontendProcs, props.ParseFE)
 	if err != nil {
 		return nil, err
 	}
@@ -284,6 +375,9 @@ type EngineStats struct {
 	// LastFallbackAge is the seconds since the most recent one (-1: never).
 	Fallbacks       uint64  `json:"inverterFallbacks"`
 	LastFallbackAge float64 `json:"lastFallbackAgeSeconds"`
+	// Recalibrations counts device-property swaps applied via Recalibrate
+	// (manually or by the online calibration controller).
+	Recalibrations  uint64  `json:"recalibrations"`
 	CacheHits       uint64  `json:"cacheHits"`
 	CacheMisses     uint64  `json:"cacheMisses"`
 	CacheHitRatio   float64 `json:"cacheHitRatio"`
@@ -306,6 +400,7 @@ func (e *Engine) Stats() EngineStats {
 		Saturations:     e.saturations.Load(),
 		Fallbacks:       e.fallbacks.Load(),
 		LastFallbackAge: -1,
+		Recalibrations:  e.recals.Load(),
 		CacheHits:       cs.Hits,
 		CacheMisses:     cs.Misses,
 		CacheHitRatio:   cs.hitRatio(),

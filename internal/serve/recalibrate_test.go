@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"cosmodel/internal/calib"
+	"cosmodel/internal/core"
+	"cosmodel/internal/dist"
+)
+
+func httpGetInto(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatalf("unmarshal %q: %v", data, err)
+	}
+}
+
+// TestRecalibrateSwapsPropsAndInvalidatesCache checks the hot-swap contract:
+// new properties are served immediately, the memo cache starts a new
+// generation, and predictions actually change.
+func TestRecalibrateSwapsPropsAndInvalidatesCache(t *testing.T) {
+	eng, err := NewEngine(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, eng, 50)
+	before, err := eng.Predict([]float64{0.050})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen0 := eng.Stats().CacheGeneration
+
+	slower := testProps()
+	slower.DataDisk = dist.NewGammaMeanSCV(24e-3, 1.6)
+	if err := eng.Recalibrate(slower); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Props().DataDisk.Mean(); got != slower.DataDisk.Mean() {
+		t.Errorf("served data mean %v, want %v", got, slower.DataDisk.Mean())
+	}
+	st := eng.Stats()
+	if st.Recalibrations != 1 {
+		t.Errorf("recalibrations = %d, want 1", st.Recalibrations)
+	}
+	if st.CacheGeneration == gen0 {
+		t.Error("cache generation must bump on recalibration")
+	}
+	after, err := eng.Predict([]float64{0.050})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after[0].Cached {
+		t.Error("post-recalibration prediction served from the stale generation")
+	}
+	if !(after[0].MeetRatio < before[0].MeetRatio) {
+		t.Errorf("meet ratio %v -> %v: slower disks must predict worse compliance",
+			before[0].MeetRatio, after[0].MeetRatio)
+	}
+	// Invalid properties are rejected without touching the served ones.
+	if err := eng.Recalibrate(core.DeviceProperties{}); !errors.Is(err, core.ErrBadParams) {
+		t.Errorf("invalid recalibration error = %v", err)
+	}
+	if eng.Props().DataDisk.Mean() != slower.DataDisk.Mean() {
+		t.Error("failed recalibration changed the served properties")
+	}
+}
+
+// driftObs builds an observation whose raw disk samples come from the given
+// distributions — the calibration feed.
+func driftObs(dev int, index, meta, data dist.Distribution, rng *rand.Rand) Observation {
+	o := obsAtRate(dev, 50)
+	o.Interval = 3
+	o.Requests = 150
+	o.DataReads = 180
+	sample := func(d dist.Distribution, n int) []float64 {
+		out := make([]float64, n)
+		var sum float64
+		for i := range out {
+			out[i] = d.Sample(rng)
+			sum += out[i]
+		}
+		o.DiskBusy += sum
+		o.DiskOps += uint64(n)
+		return out
+	}
+	o.DiskIndexLat = sample(index, 20)
+	o.DiskMetaLat = sample(meta, 20)
+	o.DiskDataLat = sample(data, 60)
+	return o
+}
+
+// TestOnlineCalibrationEndToEnd enables the calib subsystem on an engine,
+// streams stationary observations (no recalibration may fire), then shifts
+// the data-read regime and checks the controller refits and hot-swaps the
+// served properties.
+func TestOnlineCalibrationEndToEnd(t *testing.T) {
+	cfg := testConfig()
+	cc := calib.DefaultConfig(cfg.Devices)
+	cfg.Calib = &cc
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	props := testProps()
+	rng := rand.New(rand.NewSource(21))
+	stationary := func() []Observation {
+		batch := make([]Observation, cfg.Devices)
+		for d := range batch {
+			batch[d] = driftObs(d, props.IndexDisk, props.MetaDisk, props.DataDisk, rng)
+		}
+		return batch
+	}
+	for w := 0; w < 30; w++ {
+		if err := eng.Ingest(stationary()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := eng.Stats(); st.Recalibrations != 0 {
+		t.Fatalf("recalibrations = %d on stationary ingest, want 0", st.Recalibrations)
+	}
+	cs, ok := eng.CalibrationStatus()
+	if !ok {
+		t.Fatal("calibration status must be available when enabled")
+	}
+	for _, d := range cs.Devices {
+		if d.State != "stable" {
+			t.Errorf("device %d state %q during stationary run", d.Device, d.State)
+		}
+	}
+
+	slow := dist.NewGammaMeanSCV(20e-3, 1.6)
+	for w := 0; w < 8; w++ {
+		batch := make([]Observation, cfg.Devices)
+		for d := range batch {
+			batch[d] = driftObs(d, props.IndexDisk, props.MetaDisk, slow, rng)
+		}
+		if err := eng.Ingest(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats()
+	if st.Recalibrations < 1 {
+		t.Fatal("drift never triggered a recalibration")
+	}
+	got := eng.Props().DataDisk
+	if m := got.Mean(); m < 15e-3 || m > 26e-3 {
+		t.Errorf("served data mean %v after drift, want near 20e-3", m)
+	}
+	cs, _ = eng.CalibrationStatus()
+	if cs.Recalibrations != st.Recalibrations {
+		t.Errorf("controller recalibrations %d != engine %d", cs.Recalibrations, st.Recalibrations)
+	}
+	if cs.LastFitSource != "refit" {
+		t.Errorf("fit source %q, want refit (plenty of samples)", cs.LastFitSource)
+	}
+}
+
+// TestCalibrationEndpoint checks /calibration for enabled and disabled
+// servers, and the calibration block in /metrics.
+func TestCalibrationEndpoint(t *testing.T) {
+	cfg := testConfig()
+	cc := calib.DefaultConfig(cfg.Devices)
+	cfg.Calib = &cc
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var resp CalibrationResponse
+	httpGetInto(t, ts.URL+"/calibration", &resp)
+	if !resp.Enabled {
+		t.Error("enabled = false with Calib configured")
+	}
+	if resp.Status == nil || len(resp.Status.Devices) != cfg.Devices {
+		t.Fatalf("status devices = %+v, want %d entries", resp.Status, cfg.Devices)
+	}
+	if resp.DataDisk.Mean != testProps().DataDisk.Mean() {
+		t.Errorf("served data mean %v", resp.DataDisk.Mean)
+	}
+	if resp.DataDisk.SCV < 0.35 || resp.DataDisk.SCV > 0.45 {
+		t.Errorf("served data SCV %v, want ~0.40", resp.DataDisk.SCV)
+	}
+	var metrics MetricsResponse
+	httpGetInto(t, ts.URL+"/metrics", &metrics)
+	if metrics.Calibration == nil {
+		t.Error("metrics must embed the calibration status when enabled")
+	}
+	// Method discipline.
+	post, err := http.Post(ts.URL+"/calibration", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /calibration = %d, want 405", post.StatusCode)
+	}
+
+	// Disabled server: endpoint still answers, enabled=false, no status.
+	srv2, err := NewServer(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	var resp2 CalibrationResponse
+	httpGetInto(t, ts2.URL+"/calibration", &resp2)
+	if resp2.Enabled || resp2.Status != nil {
+		t.Errorf("disabled server: %+v", resp2)
+	}
+	var metrics2 MetricsResponse
+	httpGetInto(t, ts2.URL+"/metrics", &metrics2)
+	if metrics2.Calibration != nil {
+		t.Error("metrics must omit calibration when disabled")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"log"
 	"time"
 
+	"cosmodel/internal/calib"
 	"cosmodel/internal/core"
 )
 
@@ -68,6 +69,14 @@ type Config struct {
 	MaxInflight int
 	// CacheEntries bounds the memoized prediction cache.
 	CacheEntries int
+	// Calib enables the online calibration and drift-detection subsystem:
+	// when non-nil, every accepted observation also feeds the drift
+	// controller, and confirmed drift re-solves the device properties and
+	// swaps them into the engine with a cache-generation bump. The
+	// controller's Devices field is overridden to Config.Devices. nil
+	// disables the subsystem (the seed behaviour: properties are fixed for
+	// the engine's lifetime unless Recalibrate is called explicitly).
+	Calib *calib.Config
 	// Now supplies wall-clock time; nil means time.Now. Tests inject
 	// fakes to control calibration-age reporting.
 	Now func() time.Time
@@ -119,6 +128,13 @@ func (c Config) Validate() error {
 	for _, s := range c.SLAs {
 		if s <= 0 {
 			return fmt.Errorf("%w: SLA %v must be positive", ErrBadConfig, s)
+		}
+	}
+	if c.Calib != nil {
+		cc := *c.Calib
+		cc.Devices = c.Devices
+		if err := cc.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadConfig, err)
 		}
 	}
 	return nil

@@ -11,6 +11,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cosmodel/internal/calib"
+	"cosmodel/internal/dist"
 	"cosmodel/internal/numeric"
 	"cosmodel/internal/parallel"
 	"cosmodel/internal/stats"
@@ -78,6 +80,7 @@ func (s *Server) Engine() *Engine { return s.engine }
 //	POST /ingest   — absorb per-device observations
 //	GET/POST /predict — percentile predictions at the current operating point
 //	GET/POST /advise  — admission control: max admissible rate, headroom
+//	GET  /calibration — online calibration and drift-detection state
 //	GET  /metrics  — internal counters (JSON)
 //	GET  /healthz  — liveness + readiness
 //
@@ -90,6 +93,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/predict", s.handlePredict)
 	mux.HandleFunc("/advise", s.handleAdvise)
+	mux.HandleFunc("/calibration", s.handleCalibration)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return s.recoverMiddleware(mux)
@@ -351,6 +355,60 @@ func (s *Server) queryError(w http.ResponseWriter, r *http.Request, err error) {
 }
 
 // ---------------------------------------------------------------------------
+// /calibration
+
+// DistSummary describes one served service-time distribution: its mean and
+// squared coefficient of variation, the two moments the model consumes.
+type DistSummary struct {
+	Mean float64 `json:"mean"`
+	SCV  float64 `json:"scv"`
+}
+
+func summarize(d dist.Distribution) DistSummary {
+	s := DistSummary{Mean: d.Mean()}
+	if s.Mean > 0 {
+		s.SCV = d.Variance() / (s.Mean * s.Mean)
+	}
+	return s
+}
+
+// CalibrationResponse is the /calibration payload: the currently served
+// per-class calibration and — when the online subsystem is enabled — the
+// full drift-detection status.
+type CalibrationResponse struct {
+	// Enabled reports whether the online calibration subsystem is running.
+	Enabled bool `json:"enabled"`
+	// Recalibrations counts property swaps applied since startup.
+	Recalibrations uint64 `json:"recalibrations"`
+	// IndexDisk, MetaDisk, DataDisk summarize the currently served
+	// per-operation-class disk service-time calibration.
+	IndexDisk DistSummary `json:"indexDisk"`
+	MetaDisk  DistSummary `json:"metaDisk"`
+	DataDisk  DistSummary `json:"dataDisk"`
+	// Status is the drift controller's state; omitted when disabled.
+	Status *calib.Status `json:"status,omitempty"`
+}
+
+func (s *Server) handleCalibration(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET required"})
+		return
+	}
+	props := s.engine.Props()
+	resp := CalibrationResponse{
+		Recalibrations: s.engine.Stats().Recalibrations,
+		IndexDisk:      summarize(props.IndexDisk),
+		MetaDisk:       summarize(props.MetaDisk),
+		DataDisk:       summarize(props.DataDisk),
+	}
+	if st, ok := s.engine.CalibrationStatus(); ok {
+		resp.Enabled = true
+		resp.Status = &st
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// ---------------------------------------------------------------------------
 // /metrics and /healthz
 
 // MetricsResponse exposes the service's internal counters.
@@ -374,6 +432,9 @@ type MetricsResponse struct {
 	ObservedP50   float64 `json:"observedP50"`
 	ObservedP95   float64 `json:"observedP95"`
 	ObservedP99   float64 `json:"observedP99"`
+	// Calibration is the online drift-detection status; omitted when the
+	// subsystem is disabled.
+	Calibration *calib.Status `json:"calibration,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -400,6 +461,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		m.ObservedP50 = s.latAll.Quantile(0.50)
 		m.ObservedP95 = s.latAll.Quantile(0.95)
 		m.ObservedP99 = s.latAll.Quantile(0.99)
+	}
+	if st, ok := s.engine.CalibrationStatus(); ok {
+		m.Calibration = &st
 	}
 	s.writeJSON(w, http.StatusOK, m)
 }

@@ -38,6 +38,14 @@ type Observation struct {
 	// the frontend, kept in sliding-window histograms for the observed
 	// SLA-compliance diagnostics in /metrics.
 	Latencies []float64 `json:"latencies,omitempty"`
+	// DiskIndexLat, DiskMetaLat and DiskDataLat are optional raw disk
+	// service times (seconds) per operation class sampled during the
+	// interval — the feed for the online calibration subsystem's live
+	// refits and shape checks. Ignored (beyond validation) when
+	// Config.Calib is nil.
+	DiskIndexLat []float64 `json:"diskIndexLat,omitempty"`
+	DiskMetaLat  []float64 `json:"diskMetaLat,omitempty"`
+	DiskDataLat  []float64 `json:"diskDataLat,omitempty"`
 }
 
 // Validate checks one observation against the deployment size.
@@ -53,6 +61,13 @@ func (o Observation) Validate(devices int) error {
 	for _, l := range o.Latencies {
 		if l < 0 || math.IsNaN(l) || math.IsInf(l, 0) {
 			return fmt.Errorf("%w: latency %v", ErrBadQuery, l)
+		}
+	}
+	for _, set := range [][]float64{o.DiskIndexLat, o.DiskMetaLat, o.DiskDataLat} {
+		for _, l := range set {
+			if l < 0 || math.IsNaN(l) || math.IsInf(l, 0) {
+				return fmt.Errorf("%w: disk service sample %v", ErrBadQuery, l)
+			}
 		}
 	}
 	return nil
@@ -170,6 +185,9 @@ func (t *stateTable) ingest(batch []Observation) error {
 			}
 			e.obs.Latencies = nil // retained as a histogram, not raw samples
 		}
+		// Raw disk samples feed the calibration controller, not the
+		// sliding windows; don't retain them here.
+		e.obs.DiskIndexLat, e.obs.DiskMetaLat, e.obs.DiskDataLat = nil, nil, nil
 		entries[i] = e
 	}
 	now := t.cfg.now()

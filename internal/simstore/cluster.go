@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"cosmodel/internal/cache"
+	"cosmodel/internal/dist"
 	"cosmodel/internal/ring"
 	"cosmodel/internal/sim"
 	"cosmodel/internal/trace"
@@ -154,6 +155,9 @@ func (c *Cluster) Snapshot() Snapshot {
 	}
 	for _, d := range c.devices {
 		s.Disk = append(s.Disk, d.disk.stats)
+		if c.cfg.DiskSampleEvery > 0 {
+			s.DiskSampleLen = append(s.DiskSampleLen, d.disk.sampleLens())
+		}
 	}
 	for _, srv := range c.servers {
 		s.Cache = append(s.Cache, srv.cache.Stats())
@@ -161,9 +165,22 @@ func (c *Cluster) Snapshot() Snapshot {
 	return s
 }
 
-// Window computes the interval view between two snapshots.
+// Window computes the interval view between two snapshots. With raw disk
+// sampling enabled (Config.DiskSampleEvery > 0) it also extracts the
+// window's per-device raw service-time samples from the snapshots' cursors.
 func (c *Cluster) Window(prev, cur Snapshot) Window {
-	return cur.Sub(prev, c.devToServer)
+	w := cur.Sub(prev, c.devToServer)
+	if c.cfg.DiskSampleEvery > 0 && len(cur.DiskSampleLen) == len(c.devices) {
+		w.DiskSamples = make([]DiskSamples, len(c.devices))
+		for i, d := range c.devices {
+			var lo [3]int
+			if len(prev.DiskSampleLen) > i {
+				lo = prev.DiskSampleLen[i]
+			}
+			w.DiskSamples[i] = d.disk.samplesBetween(lo, cur.DiskSampleLen[i])
+		}
+	}
+	return w
 }
 
 // PrewarmCaches pre-populates every backend server's page cache with the
@@ -258,4 +275,41 @@ func (c *Cluster) DegradeDisk(dev int, factor float64) error {
 	}
 	c.devices[dev].disk.degrade = factor
 	return nil
+}
+
+// SetDiskService swaps device dev's raw per-class service-time
+// distributions from now on (nil keeps the current one). Unlike DegradeDisk
+// — a pure scale factor — this models regime shifts that also change the
+// distribution *shape* (media remapping storms, firmware throttling), the
+// drift an online recalibration loop must refit rather than merely rescale.
+func (c *Cluster) SetDiskService(dev int, index, meta, data dist.Distribution) error {
+	if dev < 0 || dev >= len(c.devices) {
+		return fmt.Errorf("%w: device %d out of range", ErrBadConfig, dev)
+	}
+	for _, d := range []dist.Distribution{index, meta, data} {
+		if d != nil && d.Mean() <= 0 {
+			return fmt.Errorf("%w: replacement service distribution must have positive mean", ErrBadConfig)
+		}
+	}
+	disk := c.devices[dev].disk
+	if index != nil {
+		disk.svc[cache.ClassIndex] = index
+	}
+	if meta != nil {
+		disk.svc[cache.ClassMeta] = meta
+	}
+	if data != nil {
+		disk.svc[cache.ClassData] = data
+	}
+	return nil
+}
+
+// ResizeCache changes backend server srv's page-cache capacity mid-run,
+// evicting LRU entries if it shrank — the cluster-level knob for injecting a
+// cache-shrink regime shift (e.g. memory reclaimed by a co-located tenant).
+func (c *Cluster) ResizeCache(srv int, bytes int64) error {
+	if srv < 0 || srv >= len(c.servers) {
+		return fmt.Errorf("%w: server %d out of range", ErrBadConfig, srv)
+	}
+	return c.servers[srv].cache.Resize(bytes)
 }

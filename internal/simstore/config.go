@@ -110,6 +110,12 @@ type Config struct {
 	// ThreadPerConnection mode (ignored for EventDriven).
 	MaxThreadsPerDisk int
 
+	// DiskSampleEvery, when positive, records every DiskSampleEvery-th raw
+	// disk service time per operation class so measurement windows can
+	// export them (Window.DiskSamples) — the feed a production monitoring
+	// agent would give an online recalibration loop. 0 disables sampling.
+	DiskSampleEvery int
+
 	// RequestTimeout aborts and retries a request whose first response
 	// byte has not arrived within this many seconds; 0 disables timeouts.
 	// The paper's evaluation discards measurement windows in which
@@ -188,6 +194,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("%w: thread-per-connection needs MaxThreadsPerDisk >= 1", ErrBadConfig)
 	case c.RequestTimeout < 0 || c.MaxRetries < 0:
 		return fmt.Errorf("%w: bad timeout/retry parameters", ErrBadConfig)
+	case c.DiskSampleEvery < 0:
+		return fmt.Errorf("%w: disk sample stride %d must be nonnegative", ErrBadConfig, c.DiskSampleEvery)
 	}
 	for _, s := range c.SLAs {
 		if s <= 0 {

@@ -31,6 +31,14 @@ type disk struct {
 	// injection (media degradation, remapping storms) raises it mid-run.
 	degrade float64
 
+	// sampleEvery > 0 records every sampleEvery-th raw service time per
+	// operation class (what a production device driver would export for
+	// online recalibration). samples grows for the run's lifetime; the
+	// sampling stride bounds it.
+	sampleEvery int
+	sampleSeen  [3]uint64
+	samples     [3][]float64
+
 	stats diskStats
 }
 
@@ -46,10 +54,11 @@ type diskStats struct {
 
 func newDisk(kern *sim.Kernel, cfg *Config, rng *rand.Rand) *disk {
 	return &disk{
-		kern:    kern,
-		rng:     rng,
-		svc:     [3]dist.Distribution{cfg.DiskIndex, cfg.DiskMeta, cfg.DiskData},
-		degrade: 1,
+		kern:        kern,
+		rng:         rng,
+		svc:         [3]dist.Distribution{cfg.DiskIndex, cfg.DiskMeta, cfg.DiskData},
+		degrade:     1,
+		sampleEvery: cfg.DiskSampleEvery,
 	}
 }
 
@@ -76,6 +85,12 @@ func (d *disk) maybeServe() {
 	d.stats.Ops[job.class]++
 	d.stats.SvcTotal[job.class] += t
 	d.stats.BusyTime += t
+	if d.sampleEvery > 0 {
+		d.sampleSeen[job.class]++
+		if d.sampleSeen[job.class]%uint64(d.sampleEvery) == 0 {
+			d.samples[job.class] = append(d.samples[job.class], t)
+		}
+	}
 	d.kern.After(t, func() {
 		d.busy = false
 		job.done()
@@ -85,6 +100,30 @@ func (d *disk) maybeServe() {
 
 // queueLen returns the number of waiting (not in service) operations.
 func (d *disk) queueLen() int { return len(d.q) }
+
+// sampleLens returns the per-class recorded sample counts (snapshot cursor).
+func (d *disk) sampleLens() [3]int {
+	return [3]int{len(d.samples[0]), len(d.samples[1]), len(d.samples[2])}
+}
+
+// samplesBetween copies the raw service-time samples recorded between two
+// snapshot cursors.
+func (d *disk) samplesBetween(prev, cur [3]int) DiskSamples {
+	slice := func(c int) []float64 {
+		lo, hi := prev[c], cur[c]
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(d.samples[c]) {
+			hi = len(d.samples[c])
+		}
+		if lo >= hi {
+			return nil
+		}
+		return append([]float64(nil), d.samples[c][lo:hi]...)
+	}
+	return DiskSamples{Index: slice(0), Meta: slice(1), Data: slice(2)}
+}
 
 // meanService returns the overall mean raw service time observed so far
 // (the paper's online "b").

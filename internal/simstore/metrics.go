@@ -166,6 +166,10 @@ type Snapshot struct {
 	Disk      []diskStats      // per device
 	Cache     []cache.Stats    // per backend server
 	LatHist   *stats.Histogram // cumulative latency histogram
+	// DiskSampleLen is the per-device raw-sample cursor (per class) when
+	// Config.DiskSampleEvery > 0; Cluster.Window uses the cursors of two
+	// snapshots to extract the window's samples.
+	DiskSampleLen [][3]int
 }
 
 // Window is the derived per-interval view of a Snapshot delta: everything
@@ -206,6 +210,10 @@ type Window struct {
 	MissData           []float64
 	DiskMeanSvc        []float64 // b: overall mean raw disk service time
 	DiskUtilization    []float64
+	// DiskSamples holds the raw per-class disk service times recorded in
+	// the window per device (nil unless Config.DiskSampleEvery > 0) — the
+	// feed for online refitting and drift detection.
+	DiskSamples []DiskSamples
 }
 
 // Sub computes the windowed delta cur - prev.

@@ -1,0 +1,143 @@
+package simstore
+
+import (
+	"testing"
+
+	"cosmodel/internal/dist"
+	"cosmodel/internal/trace"
+)
+
+func meanVar(xs []float64) (m, v float64) {
+	n := float64(len(xs))
+	for _, x := range xs {
+		m += x
+	}
+	m /= n
+	for _, x := range xs {
+		v += (x - m) * (x - m)
+	}
+	return m, v / n
+}
+
+func TestSetDiskServiceValidation(t *testing.T) {
+	cl, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dist.NewGammaMeanSCV(10e-3, 0.5)
+	if err := cl.SetDiskService(-1, g, nil, nil); err == nil {
+		t.Error("negative device should fail")
+	}
+	if err := cl.SetDiskService(99, g, nil, nil); err == nil {
+		t.Error("out-of-range device should fail")
+	}
+	if err := cl.SetDiskService(0, dist.Degenerate{Value: 0}, nil, nil); err == nil {
+		t.Error("zero-mean distribution should fail")
+	}
+	if err := cl.SetDiskService(0, nil, nil, nil); err != nil {
+		t.Errorf("all-nil (keep everything) should be a no-op, got %v", err)
+	}
+	if err := cl.SetDiskService(0, g, g, g); err != nil {
+		t.Errorf("valid swap failed: %v", err)
+	}
+}
+
+func TestResizeCacheValidation(t *testing.T) {
+	cl, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.ResizeCache(-1, 1<<20); err == nil {
+		t.Error("negative server should fail")
+	}
+	if err := cl.ResizeCache(99, 1<<20); err == nil {
+		t.Error("out-of-range server should fail")
+	}
+	if err := cl.ResizeCache(0, 0); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if err := cl.ResizeCache(0, 1<<20); err != nil {
+		t.Errorf("valid resize failed: %v", err)
+	}
+}
+
+// TestRegimeShiftIsObservable swaps the data-read service distribution for a
+// slower, burstier one mid-run and shrinks a cache, then checks the windowed
+// metrics and raw samples reflect the new regime: higher mean, higher SCV in
+// the exported samples, and a worse data miss ratio on the resized server.
+func TestRegimeShiftIsObservable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DiskSampleEvery = 1
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := testCatalog(t, 40000, 9)
+	if err := cl.PrewarmCaches(cat, 0.95); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := trace.Generate(cat, trace.Schedule{{Rate: 150, Duration: 80, Label: "x"}}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Inject(recs)
+	// Stationary first half.
+	cl.RunUntil(5)
+	s0 := cl.Snapshot()
+	cl.RunUntil(40)
+	s1 := cl.Snapshot()
+	before := cl.Window(s0, s1)
+	if len(before.DiskSamples) != cfg.Devices() {
+		t.Fatalf("DiskSamples has %d devices, want %d", len(before.DiskSamples), cfg.Devices())
+	}
+	if len(before.DiskSamples[0].Data) < 50 {
+		t.Fatalf("too few data samples in window: %d", len(before.DiskSamples[0].Data))
+	}
+	// Shift: 2x slower and much burstier data reads everywhere, and server
+	// 0's cache shrinks to a quarter.
+	slow := dist.NewGammaMeanSCV(16e-3, 1.6)
+	for d := 0; d < cfg.Devices(); d++ {
+		if err := cl.SetDiskService(d, nil, nil, slow); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.ResizeCache(0, cfg.CacheBytes/4); err != nil {
+		t.Fatal(err)
+	}
+	cl.RunUntil(45)
+	s2 := cl.Snapshot()
+	cl.RunUntil(80)
+	s3 := cl.Snapshot()
+	after := cl.Window(s2, s3)
+
+	// Overall mean disk service time rises on every device.
+	for d := 0; d < cfg.Devices(); d++ {
+		if !(after.DiskMeanSvc[d] > before.DiskMeanSvc[d]*1.2) {
+			t.Errorf("device %d mean svc %v -> %v: shift invisible",
+				d, before.DiskMeanSvc[d], after.DiskMeanSvc[d])
+		}
+	}
+	// The raw data-read samples show the new mean and the fatter shape.
+	bm, bv := meanVar(before.DiskSamples[0].Data)
+	am, av := meanVar(after.DiskSamples[0].Data)
+	if !(am > bm*1.5) {
+		t.Errorf("data sample mean %v -> %v, want ~2x", bm, am)
+	}
+	bscv, ascv := bv/(bm*bm), av/(am*am)
+	if !(ascv > bscv*2) {
+		t.Errorf("data sample SCV %v -> %v: shape change invisible", bscv, ascv)
+	}
+	// The shrunk cache misses more data reads (device 0 lives on server 0).
+	if !(after.MissData[0] > before.MissData[0]+0.02) {
+		t.Errorf("server 0 data miss ratio %v -> %v: cache shrink invisible",
+			before.MissData[0], after.MissData[0])
+	}
+	// Sampling disabled => no samples exported.
+	cl2, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := cl2.Window(cl2.Snapshot(), cl2.Snapshot()); w.DiskSamples != nil {
+		t.Error("DiskSamples must be nil when sampling is disabled")
+	}
+}
