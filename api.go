@@ -8,6 +8,8 @@ import (
 	"cosmodel/internal/dist"
 	"cosmodel/internal/experiments"
 	"cosmodel/internal/numeric"
+	"cosmodel/internal/obs"
+	"cosmodel/internal/parallel"
 	"cosmodel/internal/serve"
 	"cosmodel/internal/simstore"
 	"cosmodel/internal/stats"
@@ -175,6 +177,45 @@ type ServeHTTPTimeouts = serve.HTTPTimeouts
 var DefaultServeHTTPTimeouts = serve.DefaultHTTPTimeouts
 
 // ---------------------------------------------------------------------------
+// Observability; see internal/obs.
+
+type (
+	// ObsRegistry is a metrics registry with Prometheus text exposition;
+	// ServeEngine.Registry returns the one behind /metrics/prom.
+	ObsRegistry = obs.Registry
+	// ObsLabels attach dimensions to a metric.
+	ObsLabels = obs.Labels
+	// ObsCounter, ObsGauge and ObsHistogram are the metric kinds.
+	ObsCounter   = obs.Counter
+	ObsGauge     = obs.Gauge
+	ObsHistogram = obs.Histogram
+	// EvalEvent is one completed model-evaluation span, delivered to
+	// Options.Observer (op name, expression-graph size, quadrature probes,
+	// wall time, error).
+	EvalEvent = core.EvalEvent
+	// WorkerPool is the shared goroutine pool evaluations run on; assign
+	// one to Options.Pool to share and meter capacity across engines.
+	WorkerPool = parallel.Pool
+)
+
+var (
+	// NewObsRegistry builds an empty metrics registry.
+	NewObsRegistry = obs.NewRegistry
+	// RegisterObsRuntimeMetrics adds go_* runtime gauges to a registry
+	// (ServeConfig.RuntimeMetrics / cosserve -obs-runtime do this for the
+	// serving registry).
+	RegisterObsRuntimeMetrics = obs.RegisterRuntimeMetrics
+	// NewWorkerPool builds a bounded evaluation pool; DefaultWorkerPool
+	// returns the process-wide GOMAXPROCS-sized pool.
+	NewWorkerPool     = parallel.New
+	DefaultWorkerPool = parallel.Default
+)
+
+// ObsContentType is the Content-Type of the Prometheus text exposition
+// served at /metrics/prom.
+const ObsContentType = obs.ContentType
+
+// ---------------------------------------------------------------------------
 // Online calibration and drift detection; see internal/calib.
 
 type (
@@ -195,10 +236,20 @@ type (
 	// reuse on other telemetry streams.
 	PageHinkley = calib.PageHinkley
 	CUSUM       = calib.CUSUM
+	// CalibDeviceState is one device's drift state, delivered to
+	// CalibConfig.OnTransition on every state change.
+	CalibDeviceState = calib.DeviceState
 	// ServeCalibrationResponse is the /calibration endpoint's answer.
 	ServeCalibrationResponse = serve.CalibrationResponse
 	// ServeDistSummary summarizes one served distribution (mean, SCV).
 	ServeDistSummary = serve.DistSummary
+)
+
+// Calibration drift states (CalibConfig.OnTransition, /calibration).
+const (
+	CalibStable        = calib.Stable
+	CalibDrifting      = calib.Drifting
+	CalibRecalibrating = calib.Recalibrating
 )
 
 var (

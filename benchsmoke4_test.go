@@ -1,8 +1,8 @@
 // Bench-smoke artifact for the calibration subsystem: one-shot measurements
 // of the recalibration refresh path (hot swap + cold re-inversion) against
-// the warm cached path, written to BENCH_PR4.json at the repo root and
-// mirrored under results/. Gated behind COSMODEL_BENCH_SMOKE=1 like the
-// engine artifact; `make bench-smoke` sets the gate.
+// the warm cached path, written to results/BENCH_PR4.json. Gated behind
+// COSMODEL_BENCH_SMOKE=1 like the engine artifact; `make bench-smoke` sets
+// the gate and mirrors the artifact at the repo root.
 package cosmodel_test
 
 import (
@@ -38,7 +38,7 @@ type calibSmokeReport struct {
 // writes the PR's bench artifact.
 func TestBenchSmokeCalibration(t *testing.T) {
 	if os.Getenv("COSMODEL_BENCH_SMOKE") == "" {
-		t.Skip("set COSMODEL_BENCH_SMOKE=1 to produce BENCH_PR4.json")
+		t.Skip("set COSMODEL_BENCH_SMOKE=1 to produce results/BENCH_PR4.json")
 	}
 	props := cosmodel.DeviceProperties{
 		IndexDisk: cosmodel.NewGammaMeanSCV(9e-3, 0.45),
@@ -111,9 +111,6 @@ func TestBenchSmokeCalibration(t *testing.T) {
 		t.Fatal(err)
 	}
 	out = append(out, '\n')
-	if err := os.WriteFile("BENCH_PR4.json", out, 0o644); err != nil {
-		t.Fatal(err)
-	}
 	if err := os.MkdirAll("results", 0o755); err != nil {
 		t.Fatal(err)
 	}

@@ -46,6 +46,9 @@ func main() {
 		fmt.Printf("cosserve: online calibration on (confirm %d windows, cooldown %d, KS factor %.2f)\n",
 			cfg.Calib.ConfirmWindows, cfg.Calib.CooldownWindows, cfg.Calib.KSFactor)
 	}
+	if cfg.Pprof {
+		fmt.Println("cosserve: pprof profiling endpoints mounted under /debug/pprof/")
+	}
 	fmt.Printf("cosserve: listening on %s\n", run.addr)
 
 	// SIGINT/SIGTERM start a graceful drain: the listener closes, in-flight
@@ -88,6 +91,9 @@ func configure(args []string) (cosmodel.ServeConfig, runOptions, error) {
 		evalTO   = fs.Duration("eval-timeout", 10*time.Second, "per-query model evaluation budget (0 = unbounded)")
 		grace    = fs.Duration("shutdown-grace", 15*time.Second, "drain time for in-flight requests on SIGINT/SIGTERM")
 
+		obsPprof   = fs.Bool("obs-pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/")
+		obsRuntime = fs.Bool("obs-runtime", false, "expose Go runtime gauges (goroutines, heap, GC) at /metrics/prom")
+
 		calibOn   = fs.Bool("calib", false, "enable online calibration and drift detection")
 		calibPHD  = fs.Float64("calib-ph-delta", 0, "Page-Hinkley drift magnitude (0 = default)")
 		calibPHL  = fs.Float64("calib-ph-lambda", 0, "Page-Hinkley alarm threshold (0 = default)")
@@ -124,6 +130,8 @@ func configure(args []string) (cosmodel.ServeConfig, runOptions, error) {
 	cfg.MaxInflight = *inflight
 	cfg.CacheEntries = *cacheN
 	cfg.Opts.EvalTimeout = *evalTO
+	cfg.Pprof = *obsPprof
+	cfg.RuntimeMetrics = *obsRuntime
 	if *calibOn {
 		cc := cosmodel.DefaultCalibConfig(cfg.Devices)
 		override := func(dst *float64, v float64) {

@@ -37,10 +37,13 @@ func (c Class) String() string {
 	return fmt.Sprintf("Class(%d)", uint8(c))
 }
 
-// Stats counts accesses per class.
+// Stats counts accesses per class, plus capacity-pressure evictions.
 type Stats struct {
 	Hits   [numClasses]uint64
 	Misses [numClasses]uint64
+	// Evictions counts entries removed to make room (by Access, Put or a
+	// shrinking Resize); explicit Remove and Flush are not evictions.
+	Evictions uint64
 }
 
 // MissRatio returns misses/(hits+misses) for a class, or 0 if unobserved.
@@ -62,6 +65,7 @@ func (s Stats) Sub(prev Stats) Stats {
 		out.Hits[i] = s.Hits[i] - prev.Hits[i]
 		out.Misses[i] = s.Misses[i] - prev.Misses[i]
 	}
+	out.Evictions = s.Evictions - prev.Evictions
 	return out
 }
 
@@ -182,6 +186,7 @@ func (c *LRU) evictFor(size int64) {
 			return
 		}
 		c.removeElement(back)
+		c.stats.Evictions++
 	}
 }
 

@@ -107,6 +107,28 @@ func TestEvictionIsLRU(t *testing.T) {
 	if c.Contains("b") {
 		t.Error("b should have been evicted")
 	}
+	if got := c.Stats().Evictions; got != 1 {
+		t.Errorf("Evictions = %d, want 1", got)
+	}
+	// Explicit removal and flushing are not capacity evictions.
+	c.Remove("a")
+	c.Flush()
+	if got := c.Stats().Evictions; got != 1 {
+		t.Errorf("Evictions after Remove+Flush = %d, want 1", got)
+	}
+	// A shrinking resize evicts the rest.
+	c.Access(ClassData, "x", 10)
+	c.Access(ClassData, "y", 10)
+	if err := c.Resize(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Evictions; got != 2 {
+		t.Errorf("Evictions after shrink = %d, want 2", got)
+	}
+	delta := c.Stats().Sub(Stats{Evictions: 1})
+	if delta.Evictions != 1 {
+		t.Errorf("Sub delta evictions = %d, want 1", delta.Evictions)
+	}
 }
 
 func TestCapacityNeverExceeded(t *testing.T) {

@@ -98,6 +98,15 @@ type Config struct {
 	// core.DefaultMissThreshold.
 	MissThreshold float64
 
+	// OnTransition, when non-nil, is called once per device whose drift
+	// state changed during a Controller.Observe call (a recalibration
+	// moves every device into cooldown at once, so one Observe may report
+	// several transitions). It runs after the controller's lock is
+	// released, so it may call back into the controller; it must be safe
+	// for concurrent use. Observability layers hook it to count
+	// stable/drifting/recalibrating transitions.
+	OnTransition func(device int, from, to DeviceState)
+
 	// Now supplies wall-clock time; nil means time.Now.
 	Now func() time.Time
 	// Logf receives diagnostic lines; nil discards them.

@@ -118,7 +118,36 @@ func (c *Controller) Observe(ws WindowStats) (recalibrated bool, err error) {
 		return false, err
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	// Snapshot every device's state: a recalibration cools down all of
+	// them, so transitions are not confined to ws.Device.
+	var before []DeviceState
+	if c.cfg.OnTransition != nil {
+		before = make([]DeviceState, len(c.devs))
+		for i, d := range c.devs {
+			before[i] = d.state()
+		}
+	}
+	recalibrated, err = c.observeLocked(ws)
+	type transition struct {
+		device   int
+		from, to DeviceState
+	}
+	var changed []transition
+	for i := range before {
+		if to := c.devs[i].state(); to != before[i] {
+			changed = append(changed, transition{i, before[i], to})
+		}
+	}
+	c.mu.Unlock()
+	// Fire outside the lock so the hook may call Status or Props.
+	for _, tr := range changed {
+		c.cfg.OnTransition(tr.device, tr.from, tr.to)
+	}
+	return recalibrated, err
+}
+
+// observeLocked is Observe's body; c.mu must be held.
+func (c *Controller) observeLocked(ws WindowStats) (recalibrated bool, err error) {
 	d := c.devs[ws.Device]
 	c.windows++
 	d.windows++

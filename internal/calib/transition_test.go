@@ -1,0 +1,94 @@
+package calib
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cosmodel/internal/dist"
+)
+
+// TestOnTransitionFiresPerDevice drives device 0 through the full
+// stable → drifting → recalibrating cycle and checks that every state
+// change — including the cross-device cooldown a recalibration imposes —
+// surfaces exactly once through Config.OnTransition.
+func TestOnTransitionFiresPerDevice(t *testing.T) {
+	props := baseProps()
+	type tr struct {
+		device   int
+		from, to DeviceState
+	}
+	var seen []tr
+	cfg := DefaultConfig(2)
+	cfg.OnTransition = func(device int, from, to DeviceState) {
+		seen = append(seen, tr{device, from, to})
+	}
+	c, err := New(cfg, props, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	for w := 0; w < 20; w++ {
+		for dev := 0; dev < 2; dev++ {
+			if _, err := c.Observe(windowFrom(dev, props.IndexDisk, props.MetaDisk, props.DataDisk, 0.30, rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if len(seen) != 0 {
+		t.Fatalf("stationary warmup fired transitions: %v", seen)
+	}
+
+	// Shift only device 0; device 1 stays on the served regime until the
+	// recalibration cools every device down.
+	slow := dist.NewGammaMeanSCV(16e-3, 1.6)
+	recalibrated := false
+	for w := 0; w < 10 && !recalibrated; w++ {
+		var err error
+		recalibrated, err = c.Observe(windowFrom(0, props.IndexDisk, props.MetaDisk, slow, 0.45, rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Observe(windowFrom(1, props.IndexDisk, props.MetaDisk, props.DataDisk, 0.30, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !recalibrated {
+		t.Fatal("drift never confirmed")
+	}
+	want := map[string]bool{
+		"0:stable->drifting":        false,
+		"0:drifting->recalibrating": false,
+		"1:stable->recalibrating":   false, // cross-device cooldown
+	}
+	for _, s := range seen {
+		key := fmt.Sprintf("%d:%s->%s", s.device, s.from, s.to)
+		if _, ok := want[key]; ok {
+			want[key] = true
+		}
+	}
+	for key, hit := range want {
+		if !hit {
+			t.Errorf("transition %s never fired (saw %v)", key, seen)
+		}
+	}
+
+	// Cooldown expiry returns the devices to stable, again via the hook.
+	before := len(seen)
+	for w := 0; w <= cfg.CooldownWindows+1; w++ {
+		for dev := 0; dev < 2; dev++ {
+			if _, err := c.Observe(windowFrom(dev, props.IndexDisk, props.MetaDisk, slow, 0.45, rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	backToStable := 0
+	for _, s := range seen[before:] {
+		if s.from == Recalibrating && s.to != Recalibrating {
+			backToStable++
+		}
+	}
+	if backToStable < 2 {
+		t.Errorf("cooldown expiry transitions = %d, want both devices (saw %v)", backToStable, seen[before:])
+	}
+}

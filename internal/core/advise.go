@@ -128,7 +128,7 @@ func MaxAdmissibleRate(d Deployment, sla, target float64) (float64, error) {
 // the deployment's Opts.EvalTimeout are observed at every bisection probe
 // (overload at a probe point simply bounds the search; cancellation and
 // numerical failure abort it with the error).
-func MaxAdmissibleRateContext(ctx context.Context, d Deployment, sla, target float64) (float64, error) {
+func MaxAdmissibleRateContext(ctx context.Context, d Deployment, sla, target float64) (rate float64, err error) {
 	if err := d.Validate(); err != nil {
 		return 0, err
 	}
@@ -137,7 +137,11 @@ func MaxAdmissibleRateContext(ctx context.Context, d Deployment, sla, target flo
 	}
 	ctx, cancel := d.Opts.EvalContext(ctx)
 	defer cancel()
+	probes := 0
+	done := d.Opts.span("max_admissible_rate", 0, 0)
+	defer func() { done(probes, err) }()
 	meets := func(ctx context.Context, rate float64) (bool, error) {
+		probes++
 		p, err := d.MeetFractionContext(ctx, rate, sla)
 		switch {
 		case err == nil:

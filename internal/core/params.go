@@ -224,6 +224,42 @@ type Options struct {
 	// goroutines and must be safe for concurrent use. Serving layers hook
 	// it to report degraded health.
 	OnFallback func(from, to string)
+	// Observer, when non-nil, receives one EvalEvent per completed
+	// top-level evaluation span (CDFContext, BackendCDFContext,
+	// QuantileContext, MaxAdmissibleRateContext and their context-free
+	// wrappers). Nested spans each fire their own event: an admission
+	// search reports one max_admissible_rate event plus one cdf event per
+	// probe. The callback may run concurrently and must be cheap — it sits
+	// on the evaluation path.
+	Observer func(EvalEvent)
+	// Pool, when non-nil, is the worker pool the evaluation engine fans
+	// mixture groups across, overriding Workers. Injecting a pool lets a
+	// serving layer share one bounded pool across every model it builds
+	// (and meter its utilization) instead of each model constructing its
+	// own.
+	Pool *parallel.Pool
+}
+
+// EvalEvent describes one completed evaluation span for Options.Observer:
+// which entry point ran, how much work it did and how long it took.
+type EvalEvent struct {
+	// Op identifies the entry point: "cdf", "backend_cdf", "quantile" or
+	// "max_admissible_rate".
+	Op string
+	// Groups is the number of distinct mixture groups the evaluation fans
+	// out over (0 for spans without a single underlying model, like
+	// admission searches).
+	Groups int
+	// Nodes is the quadrature node count of the configured inverter (0
+	// when the inverter does not expose its nodes).
+	Nodes int
+	// Probes counts inner CDF evaluations for search spans (quantile
+	// bisection, admission-rate search); 0 for single-shot spans.
+	Probes int
+	// Duration is the span's wall time.
+	Duration time.Duration
+	// Err is the error the span returned, if any.
+	Err error
 }
 
 // defaultEuler is the shared inverter behind the nil-Inverter default.
@@ -262,10 +298,34 @@ func (o Options) EvalContext(ctx context.Context) (context.Context, context.Canc
 
 func (o Options) pool() *parallel.Pool {
 	switch {
+	case o.Pool != nil:
+		return o.Pool
 	case o.Workers == 1:
 		return nil
 	case o.Workers > 1:
 		return parallel.New(o.Workers)
 	}
 	return parallel.Default()
+}
+
+// span opens an observer span for op over a model with the given mixture
+// width and node count. The returned func fires the event; it is a no-op
+// when no Observer is configured, so uninstrumented evaluations pay only a
+// nil check.
+func (o Options) span(op string, groups, nodes int) func(probes int, err error) {
+	obs := o.Observer
+	if obs == nil {
+		return func(int, error) {}
+	}
+	start := time.Now()
+	return func(probes int, err error) {
+		obs(EvalEvent{
+			Op:       op,
+			Groups:   groups,
+			Nodes:    nodes,
+			Probes:   probes,
+			Duration: time.Since(start),
+			Err:      err,
+		})
+	}
 }

@@ -50,6 +50,7 @@ type SystemModel struct {
 	weights   []float64
 	groups    []mixGroup
 	totalRate float64
+	nodeCount int // quadrature nodes of the configured inverter, for spans
 }
 
 // NewSystemModel assembles the system model. The frontend and at least one
@@ -85,7 +86,19 @@ func NewSystemModel(fe *FrontendModel, devices []*DeviceModel, opts Options) (*S
 	if s.totalRate <= 0 {
 		return nil, fmt.Errorf("%w: zero total device rate", ErrBadParams)
 	}
+	if opts.Observer != nil {
+		if ni, ok := opts.inverter().(numeric.NodeInverter); ok {
+			nodes, _ := ni.AppendNodes(nil, nil, 1)
+			s.nodeCount = len(nodes)
+		}
+	}
 	return s, nil
+}
+
+// beginSpan opens an observer span for one top-level evaluation of this
+// model; see Options.Observer.
+func (s *SystemModel) beginSpan(op string) func(probes int, err error) {
+	return s.opts.span(op, len(s.groups), s.nodeCount)
 }
 
 // Frontend returns the frontend model.
@@ -117,7 +130,10 @@ func (s *SystemModel) CDF(t float64) float64 {
 func (s *SystemModel) CDFContext(ctx context.Context, t float64) (float64, error) {
 	ctx, cancel := s.opts.EvalContext(ctx)
 	defer cancel()
-	return s.mixtureCDF(ctx, t, true)
+	done := s.beginSpan("cdf")
+	v, err := s.mixtureCDF(ctx, t, true)
+	done(0, err)
+	return v, err
 }
 
 // PercentileMeetingSLA predicts the fraction of requests whose response
@@ -140,7 +156,10 @@ func (s *SystemModel) BackendCDF(t float64) float64 {
 func (s *SystemModel) BackendCDFContext(ctx context.Context, t float64) (float64, error) {
 	ctx, cancel := s.opts.EvalContext(ctx)
 	defer cancel()
-	return s.mixtureCDF(ctx, t, false)
+	done := s.beginSpan("backend_cdf")
+	v, err := s.mixtureCDF(ctx, t, false)
+	done(0, err)
+	return v, err
 }
 
 // groupEvaluator builds the raw (unclamped) per-group CDF evaluator at t
@@ -273,9 +292,12 @@ func (s *SystemModel) Quantile(p float64) float64 {
 // detects a grossly non-monotone CDF (a probe at a larger t reporting a
 // value more than numeric.CDFSlack below a probe at a smaller t, or vice
 // versa), returning numeric.ErrNumerical instead of a garbage quantile.
-func (s *SystemModel) QuantileContext(ctx context.Context, p float64) (float64, error) {
+func (s *SystemModel) QuantileContext(ctx context.Context, p float64) (q float64, err error) {
 	ctx, cancel := s.opts.EvalContext(ctx)
 	defer cancel()
+	probes := 0
+	done := s.beginSpan("quantile")
+	defer func() { done(probes, err) }()
 	if p <= 0 {
 		return 0, nil
 	}
@@ -286,6 +308,7 @@ func (s *SystemModel) QuantileContext(ctx context.Context, p float64) (float64, 
 	if hi <= 0 {
 		hi = 1e-3
 	}
+	probes++
 	vHi, err := s.mixtureCDF(ctx, hi, true)
 	if err != nil {
 		return 0, err
@@ -295,6 +318,7 @@ func (s *SystemModel) QuantileContext(ctx context.Context, p float64) (float64, 
 		if hi > 1e6 {
 			return math.Inf(1), nil
 		}
+		probes++
 		if vHi, err = s.mixtureCDF(ctx, hi, true); err != nil {
 			return 0, err
 		}
@@ -302,6 +326,7 @@ func (s *SystemModel) QuantileContext(ctx context.Context, p float64) (float64, 
 	lo, vLo := 0.0, 0.0
 	for i := 0; i < 60; i++ {
 		mid := (lo + hi) / 2
+		probes++
 		v, err := s.mixtureCDF(ctx, mid, true)
 		if err != nil {
 			return 0, err

@@ -1,0 +1,302 @@
+// Package obs is the prediction service's zero-dependency observability
+// layer: a metrics registry of counters, gauges and log-bucketed latency
+// histograms (reusing the stats package's HDR-style histogram) with
+// Prometheus text-format exposition.
+//
+// The paper's whole subject is latency percentiles, so the predictor that
+// serves them must be measurable the same way it models the storage backend:
+// the registry carries the server's own per-endpoint latency distributions
+// (self-measured p50/p95/p99 next to the model's predicted percentiles),
+// span-style evaluation metrics from the model engine (inversion node
+// counts, wall time), worker-pool utilization, cache effectiveness and
+// calibration state transitions.
+//
+// Metrics are identified by name plus an optional set of constant labels
+// fixed at registration. Registration is get-or-create: asking for the same
+// (name, labels) pair returns the existing metric, so independent components
+// can share a registry without coordination. Metric names and label names
+// must match Prometheus conventions ([a-zA-Z_:][a-zA-Z0-9_:]*); violations
+// panic at registration time — they are programmer errors, never data-path
+// errors.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"cosmodel/internal/stats"
+)
+
+// Labels are constant key/value pairs attached to a metric at registration.
+type Labels map[string]string
+
+// metricKind is the Prometheus type of a metric family.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindSummary
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindSummary:
+		return "summary"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing counter. Safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable float64 value. Safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a concurrency-safe log-bucketed latency histogram exposed in
+// Prometheus text format as a summary: the configured quantiles plus _sum
+// and _count. Quantile values are bucket upper bounds, so their relative
+// error is bounded by the underlying histogram's growth factor (5% for the
+// standard latency layout).
+type Histogram struct {
+	h         *stats.ConcurrentHistogram
+	quantiles []float64
+}
+
+// Observe records one value. Non-finite or negative values are dropped by
+// the underlying histogram (see stats.Histogram.Observe) and surface in
+// Dropped, never in the quantiles.
+func (h *Histogram) Observe(v float64) { h.h.Observe(v) }
+
+// Count returns the number of (accepted) observations.
+func (h *Histogram) Count() uint64 { return h.h.Count() }
+
+// Dropped returns the number of rejected (NaN, infinite, negative)
+// observations.
+func (h *Histogram) Dropped() uint64 { return h.h.Dropped() }
+
+// Quantile returns an upper bound of the q-quantile (0 when empty).
+func (h *Histogram) Quantile(q float64) float64 { return h.h.Quantile(q) }
+
+// Mean returns the mean of the accepted observations (0 when empty).
+func (h *Histogram) Mean() float64 { return h.h.Mean() }
+
+// Snapshot returns a point-in-time copy of the underlying histogram.
+func (h *Histogram) Snapshot() *stats.Histogram { return h.h.Snapshot() }
+
+// DefaultQuantiles are the summary quantiles exposed when none are given:
+// the median and the two tail percentiles the paper's SLA analysis lives on.
+var DefaultQuantiles = []float64{0.5, 0.95, 0.99}
+
+// metric is one registered time series within a family.
+type metric struct {
+	labels    Labels
+	labelKey  string // canonical serialized labels, for dedup and ordering
+	counter   *Counter
+	gauge     *Gauge
+	gaugeFn   func() float64
+	histogram *Histogram
+}
+
+// family groups all metrics sharing one name (and therefore one type).
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	order   []string // label keys in registration order
+	metrics map[string]*metric
+}
+
+// Registry holds named metrics and renders them in Prometheus text format.
+// The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	names    []string // registration order of family names
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the counter registered under (name, labels), creating it
+// on first use. It panics when name is invalid or already registered with a
+// different type.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	m := r.getOrCreate(name, help, kindCounter, labels, func() *metric {
+		return &metric{counter: &Counter{}}
+	})
+	return m.counter
+}
+
+// Gauge returns the gauge registered under (name, labels), creating it on
+// first use.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	m := r.getOrCreate(name, help, kindGauge, labels, func() *metric {
+		return &metric{gauge: &Gauge{}}
+	})
+	return m.gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at exposition
+// time (scrape-time collection for values already tracked elsewhere, e.g.
+// pool utilization or cache occupancy). Re-registering the same (name,
+// labels) replaces the callback.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	m := r.getOrCreate(name, help, kindGauge, labels, func() *metric {
+		return &metric{}
+	})
+	r.mu.Lock()
+	m.gaugeFn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the summary-exposed histogram registered under (name,
+// labels), creating it on first use with the standard latency layout
+// (1 µs – 1000 s, 5% resolution) and DefaultQuantiles.
+func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
+	m := r.getOrCreate(name, help, kindSummary, labels, func() *metric {
+		return &metric{histogram: &Histogram{
+			h:         stats.NewConcurrentLatencyHistogram(),
+			quantiles: DefaultQuantiles,
+		}}
+	})
+	return m.histogram
+}
+
+// getOrCreate implements the registration path shared by every metric type.
+func (r *Registry) getOrCreate(name, help string, kind metricKind, labels Labels, build func() *metric) *metric {
+	mustValidName(name)
+	for k := range labels {
+		mustValidName(k)
+	}
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, metrics: make(map[string]*metric)}
+		r.families[name] = f
+		r.names = append(r.names, name)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	m, ok := f.metrics[key]
+	if !ok {
+		m = build()
+		m.labels = cloneLabels(labels)
+		m.labelKey = key
+		f.metrics[key] = m
+		f.order = append(f.order, key)
+	}
+	return m
+}
+
+// mustValidName panics unless s is a valid Prometheus metric or label name.
+func mustValidName(s string) {
+	if !validName(s) {
+		panic(fmt.Sprintf("obs: invalid metric or label name %q", s))
+	}
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func cloneLabels(l Labels) Labels {
+	if len(l) == 0 {
+		return nil
+	}
+	out := make(Labels, len(l))
+	for k, v := range l {
+		out[k] = v
+	}
+	return out
+}
+
+// labelKey serializes labels canonically (sorted by key).
+func labelKey(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(escapeLabelValue(l[k]))
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text format:
+// backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}

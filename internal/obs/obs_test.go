@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"cosmodel/internal/obs/promtest"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Requests.", nil)
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Errorf("counter = %d, want 3", c.Value())
+	}
+	g := r.Gauge("queue_depth", "Depth.", nil)
+	g.Set(4.5)
+	if g.Value() != 4.5 {
+		t.Errorf("gauge = %v, want 4.5", g.Value())
+	}
+	g.Set(-1)
+	if g.Value() != -1 {
+		t.Errorf("gauge = %v, want -1", g.Value())
+	}
+}
+
+func TestGetOrCreateIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits_total", "Hits.", Labels{"class": "data"})
+	b := r.Counter("hits_total", "Hits.", Labels{"class": "data"})
+	if a != b {
+		t.Error("same (name, labels) must return the same counter")
+	}
+	c := r.Counter("hits_total", "Hits.", Labels{"class": "meta"})
+	if a == c {
+		t.Error("different labels must return distinct counters")
+	}
+	a.Inc()
+	if b.Value() != 1 || c.Value() != 0 {
+		t.Errorf("values = %d, %d", b.Value(), c.Value())
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	mustPanic("invalid metric name", func() { r.Counter("bad-name", "", nil) })
+	mustPanic("leading digit", func() { r.Counter("9lives", "", nil) })
+	mustPanic("invalid label name", func() { r.Gauge("ok_name", "", Labels{"bad-label": "x"}) })
+	r.Counter("dual_use", "", nil)
+	mustPanic("kind mismatch", func() { r.Gauge("dual_use", "", nil) })
+}
+
+func TestGaugeFuncReplacedAndLazy(t *testing.T) {
+	r := NewRegistry()
+	calls := 0
+	r.GaugeFunc("lazy_value", "Lazy.", nil, func() float64 { calls++; return 1 })
+	r.GaugeFunc("lazy_value", "Lazy.", nil, func() float64 { calls++; return 2 })
+	if calls != 0 {
+		t.Errorf("gauge callbacks ran at registration: %d calls", calls)
+	}
+	samples := render(t, r)
+	if samples["lazy_value"] != 2 {
+		t.Errorf("lazy_value = %v, want the replacement callback's 2", samples["lazy_value"])
+	}
+	if calls != 1 {
+		t.Errorf("callback calls = %d, want 1 (replaced callback must not run)", calls)
+	}
+}
+
+func TestHistogramSummaryExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("request_seconds", "Latency.", Labels{"path": "/predict"})
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.010)
+	}
+	h.Observe(math.NaN()) // must be dropped, not poison the quantiles
+	h.Observe(-1)
+	if h.Count() != 1000 || h.Dropped() != 2 {
+		t.Fatalf("count = %d dropped = %d", h.Count(), h.Dropped())
+	}
+	samples := render(t, r)
+	q50, ok := samples[`request_seconds{path="/predict",quantile="0.5"}`]
+	if !ok {
+		t.Fatalf("no p50 sample in %v", samples)
+	}
+	// Quantiles are bucket upper bounds: within the 5% growth factor.
+	if q50 < 0.010 || q50 > 0.0105*1.05 {
+		t.Errorf("p50 = %v, want ~0.010", q50)
+	}
+	if n := samples[`request_seconds_count{path="/predict"}`]; n != 1000 {
+		t.Errorf("count sample = %v, want 1000 (dropped values excluded)", n)
+	}
+	sum := samples[`request_seconds_sum{path="/predict"}`]
+	if math.Abs(sum-h.Mean()*1000) > 1e-9 || !(sum > 0) {
+		t.Errorf("sum sample = %v, want mean*count = %v", sum, h.Mean()*1000)
+	}
+}
+
+func TestWritePrometheusParsesAndEscapes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("events_total", "Events with \\ and\nnewline help.", Labels{"kind": `quote " backslash \ newline` + "\n"}).Add(7)
+	r.Gauge("temperature", "", nil).Set(-3.25)
+	r.GaugeFunc("derived", "Scrape-time.", nil, func() float64 { return 42 })
+	r.Histogram("lat_seconds", "Latency.", nil).Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	samples, err := promtest.Parse(text)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, text)
+	}
+	found := false
+	for key, v := range samples {
+		if strings.HasPrefix(key, "events_total{") {
+			found = true
+			if v != 7 {
+				t.Errorf("events_total = %v", v)
+			}
+			if !strings.Contains(key, `\"`) || !strings.Contains(key, `\\`) || !strings.Contains(key, `\n`) {
+				t.Errorf("label value not escaped: %q", key)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no events_total sample in:\n%s", text)
+	}
+	if samples["temperature"] != -3.25 || samples["derived"] != 42 {
+		t.Errorf("gauge samples wrong: %v", samples)
+	}
+	if samples["lat_seconds_count"] != 1 {
+		t.Errorf("summary count = %v", samples["lat_seconds_count"])
+	}
+
+	// Deterministic output: a second render must be byte-identical.
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != text {
+		t.Error("two renders of an unchanged registry differ")
+	}
+}
+
+func TestRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	samples := render(t, r)
+	if samples["go_goroutines"] < 1 {
+		t.Errorf("go_goroutines = %v", samples["go_goroutines"])
+	}
+	if samples["go_mem_heap_alloc_bytes"] <= 0 {
+		t.Errorf("go_mem_heap_alloc_bytes = %v", samples["go_mem_heap_alloc_bytes"])
+	}
+}
+
+func TestConcurrentRegistrationAndWrite(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("shared_total", "Shared.", nil).Inc()
+				r.Histogram("shared_seconds", "Shared.", Labels{"g": string(rune('a' + g%4))}).Observe(0.001)
+				if i%50 == 0 {
+					var b strings.Builder
+					if err := r.WritePrometheus(&b); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total", "Shared.", nil).Value(); got != 8*200 {
+		t.Errorf("shared_total = %d, want %d", got, 8*200)
+	}
+	if _, err := promtest.Parse(renderText(t, r)); err != nil {
+		t.Errorf("post-race exposition does not parse: %v", err)
+	}
+}
+
+func render(t *testing.T, r *Registry) map[string]float64 {
+	t.Helper()
+	samples, err := promtest.Parse(renderText(t, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+func renderText(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}

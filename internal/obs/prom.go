@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Content-Type of the Prometheus text exposition format
+// rendered by WritePrometheus.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): one # HELP and # TYPE line per family,
+// then one sample line per series. Families are emitted in name order so the
+// output is deterministic and diffable; gauge callbacks are invoked at
+// exposition time.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := append([]string(nil), r.names...)
+	r.mu.RUnlock()
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		r.mu.RLock()
+		f := r.families[name]
+		keys := append([]string(nil), f.order...)
+		metrics := make([]*metric, len(keys))
+		for i, k := range keys {
+			metrics[i] = f.metrics[k]
+		}
+		help, kind := f.help, f.kind
+		r.mu.RUnlock()
+
+		b.Reset()
+		if help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, escapeHelp(help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, kind)
+		for _, m := range metrics {
+			writeMetric(&b, name, m, kind)
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeMetric(b *strings.Builder, name string, m *metric, kind metricKind) {
+	switch kind {
+	case kindCounter:
+		sample(b, name, m.labels, nil, formatUint(m.counter.Value()))
+	case kindGauge:
+		v := 0.0
+		switch {
+		case m.gaugeFn != nil:
+			v = m.gaugeFn()
+		case m.gauge != nil:
+			v = m.gauge.Value()
+		}
+		sample(b, name, m.labels, nil, formatFloat(v))
+	case kindSummary:
+		// Snapshot once so the quantiles, sum and count are consistent.
+		h := m.histogram
+		snap := h.Snapshot()
+		for _, q := range h.quantiles {
+			v := 0.0
+			if snap.Count() > 0 {
+				v = snap.Quantile(q)
+			}
+			sample(b, name, m.labels, Labels{"quantile": formatFloat(q)}, formatFloat(v))
+		}
+		sample(b, name+"_sum", m.labels, nil, formatFloat(snap.Mean()*float64(snap.Count())))
+		sample(b, name+"_count", m.labels, nil, formatUint(snap.Count()))
+	}
+}
+
+// sample writes one exposition line: name{labels} value.
+func sample(b *strings.Builder, name string, labels, extra Labels, value string) {
+	b.WriteString(name)
+	if len(labels)+len(extra) > 0 {
+		b.WriteByte('{')
+		first := true
+		writeSet := func(l Labels) {
+			keys := make([]string, 0, len(l))
+			for k := range l {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				if !first {
+					b.WriteByte(',')
+				}
+				first = false
+				b.WriteString(k)
+				b.WriteString(`="`)
+				b.WriteString(escapeLabelValue(l[k]))
+				b.WriteByte('"')
+			}
+		}
+		writeSet(labels)
+		writeSet(extra)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+// escapeHelp escapes a HELP string per the text format: backslash and
+// newline (double quotes are legal there).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatUint(v uint64) string {
+	return strconv.FormatUint(v, 10)
+}

@@ -1,0 +1,226 @@
+// Package promtest is a test helper that validates Prometheus text
+// exposition format (version 0.0.4) output without importing the Prometheus
+// client libraries. It enforces the structural rules a real scraper relies
+// on: comment syntax, metric and label name grammar, label-value escaping,
+// parseable sample values, at most one TYPE line per family declared before
+// that family's samples, and family contiguity (a family's samples never
+// resume after another family has started).
+package promtest
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// validTypes are the metric types the text format admits.
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "summary": true,
+	"histogram": true, "untyped": true,
+}
+
+// Parse validates text as Prometheus exposition format and returns every
+// sample keyed exactly as rendered (name plus the {label="value"} block, if
+// any). Duplicate sample keys, malformed lines and ordering violations are
+// errors.
+func Parse(text string) (map[string]float64, error) {
+	samples := make(map[string]float64)
+	types := make(map[string]string) // family -> declared type
+	closed := make(map[string]bool)  // families whose sample block ended
+	current := ""                    // family currently emitting samples
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		l := sc.Text()
+		switch {
+		case l == "":
+			continue
+		case strings.HasPrefix(l, "# HELP "):
+			rest := strings.TrimPrefix(l, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !validName(name) {
+				return nil, fmt.Errorf("line %d: malformed HELP: %q", line, l)
+			}
+		case strings.HasPrefix(l, "# TYPE "):
+			rest := strings.TrimPrefix(l, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || !validName(name) || !validTypes[typ] {
+				return nil, fmt.Errorf("line %d: malformed TYPE: %q", line, l)
+			}
+			if _, dup := types[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %q", line, name)
+			}
+			types[name] = typ
+		case strings.HasPrefix(l, "#"):
+			continue // other comments are legal and skipped
+		default:
+			key, value, err := parseSample(l)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", line, err)
+			}
+			name := key
+			if i := strings.IndexByte(key, '{'); i >= 0 {
+				name = key[:i]
+			}
+			fam := familyOf(name, types)
+			if fam != current {
+				if current != "" {
+					closed[current] = true
+				}
+				if closed[fam] {
+					return nil, fmt.Errorf("line %d: family %q resumes after another family's samples", line, fam)
+				}
+				current = fam
+			}
+			if _, dup := samples[key]; dup {
+				return nil, fmt.Errorf("line %d: duplicate sample %q", line, key)
+			}
+			samples[key] = value
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// familyOf resolves a sample name to its metric family, folding the _sum and
+// _count series of a declared summary or histogram into the base family.
+func familyOf(name string, types map[string]string) string {
+	for _, suffix := range []string{"_sum", "_count", "_bucket"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && (types[base] == "summary" || types[base] == "histogram") {
+			return base
+		}
+	}
+	return name
+}
+
+// parseSample splits one sample line into its series key (name plus label
+// block) and value, validating the grammar along the way.
+func parseSample(l string) (key string, value float64, err error) {
+	rest := l
+	name := rest
+	if i := strings.IndexAny(rest, "{ "); i >= 0 {
+		name = rest[:i]
+	}
+	if !validName(name) {
+		return "", 0, fmt.Errorf("invalid metric name in %q", l)
+	}
+	rest = rest[len(name):]
+	labels := ""
+	if strings.HasPrefix(rest, "{") {
+		end := labelBlockEnd(rest)
+		if end < 0 {
+			return "", 0, fmt.Errorf("unterminated label block in %q", l)
+		}
+		labels = rest[:end+1]
+		if err := validateLabels(labels); err != nil {
+			return "", 0, fmt.Errorf("%v in %q", err, l)
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	// An optional timestamp may follow the value.
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", 0, fmt.Errorf("expected value (and optional timestamp) in %q", l)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("unparseable value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", 0, fmt.Errorf("unparseable timestamp %q", fields[1])
+		}
+	}
+	return name + labels, v, nil
+}
+
+// labelBlockEnd returns the index of the closing brace of the label block at
+// the start of s, honouring escaped characters inside quoted values.
+func labelBlockEnd(s string) int {
+	inQuotes := false
+	for i := 1; i < len(s); i++ {
+		switch {
+		case inQuotes && s[i] == '\\':
+			i++ // skip the escaped character
+		case s[i] == '"':
+			inQuotes = !inQuotes
+		case !inQuotes && s[i] == '}':
+			return i
+		}
+	}
+	return -1
+}
+
+// validateLabels checks a {name="value",...} block: label-name grammar,
+// quoted values, and legal escapes (\\, \", \n) only.
+func validateLabels(block string) error {
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	if inner == "" {
+		return nil
+	}
+	for len(inner) > 0 {
+		eq := strings.IndexByte(inner, '=')
+		if eq < 0 {
+			return fmt.Errorf("label without '=' near %q", inner)
+		}
+		lname := inner[:eq]
+		if !validName(lname) {
+			return fmt.Errorf("invalid label name %q", lname)
+		}
+		inner = inner[eq+1:]
+		if !strings.HasPrefix(inner, `"`) {
+			return fmt.Errorf("unquoted label value near %q", inner)
+		}
+		end := -1
+		for i := 1; i < len(inner); i++ {
+			if inner[i] == '\\' {
+				if i+1 >= len(inner) || !strings.ContainsRune(`\"n`, rune(inner[i+1])) {
+					return fmt.Errorf("illegal escape in label value near %q", inner)
+				}
+				i++
+				continue
+			}
+			if inner[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("unterminated label value near %q", inner)
+		}
+		inner = inner[end+1:]
+		if inner == "" {
+			break
+		}
+		if !strings.HasPrefix(inner, ",") {
+			return fmt.Errorf("missing ',' between labels near %q", inner)
+		}
+		inner = inner[1:]
+	}
+	return nil
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

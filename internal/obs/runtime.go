@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsCacheTTL bounds how often a scrape may trigger a fresh
+// runtime.ReadMemStats: the call briefly stops the world, so back-to-back
+// gauge evaluations within one exposition (or an aggressive scraper) share
+// one snapshot instead of paying it per gauge.
+const memStatsCacheTTL = time.Second
+
+// RegisterRuntimeMetrics registers process-level runtime gauges on r:
+// goroutine count, heap usage and garbage-collection activity. All values
+// are collected lazily at exposition time; the MemStats snapshot behind the
+// memory and GC gauges is cached for memStatsCacheTTL.
+func RegisterRuntimeMetrics(r *Registry) {
+	var (
+		mu   sync.Mutex
+		ms   runtime.MemStats
+		last time.Time
+	)
+	mem := func(f func(*runtime.MemStats) float64) func() float64 {
+		return func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			if now := time.Now(); now.Sub(last) > memStatsCacheTTL {
+				runtime.ReadMemStats(&ms)
+				last = now
+			}
+			return f(&ms)
+		}
+	}
+	r.GaugeFunc("go_goroutines", "Number of goroutines that currently exist.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_mem_heap_alloc_bytes", "Bytes of allocated heap objects.", nil,
+		mem(func(m *runtime.MemStats) float64 { return float64(m.HeapAlloc) }))
+	r.GaugeFunc("go_mem_heap_objects", "Number of allocated heap objects.", nil,
+		mem(func(m *runtime.MemStats) float64 { return float64(m.HeapObjects) }))
+	r.GaugeFunc("go_mem_heap_sys_bytes", "Bytes of heap memory obtained from the OS.", nil,
+		mem(func(m *runtime.MemStats) float64 { return float64(m.HeapSys) }))
+	r.GaugeFunc("go_gc_cycles_total", "Completed garbage-collection cycles.", nil,
+		mem(func(m *runtime.MemStats) float64 { return float64(m.NumGC) }))
+	r.GaugeFunc("go_gc_pause_total_seconds", "Cumulative stop-the-world GC pause time.", nil,
+		mem(func(m *runtime.MemStats) float64 { return float64(m.PauseTotalNs) / 1e9 }))
+	r.GaugeFunc("go_gc_pause_last_seconds", "Duration of the most recent GC pause.", nil,
+		mem(func(m *runtime.MemStats) float64 {
+			if m.NumGC == 0 {
+				return 0
+			}
+			return float64(m.PauseNs[(m.NumGC+255)%256]) / 1e9
+		}))
+}

@@ -1,0 +1,57 @@
+package parallel
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolMeters(t *testing.T) {
+	p := New(4)
+	var maxBusy atomic.Int64
+	const n = 64
+	err := p.ForEachContext(context.Background(), n, func(i int) error {
+		if b := int64(p.Busy()); b > maxBusy.Load() {
+			maxBusy.Store(b)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Tasks(); got != n {
+		t.Errorf("Tasks = %d, want %d", got, n)
+	}
+	if b := maxBusy.Load(); b < 1 || b > int64(p.Workers()) {
+		t.Errorf("observed Busy peak %d outside [1, %d]", b, p.Workers())
+	}
+	if p.Busy() != 0 {
+		t.Errorf("Busy = %d after fan-out, want 0", p.Busy())
+	}
+	if p.HelpersInUse() != 0 {
+		t.Errorf("HelpersInUse = %d after fan-out, want 0", p.HelpersInUse())
+	}
+}
+
+func TestPoolMetersCountPanics(t *testing.T) {
+	p := New(2)
+	err := p.ForEachContext(context.Background(), 1, func(int) error {
+		panic("boom")
+	})
+	if !IsPanic(err) {
+		t.Fatalf("err = %v, want panic error", err)
+	}
+	if p.Tasks() != 1 {
+		t.Errorf("Tasks = %d, want 1 (panicked iterations count)", p.Tasks())
+	}
+	if p.Busy() != 0 {
+		t.Errorf("Busy = %d after panic, want 0", p.Busy())
+	}
+}
+
+func TestNilPoolMeters(t *testing.T) {
+	var p *Pool
+	if p.Tasks() != 0 || p.Busy() != 0 || p.HelpersInUse() != 0 {
+		t.Error("nil pool meters must read zero")
+	}
+}

@@ -34,6 +34,11 @@ import (
 // shared by all concurrent ForEach calls on the same pool.
 type Pool struct {
 	helpers chan struct{} // semaphore: one token per live helper goroutine
+
+	// Utilization meters, read by observability gauges. A nil pool runs
+	// sequentially and meters nothing.
+	tasks atomic.Uint64 // iterations completed (or failed) across all fan-outs
+	busy  atomic.Int64  // goroutines currently inside fn, caller included
 }
 
 // New returns a pool allowing up to workers goroutines per fan-out,
@@ -58,6 +63,35 @@ func (p *Pool) Workers() int {
 		return 1
 	}
 	return cap(p.helpers) + 1
+}
+
+// Tasks reports the total number of iterations the pool has executed across
+// all fan-outs (including failed and panicked ones). 0 for a nil pool.
+func (p *Pool) Tasks() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.tasks.Load()
+}
+
+// Busy reports how many goroutines are currently executing an iteration,
+// callers included — an instantaneous utilization reading against Workers.
+// 0 for a nil pool.
+func (p *Pool) Busy() int {
+	if p == nil {
+		return 0
+	}
+	return int(p.busy.Load())
+}
+
+// HelpersInUse reports how many helper goroutines are currently live —
+// the pool's instantaneous queue depth against its helper budget
+// (Workers - 1). 0 for a nil pool.
+func (p *Pool) HelpersInUse() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.helpers)
 }
 
 // PanicError is the error a panicking task is converted into by
@@ -123,6 +157,11 @@ func (p *Pool) ForEachContext(ctx context.Context, n int, fn func(int) error) er
 		done     = ctx.Done()
 		fail     = func(err error) { failure.CompareAndSwap(nil, &err) }
 		safeCall = func(i int) (err error) {
+			if p != nil {
+				p.busy.Add(1)
+				defer p.busy.Add(-1)
+				defer p.tasks.Add(1)
+			}
 			defer func() {
 				if r := recover(); r != nil {
 					err = &PanicError{Value: r, Stack: debug.Stack()}

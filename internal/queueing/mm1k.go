@@ -32,39 +32,88 @@ func NewMM1K(lambda, mu float64, k int) (MM1K, error) {
 // Utilization returns the offered load u = λ/μ (which may exceed 1).
 func (q MM1K) Utilization() float64 { return q.Lambda / q.Mu }
 
-// nearCritical reports whether u is too close to 1 for the geometric-series
-// closed forms, in which case the uniform-limit forms are used.
-func (q MM1K) nearCritical() bool {
-	return math.Abs(q.Utilization()-1) < 1e-9
+// critical reports whether the queue sits exactly at u = 1, where the
+// geometric-series closed forms have removable singularities and the
+// uniform limits apply. Near-but-not-at 1 needs no special casing: the
+// closed forms below are written in terms of d = (λ-μ)/μ, x = log1p(d) and
+// expm1, which stay fully accurate through the former cancellation band
+// (the old guard |u-1| < 1e-9 left u ≈ 1±1e-6 computing (1-u)/(1-u^{K+1})
+// by subtracting nearly equal quantities).
+func (q MM1K) critical() bool { return q.Lambda == q.Mu }
+
+// overUnity returns d = u - 1 computed as (λ-μ)/μ. Subtracting the rates
+// first is exact when they are close (Sterbenz), so d keeps full relative
+// precision where u = λ/μ followed by u-1 would lose it.
+func (q MM1K) overUnity() float64 { return (q.Lambda - q.Mu) / q.Mu }
+
+// logU returns log(u) accurately in both regimes: log1p(d) near the
+// critical point (where forming u would round away the distance to 1) and
+// log(λ/μ) elsewhere (log1p near d = -1 amplifies the rounding of d).
+func (q MM1K) logU() float64 {
+	d := q.overUnity()
+	if math.Abs(d) < 0.5 {
+		return math.Log1p(d)
+	}
+	return math.Log(q.Lambda / q.Mu)
 }
 
 // StateProbability returns P_i, the steady-state probability of i customers
 // in the system, for i in [0, K]:
 // P_i = (1-u)·u^i / (1-u^{K+1}), or 1/(K+1) when u = 1.
+//
+// With d = u-1 and x = log(u) = log1p(d) this is d·e^{ix}/expm1((K+1)x),
+// which is free of cancellation for any u ≠ 1; for u > 1 the algebraically
+// identical form -d·e^{(i-K-1)x}/expm1(-(K+1)x) keeps every exponent
+// non-positive so nothing overflows.
 func (q MM1K) StateProbability(i int) float64 {
 	if i < 0 || i > q.K {
 		return 0
 	}
-	if q.nearCritical() {
+	if q.critical() {
 		return 1 / float64(q.K+1)
 	}
-	u := q.Utilization()
-	return (1 - u) * math.Pow(u, float64(i)) / (1 - math.Pow(u, float64(q.K+1)))
+	d := q.overUnity()
+	x := q.logU()
+	m := float64(q.K + 1)
+	if x > 0 {
+		return -d * math.Exp((float64(i)-m)*x) / math.Expm1(-m*x)
+	}
+	return d * math.Exp(float64(i)*x) / math.Expm1(m*x)
 }
 
 // BlockingProbability returns P_K, the fraction of arrivals lost.
 func (q MM1K) BlockingProbability() float64 { return q.StateProbability(q.K) }
 
-// MeanNumber returns N, the mean number of customers in the system:
-// N = u(1-(K+1)u^K + K·u^{K+1}) / ((1-u)(1-u^{K+1})), or K/2 when u = 1.
+// meanNumberSeriesHalfWidth bounds |x|·(K+1) for the series branch of
+// MeanNumber. At the boundary the truncation error of the odd series and
+// the rounding error of the subtractive closed form are both below ~1e-13
+// relative, so the two branches agree to near machine precision where they
+// meet.
+const meanNumberSeriesHalfWidth = 0.01
+
+// MeanNumber returns N, the mean number of customers in the system,
+// N = u/(1-u) - (K+1)·u^{K+1}/(1-u^{K+1}), or K/2 when u = 1.
+//
+// The two terms both grow like 1/(u-1) near the critical point and cancel
+// to the finite limit K/2, so the closed form (rewritten overflow-free as
+// 1/expm1(-x) - M/expm1(-Mx) with M = K+1, x = log(u)) loses ~eps/(M·|x|)
+// relative precision as u → 1. Inside |x|·M < meanNumberSeriesHalfWidth the
+// expansion around the critical point is used instead:
+//
+//	N = K/2 + x·K(K+2)/12 - x³·(M⁴-1)/720 + O(x⁵)
+//
+// (odd in x apart from the constant, since N(1/u) = K - N(u)).
 func (q MM1K) MeanNumber() float64 {
-	if q.nearCritical() {
-		return float64(q.K) / 2
-	}
-	u := q.Utilization()
 	k := float64(q.K)
-	uk := math.Pow(u, k)
-	return u * (1 - (k+1)*uk + k*uk*u) / ((1 - u) * (1 - uk*u))
+	if q.critical() {
+		return k / 2
+	}
+	m := k + 1
+	x := q.logU()
+	if math.Abs(x)*m < meanNumberSeriesHalfWidth {
+		return k/2 + x*k*(k+2)/12 - x*x*x*(m*m*m*m-1)/720
+	}
+	return 1/math.Expm1(-x) - m/math.Expm1(-m*x)
 }
 
 // MeanSojourn returns the mean response time of accepted customers by

@@ -1,0 +1,153 @@
+package queueing
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+// bigMM1K evaluates the textbook closed forms with 200-bit arithmetic, as
+// the precision reference for the near-critical band where the float64
+// closed forms used to cancel catastrophically.
+type bigMM1K struct {
+	u *big.Float
+	k int
+}
+
+func newBigMM1K(lambda, mu float64, k int) bigMM1K {
+	prec := uint(200)
+	u := new(big.Float).SetPrec(prec).Quo(
+		new(big.Float).SetPrec(prec).SetFloat64(lambda),
+		new(big.Float).SetPrec(prec).SetFloat64(mu))
+	return bigMM1K{u: u, k: k}
+}
+
+func (q bigMM1K) pow(n int) *big.Float {
+	out := big.NewFloat(1).SetPrec(q.u.Prec())
+	for i := 0; i < n; i++ {
+		out.Mul(out, q.u)
+	}
+	return out
+}
+
+// stateProb returns P_i = (1-u)·u^i/(1-u^{K+1}) as float64.
+func (q bigMM1K) stateProb(i int) float64 {
+	one := big.NewFloat(1).SetPrec(q.u.Prec())
+	num := new(big.Float).Sub(one, q.u)
+	num.Mul(num, q.pow(i))
+	den := new(big.Float).Sub(one, q.pow(q.k+1))
+	out, _ := num.Quo(num, den).Float64()
+	return out
+}
+
+// meanNumber returns N = u/(1-u) - (K+1)·u^{K+1}/(1-u^{K+1}) as float64.
+func (q bigMM1K) meanNumber() float64 {
+	prec := q.u.Prec()
+	one := big.NewFloat(1).SetPrec(prec)
+	t1 := new(big.Float).SetPrec(prec).Quo(q.u, new(big.Float).Sub(one, q.u))
+	m := q.k + 1
+	um := q.pow(m)
+	t2 := new(big.Float).SetPrec(prec).Quo(um, new(big.Float).Sub(one, um))
+	t2.Mul(t2, big.NewFloat(float64(m)).SetPrec(prec))
+	out, _ := t1.Sub(t1, t2).Float64()
+	return out
+}
+
+// TestMM1KNearCriticalContinuity sweeps u through 1±1e-4 … 1±1e-12 — the
+// band the old |u-1| < 1e-9 guard left exposed to catastrophic cancellation
+// in (1-u)/(1-u^{K+1}) and MeanNumber — and checks StateProbability,
+// BlockingProbability and MeanNumber against a 200-bit reference and
+// against the u → 1 limits.
+func TestMM1KNearCriticalContinuity(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 8, 32} {
+		limN := float64(k) / 2
+		limP := 1 / float64(k+1)
+		for _, sign := range []float64{-1, 1} {
+			prevN := math.Inf(int(sign))
+			for e := 4; e <= 12; e++ {
+				eps := sign * math.Pow(10, -float64(e))
+				lambda := 1 + eps
+				q, err := NewMM1K(lambda, 1, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref := newBigMM1K(lambda, 1, k)
+
+				n := q.MeanNumber()
+				if want := ref.meanNumber(); relErr(n, want) > 1e-10 {
+					t.Errorf("K=%d u=1%+.0e: MeanNumber=%v want %v (rel %v)",
+						k, eps, n, want, relErr(n, want))
+				}
+				// N is strictly increasing in u, so walking eps toward 0
+				// from below (above) must increase (decrease) N toward K/2.
+				if sign < 0 && !(n > prevN && n < limN) {
+					t.Errorf("K=%d u=1%+.0e: N=%v not in (%v, %v)", k, eps, n, prevN, limN)
+				}
+				if sign > 0 && !(n < prevN && n > limN) {
+					t.Errorf("K=%d u=1%+.0e: N=%v not in (%v, %v)", k, eps, n, limN, prevN)
+				}
+				prevN = n
+				if e == 12 && math.Abs(n-limN) > 1e-10*limN+1e-12 {
+					t.Errorf("K=%d u=1%+.0e: N=%v should be at limit %v", k, eps, n, limN)
+				}
+
+				sum := 0.0
+				for i := 0; i <= k; i++ {
+					p := q.StateProbability(i)
+					sum += p
+					if want := ref.stateProb(i); relErr(p, want) > 1e-10 {
+						t.Errorf("K=%d u=1%+.0e: P_%d=%v want %v", k, eps, i, p, want)
+					}
+				}
+				if math.Abs(sum-1) > 1e-12 {
+					t.Errorf("K=%d u=1%+.0e: sum P_i = %v", k, eps, sum)
+				}
+				if pb := q.BlockingProbability(); math.Abs(pb-limP) > 2*math.Abs(eps)*float64(k)+1e-12 {
+					t.Errorf("K=%d u=1%+.0e: P_K=%v far from limit %v", k, eps, pb, limP)
+				}
+			}
+		}
+	}
+}
+
+// TestMM1KStableFormsWideRange checks the rewritten expm1/log1p forms well
+// away from the critical point, including loads extreme enough to overflow
+// a naive u^{K+1}.
+func TestMM1KStableFormsWideRange(t *testing.T) {
+	for _, tc := range []struct{ lambda, mu float64 }{
+		{0.1, 1}, {0.5, 1}, {0.9, 1}, {1.1, 1}, {2, 1}, {10, 1},
+		{1e6, 1}, {1, 1e6},
+	} {
+		for _, k := range []int{1, 4, 32, 200} {
+			q, err := NewMM1K(tc.lambda, tc.mu, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := newBigMM1K(tc.lambda, tc.mu, k)
+			if n, want := q.MeanNumber(), ref.meanNumber(); relErr(n, want) > 1e-12 {
+				t.Errorf("λ=%v K=%d: MeanNumber=%v want %v", tc.lambda, k, n, want)
+			}
+			sum := 0.0
+			for i := 0; i <= k; i++ {
+				p := q.StateProbability(i)
+				if p < 0 || p > 1 || math.IsNaN(p) {
+					t.Fatalf("λ=%v K=%d: P_%d = %v", tc.lambda, k, i, p)
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("λ=%v K=%d: sum P_i = %v", tc.lambda, k, sum)
+			}
+			if n := q.MeanNumber(); n < 0 || n > float64(k) {
+				t.Errorf("λ=%v K=%d: N = %v outside [0, K]", tc.lambda, k, n)
+			}
+		}
+	}
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

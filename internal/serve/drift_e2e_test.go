@@ -3,6 +3,7 @@ package serve_test
 import (
 	"math"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"cosmodel/internal/calib"
@@ -214,6 +215,25 @@ func TestRegimeShiftRecalibration(t *testing.T) {
 	getInto(t, onlineTS.URL+"/metrics", &m)
 	if m.Calibration == nil || m.Recalibrations != calResp.Recalibrations {
 		t.Errorf("metrics calibration block inconsistent: %+v vs %+v", m.Recalibrations, calResp.Recalibrations)
+	}
+
+	// The drift is visible through the Prometheus exposition too: the
+	// labelled transition counters record at least one device entering
+	// recalibration, and the engine's recalibration counter agrees with
+	// the JSON view.
+	samples := scrapePromText(t, onlineTS.URL)
+	intoRecal := 0.0
+	for key, v := range samples {
+		if strings.HasPrefix(key, "cosserve_calibration_transitions_total{") &&
+			strings.Contains(key, `to="recalibrating"`) {
+			intoRecal += v
+		}
+	}
+	if intoRecal < 1 {
+		t.Error("no transitions into recalibrating in /metrics/prom")
+	}
+	if got := samples["cosserve_recalibrations_total"]; got != float64(m.Recalibrations) {
+		t.Errorf("prom recalibrations %v != JSON %d", got, m.Recalibrations)
 	}
 }
 

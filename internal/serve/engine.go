@@ -12,6 +12,8 @@ import (
 	"cosmodel/internal/calib"
 	"cosmodel/internal/core"
 	"cosmodel/internal/numeric"
+	"cosmodel/internal/obs"
+	"cosmodel/internal/parallel"
 )
 
 // Engine is the concurrent prediction engine: it derives the current
@@ -22,6 +24,16 @@ type Engine struct {
 	state *stateTable
 	cache *modelCache
 
+	// reg is the engine's metrics registry: every counter below, the
+	// model-evaluation spans, pool and cache gauges, and — through the HTTP
+	// layer — the server's own request-latency histograms all live here and
+	// are rendered by /metrics/prom.
+	reg *obs.Registry
+	// pool is the evaluation worker pool the engine pins into Opts.Pool so
+	// one bounded, meterable pool carries every model it builds (nil when
+	// the configuration forces sequential evaluation).
+	pool *parallel.Pool
+
 	// props is the currently served device-properties calibration,
 	// hot-swappable via Recalibrate without restarting the engine.
 	props atomic.Pointer[core.DeviceProperties]
@@ -29,10 +41,10 @@ type Engine struct {
 	// Config.Calib is nil.
 	calibrator *calib.Controller
 
-	predictions atomic.Uint64 // SLA evaluations answered
-	saturations atomic.Uint64 // evaluations that hit an overloaded point
-	fallbacks   atomic.Uint64 // inversions recovered by a fallback inverter
-	recals      atomic.Uint64 // property swaps applied via Recalibrate
+	predictions *obs.Counter // SLA evaluations answered
+	saturations *obs.Counter // evaluations that hit an overloaded point
+	fallbacks   *obs.Counter // inversions recovered by a fallback inverter
+	recals      *obs.Counter // property swaps applied via Recalibrate
 	// lastFallbackNS is the cfg.now() timestamp (UnixNano) of the most
 	// recent inverter fallback; 0 before any.
 	lastFallbackNS atomic.Int64
@@ -43,27 +55,38 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Engine{cfg: cfg}
+	e := &Engine{cfg: cfg, reg: obs.NewRegistry()}
+	e.predictions = e.reg.Counter("cosserve_predictions_total",
+		"SLA evaluations answered (cached and computed).", nil)
+	e.saturations = e.reg.Counter("cosserve_saturations_total",
+		"Evaluations that hit an overloaded operating point.", nil)
+	e.fallbacks = e.reg.Counter("cosserve_inverter_fallbacks_total",
+		"Inversions recovered by a fallback inverter.", nil)
+	e.recals = e.reg.Counter("cosserve_recalibrations_total",
+		"Device-property swaps applied via Recalibrate.", nil)
 	// Observe every inverter fallback the guarded evaluation engine
 	// performs on our behalf, chaining any callback the embedder installed.
 	user := e.cfg.Opts.OnFallback
 	e.cfg.Opts.OnFallback = func(from, to string) {
-		e.fallbacks.Add(1)
+		e.fallbacks.Inc()
 		e.lastFallbackNS.Store(e.cfg.now().UnixNano())
 		if user != nil {
 			user(from, to)
 		}
 	}
+	e.instrumentEvaluation()
 	props := e.cfg.Props
 	e.props.Store(&props)
 	e.state = newStateTable(&e.cfg)
 	e.cache = newModelCache(cfg.CacheEntries)
+	e.registerCacheMetrics()
 	if cfg.Calib != nil {
 		cc := *cfg.Calib
 		cc.Devices = cfg.Devices
 		if cc.Logf == nil {
 			cc.Logf = e.cfg.Logf
 		}
+		e.instrumentCalibration(&cc)
 		ctrl, err := calib.New(cc, props, e.Recalibrate)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
@@ -71,6 +94,105 @@ func NewEngine(cfg Config) (*Engine, error) {
 		e.calibrator = ctrl
 	}
 	return e, nil
+}
+
+// Registry exposes the engine's metrics registry so embedders (and the HTTP
+// layer) can attach their own metrics next to the engine's.
+func (e *Engine) Registry() *obs.Registry { return e.reg }
+
+// instrumentEvaluation chains a metrics-recording Observer in front of any
+// user callback and pins a shared, meterable worker pool into Opts.Pool.
+func (e *Engine) instrumentEvaluation() {
+	const (
+		opsName   = "cosserve_model_ops_total"
+		opsHelp   = "Completed model-evaluation spans by operation."
+		errsName  = "cosserve_model_op_errors_total"
+		errsHelp  = "Model-evaluation spans that returned an error, by operation."
+		secsName  = "cosserve_model_op_seconds"
+		secsHelp  = "Wall time of model-evaluation spans by operation."
+		probeName = "cosserve_model_probes_total"
+		probeHelp = "Inner CDF evaluations performed by search spans (quantile bisection, admission search)."
+	)
+	probes := e.reg.Counter(probeName, probeHelp, nil)
+	nodes := e.reg.Gauge("cosserve_model_inversion_nodes",
+		"Quadrature node count of the configured transform inverter.", nil)
+	userObs := e.cfg.Opts.Observer
+	e.cfg.Opts.Observer = func(ev core.EvalEvent) {
+		lbl := obs.Labels{"op": ev.Op}
+		e.reg.Counter(opsName, opsHelp, lbl).Inc()
+		if ev.Err != nil {
+			e.reg.Counter(errsName, errsHelp, lbl).Inc()
+		}
+		e.reg.Histogram(secsName, secsHelp, lbl).Observe(ev.Duration.Seconds())
+		if ev.Probes > 0 {
+			probes.Add(uint64(ev.Probes))
+		}
+		if ev.Nodes > 0 {
+			nodes.Set(float64(ev.Nodes))
+		}
+		if userObs != nil {
+			userObs(ev)
+		}
+	}
+	// Resolve the worker pool the model engine would pick (mirroring
+	// core.Options) and inject it, so every model the engine builds shares
+	// one bounded pool whose utilization the gauges below can read.
+	pool := e.cfg.Opts.Pool
+	if pool == nil {
+		switch {
+		case e.cfg.Opts.Workers > 1:
+			pool = parallel.New(e.cfg.Opts.Workers)
+		case e.cfg.Opts.Workers == 0:
+			pool = parallel.Default()
+		}
+		e.cfg.Opts.Pool = pool
+	}
+	e.pool = pool
+	e.reg.GaugeFunc("cosserve_pool_workers",
+		"Concurrency bound of the evaluation worker pool, counting the caller.", nil,
+		func() float64 { return float64(e.pool.Workers()) })
+	e.reg.GaugeFunc("cosserve_pool_busy",
+		"Goroutines currently executing a pooled evaluation task.", nil,
+		func() float64 { return float64(e.pool.Busy()) })
+	e.reg.GaugeFunc("cosserve_pool_helpers_in_use",
+		"Helper goroutines currently live — the pool's instantaneous queue depth.", nil,
+		func() float64 { return float64(e.pool.HelpersInUse()) })
+	e.reg.GaugeFunc("cosserve_pool_tasks",
+		"Cumulative iterations executed by the evaluation worker pool.", nil,
+		func() float64 { return float64(e.pool.Tasks()) })
+}
+
+// registerCacheMetrics exposes the prediction cache's counters as
+// scrape-time gauges.
+func (e *Engine) registerCacheMetrics() {
+	e.reg.GaugeFunc("cosserve_cache_hits",
+		"Prediction-cache lookups served from memory or deduplicated onto an in-flight computation.", nil,
+		func() float64 { return float64(e.cache.stats().Hits) })
+	e.reg.GaugeFunc("cosserve_cache_misses",
+		"Prediction-cache lookups that had to compute.", nil,
+		func() float64 { return float64(e.cache.stats().Misses) })
+	e.reg.GaugeFunc("cosserve_cache_entries",
+		"Memoized predictions currently resident.", nil,
+		func() float64 { return float64(e.cache.stats().Entries) })
+	e.reg.GaugeFunc("cosserve_cache_generation",
+		"Prediction-cache generation; a bump marks every prior entry stale.", nil,
+		func() float64 { return float64(e.cache.stats().Generation) })
+}
+
+// instrumentCalibration counts drift-detector state transitions, chaining
+// any hook the embedder installed on the calibration config.
+func (e *Engine) instrumentCalibration(cc *calib.Config) {
+	const (
+		name = "cosserve_calibration_transitions_total"
+		help = "Drift-detector device state transitions by from/to state."
+	)
+	userTr := cc.OnTransition
+	cc.OnTransition = func(device int, from, to calib.DeviceState) {
+		e.reg.Counter(name, help, obs.Labels{"from": from.String(), "to": to.String()}).Inc()
+		if userTr != nil {
+			userTr(device, from, to)
+		}
+	}
 }
 
 // Props returns the currently served device-properties calibration.
@@ -87,7 +209,7 @@ func (e *Engine) Recalibrate(props core.DeviceProperties) error {
 	}
 	p := props
 	e.props.Store(&p)
-	e.recals.Add(1)
+	e.recals.Inc()
 	e.cache.invalidate()
 	return nil
 }
@@ -238,9 +360,9 @@ func (e *Engine) evaluate(ctx context.Context, ms []core.OnlineMetrics, key stri
 		return cachedValue{p: p}, nil
 	})
 	if err == nil {
-		e.predictions.Add(1)
+		e.predictions.Inc()
 		if v.saturated {
-			e.saturations.Add(1)
+			e.saturations.Inc()
 		}
 	}
 	return v, cached, err
@@ -396,11 +518,11 @@ func (e *Engine) Stats() EngineStats {
 	cs := e.cache.stats()
 	ingested, reporting := e.state.stats()
 	st := EngineStats{
-		Predictions:     e.predictions.Load(),
-		Saturations:     e.saturations.Load(),
-		Fallbacks:       e.fallbacks.Load(),
+		Predictions:     e.predictions.Value(),
+		Saturations:     e.saturations.Value(),
+		Fallbacks:       e.fallbacks.Value(),
 		LastFallbackAge: -1,
-		Recalibrations:  e.recals.Load(),
+		Recalibrations:  e.recals.Value(),
 		CacheHits:       cs.Hits,
 		CacheMisses:     cs.Misses,
 		CacheHitRatio:   cs.hitRatio(),

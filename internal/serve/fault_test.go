@@ -289,8 +289,8 @@ func TestRecoverMiddleware(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil || !strings.Contains(eb.Error, "panic") {
 		t.Errorf("body %q (%v)", rec.Body.String(), err)
 	}
-	if s.panics.Load() != 1 {
-		t.Errorf("panics counter %d, want 1", s.panics.Load())
+	if s.panics.Value() != 1 {
+		t.Errorf("panics counter %d, want 1", s.panics.Value())
 	}
 	mu.Lock()
 	nlogs := len(logged)

@@ -1,0 +1,164 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"cosmodel/internal/experiments"
+	"cosmodel/internal/obs/promtest"
+	"cosmodel/internal/serve"
+)
+
+// TestSelfMeasuredP99AgainstPrediction is the observability e2e: the server
+// self-measures the latency percentiles of the traffic it ingests (the same
+// histograms /metrics/prom exposes) and the model must agree with its own
+// service's measurement — the predicted SLA-meeting fraction at the
+// self-measured p99 must be ~0.99. Acceptance: MAE <= 0.10 across the sweep
+// steps, the same band as the paper's Table I.
+func TestSelfMeasuredP99AgainstPrediction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator-driven e2e")
+	}
+	sc := experiments.DefaultS1()
+	sc.CatalogObjects = 50000
+	sc.WarmRate, sc.WarmDur = 100, 15
+	sc.RateStart, sc.RateEnd, sc.RateStep = 60, 180, 60
+	sc.StepDur, sc.StepDiscard = 10, 3
+	sc.CalibrationOps = 1500
+	data, err := experiments.RunSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	measured := sc.StepDur - sc.StepDiscard
+	baseCfg := serve.DefaultConfig(data.Props, sc.Sim.Devices())
+	baseCfg.ProcsPerDevice = sc.Sim.ProcsPerDisk
+	baseCfg.FrontendProcs = sc.Sim.Frontends * sc.Sim.ProcsPerFrontend
+	baseCfg.SLAs = sc.Sim.SLAs
+	baseCfg.Window = measured
+
+	var absErr []float64
+	for step, win := range data.Windows {
+		if win.Timeouts > 0 || win.Retries > 0 || win.Responses == 0 || win.Latency == nil {
+			continue
+		}
+		batch := windowToObservations(win)
+		if len(batch) == 0 {
+			continue
+		}
+		// Reconstruct a representative raw-latency stream from the window's
+		// measurement histogram: quantile inversion at evenly spaced ranks.
+		// The slight shrink keeps each sample inside the bucket whose upper
+		// bound the quantile reports.
+		const n = 3000
+		lats := make([]float64, n)
+		for i := range lats {
+			lats[i] = win.Latency.Quantile((float64(i)+0.5)/n) * 0.9995
+		}
+		batch[0].Latencies = lats
+
+		// A fresh server per step keeps the self-measured distribution
+		// scoped to this step's operating point.
+		srv, err := serve.NewServer(baseCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		postJSONInto(t, ts.URL+"/ingest", serve.IngestRequest{Observations: batch})
+
+		var m serve.MetricsResponse
+		getInto(t, ts.URL+"/metrics", &m)
+		if m.ObservedCount == 0 || m.ObservedP99 <= 0 {
+			ts.Close()
+			t.Fatalf("step %d: no self-measured latencies: %+v", step, m)
+		}
+		// The server's self-measured p99 must track the simulator's own
+		// measurement of the same window (identical bucket layouts; allow
+		// two growth factors of slack).
+		simP99 := win.Latency.Quantile(0.99)
+		if r := m.ObservedP99 / simP99; r < 1/1.11 || r > 1.11 {
+			t.Errorf("step %d: self-measured p99 %.5f vs simulator p99 %.5f", step, m.ObservedP99, simP99)
+		}
+
+		var pr serve.PredictResponse
+		getInto(t, ts.URL+"/predict?sla="+strconv.FormatFloat(m.ObservedP99, 'g', -1, 64), &pr)
+		if len(pr.Predictions) != 1 {
+			ts.Close()
+			t.Fatalf("step %d: %d predictions", step, len(pr.Predictions))
+		}
+		p := pr.Predictions[0]
+		if p.Saturated {
+			t.Errorf("step %d: predicted saturated at a survivable load", step)
+			ts.Close()
+			continue
+		}
+		e := math.Abs(p.MeetRatio - 0.99)
+		absErr = append(absErr, e)
+		t.Logf("rate %.0f: self-measured p99 %.4fs, predicted meet fraction %.4f (err %.4f)",
+			data.Rates[step], m.ObservedP99, p.MeetRatio, e)
+
+		// The same self-measurement must be visible — and parseable — in the
+		// Prometheus exposition.
+		samples := scrapePromText(t, ts.URL)
+		if got := samples[`cosserve_ingested_latency_seconds{quantile="0.99"}`]; got != m.ObservedP99 {
+			t.Errorf("step %d: prom p99 %v != JSON p99 %v", step, got, m.ObservedP99)
+		}
+		ts.Close()
+	}
+	if len(absErr) < 2 {
+		t.Fatalf("only %d comparable steps; sweep degenerated", len(absErr))
+	}
+	var sum float64
+	for _, e := range absErr {
+		sum += e
+	}
+	mae := sum / float64(len(absErr))
+	t.Logf("MAE %.4f between predicted meet fraction at self-measured p99 and 0.99, over %d steps", mae, len(absErr))
+	if mae > 0.10 {
+		t.Errorf("MAE %.4f exceeds 0.10", mae)
+	}
+}
+
+func postJSONInto(t *testing.T, url string, v any) {
+	t.Helper()
+	buf, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: %d %s", url, resp.StatusCode, body)
+	}
+}
+
+func scrapePromText(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics/prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics/prom: %d %s", resp.StatusCode, body)
+	}
+	samples, err := promtest.Parse(string(body))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	return samples
+}

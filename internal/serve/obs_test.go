@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"cosmodel/internal/core"
+	"cosmodel/internal/obs"
+	"cosmodel/internal/obs/promtest"
+)
+
+// scrapeProm fetches /metrics/prom, checks the content type and returns the
+// parsed samples.
+func scrapeProm(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics/prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics/prom: %d %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Errorf("content type %q, want %q", ct, obs.ContentType)
+	}
+	samples, err := promtest.Parse(string(body))
+	if err != nil {
+		t.Fatalf("/metrics/prom is not valid Prometheus text format: %v\n%s", err, body)
+	}
+	return samples
+}
+
+func TestMetricsPromExposition(t *testing.T) {
+	cfg := testConfig()
+	cfg.RuntimeMetrics = true
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ingestAll(t, srv.Engine(), 50)
+	for _, url := range []string{ts.URL + "/predict", ts.URL + "/predict", ts.URL + "/metrics", ts.URL + "/healthz"} {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d", url, resp.StatusCode)
+		}
+	}
+	// One malformed request, to move the error counter.
+	resp, err := http.Post(ts.URL+"/predict", "application/json", bytes.NewReader([]byte("{junk")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed predict: %d, want 400", resp.StatusCode)
+	}
+
+	samples := scrapeProm(t, ts.URL)
+	atLeast := func(key string, min float64) {
+		t.Helper()
+		v, ok := samples[key]
+		if !ok {
+			t.Errorf("sample %q missing", key)
+			return
+		}
+		if v < min {
+			t.Errorf("%s = %v, want >= %v", key, v, min)
+		}
+	}
+	// Engine counters: 3 SLAs per predict, second predict served from cache
+	// but still counted as predictions.
+	atLeast("cosserve_predictions_total", 6)
+	atLeast("cosserve_cache_misses", 3)
+	atLeast("cosserve_cache_hits", 3)
+	atLeast("cosserve_cache_entries", 1)
+	// Model-evaluation spans: the cold predictions each ran one CDF span.
+	atLeast(`cosserve_model_ops_total{op="cdf"}`, 3)
+	atLeast(`cosserve_model_op_seconds_count{op="cdf"}`, 3)
+	atLeast("cosserve_model_inversion_nodes", 1)
+	// Pool gauges exist (busy is 0 at scrape time).
+	atLeast("cosserve_pool_workers", 1)
+	if _, ok := samples["cosserve_pool_busy"]; !ok {
+		t.Error("cosserve_pool_busy missing")
+	}
+	// Per-endpoint self-latency: two /predict requests were timed.
+	atLeast(`cosserve_http_request_seconds_count{path="/predict"}`, 2)
+	atLeast(`cosserve_http_request_seconds{path="/predict",quantile="0.99"}`, 0)
+	// HTTP counters.
+	atLeast("cosserve_http_queries_served_total", 2)
+	atLeast("cosserve_http_bad_requests_total", 1)
+	// Runtime gauges were requested.
+	atLeast("go_goroutines", 1)
+
+	// The JSON view and the registry must agree on the shared counters.
+	if st := srv.Engine().Stats(); float64(st.Predictions) != samples["cosserve_predictions_total"] {
+		t.Errorf("JSON predictions %d != prom %v", st.Predictions, samples["cosserve_predictions_total"])
+	}
+}
+
+func TestMetricsPromMethodNotAllowed(t *testing.T) {
+	srv, err := NewServer(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/metrics/prom", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics/prom: %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestPprofGate(t *testing.T) {
+	get := func(cfg Config) int {
+		srv, err := NewServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		resp, err := http.Get(ts.URL + "/debug/pprof/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get(testConfig()); code != http.StatusNotFound {
+		t.Errorf("pprof disabled: /debug/pprof/ = %d, want 404", code)
+	}
+	cfg := testConfig()
+	cfg.Pprof = true
+	if code := get(cfg); code != http.StatusOK {
+		t.Errorf("pprof enabled: /debug/pprof/ = %d, want 200", code)
+	}
+}
+
+// TestObserverChainPreserved checks the engine's instrumentation chains —
+// rather than replaces — a user-installed evaluation Observer.
+func TestObserverChainPreserved(t *testing.T) {
+	var events atomic.Int64
+	cfg := testConfig()
+	cfg.Opts.Observer = func(core.EvalEvent) { events.Add(1) }
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, eng, 50)
+	if _, err := eng.Predict(nil); err != nil {
+		t.Fatal(err)
+	}
+	if events.Load() == 0 {
+		t.Error("user Observer never fired through the instrumentation chain")
+	}
+}
+
+// TestIngestedLatencySelfMeasurement feeds raw latencies through /ingest and
+// checks the self-measured percentiles agree between the JSON metrics and
+// the Prometheus exposition.
+func TestIngestedLatencySelfMeasurement(t *testing.T) {
+	srv, err := NewServer(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	lats := make([]float64, 500)
+	for i := range lats {
+		lats[i] = 0.001 + 0.0001*float64(i) // 1ms .. ~51ms ramp
+	}
+	devices := srv.Engine().Config().Devices
+	ingestHTTP(t, ts.URL, 50, devices, lats)
+	want := uint64(devices * len(lats)) // every device reports the same batch
+
+	var m MetricsResponse
+	if resp := getJSON(t, ts.URL+"/metrics", &m); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	if m.ObservedCount != want {
+		t.Fatalf("observed count %d, want %d", m.ObservedCount, want)
+	}
+	samples := scrapeProm(t, ts.URL)
+	if got := samples["cosserve_ingested_latency_seconds_count"]; got != float64(want) {
+		t.Errorf("prom ingested count %v, want %d", got, want)
+	}
+	for q, want := range map[string]float64{"0.5": m.ObservedP50, "0.95": m.ObservedP95, "0.99": m.ObservedP99} {
+		if got := samples[`cosserve_ingested_latency_seconds{quantile="`+q+`"}`]; got != want {
+			t.Errorf("prom q%s = %v, JSON reports %v", q, got, want)
+		}
+	}
+}

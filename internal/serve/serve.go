@@ -77,6 +77,13 @@ type Config struct {
 	// disables the subsystem (the seed behaviour: properties are fixed for
 	// the engine's lifetime unless Recalibrate is called explicitly).
 	Calib *calib.Config
+	// Pprof mounts the net/http/pprof profiling endpoints under
+	// /debug/pprof/ on the service handler (cosserve -obs-pprof).
+	Pprof bool
+	// RuntimeMetrics registers Go runtime gauges (goroutines, heap, GC
+	// activity) on the engine's metrics registry, surfaced by /metrics/prom
+	// (cosserve -obs-runtime).
+	RuntimeMetrics bool
 	// Now supplies wall-clock time; nil means time.Now. Tests inject
 	// fakes to control calibration-age reporting.
 	Now func() time.Time

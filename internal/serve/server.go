@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime/debug"
 	"strconv"
 	"strings"
@@ -14,8 +15,8 @@ import (
 	"cosmodel/internal/calib"
 	"cosmodel/internal/dist"
 	"cosmodel/internal/numeric"
+	"cosmodel/internal/obs"
 	"cosmodel/internal/parallel"
-	"cosmodel/internal/stats"
 )
 
 // statusClientClosedRequest is the non-standard (nginx-originated) status
@@ -31,7 +32,9 @@ const statusClientClosedRequest = 499
 const maxBodyBytes = 1 << 20
 
 // Server is the HTTP front of the prediction engine. Create with NewServer
-// and mount Handler on any http server.
+// and mount Handler on any http server. Its counters live on the engine's
+// metrics registry (rendered at /metrics/prom) while /metrics keeps the
+// original JSON shape.
 type Server struct {
 	engine *Engine
 	// sem is the bounded work queue for model-evaluating endpoints: a
@@ -41,20 +44,21 @@ type Server struct {
 	start time.Time
 
 	// latAll accumulates every ingested latency for the lifetime
-	// percentile diagnostics in /metrics.
-	latAll *stats.ConcurrentHistogram
+	// percentile diagnostics in /metrics and the self-measured quantiles
+	// in /metrics/prom.
+	latAll *obs.Histogram
 
 	inflight    atomic.Int64
-	shed        atomic.Uint64
-	badRequests atomic.Uint64
-	served      atomic.Uint64
+	shed        *obs.Counter
+	badRequests *obs.Counter
+	served      *obs.Counter
 
-	clientGone  atomic.Uint64 // requests abandoned by the client mid-evaluation
-	timeouts    atomic.Uint64 // evaluations that exceeded the per-call budget
-	numerical   atomic.Uint64 // evaluations rejected as numerically poisoned
-	panics      atomic.Uint64 // panics recovered (handlers and pooled tasks)
-	encodeFails atomic.Uint64 // JSON responses that failed to encode/write
-	tooLarge    atomic.Uint64 // request bodies over maxBodyBytes
+	clientGone  *obs.Counter // requests abandoned by the client mid-evaluation
+	timeouts    *obs.Counter // evaluations that exceeded the per-call budget
+	numerical   *obs.Counter // evaluations rejected as numerically poisoned
+	panics      *obs.Counter // panics recovered (handlers and pooled tasks)
+	encodeFails *obs.Counter // JSON responses that failed to encode/write
+	tooLarge    *obs.Counter // request bodies over maxBodyBytes
 }
 
 // NewServer builds a serving instance from the configuration.
@@ -63,12 +67,42 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		engine: eng,
 		sem:    make(chan struct{}, cfg.MaxInflight),
 		start:  cfg.now(),
-		latAll: stats.NewConcurrentLatencyHistogram(),
-	}, nil
+	}
+	reg := eng.Registry()
+	s.latAll = reg.Histogram("cosserve_ingested_latency_seconds",
+		"Response latencies reported by the storage backends via /ingest.", nil)
+	s.shed = reg.Counter("cosserve_http_shed_total",
+		"Queries shed with 503 because the in-flight limit was reached.", nil)
+	s.badRequests = reg.Counter("cosserve_http_bad_requests_total",
+		"Requests rejected as malformed (400).", nil)
+	s.served = reg.Counter("cosserve_http_queries_served_total",
+		"Prediction and advice queries answered successfully.", nil)
+	s.clientGone = reg.Counter("cosserve_http_client_gone_total",
+		"Requests abandoned by the client mid-evaluation.", nil)
+	s.timeouts = reg.Counter("cosserve_eval_timeouts_total",
+		"Evaluations that exceeded the per-call budget.", nil)
+	s.numerical = reg.Counter("cosserve_numerical_failures_total",
+		"Evaluations rejected as numerically poisoned.", nil)
+	s.panics = reg.Counter("cosserve_panics_recovered_total",
+		"Panics recovered in handlers and pooled evaluation tasks.", nil)
+	s.encodeFails = reg.Counter("cosserve_response_encode_failures_total",
+		"JSON responses that failed to encode or write.", nil)
+	s.tooLarge = reg.Counter("cosserve_oversized_bodies_total",
+		"Request bodies rejected for exceeding the size limit.", nil)
+	reg.GaugeFunc("cosserve_http_inflight",
+		"Model-evaluating queries currently in flight.", nil,
+		func() float64 { return float64(s.inflight.Load()) })
+	reg.GaugeFunc("cosserve_uptime_seconds",
+		"Seconds since the server started.", nil,
+		func() float64 { return s.engine.Config().now().Sub(s.start).Seconds() })
+	if cfg.RuntimeMetrics {
+		obs.RegisterRuntimeMetrics(reg)
+	}
+	return s, nil
 }
 
 // Engine exposes the underlying prediction engine (benchmarks and embedders
@@ -82,21 +116,47 @@ func (s *Server) Engine() *Engine { return s.engine }
 //	GET/POST /advise  — admission control: max admissible rate, headroom
 //	GET  /calibration — online calibration and drift-detection state
 //	GET  /metrics  — internal counters (JSON)
+//	GET  /metrics/prom — the metrics registry in Prometheus text format
 //	GET  /healthz  — liveness + readiness
+//
+// With Config.Pprof the net/http/pprof profiling endpoints are additionally
+// mounted under /debug/pprof/.
 //
 // Every route runs behind the panic-recovery middleware: a panicking
 // handler (or a panic captured inside the pooled model evaluation and
 // re-surfaced) is logged with its stack, counted, and answered with a 500
 // JSON body instead of killing the connection served by this goroutine.
+// Every named route is also timed into a per-endpoint latency histogram, so
+// the server reports its own p50/p95/p99 next to the percentiles it
+// predicts.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/ingest", s.handleIngest)
-	mux.HandleFunc("/predict", s.handlePredict)
-	mux.HandleFunc("/advise", s.handleAdvise)
-	mux.HandleFunc("/calibration", s.handleCalibration)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/ingest", s.timed("/ingest", s.handleIngest))
+	mux.HandleFunc("/predict", s.timed("/predict", s.handlePredict))
+	mux.HandleFunc("/advise", s.timed("/advise", s.handleAdvise))
+	mux.HandleFunc("/calibration", s.timed("/calibration", s.handleCalibration))
+	mux.HandleFunc("/metrics", s.timed("/metrics", s.handleMetrics))
+	mux.HandleFunc("/metrics/prom", s.timed("/metrics/prom", s.handleMetricsProm))
+	mux.HandleFunc("/healthz", s.timed("/healthz", s.handleHealthz))
+	if s.engine.Config().Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s.recoverMiddleware(mux)
+}
+
+// timed wraps a handler with a per-endpoint self-latency histogram.
+func (s *Server) timed(path string, h http.HandlerFunc) http.HandlerFunc {
+	lat := s.engine.Registry().Histogram("cosserve_http_request_seconds",
+		"Self-measured request-handling latency by endpoint.", obs.Labels{"path": path})
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		defer func() { lat.Observe(time.Since(start).Seconds()) }()
+		h(w, r)
+	}
 }
 
 // recoverMiddleware converts handler panics into logged, counted 500s.
@@ -112,7 +172,7 @@ func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
 			if err, ok := rec.(error); ok && errors.Is(err, http.ErrAbortHandler) {
 				panic(rec)
 			}
-			s.panics.Add(1)
+			s.panics.Inc()
 			s.logf("serve: panic in %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
 			s.writeJSON(w, http.StatusInternalServerError,
 				errorBody{Error: "internal error (panic recovered)"})
@@ -136,7 +196,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		s.encodeFails.Add(1)
+		s.encodeFails.Inc()
 		s.logf("serve: writing %d response: %v", status, err)
 	}
 }
@@ -147,11 +207,11 @@ func (s *Server) logf(format string, args ...any) {
 
 func (s *Server) badRequest(w http.ResponseWriter, err error) {
 	if errors.Is(err, errBodyTooLarge) {
-		s.tooLarge.Add(1)
+		s.tooLarge.Inc()
 		s.writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: err.Error()})
 		return
 	}
-	s.badRequests.Add(1)
+	s.badRequests.Inc()
 	s.writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 }
 
@@ -162,7 +222,7 @@ func (s *Server) acquire(w http.ResponseWriter) bool {
 		s.inflight.Add(1)
 		return true
 	default:
-		s.shed.Add(1)
+		s.shed.Inc()
 		w.Header().Set("Retry-After", "1")
 		s.writeJSON(w, http.StatusServiceUnavailable,
 			errorBody{Error: "prediction queue full, load shed"})
@@ -266,7 +326,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	for _, p := range preds {
 		resp.Saturated = resp.Saturated || p.Saturated
 	}
-	s.served.Add(1)
+	s.served.Inc()
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -311,7 +371,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		s.queryError(w, r, err)
 		return
 	}
-	s.served.Add(1)
+	s.served.Inc()
 	s.writeJSON(w, http.StatusOK, adv)
 }
 
@@ -335,18 +395,18 @@ func (s *Server) queryError(w http.ResponseWriter, r *http.Request, err error) {
 	case errors.Is(err, ErrNotReady):
 		s.writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
 	case isContextErr(err) && r.Context().Err() != nil:
-		s.clientGone.Add(1)
+		s.clientGone.Inc()
 		s.writeJSON(w, statusClientClosedRequest, errorBody{Error: "client closed request"})
 	case isContextErr(err):
-		s.timeouts.Add(1)
+		s.timeouts.Inc()
 		w.Header().Set("Retry-After", "1")
 		s.writeJSON(w, http.StatusServiceUnavailable,
 			errorBody{Error: "evaluation budget exceeded: " + err.Error()})
 	case errors.Is(err, numeric.ErrNumerical):
-		s.numerical.Add(1)
+		s.numerical.Inc()
 		s.writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 	case parallel.IsPanic(err):
-		s.panics.Add(1)
+		s.panics.Inc()
 		s.logf("serve: panic inside model evaluation: %v", err)
 		s.writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 	default:
@@ -446,15 +506,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		EngineStats:    s.engine.Stats(),
 		UptimeSeconds:  s.engine.Config().now().Sub(s.start).Seconds(),
 		Inflight:       s.inflight.Load(),
-		Shed:           s.shed.Load(),
-		BadRequests:    s.badRequests.Load(),
-		QueriesServed:  s.served.Load(),
-		ClientGone:     s.clientGone.Load(),
-		Timeouts:       s.timeouts.Load(),
-		NumericalFails: s.numerical.Load(),
-		PanicsRecov:    s.panics.Load(),
-		EncodeFails:    s.encodeFails.Load(),
-		TooLarge:       s.tooLarge.Load(),
+		Shed:           s.shed.Value(),
+		BadRequests:    s.badRequests.Value(),
+		QueriesServed:  s.served.Value(),
+		ClientGone:     s.clientGone.Value(),
+		Timeouts:       s.timeouts.Value(),
+		NumericalFails: s.numerical.Value(),
+		PanicsRecov:    s.panics.Value(),
+		EncodeFails:    s.encodeFails.Value(),
+		TooLarge:       s.tooLarge.Value(),
 		ObservedCount:  s.latAll.Count(),
 	}
 	if m.ObservedCount > 0 {
@@ -466,6 +526,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		m.Calibration = &st
 	}
 	s.writeJSON(w, http.StatusOK, m)
+}
+
+// handleMetricsProm renders the engine's metrics registry in the
+// Prometheus text exposition format. A write failure here is the scraper
+// vanishing mid-scrape; it is counted with the JSON encode failures.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET required"})
+		return
+	}
+	w.Header().Set("Content-Type", obs.ContentType)
+	if err := s.engine.Registry().WritePrometheus(w); err != nil {
+		s.encodeFails.Inc()
+		s.logf("serve: writing /metrics/prom: %v", err)
+	}
 }
 
 // HealthResponse is the /healthz payload: Status is "ok" while the process

@@ -8,9 +8,17 @@ import (
 // binomial proportion: successes k out of n trials at the given confidence
 // level (e.g. 0.95). It is well-behaved near 0 and 1, where the observed
 // SLA-meeting fractions live.
+//
+// Out-of-range inputs are clamped rather than silently accepted: k > n is
+// treated as k = n (the proportion is at most 1, never an interval for
+// p > 1), and a confidence outside (0, 1) is clamped per
+// normalQuantileTwoSided.
 func WilsonInterval(k, n uint64, confidence float64) (lo, hi float64) {
 	if n == 0 {
 		return 0, 1
+	}
+	if k > n {
+		k = n
 	}
 	z := normalQuantileTwoSided(confidence)
 	nn := float64(n)
@@ -31,10 +39,20 @@ func WilsonInterval(k, n uint64, confidence float64) (lo, hi float64) {
 }
 
 // normalQuantileTwoSided returns the z value such that the standard normal
-// mass within ±z equals the confidence level.
+// mass within ±z equals the confidence level. Confidence is clamped into
+// [minConfidence, maxConfidence]: values at or below 0 (including NaN) give
+// the z for minConfidence and values at or above 1 the z for maxConfidence,
+// so callers always get a finite, monotone-in-confidence width instead of a
+// silent substitution of the 95% quantile.
 func normalQuantileTwoSided(confidence float64) float64 {
-	if confidence <= 0 || confidence >= 1 {
-		return 1.959963984540054 // default to 95%
+	const (
+		minConfidence = 1e-12
+		maxConfidence = 1 - 1e-12
+	)
+	if !(confidence > minConfidence) { // also catches NaN
+		confidence = minConfidence
+	} else if confidence > maxConfidence {
+		confidence = maxConfidence
 	}
 	// Φ(z) = (1+confidence)/2; invert via the Acklam approximation in
 	// numeric (re-implemented locally to avoid a dependency cycle if

@@ -41,6 +41,14 @@ func (c *ConcurrentHistogram) Count() uint64 {
 	return c.h.Count()
 }
 
+// Dropped returns the number of rejected observations (NaN, ±Inf or
+// negative values passed to Observe).
+func (c *ConcurrentHistogram) Dropped() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.h.Dropped()
+}
+
 // Mean returns the exact mean of the observed values (0 when empty).
 func (c *ConcurrentHistogram) Mean() float64 {
 	c.mu.RLock()

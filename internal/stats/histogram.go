@@ -25,6 +25,7 @@ type Histogram struct {
 
 	underflow uint64
 	overflow  uint64
+	dropped   uint64
 	buckets   []uint64
 	count     uint64
 	sum       float64
@@ -57,8 +58,15 @@ func NewLatencyHistogram() *Histogram {
 	return h
 }
 
-// Observe records one value.
+// Observe records one value. Invalid values — NaN, ±Inf and negatives —
+// are rejected and counted in Dropped instead: a NaN would otherwise fall
+// through both range guards into a wild bucket index (panic), and negative
+// or infinite values would silently poison the exact sum behind Mean.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		h.dropped++
+		return
+	}
 	h.count++
 	h.sum += v
 	if v > h.maxSeen {
@@ -78,8 +86,13 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
-// Count returns the number of observations.
+// Count returns the number of accepted observations.
 func (h *Histogram) Count() uint64 { return h.count }
+
+// Dropped returns the number of rejected observations (NaN, ±Inf or
+// negative values passed to Observe). Dropped values never contribute to
+// Count, Mean, Max, quantiles or fractions.
+func (h *Histogram) Dropped() uint64 { return h.dropped }
 
 // Mean returns the exact mean of the observed values.
 func (h *Histogram) Mean() float64 {
@@ -149,7 +162,7 @@ func (h *Histogram) FractionBelow(x float64) float64 {
 // Merge adds other's observations into h. The histograms must have
 // identical bucket layouts. A nil or empty other is a no-op.
 func (h *Histogram) Merge(other *Histogram) error {
-	if other == nil || other.count == 0 {
+	if other == nil || (other.count == 0 && other.dropped == 0) {
 		return nil
 	}
 	if other.min != h.min || other.max != h.max || other.growth != h.growth {
@@ -157,6 +170,7 @@ func (h *Histogram) Merge(other *Histogram) error {
 	}
 	h.underflow += other.underflow
 	h.overflow += other.overflow
+	h.dropped += other.dropped
 	for i := range h.buckets {
 		h.buckets[i] += other.buckets[i]
 	}
@@ -170,7 +184,7 @@ func (h *Histogram) Merge(other *Histogram) error {
 
 // Reset clears all observations.
 func (h *Histogram) Reset() {
-	h.underflow, h.overflow, h.count = 0, 0, 0
+	h.underflow, h.overflow, h.count, h.dropped = 0, 0, 0, 0
 	h.sum, h.maxSeen = 0, 0
 	for i := range h.buckets {
 		h.buckets[i] = 0
@@ -195,12 +209,13 @@ func (h *Histogram) Sub(prev *Histogram) (*Histogram, error) {
 	if prev.min != h.min || prev.max != h.max || prev.growth != h.growth {
 		return nil, fmt.Errorf("%w: mismatched layouts", ErrBadHistogram)
 	}
-	if prev.count > h.count {
+	if prev.count > h.count || prev.dropped > h.dropped {
 		return nil, fmt.Errorf("%w: subtracting a later snapshot", ErrBadHistogram)
 	}
 	out := h.Clone()
 	out.underflow -= prev.underflow
 	out.overflow -= prev.overflow
+	out.dropped -= prev.dropped
 	for i := range out.buckets {
 		out.buckets[i] -= prev.buckets[i]
 	}

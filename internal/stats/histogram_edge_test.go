@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramObserveRejectsInvalid is the regression test for the NaN
+// panic: NaN used to fall through both range guards into a huge negative
+// bucket index, and negative/±Inf values silently corrupted sum/Mean.
+func TestHistogramObserveRejectsInvalid(t *testing.T) {
+	h := NewLatencyHistogram()
+	bad := []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1, -1e-300}
+	for _, v := range bad {
+		h.Observe(v) // must not panic
+	}
+	if h.Count() != 0 {
+		t.Errorf("Count = %d after invalid observations, want 0", h.Count())
+	}
+	if h.Dropped() != uint64(len(bad)) {
+		t.Errorf("Dropped = %d, want %d", h.Dropped(), len(bad))
+	}
+	h.Observe(0.5)
+	h.Observe(math.NaN())
+	if h.Count() != 1 || h.Dropped() != uint64(len(bad))+1 {
+		t.Errorf("Count=%d Dropped=%d after mixed stream", h.Count(), h.Dropped())
+	}
+	if m := h.Mean(); math.IsNaN(m) || math.IsInf(m, 0) || math.Abs(m-0.5) > 1e-12 {
+		t.Errorf("Mean = %v, want 0.5 and finite", m)
+	}
+	// Zero is valid (goes to underflow for a positive-min layout).
+	h.Observe(0)
+	if h.Count() != 2 {
+		t.Errorf("Count = %d after observing 0, want 2", h.Count())
+	}
+}
+
+func TestHistogramDroppedMergeSubReset(t *testing.T) {
+	a := NewLatencyHistogram()
+	b := NewLatencyHistogram()
+	a.Observe(math.NaN())
+	a.Observe(1)
+	b.Observe(math.Inf(1))
+	b.Observe(math.Inf(-1))
+	// Merge must carry dropped even from a histogram with zero accepted
+	// observations.
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Dropped() != 3 || a.Count() != 1 {
+		t.Errorf("after merge: Dropped=%d Count=%d, want 3/1", a.Dropped(), a.Count())
+	}
+
+	snap := a.Clone()
+	a.Observe(math.NaN())
+	a.Observe(2)
+	delta, err := a.Sub(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Dropped() != 1 || delta.Count() != 1 {
+		t.Errorf("delta: Dropped=%d Count=%d, want 1/1", delta.Dropped(), delta.Count())
+	}
+	// Subtracting a later snapshot (more drops) must error, not wrap.
+	if _, err := snap.Sub(a); err == nil {
+		t.Error("Sub with later snapshot should fail")
+	}
+
+	a.Reset()
+	if a.Dropped() != 0 || a.Count() != 0 {
+		t.Errorf("after reset: Dropped=%d Count=%d", a.Dropped(), a.Count())
+	}
+}
+
+func TestConcurrentHistogramDropped(t *testing.T) {
+	c := NewConcurrentLatencyHistogram()
+	c.Observe(math.NaN())
+	c.Observe(0.001)
+	if c.Dropped() != 1 || c.Count() != 1 {
+		t.Errorf("Dropped=%d Count=%d, want 1/1", c.Dropped(), c.Count())
+	}
+}
+
+// FuzzHistogramInvariants fuzzes the full observe/query surface: Observe
+// must never panic, accepted/dropped bookkeeping must add up, Mean must be
+// finite, Quantile must be monotone in q, and FractionBelow must stay in
+// [0,1] and be monotone in x.
+func FuzzHistogramInvariants(f *testing.F) {
+	f.Add(0.001, 0.5, math.NaN(), 0.5, 0.01)
+	f.Add(-1.0, math.Inf(1), 1e-9, 0.99, 1e3)
+	f.Add(0.0, 1e300, -1e300, 1.0, 1e-6)
+	f.Fuzz(func(t *testing.T, v1, v2, v3, q, x float64) {
+		h := NewLatencyHistogram()
+		for _, v := range []float64{v1, v2, v3} {
+			h.Observe(v) // must not panic for any float64
+		}
+		if h.Count()+h.Dropped() != 3 {
+			t.Fatalf("Count+Dropped = %d+%d, want 3", h.Count(), h.Dropped())
+		}
+		if m := h.Mean(); math.IsNaN(m) || math.IsInf(m, 0) {
+			t.Fatalf("Mean = %v not finite", m)
+		}
+		if q > 0 && q <= 1 {
+			lo := q / 2
+			if lo <= 0 {
+				lo = q
+			}
+			qa, qb := h.Quantile(lo), h.Quantile(q)
+			if h.Count() > 0 && qa > qb+1e-12 {
+				t.Fatalf("Quantile not monotone: Q(%v)=%v > Q(%v)=%v", lo, qa, q, qb)
+			}
+		}
+		if !math.IsNaN(x) {
+			fb := h.FractionBelow(x)
+			if fb < 0 || fb > 1 || math.IsNaN(fb) {
+				t.Fatalf("FractionBelow(%v) = %v outside [0,1]", x, fb)
+			}
+			if !math.IsInf(x, 0) {
+				fb2 := h.FractionBelow(x * 2)
+				if x > 0 && fb2+1e-9 < fb {
+					t.Fatalf("FractionBelow not monotone: F(%v)=%v > F(%v)=%v", x, fb, 2*x, fb2)
+				}
+			}
+		}
+	})
+}

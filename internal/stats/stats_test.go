@@ -266,9 +266,42 @@ func TestNormalQuantileTwoSided(t *testing.T) {
 	if z := normalQuantileTwoSided(0.99); math.Abs(z-2.575829) > 1e-5 {
 		t.Errorf("z(99%%) = %v", z)
 	}
-	// Out-of-range confidence falls back to 95%.
-	if z := normalQuantileTwoSided(0); math.Abs(z-1.959964) > 1e-5 {
-		t.Errorf("fallback z = %v", z)
+	// Out-of-range confidence clamps to the documented extremes: ~0 width
+	// at the bottom, finite and monotone at the top. NaN behaves like 0.
+	if z := normalQuantileTwoSided(0); !(z >= 0 && z < 0.01) {
+		t.Errorf("z(0) = %v, want ~0 after clamping", z)
+	}
+	zTop := normalQuantileTwoSided(1)
+	if !(zTop > 6 && zTop < 9) {
+		t.Errorf("z(1) = %v, want finite ~7 after clamping", zTop)
+	}
+	if z := normalQuantileTwoSided(1.5); z != zTop {
+		t.Errorf("z(1.5) = %v, want clamp to z(1) = %v", z, zTop)
+	}
+	if z := normalQuantileTwoSided(math.NaN()); !(z >= 0 && z < 0.01) {
+		t.Errorf("z(NaN) = %v, want ~0 after clamping", z)
+	}
+	// Monotone in confidence across the interior.
+	prev := -1.0
+	for _, c := range []float64{0.1, 0.5, 0.8, 0.9, 0.95, 0.99, 0.999} {
+		z := normalQuantileTwoSided(c)
+		if z <= prev {
+			t.Errorf("z(%v) = %v not monotone (prev %v)", c, z, prev)
+		}
+		prev = z
+	}
+}
+
+func TestWilsonIntervalClampsKAboveN(t *testing.T) {
+	// k > n would otherwise yield an interval around p > 1; it must clamp
+	// to the all-success interval.
+	lo, hi := WilsonInterval(60, 50, 0.95)
+	loN, hiN := WilsonInterval(50, 50, 0.95)
+	if lo != loN || hi != hiN {
+		t.Errorf("k>n interval [%v, %v] != all-success interval [%v, %v]", lo, hi, loN, hiN)
+	}
+	if lo < 0 || hi > 1 {
+		t.Errorf("interval [%v, %v] escapes [0,1]", lo, hi)
 	}
 }
 
