@@ -33,23 +33,26 @@ bench:
 
 # Smoke-run the headline benchmarks (one iteration each) and write every
 # bench artifact under results/: the engine speedup (BENCH_PR2.json), the
-# calibration refresh latency (BENCH_PR4.json) and the observability
-# overhead (BENCH_PR5.json). The current PRs' artifacts are mirrored at the
-# repo root for reviewers.
+# calibration refresh latency (BENCH_PR4.json), the observability overhead
+# (BENCH_PR5.json) and the coded-predict cost (BENCH_PR6.json). The current
+# PRs' artifacts are mirrored at the repo root for reviewers.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'Fig6|ServePredictColdVsCached' -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'Fig6|ServePredictColdVsCached|CodedPredict' -benchtime=1x .
 	COSMODEL_BENCH_SMOKE=1 $(GO) test \
-		-run 'TestBenchSmokeArtifact|TestBenchSmokeCalibration|TestBenchSmokeObservability' .
+		-run 'TestBenchSmokeArtifact|TestBenchSmokeCalibration|TestBenchSmokeObservability|TestBenchSmokeCoded' .
 	cp results/BENCH_PR4.json BENCH_PR4.json
 	cp results/BENCH_PR5.json BENCH_PR5.json
+	cp results/BENCH_PR6.json BENCH_PR6.json
 
-# Short native-fuzzing runs over the HTTP request parsers and the histogram
-# invariants: enough to catch regressions in the strict decoder and the
-# quantile/bucket arithmetic without turning check into a soak.
+# Short native-fuzzing runs over the HTTP request parsers, the histogram
+# invariants, and the k-of-n order-statistic combinator: enough to catch
+# regressions in the strict decoder, the quantile/bucket arithmetic and the
+# coded-read CDF bounds without turning check into a soak.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeStrict$$' -fuzztime=10s ./internal/serve
 	$(GO) test -run '^$$' -fuzz '^FuzzParseFloats$$' -fuzztime=10s ./internal/serve
 	$(GO) test -run '^$$' -fuzz '^FuzzHistogramInvariants$$' -fuzztime=10s ./internal/stats
+	$(GO) test -run '^$$' -fuzz '^FuzzOrderStatisticCDF$$' -fuzztime=10s ./internal/coscode
 
 # Repeated race-enabled runs of the fault-injection and cancellation suites:
 # the tests that depend on goroutine interleavings get three chances to flake.

@@ -5,6 +5,7 @@ import (
 
 	"cosmodel/internal/calib"
 	"cosmodel/internal/core"
+	"cosmodel/internal/coscode"
 	"cosmodel/internal/dist"
 	"cosmodel/internal/experiments"
 	"cosmodel/internal/numeric"
@@ -49,6 +50,18 @@ type (
 	BestFitReport = core.BestFitReport
 	// DeviceDiagnosis is one row of the bottleneck-identification report.
 	DeviceDiagnosis = core.DeviceDiagnosis
+	// CodedSpec describes an (n,k) coded read — stripe width, completion
+	// quorum, and optional hedging delay — consumed by SystemModel's
+	// CodedCDF/CodedQuantile order-statistic predictions.
+	CodedSpec = core.CodedSpec
+)
+
+// Order-statistic primitives (internal/coscode): KOfNProbability is the
+// Poisson-binomial tail P(at least k of the n successes), the combinator
+// under every coded-read prediction; ErrBadCodedSpec marks invalid specs.
+var (
+	KOfNProbability = coscode.KOfN
+	ErrBadCodedSpec = coscode.ErrBadSpec
 )
 
 // Model variant constants.
@@ -144,6 +157,10 @@ type (
 	ServePrediction = serve.Prediction
 	// ServeAdvice is the /advise admission-control answer.
 	ServeAdvice = serve.Advice
+	// ServeCodedReadSpec is the wire form of an (n,k) coded-read query and
+	// ServeCodedReadBlock the coded section of a /predict answer.
+	ServeCodedReadSpec  = serve.CodedReadSpec
+	ServeCodedReadBlock = serve.CodedReadBlock
 )
 
 var (
@@ -416,6 +433,7 @@ var (
 	SummarizeTrace     = trace.Summarize
 	PaperSchedule      = trace.PaperSchedule
 	WikipediaLikeSizes = trace.WikipediaLikeSizes
+	ParetoSizes        = trace.ParetoSizes
 	WriteTrace         = trace.Write
 	ReadTrace          = trace.Read
 	ParseWikibench     = trace.ParseWikibench
@@ -455,6 +473,10 @@ type (
 	// (equal means, divergent percentiles).
 	MeanVsPercentileConfig = experiments.MeanVsPercentileConfig
 	MeanVsPercentileResult = experiments.MeanVsPercentileResult
+	// CodedResult and CodedStepResult hold a coded-read sweep: observed
+	// vs order-statistic-predicted SLA fractions per rate step.
+	CodedResult     = experiments.CodedResult
+	CodedStepResult = experiments.CodedStepResult
 )
 
 // Experiment drivers.
@@ -489,6 +511,14 @@ var (
 
 	DefaultMeanVsPercentile = experiments.DefaultMeanVsPercentile
 	RunMeanVsPercentile     = experiments.RunMeanVsPercentile
+
+	// Coded-read validation: drive a striped sweep through the simulator
+	// and score the order-statistic model against it.
+	RunCodedScenario       = experiments.RunCodedScenario
+	EvaluateCodedSweep     = experiments.EvaluateCodedSweep
+	EvaluateCodedSweepCtx  = experiments.EvaluateCodedSweepContext
+	BuildCodedSystemModel  = experiments.BuildCodedSystemModel
+	CodedSpecFromSimConfig = experiments.CodedSpecFromConfig
 )
 
 // ---------------------------------------------------------------------------

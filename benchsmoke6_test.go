@@ -1,0 +1,177 @@
+// Bench-smoke artifact for the coded-read prediction path: the serving
+// engine's coded /predict latencies cold (model build plus order-statistic
+// combination per SLA) and cached (memoized), with allocations per
+// operation, and the cold-path cost relative to a plain predict on the
+// same operating point. Written to results/BENCH_PR6.json; gated behind
+// COSMODEL_BENCH_SMOKE=1 like the other artifacts (`make bench-smoke` sets
+// the gate and mirrors the artifacts at the repo root).
+package cosmodel_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"cosmodel"
+)
+
+type codedSmokeReport struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// N and K identify the measured stripe shape; SLAs the query width.
+	N    int `json:"n"`
+	K    int `json:"k"`
+	SLAs int `json:"slas"`
+	// CodedColdNs and CodedCachedNs are the serving engine's per-query
+	// coded-predict latencies: cold invalidates the memo every round
+	// (forcing a model build, the frontend-grid discretization, and one
+	// order-statistic bisection per SLA), cached answers from the memo.
+	CodedColdNs   int64 `json:"coded_cold_ns"`
+	CodedCachedNs int64 `json:"coded_cached_ns"`
+	// CodedColdAllocs and CodedCachedAllocs are allocations per query on
+	// the two paths (testing.AllocsPerRun).
+	CodedColdAllocs   float64 `json:"coded_cold_allocs"`
+	CodedCachedAllocs float64 `json:"coded_cached_allocs"`
+	// PlainColdNs is the uncoded cold predict on the same operating point;
+	// CodedVsPlainCold is the cold-path cost ratio of the order-statistic
+	// model over the plain response CDF.
+	PlainColdNs      int64   `json:"plain_cold_ns"`
+	CodedVsPlainCold float64 `json:"coded_vs_plain_cold"`
+}
+
+// codedSmokeEngine builds a warm serving engine with one ingested batch,
+// shared by the coded benchmark and the artifact test.
+func codedSmokeEngine(fatal func(...any)) *cosmodel.ServeEngine {
+	props := cosmodel.DeviceProperties{
+		IndexDisk: cosmodel.NewGammaMeanSCV(9e-3, 0.45),
+		MetaDisk:  cosmodel.NewGammaMeanSCV(6e-3, 0.50),
+		DataDisk:  cosmodel.NewGammaMeanSCV(8e-3, 0.40),
+		ParseFE:   cosmodel.Degenerate{Value: 0.3e-3},
+		ParseBE:   cosmodel.Degenerate{Value: 0.5e-3},
+	}
+	cfg := cosmodel.DefaultServeConfig(props, 4)
+	eng, err := cosmodel.NewServeEngine(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	batch := make([]cosmodel.ServeObservation, cfg.Devices)
+	for d := range batch {
+		batch[d] = cosmodel.ServeObservation{
+			Device: d, Interval: 10, Requests: 500, DataReads: 600,
+			IndexHits: 700, IndexMisses: 300,
+			MetaHits: 650, MetaMisses: 350,
+			DataHits: 500, DataMisses: 500,
+			DiskBusy: 8, DiskOps: 1000,
+		}
+	}
+	if err := eng.Ingest(batch); err != nil {
+		fatal(err)
+	}
+	return eng
+}
+
+// BenchmarkCodedPredict measures the serving engine's coded-read prediction
+// on a (3,1) replication spec: cold (memo invalidated every iteration) and
+// cached, both with allocations reported.
+func BenchmarkCodedPredict(b *testing.B) {
+	spec := cosmodel.ServeCodedReadSpec{N: 3, K: 1}
+	slas := []float64{0.01, 0.05, 0.1}
+	b.Run("cold", func(b *testing.B) {
+		eng := codedSmokeEngine(b.Fatal)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.InvalidateCache()
+			if _, err := eng.PredictCoded(spec, slas); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		eng := codedSmokeEngine(b.Fatal)
+		if _, err := eng.PredictCoded(spec, slas); err != nil { // warm
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			preds, err := eng.PredictCoded(spec, slas)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !preds[0].Cached {
+				b.Fatal("cache miss on the warmed path")
+			}
+		}
+	})
+}
+
+// TestBenchSmokeCoded measures the coded predict path cold and cached, with
+// allocations per operation, and writes the PR's bench artifact.
+func TestBenchSmokeCoded(t *testing.T) {
+	if os.Getenv("COSMODEL_BENCH_SMOKE") == "" {
+		t.Skip("set COSMODEL_BENCH_SMOKE=1 to produce results/BENCH_PR6.json")
+	}
+	eng := codedSmokeEngine(t.Fatal)
+	spec := cosmodel.ServeCodedReadSpec{N: 3, K: 1}
+	slas := []float64{0.01, 0.05, 0.1}
+	coded := func() {
+		if _, err := eng.PredictCoded(spec, slas); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plain := func() {
+		if _, err := eng.Predict(slas); err != nil {
+			t.Fatal(err)
+		}
+	}
+	coded() // warm
+	rep := codedSmokeReport{
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		N:                 spec.N,
+		K:                 spec.K,
+		SLAs:              len(slas),
+		CodedCachedNs:     best(20, func(int) { coded() }),
+		CodedCachedAllocs: testing.AllocsPerRun(10, coded),
+		CodedColdNs:       best(20, func(int) { eng.InvalidateCache(); coded() }),
+		CodedColdAllocs: testing.AllocsPerRun(10, func() {
+			eng.InvalidateCache()
+			coded()
+		}),
+		PlainColdNs: best(20, func(int) { eng.InvalidateCache(); plain() }),
+	}
+	rep.CodedVsPlainCold = float64(rep.CodedColdNs) / float64(rep.PlainColdNs)
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("results", "BENCH_PR6.json")
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("coded predict cold %s (%.0f allocs), cached %s (%.0f allocs), %.2fx plain cold -> %s",
+		time.Duration(rep.CodedColdNs), rep.CodedColdAllocs,
+		time.Duration(rep.CodedCachedNs), rep.CodedCachedAllocs,
+		rep.CodedVsPlainCold, path)
+
+	// The regression bars: the memo must actually short-circuit the coded
+	// path (an order of magnitude and near allocation-free), and the coded
+	// cold path — one extra discretized convolution over the plain model —
+	// must stay within 100x of a plain cold predict.
+	if rep.CodedCachedNs*10 > rep.CodedColdNs {
+		t.Errorf("cached coded predict %s not 10x under cold %s",
+			time.Duration(rep.CodedCachedNs), time.Duration(rep.CodedColdNs))
+	}
+	if rep.CodedCachedAllocs > 100 {
+		t.Errorf("cached coded predict allocates %.0f objects per query, want <= 100", rep.CodedCachedAllocs)
+	}
+	if rep.CodedVsPlainCold > 100 {
+		t.Errorf("coded cold predict %.1fx a plain cold predict, want <= 100x", rep.CodedVsPlainCold)
+	}
+}

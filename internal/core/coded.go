@@ -1,0 +1,227 @@
+package core
+
+import (
+	"context"
+	"math"
+
+	"cosmodel/internal/coscode"
+	"cosmodel/internal/lst"
+	"cosmodel/internal/numeric"
+)
+
+// CodedSpec describes a k-of-n coded read, optionally hedged; see
+// coscode.Spec for the field semantics.
+type CodedSpec = coscode.Spec
+
+// codedFrontendGridPoints is the resolution of the discretized frontend
+// sojourn used to convolve Sq with the order-statistic CDF. The sojourn is
+// sub-millisecond next to the tens-of-milliseconds backend response, so a
+// modest grid keeps the discretization error far below inversion noise.
+const codedFrontendGridPoints = 48
+
+// frontendGrid tabulates the frontend sojourn CDF on a fixed grid and
+// converts it to point masses (interval increments, residual tail mass on
+// the last point — the same discretization gridTransform uses). Built once
+// per model; concurrency-safe.
+func (s *SystemModel) frontendGrid() ([]float64, []float64, error) {
+	s.feGridOnce.Do(func() {
+		sq := s.frontend.Sojourn()
+		mean := sq.Mean
+		if !(mean > 0) {
+			mean = 1e-4
+		}
+		span := 12 * mean
+		inv := s.opts.inverter()
+		pts := make([]float64, codedFrontendGridPoints)
+		masses := make([]float64, codedFrontendGridPoints)
+		prev := 0.0
+		for i := range pts {
+			x := span * float64(i+1) / codedFrontendGridPoints
+			v := lst.CDF(inv, sq, x)
+			if reason := numeric.CheckCDF(v); reason != "" {
+				s.feGridErr = &numeric.InversionError{
+					T: x, Value: v,
+					Reason: "frontend sojourn grid: " + reason,
+					Tried:  []string{inv.Name()},
+				}
+				return
+			}
+			v = numeric.Clamp01(v)
+			if v < prev {
+				v = prev
+			}
+			pts[i] = x
+			masses[i] = v - prev
+			prev = v
+		}
+		masses[len(masses)-1] += 1 - prev
+		s.fePoints, s.feMasses = pts, masses
+	})
+	return s.fePoints, s.feMasses, s.feGridErr
+}
+
+// codedCDF evaluates the frontend-observed coded-read CDF at t without
+// span bookkeeping: the k-of-n order statistic of the per-read response
+// (Wa ∗ Sbe, rate-weighted over the device mixture) convolved with the
+// frontend sojourn Sq. N=1 short-circuits to the plain response CDF, which
+// is exact (no grid). probes counts base-CDF inversions for the observer.
+func (s *SystemModel) codedCDF(ctx context.Context, spec CodedSpec, t float64, probes *int) (float64, error) {
+	if t <= 0 {
+		return 0, nil
+	}
+	if spec.N == 1 {
+		*probes++
+		return s.mixtureCDF(ctx, t, modeFull)
+	}
+	pts, masses, err := s.frontendGrid()
+	if err != nil {
+		return 0, err
+	}
+	base := func(x float64) (float64, error) {
+		*probes++
+		return s.mixtureCDF(ctx, x, modeResponse)
+	}
+	total := 0.0
+	for i, x := range pts {
+		if masses[i] == 0 || t-x <= 0 {
+			continue
+		}
+		h, err := coscode.CDF(spec, base, t-x)
+		if err != nil {
+			return 0, err
+		}
+		total += masses[i] * h
+	}
+	return numeric.Clamp01(total), nil
+}
+
+// CodedCDF predicts the fraction of (n,k) coded reads responding within t
+// seconds; see CodedCDFContext. A numerical or spec error reports 0.
+func (s *SystemModel) CodedCDF(spec CodedSpec, t float64) float64 {
+	v, _ := s.CodedCDFContext(context.Background(), spec, t)
+	return v
+}
+
+// CodedCDFContext evaluates the frontend-observed response-latency CDF of
+// a k-of-n coded read at t under ctx. Each stripe sub-read independently
+// experiences the per-read response Wa ∗ Sbe of the device mixture; the
+// request completes at the k-th-fastest sub-read (Poisson-binomial order
+// statistic, hedged reserves delayed by the spec's HedgeDelay) and the
+// shared frontend sojourn Sq is added by discretized convolution. The
+// degenerate N=1 spec evaluates identically to CDFContext. Cancellation,
+// EvalTimeout and the fallback chain apply as in CDFContext.
+func (s *SystemModel) CodedCDFContext(ctx context.Context, spec CodedSpec, t float64) (v float64, err error) {
+	if err := spec.Validate(); err != nil {
+		return 0, err
+	}
+	ctx, cancel := s.opts.EvalContext(ctx)
+	defer cancel()
+	probes := 0
+	done := s.beginSpan("coded_cdf")
+	defer func() { done(probes, err) }()
+	return s.codedCDF(ctx, spec, t, &probes)
+}
+
+// CodedBackendCDF is the backend-tier form of CodedCDF; a numerical or
+// spec error reports 0.
+func (s *SystemModel) CodedBackendCDF(spec CodedSpec, t float64) float64 {
+	v, _ := s.CodedBackendCDFContext(context.Background(), spec, t)
+	return v
+}
+
+// CodedBackendCDFContext evaluates the backend-tier coded-read CDF at t:
+// the k-of-n order statistic over the rate-weighted Sbe mixture, without
+// frontend queueing or WTA. The degenerate N=1 spec evaluates through the
+// identical mixture path as BackendCDFContext, so the two agree exactly.
+func (s *SystemModel) CodedBackendCDFContext(ctx context.Context, spec CodedSpec, t float64) (v float64, err error) {
+	if err := spec.Validate(); err != nil {
+		return 0, err
+	}
+	ctx, cancel := s.opts.EvalContext(ctx)
+	defer cancel()
+	probes := 0
+	done := s.beginSpan("coded_backend_cdf")
+	defer func() { done(probes, err) }()
+	base := func(x float64) (float64, error) {
+		probes++
+		return s.mixtureCDF(ctx, x, modeBackend)
+	}
+	return coscode.CDF(spec, base, t)
+}
+
+// CodedQuantile returns the latency below which a fraction p of coded
+// reads complete; see CodedQuantileContext. A numerical failure reports
+// NaN.
+func (s *SystemModel) CodedQuantile(spec CodedSpec, p float64) float64 {
+	v, err := s.CodedQuantileContext(context.Background(), spec, p)
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}
+
+// CodedQuantileContext inverts the coded-read CDF by guarded bisection,
+// mirroring QuantileContext: cancellation and the EvalTimeout budget are
+// observed at every probe, and a grossly non-monotone CDF surfaces as
+// numeric.ErrNumerical instead of a garbage quantile. It returns +Inf when
+// the quantile exceeds the search ceiling or when p >= 1.
+func (s *SystemModel) CodedQuantileContext(ctx context.Context, spec CodedSpec, p float64) (q float64, err error) {
+	if err := spec.Validate(); err != nil {
+		return 0, err
+	}
+	ctx, cancel := s.opts.EvalContext(ctx)
+	defer cancel()
+	probes := 0
+	done := s.beginSpan("coded_quantile")
+	defer func() { done(probes, err) }()
+	if p <= 0 {
+		return 0, nil
+	}
+	if p >= 1 {
+		return math.Inf(1), nil
+	}
+	// The per-read mean bounds the k=1 case; a fork-join barrier can sit
+	// well above it, which the doubling loop absorbs.
+	hi := s.MeanResponse()
+	if hi <= 0 {
+		hi = 1e-3
+	}
+	if spec.Hedge && !math.IsInf(spec.HedgeDelay, 1) {
+		hi += spec.HedgeDelay
+	}
+	vHi, err := s.codedCDF(ctx, spec, hi, &probes)
+	if err != nil {
+		return 0, err
+	}
+	for vHi < p {
+		hi *= 2
+		if hi > 1e6 {
+			return math.Inf(1), nil
+		}
+		if vHi, err = s.codedCDF(ctx, spec, hi, &probes); err != nil {
+			return 0, err
+		}
+	}
+	lo, vLo := 0.0, 0.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		v, err := s.codedCDF(ctx, spec, mid, &probes)
+		if err != nil {
+			return 0, err
+		}
+		if v < vLo-numeric.CDFSlack || v > vHi+numeric.CDFSlack {
+			return 0, &numeric.InversionError{
+				T:      mid,
+				Value:  v,
+				Reason: "grossly non-monotone coded CDF in quantile bisection",
+				Tried:  []string{s.opts.inverter().Name()},
+			}
+		}
+		if v < p {
+			lo, vLo = mid, v
+		} else {
+			hi, vHi = mid, v
+		}
+	}
+	return (lo + hi) / 2, nil
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"cosmodel/internal/coscode"
+	"cosmodel/internal/dist"
+)
+
+func buildCodedTestSystem(t *testing.T, nDevices int, opts Options) *SystemModel {
+	t.Helper()
+	devs := make([]*DeviceModel, nDevices)
+	for i := range devs {
+		m := testMetrics()
+		m.Rate *= 1 + 0.02*float64(i) // distinct operating points
+		m.DataRate = m.Rate * 1.2
+		d, err := NewDeviceModel(testProps(), m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs[i] = d
+	}
+	fe, err := NewFrontendModel(testMetrics().Rate*float64(nDevices), 12, testProps().ParseFE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystemModel(fe, devs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// The acceptance bar: a degenerate 1-of-1 "stripe" must reproduce the
+// plain backend CDF to within 1e-12 (it runs the identical mixture path).
+func TestCodedBackendN1MatchesBackendCDF(t *testing.T) {
+	sys := buildCodedTestSystem(t, 3, Options{})
+	ctx := context.Background()
+	for _, sla := range []float64{0.005, 0.010, 0.050, 0.100} {
+		want, err := sys.BackendCDFContext(ctx, sla)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sys.CodedBackendCDFContext(ctx, CodedSpec{N: 1, K: 1}, sla)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("sla=%v: coded n=1 %v vs BackendCDF %v (diff %g)",
+				sla, got, want, math.Abs(got-want))
+		}
+	}
+}
+
+func TestCodedFrontendN1MatchesCDF(t *testing.T) {
+	sys := buildCodedTestSystem(t, 2, Options{})
+	ctx := context.Background()
+	for _, sla := range []float64{0.010, 0.050, 0.100} {
+		want, err := sys.CDFContext(ctx, sla)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sys.CodedCDFContext(ctx, CodedSpec{N: 1, K: 1}, sla)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("sla=%v: coded n=1 %v vs CDF %v", sla, got, want)
+		}
+	}
+}
+
+func TestCodedCDFPropertiesAtSystemLevel(t *testing.T) {
+	sys := buildCodedTestSystem(t, 3, Options{})
+	ctx := context.Background()
+	// Monotone in t and bounded, for both tiers.
+	for _, spec := range []CodedSpec{{N: 3, K: 1}, {N: 6, K: 4}, {N: 4, K: 2, Hedge: true, HedgeDelay: 0.01}} {
+		prevFE, prevBE := 0.0, 0.0
+		for _, tt := range []float64{0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2} {
+			fe, err := sys.CodedCDFContext(ctx, spec, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			be, err := sys.CodedBackendCDFContext(ctx, spec, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range []float64{fe, be} {
+				if v < 0 || v > 1 || math.IsNaN(v) {
+					t.Fatalf("spec %v t=%v: value %v outside [0,1]", spec, tt, v)
+				}
+			}
+			if fe < prevFE-1e-9 || be < prevBE-1e-9 {
+				t.Fatalf("spec %v t=%v: non-monotone (fe %v<%v or be %v<%v)",
+					spec, tt, fe, prevFE, be, prevBE)
+			}
+			prevFE, prevBE = fe, be
+		}
+	}
+	// Ordered in k at a fixed probe.
+	prev := 1.0
+	for k := 1; k <= 4; k++ {
+		v, err := sys.CodedCDFContext(ctx, CodedSpec{N: 4, K: k}, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v > prev+1e-9 {
+			t.Fatalf("not ordered in k at k=%d: %v > %v", k, v, prev)
+		}
+		prev = v
+	}
+	// Fastest-of-3 stochastically dominates the plain read.
+	plain, err := sys.CDFContext(ctx, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := sys.CodedCDFContext(ctx, CodedSpec{N: 3, K: 1}, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast < plain-1e-6 {
+		t.Errorf("fastest-of-3 CDF %v below plain CDF %v", fast, plain)
+	}
+}
+
+func TestCodedHedgeEndpointsAtSystemLevel(t *testing.T) {
+	sys := buildCodedTestSystem(t, 3, Options{})
+	ctx := context.Background()
+	for _, tt := range []float64{0.01, 0.05, 0.1} {
+		plain, err := sys.CodedCDFContext(ctx, CodedSpec{N: 3, K: 2}, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h0, err := sys.CodedCDFContext(ctx, CodedSpec{N: 3, K: 2, Hedge: true, HedgeDelay: 0}, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(plain-h0) > 1e-12 {
+			t.Errorf("t=%v: hedge Δ=0 %v != plain %v", tt, h0, plain)
+		}
+		kOnly, err := sys.CodedCDFContext(ctx, CodedSpec{N: 2, K: 2}, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hInf, err := sys.CodedCDFContext(ctx, CodedSpec{N: 3, K: 2, Hedge: true, HedgeDelay: math.Inf(1)}, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(kOnly-hInf) > 1e-12 {
+			t.Errorf("t=%v: hedge Δ=∞ %v != k-of-k %v", tt, hInf, kOnly)
+		}
+	}
+}
+
+func TestCodedQuantileInvertsCodedCDF(t *testing.T) {
+	sys := buildCodedTestSystem(t, 3, Options{})
+	ctx := context.Background()
+	for _, spec := range []CodedSpec{{N: 3, K: 1}, {N: 6, K: 4}} {
+		for _, p := range []float64{0.5, 0.9, 0.99} {
+			q, err := sys.CodedQuantileContext(ctx, spec, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := sys.CodedCDFContext(ctx, spec, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(v-p) > 1e-3 {
+				t.Errorf("spec %v: CDF(Quantile(%v)=%v) = %v", spec, p, q, v)
+			}
+		}
+	}
+	// Replication's p99 beats the plain read's p99; a full fork-join
+	// barrier is no faster than its slowest constituent set.
+	p99Plain, err := sys.QuantileContext(ctx, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p99Fast, err := sys.CodedQuantileContext(ctx, CodedSpec{N: 3, K: 1}, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p99Fast > p99Plain+1e-6 {
+		t.Errorf("fastest-of-3 p99 %v above plain p99 %v", p99Fast, p99Plain)
+	}
+	p99Barrier, err := sys.CodedQuantileContext(ctx, CodedSpec{N: 3, K: 3}, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p99Barrier < p99Plain-1e-3 {
+		t.Errorf("fork-join barrier p99 %v below plain p99 %v", p99Barrier, p99Plain)
+	}
+}
+
+func TestCodedObserverSpans(t *testing.T) {
+	var mu sync.Mutex
+	events := map[string]EvalEvent{}
+	opts := Options{Observer: func(e EvalEvent) {
+		mu.Lock()
+		events[e.Op] = e
+		mu.Unlock()
+	}}
+	sys := buildCodedTestSystem(t, 3, opts)
+	ctx := context.Background()
+	spec := CodedSpec{N: 3, K: 2}
+	if _, err := sys.CodedCDFContext(ctx, spec, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.CodedBackendCDFContext(ctx, spec, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.CodedQuantileContext(ctx, spec, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, op := range []string{"coded_cdf", "coded_backend_cdf", "coded_quantile"} {
+		e, ok := events[op]
+		if !ok {
+			t.Errorf("no %s span observed", op)
+			continue
+		}
+		if e.Probes < 1 {
+			t.Errorf("%s span reports %d probes", op, e.Probes)
+		}
+		if e.Groups != 3 {
+			t.Errorf("%s span reports %d groups", op, e.Groups)
+		}
+	}
+}
+
+func TestCodedSpecErrorsSurface(t *testing.T) {
+	sys := buildCodedTestSystem(t, 2, Options{})
+	ctx := context.Background()
+	bad := CodedSpec{N: 2, K: 3}
+	if _, err := sys.CodedCDFContext(ctx, bad, 0.05); !errors.Is(err, coscode.ErrBadSpec) {
+		t.Errorf("CodedCDFContext: got %v, want ErrBadSpec", err)
+	}
+	if _, err := sys.CodedBackendCDFContext(ctx, bad, 0.05); !errors.Is(err, coscode.ErrBadSpec) {
+		t.Errorf("CodedBackendCDFContext: got %v, want ErrBadSpec", err)
+	}
+	if _, err := sys.CodedQuantileContext(ctx, bad, 0.9); !errors.Is(err, coscode.ErrBadSpec) {
+		t.Errorf("CodedQuantileContext: got %v, want ErrBadSpec", err)
+	}
+	// Cancellation propagates.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := sys.CodedCDFContext(cctx, CodedSpec{N: 3, K: 2}, 0.05); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled context: got %v", err)
+	}
+}
+
+// The grid discretization must keep a simulated-free sanity property: the
+// coded mixture over a homogeneous pool equals the single-device coded
+// value (mixture of identical groups collapses).
+func TestCodedHomogeneousMixtureCollapses(t *testing.T) {
+	m := testMetrics()
+	d1, err := NewDeviceModel(testProps(), m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := NewFrontendModel(m.Rate*4, 12, dist.Degenerate{Value: 0.3e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := NewSystemModel(fe, []*DeviceModel{d1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := NewSystemModel(fe, []*DeviceModel{d1, d1, d1, d1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := CodedSpec{N: 4, K: 2}
+	for _, tt := range []float64{0.01, 0.05} {
+		a, err := one.CodedCDFContext(context.Background(), spec, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := many.CodedCDFContext(context.Background(), spec, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a-b) > 1e-12 {
+			t.Errorf("t=%v: homogeneous mixture %v != single %v", tt, b, a)
+		}
+	}
+}

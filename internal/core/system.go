@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"cosmodel/internal/lst"
 	"cosmodel/internal/numeric"
@@ -23,7 +24,23 @@ type mixGroup struct {
 	dev      *DeviceModel
 	weight   float64
 	response lst.Transform // Sq ∗ Wa ∗ Sbe, for non-node inverters
+	beResp   lst.Transform // Wa ∗ Sbe, for non-node inverters
 }
+
+// evalMode selects which composition of the per-device factors the
+// shared-subexpression engine inverts.
+type evalMode int
+
+const (
+	// modeFull is the frontend-observed response Sq ∗ Wa ∗ Sbe (Eq. 2).
+	modeFull evalMode = iota
+	// modeBackend is the backend-tier response Sbe alone.
+	modeBackend
+	// modeResponse is the per-read response Wa ∗ Sbe: what one stripe
+	// sub-read of a coded GET experiences after the (shared) frontend
+	// parse, the base CDF of the k-of-n order statistic.
+	modeResponse
+)
 
 // SystemModel combines the frontend model with per-device backend models
 // into the system-level response-latency distribution (Eqs. 2 and 3):
@@ -51,6 +68,13 @@ type SystemModel struct {
 	groups    []mixGroup
 	totalRate float64
 	nodeCount int // quadrature nodes of the configured inverter, for spans
+
+	// Discretized frontend-sojourn distribution for coded-read
+	// evaluation, built lazily by frontendGrid.
+	feGridOnce sync.Once
+	fePoints   []float64
+	feMasses   []float64
+	feGridErr  error
 }
 
 // NewSystemModel assembles the system model. The frontend and at least one
@@ -80,6 +104,7 @@ func NewSystemModel(fe *FrontendModel, devices []*DeviceModel, opts Options) (*S
 				dev:      d,
 				weight:   d.Rate(),
 				response: s.responses[len(s.responses)-1],
+				beResp:   lst.Convolve(d.WTA(), d.Backend()),
 			})
 		}
 	}
@@ -131,7 +156,7 @@ func (s *SystemModel) CDFContext(ctx context.Context, t float64) (float64, error
 	ctx, cancel := s.opts.EvalContext(ctx)
 	defer cancel()
 	done := s.beginSpan("cdf")
-	v, err := s.mixtureCDF(ctx, t, true)
+	v, err := s.mixtureCDF(ctx, t, modeFull)
 	done(0, err)
 	return v, err
 }
@@ -157,21 +182,20 @@ func (s *SystemModel) BackendCDFContext(ctx context.Context, t float64) (float64
 	ctx, cancel := s.opts.EvalContext(ctx)
 	defer cancel()
 	done := s.beginSpan("backend_cdf")
-	v, err := s.mixtureCDF(ctx, t, false)
+	v, err := s.mixtureCDF(ctx, t, modeBackend)
 	done(0, err)
 	return v, err
 }
 
 // groupEvaluator builds the raw (unclamped) per-group CDF evaluator at t
-// for one inverter. frontend selects the frontend-observed response
-// Sq ∗ Wa ∗ Sbe; otherwise the backend-only Sbe mixture.
-func (s *SystemModel) groupEvaluator(inv numeric.Inverter, t float64, frontend bool) func(i int) float64 {
+// for one inverter, composing the per-device factors selected by mode.
+func (s *SystemModel) groupEvaluator(inv numeric.Inverter, t float64, mode evalMode) func(i int) float64 {
 	if ni, ok := inv.(numeric.NodeInverter); ok {
 		// 32 covers every built-in quadrature (Euler 27, Talbot 32,
 		// Gaver-Stehfest 14) without append regrowth.
 		nodes, ws := ni.AppendNodes(make([]complex128, 0, 32), make([]complex128, 0, 32), t)
 		var fe []complex128
-		if frontend {
+		if mode == modeFull {
 			// The frontend sojourn factor is identical across the
 			// mixture: evaluate it once per inversion node.
 			sq := s.frontend.Sojourn().F
@@ -184,9 +208,14 @@ func (s *SystemModel) groupEvaluator(inv numeric.Inverter, t float64, frontend b
 			var sum float64
 			for k, sk := range nodes {
 				wa, sbe := s.groups[i].dev.responseNode(sk)
-				fv := sbe
-				if frontend {
+				var fv complex128
+				switch mode {
+				case modeFull:
 					fv = fe[k] * wa * sbe
+				case modeResponse:
+					fv = wa * sbe
+				default:
+					fv = sbe
 				}
 				sum += real(ws[k] * (fv / sk))
 			}
@@ -196,8 +225,13 @@ func (s *SystemModel) groupEvaluator(inv numeric.Inverter, t float64, frontend b
 	// Opaque custom inverter: invert each group's composed transform
 	// closure independently.
 	return func(i int) float64 {
-		tr := s.groups[i].response
-		if !frontend {
+		var tr lst.Transform
+		switch mode {
+		case modeFull:
+			tr = s.groups[i].response
+		case modeResponse:
+			tr = s.groups[i].beResp
+		default:
 			tr = s.groups[i].dev.Backend()
 		}
 		return inv.Invert(func(sc complex128) complex128 { return tr.F(sc) / sc }, t)
@@ -208,7 +242,7 @@ func (s *SystemModel) groupEvaluator(inv numeric.Inverter, t float64, frontend b
 // validates the result, walking the fallback inverter chain on an invalid
 // value. A recovered value fires Options.OnFallback; exhaustion returns a
 // *numeric.InversionError.
-func (s *SystemModel) groupCDF(eval func(int) float64, i int, t float64, frontend bool) (float64, error) {
+func (s *SystemModel) groupCDF(eval func(int) float64, i int, t float64, mode evalMode) (float64, error) {
 	v := eval(i)
 	reason := numeric.CheckCDF(v)
 	if reason == "" {
@@ -221,7 +255,7 @@ func (s *SystemModel) groupCDF(eval func(int) float64, i int, t float64, fronten
 			continue
 		}
 		tried = append(tried, fb.Name())
-		fv := s.groupEvaluator(fb, t, frontend)(i)
+		fv := s.groupEvaluator(fb, t, mode)(i)
 		if numeric.CheckCDF(fv) == "" {
 			if cb := s.opts.OnFallback; cb != nil {
 				cb(primary, fb.Name())
@@ -236,17 +270,17 @@ func (s *SystemModel) groupCDF(eval func(int) float64, i int, t float64, fronten
 // mixtureCDF evaluates the rate-weighted mixture CDF at t under ctx.
 // Narrow mixtures run inline through a nil pool — same panic capture and
 // cancellation checks, no goroutine hand-off.
-func (s *SystemModel) mixtureCDF(ctx context.Context, t float64, frontend bool) (float64, error) {
+func (s *SystemModel) mixtureCDF(ctx context.Context, t float64, mode evalMode) (float64, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
 	if t <= 0 {
 		return 0, nil
 	}
-	eval := s.groupEvaluator(s.opts.inverter(), t, frontend)
+	eval := s.groupEvaluator(s.opts.inverter(), t, mode)
 	res := make([]float64, len(s.groups))
 	run := func(i int) error {
-		v, err := s.groupCDF(eval, i, t, frontend)
+		v, err := s.groupCDF(eval, i, t, mode)
 		if err != nil {
 			return err
 		}
@@ -309,7 +343,7 @@ func (s *SystemModel) QuantileContext(ctx context.Context, p float64) (q float64
 		hi = 1e-3
 	}
 	probes++
-	vHi, err := s.mixtureCDF(ctx, hi, true)
+	vHi, err := s.mixtureCDF(ctx, hi, modeFull)
 	if err != nil {
 		return 0, err
 	}
@@ -319,7 +353,7 @@ func (s *SystemModel) QuantileContext(ctx context.Context, p float64) (q float64
 			return math.Inf(1), nil
 		}
 		probes++
-		if vHi, err = s.mixtureCDF(ctx, hi, true); err != nil {
+		if vHi, err = s.mixtureCDF(ctx, hi, modeFull); err != nil {
 			return 0, err
 		}
 	}
@@ -327,7 +361,7 @@ func (s *SystemModel) QuantileContext(ctx context.Context, p float64) (q float64
 	for i := 0; i < 60; i++ {
 		mid := (lo + hi) / 2
 		probes++
-		v, err := s.mixtureCDF(ctx, mid, true)
+		v, err := s.mixtureCDF(ctx, mid, modeFull)
 		if err != nil {
 			return 0, err
 		}

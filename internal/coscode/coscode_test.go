@@ -1,0 +1,255 @@
+package coscode
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// bruteKOfN enumerates all 2^n completion patterns.
+func bruteKOfN(probs []float64, k int) float64 {
+	n := len(probs)
+	total := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		if bits.OnesCount(uint(mask)) < k {
+			continue
+		}
+		p := 1.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				p *= probs[i]
+			} else {
+				p *= 1 - probs[i]
+			}
+		}
+		total += p
+	}
+	return total
+}
+
+func TestKOfNMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		probs := make([]float64, n)
+		for i := range probs {
+			probs[i] = rng.Float64()
+		}
+		for k := 1; k <= n; k++ {
+			got := KOfN(probs, k)
+			want := bruteKOfN(probs, k)
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("KOfN(%v, %d) = %v, brute force %v", probs, k, got, want)
+			}
+		}
+	}
+}
+
+func TestKOfNDegenerateCases(t *testing.T) {
+	probs := []float64{0.3, 0.8, 0.55, 0.1}
+	// k=1: fastest-of-n, 1 - prod(1-p).
+	want := 1.0
+	for _, p := range probs {
+		want *= 1 - p
+	}
+	want = 1 - want
+	if got := KOfN(probs, 1); math.Abs(got-want) > 1e-14 {
+		t.Errorf("k=1: got %v, want %v", got, want)
+	}
+	// k=n: fork-join barrier, prod(p).
+	want = 1.0
+	for _, p := range probs {
+		want *= p
+	}
+	if got := KOfN(probs, len(probs)); math.Abs(got-want) > 1e-14 {
+		t.Errorf("k=n: got %v, want %v", got, want)
+	}
+	// n=1: exact pass-through, no floating-point error allowed.
+	for _, p := range []float64{0, 1e-18, 0.123456789, 1 - 1e-16, 1} {
+		if got := KOfN([]float64{p}, 1); got != p {
+			t.Errorf("n=1: got %v, want exactly %v", got, p)
+		}
+	}
+	// Out-of-range k.
+	if got := KOfN(probs, 0); got != 1 {
+		t.Errorf("k=0: got %v, want 1", got)
+	}
+	if got := KOfN(probs, len(probs)+1); got != 0 {
+		t.Errorf("k>n: got %v, want 0", got)
+	}
+}
+
+func TestKOfNProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(10)
+		probs := make([]float64, n)
+		for i := range probs {
+			probs[i] = rng.Float64()
+		}
+		prev := 1.0
+		for k := 1; k <= n; k++ {
+			v := KOfN(probs, k)
+			if v < 0 || v > 1 {
+				t.Fatalf("KOfN(%v, %d) = %v outside [0,1]", probs, k, v)
+			}
+			if v > prev+1e-15 {
+				t.Fatalf("KOfN not ordered in k: k=%d gives %v > %v", k, v, prev)
+			}
+			prev = v
+		}
+		// Coordinatewise monotone: bumping one probability up cannot
+		// lower the tail.
+		k := 1 + rng.Intn(n)
+		before := KOfN(probs, k)
+		i := rng.Intn(n)
+		probs[i] = probs[i] + (1-probs[i])*rng.Float64()
+		if after := KOfN(probs, k); after < before-1e-15 {
+			t.Fatalf("KOfN not monotone in probs: %v -> %v", before, after)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	valid := []Spec{
+		{N: 1, K: 1},
+		{N: 6, K: 4},
+		{N: 3, K: 1, Hedge: true, HedgeDelay: 0.005},
+		{N: 3, K: 1, Hedge: true, HedgeDelay: 0},
+		{N: 3, K: 2, Hedge: true, HedgeDelay: math.Inf(1)},
+	}
+	for _, sp := range valid {
+		if err := sp.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v, want nil", sp, err)
+		}
+	}
+	invalid := []Spec{
+		{N: 0, K: 1},
+		{N: 3, K: 0},
+		{N: 3, K: 4},
+		{N: -1, K: -1},
+		{N: 3, K: 1, Hedge: true, HedgeDelay: -1},
+		{N: 3, K: 1, Hedge: true, HedgeDelay: math.NaN()},
+		{N: 3, K: 1, Hedge: false, HedgeDelay: 0.005},
+	}
+	for _, sp := range invalid {
+		if err := sp.Validate(); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("Validate(%+v) = %v, want ErrBadSpec", sp, err)
+		}
+	}
+}
+
+// expBase is a deterministic exponential CDF used as the per-read base.
+func expBase(rate float64) func(float64) (float64, error) {
+	return func(t float64) (float64, error) {
+		if t <= 0 {
+			return 0, nil
+		}
+		return 1 - math.Exp(-rate*t), nil
+	}
+}
+
+func TestCDFHedgeEndpoints(t *testing.T) {
+	base := expBase(100)
+	for _, tt := range []float64{0.001, 0.01, 0.03, 0.1} {
+		// Δ=0 must equal the plain (n,k) fork-join read.
+		plain, err := CDF(Spec{N: 4, K: 2}, base, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hedged0, err := CDF(Spec{N: 4, K: 2, Hedge: true, HedgeDelay: 0}, base, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(plain-hedged0) > 1e-14 {
+			t.Errorf("t=%v: hedge Δ=0 %v != plain %v", tt, hedged0, plain)
+		}
+		// Δ=∞ must equal reading exactly the K primaries.
+		kOnly, err := CDF(Spec{N: 2, K: 2}, base, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hedgedInf, err := CDF(Spec{N: 4, K: 2, Hedge: true, HedgeDelay: math.Inf(1)}, base, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(kOnly-hedgedInf) > 1e-14 {
+			t.Errorf("t=%v: hedge Δ=∞ %v != k-of-k %v", tt, hedgedInf, kOnly)
+		}
+	}
+}
+
+func TestCDFMonotoneAndOrdered(t *testing.T) {
+	base := expBase(80)
+	delays := []float64{0, 0.002, 0.01, math.Inf(1)}
+	for _, d := range delays {
+		sp := Spec{N: 5, K: 3, Hedge: true, HedgeDelay: d}
+		prev := 0.0
+		for tt := 0.0; tt <= 0.2; tt += 0.002 {
+			v, err := CDF(sp, base, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < 0 || v > 1 {
+				t.Fatalf("CDF(%v, t=%v) = %v outside [0,1]", sp, tt, v)
+			}
+			if v < prev-1e-15 {
+				t.Fatalf("CDF(%v) not monotone at t=%v: %v < %v", sp, tt, v, prev)
+			}
+			prev = v
+		}
+	}
+	// At fixed t the CDF is nonincreasing in k.
+	prev := 1.0
+	for k := 1; k <= 5; k++ {
+		v, err := CDF(Spec{N: 5, K: k}, base, 0.02)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v > prev+1e-15 {
+			t.Fatalf("CDF not ordered in k at k=%d: %v > %v", k, v, prev)
+		}
+		prev = v
+	}
+	// A longer hedge delay cannot speed the read up.
+	prev = 1.0
+	for _, d := range delays {
+		v, err := CDF(Spec{N: 5, K: 3, Hedge: true, HedgeDelay: d}, base, 0.03)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v > prev+1e-15 {
+			t.Fatalf("CDF not ordered in hedge delay at Δ=%v: %v > %v", d, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestCDFErrors(t *testing.T) {
+	if _, err := CDF(Spec{N: 0, K: 1}, expBase(1), 1); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("bad spec: got %v", err)
+	}
+	if _, err := CDF(Spec{N: 2, K: 1}, nil, 1); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("nil base: got %v", err)
+	}
+	boom := errors.New("boom")
+	bad := func(float64) (float64, error) { return 0, boom }
+	if _, err := CDF(Spec{N: 2, K: 1}, bad, 1); !errors.Is(err, boom) {
+		t.Errorf("base error not propagated: got %v", err)
+	}
+	// t <= 0 short-circuits before consulting the base.
+	if v, err := CDF(Spec{N: 2, K: 1}, bad, 0); err != nil || v != 0 {
+		t.Errorf("t=0: got %v, %v", v, err)
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	if got := (Spec{N: 6, K: 4}).String(); got != "(6,4)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Spec{N: 3, K: 1, Hedge: true, HedgeDelay: 0.005}).String(); got != "(3,1)+hedge@0.005s" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,106 @@
+package coscode
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzOrderStatisticCDF drives the combinator with random stripe shapes and
+// random valid base CDFs and checks the order-statistic invariants: results
+// stay in [0,1], are monotone in t, nonincreasing in k, and agree with the
+// brute-force Poisson-binomial tail on the raw probability vector.
+func FuzzOrderStatisticCDF(f *testing.F) {
+	f.Add(uint8(1), uint8(1), false, uint16(0), int64(1))
+	f.Add(uint8(3), uint8(1), false, uint16(0), int64(2))
+	f.Add(uint8(6), uint8(4), false, uint16(0), int64(3))
+	f.Add(uint8(4), uint8(2), true, uint16(5), int64(4))
+	f.Add(uint8(5), uint8(5), true, uint16(0), int64(5))
+	f.Add(uint8(7), uint8(3), true, uint16(65535), int64(6))
+	f.Fuzz(func(t *testing.T, nRaw, kRaw uint8, hedge bool, delayMilli uint16, seed int64) {
+		n := 1 + int(nRaw)%8
+		k := 1 + int(kRaw)%n
+		sp := Spec{N: n, K: k}
+		if hedge {
+			sp.Hedge = true
+			sp.HedgeDelay = float64(delayMilli) * 1e-3
+			if delayMilli == 65535 {
+				sp.HedgeDelay = math.Inf(1)
+			}
+		}
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("generated spec %+v invalid: %v", sp, err)
+		}
+
+		// Random step-function base CDF: monotone, bounded, valid.
+		rng := rand.New(rand.NewSource(seed))
+		const steps = 16
+		xs := make([]float64, steps)
+		ys := make([]float64, steps)
+		x, y := 0.0, 0.0
+		for i := 0; i < steps; i++ {
+			x += rng.ExpFloat64() * 0.01
+			y += rng.Float64() * (1 - y) / 2
+			xs[i], ys[i] = x, y
+		}
+		base := func(tt float64) (float64, error) {
+			v := 0.0
+			for i := range xs {
+				if tt >= xs[i] {
+					v = ys[i]
+				}
+			}
+			return v, nil
+		}
+
+		// Invariants over a sweep of t.
+		prev := 0.0
+		for i := 0; i <= 40; i++ {
+			tt := x * float64(i) / 40 * 1.2
+			v, err := CDF(sp, base, tt)
+			if err != nil {
+				t.Fatalf("CDF(%v, t=%v): %v", sp, tt, err)
+			}
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("CDF(%v, t=%v) = %v outside [0,1]", sp, tt, v)
+			}
+			if v < prev-1e-12 {
+				t.Fatalf("CDF(%v) not monotone at t=%v: %v < %v", sp, tt, v, prev)
+			}
+			prev = v
+		}
+
+		// Ordered in k at a fixed probe time.
+		probe := x / 2
+		prevK := 1.0
+		for kk := 1; kk <= n; kk++ {
+			spk := sp
+			spk.K = kk
+			if spk.Hedge {
+				// Primaries follow K; keep the spec valid.
+				spk.K = kk
+			}
+			v, err := CDF(spk, base, probe)
+			if err != nil {
+				t.Fatalf("CDF k=%d: %v", kk, err)
+			}
+			if !spk.Hedge && v > prevK+1e-12 {
+				t.Fatalf("CDF not ordered in k at k=%d: %v > %v", kk, v, prevK)
+			}
+			if !spk.Hedge {
+				prevK = v
+			}
+		}
+
+		// KOfN agrees with brute-force enumeration on random vectors.
+		probs := make([]float64, n)
+		for i := range probs {
+			probs[i] = rng.Float64()
+		}
+		got := KOfN(probs, k)
+		want := bruteKOfN(probs, k)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("KOfN(%v, %d) = %v, brute force %v", probs, k, got, want)
+		}
+	})
+}

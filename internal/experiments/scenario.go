@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"cosmodel/internal/core"
+	"cosmodel/internal/dist"
 	"cosmodel/internal/parallel"
 	"cosmodel/internal/simstore"
 	"cosmodel/internal/trace"
@@ -27,6 +28,9 @@ type ScenarioConfig struct {
 	Sim simstore.Config
 	// CatalogObjects is the synthetic catalog size.
 	CatalogObjects int
+	// Sizes is the object-size distribution; nil selects the default
+	// trace.WikipediaLikeSizes (Pareto alternatives stress the tail).
+	Sizes dist.Distribution
 	// ZipfS is the popularity skew.
 	ZipfS float64
 	// WarmRate and WarmDur configure the warmup phase (replacing the
@@ -140,7 +144,11 @@ func RunSweep(sc ScenarioConfig) (*SweepData, error) {
 	if err != nil {
 		return nil, err
 	}
-	catalog, err := trace.NewCatalog(sc.CatalogObjects, trace.WikipediaLikeSizes(), sc.ZipfS, 1, sc.Seed+10)
+	sizes := sc.Sizes
+	if sizes == nil {
+		sizes = trace.WikipediaLikeSizes()
+	}
+	catalog, err := trace.NewCatalog(sc.CatalogObjects, sizes, sc.ZipfS, 1, sc.Seed+10)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+
+	"cosmodel/internal/core"
+	"cosmodel/internal/numeric"
+)
+
+// CodedReadSpec is the wire form of a coded-read configuration: the
+// object is striped over n backends and the response completes at the
+// k-th-fastest sub-read. With hedging only the k primaries are issued up
+// front; the n-k reserves follow hedgeDelaySeconds later. The delay must
+// be finite on the wire (JSON cannot carry infinity; a reserve that is
+// never issued is the same as striping with n == k).
+type CodedReadSpec struct {
+	N                 int     `json:"n"`
+	K                 int     `json:"k"`
+	Hedge             bool    `json:"hedge,omitempty"`
+	HedgeDelaySeconds float64 `json:"hedgeDelaySeconds,omitempty"`
+}
+
+func (c CodedReadSpec) spec() core.CodedSpec {
+	return core.CodedSpec{N: c.N, K: c.K, Hedge: c.Hedge, HedgeDelay: c.HedgeDelaySeconds}
+}
+
+func (c CodedReadSpec) validate() error {
+	if math.IsInf(c.HedgeDelaySeconds, 0) {
+		return fmt.Errorf("%w: coded hedge delay must be finite on the wire (use n == k for never-issued reserves)", ErrBadQuery)
+	}
+	if err := c.spec().Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	return nil
+}
+
+// cacheKey is the memo-cache suffix distinguishing coded evaluations of
+// the same operating point.
+func (c CodedReadSpec) cacheKey() string {
+	h := "0"
+	if c.Hedge {
+		h = "1"
+	}
+	return "|coded=" + strconv.Itoa(c.N) + "," + strconv.Itoa(c.K) + "," + h + "," + quantStr(c.HedgeDelaySeconds)
+}
+
+// PredictCoded evaluates the coded-read SLA-meeting fractions at the
+// current operating point; see PredictCodedContext.
+func (e *Engine) PredictCoded(spec CodedReadSpec, slas []float64) ([]Prediction, error) {
+	return e.PredictCodedContext(context.Background(), spec, slas)
+}
+
+// PredictCodedContext is the coded-read counterpart of PredictContext: the
+// same memoizing, cancellable evaluation, but through the order-statistic
+// combinator (core.CodedCDF) instead of the plain response CDF.
+func (e *Engine) PredictCodedContext(ctx context.Context, spec CodedReadSpec, slas []float64) ([]Prediction, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if len(slas) == 0 {
+		slas = e.cfg.SLAs
+	}
+	for _, s := range slas {
+		if !(s > 0) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("%w: SLA %v must be positive and finite", ErrBadQuery, s)
+		}
+	}
+	ms, err := e.state.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := e.cfg.Opts.EvalContext(ctx)
+	defer cancel()
+	key := opKey(ms)
+	out := make([]Prediction, len(slas))
+	for i, sla := range slas {
+		v, cached, err := e.evaluateCoded(ctx, ms, key, spec, sla, 1)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Prediction{SLA: sla, MeetRatio: v.p, Saturated: v.saturated, Cached: cached}
+	}
+	return out, nil
+}
+
+// evaluateCoded answers one coded (operating point, SLA) query through the
+// cache, scaling every device's load by factor (admission bisection).
+func (e *Engine) evaluateCoded(ctx context.Context, ms []core.OnlineMetrics, key string, spec CodedReadSpec, sla, factor float64) (cachedValue, bool, error) {
+	ck := key + spec.cacheKey()
+	if factor != 1 {
+		ck += "|f=" + quantStr(factor)
+	}
+	ck += "|sla=" + quantStr(sla)
+	v, cached, err := e.cache.do(ctx, ck, func(ctx context.Context) (cachedValue, error) {
+		sys, err := e.buildCodedModel(ms, spec, factor)
+		if errors.Is(err, core.ErrOverload) {
+			return cachedValue{p: 0, saturated: true}, nil
+		}
+		if err != nil {
+			return cachedValue{}, err
+		}
+		p, err := sys.CodedCDFContext(ctx, spec.spec(), sla)
+		if err != nil {
+			return cachedValue{}, err
+		}
+		return cachedValue{p: p}, nil
+	})
+	if err == nil {
+		e.predictions.Inc()
+		if v.saturated {
+			e.saturations.Inc()
+		}
+	}
+	return v, cached, err
+}
+
+// buildCodedModel assembles the system model for a coded query. The
+// per-device inputs are the reported sub-read metrics unchanged; only the
+// frontend arrival rate differs from buildModel: the proxy parses each
+// coded GET once before fanning it into n sub-reads, so its M/G/1 rate is
+// the reported per-device total divided by the stripe width (the
+// sub-millisecond frontend term makes this approximation harmless even
+// when hedging issues fewer than n).
+func (e *Engine) buildCodedModel(ms []core.OnlineMetrics, spec CodedReadSpec, factor float64) (*core.SystemModel, error) {
+	props := e.Props()
+	devs := make([]*core.DeviceModel, 0, len(ms))
+	total := 0.0
+	for _, m := range ms {
+		m.Rate *= factor
+		m.DataRate *= factor
+		dm, err := core.NewDeviceModel(props, m, e.cfg.Opts)
+		if err != nil {
+			return nil, err
+		}
+		devs = append(devs, dm)
+		total += m.Rate
+	}
+	fe, err := core.NewFrontendModel(total/float64(spec.N), e.cfg.FrontendProcs, props.ParseFE)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSystemModel(fe, devs, e.cfg.Opts)
+}
+
+// AdviseCoded is the coded-read admission query; see AdviseCodedContext.
+func (e *Engine) AdviseCoded(spec CodedReadSpec, sla, target float64) (Advice, error) {
+	return e.AdviseCodedContext(context.Background(), spec, sla, target)
+}
+
+// AdviseCodedContext answers the admission question for coded reads: the
+// same bisection over a proportional scaling of the current per-device
+// operating point as AdviseContext, with every probe evaluated through the
+// order-statistic model. Rates are sub-read rates — the same unit the
+// devices report.
+func (e *Engine) AdviseCodedContext(ctx context.Context, spec CodedReadSpec, sla, target float64) (Advice, error) {
+	if err := spec.validate(); err != nil {
+		return Advice{}, err
+	}
+	if !(sla > 0) || math.IsInf(sla, 0) {
+		return Advice{}, fmt.Errorf("%w: SLA %v must be positive and finite", ErrBadQuery, sla)
+	}
+	if !(target > 0) || target > 1 {
+		return Advice{}, fmt.Errorf("%w: target %v outside (0,1]", ErrBadQuery, target)
+	}
+	ms, err := e.state.snapshot()
+	if err != nil {
+		return Advice{}, err
+	}
+	ctx, cancel := e.cfg.Opts.EvalContext(ctx)
+	defer cancel()
+	key := opKey(ms)
+	current := 0.0
+	for _, m := range ms {
+		current += m.Rate
+	}
+	sp := spec
+	adv := Advice{SLA: sla, Target: target, CurrentRate: current, CodedRead: &sp}
+	cur, _, err := e.evaluateCoded(ctx, ms, key, spec, sla, 1)
+	if err != nil {
+		return Advice{}, err
+	}
+	adv.CurrentMeetRatio = cur.p
+	adv.Saturated = cur.saturated
+	meets := func(ctx context.Context, rate float64) (bool, error) {
+		v, _, err := e.evaluateCoded(ctx, ms, key, spec, sla, rate/current)
+		switch {
+		case err == nil:
+			return !v.saturated && v.p >= target, nil
+		case isContextErr(err) || errors.Is(err, numeric.ErrNumerical):
+			return false, err
+		default:
+			return false, nil
+		}
+	}
+	maxRate, err := core.MaxRateWhereContext(ctx, meets, current/64, current/200)
+	if err != nil {
+		return Advice{}, err
+	}
+	adv.MaxAdmissibleRate = maxRate
+	adv.Headroom = adv.MaxAdmissibleRate - current
+	adv.Admit = !adv.Saturated && cur.p >= target && adv.Headroom >= 0
+	return adv, nil
+}

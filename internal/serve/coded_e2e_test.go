@@ -1,0 +1,169 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"cosmodel/internal/experiments"
+	"cosmodel/internal/serve"
+	"cosmodel/internal/simstore"
+)
+
+// TestCodedEndToEndAgainstSimulator drives the service with coded-read
+// traffic from the simulator: a (3,1) striped sweep's windows become
+// /ingest batches, and /predict's codedRead block is compared against the
+// simulator-observed SLA-meeting fractions (MAE <= 0.10).
+func TestCodedEndToEndAgainstSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator-driven e2e")
+	}
+	sim := simstore.DefaultConfig()
+	sim.Backends = 6
+	sim.Replicas = 3
+	sim.StripeK = 1
+	sc := experiments.ScenarioConfig{
+		Name:           "coded-e2e",
+		Sim:            sim,
+		CatalogObjects: 30000,
+		ZipfS:          1.05,
+		WarmRate:       40,
+		WarmDur:        15,
+		RateStart:      20,
+		RateEnd:        60,
+		RateStep:       20,
+		StepDur:        10,
+		StepDiscard:    3,
+		CalibrationOps: 1500,
+		Seed:           41,
+	}
+	data, err := experiments.RunSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := serve.DefaultConfig(data.Props, sim.Devices())
+	cfg.ProcsPerDevice = sim.ProcsPerDisk
+	cfg.FrontendProcs = sim.Frontends * sim.ProcsPerFrontend
+	cfg.SLAs = sim.SLAs
+	cfg.Window = sc.StepDur - sc.StepDiscard
+
+	srv, err := serve.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var absErr []float64
+	for step, win := range data.Windows {
+		if win.Timeouts > 0 || win.Retries > 0 || win.Responses == 0 {
+			continue
+		}
+		batch := windowToObservations(win)
+		if len(batch) == 0 {
+			continue
+		}
+		buf, err := json.Marshal(serve.IngestRequest{Observations: batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/ingest", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("step %d ingest: %d %s", step, resp.StatusCode, body)
+		}
+
+		var pr serve.PredictResponse
+		getInto(t, ts.URL+"/predict?codedN=3&codedK=1", &pr)
+		if pr.CodedRead == nil {
+			t.Fatal("no codedRead block in response")
+		}
+		if pr.CodedRead.Spec.N != 3 || pr.CodedRead.Spec.K != 1 {
+			t.Fatalf("codedRead echoed wrong spec: %+v", pr.CodedRead.Spec)
+		}
+		if pr.CodedRead.Saturated {
+			t.Errorf("rate %.0f predicted saturated; simulator completed the window fine", data.Rates[step])
+			continue
+		}
+		for i, p := range pr.CodedRead.Predictions {
+			e := p.MeetRatio - win.MeetFraction[i]
+			absErr = append(absErr, math.Abs(e))
+			t.Logf("rate %.0f sla %.3f: coded predicted %.4f observed %.4f (err %+.4f)",
+				data.Rates[step], p.SLA, p.MeetRatio, win.MeetFraction[i], e)
+		}
+
+		// The identical coded query again: served from the memo cache.
+		var again serve.PredictResponse
+		getInto(t, ts.URL+"/predict?codedN=3&codedK=1", &again)
+		for _, p := range again.CodedRead.Predictions {
+			if !p.Cached {
+				t.Errorf("rate %.0f: repeated coded query not served from cache", data.Rates[step])
+			}
+		}
+		// A different stripe shape must not alias the cached entries.
+		var other serve.PredictResponse
+		getInto(t, ts.URL+"/predict?codedN=3&codedK=3", &other)
+		for i, p := range other.CodedRead.Predictions {
+			if p.MeetRatio > again.CodedRead.Predictions[i].MeetRatio+1e-9 {
+				t.Errorf("rate %.0f sla %d: 3-of-3 barrier %.4f above fastest-of-3 %.4f",
+					data.Rates[step], i, p.MeetRatio, again.CodedRead.Predictions[i].MeetRatio)
+			}
+		}
+	}
+	if len(absErr) < 6 {
+		t.Fatalf("only %d comparable predictions; sweep degenerated", len(absErr))
+	}
+	var sum float64
+	for _, e := range absErr {
+		sum += e
+	}
+	mae := sum / float64(len(absErr))
+	t.Logf("coded MAE %.4f over %d (step, SLA) pairs", mae, len(absErr))
+	if mae > 0.10 {
+		t.Errorf("coded MAE %.4f exceeds 0.10", mae)
+	}
+
+	// Coded admission advice: a finite threshold, spec echoed back.
+	var adv serve.Advice
+	getInto(t, ts.URL+"/advise?sla=0.1&target=0.5&codedN=3&codedK=1", &adv)
+	if adv.CodedRead == nil || adv.CodedRead.N != 3 || adv.CodedRead.K != 1 {
+		t.Errorf("advice did not echo the coded spec: %+v", adv)
+	}
+	if adv.MaxAdmissibleRate <= 0 {
+		t.Errorf("coded advise found no admissible rate at a survivable load: %+v", adv)
+	}
+
+	// Invalid specs are 400s on both endpoints and both methods.
+	for _, url := range []string{
+		ts.URL + "/predict?codedN=4&codedK=6",
+		ts.URL + "/predict?codedN=x&codedK=1",
+		ts.URL + "/advise?sla=0.1&target=0.5&codedN=0&codedK=0",
+	} {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", url, resp.StatusCode)
+		}
+	}
+	bad, _ := json.Marshal(serve.PredictRequest{Coded: &serve.CodedReadSpec{N: 4, K: 6}})
+	resp, err := http.Post(ts.URL+"/predict", "application/json", bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("POST bad coded spec: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -416,6 +416,9 @@ type Advice struct {
 	// Admit is the admission decision: the current rate is within the
 	// threshold and the target is met.
 	Admit bool `json:"admit"`
+	// CodedRead echoes the stripe shape when the advice was computed
+	// through the coded-read model (rates are then sub-read rates).
+	CodedRead *CodedReadSpec `json:"codedRead,omitempty"`
 }
 
 // Advise answers the admission-control question "what fraction meets the

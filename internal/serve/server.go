@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"runtime/debug"
 	"strconv"
 	"strings"
@@ -274,14 +275,28 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // /predict
 
 // PredictRequest is the /predict payload; GET requests pass the bounds as
-// ?sla=0.01,0.05 instead. Empty bounds mean the configured defaults.
+// ?sla=0.01,0.05 instead. Empty bounds mean the configured defaults. A
+// non-nil Coded spec (GET: ?codedN=6&codedK=4[&codedHedge=1&codedDelay=Δ])
+// additionally answers the same bounds for (n,k) coded reads.
 type PredictRequest struct {
-	SLAs []float64 `json:"slas"`
+	SLAs  []float64      `json:"slas"`
+	Coded *CodedReadSpec `json:"coded,omitempty"`
+}
+
+// CodedReadBlock is the coded-read section of a /predict answer: the
+// order-statistic model's predictions for the requested stripe shape.
+type CodedReadBlock struct {
+	Spec        CodedReadSpec `json:"spec"`
+	Predictions []Prediction  `json:"predictions"`
+	Saturated   bool          `json:"saturated"`
 }
 
 // PredictResponse carries one prediction per requested SLA bound.
 type PredictResponse struct {
 	Predictions []Prediction `json:"predictions"`
+	// CodedRead carries the coded-read predictions when the query named a
+	// stripe shape.
+	CodedRead *CodedReadBlock `json:"codedRead,omitempty"`
 	// Saturated aggregates the per-prediction flags: the current
 	// operating point has no steady state.
 	Saturated bool `json:"saturated"`
@@ -295,12 +310,17 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var req PredictRequest
 	switch r.Method {
 	case http.MethodGet:
-		slas, err := parseFloats(r.URL.Query().Get("sla"))
+		q := r.URL.Query()
+		slas, err := parseFloats(q.Get("sla"))
 		if err != nil {
 			s.badRequest(w, err)
 			return
 		}
 		req.SLAs = slas
+		if req.Coded, err = parseCodedParams(q); err != nil {
+			s.badRequest(w, err)
+			return
+		}
 	case http.MethodPost:
 		if err := decodeStrict(w, r, &req); err != nil {
 			s.badRequest(w, err)
@@ -320,6 +340,18 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := PredictResponse{Predictions: preds}
+	if req.Coded != nil {
+		coded, err := s.engine.PredictCodedContext(r.Context(), *req.Coded, req.SLAs)
+		if err != nil {
+			s.queryError(w, r, err)
+			return
+		}
+		blk := &CodedReadBlock{Spec: *req.Coded, Predictions: coded}
+		for _, p := range coded {
+			blk.Saturated = blk.Saturated || p.Saturated
+		}
+		resp.CodedRead = blk
+	}
 	st := s.engine.Stats()
 	resp.TotalRate = st.TotalRate
 	resp.CalibrationAge = st.CalibrationAge
@@ -333,10 +365,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 // ---------------------------------------------------------------------------
 // /advise
 
-// AdviseRequest is the /advise payload; GET passes ?sla=0.05&target=0.9.
+// AdviseRequest is the /advise payload; GET passes ?sla=0.05&target=0.9,
+// plus the optional codedN/codedK/codedHedge/codedDelay stripe shape.
 type AdviseRequest struct {
-	SLA    float64 `json:"sla"`
-	Target float64 `json:"target"`
+	SLA    float64        `json:"sla"`
+	Target float64        `json:"target"`
+	Coded  *CodedReadSpec `json:"coded,omitempty"`
 }
 
 func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
@@ -353,6 +387,10 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 			s.badRequest(w, fmt.Errorf("target: %w", err))
 			return
 		}
+		if req.Coded, err = parseCodedParams(q); err != nil {
+			s.badRequest(w, err)
+			return
+		}
 	case http.MethodPost:
 		if err := decodeStrict(w, r, &req); err != nil {
 			s.badRequest(w, err)
@@ -366,7 +404,13 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release()
-	adv, err := s.engine.AdviseContext(r.Context(), req.SLA, req.Target)
+	var adv Advice
+	var err error
+	if req.Coded != nil {
+		adv, err = s.engine.AdviseCodedContext(r.Context(), *req.Coded, req.SLA, req.Target)
+	} else {
+		adv, err = s.engine.AdviseContext(r.Context(), req.SLA, req.Target)
+	}
 	if err != nil {
 		s.queryError(w, r, err)
 		return
@@ -597,6 +641,35 @@ func parseFloat(s string) (float64, error) {
 		return 0, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	return v, nil
+}
+
+// parseCodedParams extracts the optional coded-read stripe shape from GET
+// query parameters; nil when none were supplied.
+func parseCodedParams(q url.Values) (*CodedReadSpec, error) {
+	if strings.TrimSpace(q.Get("codedN")) == "" && strings.TrimSpace(q.Get("codedK")) == "" {
+		return nil, nil
+	}
+	var spec CodedReadSpec
+	var err error
+	if spec.N, err = strconv.Atoi(strings.TrimSpace(q.Get("codedN"))); err != nil {
+		return nil, fmt.Errorf("%w: codedN: %v", ErrBadQuery, err)
+	}
+	if spec.K, err = strconv.Atoi(strings.TrimSpace(q.Get("codedK"))); err != nil {
+		return nil, fmt.Errorf("%w: codedK: %v", ErrBadQuery, err)
+	}
+	switch h := strings.TrimSpace(q.Get("codedHedge")); h {
+	case "", "0", "false":
+	case "1", "true":
+		spec.Hedge = true
+	default:
+		return nil, fmt.Errorf("%w: codedHedge %q not a boolean", ErrBadQuery, h)
+	}
+	if d := q.Get("codedDelay"); strings.TrimSpace(d) != "" {
+		if spec.HedgeDelaySeconds, err = parseFloat(d); err != nil {
+			return nil, fmt.Errorf("codedDelay: %w", err)
+		}
+	}
+	return &spec, nil
 }
 
 // parseFloats parses a comma-separated float list; empty means nil (use

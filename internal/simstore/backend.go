@@ -86,9 +86,18 @@ func (p *beProc) enqueue(op beOp) {
 	p.kick()
 }
 
-// kick starts the next queued operation if the process is idle.
+// kick starts the next queued operation if the process is idle. Cancelled
+// coded sub-reads are dropped before execution: cancellation reaches
+// queued operations, while the operation already running (a submitted disk
+// command) completes naturally.
 func (p *beProc) kick() {
-	if p.running || len(p.q) == 0 {
+	if p.running {
+		return
+	}
+	for len(p.q) > 0 && p.q[0].req != nil && p.q[0].req.abandoned && p.q[0].req.read != nil {
+		p.q = p.q[1:]
+	}
+	if len(p.q) == 0 {
 		return
 	}
 	p.running = true
@@ -189,7 +198,13 @@ func (p *beProc) afterData(req *Request, chunk int, size int64) {
 		req.BEFirstByteAt = now
 		req.FEFirstByteAt = now + p.cl.cfg.NetRTT
 		r := req
-		kern.At(req.FEFirstByteAt, func() { p.cl.metrics.recordResponse(r) })
+		if req.read != nil {
+			// A stripe sub-read counts toward its parent's fork-join
+			// quorum instead of responding itself.
+			kern.At(req.FEFirstByteAt, func() { p.cl.metrics.noteCodedArrival(r) })
+		} else {
+			kern.At(req.FEFirstByteAt, func() { p.cl.metrics.recordResponse(r) })
+		}
 	}
 	req.bytesSent += size
 	sendDur := float64(size) / p.cl.cfg.NetBandwidth

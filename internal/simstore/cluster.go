@@ -141,6 +141,7 @@ func (c *Cluster) Snapshot() Snapshot {
 		WTACount:  c.metrics.wtaCount,
 		Timeouts:  c.metrics.timeouts,
 		Retries:   c.metrics.retries,
+		Hedges:    c.metrics.hedges,
 		DevReqs:   append([]uint64(nil), c.metrics.devReqs...),
 		DevChunks: append([]uint64(nil), c.metrics.devChunks...),
 		DevWrites: append([]uint64(nil), c.metrics.devWrites...),

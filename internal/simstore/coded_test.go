@@ -1,0 +1,229 @@
+package simstore
+
+import (
+	"math"
+	"testing"
+
+	"cosmodel/internal/trace"
+)
+
+// codedConfig returns a 6-device deployment with (n,k) striped reads.
+func codedConfig(n, k int) Config {
+	cfg := DefaultConfig()
+	cfg.Backends = 6
+	cfg.Replicas = n
+	cfg.StripeK = k
+	return cfg
+}
+
+func runCoded(t *testing.T, cfg Config, rate, dur float64, seed int64) (*Cluster, int) {
+	t.Helper()
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := testCatalog(t, 2000, 5)
+	recs, err := trace.Generate(cat, trace.Schedule{{Rate: rate, Duration: dur, Label: "x"}}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Inject(recs)
+	cl.Drain()
+	return cl, len(recs)
+}
+
+func TestCodedConfigValidate(t *testing.T) {
+	if err := codedConfig(3, 2).Validate(); err != nil {
+		t.Fatalf("coded config invalid: %v", err)
+	}
+	hedged := codedConfig(3, 1)
+	hedged.Hedge = true
+	hedged.HedgeDelay = 0.005
+	if err := hedged.Validate(); err != nil {
+		t.Fatalf("hedged config invalid: %v", err)
+	}
+	hedged.HedgeDelay = math.Inf(1)
+	if err := hedged.Validate(); err != nil {
+		t.Fatalf("Δ=∞ config invalid: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.StripeK = -1 },
+		func(c *Config) { c.StripeK = c.Replicas + 1 },
+		func(c *Config) { c.StripeK = 2; c.Architecture = ThreadPerConnection },
+		func(c *Config) { c.Hedge = true }, // StripeK == 0
+		func(c *Config) { c.StripeK = 1; c.Hedge = true; c.HedgeDelay = -1 },
+		func(c *Config) { c.StripeK = 1; c.Hedge = true; c.HedgeDelay = math.NaN() },
+		func(c *Config) { c.HedgeDelay = 0.005 }, // delay without hedging
+	}
+	for i, mut := range mutations {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate config", i)
+		}
+	}
+}
+
+func TestCodedForkJoinLifecycle(t *testing.T) {
+	cfg := codedConfig(3, 2)
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs []*Request
+	cl.Metrics().SetResponseHook(func(r *Request) { reqs = append(reqs, r) })
+	cat := testCatalog(t, 2000, 5)
+	recs, err := trace.Generate(cat, trace.Schedule{{Rate: 40, Duration: 8, Label: "x"}}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Inject(recs)
+	cl.Drain()
+	if len(reqs) != len(recs) {
+		t.Fatalf("responded to %d of %d coded GETs", len(reqs), len(recs))
+	}
+	snap := cl.Snapshot()
+	var subIssues uint64
+	for _, v := range snap.DevReqs {
+		subIssues += v
+	}
+	// Every GET fans out exactly Replicas sub-reads (no hedging).
+	if want := uint64(3 * len(recs)); subIssues != want {
+		t.Errorf("sub-read issues = %d, want %d", subIssues, want)
+	}
+	if snap.Hedges != 0 {
+		t.Errorf("hedges = %d without hedging", snap.Hedges)
+	}
+	for _, r := range reqs {
+		if r.Latency() <= 0 || r.BackendLatency() <= 0 {
+			t.Fatalf("%v: bad latencies (lat=%v belat=%v)", r, r.Latency(), r.BackendLatency())
+		}
+		if r.Device < 0 || r.Device >= cfg.Devices() {
+			t.Fatalf("%v: bad deciding device", r)
+		}
+		if r.read == nil || r.read.got != r.read.need {
+			t.Fatalf("%v: fork-join state not satisfied", r)
+		}
+	}
+}
+
+func TestCodedHedgeIssueCounts(t *testing.T) {
+	const n, k = 3, 1
+	run := func(delay float64) (Snapshot, int) {
+		cfg := codedConfig(n, k)
+		cfg.Hedge = true
+		cfg.HedgeDelay = delay
+		cl, got := runCoded(t, cfg, 30, 8, 13)
+		return cl.Snapshot(), got
+	}
+	// Δ=∞: only the k primaries are ever issued.
+	snap, m := run(math.Inf(1))
+	var subs uint64
+	for _, v := range snap.DevReqs {
+		subs += v
+	}
+	if want := uint64(k * m); subs != want {
+		t.Errorf("Δ=∞: sub-read issues = %d, want %d", subs, want)
+	}
+	if snap.Hedges != 0 {
+		t.Errorf("Δ=∞: hedges = %d, want 0", snap.Hedges)
+	}
+	if snap.Responses != uint64(m) {
+		t.Errorf("Δ=∞: responses = %d, want %d", snap.Responses, m)
+	}
+	// Δ=0: every reserve is issued immediately.
+	snap, m = run(0)
+	subs = 0
+	for _, v := range snap.DevReqs {
+		subs += v
+	}
+	if want := uint64(n * m); subs != want {
+		t.Errorf("Δ=0: sub-read issues = %d, want %d", subs, want)
+	}
+	if want := uint64((n - k) * m); snap.Hedges != want {
+		t.Errorf("Δ=0: hedges = %d, want %d", snap.Hedges, want)
+	}
+	// A finite delay near the typical latency hedges only the slow tail.
+	snap, m = run(0.020)
+	if snap.Hedges == 0 || snap.Hedges >= uint64((n-k)*m) {
+		t.Errorf("Δ=20ms: hedges = %d of %d possible, want strictly between", snap.Hedges, (n-k)*m)
+	}
+	if snap.Responses != uint64(m) {
+		t.Errorf("Δ=20ms: responses = %d, want %d", snap.Responses, m)
+	}
+}
+
+// Fastest-of-n must beat the plain single-replica read, and the fork-join
+// barrier must be the slowest stripe shape, on the same arrival process.
+func TestCodedLatencyOrdering(t *testing.T) {
+	meanLat := func(stripeK int) float64 {
+		cfg := codedConfig(3, stripeK)
+		if stripeK == 0 {
+			cfg.StripeK = 0
+		}
+		cl, _ := runCoded(t, cfg, 30, 10, 21)
+		snap := cl.Snapshot()
+		return snap.LatSum / float64(snap.Responses)
+	}
+	plain := meanLat(0)
+	fastest := meanLat(1)
+	barrier := meanLat(3)
+	if fastest >= plain {
+		t.Errorf("fastest-of-3 mean %v not below plain %v", fastest, plain)
+	}
+	if barrier <= fastest {
+		t.Errorf("fork-join barrier mean %v not above fastest-of-3 %v", barrier, fastest)
+	}
+}
+
+// Cancellation must drop the losers' queued backend work: some sub-reads
+// never stream to completion, so completed transfers stay strictly below
+// the n·m a cancellation-free fork-join would produce.
+func TestCodedCancellationDropsQueuedWork(t *testing.T) {
+	cfg := codedConfig(3, 1)
+	// Make the disk the bottleneck so some losers are still queued when the
+	// winner responds.
+	cfg.CacheBytes = 1 << 10 // everything misses
+	cl, m := runCoded(t, cfg, 25, 8, 17)
+	snap := cl.Snapshot()
+	if snap.Responses != uint64(m) {
+		t.Fatalf("responses = %d, want %d", snap.Responses, m)
+	}
+	// Completed counts sub-reads that streamed to the end. All m winners
+	// complete; a loser completes only when it was already in service (or
+	// past first byte) at cancellation time, so the total must fall
+	// strictly short of all 3m issues.
+	if snap.Completed >= uint64(3*m) {
+		t.Errorf("completed sub-reads = %d of %d issued: cancellation not biting", snap.Completed, 3*m)
+	}
+	if snap.Completed < uint64(m) {
+		t.Errorf("completed sub-reads = %d below the %d winners", snap.Completed, m)
+	}
+}
+
+func TestCodedDeterminism(t *testing.T) {
+	run := func() (Snapshot, []float64) {
+		cfg := codedConfig(3, 2)
+		cfg.Hedge = false
+		cl, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.Metrics().RecordLatencies(true)
+		cat := testCatalog(t, 500, 3)
+		recs, _ := trace.Generate(cat, trace.Schedule{{Rate: 40, Duration: 5, Label: "x"}}, 11)
+		cl.Inject(recs)
+		cl.Drain()
+		return cl.Snapshot(), cl.Metrics().Latencies()
+	}
+	s1, l1 := run()
+	s2, l2 := run()
+	if s1.Responses != s2.Responses || s1.LatSum != s2.LatSum {
+		t.Error("same seed must give identical aggregate results")
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatal("same seed must give identical latency sequences")
+		}
+	}
+}

@@ -16,6 +16,7 @@ package simstore
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"cosmodel/internal/dist"
 )
@@ -69,6 +70,25 @@ type Config struct {
 	// Partitions and Replicas configure the placement ring.
 	Partitions int
 	Replicas   int
+
+	// StripeK, when positive, switches GETs to (n,k) fork-join coded
+	// reads: every GET fans one chunk sub-read (ceil(size/k) bytes) out
+	// to each of the Replicas devices of the object's partition
+	// (n = Replicas) and responds when the k-th-fastest sub-read delivers
+	// its first byte; the losing sub-reads are cancelled. StripeK=1
+	// models replicated speculative reads (fastest-of-n), StripeK=n a
+	// full fork-join barrier. 0 keeps the default single-replica read
+	// path. Requires the event-driven architecture (cancellation drops
+	// queued backend operations).
+	StripeK int
+	// Hedge delays the reserve sub-reads: only StripeK primaries are
+	// issued on arrival and the remaining Replicas-StripeK follow
+	// HedgeDelay seconds later if the request is still incomplete.
+	// Requires StripeK >= 1.
+	Hedge bool
+	// HedgeDelay is the reserve issue delay Δ in seconds; +Inf never
+	// issues reserves (read exactly the StripeK primaries).
+	HedgeDelay float64
 
 	// ChunkSize is the data read/transmit granularity in bytes.
 	ChunkSize int64
@@ -178,6 +198,16 @@ func (c Config) Validate() error {
 		return fmt.Errorf("%w: partitions must be a power of two", ErrBadConfig)
 	case c.Replicas < 1 || c.Replicas > c.Devices():
 		return fmt.Errorf("%w: replicas=%d with %d devices", ErrBadConfig, c.Replicas, c.Devices())
+	case c.StripeK < 0 || c.StripeK > c.Replicas:
+		return fmt.Errorf("%w: stripe k=%d outside [0,%d]", ErrBadConfig, c.StripeK, c.Replicas)
+	case c.StripeK > 0 && c.Architecture != EventDriven:
+		return fmt.Errorf("%w: coded reads require the event-driven architecture", ErrBadConfig)
+	case c.Hedge && c.StripeK < 1:
+		return fmt.Errorf("%w: hedging requires StripeK >= 1", ErrBadConfig)
+	case c.Hedge && (math.IsNaN(c.HedgeDelay) || c.HedgeDelay < 0):
+		return fmt.Errorf("%w: hedge delay %v must be >= 0", ErrBadConfig, c.HedgeDelay)
+	case !c.Hedge && c.HedgeDelay != 0:
+		return fmt.Errorf("%w: hedge delay %v without hedging", ErrBadConfig, c.HedgeDelay)
 	case c.ChunkSize < 1:
 		return fmt.Errorf("%w: chunk size must be positive", ErrBadConfig)
 	case c.NetBandwidth <= 0 || c.NetRTT < 0:

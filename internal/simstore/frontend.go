@@ -1,6 +1,9 @@
 package simstore
 
-import "math/rand"
+import (
+	"math"
+	"math/rand"
+)
 
 // frontendServer is one proxy machine with several event-loop worker
 // processes. Incoming requests are spread round-robin over the processes.
@@ -48,10 +51,15 @@ func (p *feProc) kick() {
 }
 
 // route dispatches a parsed request: GETs go to one randomly chosen
-// replica, PUTs to all of them.
+// replica (or fan out as a coded read when striping is on), PUTs to all
+// replicas.
 func (p *feProc) route(req *Request) {
 	if req.IsWrite {
 		p.routeWrite(req)
+		return
+	}
+	if p.cl.cfg.StripeK > 0 {
+		p.routeCodedRead(req)
 		return
 	}
 	p.routeRead(req)
@@ -105,6 +113,81 @@ func (p *feProc) routeRead(req *Request) {
 	if p.cl.cfg.RequestTimeout > 0 {
 		p.watch(req)
 	}
+}
+
+// routeCodedRead fans a GET out as an (n,k) fork-join coded read: one
+// stripe sub-read of ceil(size/k) bytes per replica device of the object's
+// partition. The parent responds when the k-th sub-read's first byte
+// reaches the frontend (Metrics.noteCodedArrival) and the losers are
+// cancelled. With hedging only the k primaries are issued on arrival; the
+// reserves follow HedgeDelay seconds later if the parent is still
+// incomplete.
+func (p *feProc) routeCodedRead(req *Request) {
+	req.Attempt++
+	part := p.cl.ring.PartitionOfID(req.Object)
+	devs := p.cl.ring.ReplicasOf(part)
+	n := len(devs)
+	k := p.cl.cfg.StripeK
+	if k > n {
+		k = n
+	}
+	state := &readState{parent: req, need: k}
+	req.read = state
+	req.ConnectAt = p.cl.kern.Now()
+	// Random device order, so the primary set does not bias load toward
+	// any replica position.
+	order := p.rng.Perm(n)
+	primaries := n
+	if p.cl.cfg.Hedge {
+		primaries = k
+	}
+	for i := 0; i < primaries; i++ {
+		p.issueSub(req, int(devs[order[i]]))
+	}
+	if primaries < n && !math.IsInf(p.cl.cfg.HedgeDelay, 1) {
+		reserves := make([]int, 0, n-primaries)
+		for i := primaries; i < n; i++ {
+			reserves = append(reserves, int(devs[order[i]]))
+		}
+		p.cl.kern.After(p.cl.cfg.HedgeDelay, func() {
+			if state.done || req.recorded || req.abandoned {
+				return
+			}
+			for _, dev := range reserves {
+				p.cl.metrics.noteHedge()
+				p.issueSub(req, dev)
+			}
+		})
+	}
+	if p.cl.cfg.RequestTimeout > 0 {
+		p.watch(req)
+	}
+}
+
+// issueSub issues one stripe sub-read of a coded GET to dev.
+func (p *feProc) issueSub(parent *Request, dev int) {
+	size := (parent.Size + int64(parent.read.need) - 1) / int64(parent.read.need)
+	if size < 1 {
+		size = 1
+	}
+	p.cl.nextReqID++
+	sub := &Request{
+		ID:       p.cl.nextReqID,
+		Object:   parent.Object,
+		Size:     size,
+		ArriveFE: parent.ArriveFE,
+		Device:   dev,
+		read:     parent.read,
+	}
+	parent.read.subs = append(parent.read.subs, sub)
+	p.cl.metrics.noteDeviceRequest(dev)
+	s := sub
+	p.cl.kern.After(p.cl.cfg.NetRTT, func() {
+		if s.abandoned {
+			return
+		}
+		p.cl.devices[dev].connect(s)
+	})
 }
 
 // watch aborts and retries the request if its first response byte has not

@@ -26,6 +26,7 @@ type Metrics struct {
 	latHist  *stats.Histogram
 	timeouts uint64
 	retries  uint64
+	hedges   uint64 // hedged reserve sub-reads actually issued
 
 	devWrites      []uint64 // PUT replica sub-requests per device
 	writeResponses uint64   // quorum-acknowledged PUTs
@@ -119,6 +120,54 @@ func (m *Metrics) noteTimeout()              { m.timeouts++ }
 func (m *Metrics) noteRetry()                { m.retries++ }
 func (m *Metrics) noteDeviceWrite(dev int)   { m.devWrites[dev]++ }
 
+func (m *Metrics) noteHedge() { m.hedges++ }
+
+// Hedges returns the cumulative number of hedged reserve sub-reads
+// actually issued.
+func (m *Metrics) Hedges() uint64 { return m.hedges }
+
+// noteCodedArrival counts one stripe sub-read's first byte reaching the
+// frontend. The parent GET is recorded as responded at the k-th arrival —
+// with the deciding sub-read's backend timestamps and device attribution —
+// and the losing sub-reads are cancelled (queued backend work dropped;
+// in-flight disk IO finishes naturally).
+func (m *Metrics) noteCodedArrival(sub *Request) {
+	rs := sub.read
+	if rs == nil || rs.done || sub.abandoned {
+		return
+	}
+	if rs.parent.recorded || rs.parent.abandoned {
+		// Parent superseded by a timeout retry: stand the stripe down.
+		rs.done = true
+		cancelSubs(rs, nil)
+		return
+	}
+	rs.got++
+	if rs.got < rs.need {
+		return
+	}
+	rs.done = true
+	parent := rs.parent
+	parent.Device = sub.Device
+	parent.BEArriveAt = sub.BEArriveAt
+	parent.BEFirstByteAt = sub.BEFirstByteAt
+	parent.FEFirstByteAt = sub.FEFirstByteAt
+	m.recordResponse(parent)
+	cancelSubs(rs, sub)
+}
+
+// cancelSubs abandons every sub-read of the stripe except keep and those
+// that already delivered their first byte (their remaining chunk sends are
+// response streaming, not queue load worth modeling as cancelled).
+func cancelSubs(rs *readState, keep *Request) {
+	for _, s := range rs.subs {
+		if s == keep || s.FEFirstByteAt > 0 {
+			continue
+		}
+		s.abandoned = true
+	}
+}
+
 // noteWriteAck counts one replica acknowledgement of a PUT; the PUT is
 // recorded as responded when its write quorum is reached.
 func (m *Metrics) noteWriteAck(req *Request, now float64) {
@@ -156,6 +205,7 @@ type Snapshot struct {
 	WTACount  uint64
 	Timeouts  uint64
 	Retries   uint64
+	Hedges    uint64
 	DevReqs   []uint64
 	DevChunks []uint64
 	DevWrites []uint64
@@ -189,6 +239,9 @@ type Window struct {
 	// analyzes windows where both are zero.
 	Timeouts uint64
 	Retries  uint64
+	// Hedges is the number of hedged reserve sub-reads issued in the
+	// window (0 unless coded reads with hedging are configured).
+	Hedges uint64
 	// Latency is the window's latency histogram (nil when the snapshots
 	// carry no histograms); use it for quantile queries.
 	Latency *stats.Histogram
@@ -246,6 +299,7 @@ func (cur Snapshot) Sub(prev Snapshot, devToServer []int) Window {
 	}
 	w.Timeouts = cur.Timeouts - prev.Timeouts
 	w.Retries = cur.Retries - prev.Retries
+	w.Hedges = cur.Hedges - prev.Hedges
 	if w.Duration > 0 {
 		w.WriteRate = float64(cur.WriteResp-prev.WriteResp) / w.Duration
 	}

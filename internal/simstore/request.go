@@ -53,6 +53,10 @@ type Request struct {
 	abandoned bool
 	// write is the quorum state shared by a PUT's replica sub-requests.
 	write *writeState
+	// read is the fork-join state shared by a coded GET's stripe
+	// sub-reads (nil on plain reads and on the parent of a coded GET
+	// until routing fans it out).
+	read *readState
 }
 
 // writeState tracks a PUT's replica acknowledgements.
@@ -61,6 +65,16 @@ type writeState struct {
 	acksNeeded int
 	acks       int
 	recorded   bool
+}
+
+// readState tracks a coded GET's stripe sub-reads: the parent responds at
+// the k-th sub-read first byte and the losers are cancelled.
+type readState struct {
+	parent *Request
+	need   int // k: sub-read first bytes required to respond
+	got    int
+	done   bool
+	subs   []*Request
 }
 
 // Latency returns the frontend-observed response latency (time to first

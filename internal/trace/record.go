@@ -237,3 +237,12 @@ func Read(r io.Reader) ([]Record, error) {
 func WikipediaLikeSizes() dist.Distribution {
 	return dist.NewLognormalMeanMedian(32*1024, 10*1024)
 }
+
+// ParetoSizes returns a heavy-tailed (Pareto type I) object-size
+// distribution with the given mean and tail index alpha > 1. Lower alpha
+// fattens the tail while the mean is held fixed by shrinking the scale
+// x_m = mean·(alpha-1)/alpha — the knob for stressing the model's
+// order-statistic tail predictions beyond the lognormal Wikipedia mix.
+func ParetoSizes(mean, alpha float64) dist.Distribution {
+	return dist.Pareto{Xm: mean * (alpha - 1) / alpha, Alpha: alpha}
+}

@@ -355,3 +355,20 @@ func BenchmarkGenerate(b *testing.B) {
 		}
 	}
 }
+
+func TestParetoSizes(t *testing.T) {
+	const mean, alpha = 32 * 1024.0, 1.5
+	d := ParetoSizes(mean, alpha)
+	if got := d.Mean(); math.Abs(got-mean)/mean > 1e-12 {
+		t.Fatalf("mean = %v, want %v", got, mean)
+	}
+	// Same mean, but a power-law tail: deep quantiles overtake the
+	// lognormal default.
+	if pq, lq := d.Quantile(0.9999), WikipediaLikeSizes().Quantile(0.9999); pq <= lq {
+		t.Errorf("Pareto p99.99 %v not above lognormal p99.99 %v", pq, lq)
+	}
+	// The scale is the minimum object size: nothing below x_m.
+	if xm := mean * (alpha - 1) / alpha; d.CDF(xm*0.999) != 0 {
+		t.Errorf("mass below the scale x_m=%v", xm)
+	}
+}
