@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-smoke fuzz-smoke chaos tidy
+.PHONY: check fmt vet build test race bench bench-verify bench-smoke fuzz-smoke chaos tidy
 
-check: fmt vet build race bench-smoke fuzz-smoke
+check: fmt vet build race bench-verify bench-smoke fuzz-smoke
 
 # gofmt -l prints offending files; fail when it prints anything.
 fmt:
@@ -31,28 +31,44 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
+# The results/ directory is the canonical home of the bench artifacts; the
+# root copies exist only for reviewers. Fail check when a root mirror has
+# drifted from its canonical file (e.g. results/ was regenerated without
+# re-running bench-smoke's copy step).
+bench-verify:
+	@for f in BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json; do \
+		if [ -f "$$f" ] && ! cmp -s "results/$$f" "$$f"; then \
+			echo "bench artifact drift: $$f differs from canonical results/$$f (run make bench-smoke)"; \
+			exit 1; \
+		fi; \
+	done
+
 # Smoke-run the headline benchmarks (one iteration each) and write every
 # bench artifact under results/: the engine speedup (BENCH_PR2.json), the
 # calibration refresh latency (BENCH_PR4.json), the observability overhead
-# (BENCH_PR5.json) and the coded-predict cost (BENCH_PR6.json). The current
-# PRs' artifacts are mirrored at the repo root for reviewers.
+# (BENCH_PR5.json), the coded-predict cost (BENCH_PR6.json) and the batched
+# evaluation engine (BENCH_PR7.json). The current PRs' artifacts are
+# mirrored at the repo root for reviewers.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'Fig6|ServePredictColdVsCached|CodedPredict' -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'Fig6|ServePredictColdVsCached|CodedPredict|CDFBatch' -benchtime=1x .
 	COSMODEL_BENCH_SMOKE=1 $(GO) test \
-		-run 'TestBenchSmokeArtifact|TestBenchSmokeCalibration|TestBenchSmokeObservability|TestBenchSmokeCoded' .
+		-run 'TestBenchSmokeArtifact|TestBenchSmokeCalibration|TestBenchSmokeObservability|TestBenchSmokeCoded|TestBenchSmokeBatched' .
 	cp results/BENCH_PR4.json BENCH_PR4.json
 	cp results/BENCH_PR5.json BENCH_PR5.json
 	cp results/BENCH_PR6.json BENCH_PR6.json
+	cp results/BENCH_PR7.json BENCH_PR7.json
 
 # Short native-fuzzing runs over the HTTP request parsers, the histogram
-# invariants, and the k-of-n order-statistic combinator: enough to catch
-# regressions in the strict decoder, the quantile/bucket arithmetic and the
-# coded-read CDF bounds without turning check into a soak.
+# invariants, the k-of-n order-statistic combinator and the guarded root
+# finder: enough to catch regressions in the strict decoder, the
+# quantile/bucket arithmetic, the coded-read CDF bounds and the bracketed
+# search invariants without turning check into a soak.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeStrict$$' -fuzztime=10s ./internal/serve
 	$(GO) test -run '^$$' -fuzz '^FuzzParseFloats$$' -fuzztime=10s ./internal/serve
 	$(GO) test -run '^$$' -fuzz '^FuzzHistogramInvariants$$' -fuzztime=10s ./internal/stats
 	$(GO) test -run '^$$' -fuzz '^FuzzOrderStatisticCDF$$' -fuzztime=10s ./internal/coscode
+	$(GO) test -run '^$$' -fuzz '^FuzzBrentGuarded$$' -fuzztime=10s ./internal/numeric
 
 # Repeated race-enabled runs of the fault-injection and cancellation suites:
 # the tests that depend on goroutine interleavings get three chances to flake.

@@ -489,6 +489,11 @@ var (
 	// EvaluateSweepContext is the cancellable re-evaluation: ctx is
 	// observed between sweep steps and inside each step's inversions.
 	EvaluateSweepContext = experiments.EvaluateSweepContext
+	// QuantileSweep evaluates the model's p-quantile over every window of
+	// a captured sweep, warm-starting each step's bracketed root search
+	// from the previous step's quantile.
+	QuantileSweep        = experiments.QuantileSweep
+	QuantileSweepContext = experiments.QuantileSweepContext
 	RunFig5              = experiments.RunFig5
 	DefaultFig5          = experiments.DefaultFig5
 	RunAblation          = experiments.RunAblation

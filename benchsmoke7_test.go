@@ -1,0 +1,244 @@
+// Bench-smoke artifact for the batched-probe evaluation engine: serving
+// /predict latencies plain and coded, cold and cached, with allocations
+// per query, plus the Fig. 6 sweep re-evaluation and the warm-started
+// quantile sweep — all riding the single-traversal CDFBatch path. Written
+// to results/BENCH_PR7.json and compared against the PR 5/6 baselines;
+// gated behind COSMODEL_BENCH_SMOKE=1 like the other artifacts.
+package cosmodel_test
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"cosmodel"
+)
+
+type batchedSmokeReport struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// SLAs is the /predict grid width; Steps the sweep length.
+	SLAs  int `json:"slas"`
+	Steps int `json:"steps"`
+	// Plain serve predict: cold rebuilds the model and runs one batched
+	// traversal for the whole SLA grid; cached answers from the grid memo.
+	PlainColdNs       int64   `json:"plain_cold_ns"`
+	PlainCachedNs     int64   `json:"plain_cached_ns"`
+	PlainColdAllocs   float64 `json:"plain_cold_allocs"`
+	PlainCachedAllocs float64 `json:"plain_cached_allocs"`
+	// Coded serve predict on a (3,1) replication spec, same two paths.
+	CodedColdNs       int64   `json:"coded_cold_ns"`
+	CodedCachedNs     int64   `json:"coded_cached_ns"`
+	CodedColdAllocs   float64 `json:"coded_cold_allocs"`
+	CodedCachedAllocs float64 `json:"coded_cached_allocs"`
+	// Fig6SweepNs is one EvaluateSweep over the captured S1 windows (the
+	// PR 5 sweep_plain_ns workload, now fused onto CDFBatchKinds);
+	// QuantileSweepNs is the p95 quantile over the same windows with
+	// warm-started brackets.
+	Fig6SweepNs     int64 `json:"fig6_sweep_ns"`
+	QuantileSweepNs int64 `json:"quantile_sweep_ns"`
+	// Ratios against the recorded baselines: PR6's plain/coded cold
+	// predicts and cached allocations, PR5's sweep. Values < 1 are
+	// speedups.
+	PlainColdVsPR6    float64 `json:"plain_cold_vs_pr6"`
+	CodedColdVsPR6    float64 `json:"coded_cold_vs_pr6"`
+	CachedAllocsVsPR6 float64 `json:"cached_allocs_vs_pr6"`
+	SweepVsPR5        float64 `json:"sweep_vs_pr5"`
+}
+
+// baselineField reads one numeric field out of a recorded bench artifact,
+// returning NaN when the artifact or field is missing (the ratio is then
+// omitted rather than failing the smoke run on a fresh checkout).
+func baselineField(path, field string) float64 {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return math.NaN()
+	}
+	var m map[string]float64
+	if json.Unmarshal(raw, &m) != nil {
+		return math.NaN()
+	}
+	v, ok := m[field]
+	if !ok {
+		return math.NaN()
+	}
+	return v
+}
+
+// BenchmarkCDFBatch measures the batched traversal against per-threshold
+// scalar evaluation on the same system model: the per-t cost of the batch
+// path is the weight dot product, not a fresh graph traversal.
+func BenchmarkCDFBatch(b *testing.B) {
+	sys := benchSystem(b)
+	ts := []float64{0.004, 0.01, 0.02, 0.05, 0.1, 0.25}
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if vs := sys.CDFBatch(ts); vs[len(vs)-1] <= 0 {
+				b.Fatal("degenerate batch CDF")
+			}
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, t := range ts {
+				if sys.CDF(t) < 0 {
+					b.Fatal("degenerate scalar CDF")
+				}
+			}
+		}
+	})
+}
+
+// benchSystem builds a small heterogeneous mixture for the batch
+// micro-benchmark.
+func benchSystem(b *testing.B) *cosmodel.SystemModel {
+	b.Helper()
+	props := cosmodel.DeviceProperties{
+		IndexDisk: cosmodel.NewGammaMeanSCV(9e-3, 0.45),
+		MetaDisk:  cosmodel.NewGammaMeanSCV(6e-3, 0.50),
+		DataDisk:  cosmodel.NewGammaMeanSCV(8e-3, 0.40),
+		ParseFE:   cosmodel.Degenerate{Value: 0.3e-3},
+		ParseBE:   cosmodel.Degenerate{Value: 0.5e-3},
+	}
+	devs := make([]*cosmodel.DeviceModel, 4)
+	total := 0.0
+	for i := range devs {
+		m := cosmodel.OnlineMetrics{
+			Rate: 40 + 3*float64(i), MissIndex: 0.35, MissMeta: 0.30,
+			MissData: 0.45 - 0.02*float64(i), Procs: 1,
+		}
+		m.DataRate = m.Rate * 1.2
+		d, err := cosmodel.NewDeviceModel(props, m, cosmodel.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		devs[i] = d
+		total += m.Rate
+	}
+	fe, err := cosmodel.NewFrontendModel(total, 4, props.ParseFE)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := cosmodel.NewSystemModel(fe, devs, cosmodel.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// TestBenchSmokeBatched measures the batched evaluation paths end to end
+// and writes the PR's bench artifact, gating against the PR 5/6 baselines.
+func TestBenchSmokeBatched(t *testing.T) {
+	if os.Getenv("COSMODEL_BENCH_SMOKE") == "" {
+		t.Skip("set COSMODEL_BENCH_SMOKE=1 to produce results/BENCH_PR7.json")
+	}
+	eng := codedSmokeEngine(t.Fatal)
+	spec := cosmodel.ServeCodedReadSpec{N: 3, K: 1}
+	slas := []float64{0.01, 0.05, 0.1}
+	plain := func() {
+		if _, err := eng.Predict(slas); err != nil {
+			t.Fatal(err)
+		}
+	}
+	coded := func() {
+		if _, err := eng.PredictCoded(spec, slas); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plain()
+	coded() // warm both grids
+
+	data, err := fig6Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := quickScenario(cosmodel.ScenarioS1())
+	sc.Seed = 1
+	const rounds = 5
+
+	rep := batchedSmokeReport{
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		SLAs:              len(slas),
+		Steps:             len(data.Windows),
+		PlainCachedNs:     best(20, func(int) { plain() }),
+		PlainCachedAllocs: testing.AllocsPerRun(10, plain),
+		PlainColdNs:       best(20, func(int) { eng.InvalidateCache(); plain() }),
+		PlainColdAllocs: testing.AllocsPerRun(10, func() {
+			eng.InvalidateCache()
+			plain()
+		}),
+		CodedCachedNs:     best(20, func(int) { coded() }),
+		CodedCachedAllocs: testing.AllocsPerRun(10, coded),
+		CodedColdNs:       best(20, func(int) { eng.InvalidateCache(); coded() }),
+		CodedColdAllocs: testing.AllocsPerRun(10, func() {
+			eng.InvalidateCache()
+			coded()
+		}),
+		Fig6SweepNs: best(rounds, func(int) {
+			if res := cosmodel.EvaluateSweep(sc, data); res.AnalyzedSteps() == 0 {
+				t.Fatal("no analyzed steps")
+			}
+		}),
+		QuantileSweepNs: best(rounds, func(int) {
+			qs := cosmodel.QuantileSweep(sc, data, 0.95)
+			finite := 0
+			for _, q := range qs {
+				if !math.IsNaN(q) {
+					finite++
+				}
+			}
+			if finite == 0 {
+				t.Fatal("no finite quantiles in sweep")
+			}
+		}),
+	}
+	rep.PlainColdVsPR6 = float64(rep.PlainColdNs) / baselineField(filepath.Join("results", "BENCH_PR6.json"), "plain_cold_ns")
+	rep.CodedColdVsPR6 = float64(rep.CodedColdNs) / baselineField(filepath.Join("results", "BENCH_PR6.json"), "coded_cold_ns")
+	rep.CachedAllocsVsPR6 = rep.CodedCachedAllocs / baselineField(filepath.Join("results", "BENCH_PR6.json"), "coded_cached_allocs")
+	rep.SweepVsPR5 = float64(rep.Fig6SweepNs) / baselineField(filepath.Join("results", "BENCH_PR5.json"), "sweep_plain_ns")
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("results", "BENCH_PR7.json")
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("plain predict cold %s (%.0f allocs), cached %s (%.0f allocs); coded cold %s, cached %s (%.0f allocs); fig6 sweep %s, quantile sweep %s -> %s",
+		time.Duration(rep.PlainColdNs), rep.PlainColdAllocs,
+		time.Duration(rep.PlainCachedNs), rep.PlainCachedAllocs,
+		time.Duration(rep.CodedColdNs), time.Duration(rep.CodedCachedNs), rep.CodedCachedAllocs,
+		time.Duration(rep.Fig6SweepNs), time.Duration(rep.QuantileSweepNs), path)
+
+	// The acceptance bars: a cold plain predict under 40µs, the fused
+	// Fig. 6 sweep under 1.5ms, and the cached coded path at no more than
+	// half its PR 6 allocation count.
+	if rep.PlainColdNs > 40_000 {
+		t.Errorf("cold plain predict %s, want < 40µs", time.Duration(rep.PlainColdNs))
+	}
+	if rep.Fig6SweepNs > 1_500_000 {
+		t.Errorf("fig6 sweep %s, want < 1.5ms", time.Duration(rep.Fig6SweepNs))
+	}
+	if rep.CodedCachedAllocs > 38 {
+		t.Errorf("cached coded predict allocates %.0f objects per query, want <= 38 (half of PR 6's 76)", rep.CodedCachedAllocs)
+	}
+	// The regression gate against the PR 6 artifact measured moments ago
+	// in this same process: the batched engine must not cost more than
+	// 1.10x the baseline on either axis. NaN baselines (fresh checkout
+	// without results/) skip the gate by comparison semantics.
+	if rep.CodedColdVsPR6 > 1.10 {
+		t.Errorf("coded cold predict regressed %.2fx vs PR 6, want <= 1.10x", rep.CodedColdVsPR6)
+	}
+	if rep.CachedAllocsVsPR6 > 1.10 {
+		t.Errorf("cached coded allocs regressed %.2fx vs PR 6, want <= 1.10x", rep.CachedAllocsVsPR6)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Deployment describes a homogeneous deployment whose admissible load is
@@ -140,21 +141,21 @@ func MaxAdmissibleRateContext(ctx context.Context, d Deployment, sla, target flo
 	probes := 0
 	done := d.Opts.span("max_admissible_rate", 0, 0)
 	defer func() { done(probes, err) }()
-	meets := func(ctx context.Context, rate float64) (bool, error) {
+	margin := func(ctx context.Context, rate float64) (float64, bool, error) {
 		probes++
 		p, err := d.MeetFractionContext(ctx, rate, sla)
 		switch {
 		case err == nil:
-			return p >= target, nil
+			return p - target, true, nil
 		case errors.Is(err, ErrOverload) || errors.Is(err, ErrBadParams):
 			// No steady state at this probe point: the rate is simply
 			// inadmissible, not a search failure.
-			return false, nil
+			return 0, false, nil
 		default:
-			return false, err // cancellation, deadline or numerical failure
+			return 0, false, err // cancellation, deadline or numerical failure
 		}
 	}
-	return MaxRateWhereContext(ctx, meets, 1, 1)
+	return MaxRateWhereValueContext(ctx, margin, 1, 1)
 }
 
 // Headroom returns the additional aggregate rate the deployment can admit
@@ -249,6 +250,98 @@ func MaxRateWhereContext(ctx context.Context, meets func(ctx context.Context, ra
 		} else {
 			hi = mid
 		}
+	}
+	return lo, nil
+}
+
+// MaxRateWhereValueContext is the margin-aware admission search: probe
+// reports how far above the requirement a rate sits (margin >= 0 means
+// admissible) rather than only whether it holds, and the bracket is
+// narrowed by false position on the margin with a bisection safeguard — a
+// near-linear margin collapses the bracket in a handful of probes where
+// blind bisection needs log2(range/tol). probe returning ok == false marks
+// the rate inadmissible without ordering information (e.g. overload), so
+// the step above it always bisects; a NaN margin is treated the same way.
+// Contract otherwise matches MaxRateWhereContext: ctx is checked before
+// every probe, probe errors abort the search, the result is the largest
+// rate actually probed admissible (0 when lo itself fails), and the probe
+// count is bounded by the geometric doubling plus the safeguarded
+// narrowing to tol.
+func MaxRateWhereValueContext(ctx context.Context, probe func(ctx context.Context, rate float64) (margin float64, ok bool, err error), lo, tol float64) (float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if lo <= 0 {
+		lo = 1
+	}
+	if tol <= 0 {
+		tol = lo * 1e-3
+	}
+	eval := func(rate float64) (float64, bool, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, false, err
+		}
+		m, ok, err := probe(ctx, rate)
+		if math.IsNaN(m) {
+			ok = false // a NaN margin carries no ordering information
+		}
+		return m, ok, err
+	}
+	mLo, ok, err := eval(lo)
+	if err != nil {
+		return 0, err
+	}
+	if !ok || mLo < 0 {
+		return 0, nil
+	}
+	hi := lo * 2
+	const ceiling = 1e9 // far beyond any physically admissible rate here
+	var mHi float64
+	var okHi bool
+	for {
+		m, ok, err := eval(hi)
+		if err != nil {
+			return 0, err
+		}
+		if !ok || m < 0 {
+			mHi, okHi = m, ok
+			break
+		}
+		lo, mLo = hi, m
+		hi *= 2
+		if hi > ceiling {
+			return lo, nil
+		}
+	}
+	stalled := false
+	for hi-lo > tol {
+		var mid float64
+		if okHi && mHi < 0 && mLo > 0 && !stalled {
+			// False position: root of the secant through (lo, mLo) and
+			// (hi, mHi), clamped to the bracket interior so a flat margin
+			// cannot pin the iterate to an endpoint.
+			mid = lo + (hi-lo)*mLo/(mLo-mHi)
+			pad := 0.05 * (hi - lo)
+			if mid < lo+pad {
+				mid = lo + pad
+			}
+			if mid > hi-pad {
+				mid = hi - pad
+			}
+		} else {
+			mid = lo + (hi-lo)/2
+		}
+		width := hi - lo
+		m, ok, err := eval(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok && m >= 0 {
+			lo, mLo = mid, m
+		} else {
+			hi, mHi, okHi = mid, m, ok
+		}
+		stalled = hi-lo > 0.5*width
 	}
 	return lo, nil
 }

@@ -34,13 +34,15 @@ func (s *SystemModel) frontendGrid() ([]float64, []float64, error) {
 		inv := s.opts.inverter()
 		pts := make([]float64, codedFrontendGridPoints)
 		masses := make([]float64, codedFrontendGridPoints)
-		prev := 0.0
 		for i := range pts {
-			x := span * float64(i+1) / codedFrontendGridPoints
-			v := lst.CDF(inv, sq, x)
+			pts[i] = span * float64(i+1) / codedFrontendGridPoints
+		}
+		vs := lst.CDFBatch(inv, sq, pts)
+		prev := 0.0
+		for i, v := range vs {
 			if reason := numeric.CheckCDF(v); reason != "" {
 				s.feGridErr = &numeric.InversionError{
-					T: x, Value: v,
+					T: pts[i], Value: v,
 					Reason: "frontend sojourn grid: " + reason,
 					Tried:  []string{inv.Name()},
 				}
@@ -50,7 +52,6 @@ func (s *SystemModel) frontendGrid() ([]float64, []float64, error) {
 			if v < prev {
 				v = prev
 			}
-			pts[i] = x
 			masses[i] = v - prev
 			prev = v
 		}
@@ -122,6 +123,93 @@ func (s *SystemModel) CodedCDFContext(ctx context.Context, spec CodedSpec, t flo
 	return s.codedCDF(ctx, spec, t, &probes)
 }
 
+// codedCDFBatch evaluates the coded-read CDF at every threshold in ts
+// through one batched traversal of the device mixture. coscode.CDF's base
+// probe sequence depends only on the spec and its threshold argument,
+// never on probed values, so a recording pass enumerates every backend
+// threshold the scalar loop would probe, one mixtureCDFBatch answers them
+// all, and a replay pass reassembles each order-statistic evaluation from
+// the recorded answers — bit-identical to per-threshold codedCDF.
+func (s *SystemModel) codedCDFBatch(ctx context.Context, spec CodedSpec, ts []float64, probes *int) ([]float64, error) {
+	out := make([]float64, len(ts))
+	if spec.N == 1 {
+		*probes += len(ts)
+		if err := s.mixtureCDFBatch(ctx, []evalMode{modeFull}, ts, [][]float64{out}); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	pts, masses, err := s.frontendGrid()
+	if err != nil {
+		return nil, err
+	}
+	var xs []float64
+	record := func(x float64) (float64, error) {
+		xs = append(xs, x)
+		return 0, nil
+	}
+	for _, t := range ts {
+		if t <= 0 {
+			continue
+		}
+		for i, x := range pts {
+			if masses[i] == 0 || t-x <= 0 {
+				continue
+			}
+			if _, err := coscode.CDF(spec, record, t-x); err != nil {
+				return nil, err
+			}
+		}
+	}
+	*probes += len(xs)
+	vals := make([]float64, len(xs))
+	if err := s.mixtureCDFBatch(ctx, []evalMode{modeResponse}, xs, [][]float64{vals}); err != nil {
+		return nil, err
+	}
+	idx := 0
+	replay := func(float64) (float64, error) {
+		v := vals[idx]
+		idx++
+		return v, nil
+	}
+	for j, t := range ts {
+		if t <= 0 {
+			continue
+		}
+		total := 0.0
+		for i, x := range pts {
+			if masses[i] == 0 || t-x <= 0 {
+				continue
+			}
+			h, err := coscode.CDF(spec, replay, t-x)
+			if err != nil {
+				return nil, err
+			}
+			total += masses[i] * h
+		}
+		out[j] = numeric.Clamp01(total)
+	}
+	return out, nil
+}
+
+// CodedCDFBatchContext evaluates the coded-read CDF at every threshold in
+// ts under ctx; out[i] equals CodedCDFContext(ctx, spec, ts[i]) exactly,
+// but the whole grid shares one traversal of the device mixture — the
+// batched engine answers every order-statistic probe of every threshold in
+// a single pass. Cancellation, EvalTimeout and the fallback chain apply as
+// in CodedCDFContext.
+func (s *SystemModel) CodedCDFBatchContext(ctx context.Context, spec CodedSpec, ts []float64) (out []float64, err error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := s.opts.EvalContext(ctx)
+	defer cancel()
+	probes := 0
+	done := s.beginSpan("coded_cdf_batch")
+	defer func() { done(probes, err) }()
+	return s.codedCDFBatch(ctx, spec, ts, &probes)
+}
+
 // CodedBackendCDF is the backend-tier form of CodedCDF; a numerical or
 // spec error reports 0.
 func (s *SystemModel) CodedBackendCDF(spec CodedSpec, t float64) float64 {
@@ -160,11 +248,12 @@ func (s *SystemModel) CodedQuantile(spec CodedSpec, p float64) float64 {
 	return v
 }
 
-// CodedQuantileContext inverts the coded-read CDF by guarded bisection,
-// mirroring QuantileContext: cancellation and the EvalTimeout budget are
-// observed at every probe, and a grossly non-monotone CDF surfaces as
-// numeric.ErrNumerical instead of a garbage quantile. It returns +Inf when
-// the quantile exceeds the search ceiling or when p >= 1.
+// CodedQuantileContext inverts the coded-read CDF with the same guarded
+// bracketed root finder as QuantileContext (numeric.BrentGuarded):
+// cancellation and the EvalTimeout budget are observed at every probe, and
+// a grossly non-monotone CDF surfaces as numeric.ErrNumerical instead of a
+// garbage quantile. It returns +Inf when the quantile exceeds the search
+// ceiling or when p >= 1.
 func (s *SystemModel) CodedQuantileContext(ctx context.Context, spec CodedSpec, p float64) (q float64, err error) {
 	if err := spec.Validate(); err != nil {
 		return 0, err
@@ -202,26 +291,13 @@ func (s *SystemModel) CodedQuantileContext(ctx context.Context, spec CodedSpec, 
 			return 0, err
 		}
 	}
-	lo, vLo := 0.0, 0.0
-	for i := 0; i < 60; i++ {
-		mid := (lo + hi) / 2
-		v, err := s.codedCDF(ctx, spec, mid, &probes)
+	f := func(t float64) (float64, error) {
+		v, err := s.codedCDF(ctx, spec, t, &probes)
 		if err != nil {
 			return 0, err
 		}
-		if v < vLo-numeric.CDFSlack || v > vHi+numeric.CDFSlack {
-			return 0, &numeric.InversionError{
-				T:      mid,
-				Value:  v,
-				Reason: "grossly non-monotone coded CDF in quantile bisection",
-				Tried:  []string{s.opts.inverter().Name()},
-			}
-		}
-		if v < p {
-			lo, vLo = mid, v
-		} else {
-			hi, vHi = mid, v
-		}
+		return v - p, nil
 	}
-	return (lo + hi) / 2, nil
+	q, err = numeric.BrentGuarded(f, 0, -p, hi, vHi-p, 0, numeric.CDFSlack)
+	return q, s.quantileRootErr(err, p, "grossly non-monotone coded CDF in quantile bisection")
 }

@@ -243,8 +243,11 @@ type Options struct {
 // EvalEvent describes one completed evaluation span for Options.Observer:
 // which entry point ran, how much work it did and how long it took.
 type EvalEvent struct {
-	// Op identifies the entry point: "cdf", "backend_cdf", "quantile" or
-	// "max_admissible_rate".
+	// Op identifies the entry point: "cdf", "backend_cdf", "cdf_batch",
+	// "quantile", "max_admissible_rate", or the coded-read spans
+	// "coded_cdf", "coded_backend_cdf", "coded_cdf_batch" and
+	// "coded_quantile". Batched spans cover a whole threshold grid in one
+	// event, with Probes carrying the grid size.
 	Op string
 	// Groups is the number of distinct mixture groups the evaluation fans
 	// out over (0 for spans without a single underlying model, like

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build.
+// sync.Pool intentionally drops items under the race detector, so
+// allocation-count pins are meaningless in race builds.
+const raceEnabled = true

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -25,6 +26,7 @@ type mixGroup struct {
 	weight   float64
 	response lst.Transform // Sq ∗ Wa ∗ Sbe, for non-node inverters
 	beResp   lst.Transform // Wa ∗ Sbe, for non-node inverters
+	noWTA    lst.Transform // Sq ∗ Sbe, for non-node inverters
 }
 
 // evalMode selects which composition of the per-device factors the
@@ -40,6 +42,12 @@ const (
 	// sub-read of a coded GET experiences after the (shared) frontend
 	// parse, the base CDF of the k-of-n order statistic.
 	modeResponse
+	// modeNoWTA is the frontend-observed response with the accept-waiting
+	// factor dropped, Sq ∗ Sbe — the paper's "noWTA" ablation. Evaluating
+	// it from the full model's per-node factors is exact: a device built
+	// with WTANone computes the identical Sbe pipeline and a unit Wa, and
+	// multiplying by the exact complex 1 changes nothing.
+	modeNoWTA
 )
 
 // SystemModel combines the frontend model with per-device backend models
@@ -105,6 +113,7 @@ func NewSystemModel(fe *FrontendModel, devices []*DeviceModel, opts Options) (*S
 				weight:   d.Rate(),
 				response: s.responses[len(s.responses)-1],
 				beResp:   lst.Convolve(d.WTA(), d.Backend()),
+				noWTA:    lst.Convolve(sq, d.Backend()),
 			})
 		}
 	}
@@ -195,7 +204,7 @@ func (s *SystemModel) groupEvaluator(inv numeric.Inverter, t float64, mode evalM
 		// Gaver-Stehfest 14) without append regrowth.
 		nodes, ws := ni.AppendNodes(make([]complex128, 0, 32), make([]complex128, 0, 32), t)
 		var fe []complex128
-		if mode == modeFull {
+		if mode == modeFull || mode == modeNoWTA {
 			// The frontend sojourn factor is identical across the
 			// mixture: evaluate it once per inversion node.
 			sq := s.frontend.Sojourn().F
@@ -208,16 +217,7 @@ func (s *SystemModel) groupEvaluator(inv numeric.Inverter, t float64, mode evalM
 			var sum float64
 			for k, sk := range nodes {
 				wa, sbe := s.groups[i].dev.responseNode(sk)
-				var fv complex128
-				switch mode {
-				case modeFull:
-					fv = fe[k] * wa * sbe
-				case modeResponse:
-					fv = wa * sbe
-				default:
-					fv = sbe
-				}
-				sum += real(ws[k] * (fv / sk))
+				sum += real(ws[k] * (nodeValue(mode, fe, k, wa, sbe) / sk))
 			}
 			return sum
 		}
@@ -225,16 +225,38 @@ func (s *SystemModel) groupEvaluator(inv numeric.Inverter, t float64, mode evalM
 	// Opaque custom inverter: invert each group's composed transform
 	// closure independently.
 	return func(i int) float64 {
-		var tr lst.Transform
-		switch mode {
-		case modeFull:
-			tr = s.groups[i].response
-		case modeResponse:
-			tr = s.groups[i].beResp
-		default:
-			tr = s.groups[i].dev.Backend()
-		}
+		tr := s.groupTransform(i, mode)
 		return inv.Invert(func(sc complex128) complex128 { return tr.F(sc) / sc }, t)
+	}
+}
+
+// nodeValue composes the per-device node factors (wa, sbe) and the shared
+// frontend factor fe[k] into the transform value mode selects.
+func nodeValue(mode evalMode, fe []complex128, k int, wa, sbe complex128) complex128 {
+	switch mode {
+	case modeFull:
+		return fe[k] * wa * sbe
+	case modeNoWTA:
+		return fe[k] * sbe
+	case modeResponse:
+		return wa * sbe
+	default:
+		return sbe
+	}
+}
+
+// groupTransform picks group i's composed transform for mode — the opaque
+// (non-node) inverter path.
+func (s *SystemModel) groupTransform(i int, mode evalMode) lst.Transform {
+	switch mode {
+	case modeFull:
+		return s.groups[i].response
+	case modeNoWTA:
+		return s.groups[i].noWTA
+	case modeResponse:
+		return s.groups[i].beResp
+	default:
+		return s.groups[i].dev.Backend()
 	}
 }
 
@@ -243,7 +265,13 @@ func (s *SystemModel) groupEvaluator(inv numeric.Inverter, t float64, mode evalM
 // value. A recovered value fires Options.OnFallback; exhaustion returns a
 // *numeric.InversionError.
 func (s *SystemModel) groupCDF(eval func(int) float64, i int, t float64, mode evalMode) (float64, error) {
-	v := eval(i)
+	return s.groupCDFFrom(eval(i), i, t, mode)
+}
+
+// groupCDFFrom validates a raw per-group inversion value computed elsewhere
+// (the scalar evaluator or the batched traversal) and walks the fallback
+// chain on an invalid one — the shared tail of groupCDF.
+func (s *SystemModel) groupCDFFrom(v float64, i int, t float64, mode evalMode) (float64, error) {
 	reason := numeric.CheckCDF(v)
 	if reason == "" {
 		return numeric.Clamp01(v), nil
@@ -321,12 +349,23 @@ func (s *SystemModel) Quantile(p float64) float64 {
 }
 
 // QuantileContext is the context-aware quantile: cancellation and the
-// Options.EvalTimeout budget are observed at every bisection probe, each
-// probe runs the guarded mixture evaluation, and the bisection additionally
-// detects a grossly non-monotone CDF (a probe at a larger t reporting a
-// value more than numeric.CDFSlack below a probe at a smaller t, or vice
-// versa), returning numeric.ErrNumerical instead of a garbage quantile.
+// Options.EvalTimeout budget are observed at every probe, each probe runs
+// the guarded mixture evaluation, and the bracketed root finder
+// (numeric.BrentGuarded — false position with a bisection safeguard,
+// replacing the fixed 60-step bisection) additionally detects a grossly
+// non-monotone CDF (a probe at a larger t reporting a value more than
+// numeric.CDFSlack below a probe at a smaller t, or vice versa), returning
+// numeric.ErrNumerical instead of a garbage quantile.
 func (s *SystemModel) QuantileContext(ctx context.Context, p float64) (q float64, err error) {
+	return s.QuantileSeededContext(ctx, p, 0)
+}
+
+// QuantileSeededContext is QuantileContext warm-started from a prior
+// estimate: a positive seed replaces the mean-based initial upper bracket,
+// so a caller sweeping nearby operating points (experiments.QuantileSweep)
+// pays a couple of refinement probes per step instead of a fresh bracket
+// growth. seed <= 0 is identical to QuantileContext.
+func (s *SystemModel) QuantileSeededContext(ctx context.Context, p, seed float64) (q float64, err error) {
 	ctx, cancel := s.opts.EvalContext(ctx)
 	defer cancel()
 	probes := 0
@@ -338,9 +377,12 @@ func (s *SystemModel) QuantileContext(ctx context.Context, p float64) (q float64
 	if p >= 1 {
 		return math.Inf(1), nil
 	}
-	hi := s.MeanResponse()
-	if hi <= 0 {
-		hi = 1e-3
+	hi := seed
+	if !(hi > 0) {
+		hi = s.MeanResponse()
+		if hi <= 0 {
+			hi = 1e-3
+		}
 	}
 	probes++
 	vHi, err := s.mixtureCDF(ctx, hi, modeFull)
@@ -357,32 +399,32 @@ func (s *SystemModel) QuantileContext(ctx context.Context, p float64) (q float64
 			return 0, err
 		}
 	}
-	lo, vLo := 0.0, 0.0
-	for i := 0; i < 60; i++ {
-		mid := (lo + hi) / 2
+	f := func(t float64) (float64, error) {
 		probes++
-		v, err := s.mixtureCDF(ctx, mid, modeFull)
+		v, err := s.mixtureCDF(ctx, t, modeFull)
 		if err != nil {
 			return 0, err
 		}
-		// lo < mid < hi, so a monotone CDF keeps v within [vLo, vHi] up
-		// to inversion noise; a gross excursion means the inverted CDF
-		// itself is broken.
-		if v < vLo-numeric.CDFSlack || v > vHi+numeric.CDFSlack {
-			return 0, &numeric.InversionError{
-				T:      mid,
-				Value:  v,
-				Reason: "grossly non-monotone CDF in quantile bisection",
-				Tried:  []string{s.opts.inverter().Name()},
-			}
-		}
-		if v < p {
-			lo, vLo = mid, v
-		} else {
-			hi, vHi = mid, v
+		return v - p, nil
+	}
+	q, err = numeric.BrentGuarded(f, 0, -p, hi, vHi-p, 0, numeric.CDFSlack)
+	return q, s.quantileRootErr(err, p, "grossly non-monotone CDF in quantile bisection")
+}
+
+// quantileRootErr maps a root-finder non-monotone abort onto the engine's
+// InversionError shape (preserving the pinned reason strings callers match
+// on); every other error passes through.
+func (s *SystemModel) quantileRootErr(err error, p float64, reason string) error {
+	var nm *numeric.NonMonotoneError
+	if errors.As(err, &nm) {
+		return &numeric.InversionError{
+			T:      nm.X,
+			Value:  nm.F + p,
+			Reason: reason,
+			Tried:  []string{s.opts.inverter().Name()},
 		}
 	}
-	return (lo + hi) / 2, nil
+	return err
 }
 
 // MeanResponse returns the rate-weighted mean response latency.

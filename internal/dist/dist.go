@@ -62,9 +62,21 @@ func SampleN(d Distribution, rng *rand.Rand, n int) []float64 {
 	return out
 }
 
+// quantileGrowthCap bounds the geometric bracket growth of
+// quantileByBisection: 600 doublings from any positive seed exceed every
+// finite float64, so hitting the cap means the CDF never reaches p.
+const quantileGrowthCap = 600
+
 // quantileByBisection inverts a CDF numerically on a bracket grown
 // geometrically from the mean. It is the shared fallback for distributions
 // without a closed-form quantile.
+//
+// Sentinel: +Inf means no finite bracket captures p — the CDF saturates
+// below p (a heavy tail with p → 1, or one numerically clamped short of 1),
+// the bracket cannot expand (degenerate moments, e.g. a fitted point mass
+// with mean = sd = 0 driven negative by noise), or the CDF returns NaN
+// during bracket growth. This matches Quantile(1) for every distribution in
+// the package, so callers need no extra case.
 func quantileByBisection(cdf func(float64) float64, mean, sd, p float64) float64 {
 	if p <= 0 {
 		return 0
@@ -73,10 +85,22 @@ func quantileByBisection(cdf func(float64) float64, mean, sd, p float64) float64
 		return math.Inf(1)
 	}
 	hi := mean + 2*sd + 1e-12
-	for cdf(hi) < p {
+	if !(hi > 0) {
+		// Garbage moments (negative or NaN) would freeze the doubling loop
+		// at hi <= 0; restart the bracket from the smallest sensible seed.
+		hi = 1e-12
+	}
+	for i := 0; ; i++ {
+		v := cdf(hi)
+		if math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		if v >= p {
+			break
+		}
 		hi *= 2
-		if math.IsInf(hi, 1) {
-			return hi
+		if i >= quantileGrowthCap || math.IsInf(hi, 1) {
+			return math.Inf(1)
 		}
 	}
 	lo := 0.0

@@ -3,7 +3,6 @@ package dist
 import (
 	"fmt"
 	"math"
-	"math/cmplx"
 	"math/rand"
 
 	"cosmodel/internal/numeric"
@@ -86,10 +85,20 @@ func sampleGamma(rng *rand.Rand, shape float64) float64 {
 	}
 }
 
-// LST implements Distribution: (l/(s+l))^k.
+// LST implements Distribution: (l/(s+l))^k. The complex power is
+// specialized to its real exponent — exp(k·log|w|)·cis(k·arg w), with
+// log|w| taken from the squared magnitude so no hypot/sqrt is needed —
+// because this is the hottest leaf of the shared-subexpression evaluation
+// engine and cmplx.Pow's general-case branch handling dominates its cost.
+// Re(s) > 0 for every inversion contour used here, so |w| <= 1 and the
+// squared magnitude cannot overflow.
 func (g Gamma) LST(s complex128) complex128 {
-	l := complex(g.Rate, 0)
-	return cmplx.Pow(l/(s+l), complex(g.Shape, 0))
+	w := complex(g.Rate, 0) / (s + complex(g.Rate, 0))
+	re, im := real(w), imag(w)
+	logr := 0.5 * math.Log(re*re+im*im)
+	sin, cos := math.Sincos(g.Shape * math.Atan2(im, re))
+	e := math.Exp(g.Shape * logr)
+	return complex(e*cos, e*sin)
 }
 
 // String implements Distribution.

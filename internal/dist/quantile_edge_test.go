@@ -1,0 +1,77 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantileBisectionDegenerateMoments pins the bracket-growth fix: a CDF
+// paired with garbage moments (mean + 2sd + 1e-12 <= 0, e.g. a fitted
+// point mass driven negative by noise) used to freeze the doubling loop at
+// hi <= 0 forever; it must now terminate, and still find the root when one
+// exists.
+func TestQuantileBisectionDegenerateMoments(t *testing.T) {
+	// Exponential CDF with rate 2, but moments claiming mean = sd = 0.
+	cdf := func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		return 1 - math.Exp(-2*x)
+	}
+	got := quantileByBisection(cdf, 0, 0, 0.5)
+	want := math.Log(2) / 2
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("median from zero moments = %v, want %v", got, want)
+	}
+	// Negative mean (noise-driven) must not loop either.
+	if got := quantileByBisection(cdf, -3, 0, 0.5); math.Abs(got-want) > 1e-9 {
+		t.Errorf("median from negative mean = %v, want %v", got, want)
+	}
+}
+
+// TestQuantileBisectionSaturatingCDF pins the +Inf sentinel: a CDF that
+// saturates below p (numerically clamped heavy tail) must report +Inf
+// after the capped growth, not spin doubling forever.
+func TestQuantileBisectionSaturatingCDF(t *testing.T) {
+	cdf := func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		return math.Min(1-math.Exp(-x), 0.9)
+	}
+	if got := quantileByBisection(cdf, 1, 1, 0.95); !math.IsInf(got, 1) {
+		t.Errorf("saturating CDF p=0.95: got %v, want +Inf", got)
+	}
+	// Below the saturation level the quantile is still finite and exact.
+	want := -math.Log(0.5)
+	if got := quantileByBisection(cdf, 1, 1, 0.5); math.Abs(got-want) > 1e-9 {
+		t.Errorf("saturating CDF p=0.5: got %v, want %v", got, want)
+	}
+}
+
+// TestQuantileBisectionNaNCDF pins the NaN guard: a CDF emitting NaN during
+// bracket growth reports the +Inf sentinel instead of doubling blindly
+// (NaN fails every comparison, so without the guard the loop would run to
+// the cap on garbage).
+func TestQuantileBisectionNaNCDF(t *testing.T) {
+	if got := quantileByBisection(func(float64) float64 { return math.NaN() }, 1, 1, 0.5); !math.IsInf(got, 1) {
+		t.Errorf("NaN CDF: got %v, want +Inf", got)
+	}
+}
+
+// TestQuantileDegenerateDistributions drives the shared bisection through
+// the public Quantile of near-degenerate fitted shapes.
+func TestQuantileDegenerateDistributions(t *testing.T) {
+	// A Gamma squeezed to an (almost) point mass at ~1e-9: the quantile
+	// must come back near the mass, finite, without hanging.
+	g := NewGammaMeanSCV(1e-9, 1e-6)
+	q := g.Quantile(0.5)
+	if math.IsNaN(q) || math.IsInf(q, 0) || q < 0 || q > 1e-6 {
+		t.Errorf("point-mass Gamma median = %v", q)
+	}
+	// p -> 1 on a heavy-ish tail stays finite (the CDF genuinely reaches
+	// p); exactly 1 is the documented +Inf.
+	if q := g.Quantile(1); !math.IsInf(q, 1) {
+		t.Errorf("Quantile(1) = %v, want +Inf", q)
+	}
+}

@@ -312,50 +312,95 @@ func evaluateStep(ctx context.Context, sc ScenarioConfig, props core.DevicePrope
 		st.Reason = fmt.Sprintf("overload: disk utilization %.2f", st.MaxDiskUtilization)
 		return st, nil
 	}
-	variants := []struct {
-		opts    core.Options
-		out     []float64
-		backend []float64 // non-nil: also record backend-tier predictions
-	}{
-		{core.Options{}, st.Our, st.OurBE},
-		{core.Options{ODOPR: true}, st.ODOPR, nil},
-		{core.Options{WTA: core.WTANone}, st.NoWTA, nil},
-	}
-	for _, v := range variants {
-		sys, err := BuildSystemModel(sc.Sim, props, win, overlayOptions(v.opts, base))
+	// The full model's frontend view, backend view and noWTA ablation share
+	// one model build and one batched traversal of the device mixture
+	// (core.CDFBatchKindsContext); the batched noWTA view equals a model
+	// built with WTA == WTANone exactly. Only ODOPR — a genuinely different
+	// device pipeline — needs its own build.
+	if sys, err := BuildSystemModel(sc.Sim, props, win, overlayOptions(core.Options{}, base)); err != nil {
+		st.Skipped = true
+		st.Reason = err.Error()
+	} else {
+		kinds := []core.BatchKind{core.BatchFrontend, core.BatchBackend, core.BatchNoWTA}
+		grids, err := sys.CDFBatchKindsContext(ctx, kinds, sc.Sim.SLAs)
 		if err != nil {
+			if ctx.Err() != nil {
+				return st, ctx.Err()
+			}
+			// Numerical poisoning: exclude the step like an overloaded one
+			// instead of recording garbage.
 			st.Skipped = true
 			st.Reason = err.Error()
-			continue
+		} else {
+			copy(st.Our, grids[0])
+			copy(st.OurBE, grids[1])
+			copy(st.NoWTA, grids[2])
 		}
-		for i, sla := range sc.Sim.SLAs {
-			p, err := sys.CDFContext(ctx, sla)
-			if err != nil {
-				if ctx.Err() != nil {
-					return st, ctx.Err()
-				}
-				// Numerical poisoning: exclude the variant's step like an
-				// overloaded one instead of recording garbage.
-				st.Skipped = true
-				st.Reason = err.Error()
-				break
+	}
+	if sys, err := BuildSystemModel(sc.Sim, props, win, overlayOptions(core.Options{ODOPR: true}, base)); err != nil {
+		st.Skipped = true
+		st.Reason = err.Error()
+	} else {
+		ps, err := sys.CDFBatchContext(ctx, sc.Sim.SLAs)
+		if err != nil {
+			if ctx.Err() != nil {
+				return st, ctx.Err()
 			}
-			v.out[i] = p
-			if v.backend != nil {
-				be, err := sys.BackendCDFContext(ctx, sla)
-				if err != nil {
-					if ctx.Err() != nil {
-						return st, ctx.Err()
-					}
-					st.Skipped = true
-					st.Reason = err.Error()
-					break
-				}
-				v.backend[i] = be
-			}
+			st.Skipped = true
+			st.Reason = err.Error()
+		} else {
+			copy(st.ODOPR, ps)
 		}
 	}
 	return st, nil
+}
+
+// QuantileSweep returns the full model's p-quantile at every rate step of a
+// captured sweep; see QuantileSweepContext.
+func QuantileSweep(sc ScenarioConfig, data *SweepData, p float64, overlay ...core.Options) []float64 {
+	out, _ := QuantileSweepContext(context.Background(), sc, data, p, overlay...)
+	return out
+}
+
+// QuantileSweepContext evaluates the full model's p-quantile over every
+// measurement window, sequentially in rate order, warm-starting each step's
+// bracketed root search from the previous step's quantile
+// (core.SystemModel.QuantileSeededContext): adjacent operating points have
+// nearby quantiles, so each step refines an inherited bracket in a few
+// probes instead of growing a fresh one from the mean. Steps whose model
+// cannot be built or whose search fails record NaN, mirroring how
+// EvaluateSweep skips them; a context error aborts the sweep, returning the
+// partially filled result alongside it.
+func QuantileSweepContext(ctx context.Context, sc ScenarioConfig, data *SweepData, p float64, overlay ...core.Options) ([]float64, error) {
+	var base core.Options
+	if len(overlay) > 0 {
+		base = overlay[0]
+	}
+	ctx, cancel := base.EvalContext(ctx)
+	defer cancel()
+	out := nanSlice(len(data.Windows))
+	seed := 0.0
+	for i, win := range data.Windows {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		sys, err := BuildSystemModel(sc.Sim, data.Props, win, overlayOptions(core.Options{}, base))
+		if err != nil {
+			continue // overloaded or empty window: no quantile, like a skipped step
+		}
+		q, err := sys.QuantileSeededContext(ctx, p, seed)
+		if err != nil {
+			if ctx.Err() != nil {
+				return out, ctx.Err()
+			}
+			continue
+		}
+		out[i] = q
+		if q > 0 && !math.IsInf(q, 1) {
+			seed = q
+		}
+	}
+	return out, nil
 }
 
 // BuildSystemModel glues a measurement window to the analytic model: each

@@ -1,0 +1,195 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// wrap lifts an ordinary function into the probe shape.
+func wrap(f func(float64) float64, calls *int) func(float64) (float64, error) {
+	return func(x float64) (float64, error) {
+		if calls != nil {
+			*calls++
+		}
+		return f(x), nil
+	}
+}
+
+func TestBrentGuardedFindsSmoothRoot(t *testing.T) {
+	// A CDF-shaped residual: monotone, smooth, root at ln(2)/3.
+	f := func(x float64) float64 { return (1 - math.Exp(-3*x)) - 0.5 }
+	want := math.Log(2) / 3
+	calls := 0
+	got, err := BrentGuarded(wrap(f, &calls), 0, f(0), 1, f(1), 0, CDFSlack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("root = %v, want %v (|Δ| = %g)", got, want, math.Abs(got-want))
+	}
+	// False position on a smooth monotone function should converge far
+	// faster than the ~50 probes full-precision bisection would need.
+	if calls > 40 {
+		t.Errorf("smooth root took %d probes", calls)
+	}
+}
+
+func TestBrentGuardedHonorsXtol(t *testing.T) {
+	f := func(x float64) float64 { return x - 0.25 }
+	got, err := BrentGuarded(wrap(f, nil), 0, -0.25, 1, 0.75, 1e-3, CDFSlack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.25) > 1e-3 {
+		t.Errorf("root = %v outside xtol of 0.25", got)
+	}
+}
+
+func TestBrentGuardedEndpointRoots(t *testing.T) {
+	f := wrap(func(x float64) float64 { return x }, nil)
+	if got, err := BrentGuarded(f, 0, 0, 1, 1, 0, CDFSlack); err != nil || got != 0 {
+		t.Errorf("flo == 0: got %v, %v", got, err)
+	}
+	g := wrap(func(x float64) float64 { return x - 1 }, nil)
+	if got, err := BrentGuarded(g, 0, -1, 1, 0, 0, CDFSlack); err != nil || got != 1 {
+		t.Errorf("fhi == 0: got %v, %v", got, err)
+	}
+}
+
+func TestBrentGuardedNoBracket(t *testing.T) {
+	f := wrap(func(x float64) float64 { return x + 1 }, nil)
+	for _, tc := range []struct{ lo, flo, hi, fhi float64 }{
+		{0, 1, 1, 2},                 // flo positive: not a bracket
+		{0, -1, 1, -0.5},             // fhi negative: not a bracket
+		{1, -1, 0, 1},                // inverted interval
+		{0, math.NaN(), 1, 1},        // NaN endpoint value
+		{math.NaN(), -1, 1, 1},       // NaN endpoint
+		{0, -1, math.NaN(), 1},       // NaN endpoint
+		{0, math.Inf(1) * -1, 1, -1}, // -Inf flo is a bracket, but fhi < 0
+	} {
+		got, err := BrentGuarded(f, tc.lo, tc.flo, tc.hi, tc.fhi, 0, CDFSlack)
+		if !errors.Is(err, ErrNoBracket) {
+			t.Errorf("BrentGuarded(%v,%v,%v,%v): err = %v, want ErrNoBracket",
+				tc.lo, tc.flo, tc.hi, tc.fhi, err)
+		}
+		if !math.IsNaN(got) {
+			t.Errorf("no-bracket result %v, want NaN", got)
+		}
+	}
+}
+
+func TestBrentGuardedNonMonotoneGuard(t *testing.T) {
+	// A probe escaping the bracket envelope by more than slack must abort
+	// with a NonMonotoneError carrying the offending point.
+	calls := 0
+	f := func(x float64) (float64, error) {
+		calls++
+		return -0.9, nil // far below flo - slack for the bracket below
+	}
+	_, err := BrentGuarded(f, 0, -0.5, 1, 0.5, 0, 0.05)
+	var nm *NonMonotoneError
+	if !errors.As(err, &nm) {
+		t.Fatalf("err = %v, want NonMonotoneError", err)
+	}
+	if !errors.Is(err, ErrNumerical) {
+		t.Error("NonMonotoneError must unwrap to ErrNumerical")
+	}
+	if nm.F != -0.9 {
+		t.Errorf("recorded escape value %v, want -0.9", nm.F)
+	}
+	if nm.X <= 0 || nm.X >= 1 {
+		t.Errorf("recorded escape point %v outside the bracket", nm.X)
+	}
+}
+
+func TestBrentGuardedRejectsNaNProbe(t *testing.T) {
+	f := func(x float64) (float64, error) { return math.NaN(), nil }
+	_, err := BrentGuarded(f, 0, -0.5, 1, 0.5, 0, 0.05)
+	if !errors.Is(err, ErrNumerical) {
+		t.Fatalf("NaN probe: err = %v, want ErrNumerical", err)
+	}
+}
+
+func TestBrentGuardedPropagatesProbeError(t *testing.T) {
+	boom := errors.New("boom")
+	f := func(x float64) (float64, error) { return 0, boom }
+	if _, err := BrentGuarded(f, 0, -0.5, 1, 0.5, 0, 0.05); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want probe error", err)
+	}
+}
+
+func TestBrentGuardedStaircasePlateau(t *testing.T) {
+	// A staircase CDF residual: flat at -0.1 on [0, 0.7), jumping to +0.4
+	// at 0.7. Pure false position stalls against the flat side (every
+	// secant lands just past lo); the bisection safeguard must keep
+	// halving so the bracket still collapses onto the jump.
+	jump := 0.7
+	f := func(x float64) float64 {
+		if x < jump {
+			return -0.1
+		}
+		return 0.4
+	}
+	calls := 0
+	got, err := BrentGuarded(wrap(f, &calls), 0, -0.1, 1, 0.4, 1e-9, CDFSlack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-jump) > 1e-8 {
+		t.Errorf("staircase root = %v, want %v", got, jump)
+	}
+	// The safeguard bounds the probe count near bisection's: ~30 halvings
+	// reach 1e-9, with at most a constant-factor overhead from rejected
+	// interpolation steps.
+	if calls > 80 {
+		t.Errorf("staircase took %d probes; the stall safeguard is not engaging", calls)
+	}
+}
+
+func TestBrentGuardedFullPrecisionCollapse(t *testing.T) {
+	// xtol <= 0 iterates until the bracket cannot shrink in float64.
+	f := func(x float64) float64 { return x*x - 2 }
+	got, err := BrentGuarded(wrap(f, nil), 0, -2, 2, 2, 0, CDFSlack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-math.Sqrt2) > 4e-16 {
+		t.Errorf("sqrt2 = %v, want %v", got, math.Sqrt2)
+	}
+}
+
+// FuzzBrentGuarded drives the root finder with randomized monotone
+// residuals and bracket shapes: on any valid bracket of a monotone function
+// it must return a point inside [lo, hi] without error; errors are allowed
+// only as ErrNoBracket (invalid input) — never a panic or an escape.
+func FuzzBrentGuarded(f *testing.F) {
+	f.Add(1.0, 0.5, 0.0, 1.0, 1e-9)
+	f.Add(3.0, 0.1, 0.0, 10.0, 0.0)
+	f.Add(0.2, 0.99, 0.5, 2.0, 1e-6)
+	f.Fuzz(func(t *testing.T, rate, p, lo, hi, xtol float64) {
+		if !(rate > 0) || rate > 1e6 || !(p > 0) || p >= 1 {
+			t.Skip()
+		}
+		if !(lo >= 0) || !(hi > lo) || hi > 1e9 || math.IsNaN(xtol) || math.IsInf(xtol, 0) {
+			t.Skip()
+		}
+		res := func(x float64) float64 { return (1 - math.Exp(-rate*x)) - p }
+		flo, fhi := res(lo), res(hi)
+		got, err := BrentGuarded(func(x float64) (float64, error) {
+			if x < lo || x > hi {
+				t.Fatalf("probe %v escaped bracket [%v, %v]", x, lo, hi)
+			}
+			return res(x), nil
+		}, lo, flo, hi, fhi, xtol, CDFSlack)
+		if err != nil {
+			if errors.Is(err, ErrNoBracket) && (flo > 0 || fhi < 0) {
+				return // genuinely unbracketed sample
+			}
+			t.Fatalf("BrentGuarded(rate=%v, p=%v, [%v,%v]): %v", rate, p, lo, hi, err)
+		}
+		if math.IsNaN(got) || got < lo || got > hi {
+			t.Fatalf("root %v outside [%v, %v]", got, lo, hi)
+		}
+	})
+}

@@ -69,20 +69,19 @@ func (e *Engine) PredictCodedContext(ctx context.Context, spec CodedReadSpec, sl
 			return nil, fmt.Errorf("%w: SLA %v must be positive and finite", ErrBadQuery, s)
 		}
 	}
-	ms, err := e.state.snapshot()
+	ms, key, err := e.state.snapshotKeyed()
 	if err != nil {
 		return nil, err
 	}
 	ctx, cancel := e.cfg.Opts.EvalContext(ctx)
 	defer cancel()
-	key := opKey(ms)
+	v, cached, err := e.evaluateBatch(ctx, ms, gridKey(key, spec.cacheKey(), slas), slas, &spec)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Prediction, len(slas))
 	for i, sla := range slas {
-		v, cached, err := e.evaluateCoded(ctx, ms, key, spec, sla, 1)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = Prediction{SLA: sla, MeetRatio: v.p, Saturated: v.saturated, Cached: cached}
+		out[i] = Prediction{SLA: sla, MeetRatio: v.ps[i], Saturated: v.saturated, Cached: cached}
 	}
 	return out, nil
 }
@@ -128,13 +127,19 @@ func (e *Engine) evaluateCoded(ctx context.Context, ms []core.OnlineMetrics, key
 func (e *Engine) buildCodedModel(ms []core.OnlineMetrics, spec CodedReadSpec, factor float64) (*core.SystemModel, error) {
 	props := e.Props()
 	devs := make([]*core.DeviceModel, 0, len(ms))
+	built := make(map[core.OnlineMetrics]*core.DeviceModel, len(ms))
 	total := 0.0
 	for _, m := range ms {
 		m.Rate *= factor
 		m.DataRate *= factor
-		dm, err := core.NewDeviceModel(props, m, e.cfg.Opts)
-		if err != nil {
-			return nil, err
+		dm := built[m]
+		if dm == nil {
+			var err error
+			dm, err = core.NewDeviceModel(props, m, e.cfg.Opts)
+			if err != nil {
+				return nil, err
+			}
+			built[m] = dm
 		}
 		devs = append(devs, dm)
 		total += m.Rate
@@ -166,13 +171,12 @@ func (e *Engine) AdviseCodedContext(ctx context.Context, spec CodedReadSpec, sla
 	if !(target > 0) || target > 1 {
 		return Advice{}, fmt.Errorf("%w: target %v outside (0,1]", ErrBadQuery, target)
 	}
-	ms, err := e.state.snapshot()
+	ms, key, err := e.state.snapshotKeyed()
 	if err != nil {
 		return Advice{}, err
 	}
 	ctx, cancel := e.cfg.Opts.EvalContext(ctx)
 	defer cancel()
-	key := opKey(ms)
 	current := 0.0
 	for _, m := range ms {
 		current += m.Rate
@@ -185,18 +189,21 @@ func (e *Engine) AdviseCodedContext(ctx context.Context, spec CodedReadSpec, sla
 	}
 	adv.CurrentMeetRatio = cur.p
 	adv.Saturated = cur.saturated
-	meets := func(ctx context.Context, rate float64) (bool, error) {
+	margin := func(ctx context.Context, rate float64) (float64, bool, error) {
 		v, _, err := e.evaluateCoded(ctx, ms, key, spec, sla, rate/current)
 		switch {
 		case err == nil:
-			return !v.saturated && v.p >= target, nil
+			if v.saturated {
+				return 0, false, nil
+			}
+			return v.p - target, true, nil
 		case isContextErr(err) || errors.Is(err, numeric.ErrNumerical):
-			return false, err
+			return 0, false, err
 		default:
-			return false, nil
+			return 0, false, nil
 		}
 	}
-	maxRate, err := core.MaxRateWhereContext(ctx, meets, current/64, current/200)
+	maxRate, err := core.MaxRateWhereValueContext(ctx, margin, current/64, current/200)
 	if err != nil {
 		return Advice{}, err
 	}

@@ -319,22 +319,82 @@ func (e *Engine) PredictContext(ctx context.Context, slas []float64) ([]Predicti
 			return nil, fmt.Errorf("%w: SLA %v must be positive and finite", ErrBadQuery, s)
 		}
 	}
-	ms, err := e.state.snapshot()
+	ms, key, err := e.state.snapshotKeyed()
 	if err != nil {
 		return nil, err
 	}
 	ctx, cancel := e.cfg.Opts.EvalContext(ctx)
 	defer cancel()
-	key := opKey(ms)
+	v, cached, err := e.evaluateBatch(ctx, ms, gridKey(key, "", slas), slas, nil)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Prediction, len(slas))
 	for i, sla := range slas {
-		v, cached, err := e.evaluate(ctx, ms, key, sla, 1)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = Prediction{SLA: sla, MeetRatio: v.p, Saturated: v.saturated, Cached: cached}
+		out[i] = Prediction{SLA: sla, MeetRatio: v.ps[i], Saturated: v.saturated, Cached: cached}
 	}
 	return out, nil
+}
+
+// gridKey is the memo key of a whole-SLA-grid evaluation at factor 1:
+// the operating-point key, an optional query-shape suffix (coded stripe)
+// and the quantized SLA list.
+func gridKey(key, suffix string, slas []float64) string {
+	var b strings.Builder
+	b.WriteString(key)
+	b.WriteString(suffix)
+	b.WriteString("|slas=")
+	for i, s := range slas {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(quantStr(s))
+	}
+	return b.String()
+}
+
+// evaluateBatch answers one (operating point, SLA grid) query through the
+// cache: a miss builds the model once and evaluates every SLA in a single
+// batched traversal of the device mixture (CDFBatchContext, or the
+// coded-read batch when coded is non-nil). A saturated operating point
+// caches an all-zero grid. The prediction and saturation counters advance
+// by the grid size, preserving the per-SLA metric semantics of the scalar
+// path.
+func (e *Engine) evaluateBatch(ctx context.Context, ms []core.OnlineMetrics, ck string, slas []float64, coded *CodedReadSpec) (cachedValue, bool, error) {
+	v, cached, err := e.cache.do(ctx, ck, func(ctx context.Context) (cachedValue, error) {
+		var (
+			sys *core.SystemModel
+			err error
+		)
+		if coded != nil {
+			sys, err = e.buildCodedModel(ms, *coded, 1)
+		} else {
+			sys, err = e.buildModel(ms, 1)
+		}
+		if errors.Is(err, core.ErrOverload) {
+			return cachedValue{saturated: true, ps: make([]float64, len(slas))}, nil
+		}
+		if err != nil {
+			return cachedValue{}, err
+		}
+		var ps []float64
+		if coded != nil {
+			ps, err = sys.CodedCDFBatchContext(ctx, coded.spec(), slas)
+		} else {
+			ps, err = sys.CDFBatchContext(ctx, slas)
+		}
+		if err != nil {
+			return cachedValue{}, err
+		}
+		return cachedValue{ps: ps}, nil
+	})
+	if err == nil {
+		e.predictions.Add(uint64(len(slas)))
+		if v.saturated {
+			e.saturations.Add(uint64(len(slas)))
+		}
+	}
+	return v, cached, err
 }
 
 // evaluate answers one (operating point, SLA) query through the cache,
@@ -372,17 +432,26 @@ func (e *Engine) evaluate(ctx context.Context, ms []core.OnlineMetrics, key stri
 // device's rates scaled by factor. The cold path (a cache miss) inherits
 // cfg.Opts wholesale, so the model's device-parallel evaluation engine and
 // its worker budget (core.Options.Workers) apply to every uncached
-// prediction and admission probe.
+// prediction and admission probe. Devices with identical (scaled) metrics
+// share one DeviceModel: the system mixture deduplicates by model pointer,
+// so a fleet of N lookalike devices collapses to one evaluation group with
+// N times the weight instead of N identical transform inversions.
 func (e *Engine) buildModel(ms []core.OnlineMetrics, factor float64) (*core.SystemModel, error) {
 	props := e.Props()
 	devs := make([]*core.DeviceModel, 0, len(ms))
+	built := make(map[core.OnlineMetrics]*core.DeviceModel, len(ms))
 	total := 0.0
 	for _, m := range ms {
 		m.Rate *= factor
 		m.DataRate *= factor
-		dm, err := core.NewDeviceModel(props, m, e.cfg.Opts)
-		if err != nil {
-			return nil, err
+		dm := built[m]
+		if dm == nil {
+			var err error
+			dm, err = core.NewDeviceModel(props, m, e.cfg.Opts)
+			if err != nil {
+				return nil, err
+			}
+			built[m] = dm
 		}
 		devs = append(devs, dm)
 		total += m.Rate
@@ -443,13 +512,12 @@ func (e *Engine) AdviseContext(ctx context.Context, sla, target float64) (Advice
 	if !(target > 0) || target > 1 {
 		return Advice{}, fmt.Errorf("%w: target %v outside (0,1]", ErrBadQuery, target)
 	}
-	ms, err := e.state.snapshot()
+	ms, key, err := e.state.snapshotKeyed()
 	if err != nil {
 		return Advice{}, err
 	}
 	ctx, cancel := e.cfg.Opts.EvalContext(ctx)
 	defer cancel()
-	key := opKey(ms)
 	current := 0.0
 	for _, m := range ms {
 		current += m.Rate
@@ -461,23 +529,28 @@ func (e *Engine) AdviseContext(ctx context.Context, sla, target float64) (Advice
 	}
 	adv.CurrentMeetRatio = cur.p
 	adv.Saturated = cur.saturated
-	meets := func(ctx context.Context, rate float64) (bool, error) {
+	margin := func(ctx context.Context, rate float64) (float64, bool, error) {
 		v, _, err := e.evaluate(ctx, ms, key, sla, rate/current)
 		switch {
 		case err == nil:
-			return !v.saturated && v.p >= target, nil
+			if v.saturated {
+				return 0, false, nil
+			}
+			return v.p - target, true, nil
 		case isContextErr(err) || errors.Is(err, numeric.ErrNumerical):
-			return false, err
+			return 0, false, err
 		default:
 			// A model-construction failure at an extreme probe point
 			// (ErrBadParams from a degenerate scaled rate) bounds the
 			// search like overload does.
-			return false, nil
+			return 0, false, nil
 		}
 	}
 	// Resolve the threshold to ~0.5% of the current rate; quantization
-	// below that would alias probe points anyway.
-	maxRate, err := core.MaxRateWhereContext(ctx, meets, current/64, current/200)
+	// below that would alias probe points anyway. The margin-aware search
+	// interpolates on how far the prediction sits from the target, so a
+	// smooth compliance curve needs far fewer probes than blind bisection.
+	maxRate, err := core.MaxRateWhereValueContext(ctx, margin, current/64, current/200)
 	if err != nil {
 		return Advice{}, err
 	}

@@ -10,9 +10,13 @@ import (
 // cachedValue is one memoized prediction: the fraction of requests meeting
 // an SLA at a quantized operating point, or the fact that the operating
 // point is saturated (core.ErrOverload — a legitimate, cacheable answer).
+// Grid entries (whole-SLA-list evaluations, see Engine.evaluateBatch) carry
+// the per-SLA fractions in ps instead of p; the two shapes live under
+// disjoint cache keys.
 type cachedValue struct {
 	p         float64
 	saturated bool
+	ps        []float64
 }
 
 // modelCache memoizes predictions keyed by quantized operating point. It

@@ -157,6 +157,16 @@ type stateTable struct {
 	devices    []deviceWindow
 	lastIngest time.Time
 	ingested   uint64 // observations accepted
+
+	// Snapshot memo: the derived metrics and their quantized operating-point
+	// key are pure functions of the ingest history, so between ingests every
+	// query can reuse one immutable slice instead of re-deriving both.
+	snapMu    sync.Mutex
+	snapValid bool
+	snapRev   uint64 // ingested revision the memo was derived from
+	snapMS    []core.OnlineMetrics
+	snapKey   string
+	snapErr   error
 }
 
 func newStateTable(cfg *Config) *stateTable {
@@ -217,6 +227,27 @@ func (t *stateTable) snapshot() ([]core.OnlineMetrics, error) {
 		return nil, ErrNotReady
 	}
 	return out, nil
+}
+
+// snapshotKeyed returns the current per-device metrics together with their
+// quantized operating-point key (opKey), memoized on the ingest revision:
+// repeated queries at a stable operating point share one derivation and one
+// key string. Callers must treat the returned slice as immutable.
+func (t *stateTable) snapshotKeyed() ([]core.OnlineMetrics, string, error) {
+	t.mu.RLock()
+	rev := t.ingested
+	t.mu.RUnlock()
+	t.snapMu.Lock()
+	defer t.snapMu.Unlock()
+	if !t.snapValid || t.snapRev != rev {
+		t.snapMS, t.snapErr = t.snapshot()
+		t.snapKey = ""
+		if t.snapErr == nil {
+			t.snapKey = opKey(t.snapMS)
+		}
+		t.snapRev, t.snapValid = rev, true
+	}
+	return t.snapMS, t.snapKey, t.snapErr
 }
 
 // observedLatency merges the windowed latency histograms of all devices
