@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-verify bench-smoke fuzz-smoke chaos tidy
+.PHONY: check fmt vet build test race bench bench-verify bench-smoke fuzz-smoke chaos chaos-cluster tidy
 
 check: fmt vet build race bench-verify bench-smoke fuzz-smoke
 
@@ -36,7 +36,7 @@ bench:
 # drifted from its canonical file (e.g. results/ was regenerated without
 # re-running bench-smoke's copy step).
 bench-verify:
-	@for f in BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json; do \
+	@for f in BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json; do \
 		if [ -f "$$f" ] && ! cmp -s "results/$$f" "$$f"; then \
 			echo "bench artifact drift: $$f differs from canonical results/$$f (run make bench-smoke)"; \
 			exit 1; \
@@ -46,36 +46,50 @@ bench-verify:
 # Smoke-run the headline benchmarks (one iteration each) and write every
 # bench artifact under results/: the engine speedup (BENCH_PR2.json), the
 # calibration refresh latency (BENCH_PR4.json), the observability overhead
-# (BENCH_PR5.json), the coded-predict cost (BENCH_PR6.json) and the batched
-# evaluation engine (BENCH_PR7.json). The current PRs' artifacts are
-# mirrored at the repo root for reviewers.
+# (BENCH_PR5.json), the coded-predict cost (BENCH_PR6.json), the batched
+# evaluation engine (BENCH_PR7.json) and the cluster fan-out overhead
+# (BENCH_PR8.json). The current PRs' artifacts are mirrored at the repo
+# root for reviewers.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'Fig6|ServePredictColdVsCached|CodedPredict|CDFBatch' -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'Fig6|ServePredictColdVsCached|CodedPredict|CDFBatch|RouterFanOut' -benchtime=1x .
 	COSMODEL_BENCH_SMOKE=1 $(GO) test \
-		-run 'TestBenchSmokeArtifact|TestBenchSmokeCalibration|TestBenchSmokeObservability|TestBenchSmokeCoded|TestBenchSmokeBatched' .
+		-run 'TestBenchSmokeArtifact|TestBenchSmokeCalibration|TestBenchSmokeObservability|TestBenchSmokeCoded|TestBenchSmokeBatched|TestBenchSmokeCluster' .
 	cp results/BENCH_PR4.json BENCH_PR4.json
 	cp results/BENCH_PR5.json BENCH_PR5.json
 	cp results/BENCH_PR6.json BENCH_PR6.json
 	cp results/BENCH_PR7.json BENCH_PR7.json
+	cp results/BENCH_PR8.json BENCH_PR8.json
 
 # Short native-fuzzing runs over the HTTP request parsers, the histogram
-# invariants, the k-of-n order-statistic combinator and the guarded root
-# finder: enough to catch regressions in the strict decoder, the
-# quantile/bucket arithmetic, the coded-read CDF bounds and the bracketed
-# search invariants without turning check into a soak.
+# invariants, the k-of-n order-statistic combinator, the guarded root
+# finder and the router's partial-CDF merge: enough to catch regressions in
+# the strict decoder, the quantile/bucket arithmetic, the coded-read CDF
+# bounds, the bracketed search invariants and the cluster merge invariants
+# (outputs in [0,1], monotone, single-shard passthrough) without turning
+# check into a soak.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeStrict$$' -fuzztime=10s ./internal/serve
 	$(GO) test -run '^$$' -fuzz '^FuzzParseFloats$$' -fuzztime=10s ./internal/serve
 	$(GO) test -run '^$$' -fuzz '^FuzzHistogramInvariants$$' -fuzztime=10s ./internal/stats
 	$(GO) test -run '^$$' -fuzz '^FuzzOrderStatisticCDF$$' -fuzztime=10s ./internal/coscode
 	$(GO) test -run '^$$' -fuzz '^FuzzBrentGuarded$$' -fuzztime=10s ./internal/numeric
+	$(GO) test -run '^$$' -fuzz '^FuzzPartialMerge$$' -fuzztime=10s ./internal/cluster
 
 # Repeated race-enabled runs of the fault-injection and cancellation suites:
 # the tests that depend on goroutine interleavings get three chances to flake.
 chaos:
 	$(GO) test -race -count=3 \
 		-run 'Fault|Chaos|Cancel|Panic|SlowLoris|Graceful|Shed|Timeout|Fallback|Context' \
-		./internal/serve ./internal/parallel ./internal/core ./internal/numeric
+		./internal/serve ./internal/parallel ./internal/core ./internal/numeric ./internal/cluster
+
+# Cluster fault injection: drive the sharded tier with simulator-measured
+# traffic, kill a shard node mid-sweep and require the surviving replica to
+# keep clearing the paper's MAE bar, flag degradation and rejoin in place;
+# plus the router's loss, quorum and gossip suites.
+chaos-cluster:
+	$(GO) test -race -count=1 \
+		-run 'ChaosCluster|RouterSurvives|RouterLostDevices|RouterNoQuorum|RouterIngestRejected|GenerationGossip' \
+		./internal/cluster
 
 tidy:
 	gofmt -w .

@@ -4,6 +4,7 @@ import (
 	"net/http"
 
 	"cosmodel/internal/calib"
+	"cosmodel/internal/cluster"
 	"cosmodel/internal/core"
 	"cosmodel/internal/coscode"
 	"cosmodel/internal/dist"
@@ -11,6 +12,7 @@ import (
 	"cosmodel/internal/numeric"
 	"cosmodel/internal/obs"
 	"cosmodel/internal/parallel"
+	"cosmodel/internal/retry"
 	"cosmodel/internal/serve"
 	"cosmodel/internal/simstore"
 	"cosmodel/internal/stats"
@@ -151,8 +153,9 @@ type (
 	// ServeEngine is the concurrent, memoizing prediction engine.
 	ServeEngine = serve.Engine
 	// ServeObservation is one interval of per-device measurements — the
-	// /ingest wire format.
-	ServeObservation = serve.Observation
+	// /ingest wire format — and ServeIngestRequest the batch envelope.
+	ServeObservation   = serve.Observation
+	ServeIngestRequest = serve.IngestRequest
 	// ServePrediction is the answer for one SLA bound.
 	ServePrediction = serve.Prediction
 	// ServeAdvice is the /advise admission-control answer.
@@ -192,6 +195,71 @@ type ServeHTTPTimeouts = serve.HTTPTimeouts
 
 // DefaultServeHTTPTimeouts returns the production limits.
 var DefaultServeHTTPTimeouts = serve.DefaultHTTPTimeouts
+
+// ---------------------------------------------------------------------------
+// Sharded serving tier (cmd/cosrouter); see internal/cluster.
+
+type (
+	// ClusterConfig configures the router of a sharded, replicated serving
+	// tier: shard node URLs, replication factor, ring layout, health
+	// probing, hedging and retry policy.
+	ClusterConfig = cluster.Config
+	// ClusterRouter is the stateless fan-out router in front of shard-mode
+	// cosserve instances.
+	ClusterRouter = cluster.Router
+	// ClusterTopology maps storage devices to replica chains over the
+	// consistent-hash ring.
+	ClusterTopology = cluster.Topology
+	// ClusterPartial is one shard's partial CDF evaluation and
+	// ClusterMerged the exact rate-weighted merge across shards.
+	ClusterPartial = cluster.Partial
+	ClusterMerged  = cluster.Merged
+	// ClusterPredictResponse and ClusterAdviceResponse are the router's
+	// /predict and /advise wire formats (the serve formats plus
+	// degradation metadata).
+	ClusterPredictResponse = cluster.PredictResponse
+	ClusterAdviceResponse  = cluster.AdviceResponse
+	// ShardPartialRequest/Response are the cluster-internal /shard/partial
+	// wire formats served by cosserve -shard.
+	ShardPartialRequest  = serve.PartialRequest
+	ShardPartialResponse = serve.PartialResponse
+)
+
+var (
+	// NewClusterRouter builds a router over shard nodes.
+	NewClusterRouter = cluster.NewRouter
+	// DefaultClusterConfig returns routing defaults for a node list and
+	// deployment size.
+	DefaultClusterConfig = cluster.DefaultConfig
+	// NewClusterTopology builds just the device-to-chain mapping.
+	NewClusterTopology = cluster.NewTopology
+	// MergeClusterPartials merges per-shard partial evaluations into the
+	// tier-wide mixture CDF with degradation bounds.
+	MergeClusterPartials = cluster.MergePartials
+	// ErrClusterBadConfig marks invalid router configurations or poisoned
+	// partials; ErrClusterNoQuorum means no shard could answer.
+	ErrClusterBadConfig = cluster.ErrBadConfig
+	ErrClusterNoQuorum  = cluster.ErrNoQuorum
+)
+
+// ---------------------------------------------------------------------------
+// Retrying (internal/retry): capped exponential backoff with jitter.
+
+type (
+	// RetryPolicy is a bounded exponential-backoff-with-jitter retry loop.
+	RetryPolicy = retry.Policy
+)
+
+var (
+	// DefaultRetryPolicy returns the standard 4-attempt policy.
+	DefaultRetryPolicy = retry.DefaultPolicy
+	// RetryPermanent marks an error as not worth retrying; RetryAfter
+	// carries a server-mandated minimum wait (e.g. a Retry-After hint,
+	// parsed by HTTPRetryAfter).
+	RetryPermanent = retry.Permanent
+	RetryAfter     = retry.After
+	HTTPRetryAfter = retry.HTTPRetryAfter
+)
 
 // ---------------------------------------------------------------------------
 // Observability; see internal/obs.

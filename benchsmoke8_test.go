@@ -1,0 +1,233 @@
+// Bench-smoke artifact for the sharded serving tier: what the cosrouter
+// fan-out costs over a single cosserve answering the same /predict from one
+// process, plus the dual-write ingest cost and the steady-state failover
+// path with a shard node down. Written to results/BENCH_PR8.json; gated
+// behind COSMODEL_BENCH_SMOKE=1 like the other artifacts.
+package cosmodel_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"cosmodel"
+)
+
+type clusterSmokeReport struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	Nodes      int `json:"nodes"`
+	Replicas   int `json:"replicas"`
+	Devices    int `json:"devices"`
+	SLAs       int `json:"slas"`
+	// SingleCachedNs is a lone cosserve answering a cached /predict over
+	// loopback HTTP — the no-cluster baseline including transport.
+	SingleCachedNs int64 `json:"single_cached_ns"`
+	// RouterCachedNs is the same query through the router: fan-out to the
+	// shard owners, per-shard cached partials, exact merge.
+	RouterCachedNs int64 `json:"router_cached_ns"`
+	// RouterFailoverNs is the router's steady state with one node down
+	// (marked down after the first strike, so the chain skips it).
+	RouterFailoverNs int64 `json:"router_failover_ns"`
+	// IngestFanoutNs is one dual-written observation batch through the
+	// router; SingleIngestNs the same batch into the lone cosserve.
+	SingleIngestNs int64 `json:"single_ingest_ns"`
+	IngestFanoutNs int64 `json:"ingest_fanout_ns"`
+	// FanoutOverhead ratios the router's cached predict over the single
+	// server's: the price of surviving shard loss.
+	FanoutOverhead float64 `json:"fanout_overhead"`
+}
+
+// clusterSmokeProps mirrors the operating point of the earlier artifacts.
+func clusterSmokeProps() cosmodel.DeviceProperties {
+	return cosmodel.DeviceProperties{
+		IndexDisk: cosmodel.NewGammaMeanSCV(9e-3, 0.45),
+		MetaDisk:  cosmodel.NewGammaMeanSCV(6e-3, 0.50),
+		DataDisk:  cosmodel.NewGammaMeanSCV(8e-3, 0.40),
+		ParseFE:   cosmodel.Degenerate{Value: 0.3e-3},
+		ParseBE:   cosmodel.Degenerate{Value: 0.5e-3},
+	}
+}
+
+func clusterSmokeBatch(devices int) []cosmodel.ServeObservation {
+	batch := make([]cosmodel.ServeObservation, devices)
+	for d := range batch {
+		batch[d] = cosmodel.ServeObservation{
+			Device: d, Interval: 10, Requests: 400 + 100*uint64(d), DataReads: 600,
+			IndexHits: 700, IndexMisses: 300,
+			MetaHits: 650, MetaMisses: 350,
+			DataHits: 500, DataMisses: 500,
+			DiskBusy: 8, DiskOps: 1000,
+		}
+	}
+	return batch
+}
+
+// smokeTier spins a single-server baseline and a 3-node sharded tier over
+// loopback HTTP; returns the two base URLs, the shard server handles and a
+// teardown.
+func smokeTier(fatal func(...any), devices int) (single, router string, shardSrvs []*httptest.Server, done func()) {
+	var closers []func()
+	cfg := cosmodel.DefaultServeConfig(clusterSmokeProps(), devices)
+	srv, err := cosmodel.NewServeServer(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	ss := httptest.NewServer(srv.Handler())
+	closers = append(closers, ss.Close)
+
+	const nodes = 3
+	urls := make([]string, nodes)
+	for i := 0; i < nodes; i++ {
+		scfg := cosmodel.DefaultServeConfig(clusterSmokeProps(), devices)
+		scfg.ShardMode = true
+		shard, err := cosmodel.NewServeServer(scfg)
+		if err != nil {
+			fatal(err)
+		}
+		hs := httptest.NewServer(shard.Handler())
+		closers = append(closers, hs.Close)
+		shardSrvs = append(shardSrvs, hs)
+		urls[i] = hs.URL
+	}
+	ccfg := cosmodel.DefaultClusterConfig(urls, devices)
+	ccfg.ProbeInterval = 0 // no background prober in the measurement
+	ccfg.FailThreshold = 1
+	ccfg.Retry = cosmodel.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond,
+		MaxDelay: 5 * time.Millisecond, Multiplier: 2}
+	rt, err := cosmodel.NewClusterRouter(ccfg)
+	if err != nil {
+		fatal(err)
+	}
+	rs := httptest.NewServer(rt.Handler())
+	closers = append(closers, rs.Close, rt.Close)
+	return ss.URL, rs.URL, shardSrvs, func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+}
+
+func smokePost(fatal func(...any), url string, body any) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("POST %s: %d %s", url, resp.StatusCode, b))
+	}
+}
+
+func smokeGet(fatal func(...any), url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("GET %s: %d %s", url, resp.StatusCode, b))
+	}
+}
+
+// BenchmarkRouterFanOut measures the cached /predict through the sharded
+// tier against the single-server baseline, same operating point, both over
+// loopback HTTP.
+func BenchmarkRouterFanOut(b *testing.B) {
+	const devices = 4
+	fatal := func(args ...any) { b.Fatal(args...) }
+	single, router, _, done := smokeTier(fatal, devices)
+	defer done()
+	req := cosmodel.ServeIngestRequest{Observations: clusterSmokeBatch(devices)}
+	smokePost(fatal, single+"/ingest", req)
+	smokePost(fatal, router+"/ingest", req)
+	smokeGet(fatal, single+"/predict") // warm both caches
+	smokeGet(fatal, router+"/predict")
+	b.Run("single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			smokeGet(fatal, single+"/predict")
+		}
+	})
+	b.Run("router", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			smokeGet(fatal, router+"/predict")
+		}
+	})
+}
+
+// TestBenchSmokeCluster measures the sharded tier end to end and writes the
+// PR's bench artifact.
+func TestBenchSmokeCluster(t *testing.T) {
+	if os.Getenv("COSMODEL_BENCH_SMOKE") == "" {
+		t.Skip("set COSMODEL_BENCH_SMOKE=1 to produce results/BENCH_PR8.json")
+	}
+	const devices = 4
+	fatal := func(args ...any) { t.Fatal(args...) }
+	single, router, shardSrvs, done := smokeTier(fatal, devices)
+	defer done()
+	req := cosmodel.ServeIngestRequest{Observations: clusterSmokeBatch(devices)}
+	smokePost(fatal, single+"/ingest", req)
+	smokePost(fatal, router+"/ingest", req)
+	smokeGet(fatal, single+"/predict") // warm both caches
+	smokeGet(fatal, router+"/predict")
+
+	rep := clusterSmokeReport{
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Nodes:          len(shardSrvs),
+		Replicas:       2,
+		Devices:        devices,
+		SLAs:           3,
+		SingleCachedNs: best(30, func(int) { smokeGet(fatal, single+"/predict") }),
+		RouterCachedNs: best(30, func(int) { smokeGet(fatal, router+"/predict") }),
+		SingleIngestNs: best(20, func(int) { smokePost(fatal, single+"/ingest", req) }),
+		IngestFanoutNs: best(20, func(int) { smokePost(fatal, router+"/ingest", req) }),
+	}
+
+	// Kill one shard node for real (connection refused) and measure the
+	// steady state: the first strike marks it down, after which the fan-out
+	// goes straight to the warm standby.
+	shardSrvs[0].Close()
+	smokeGet(fatal, router+"/predict") // absorb the strike
+	rep.RouterFailoverNs = best(30, func(int) { smokeGet(fatal, router+"/predict") })
+	rep.FanoutOverhead = float64(rep.RouterCachedNs) / float64(rep.SingleCachedNs)
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("results", "BENCH_PR8.json")
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("single cached %s, router cached %s (%.1fx), failover steady state %s; ingest single %s, dual-write %s -> %s",
+		time.Duration(rep.SingleCachedNs), time.Duration(rep.RouterCachedNs), rep.FanoutOverhead,
+		time.Duration(rep.RouterFailoverNs),
+		time.Duration(rep.SingleIngestNs), time.Duration(rep.IngestFanoutNs), path)
+
+	// Acceptance bars: a cached fan-out answer in under 5ms on loopback,
+	// and the degraded steady state no worse than 3x the healthy fan-out
+	// (the down node is skipped, not retried, on every query).
+	if rep.RouterCachedNs > 5_000_000 {
+		t.Errorf("cached fan-out predict %s, want < 5ms", time.Duration(rep.RouterCachedNs))
+	}
+	if rep.RouterFailoverNs > 3*rep.RouterCachedNs {
+		t.Errorf("failover steady state %s over 3x the healthy fan-out %s",
+			time.Duration(rep.RouterFailoverNs), time.Duration(rep.RouterCachedNs))
+	}
+}

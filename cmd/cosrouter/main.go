@@ -1,0 +1,140 @@
+// Command cosrouter fronts a sharded, replicated tier of shard-mode cosserve
+// instances (cosserve -shard). Monitoring agents POST observations to the
+// router's /ingest, which dual-writes each device's batch to every replica of
+// its shard; /predict and /advise fan out to the shard owners, evaluate
+// partial CDFs in parallel and merge them into the exact tier-wide mixture
+// answer. The router holds no model state: any number of routers can front
+// the same shards, and a restarted router is serving at full fidelity as soon
+// as its rate window refills.
+//
+// Robustness: shard calls retry with capped exponential backoff and honor
+// Retry-After on shed; slow replicas are hedged to the warm standby after
+// -hedge; a health prober marks nodes down after -fail-threshold consecutive
+// failures and revives them on the first successful probe, no restart needed.
+// When a device's whole replica chain is down the router keeps answering from
+// the surviving shards, renormalized, with `degraded: true`, the lost devices
+// named and the confidence interval widened over their traffic share.
+//
+// Usage:
+//
+//	cosrouter -addr :8090 -nodes http://s1:8080,http://s2:8080,http://s3:8080 \
+//	    -devices 4 -replicas 2 -slas 10ms,50ms,100ms
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cosmodel"
+)
+
+func main() {
+	cfg, run, err := configure(os.Args[1:])
+	if err != nil {
+		fatal(err)
+	}
+	router, err := cosmodel.NewClusterRouter(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	router.Start()
+	defer router.Close()
+	fmt.Printf("cosrouter: %d shard nodes x %d replicas, %d partitions, %d devices, SLAs %v\n",
+		len(cfg.Nodes), cfg.Replicas, cfg.Partitions, cfg.Devices, cfg.SLAs)
+	fmt.Printf("cosrouter: hedge %s, probe %s, fail threshold %d\n",
+		cfg.HedgeDelay, cfg.ProbeInterval, cfg.FailThreshold)
+	fmt.Printf("cosrouter: listening on %s\n", run.addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hs := cosmodel.NewServeHTTPServer(run.addr, router.Handler())
+	err = cosmodel.ListenAndServeGraceful(ctx, hs, run.grace)
+	switch {
+	case err == nil:
+		fmt.Println("cosrouter: drained cleanly, bye")
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintln(os.Stderr, "cosrouter: shutdown grace expired with requests still in flight")
+		os.Exit(1)
+	default:
+		fatal(err)
+	}
+}
+
+type runOptions struct {
+	addr  string
+	grace time.Duration
+}
+
+// configure parses flags into a router configuration; split from main so
+// tests can exercise it without binding a socket.
+func configure(args []string) (cosmodel.ClusterConfig, runOptions, error) {
+	fs := flag.NewFlagSet("cosrouter", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8090", "listen address")
+		nodes    = fs.String("nodes", "", "comma-separated shard base URLs (cosserve -shard instances)")
+		devices  = fs.Int("devices", 4, "storage devices in the deployment")
+		replicas = fs.Int("replicas", 2, "replica-chain length per shard (primary + warm standbys)")
+		parts    = fs.Int("partitions", 64, "consistent-hash ring partitions (power of two)")
+		seed     = fs.Int64("seed", 0, "ring assignment seed")
+		slas     = fs.String("slas", "10ms,50ms,100ms", "comma-separated default SLA bounds")
+		window   = fs.Duration("window", time.Minute, "rate-tracking window span (match the shards' -window)")
+		hedge    = fs.Duration("hedge", 25*time.Millisecond, "delay before hedging a shard call to the standby (0 = no hedging)")
+		probe    = fs.Duration("probe", time.Second, "health-probe period")
+		failTh   = fs.Int("fail-threshold", 2, "consecutive failures before a shard is marked down")
+		inflight = fs.Int("max-inflight", 64, "concurrent fan-out queries before shedding with 503")
+		grace    = fs.Duration("shutdown-grace", 15*time.Second, "drain time for in-flight requests on SIGINT/SIGTERM")
+	)
+	if err := fs.Parse(args); err != nil {
+		return cosmodel.ClusterConfig{}, runOptions{}, err
+	}
+	var urls []string
+	for _, n := range strings.Split(*nodes, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			urls = append(urls, n)
+		}
+	}
+	if len(urls) == 0 {
+		return cosmodel.ClusterConfig{}, runOptions{}, fmt.Errorf("cosrouter: -nodes is required")
+	}
+	cfg := cosmodel.DefaultClusterConfig(urls, *devices)
+	cfg.Replicas = *replicas
+	cfg.Partitions = *parts
+	cfg.Seed = *seed
+	cfg.Window = window.Seconds()
+	cfg.HedgeDelay = *hedge
+	cfg.ProbeInterval = *probe
+	cfg.FailThreshold = *failTh
+	cfg.MaxInflight = *inflight
+	var err error
+	if cfg.SLAs, err = parseSLAs(*slas); err != nil {
+		return cosmodel.ClusterConfig{}, runOptions{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return cosmodel.ClusterConfig{}, runOptions{}, err
+	}
+	return cfg, runOptions{addr: *addr, grace: *grace}, nil
+}
+
+func parseSLAs(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		d, err := time.ParseDuration(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad SLA %q: %w", part, err)
+		}
+		out = append(out, d.Seconds())
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cosrouter:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestConfigureDefaults(t *testing.T) {
+	cfg, run, err := configure([]string{
+		"-nodes", "http://a:8080, http://b:8080,http://c:8080",
+		"-devices", "8",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Nodes) != 3 || cfg.Nodes[1] != "http://b:8080" {
+		t.Errorf("nodes parsed as %v", cfg.Nodes)
+	}
+	if cfg.Devices != 8 || cfg.Replicas != 2 || cfg.Partitions != 64 {
+		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+	want := []float64{0.010, 0.050, 0.100}
+	for i, s := range cfg.SLAs {
+		if s != want[i] {
+			t.Errorf("SLAs %v, want %v", cfg.SLAs, want)
+			break
+		}
+	}
+	if run.addr != ":8090" || run.grace != 15*time.Second {
+		t.Errorf("run options %+v", run)
+	}
+}
+
+func TestConfigureRejectsBadInput(t *testing.T) {
+	cases := [][]string{
+		{}, // no nodes
+		{"-nodes", "http://a:8080", "-replicas", "3"}, // replicas > nodes
+		{"-nodes", "http://a:8080,http://b:8080", "-slas", "nonsense"},
+		{"-nodes", "http://a:8080,http://b:8080", "-partitions", "33"},
+		{"-nodes", "http://a:8080,http://b:8080", "-devices", "0"},
+	}
+	for i, args := range cases {
+		if _, _, err := configure(args); err == nil {
+			t.Errorf("case %d (%v): no error", i, args)
+		}
+	}
+}

@@ -90,6 +90,7 @@ func configure(args []string) (cosmodel.ServeConfig, runOptions, error) {
 		cacheN   = fs.Int("cache-entries", 4096, "memoized predictions kept")
 		evalTO   = fs.Duration("eval-timeout", 10*time.Second, "per-query model evaluation budget (0 = unbounded)")
 		grace    = fs.Duration("shutdown-grace", 15*time.Second, "drain time for in-flight requests on SIGINT/SIGTERM")
+		shard    = fs.Bool("shard", false, "expose the cluster-internal /shard/* endpoints for cosrouter fan-out")
 
 		obsPprof   = fs.Bool("obs-pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/")
 		obsRuntime = fs.Bool("obs-runtime", false, "expose Go runtime gauges (goroutines, heap, GC) at /metrics/prom")
@@ -130,6 +131,7 @@ func configure(args []string) (cosmodel.ServeConfig, runOptions, error) {
 	cfg.MaxInflight = *inflight
 	cfg.CacheEntries = *cacheN
 	cfg.Opts.EvalTimeout = *evalTO
+	cfg.ShardMode = *shard
 	cfg.Pprof = *obsPprof
 	cfg.RuntimeMetrics = *obsRuntime
 	if *calibOn {

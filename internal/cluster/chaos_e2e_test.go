@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"testing"
+
+	"cosmodel/internal/experiments"
+	"cosmodel/internal/serve"
+	"cosmodel/internal/simstore"
+)
+
+// TestChaosClusterKillShardMidSweep is the tier's fault-injection e2e: drive
+// the sharded deployment with traffic measured from the discrete-event
+// simulator, kill a shard node halfway through the rate sweep, and keep
+// scoring the merged /predict answers against the simulator-observed
+// SLA-meeting fractions. The warm standby holds dual-written state, so the
+// acceptance bar does not move: MAE <= 0.10 across all comparable
+// (step, SLA) pairs — including every step served with a dead node — the
+// same band as the single-engine e2e and the paper's Table I. Post-kill
+// answers must carry degraded: true, and flipping the node back up must
+// clear the flag without restarting anything.
+func TestChaosClusterKillShardMidSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator-driven e2e")
+	}
+	sc := experiments.DefaultS1()
+	sc.CatalogObjects = 60000
+	sc.WarmRate, sc.WarmDur = 100, 20
+	sc.RateStart, sc.RateEnd, sc.RateStep = 60, 240, 60
+	sc.StepDur, sc.StepDiscard = 10, 3
+	sc.CalibrationOps = 1500
+	data, err := experiments.RunSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	measured := float64(sc.StepDur - sc.StepDiscard)
+	devices := sc.Sim.Devices()
+	tr := newTierCfg(t, 3, devices, func() serve.Config {
+		cfg := serve.DefaultConfig(data.Props, devices)
+		cfg.ProcsPerDevice = sc.Sim.ProcsPerDisk
+		cfg.FrontendProcs = sc.Sim.Frontends * sc.Sim.ProcsPerFrontend
+		cfg.SLAs = sc.Sim.SLAs
+		cfg.Window = measured
+		return cfg
+	}, func(cfg *Config) {
+		cfg.SLAs = sc.Sim.SLAs
+		cfg.Window = measured
+	})
+
+	killAfter := len(data.Windows) / 2
+	killed := false
+	var absErr []float64
+	var lastBatch []serve.Observation
+	degradedSteps := 0
+	for step, win := range data.Windows {
+		if step == killAfter {
+			tr.gates[0].set(true) // the mid-run shard kill
+			killed = true
+			t.Logf("killed shard node 0 before step %d (rate %.0f)", step, data.Rates[step])
+		}
+		if win.Timeouts > 0 || win.Retries > 0 || win.Responses == 0 {
+			continue // same exclusions as the paper's analysis
+		}
+		batch := windowToObservations(win)
+		if len(batch) == 0 {
+			continue
+		}
+		lastBatch = batch
+		if code := postJSON(t, tr.routerSrv.URL+"/ingest",
+			serve.IngestRequest{Observations: batch}, nil); code != http.StatusOK {
+			t.Fatalf("step %d ingest: status %d", step, code)
+		}
+
+		var pr PredictResponse
+		if code := getJSON(t, tr.routerSrv.URL+"/predict", &pr); code != http.StatusOK {
+			t.Fatalf("step %d predict: status %d", step, code)
+		}
+		if pr.Saturated {
+			t.Errorf("rate %.0f predicted saturated; simulator completed the window fine", data.Rates[step])
+			continue
+		}
+		if killed {
+			if !pr.Degraded {
+				t.Errorf("step %d served with a dead shard but not flagged degraded", step)
+			} else {
+				degradedSteps++
+			}
+			if len(pr.LostDevices) != 0 {
+				t.Errorf("step %d lost devices %v despite a live standby for every shard",
+					step, pr.LostDevices)
+			}
+		}
+		for i, p := range pr.Predictions {
+			e := p.MeetRatio - win.MeetFraction[i]
+			absErr = append(absErr, math.Abs(e))
+			t.Logf("rate %.0f sla %.3f: predicted %.4f observed %.4f (err %+.4f, degraded %v)",
+				data.Rates[step], p.SLA, p.MeetRatio, win.MeetFraction[i], e, pr.Degraded)
+		}
+	}
+	if !killed {
+		t.Fatal("sweep too short: the shard kill never happened")
+	}
+	if degradedSteps == 0 {
+		t.Fatal("no step was served in degraded mode; the kill was invisible")
+	}
+	if len(absErr) < 6 {
+		t.Fatalf("only %d comparable predictions; sweep degenerated", len(absErr))
+	}
+	var sum float64
+	for _, e := range absErr {
+		sum += e
+	}
+	mae := sum / float64(len(absErr))
+	t.Logf("MAE %.4f over %d (step, SLA) pairs (%d degraded steps)", mae, len(absErr), degradedSteps)
+	if mae > 0.10 {
+		t.Errorf("MAE %.4f exceeds 0.10", mae)
+	}
+
+	// Recovery without restart: the node rejoins on the next probe round —
+	// but its window is stale (it missed every ingest while dead), so its
+	// partials under-report the tracker and the router keeps flagging the
+	// answer. One round of the dual-written monitoring stream refills it and
+	// the degraded flag clears.
+	tr.gates[0].set(false)
+	tr.router.ProbeOnce(context.Background())
+	var stale PredictResponse
+	if code := getJSON(t, tr.routerSrv.URL+"/predict", &stale); code != http.StatusOK {
+		t.Fatalf("post-rejoin predict: status %d", code)
+	}
+	if !stale.Degraded {
+		t.Error("rejoined node is stale (missed ingests) but the answer was not flagged")
+	}
+	if code := postJSON(t, tr.routerSrv.URL+"/ingest",
+		serve.IngestRequest{Observations: lastBatch}, nil); code != http.StatusOK {
+		t.Fatalf("post-rejoin ingest: status %d", code)
+	}
+	var pr PredictResponse
+	if code := getJSON(t, tr.routerSrv.URL+"/predict", &pr); code != http.StatusOK {
+		t.Fatalf("post-recovery predict: status %d", code)
+	}
+	if pr.Degraded {
+		t.Error("tier still degraded after the killed shard rejoined")
+	}
+}
+
+// windowToObservations converts a simulator measurement window into the wire
+// observations a monitoring agent would report to the router (mirrors the
+// single-engine e2e conversion).
+func windowToObservations(win simstore.Window) []serve.Observation {
+	const accesses = 1_000_000
+	var out []serve.Observation
+	for d := range win.DeviceRate {
+		if win.DeviceRate[d] <= 0 {
+			continue
+		}
+		hits := func(miss float64) (uint64, uint64) {
+			m := uint64(math.Round(miss * accesses))
+			return accesses - m, m
+		}
+		o := serve.Observation{
+			Device:    d,
+			Interval:  win.Duration,
+			Requests:  uint64(math.Round(win.DeviceRate[d] * win.Duration)),
+			DataReads: uint64(math.Round(win.DeviceChunkRate[d] * win.Duration)),
+			DiskBusy:  win.DiskMeanSvc[d] * accesses,
+			DiskOps:   accesses,
+		}
+		o.IndexHits, o.IndexMisses = hits(win.MissIndex[d])
+		o.MetaHits, o.MetaMisses = hits(win.MissMeta[d])
+		o.DataHits, o.DataMisses = hits(win.MissData[d])
+		out = append(out, o)
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"cosmodel/internal/retry"
+	"cosmodel/internal/serve"
+)
+
+// shardClient issues the router's HTTP calls to shard nodes: plain
+// retrying requests for ingest forwarding and state probes, and a hedged
+// racer over a replica chain for the latency-critical partial evaluations.
+type shardClient struct {
+	nodes      []string
+	hc         *http.Client
+	policy     retry.Policy
+	hedgeDelay time.Duration
+	logf       func(format string, args ...any)
+
+	// Metric hooks, all optional.
+	onHedge    func(node int) // a hedge timer fired and raced a standby
+	onFailover func(node int) // an attempt failed and the next replica took over
+	onRetry    func(node int) // one shard call retried (backoff/Retry-After)
+	// onAttemptError reports a raced attempt that failed outright (not a
+	// cancellation of a losing hedge) so the health tracker can strike the
+	// node instead of re-dialing a corpse on every query.
+	onAttemptError func(node int, err error)
+}
+
+func newShardClient(cfg Config) *shardClient {
+	hc := cfg.Client
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &shardClient{
+		nodes:      cfg.Nodes,
+		hc:         hc,
+		policy:     cfg.Retry,
+		hedgeDelay: cfg.HedgeDelay,
+		logf:       cfg.Logf,
+	}
+}
+
+// errShardStatus marks a non-2xx shard answer with its status and body.
+type errShardStatus struct {
+	status int
+	body   string
+}
+
+func (e *errShardStatus) Error() string {
+	return fmt.Sprintf("shard status %d: %s", e.status, e.body)
+}
+
+// doJSON performs one retrying JSON exchange with a node. The retry policy
+// honors the shard's load-shed protocol: 503 waits out the Retry-After
+// hint, 4xx is permanent (the request itself is wrong — another replica
+// would reject it identically), network errors and 5xx retry on backoff.
+func (c *shardClient) doJSON(ctx context.Context, node int, method, path string, body, out any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return retry.Permanent(err)
+		}
+	}
+	attempt := 0
+	return c.policy.Do(ctx, func(ctx context.Context) error {
+		if attempt++; attempt > 1 && c.onRetry != nil {
+			c.onRetry(node)
+		}
+		var rd io.Reader
+		if payload != nil {
+			rd = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.nodes[node]+path, rd)
+		if err != nil {
+			return retry.Permanent(err)
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			serr := &errShardStatus{status: resp.StatusCode, body: string(bytes.TrimSpace(b))}
+			switch {
+			case resp.StatusCode == http.StatusServiceUnavailable:
+				return retry.After(serr, retry.HTTPRetryAfter(resp.Header))
+			case resp.StatusCode >= 400 && resp.StatusCode < 500:
+				return retry.Permanent(serr)
+			default:
+				return serr
+			}
+		}
+		if out == nil {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			return nil
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("decoding shard response: %w", err)
+		}
+		return nil
+	})
+}
+
+func (c *shardClient) postIngest(ctx context.Context, node int, batch []serve.Observation) error {
+	return c.doJSON(ctx, node, http.MethodPost, "/ingest",
+		serve.IngestRequest{Observations: batch}, nil)
+}
+
+func (c *shardClient) getState(ctx context.Context, node int) (serve.ShardStateResponse, error) {
+	var st serve.ShardStateResponse
+	err := c.doJSON(ctx, node, http.MethodGet, "/shard/state", nil, &st)
+	return st, err
+}
+
+func (c *shardClient) postInvalidate(ctx context.Context, node int, gen uint64) error {
+	return c.doJSON(ctx, node, http.MethodPost, "/shard/invalidate",
+		serve.ShardInvalidateRequest{Generation: gen}, nil)
+}
+
+// postPartial asks a replica chain for its partial CDF, hedging and failing
+// over along the chain. Returns the answering node.
+func (c *shardClient) postPartial(ctx context.Context, chain []int, req serve.PartialRequest) (serve.PartialResponse, int, error) {
+	return race(ctx, c, chain, func(ctx context.Context, node int) (serve.PartialResponse, error) {
+		var resp serve.PartialResponse
+		err := c.doJSON(ctx, node, http.MethodPost, "/shard/partial", req, &resp)
+		return resp, err
+	})
+}
+
+// race runs call against chain[0], hedges to the next replica when the
+// hedge delay elapses without an answer, fails over immediately when an
+// attempt errors, and returns the first success (cancelling the rest). All
+// replicas hold the same dual-written state, so whichever answers first is
+// equally authoritative. With every attempt failed, the errors are joined.
+func race[T any](ctx context.Context, c *shardClient, chain []int, call func(context.Context, int) (T, error)) (T, int, error) {
+	var zero T
+	if len(chain) == 0 {
+		return zero, -1, ErrNoQuorum
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		v    T
+		node int
+		err  error
+	}
+	ch := make(chan result, len(chain)) // buffered: losers never block
+	launched := 0
+	launch := func(node int) {
+		launched++
+		go func() {
+			v, err := call(ctx, node)
+			ch <- result{v: v, node: node, err: err}
+		}()
+	}
+	launch(chain[0])
+
+	hedge := time.NewTimer(time.Hour)
+	defer hedge.Stop()
+	armHedge := func() {
+		if c.hedgeDelay > 0 && launched < len(chain) {
+			hedge.Reset(c.hedgeDelay)
+		} else {
+			hedge.Stop()
+		}
+	}
+	armHedge()
+
+	pending := 1
+	var errs []error
+	for {
+		select {
+		case r := <-ch:
+			pending--
+			if r.err == nil {
+				return r.v, r.node, nil
+			}
+			if c.onAttemptError != nil && !errors.Is(r.err, context.Canceled) {
+				c.onAttemptError(r.node, r.err)
+			}
+			errs = append(errs, fmt.Errorf("node %d: %w", r.node, r.err))
+			if launched < len(chain) {
+				if c.onFailover != nil {
+					c.onFailover(chain[launched])
+				}
+				launch(chain[launched])
+				pending++
+				armHedge()
+			} else if pending == 0 {
+				return zero, -1, errors.Join(errs...)
+			}
+		case <-hedge.C:
+			if launched >= len(chain) {
+				break // stale fire from a timer racing its Stop
+			}
+			if c.onHedge != nil {
+				c.onHedge(chain[launched])
+			}
+			launch(chain[launched])
+			pending++
+			armHedge()
+		case <-ctx.Done():
+			return zero, -1, ctx.Err()
+		}
+	}
+}

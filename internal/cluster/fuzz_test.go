@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzPartialMerge drives MergePartials with random shard counts, rates and
+// per-shard weighted-CDF sums and checks the merge invariants: every output
+// lands in [0,1]; monotone per-shard sums (CDFs are nondecreasing in the SLA
+// grid, and positive rates preserve that through the weighting) merge to
+// monotone estimates and bounds; Low <= Estimate <= High everywhere; a lost
+// rate of zero collapses the bounds onto the estimate; and a single partial
+// with no losses is a pure passthrough of its own CDF.
+func FuzzPartialMerge(f *testing.F) {
+	f.Add(uint8(1), uint8(3), uint16(0), int64(1))
+	f.Add(uint8(3), uint8(4), uint16(100), int64(2))
+	f.Add(uint8(8), uint8(1), uint16(65535), int64(3))
+	f.Add(uint8(2), uint8(16), uint16(1), int64(4))
+	f.Fuzz(func(t *testing.T, shardsRaw, gridRaw uint8, lostMilli uint16, seed int64) {
+		shards := 1 + int(shardsRaw)%8
+		n := 1 + int(gridRaw)%16
+		rng := rand.New(rand.NewSource(seed))
+
+		parts := make([]Partial, shards)
+		for s := range parts {
+			rate := rng.Float64() * 1000
+			sums := make([]float64, n)
+			cdf := 0.0
+			for i := range sums {
+				// Monotone CDF in [0,1], scaled by the shard's rate.
+				cdf += rng.Float64() * (1 - cdf) / 2
+				sums[i] = cdf * rate
+			}
+			parts[s] = Partial{WeightedSums: sums, Rate: rate, Saturated: rng.Intn(8) == 0}
+		}
+		lost := float64(lostMilli) / 65.0 // up to ~1000, same order as the rates
+
+		m, err := MergePartials(parts, lost, n)
+		if err != nil {
+			t.Fatalf("valid inputs rejected: %v", err)
+		}
+
+		for i := 0; i < n; i++ {
+			for name, v := range map[string]float64{
+				"estimate": m.Estimates[i], "low": m.Low[i], "high": m.High[i],
+			} {
+				if math.IsNaN(v) || v < 0 || v > 1 {
+					t.Fatalf("%s[%d] = %v outside [0,1]", name, i, v)
+				}
+			}
+			if m.Low[i] > m.Estimates[i]+1e-12 || m.Estimates[i] > m.High[i]+1e-12 {
+				t.Fatalf("ordering violated at %d: low %v, estimate %v, high %v",
+					i, m.Low[i], m.Estimates[i], m.High[i])
+			}
+			if i > 0 {
+				if m.Estimates[i] < m.Estimates[i-1]-1e-12 {
+					t.Fatalf("estimates not monotone at %d: %v < %v", i, m.Estimates[i], m.Estimates[i-1])
+				}
+				if m.Low[i] < m.Low[i-1]-1e-12 || m.High[i] < m.High[i-1]-1e-12 {
+					t.Fatalf("bounds not monotone at %d", i)
+				}
+			}
+			if lost == 0 && (m.Low[i] != m.Estimates[i] || m.High[i] != m.Estimates[i]) {
+				t.Fatalf("no losses but bounds did not collapse at %d: [%v,%v] around %v",
+					i, m.Low[i], m.High[i], m.Estimates[i])
+			}
+		}
+
+		// Saturation propagates iff some partial was saturated.
+		anySat := false
+		for _, p := range parts {
+			anySat = anySat || p.Saturated
+		}
+		if m.Saturated != anySat {
+			t.Fatalf("saturated = %v, partials say %v", m.Saturated, anySat)
+		}
+
+		// n=1 shard, no losses: passthrough of the shard's own CDF.
+		single, err := MergePartials(parts[:1], 0, n)
+		if err != nil {
+			t.Fatalf("single-partial merge rejected: %v", err)
+		}
+		for i := 0; i < n; i++ {
+			want := 0.0
+			if parts[0].Rate > 0 {
+				want = math.Min(1, parts[0].WeightedSums[i]/parts[0].Rate)
+			}
+			if math.Abs(single.Estimates[i]-want) > 1e-9 {
+				t.Fatalf("passthrough[%d] = %v, shard's own CDF %v", i, single.Estimates[i], want)
+			}
+		}
+	})
+}

@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// nodeState is one shard node's health bookkeeping.
+type nodeState struct {
+	up    bool
+	fails int    // consecutive failures (probe or live traffic)
+	gen   uint64 // last observed cache generation
+}
+
+// prober tracks shard liveness by periodically fetching /shard/state and by
+// absorbing live-traffic outcomes the router reports. A node goes down
+// after FailThreshold consecutive failures and comes back on the first
+// successful probe — recovery needs no restart and no operator action.
+// Each probe round also gossips cache generations: replicas lagging the
+// group's maximum generation get a /shard/invalidate push, so one replica's
+// recalibration invalidates stale predictions cluster-wide (the sync takes
+// max-of-generations on the shard side, so gossip converges and a stale
+// push can never roll a shard backwards).
+type prober struct {
+	client    *shardClient
+	interval  time.Duration
+	threshold int
+	logf      func(format string, args ...any)
+
+	mu     sync.Mutex
+	states []nodeState
+
+	onTransition func(node int, up bool) // metrics hook, optional
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+func newProber(cfg Config, client *shardClient) *prober {
+	p := &prober{
+		client:    client,
+		interval:  cfg.ProbeInterval,
+		threshold: cfg.FailThreshold,
+		logf:      cfg.Logf,
+		states:    make([]nodeState, len(cfg.Nodes)),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	// Optimistic start: every node is presumed up until it proves otherwise,
+	// so a router booting before its shards merely fails over on the first
+	// calls instead of refusing to serve.
+	for i := range p.states {
+		p.states[i].up = true
+	}
+	return p
+}
+
+// start launches the probe loop; with interval 0 there is no loop (tests
+// drive probeOnce explicitly). Idempotent.
+func (p *prober) start() {
+	p.startOnce.Do(func() {
+		if p.interval <= 0 {
+			close(p.done)
+			return
+		}
+		go func() {
+			defer close(p.done)
+			t := time.NewTicker(p.interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					ctx, cancel := context.WithTimeout(context.Background(), p.interval)
+					p.probeOnce(ctx)
+					cancel()
+				case <-p.stop:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// close stops the probe loop and waits it out. Safe to call whether or not
+// start ran: the stop channel is closed first, so a loop started here (or
+// racing with close) exits on its first select.
+func (p *prober) close() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.start()
+	<-p.done
+}
+
+// up reports the node's current liveness verdict.
+func (p *prober) up(node int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.states[node].up
+}
+
+// note absorbs one observation of a node (probe or live traffic): success
+// revives it immediately, failures accumulate toward the threshold.
+func (p *prober) note(node int, ok bool, gen uint64, fromProbe bool) {
+	p.mu.Lock()
+	st := &p.states[node]
+	was := st.up
+	if ok {
+		st.fails = 0
+		st.up = true
+		if fromProbe {
+			st.gen = gen
+		}
+	} else {
+		st.fails++
+		if st.fails >= p.threshold {
+			st.up = false
+		}
+	}
+	now := st.up
+	p.mu.Unlock()
+	if was != now && p.onTransition != nil {
+		p.onTransition(node, now)
+	}
+}
+
+// noteSuccess / noteFailure absorb live-traffic outcomes from the router.
+func (p *prober) noteSuccess(node int) { p.note(node, true, 0, false) }
+func (p *prober) noteFailure(node int) { p.note(node, false, 0, false) }
+
+// observeGeneration records a generation seen on a live response (partial
+// answers piggyback it), keeping gossip fresh between probe rounds.
+func (p *prober) observeGeneration(node int, gen uint64) {
+	p.mu.Lock()
+	if gen > p.states[node].gen {
+		p.states[node].gen = gen
+	}
+	p.mu.Unlock()
+}
+
+// snapshot returns a copy of the per-node states.
+func (p *prober) snapshot() []nodeState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]nodeState, len(p.states))
+	copy(out, p.states)
+	return out
+}
+
+// probeOnce probes every node concurrently, then gossips generations: any
+// up node lagging the maximum observed generation is pushed forward.
+func (p *prober) probeOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for n := range p.states {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			st, err := p.client.getState(ctx, node)
+			if err != nil {
+				p.note(node, false, 0, true)
+				return
+			}
+			p.note(node, true, st.Generation, true)
+		}(n)
+	}
+	wg.Wait()
+
+	states := p.snapshot()
+	var maxGen uint64
+	for _, st := range states {
+		if st.up && st.gen > maxGen {
+			maxGen = st.gen
+		}
+	}
+	for n, st := range states {
+		if !st.up || st.gen >= maxGen {
+			continue
+		}
+		node := n
+		if err := p.client.postInvalidate(ctx, node, maxGen); err != nil {
+			if p.logf != nil {
+				p.logf("cluster: generation gossip to node %d: %v", node, err)
+			}
+			continue
+		}
+		p.observeGeneration(node, maxGen)
+	}
+}

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Partial is one shard's additive slice of the cluster mixture: the
+// weighted CDF sums Σ rate_j·F_j(sla_i) over its covered devices and their
+// aggregate rate (the serve.PartialResponse payload, decoupled here so the
+// merge is a pure function the fuzz target can drive directly).
+type Partial struct {
+	WeightedSums []float64
+	Rate         float64
+	Saturated    bool
+}
+
+// Merged is the cluster-wide prediction assembled from shard partials.
+type Merged struct {
+	// Estimates[i] is the merged meet ratio at sla_i, renormalized over the
+	// live rate so a degraded tier still reports the survivors' truth.
+	Estimates []float64
+	// Low and High bracket the estimate against the lost devices: Low
+	// assumes every lost request misses its SLA (contributes 0 to the
+	// numerator), High assumes every lost request meets it (contributes its
+	// full rate). With nothing lost the bounds collapse onto the estimate.
+	Low, High []float64
+	// LiveRate is the aggregate rate the surviving shards answered for;
+	// LostRate is the rate attributed to devices with no live replica.
+	LiveRate, LostRate float64
+	// Saturated reports that some shard's slice had no steady state — the
+	// tier-wide operating point is overloaded.
+	Saturated bool
+}
+
+// MergePartials combines shard partials into the cluster prediction over n
+// SLA bounds. lostRate is the aggregate request rate of devices whose whole
+// replica chain is unreachable (0 when fully healthy). The merge is the
+// paper's Eq. 3 numerator/denominator split: estimate_i = Σ sums_i / Σ
+// rates. Estimates and bounds are clamped to [0,1] — floating summation
+// must never leak an impossible probability. With a single partial and no
+// loss the merge is an exact passthrough of that shard's own CDF.
+func MergePartials(parts []Partial, lostRate float64, n int) (Merged, error) {
+	if n < 1 {
+		return Merged{}, fmt.Errorf("%w: merge over %d SLAs", ErrBadConfig, n)
+	}
+	if lostRate < 0 || math.IsNaN(lostRate) || math.IsInf(lostRate, 0) {
+		return Merged{}, fmt.Errorf("%w: lost rate %v", ErrBadConfig, lostRate)
+	}
+	m := Merged{
+		Estimates: make([]float64, n),
+		Low:       make([]float64, n),
+		High:      make([]float64, n),
+		LostRate:  lostRate,
+	}
+	sums := make([]float64, n)
+	for _, p := range parts {
+		if len(p.WeightedSums) != n {
+			return Merged{}, fmt.Errorf("%w: partial carries %d sums, want %d",
+				ErrBadConfig, len(p.WeightedSums), n)
+		}
+		if p.Rate < 0 || math.IsNaN(p.Rate) || math.IsInf(p.Rate, 0) {
+			return Merged{}, fmt.Errorf("%w: partial rate %v", ErrBadConfig, p.Rate)
+		}
+		for i, s := range p.WeightedSums {
+			if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
+				return Merged{}, fmt.Errorf("%w: weighted sum %v", ErrBadConfig, s)
+			}
+			sums[i] += s
+		}
+		m.LiveRate += p.Rate
+		m.Saturated = m.Saturated || p.Saturated
+	}
+	total := m.LiveRate + lostRate
+	for i := range sums {
+		if m.LiveRate > 0 {
+			m.Estimates[i] = clamp01(sums[i] / m.LiveRate)
+		}
+		if total > 0 {
+			m.Low[i] = clamp01(sums[i] / total)
+			m.High[i] = clamp01((sums[i] + lostRate) / total)
+		}
+	}
+	return m, nil
+}
+
+func clamp01(x float64) float64 { return math.Min(1, math.Max(0, x)) }

@@ -1,0 +1,218 @@
+// Package retry implements capped exponential backoff with jitter for
+// operations against flaky peers — the cluster router's shard calls, and any
+// client of the serving tier's 503+Retry-After load-shedding protocol.
+//
+// The policy follows the degradation taxonomy the HTTP layer already speaks:
+// a shed or overloaded peer answers 503 with a Retry-After hint, which the
+// caller wraps with After so the hint overrides the computed backoff; a
+// request that can never succeed (400, 404) is wrapped with Permanent so no
+// further attempts are wasted; everything else (network errors, torn
+// connections, 5xx without a hint) retries on the capped exponential
+// schedule. Context cancellation and deadlines are honored between attempts:
+// a sleep never outlives the caller's budget.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Policy describes a retry schedule. The zero value is not useful; start
+// from DefaultPolicy.
+type Policy struct {
+	// MaxAttempts bounds the total attempts (first try included); values
+	// below 1 mean a single attempt.
+	MaxAttempts int
+	// BaseDelay is the sleep after the first failure; each subsequent delay
+	// multiplies by Multiplier up to MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the computed delay (and any server-supplied Retry-After
+	// hint — a peer cannot park a caller indefinitely).
+	MaxDelay time.Duration
+	// Multiplier grows the delay between attempts; values at or below 1
+	// mean a constant delay (useful for test polling loops).
+	Multiplier float64
+	// Jitter randomizes each delay within ±Jitter·delay, de-synchronizing
+	// retry storms from concurrent callers. 0 disables jitter; values are
+	// clamped to [0, 1].
+	Jitter float64
+	// Rand supplies the jitter source; nil uses a process-wide seeded
+	// source. Tests inject deterministic sources.
+	Rand func() float64
+	// Sleep performs the inter-attempt wait; nil uses a timer that aborts
+	// on ctx cancellation. Tests inject fakes to avoid wall-clock waits.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// DefaultPolicy returns the production schedule: four attempts spanning
+// roughly 50ms + 100ms + 200ms of backoff with 20% jitter.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxAttempts: 4,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		Multiplier:  2,
+		Jitter:      0.2,
+	}
+}
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Do stops immediately and returns the original
+// error. A nil err returns nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// afterError carries a server-supplied retry delay (Retry-After).
+type afterError struct {
+	err   error
+	delay time.Duration
+}
+
+func (e *afterError) Error() string { return e.err.Error() }
+func (e *afterError) Unwrap() error { return e.err }
+
+// After wraps err with a server-directed delay hint: the next attempt waits
+// hint (capped by Policy.MaxDelay) instead of the computed backoff. A nil
+// err returns nil.
+func After(err error, hint time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	return &afterError{err: err, delay: hint}
+}
+
+// HTTPRetryAfter extracts the Retry-After delay from a response header,
+// or 0 when absent or unparseable. Only the delta-seconds form is
+// understood (the form the serving tier emits).
+func HTTPRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.ParseFloat(v, 64)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs * float64(time.Second))
+}
+
+// jitterMu guards the process-wide jitter source: retries happen on slow
+// paths, so one mutex is cheaper than per-policy generator plumbing.
+var (
+	jitterMu  sync.Mutex
+	jitterRng = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+func defaultRand() float64 {
+	jitterMu.Lock()
+	defer jitterMu.Unlock()
+	return jitterRng.Float64()
+}
+
+// next computes the delay before attempt attempt+1 (0-based), applying the
+// cap and jitter, honoring a server hint from the last error.
+func (p Policy) next(attempt int, hint time.Duration) time.Duration {
+	d := p.BaseDelay
+	mult := p.Multiplier
+	if mult > 1 {
+		for i := 0; i < attempt; i++ {
+			d = time.Duration(float64(d) * mult)
+			if p.MaxDelay > 0 && d >= p.MaxDelay {
+				d = p.MaxDelay
+				break
+			}
+		}
+	}
+	if hint > 0 {
+		d = hint
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if j := min(max(p.Jitter, 0), 1); j > 0 && d > 0 {
+		r := p.Rand
+		if r == nil {
+			r = defaultRand
+		}
+		// Uniform in [1-j, 1+j].
+		d = time.Duration(float64(d) * (1 - j + 2*j*r()))
+	}
+	return d
+}
+
+func (p Policy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Do runs op until it succeeds, returns a Permanent error, exhausts
+// MaxAttempts, or ctx ends. The returned error is the last attempt's
+// (unwrapped from the Permanent/After markers); when the context ended
+// between attempts it is joined with the context error so callers can match
+// either cause. A delay that would provably overrun the context deadline
+// short-circuits: Do returns the last error immediately instead of sleeping
+// into a guaranteed cancellation.
+func (p Policy) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	attempts := max(p.MaxAttempts, 1)
+	var last error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if last == nil {
+				return err
+			}
+			return fmt.Errorf("%w (giving up: %w)", last, err)
+		}
+		err := op(ctx)
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		var hint time.Duration
+		var after *afterError
+		if errors.As(err, &after) {
+			hint = after.delay
+			err = after.err
+		}
+		last = err
+		if attempt+1 >= attempts {
+			return last
+		}
+		d := p.next(attempt, hint)
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) < d {
+			return fmt.Errorf("%w (giving up: retry delay %v exceeds context deadline)", last, d)
+		}
+		if serr := p.sleep(ctx, d); serr != nil {
+			return fmt.Errorf("%w (giving up: %w)", last, serr)
+		}
+	}
+}

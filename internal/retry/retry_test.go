@@ -1,0 +1,242 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// newLocalServer starts a test HTTP server and returns its base URL.
+func newLocalServer(t *testing.T, h http.Handler) string {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+// fakeSleep records requested delays without waiting.
+type fakeSleep struct {
+	delays []time.Duration
+}
+
+func (f *fakeSleep) sleep(ctx context.Context, d time.Duration) error {
+	f.delays = append(f.delays, d)
+	return ctx.Err()
+}
+
+func testPolicy(fs *fakeSleep) Policy {
+	p := DefaultPolicy()
+	p.Jitter = 0
+	p.Sleep = fs.sleep
+	return p
+}
+
+func TestDoSucceedsFirstTry(t *testing.T) {
+	fs := &fakeSleep{}
+	calls := 0
+	err := testPolicy(fs).Do(context.Background(), func(context.Context) error {
+		calls++
+		return nil
+	})
+	if err != nil || calls != 1 || len(fs.delays) != 0 {
+		t.Fatalf("err=%v calls=%d sleeps=%v", err, calls, fs.delays)
+	}
+}
+
+func TestDoBacksOffExponentiallyWithCap(t *testing.T) {
+	fs := &fakeSleep{}
+	p := testPolicy(fs)
+	p.MaxAttempts = 6
+	p.BaseDelay = 50 * time.Millisecond
+	p.MaxDelay = 300 * time.Millisecond
+	boom := errors.New("boom")
+	err := p.Do(context.Background(), func(context.Context) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	want := []time.Duration{
+		50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond,
+		300 * time.Millisecond, 300 * time.Millisecond, // capped
+	}
+	if len(fs.delays) != len(want) {
+		t.Fatalf("slept %v, want %v", fs.delays, want)
+	}
+	for i, d := range want {
+		if fs.delays[i] != d {
+			t.Errorf("delay[%d] = %v, want %v", i, fs.delays[i], d)
+		}
+	}
+}
+
+func TestDoHonorsRetryAfterHint(t *testing.T) {
+	fs := &fakeSleep{}
+	p := testPolicy(fs)
+	p.MaxAttempts = 3
+	shed := errors.New("shed")
+	err := p.Do(context.Background(), func(context.Context) error {
+		return After(shed, 700*time.Millisecond)
+	})
+	if !errors.Is(err, shed) {
+		t.Fatalf("err = %v", err)
+	}
+	for i, d := range fs.delays {
+		if d != 700*time.Millisecond {
+			t.Errorf("delay[%d] = %v, want the 700ms server hint", i, d)
+		}
+	}
+	// The hint is still capped by MaxDelay.
+	fs.delays = nil
+	p.MaxDelay = 100 * time.Millisecond
+	p.Do(context.Background(), func(context.Context) error { //nolint:errcheck
+		return After(shed, time.Hour)
+	})
+	for i, d := range fs.delays {
+		if d != 100*time.Millisecond {
+			t.Errorf("capped delay[%d] = %v, want 100ms", i, d)
+		}
+	}
+}
+
+func TestDoStopsOnPermanent(t *testing.T) {
+	fs := &fakeSleep{}
+	calls := 0
+	bad := errors.New("bad request")
+	err := testPolicy(fs).Do(context.Background(), func(context.Context) error {
+		calls++
+		return Permanent(bad)
+	})
+	if !errors.Is(err, bad) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want immediate stop with the original error", err, calls)
+	}
+	// The permanent marker must not leak into the returned error chain as a
+	// wrapper type callers can trip over; the message is the original's.
+	if err.Error() != "bad request" {
+		t.Errorf("error message %q", err.Error())
+	}
+	if Permanent(nil) != nil || After(nil, time.Second) != nil {
+		t.Error("nil wrappers must stay nil")
+	}
+}
+
+func TestDoRespectsContextDeadline(t *testing.T) {
+	fs := &fakeSleep{}
+	p := testPolicy(fs)
+	p.BaseDelay = time.Hour // guaranteed to overrun the deadline
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	boom := errors.New("boom")
+	calls := 0
+	start := time.Now()
+	err := p.Do(ctx, func(context.Context) error { calls++; return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom preserved", err)
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 (delay overruns deadline)", calls)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("Do slept into a doomed deadline")
+	}
+}
+
+func TestDoStopsOnCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := DefaultPolicy().Do(ctx, func(context.Context) error {
+		t.Fatal("op ran under a cancelled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	// Cancellation mid-schedule keeps the last real error in the chain.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	p := DefaultPolicy()
+	p.Sleep = func(context.Context, time.Duration) error { cancel2(); return ctx2.Err() }
+	err = p.Do(ctx2, func(context.Context) error { return boom })
+	if !errors.Is(err, boom) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want both boom and Canceled in the chain", err)
+	}
+}
+
+func TestJitterStaysWithinBand(t *testing.T) {
+	p := Policy{MaxAttempts: 2, BaseDelay: time.Second, Jitter: 0.5}
+	for _, r := range []float64{0, 0.5, 1} {
+		p.Rand = func() float64 { return r }
+		d := p.next(0, 0)
+		lo, hi := 500*time.Millisecond, 1500*time.Millisecond
+		if d < lo || d > hi {
+			t.Errorf("rand=%v: delay %v outside [%v,%v]", r, d, lo, hi)
+		}
+	}
+}
+
+func TestHTTPRetryAfter(t *testing.T) {
+	h := http.Header{}
+	if d := HTTPRetryAfter(h); d != 0 {
+		t.Errorf("empty header: %v", d)
+	}
+	h.Set("Retry-After", "1")
+	if d := HTTPRetryAfter(h); d != time.Second {
+		t.Errorf("Retry-After 1 -> %v", d)
+	}
+	h.Set("Retry-After", "0.25")
+	if d := HTTPRetryAfter(h); d != 250*time.Millisecond {
+		t.Errorf("Retry-After 0.25 -> %v", d)
+	}
+	for _, bad := range []string{"-3", "soon", "Wed, 21 Oct 2015 07:28:00 GMT"} {
+		h.Set("Retry-After", bad)
+		if d := HTTPRetryAfter(h); d != 0 {
+			t.Errorf("Retry-After %q -> %v, want 0", bad, d)
+		}
+	}
+}
+
+// TestDoAgainstSheddingServer exercises the full loop against a live HTTP
+// server that sheds twice with 503+Retry-After before answering — the
+// serving tier's load-shed protocol end to end.
+func TestDoAgainstSheddingServer(t *testing.T) {
+	attempts := 0
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		if attempts <= 2 {
+			w.Header().Set("Retry-After", "0.001")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	srv := newLocalServer(t, h)
+	p := DefaultPolicy()
+	p.BaseDelay = time.Millisecond
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv, nil)
+		if err != nil {
+			return Permanent(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			return nil
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			return After(fmt.Errorf("shed (503)"), HTTPRetryAfter(resp.Header))
+		default:
+			return Permanent(fmt.Errorf("status %d", resp.StatusCode))
+		}
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3", attempts)
+	}
+}

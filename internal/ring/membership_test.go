@@ -1,0 +1,205 @@
+package ring
+
+import (
+	"testing"
+)
+
+// movedAssignments counts (partition, rank) slots whose device differs
+// between two same-shape rings.
+func movedAssignments(t *testing.T, a, b *Ring) int {
+	t.Helper()
+	if a.Partitions() != b.Partitions() || a.Replicas() != b.Replicas() {
+		t.Fatalf("ring shapes differ: %dx%d vs %dx%d",
+			a.Partitions(), a.Replicas(), b.Partitions(), b.Replicas())
+	}
+	moved := 0
+	for p := 0; p < a.Partitions(); p++ {
+		da, db := a.ReplicasOf(p), b.ReplicasOf(p)
+		for i := range da {
+			if da[i] != db[i] {
+				moved++
+			}
+		}
+	}
+	return moved
+}
+
+// checkDistinctReplicas asserts every partition still holds its replicas on
+// distinct, in-range devices.
+func checkDistinctReplicas(t *testing.T, r *Ring) {
+	t.Helper()
+	for p := 0; p < r.Partitions(); p++ {
+		seen := map[int32]bool{}
+		for _, d := range r.ReplicasOf(p) {
+			if d < 0 || int(d) >= r.Devices() {
+				t.Fatalf("partition %d: device %d out of range", p, d)
+			}
+			if seen[d] {
+				t.Fatalf("partition %d: duplicate device %d after membership change", p, d)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+// TestAddDeviceRemapsExpectedFraction is the consistent-hashing membership
+// property: growing an n-device ring to n+1 moves only the new device's
+// balanced share — ≈ 1/(n+1) of all assignments — and nothing else.
+func TestAddDeviceRemapsExpectedFraction(t *testing.T) {
+	const parts, reps, devs = 1024, 3, 6
+	r, err := New(parts, reps, devs, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := r.AddDevice(7)
+	if grown.Devices() != devs+1 {
+		t.Fatalf("Devices() = %d, want %d", grown.Devices(), devs+1)
+	}
+	checkDistinctReplicas(t, grown)
+
+	total := parts * reps
+	target := total / (devs + 1)
+	moved := movedAssignments(t, r, grown)
+	if moved != target {
+		t.Errorf("membership change moved %d assignments, want exactly the new share %d", moved, target)
+	}
+	// Every move must land on the new device: nothing shuffles between the
+	// existing members.
+	counts := grown.DevicePartitionCounts()
+	if counts[devs] != moved {
+		t.Errorf("new device holds %d assignments but %d moved", counts[devs], moved)
+	}
+	// The donor loads stay balanced: no old device deviates far from ideal.
+	for d := 0; d < devs; d++ {
+		if counts[d] < target*9/10 || counts[d] > total/devs {
+			t.Errorf("device %d holds %d after grow, want within [%d,%d]",
+				d, counts[d], target*9/10, total/devs)
+		}
+	}
+	// The original ring is untouched (membership changes never mutate).
+	if got := r.Devices(); got != devs {
+		t.Errorf("original ring mutated: Devices() = %d", got)
+	}
+	if c := r.DevicePartitionCounts(); len(c) != devs {
+		t.Errorf("original ring count width %d", len(c))
+	}
+}
+
+// TestDrainDeviceRemapsExpectedFraction: draining one of n devices moves
+// exactly that device's ≈ 1/n share and leaves every other assignment alone.
+func TestDrainDeviceRemapsExpectedFraction(t *testing.T) {
+	const parts, reps, devs = 1024, 3, 6
+	r, err := New(parts, reps, devs, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const victim = 2
+	before := r.DevicePartitionCounts()
+	drained, err := r.DrainDevice(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDistinctReplicas(t, drained)
+
+	moved := movedAssignments(t, r, drained)
+	if moved != before[victim] {
+		t.Errorf("drain moved %d assignments, want exactly the victim's %d", moved, before[victim])
+	}
+	counts := drained.DevicePartitionCounts()
+	if counts[victim] != 0 {
+		t.Errorf("drained device still holds %d assignments", counts[victim])
+	}
+	// The victim's load spreads: remaining devices stay within one part of
+	// each other around the new ideal.
+	ideal := parts * reps / (devs - 1)
+	for d := 0; d < devs; d++ {
+		if d == victim {
+			continue
+		}
+		if counts[d] < ideal*9/10 || counts[d] > ideal*11/10 {
+			t.Errorf("device %d holds %d after drain, ideal %d", d, counts[d], ideal)
+		}
+	}
+}
+
+// TestMembershipChangeDeterministicUnderSeed: the same seed produces the
+// identical post-change assignment, so independent routers computing the
+// same membership transition agree without coordination.
+func TestMembershipChangeDeterministicUnderSeed(t *testing.T) {
+	r, err := New(256, 2, 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := r.AddDevice(99), r.AddDevice(99)
+	if moved := movedAssignments(t, a, b); moved != 0 {
+		t.Errorf("same-seed grows differ in %d assignments", moved)
+	}
+	c := r.AddDevice(100)
+	if moved := movedAssignments(t, a, c); moved == 0 {
+		t.Error("different seeds produced identical steal order; expected different spreads")
+	}
+	d1, err := r.DrainDevice(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := r.DrainDevice(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved := movedAssignments(t, d1, d2); moved != 0 {
+		t.Errorf("repeated drains differ in %d assignments", moved)
+	}
+}
+
+// TestDrainDeviceValidation: bad ids and too-few remaining devices fail.
+func TestDrainDeviceValidation(t *testing.T) {
+	r, err := New(64, 3, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.DrainDevice(-1); err == nil {
+		t.Error("negative device drained")
+	}
+	if _, err := r.DrainDevice(4); err == nil {
+		t.Error("out-of-range device drained")
+	}
+	// 4 devices, 3 replicas: draining leaves 3 = replicas, still legal.
+	if _, err := r.DrainDevice(0); err != nil {
+		t.Errorf("drain to exactly replicas devices: %v", err)
+	}
+	// 3 devices, 3 replicas: draining would leave too few.
+	tight, err := New(64, 3, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tight.DrainDevice(0); err == nil {
+		t.Error("drain below replica count succeeded")
+	}
+}
+
+// TestGrowThenDrainRoundTrip: growing and then draining the new device
+// restores a ring with the original member loads (assignments may sit on
+// different partitions, but the membership invariants all hold).
+func TestGrowThenDrainRoundTrip(t *testing.T) {
+	r, err := New(512, 2, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := r.AddDevice(6)
+	back, err := grown.DrainDevice(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDistinctReplicas(t, back)
+	counts := back.DevicePartitionCounts()
+	if counts[4] != 0 {
+		t.Errorf("drained new device still holds %d", counts[4])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 512*2 {
+		t.Errorf("assignments leaked: total %d, want %d", total, 512*2)
+	}
+}

@@ -122,3 +122,133 @@ func (r *Ring) DevicePartitionCounts() []int {
 	}
 	return counts
 }
+
+// clone deep-copies the ring so membership changes never mutate the
+// original: callers holding the old ring keep a consistent view (the
+// cluster router swaps rings atomically).
+func (r *Ring) clone() *Ring {
+	nr := &Ring{
+		partPower:  r.partPower,
+		partitions: r.partitions,
+		replicas:   r.replicas,
+		devices:    r.devices,
+		assign:     make([][]int32, r.partitions),
+	}
+	for p, devs := range r.assign {
+		nr.assign[p] = append([]int32(nil), devs...)
+	}
+	return nr
+}
+
+// hasDevice reports whether partition p already holds a replica on dev.
+func (r *Ring) hasDevice(p int, dev int32) bool {
+	for _, d := range r.assign[p] {
+		if d == dev {
+			return true
+		}
+	}
+	return false
+}
+
+// AddDevice returns a new ring with one more device, moving only the
+// minimum number of (partition, replica) assignments needed to give the new
+// device its balanced share — the consistent-hashing membership-change
+// property: growing an n-device ring to n+1 remaps ≈ 1/(n+1) of the
+// assignments and leaves everything else where it was. Object-to-partition
+// hashing is untouched. The steal order is deterministic for a given seed.
+func (r *Ring) AddDevice(seed int64) *Ring {
+	nr := r.clone()
+	newDev := int32(nr.devices)
+	nr.devices++
+	counts := nr.DevicePartitionCounts()
+	counts = append(counts, 0)
+	total := nr.partitions * nr.replicas
+	target := total / nr.devices
+
+	// Per-device assignment lists in a seeded random partition order, so
+	// repeated grows spread steals across the partition space instead of
+	// always raiding the low partitions.
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(nr.partitions)
+	owned := make([][][2]int32, nr.devices) // device -> [(partition, rank)]
+	for _, p := range order {
+		for rank, d := range nr.assign[p] {
+			owned[d] = append(owned[d], [2]int32{int32(p), int32(rank)})
+		}
+	}
+	for counts[newDev] < target {
+		// Steal from the currently most-loaded device (ties: lowest id),
+		// taking its next listed partition the new device is not already in.
+		victim := int32(0)
+		for d := 1; d < int(newDev); d++ {
+			if counts[d] > counts[victim] {
+				victim = int32(d)
+			}
+		}
+		moved := false
+		for i, pr := range owned[victim] {
+			p, rank := int(pr[0]), int(pr[1])
+			if nr.assign[p][rank] != victim || nr.hasDevice(p, newDev) {
+				continue
+			}
+			nr.assign[p][rank] = newDev
+			counts[victim]--
+			counts[newDev]++
+			owned[victim] = owned[victim][i+1:]
+			moved = true
+			break
+		}
+		if !moved {
+			// The most-loaded device has no stealable partition left
+			// (every remaining one already hosts the new device); the ring
+			// is as balanced as membership allows.
+			break
+		}
+	}
+	return nr
+}
+
+// DrainDevice returns a new ring in which dev holds no assignments: every
+// (partition, replica) it held is reassigned to the least-loaded remaining
+// device not already hosting that partition, and nothing else moves. The
+// device count is unchanged — the id stays valid but empty, which is the
+// failover/decommission shape the cluster tier needs (remaining ids keep
+// their meaning). Draining remaps exactly the drained device's share,
+// ≈ 1/n of the assignments. Requires at least replicas+1 devices so every
+// partition can still place distinct replicas.
+func (r *Ring) DrainDevice(dev int) (*Ring, error) {
+	if dev < 0 || dev >= r.devices {
+		return nil, fmt.Errorf("%w: device %d outside [0,%d)", ErrBadConfig, dev, r.devices)
+	}
+	if r.devices-1 < r.replicas {
+		return nil, fmt.Errorf("%w: draining device %d leaves %d devices for %d replicas",
+			ErrBadConfig, dev, r.devices-1, r.replicas)
+	}
+	nr := r.clone()
+	counts := nr.DevicePartitionCounts()
+	for p := 0; p < nr.partitions; p++ {
+		for rank, d := range nr.assign[p] {
+			if int(d) != dev {
+				continue
+			}
+			// Least-loaded eligible replacement, ties to the lowest id:
+			// deterministic without a seed.
+			best := int32(-1)
+			for c := 0; c < nr.devices; c++ {
+				if c == dev || nr.hasDevice(p, int32(c)) {
+					continue
+				}
+				if best < 0 || counts[c] < counts[best] {
+					best = int32(c)
+				}
+			}
+			if best < 0 {
+				return nil, fmt.Errorf("%w: no replacement device for partition %d", ErrBadConfig, p)
+			}
+			nr.assign[p][rank] = best
+			counts[dev]--
+			counts[best]++
+		}
+	}
+	return nr, nil
+}

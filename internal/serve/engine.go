@@ -437,6 +437,17 @@ func (e *Engine) evaluate(ctx context.Context, ms []core.OnlineMetrics, key stri
 // so a fleet of N lookalike devices collapses to one evaluation group with
 // N times the weight instead of N identical transform inversions.
 func (e *Engine) buildModel(ms []core.OnlineMetrics, factor float64) (*core.SystemModel, error) {
+	return e.buildModelFE(ms, factor, -1)
+}
+
+// buildModelFE is buildModel with an explicit frontend arrival rate: feRate
+// < 0 means the snapshot's own (scaled) total — the standalone case — while
+// a non-negative feRate builds the frontend at that rate instead. The
+// cluster partial-evaluation path passes the router-supplied global rate
+// here: the frontend sojourn factor depends only on the tier-wide total, so
+// every shard evaluating its local device slice under the same global
+// frontend produces partial CDFs that merge exactly into the full mixture.
+func (e *Engine) buildModelFE(ms []core.OnlineMetrics, factor, feRate float64) (*core.SystemModel, error) {
 	props := e.Props()
 	devs := make([]*core.DeviceModel, 0, len(ms))
 	built := make(map[core.OnlineMetrics]*core.DeviceModel, len(ms))
@@ -455,6 +466,9 @@ func (e *Engine) buildModel(ms []core.OnlineMetrics, factor float64) (*core.Syst
 		}
 		devs = append(devs, dm)
 		total += m.Rate
+	}
+	if feRate >= 0 {
+		total = feRate
 	}
 	fe, err := core.NewFrontendModel(total, e.cfg.FrontendProcs, props.ParseFE)
 	if err != nil {
@@ -564,6 +578,17 @@ func (e *Engine) AdviseContext(ctx context.Context, sla, target float64) (Advice
 // becomes stale. Call after changing what the model would answer (e.g. a
 // recalibration of device properties).
 func (e *Engine) InvalidateCache() { e.cache.invalidate() }
+
+// CacheGeneration returns the current prediction-cache generation — the
+// token the cluster tier gossips so every replica of a shard serves
+// predictions from the same calibration epoch.
+func (e *Engine) CacheGeneration() uint64 { return e.cache.generation() }
+
+// SyncGeneration raises the cache generation to at least gen (never
+// backwards). The cluster router calls this on replicas whose generation
+// lags the shard group's maximum, so a recalibration on one replica
+// invalidates stale predictions cluster-wide.
+func (e *Engine) SyncGeneration(gen uint64) { e.cache.invalidateTo(gen) }
 
 // EngineStats is a point-in-time view of the engine's internal counters.
 type EngineStats struct {

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"cosmodel/internal/numeric"
+	"cosmodel/internal/retry"
 )
 
 // ---------------------------------------------------------------------------
@@ -47,19 +49,27 @@ func (panicInverter) Invert(numeric.TransformFunc, float64) float64 { panic("inv
 func (panicInverter) Name() string                                  { return "panic" }
 
 // waitMetrics polls /metrics until cond is satisfied or the deadline passes,
-// returning the last snapshot either way.
+// returning the last snapshot either way. The polling schedule rides the
+// shared retry helper (constant delay, context-bounded) instead of a
+// hand-rolled sleep loop.
 func waitMetrics(t *testing.T, base string, cond func(MetricsResponse) bool) MetricsResponse {
 	t.Helper()
 	var m MetricsResponse
-	deadline := time.Now().Add(5 * time.Second)
-	for {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	p := retry.Policy{MaxAttempts: 500, BaseDelay: 10 * time.Millisecond}
+	p.Do(ctx, func(context.Context) error { //nolint:errcheck — last snapshot is returned either way
 		getJSON(t, base+"/metrics", &m)
-		if cond(m) || time.Now().After(deadline) {
-			return m
+		if cond(m) {
+			return nil
 		}
-		time.Sleep(10 * time.Millisecond)
-	}
+		return errNotYet
+	})
+	return m
 }
+
+// errNotYet is waitMetrics' retryable "condition not met" sentinel.
+var errNotYet = errors.New("condition not met")
 
 // ---------------------------------------------------------------------------
 // Client cancellation.

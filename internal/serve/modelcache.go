@@ -127,6 +127,26 @@ func (c *modelCache) invalidate() {
 	c.mu.Unlock()
 }
 
+// invalidateTo raises the generation to at least gen — the cluster
+// generation-gossip primitive. Taking the max (never stepping backwards)
+// makes concurrent syncs from multiple routers converge instead of
+// ping-ponging: a replica that already recalibrated past gen keeps its newer
+// generation, and a lagging replica jumps forward exactly once.
+func (c *modelCache) invalidateTo(gen uint64) {
+	c.mu.Lock()
+	if gen > c.gen {
+		c.gen = gen
+	}
+	c.mu.Unlock()
+}
+
+// generation returns the current cache generation.
+func (c *modelCache) generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
 // cacheStats is a point-in-time view of the cache counters.
 type cacheStats struct {
 	Hits       uint64

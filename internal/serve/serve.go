@@ -77,6 +77,11 @@ type Config struct {
 	// disables the subsystem (the seed behaviour: properties are fixed for
 	// the engine's lifetime unless Recalibrate is called explicitly).
 	Calib *calib.Config
+	// ShardMode additionally mounts the cluster-internal /shard/* endpoints
+	// (partial-CDF evaluation, shard state, cache-generation sync) used by
+	// the cosrouter fan-out tier. Off by default: a standalone cosserve has
+	// no business exposing partial evaluations (cosserve -shard).
+	ShardMode bool
 	// Pprof mounts the net/http/pprof profiling endpoints under
 	// /debug/pprof/ on the service handler (cosserve -obs-pprof).
 	Pprof bool

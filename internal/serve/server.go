@@ -118,7 +118,13 @@ func (s *Server) Engine() *Engine { return s.engine }
 //	GET  /calibration — online calibration and drift-detection state
 //	GET  /metrics  — internal counters (JSON)
 //	GET  /metrics/prom — the metrics registry in Prometheus text format
-//	GET  /healthz  — liveness + readiness
+//	GET  /healthz  — liveness + readiness, per-component state
+//
+// With Config.ShardMode the cluster-internal shard endpoints are added:
+//
+//	POST /shard/partial    — partial-CDF evaluation over a device subset
+//	GET  /shard/state      — generation, ingest and rate state for the prober
+//	POST /shard/invalidate — raise the cache generation (gossip sync)
 //
 // With Config.Pprof the net/http/pprof profiling endpoints are additionally
 // mounted under /debug/pprof/.
@@ -139,6 +145,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.timed("/metrics", s.handleMetrics))
 	mux.HandleFunc("/metrics/prom", s.timed("/metrics/prom", s.handleMetricsProm))
 	mux.HandleFunc("/healthz", s.timed("/healthz", s.handleHealthz))
+	if s.engine.Config().ShardMode {
+		mux.HandleFunc("/shard/partial", s.timed("/shard/partial", s.handleShardPartial))
+		mux.HandleFunc("/shard/state", s.timed("/shard/state", s.handleShardState))
+		mux.HandleFunc("/shard/invalidate", s.timed("/shard/invalidate", s.handleShardInvalidate))
+	}
 	if s.engine.Config().Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -587,23 +598,73 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// HealthResponse is the /healthz payload: Status is "ok" while the process
-// serves normally and "degraded" when the evaluation engine recently had to
-// recover an inversion through a fallback inverter (still answering, but
-// the numerics deserve attention); Ready reports whether observations have
-// been ingested so predictions are possible.
-type HealthResponse struct {
+// ComponentHealth is one subsystem's state inside /healthz: Status is "ok",
+// "degraded" or "disabled", Detail the human-readable reason when it isn't a
+// plain ok.
+type ComponentHealth struct {
 	Status string `json:"status"`
-	Ready  bool   `json:"ready"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// HealthResponse is the /healthz payload: Status is "ok" while the process
+// serves normally and "degraded" when any component below degraded — today
+// that is the evaluation engine recently recovering an inversion through a
+// fallback inverter (still answering, but the numerics deserve attention);
+// Ready reports whether observations have been ingested so predictions are
+// possible. Components breaks the summary down per subsystem so an operator
+// (or the cluster router's prober) sees which part degraded, not just that
+// something did.
+type HealthResponse struct {
+	Status     string                     `json:"status"`
+	Ready      bool                       `json:"ready"`
+	Components map[string]ComponentHealth `json:"components,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	_, reporting := s.engine.state.stats()
-	status := "ok"
+	comps := map[string]ComponentHealth{}
+
+	engine := ComponentHealth{Status: "ok"}
 	if s.engine.RecentFallback(s.engine.Config().Window) {
-		status = "degraded"
+		engine = ComponentHealth{Status: "degraded",
+			Detail: "inverter fallback within the health window"}
 	}
-	s.writeJSON(w, http.StatusOK, HealthResponse{Status: status, Ready: reporting > 0})
+	comps["engine"] = engine
+
+	calibC := ComponentHealth{Status: "disabled"}
+	if st, ok := s.engine.CalibrationStatus(); ok {
+		calibC = ComponentHealth{Status: "ok"}
+		if st.ApplyErrors > 0 {
+			calibC = ComponentHealth{Status: "degraded",
+				Detail: fmt.Sprintf("%d recalibration apply errors", st.ApplyErrors)}
+		}
+	}
+	comps["calibration"] = calibC
+
+	cs := s.engine.cache.stats()
+	comps["cache"] = ComponentHealth{Status: "ok",
+		Detail: fmt.Sprintf("%d entries, generation %d", cs.Entries, cs.Generation)}
+
+	ingest := ComponentHealth{Status: "ok",
+		Detail: fmt.Sprintf("%d devices reporting", reporting)}
+	if reporting == 0 {
+		ingest = ComponentHealth{Status: "degraded", Detail: "no devices reporting yet"}
+	}
+	comps["ingest"] = ingest
+
+	if s.engine.Config().ShardMode {
+		comps["shard"] = ComponentHealth{Status: "ok",
+			Detail: fmt.Sprintf("generation %d", cs.Generation)}
+	}
+
+	// The summary keeps its original semantics — "degraded" means the
+	// engine's numerics, not mere unreadiness — so existing probes (and the
+	// fault tests) keep their meaning; the per-component map is additive.
+	s.writeJSON(w, http.StatusOK, HealthResponse{
+		Status:     engine.Status,
+		Ready:      reporting > 0,
+		Components: comps,
+	})
 }
 
 // ---------------------------------------------------------------------------

@@ -250,6 +250,27 @@ func (t *stateTable) snapshotKeyed() ([]core.OnlineMetrics, string, error) {
 	return t.snapMS, t.snapKey, t.snapErr
 }
 
+// snapshotDevices derives the current online metrics of a device subset —
+// the shard-local slice of the cluster mixture. Idle devices in the subset
+// are skipped; covered counts the subset devices that contributed an
+// operating point. Unlike snapshot, an empty result is not an error: a shard
+// that has not yet ingested for its devices legitimately contributes zero
+// weight to the merged mixture.
+func (t *stateTable) snapshotDevices(devs []int) (ms []core.OnlineMetrics, covered int, err error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, d := range devs {
+		if d < 0 || d >= len(t.devices) {
+			return nil, 0, fmt.Errorf("%w: device %d outside [0,%d)", ErrBadQuery, d, len(t.devices))
+		}
+		if m, ok := t.devices[d].metrics(t.cfg.ProcsPerDevice); ok {
+			ms = append(ms, m)
+			covered++
+		}
+	}
+	return ms, covered, nil
+}
+
 // observedLatency merges the windowed latency histograms of all devices
 // (nil when no latencies were ingested).
 func (t *stateTable) observedLatency() *stats.Histogram {
