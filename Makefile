@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-verify bench-smoke fuzz-smoke chaos chaos-cluster tidy
+.PHONY: check fmt vet build test race bench bench-verify bench-smoke fuzz-smoke loadtest chaos chaos-cluster tidy
 
-check: fmt vet build race bench-verify bench-smoke fuzz-smoke
+check: fmt vet build race bench-verify bench-smoke fuzz-smoke loadtest
 
 # gofmt -l prints offending files; fail when it prints anything.
 fmt:
@@ -36,7 +36,7 @@ bench:
 # drifted from its canonical file (e.g. results/ was regenerated without
 # re-running bench-smoke's copy step).
 bench-verify:
-	@for f in BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json; do \
+	@for f in BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json BENCH_PR9.json; do \
 		if [ -f "$$f" ] && ! cmp -s "results/$$f" "$$f"; then \
 			echo "bench artifact drift: $$f differs from canonical results/$$f (run make bench-smoke)"; \
 			exit 1; \
@@ -48,17 +48,19 @@ bench-verify:
 # calibration refresh latency (BENCH_PR4.json), the observability overhead
 # (BENCH_PR5.json), the coded-predict cost (BENCH_PR6.json), the batched
 # evaluation engine (BENCH_PR7.json) and the cluster fan-out overhead
-# (BENCH_PR8.json). The current PRs' artifacts are mirrored at the repo
+# (BENCH_PR8.json) and the ingest-pipeline micro/macro numbers
+# (BENCH_PR9.json). The current PRs' artifacts are mirrored at the repo
 # root for reviewers.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Fig6|ServePredictColdVsCached|CodedPredict|CDFBatch|RouterFanOut' -benchtime=1x .
 	COSMODEL_BENCH_SMOKE=1 $(GO) test \
-		-run 'TestBenchSmokeArtifact|TestBenchSmokeCalibration|TestBenchSmokeObservability|TestBenchSmokeCoded|TestBenchSmokeBatched|TestBenchSmokeCluster' .
+		-run 'TestBenchSmokeArtifact|TestBenchSmokeCalibration|TestBenchSmokeObservability|TestBenchSmokeCoded|TestBenchSmokeBatched|TestBenchSmokeCluster|TestBenchSmokeIngest' .
 	cp results/BENCH_PR4.json BENCH_PR4.json
 	cp results/BENCH_PR5.json BENCH_PR5.json
 	cp results/BENCH_PR6.json BENCH_PR6.json
 	cp results/BENCH_PR7.json BENCH_PR7.json
 	cp results/BENCH_PR8.json BENCH_PR8.json
+	cp results/BENCH_PR9.json BENCH_PR9.json
 
 # Short native-fuzzing runs over the HTTP request parsers, the histogram
 # invariants, the k-of-n order-statistic combinator, the guarded root
@@ -68,12 +70,22 @@ bench-smoke:
 # (outputs in [0,1], monotone, single-shard passthrough) without turning
 # check into a soak.
 fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzNDJSONDecode$$' -fuzztime=10s ./internal/ingest
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeStrict$$' -fuzztime=10s ./internal/serve
 	$(GO) test -run '^$$' -fuzz '^FuzzParseFloats$$' -fuzztime=10s ./internal/serve
 	$(GO) test -run '^$$' -fuzz '^FuzzHistogramInvariants$$' -fuzztime=10s ./internal/stats
 	$(GO) test -run '^$$' -fuzz '^FuzzOrderStatisticCDF$$' -fuzztime=10s ./internal/coscode
 	$(GO) test -run '^$$' -fuzz '^FuzzBrentGuarded$$' -fuzztime=10s ./internal/numeric
 	$(GO) test -run '^$$' -fuzz '^FuzzPartialMerge$$' -fuzztime=10s ./internal/cluster
+
+# A short open-loop cosload run against an in-process cosserve: the whole
+# ingest pipeline (NDJSON streaming, striped state, predict probes) smoke-
+# tested through the real binary in a couple of seconds.
+loadtest:
+	$(GO) run ./cmd/cosload -selftest -devices 4 \
+		-warm-rate 100 -warm-dur 300ms \
+		-rate-start 150 -rate-end 300 -rate-step 150 -step-dur 500ms \
+		-predict-rate 100
 
 # Repeated race-enabled runs of the fault-injection and cancellation suites:
 # the tests that depend on goroutine interleavings get three chances to flake.

@@ -9,6 +9,8 @@ import (
 	"cosmodel/internal/coscode"
 	"cosmodel/internal/dist"
 	"cosmodel/internal/experiments"
+	"cosmodel/internal/ingest"
+	"cosmodel/internal/load"
 	"cosmodel/internal/numeric"
 	"cosmodel/internal/obs"
 	"cosmodel/internal/parallel"
@@ -505,6 +507,46 @@ var (
 	WriteTrace         = trace.Write
 	ReadTrace          = trace.Read
 	ParseWikibench     = trace.ParseWikibench
+)
+
+// ---------------------------------------------------------------------------
+// Load generation (open-loop client driver); see internal/load.
+
+type (
+	// LoadConfig parameterizes one open-loop run against a serving
+	// endpoint: a Schedule of Poisson arrival phases, the ingest wire
+	// mode, and an independent predict-probe stream.
+	LoadConfig = load.Config
+	// LoadReport is the measured outcome: achieved obs/sec, predict QPS,
+	// and client-observed latency percentiles per stream.
+	LoadReport = load.Report
+	// LoadStreamReport summarizes one request stream.
+	LoadStreamReport = load.StreamReport
+	// LoadPhaseReport is the per-phase arrival accounting.
+	LoadPhaseReport = load.PhaseReport
+)
+
+// Ingest wire modes accepted by LoadConfig.Mode and negotiated by /ingest.
+const (
+	LoadModeJSON   = load.ModeJSON
+	LoadModeNDJSON = load.ModeNDJSON
+
+	// IngestContentTypeJSON and IngestContentTypeNDJSON are the media
+	// types the serving tier negotiates on POST /ingest.
+	IngestContentTypeJSON   = ingest.ContentTypeJSON
+	IngestContentTypeNDJSON = ingest.ContentTypeNDJSON
+)
+
+var (
+	// RunLoad executes an open-loop run and blocks until the schedule
+	// finishes and in-flight requests drain.
+	RunLoad = load.Run
+	// LoadSyntheticSource generates steady-workload observation batches
+	// for throughput-only runs.
+	LoadSyntheticSource = load.SyntheticSource
+	// EncodeObservationsNDJSON writes a batch in the streaming /ingest
+	// wire format, one JSON observation per line.
+	EncodeObservationsNDJSON = ingest.EncodeNDJSON
 )
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,144 @@
+// Command cosload is the open-loop load generator for the serving tier: it
+// replays a phased arrival schedule (the paper's warmup / transition /
+// rate-step construction) against a cosserve or cosrouter endpoint, posting
+// observation batches over the streaming NDJSON ingest mode (or the JSON
+// array mode) and an independent Poisson stream of /predict probes, then
+// reports achieved obs/sec, predict QPS, and client-observed latency
+// percentiles over the measured phases.
+//
+// Usage:
+//
+//	cosload -target http://localhost:8080 -devices 4 \
+//	    -rate-start 50 -rate-end 200 -rate-step 50 -step-dur 10 \
+//	    -predict-rate 100 -mode ndjson
+//
+//	cosload -selftest        # spin an in-process cosserve and load it
+//
+// Being open-loop, arrivals never wait for responses: a saturated service
+// sees the offered rate, and overflow beyond -max-inflight is dropped and
+// counted rather than silently throttled.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cosmodel"
+)
+
+func main() {
+	cfg, opts, err := configure(os.Args[1:])
+	if err != nil {
+		fatal(err)
+	}
+
+	// -selftest: an in-process serving instance is both the smoke test for
+	// the generator and a one-command demo of the whole ingest pipeline.
+	if opts.selftest {
+		srv, err := cosmodel.NewServeServer(cosmodel.DefaultServeConfig(defaultProps(), cfg.Devices))
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		cfg.Target = ts.URL
+		fmt.Fprintf(os.Stderr, "cosload: self-test server at %s\n", cfg.Target)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "cosload: %d phases over %.1fs against %s (mode %s, predict %.1f/s)\n",
+		len(cfg.Schedule), cfg.Schedule.TotalDuration(), cfg.Target, cfg.Mode, cfg.PredictRate)
+
+	rep, err := cosmodel.RunLoad(ctx, cfg)
+	if err != nil && rep == nil {
+		fatal(err)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cosload: run interrupted (%v); partial report follows\n", err)
+	}
+	if opts.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	} else if err := rep.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// runOptions are the process-level settings outside the load config.
+type runOptions struct {
+	selftest bool
+	jsonOut  bool
+}
+
+// configure parses flags into a load configuration; split from main so
+// tests can exercise it without issuing traffic.
+func configure(args []string) (cosmodel.LoadConfig, runOptions, error) {
+	fs := flag.NewFlagSet("cosload", flag.ContinueOnError)
+	var (
+		target   = fs.String("target", "http://localhost:8080", "base URL of the cosserve/cosrouter under test")
+		devices  = fs.Int("devices", 4, "devices the generated observations describe")
+		mode     = fs.String("mode", cosmodel.LoadModeNDJSON, "ingest wire mode: json | ndjson")
+		predict  = fs.Float64("predict-rate", 50, "independent /predict probe rate (req/s, 0 = off)")
+		inflight = fs.Int("max-inflight", 256, "open-loop concurrency cap; overflow arrivals are dropped and counted")
+		seed     = fs.Int64("seed", 1, "arrival-process random seed")
+
+		warmRate  = fs.Float64("warm-rate", 50, "warmup-phase batch rate (batches/s)")
+		warmDur   = fs.Duration("warm-dur", 5*time.Second, "warmup-phase length (0 skips it)")
+		transRate = fs.Float64("trans-rate", 20, "transition-phase batch rate")
+		transDur  = fs.Duration("trans-dur", 0, "transition-phase length (0 skips it)")
+		rateStart = fs.Float64("rate-start", 50, "first measured step's batch rate")
+		rateEnd   = fs.Float64("rate-end", 200, "last measured step's batch rate")
+		rateStep  = fs.Float64("rate-step", 50, "batch-rate increment between steps")
+		stepDur   = fs.Duration("step-dur", 10*time.Second, "measured length of each step")
+
+		selftest = fs.Bool("selftest", false, "spin an in-process cosserve and load it (ignores -target)")
+		jsonOut  = fs.Bool("json", false, "emit the report as JSON instead of the text summary")
+	)
+	if err := fs.Parse(args); err != nil {
+		return cosmodel.LoadConfig{}, runOptions{}, err
+	}
+	sched, err := cosmodel.PaperSchedule(*warmRate, warmDur.Seconds(), *transRate, transDur.Seconds(),
+		*rateStart, *rateEnd, *rateStep, stepDur.Seconds())
+	if err != nil {
+		return cosmodel.LoadConfig{}, runOptions{}, err
+	}
+	cfg := cosmodel.LoadConfig{
+		Target:      *target,
+		Devices:     *devices,
+		Mode:        *mode,
+		Schedule:    sched,
+		PredictRate: *predict,
+		MaxInflight: *inflight,
+		Seed:        *seed,
+	}
+	return cfg, runOptions{selftest: *selftest, jsonOut: *jsonOut}, nil
+}
+
+// defaultProps mirrors cosserve's default simulated-testbed hardware, so a
+// self-test server predicts with the same calibration a real one would.
+func defaultProps() cosmodel.DeviceProperties {
+	return cosmodel.DeviceProperties{
+		IndexDisk: cosmodel.NewGammaMeanSCV(9e-3, 0.45),
+		MetaDisk:  cosmodel.NewGammaMeanSCV(6e-3, 0.50),
+		DataDisk:  cosmodel.NewGammaMeanSCV(8e-3, 0.40),
+		ParseFE:   cosmodel.Degenerate{Value: 300e-6},
+		ParseBE:   cosmodel.Degenerate{Value: 500e-6},
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cosload:", err)
+	os.Exit(1)
+}

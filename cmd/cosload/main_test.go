@@ -1,0 +1,74 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"cosmodel"
+)
+
+func TestConfigureDefaults(t *testing.T) {
+	cfg, opts, err := configure(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Mode != cosmodel.LoadModeNDJSON {
+		t.Errorf("default mode = %q", cfg.Mode)
+	}
+	if cfg.Devices != 4 || cfg.PredictRate != 50 || cfg.MaxInflight != 256 {
+		t.Errorf("defaults off: %+v", cfg)
+	}
+	// warmup + 4 steps (50..200 by 50), no transition
+	if len(cfg.Schedule) != 5 {
+		t.Errorf("schedule has %d phases, want 5: %+v", len(cfg.Schedule), cfg.Schedule)
+	}
+	if cfg.Schedule[0].Label != "warmup" {
+		t.Errorf("first phase %q, want warmup", cfg.Schedule[0].Label)
+	}
+	if opts.selftest || opts.jsonOut {
+		t.Errorf("options default on: %+v", opts)
+	}
+}
+
+func TestConfigureRejectsBadSchedule(t *testing.T) {
+	if _, _, err := configure([]string{"-rate-start", "200", "-rate-end", "100"}); err == nil {
+		t.Fatal("descending rate sweep accepted")
+	}
+	if _, _, err := configure([]string{"-not-a-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+// TestQuickRunEndToEnd wires configure's output through a real run against
+// an in-process server — the same path -selftest takes, scaled down.
+func TestQuickRunEndToEnd(t *testing.T) {
+	cfg, _, err := configure([]string{
+		"-devices", "2",
+		"-warm-dur", "100ms", "-warm-rate", "100",
+		"-rate-start", "100", "-rate-end", "100", "-rate-step", "50",
+		"-step-dur", "300ms", "-predict-rate", "50",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := cosmodel.NewServeServer(cosmodel.DefaultServeConfig(defaultProps(), cfg.Devices))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cfg.Target = ts.URL
+
+	rep, err := cosmodel.RunLoad(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ingest.OK == 0 || rep.Predict.OK == 0 {
+		t.Fatalf("quick run produced no traffic: %+v", rep)
+	}
+	if rep.ObsPerSec <= 0 {
+		t.Fatalf("no sustained throughput: %+v", rep)
+	}
+}

@@ -88,6 +88,8 @@ func configure(args []string) (cosmodel.ServeConfig, runOptions, error) {
 		maxObs   = fs.Int("max-observations", 128, "retained observations per device")
 		inflight = fs.Int("max-inflight", 64, "concurrent model evaluations before shedding with 503")
 		cacheN   = fs.Int("cache-entries", 4096, "memoized predictions kept")
+		stripes  = fs.Int("ingest-stripes", 0, "lock stripes of the observation table (0 = auto from GOMAXPROCS)")
+		queue    = fs.Int("ingest-queue", 256, "calibration hand-off ring capacity in batches")
 		evalTO   = fs.Duration("eval-timeout", 10*time.Second, "per-query model evaluation budget (0 = unbounded)")
 		grace    = fs.Duration("shutdown-grace", 15*time.Second, "drain time for in-flight requests on SIGINT/SIGTERM")
 		shard    = fs.Bool("shard", false, "expose the cluster-internal /shard/* endpoints for cosrouter fan-out")
@@ -130,6 +132,8 @@ func configure(args []string) (cosmodel.ServeConfig, runOptions, error) {
 	cfg.MaxObservations = *maxObs
 	cfg.MaxInflight = *inflight
 	cfg.CacheEntries = *cacheN
+	cfg.IngestStripes = *stripes
+	cfg.IngestQueue = *queue
 	cfg.Opts.EvalTimeout = *evalTO
 	cfg.ShardMode = *shard
 	cfg.Pprof = *obsPprof

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"time"
 
+	"cosmodel/internal/ingest"
 	"cosmodel/internal/retry"
 	"cosmodel/internal/serve"
 )
@@ -70,6 +71,13 @@ func (c *shardClient) doJSON(ctx context.Context, node int, method, path string,
 			return retry.Permanent(err)
 		}
 	}
+	return c.doRaw(ctx, node, method, path, payload, "application/json", out)
+}
+
+// doRaw is doJSON with a pre-encoded payload and explicit content type —
+// the NDJSON forwarding path encodes once and replays the same bytes across
+// retries.
+func (c *shardClient) doRaw(ctx context.Context, node int, method, path string, payload []byte, contentType string, out any) error {
 	attempt := 0
 	return c.policy.Do(ctx, func(ctx context.Context) error {
 		if attempt++; attempt > 1 && c.onRetry != nil {
@@ -84,7 +92,7 @@ func (c *shardClient) doJSON(ctx context.Context, node int, method, path string,
 			return retry.Permanent(err)
 		}
 		if payload != nil {
-			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("Content-Type", contentType)
 		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
@@ -114,9 +122,17 @@ func (c *shardClient) doJSON(ctx context.Context, node int, method, path string,
 	})
 }
 
+// postIngest dual-writes a batch to one replica over the streaming NDJSON
+// mode: the shard absorbs it through its striped ingest path in pooled
+// chunks instead of materializing the whole envelope, and the wire format
+// costs one line per observation rather than a JSON array in memory.
 func (c *shardClient) postIngest(ctx context.Context, node int, batch []serve.Observation) error {
-	return c.doJSON(ctx, node, http.MethodPost, "/ingest",
-		serve.IngestRequest{Observations: batch}, nil)
+	var buf bytes.Buffer
+	if err := ingest.EncodeNDJSON(&buf, batch); err != nil {
+		return retry.Permanent(err)
+	}
+	return c.doRaw(ctx, node, http.MethodPost, "/ingest",
+		buf.Bytes(), ingest.ContentTypeNDJSON, nil)
 }
 
 func (c *shardClient) getState(ctx context.Context, node int) (serve.ShardStateResponse, error) {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"mime"
 	"net/http"
 	"strconv"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"cosmodel/internal/core"
+	"cosmodel/internal/ingest"
 	"cosmodel/internal/obs"
 	"cosmodel/internal/serve"
 )
@@ -117,8 +119,49 @@ func NewRouter(cfg Config) (*Router, error) {
 	return r, nil
 }
 
-// Start launches the health prober (no-op with ProbeInterval 0).
-func (r *Router) Start() { r.prober.start() }
+// Start launches the health prober (no-op with ProbeInterval 0) and warms
+// the rate tracker from the shards' persisted windows, so a restarted
+// router fronting warm shards serves /predict immediately instead of
+// reporting zero ingest for a full observation window.
+func (r *Router) Start() {
+	r.prober.start()
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if n := r.WarmupOnce(ctx); n > 0 {
+			r.logf("cluster: rate tracker warmed from shard state (%d devices)", n)
+		}
+	}()
+}
+
+// WarmupOnce rebuilds the rate tracker from every reachable shard's
+// /shard/state device rates, taking the per-device maximum across replicas
+// (dual-written replicas should agree; a lagging one under-reports). Only
+// devices with no live entries are seeded — forwarded traffic that arrived
+// before the warmup answer always wins. Returns the number of devices
+// seeded. Safe to call at any time; a fully warm tracker makes it a no-op.
+func (r *Router) WarmupOnce(ctx context.Context) int {
+	best := make([]float64, r.cfg.Devices)
+	for n := range r.cfg.Nodes {
+		st, err := r.client.getState(ctx, n)
+		if err != nil {
+			r.logf("cluster: warmup state from node %d: %v", n, err)
+			continue
+		}
+		for d, rate := range st.DeviceRates {
+			if d < len(best) && rate > best[d] {
+				best[d] = rate
+			}
+		}
+	}
+	seeded := 0
+	for d, rate := range best {
+		if r.rates.seed(d, rate) {
+			seeded++
+		}
+	}
+	return seeded
+}
 
 // Close stops the prober.
 func (r *Router) Close() { r.prober.close() }
@@ -179,6 +222,28 @@ func (rt *rateTracker) add(o serve.Observation) {
 		rt.spans[d] -= rt.devices[d][0].interval
 		rt.devices[d] = rt.devices[d][1:]
 	}
+}
+
+// seed installs a synthetic full-window entry for a device that has no live
+// observations yet — the router-restart warm start. Live data always wins:
+// a device that has already accumulated forwarded observations is left
+// untouched, and the synthetic entry ages out of the window like any other
+// as real traffic arrives.
+func (rt *rateTracker) seed(d int, rate float64) bool {
+	if !(rate > 0) || math.IsInf(rate, 0) {
+		return false
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.spans[d] > 0 {
+		return false
+	}
+	rt.devices[d] = append(rt.devices[d], rateEntry{
+		interval: rt.window,
+		requests: uint64(math.Round(rate * rt.window)),
+	})
+	rt.spans[d] += rt.window
+	return true
 }
 
 func (rt *rateTracker) rateLocked(d int) float64 {
@@ -285,19 +350,75 @@ func (r *Router) Handler() http.Handler {
 // ---------------------------------------------------------------------------
 // /ingest: dual-write to the replica chain.
 
+// decodeIngest negotiates the ingest payload encoding like the serve tier:
+// a JSON-array envelope or an NDJSON stream, selected by content type (415
+// for anything else). Unlike a shard, the router needs the complete batch
+// before fanning out (the coverage check is batch-atomic), so NDJSON is
+// collected rather than absorbed chunk by chunk: a bad line rejects the
+// whole request with its line number and nothing is forwarded. The reply
+// reports false after writing the error response.
+func (r *Router) decodeIngest(w http.ResponseWriter, req *http.Request) ([]serve.Observation, bool) {
+	mt := ingest.ContentTypeJSON
+	if ct := req.Header.Get("Content-Type"); ct != "" {
+		parsed, _, err := mime.ParseMediaType(ct)
+		if err != nil {
+			parsed = ct // unparsable: report the raw header in the 415
+		}
+		mt = parsed
+	}
+	switch mt {
+	case ingest.ContentTypeJSON:
+		var in serve.IngestRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&in); err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				r.writeJSON(w, http.StatusRequestEntityTooLarge,
+					errorBody{Error: fmt.Sprintf("body exceeds %d bytes", mbe.Limit)})
+				return nil, false
+			}
+			r.badRequest(w, fmt.Errorf("%w: %v", serve.ErrBadQuery, err))
+			return nil, false
+		}
+		return in.Observations, true
+	case ingest.ContentTypeNDJSON:
+		var observations []serve.Observation
+		_, err := ingest.DecodeNDJSON(http.MaxBytesReader(w, req.Body, 1<<20), r.cfg.Devices, 0,
+			func(chunk []serve.Observation) error {
+				observations = append(observations, chunk...)
+				return nil
+			})
+		if err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				r.writeJSON(w, http.StatusRequestEntityTooLarge,
+					errorBody{Error: fmt.Sprintf("body exceeds %d bytes", mbe.Limit)})
+				return nil, false
+			}
+			r.badRequest(w, fmt.Errorf("%w: %v", serve.ErrBadQuery, err))
+			return nil, false
+		}
+		return observations, true
+	default:
+		r.badRequests.Inc()
+		r.writeJSON(w, http.StatusUnsupportedMediaType, errorBody{
+			Error: fmt.Sprintf("unsupported content type %q: use %s or %s",
+				mt, ingest.ContentTypeJSON, ingest.ContentTypeNDJSON)})
+		return nil, false
+	}
+}
+
 func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodPost {
 		r.writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
 		return
 	}
-	var in serve.IngestRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&in); err != nil {
-		r.badRequest(w, fmt.Errorf("%w: %v", serve.ErrBadQuery, err))
+	observations, ok := r.decodeIngest(w, req)
+	if !ok {
 		return
 	}
-	if len(in.Observations) == 0 {
+	if len(observations) == 0 {
 		r.badRequest(w, fmt.Errorf("%w: empty observation batch", serve.ErrBadQuery))
 		return
 	}
@@ -305,7 +426,7 @@ func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
 	// device's chain (dual-write), so warm standbys hold the same sliding
 	// windows and calibration feed as their primaries.
 	perNode := make(map[int][]serve.Observation)
-	for _, o := range in.Observations {
+	for _, o := range observations {
 		if err := o.Validate(r.cfg.Devices); err != nil {
 			r.badRequest(w, err)
 			return
@@ -324,7 +445,7 @@ func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
 			results <- outcome{node: node, err: r.client.postIngest(req.Context(), node, batch)}
 		}(n, batch)
 	}
-	ok := make(map[int]bool, len(perNode))
+	acked := make(map[int]bool, len(perNode))
 	for range perNode {
 		out := <-results
 		if out.err != nil {
@@ -334,14 +455,14 @@ func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
 			continue
 		}
 		r.prober.noteSuccess(out.node)
-		ok[out.node] = true
+		acked[out.node] = true
 	}
 	// Coverage check: every observation must have landed on at least one
 	// replica, else its device would silently vanish from the mixture.
-	for _, o := range in.Observations {
+	for _, o := range observations {
 		covered := false
 		for _, n := range r.topo.ChainFor(o.Device) {
-			if ok[n] {
+			if acked[n] {
 				covered = true
 				break
 			}
@@ -352,10 +473,10 @@ func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
 			return
 		}
 	}
-	for _, o := range in.Observations {
+	for _, o := range observations {
 		r.rates.add(o)
 	}
-	r.writeJSON(w, http.StatusOK, serve.IngestResponse{Accepted: len(in.Observations)})
+	r.writeJSON(w, http.StatusOK, serve.IngestResponse{Accepted: len(observations)})
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,80 @@
+package ingest
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// BenchmarkTableIngest measures concurrent ingest throughput per stripe
+// count. Stripes=1 is the single-lock baseline the striped layouts are
+// compared against (the ISSUE's ≥5× bar at 8+ cores); each parallel worker
+// ingests batches for a disjoint device subset, the favourable-but-realistic
+// case of one monitoring agent per device group.
+func BenchmarkTableIngest(b *testing.B) {
+	const devices = 64
+	const batchSize = 32
+	for _, stripes := range []int{1, 8, 0} {
+		name := fmt.Sprintf("stripes=%d", stripes)
+		if stripes == 0 {
+			name = "stripes=auto"
+		}
+		b.Run(name, func(b *testing.B) {
+			tb, err := NewTable(Config{Devices: devices, Stripes: stripes,
+				Window: 60, MaxEntries: 128, Procs: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			now := time.Now()
+			var worker atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				w := int(worker.Add(1)) - 1
+				batch := make([]Observation, batchSize)
+				for i := range batch {
+					// Workers write disjoint devices so striping can pay off.
+					batch[i] = Observation{
+						Device:   (w*batchSize + i) % devices,
+						Interval: 1, Requests: 100, DataReads: 120,
+						IndexHits: 900, IndexMisses: 100,
+						MetaHits: 900, MetaMisses: 100,
+						DataHits: 900, DataMisses: 100,
+						DiskBusy: 0.5, DiskOps: 100,
+					}
+				}
+				for pb.Next() {
+					if err := tb.Ingest(batch, now); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			obs := uint64(b.N) * batchSize
+			b.ReportMetric(float64(obs)/b.Elapsed().Seconds(), "obs/s")
+		})
+	}
+}
+
+// BenchmarkDecodeNDJSON measures the streaming decoder alone: pooled
+// chunks, strict per-line decoding, validation.
+func BenchmarkDecodeNDJSON(b *testing.B) {
+	batch := randomBatches(11, 16, 1, 512)[0]
+	var buf strings.Builder
+	if err := EncodeNDJSON(&buf, batch); err != nil {
+		b.Fatal(err)
+	}
+	body := buf.String()
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := DecodeNDJSON(strings.NewReader(body), 16, 0, func([]Observation) error { return nil })
+		if err != nil || n != len(batch) {
+			b.Fatalf("n=%d err=%v", n, err)
+		}
+	}
+}

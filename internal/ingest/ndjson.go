@@ -1,0 +1,150 @@
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Content types negotiated by the /ingest endpoint.
+const (
+	// ContentTypeJSON is the original array mode: one IngestRequest
+	// envelope, absorbed all-or-nothing.
+	ContentTypeJSON = "application/json"
+	// ContentTypeNDJSON is the streaming batch mode: one Observation per
+	// line, validated and absorbed chunk by chunk.
+	ContentTypeNDJSON = "application/x-ndjson"
+)
+
+// DefaultChunkSize is the observations-per-chunk granularity of the NDJSON
+// streaming decoder: large enough to amortize the per-chunk table pass,
+// small enough that a rejected line loses at most one chunk of progress.
+const DefaultChunkSize = 256
+
+// maxLineBytes bounds one NDJSON line; a single observation (even with
+// generous latency sample arrays) fits comfortably in 1 MiB.
+const maxLineBytes = 1 << 20
+
+// LineError locates a decode or validation failure in an NDJSON stream.
+// Line is 1-based and counts every physical line, blank ones included.
+type LineError struct {
+	Line int
+	Err  error
+}
+
+func (e *LineError) Error() string { return fmt.Sprintf("line %d: %v", e.Line, e.Err) }
+func (e *LineError) Unwrap() error { return e.Err }
+
+// chunkPool recycles decode chunks so a sustained NDJSON stream allocates
+// observation slices once, not per chunk.
+var chunkPool = sync.Pool{
+	New: func() any {
+		s := make([]Observation, 0, DefaultChunkSize)
+		return &s
+	},
+}
+
+// GetBatch borrows an empty observation slice from the shared pool.
+func GetBatch() *[]Observation {
+	b := chunkPool.Get().(*[]Observation)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutBatch returns a borrowed slice to the pool.
+func PutBatch(b *[]Observation) {
+	*b = (*b)[:0]
+	chunkPool.Put(b)
+}
+
+// DecodeNDJSON reads newline-delimited observations from r, validating each
+// line against the deployment size, and emits them in chunks of up to
+// chunkSize (0 selects DefaultChunkSize). The chunk slice passed to emit is
+// pooled: it is valid only for the duration of the call, and emit must copy
+// anything it retains (the state table copies on ingest, so the serving
+// path needs no extra copy).
+//
+// accepted counts observations successfully handed to emit. Blank lines are
+// skipped. A malformed or invalid line aborts the stream with a *LineError
+// (earlier chunks stay absorbed — streaming is chunk-atomic, not
+// batch-atomic); an emit error aborts with that error; a reader error (e.g.
+// http.MaxBytesError from a capped body) is returned unwrapped so callers
+// keep their size taxonomy.
+func DecodeNDJSON(r io.Reader, devices, chunkSize int, emit func([]Observation) error) (accepted int, err error) {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	chunk := GetBatch()
+	defer PutBatch(chunk)
+	flush := func() error {
+		if len(*chunk) == 0 {
+			return nil
+		}
+		if err := emit(*chunk); err != nil {
+			return err
+		}
+		accepted += len(*chunk)
+		*chunk = (*chunk)[:0]
+		return nil
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var o Observation
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&o); err != nil {
+			// A reader error (a capped body, a dropped connection) makes the
+			// scanner surface its buffered remainder as a final, truncated
+			// token; that token failing to parse is the reader's fault, not
+			// the input's — report the reader error so callers keep their
+			// taxonomy (http.MaxBytesError → 413).
+			if rerr := sc.Err(); rerr != nil {
+				return accepted, rerr
+			}
+			return accepted, &LineError{Line: line, Err: fmt.Errorf("%w: %v", ErrInvalid, err)}
+		}
+		if dec.More() {
+			return accepted, &LineError{Line: line, Err: fmt.Errorf("%w: trailing data after observation", ErrInvalid)}
+		}
+		if err := o.Validate(devices); err != nil {
+			return accepted, &LineError{Line: line, Err: err}
+		}
+		*chunk = append(*chunk, o)
+		if len(*chunk) >= chunkSize {
+			if err := flush(); err != nil {
+				return accepted, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return accepted, &LineError{Line: line + 1,
+				Err: fmt.Errorf("%w: line exceeds %d bytes", ErrInvalid, maxLineBytes)}
+		}
+		return accepted, err
+	}
+	return accepted, flush()
+}
+
+// EncodeNDJSON writes batch in the streaming wire format: one JSON
+// observation per line.
+func EncodeNDJSON(w io.Writer, batch []Observation) error {
+	enc := json.NewEncoder(w)
+	for i := range batch {
+		if err := enc.Encode(&batch[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

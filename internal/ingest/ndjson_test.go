@@ -1,0 +1,153 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func ndjsonBody(t *testing.T, batch []Observation) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeNDJSON(&buf, batch); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestDecodeNDJSONRoundTrip(t *testing.T) {
+	batches := randomBatches(3, 6, 1, 23)
+	body := ndjsonBody(t, batches[0])
+	var got []Observation
+	calls := 0
+	accepted, err := DecodeNDJSON(strings.NewReader(body), 6, 5, func(chunk []Observation) error {
+		calls++
+		got = append(got, chunk...) // copy: the chunk is pooled
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted != 23 {
+		t.Fatalf("accepted = %d, want 23", accepted)
+	}
+	if calls != 5 { // ceil(23/5)
+		t.Fatalf("emit calls = %d, want 5", calls)
+	}
+	if len(got) != len(batches[0]) {
+		t.Fatalf("decoded %d observations, want %d", len(got), len(batches[0]))
+	}
+	for i := range got {
+		want := batches[0][i]
+		if got[i].Device != want.Device || got[i].Requests != want.Requests ||
+			got[i].Interval != want.Interval || len(got[i].Latencies) != len(want.Latencies) {
+			t.Fatalf("observation %d round-trip mismatch:\n got %+v\nwant %+v", i, got[i], want)
+		}
+	}
+}
+
+func TestDecodeNDJSONSkipsBlankLines(t *testing.T) {
+	body := "\n" + ndjsonBody(t, []Observation{{Device: 0, Interval: 1, Requests: 5}}) + "\n\n"
+	accepted, err := DecodeNDJSON(strings.NewReader(body), 1, 0, func([]Observation) error { return nil })
+	if err != nil || accepted != 1 {
+		t.Fatalf("accepted=%d err=%v, want 1,nil", accepted, err)
+	}
+}
+
+func TestDecodeNDJSONLineErrors(t *testing.T) {
+	valid := `{"device":0,"interval":1,"requests":5}`
+	cases := []struct {
+		name string
+		body string
+		line int
+	}{
+		{"garbage", valid + "\n{not json}\n", 2},
+		{"unknown field", `{"device":0,"interval":1,"bogus":3}` + "\n", 1},
+		{"trailing data", `{"device":0,"interval":1} {"x":1}` + "\n", 1},
+		{"bad device", valid + "\n" + `{"device":7,"interval":1}` + "\n", 2},
+		{"zero interval", `{"device":0,"interval":0}` + "\n", 1},
+		{"negative latency", `{"device":0,"interval":1,"latencies":[-1]}` + "\n", 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeNDJSON(strings.NewReader(tc.body), 4, 0, func([]Observation) error { return nil })
+			var le *LineError
+			if !errors.As(err, &le) {
+				t.Fatalf("err = %v, want *LineError", err)
+			}
+			if le.Line != tc.line {
+				t.Fatalf("line = %d, want %d", le.Line, tc.line)
+			}
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("err = %v does not wrap ErrInvalid", err)
+			}
+		})
+	}
+}
+
+// TestDecodeNDJSONChunkAtomic pins the streaming semantics: chunks emitted
+// before a bad line stay accepted, and the error names the offending line.
+func TestDecodeNDJSONChunkAtomic(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 7; i++ {
+		fmt.Fprintf(&b, `{"device":%d,"interval":1,"requests":1}`+"\n", i%3)
+	}
+	b.WriteString(`{"device":99,"interval":1}` + "\n")
+	accepted, err := DecodeNDJSON(strings.NewReader(b.String()), 3, 4, func([]Observation) error { return nil })
+	var le *LineError
+	if !errors.As(err, &le) || le.Line != 8 {
+		t.Fatalf("err = %v, want *LineError at line 8", err)
+	}
+	if accepted != 4 { // one full chunk of 4 flushed; the partial 3 + bad line lost
+		t.Fatalf("accepted = %d, want 4", accepted)
+	}
+}
+
+// TestDecodeNDJSONEmitError propagates the consumer's error and stops.
+func TestDecodeNDJSONEmitError(t *testing.T) {
+	body := ndjsonBody(t, randomBatches(5, 4, 1, 10)[0])
+	boom := errors.New("boom")
+	accepted, err := DecodeNDJSON(strings.NewReader(body), 4, 4, func([]Observation) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if accepted != 0 {
+		t.Fatalf("accepted = %d, want 0 (first emit failed)", accepted)
+	}
+}
+
+// TestDecodeNDJSONReaderError surfaces reader failures unwrapped, so the
+// HTTP layer keeps its MaxBytesError taxonomy.
+func TestDecodeNDJSONReaderError(t *testing.T) {
+	readerErr := errors.New("capped")
+	r := &failingReader{data: []byte(`{"device":0,"interval":1}` + "\n"), err: readerErr}
+	_, err := DecodeNDJSON(r, 1, 0, func([]Observation) error { return nil })
+	if !errors.Is(err, readerErr) {
+		t.Fatalf("err = %v, want the reader's error", err)
+	}
+}
+
+type failingReader struct {
+	data []byte
+	err  error
+}
+
+func (f *failingReader) Read(p []byte) (int, error) {
+	if len(f.data) == 0 {
+		return 0, f.err
+	}
+	n := copy(p, f.data)
+	f.data = f.data[n:]
+	return n, nil
+}
+
+func TestDecodeNDJSONOversizedLine(t *testing.T) {
+	long := `{"device":0,"interval":1,"latencies":[` + strings.Repeat("0.1,", maxLineBytes/4) + `0.1]}`
+	_, err := DecodeNDJSON(strings.NewReader(long), 1, 0, func([]Observation) error { return nil })
+	var le *LineError
+	if !errors.As(err, &le) || !errors.Is(err, ErrInvalid) {
+		t.Fatalf("err = %v, want *LineError wrapping ErrInvalid", err)
+	}
+}

@@ -1,0 +1,105 @@
+package ingest
+
+import "sync"
+
+// Ring is a bounded MPSC/MPMC hand-off queue with non-blocking producers:
+// TryPush never waits, and overflow is counted instead of blocking the
+// caller or silently vanishing. It decouples the HTTP ingest path from
+// slower downstream consumers (the calibration feed): acceptance latency
+// stays flat no matter how far the consumer lags, and the Dropped counter
+// makes the shed work an operational signal.
+type Ring[T any] struct {
+	mu       sync.Mutex
+	nonempty sync.Cond
+	buf      []T
+	head     int // index of the oldest element
+	count    int
+	closed   bool
+	pushed   uint64 // accepted pushes
+	popped   uint64 // delivered pops
+	dropped  uint64 // pushes refused because the ring was full or closed
+}
+
+// NewRing builds a ring holding up to capacity elements (minimum 1).
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	r := &Ring[T]{buf: make([]T, capacity)}
+	r.nonempty.L = &r.mu
+	return r
+}
+
+// TryPush enqueues v without blocking. It reports false — and counts the
+// drop — when the ring is full or closed.
+func (r *Ring[T]) TryPush(v T) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || r.count == len(r.buf) {
+		r.dropped++
+		return false
+	}
+	r.buf[(r.head+r.count)%len(r.buf)] = v
+	r.count++
+	r.pushed++
+	r.nonempty.Signal()
+	return true
+}
+
+// Pop blocks until an element is available and returns it. After Close, the
+// remaining elements drain in order; ok is false once the ring is closed
+// and empty.
+func (r *Ring[T]) Pop() (v T, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.count == 0 {
+		if r.closed {
+			return v, false
+		}
+		r.nonempty.Wait()
+	}
+	v = r.buf[r.head]
+	var zero T
+	r.buf[r.head] = zero // release the reference for GC
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+	r.popped++
+	return v, true
+}
+
+// Close stops the ring: subsequent pushes are refused (and counted as
+// drops), and Pop returns ok=false once the remaining elements drain.
+func (r *Ring[T]) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.nonempty.Broadcast()
+	r.mu.Unlock()
+}
+
+// Len returns the elements currently queued.
+func (r *Ring[T]) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Pushed returns the cumulative accepted pushes.
+func (r *Ring[T]) Pushed() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pushed
+}
+
+// Popped returns the cumulative delivered pops.
+func (r *Ring[T]) Popped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.popped
+}
+
+// Dropped returns the cumulative refused pushes.
+func (r *Ring[T]) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}

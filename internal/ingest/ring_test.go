@@ -1,0 +1,103 @@
+package ingest
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingOrderAndCounters(t *testing.T) {
+	r := NewRing[int](3)
+	for i := 1; i <= 3; i++ {
+		if !r.TryPush(i) {
+			t.Fatalf("push %d refused below capacity", i)
+		}
+	}
+	if r.TryPush(4) {
+		t.Fatal("push accepted on a full ring")
+	}
+	if got := r.Dropped(); got != 1 {
+		t.Fatalf("dropped = %d, want 1", got)
+	}
+	if got := r.Len(); got != 3 {
+		t.Fatalf("len = %d, want 3", got)
+	}
+	for i := 1; i <= 3; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	// Freed capacity accepts again; Close drains then reports exhaustion.
+	if !r.TryPush(9) {
+		t.Fatal("push refused after drain")
+	}
+	r.Close()
+	if r.TryPush(10) {
+		t.Fatal("push accepted after Close")
+	}
+	if v, ok := r.Pop(); !ok || v != 9 {
+		t.Fatalf("post-close drain pop = (%d,%v), want (9,true)", v, ok)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("pop reported ok on a closed empty ring")
+	}
+	if got := r.Pushed(); got != 4 {
+		t.Fatalf("pushed = %d, want 4", got)
+	}
+	if got := r.Popped(); got != 4 {
+		t.Fatalf("popped = %d, want 4", got)
+	}
+	if got := r.Dropped(); got != 2 {
+		t.Fatalf("dropped = %d, want 2", got)
+	}
+}
+
+// TestRingConcurrent hammers the ring from many producers with one consumer
+// under -race: everything pushed is popped exactly once, and accepted plus
+// dropped accounts for every attempt — no silent loss.
+func TestRingConcurrent(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 2000
+	)
+	r := NewRing[int](64)
+	seen := make(map[int]int)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			v, ok := r.Pop()
+			if !ok {
+				return
+			}
+			seen[v]++
+		}
+	}()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				r.TryPush(p*perProd + i)
+			}
+		}(p)
+	}
+	wg.Wait()
+	r.Close()
+	<-done
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d delivered %d times", v, n)
+		}
+	}
+	total := r.Pushed() + r.Dropped()
+	if total != producers*perProd {
+		t.Fatalf("pushed %d + dropped %d = %d attempts, want %d",
+			r.Pushed(), r.Dropped(), total, producers*perProd)
+	}
+	if uint64(len(seen)) != r.Popped() || r.Popped() != r.Pushed() {
+		t.Fatalf("delivered %d, popped %d, pushed %d: must all agree",
+			len(seen), r.Popped(), r.Pushed())
+	}
+}

@@ -1,0 +1,94 @@
+package ingest
+
+import (
+	"math"
+
+	"cosmodel/internal/core"
+	"cosmodel/internal/stats"
+)
+
+// windowEntry is one retained observation with its latency histogram.
+type windowEntry struct {
+	obs Observation
+	lat *stats.Histogram // nil when the observation carried no latencies
+}
+
+// deviceWindow is the sliding window of one device's observations, newest
+// last.
+type deviceWindow struct {
+	entries []windowEntry
+	span    float64 // summed intervals of the retained entries
+}
+
+// add appends an entry and evicts the oldest ones that fall outside the
+// window span or the entry-count bound. At least one entry is always kept
+// so a device that reports rarely still has an operating point.
+func (w *deviceWindow) add(e windowEntry, window float64, maxEntries int) {
+	w.entries = append(w.entries, e)
+	w.span += e.obs.Interval
+	for len(w.entries) > 1 &&
+		(w.span-w.entries[0].obs.Interval >= window || len(w.entries) > maxEntries) {
+		w.span -= w.entries[0].obs.Interval
+		w.entries[0] = windowEntry{}
+		w.entries = w.entries[1:]
+	}
+}
+
+// metrics derives the device's current online metrics from the window.
+// ok is false when the window holds no requests (idle device).
+func (w *deviceWindow) metrics(procs int) (core.OnlineMetrics, bool) {
+	if w.span <= 0 {
+		return core.OnlineMetrics{}, false
+	}
+	var (
+		requests, dataReads    uint64
+		idxH, idxM, metH, metM uint64
+		datH, datM, diskOps    uint64
+		diskBusy               float64
+	)
+	for _, e := range w.entries {
+		requests += e.obs.Requests
+		dataReads += e.obs.DataReads
+		idxH += e.obs.IndexHits
+		idxM += e.obs.IndexMisses
+		metH += e.obs.MetaHits
+		metM += e.obs.MetaMisses
+		datH += e.obs.DataHits
+		datM += e.obs.DataMisses
+		diskBusy += e.obs.DiskBusy
+		diskOps += e.obs.DiskOps
+	}
+	if requests == 0 {
+		return core.OnlineMetrics{}, false
+	}
+	m := core.OnlineMetrics{
+		Rate:      float64(requests) / w.span,
+		MissIndex: MissRatio(idxM, idxH),
+		MissMeta:  MissRatio(metM, metH),
+		MissData:  MissRatio(datM, datH),
+		Procs:     procs,
+	}
+	m.DataRate = math.Max(float64(dataReads)/w.span, m.Rate)
+	if diskOps > 0 {
+		m.DiskMean = diskBusy / float64(diskOps)
+	}
+	return m, true
+}
+
+// Metrics derives the operating point of this single observation — the
+// per-window feed of the online calibration controller, which judges each
+// reported interval on its own rather than through the sliding window.
+func (o Observation) Metrics(procs int) core.OnlineMetrics {
+	m := core.OnlineMetrics{
+		Rate:      float64(o.Requests) / o.Interval,
+		MissIndex: MissRatio(o.IndexMisses, o.IndexHits),
+		MissMeta:  MissRatio(o.MetaMisses, o.MetaHits),
+		MissData:  MissRatio(o.DataMisses, o.DataHits),
+		Procs:     procs,
+	}
+	m.DataRate = math.Max(float64(o.DataReads)/o.Interval, m.Rate)
+	if o.DiskOps > 0 {
+		m.DiskMean = o.DiskBusy / float64(o.DiskOps)
+	}
+	return m
+}

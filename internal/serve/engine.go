@@ -7,14 +7,21 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"cosmodel/internal/calib"
 	"cosmodel/internal/core"
+	"cosmodel/internal/ingest"
 	"cosmodel/internal/numeric"
 	"cosmodel/internal/obs"
 	"cosmodel/internal/parallel"
 )
+
+// defaultIngestQueue is the calibration hand-off ring capacity (batches)
+// when Config.IngestQueue is zero.
+const defaultIngestQueue = 256
 
 // Engine is the concurrent prediction engine: it derives the current
 // operating point from the ingest state and answers prediction and
@@ -48,6 +55,18 @@ type Engine struct {
 	// lastFallbackNS is the cfg.now() timestamp (UnixNano) of the most
 	// recent inverter fallback; 0 before any.
 	lastFallbackNS atomic.Int64
+
+	// calibQ decouples HTTP ingest from calibration work: IngestQueued
+	// hands accepted batches to the feeder goroutine through this bounded
+	// ring, so ingest latency never includes drift-detector processing.
+	// When the ring is full the batch still lands in the state table but
+	// its calibration feed is dropped — counted by calibDropped, never
+	// silent.
+	calibQ       *ingest.Ring[*[]Observation]
+	calibDone    chan struct{}
+	calibFed     atomic.Uint64 // batches the feeder finished processing
+	calibDropped *obs.Counter  // observations dropped from the calibration feed
+	closeOnce    sync.Once
 }
 
 // NewEngine validates the configuration and builds an engine.
@@ -77,7 +96,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 	e.instrumentEvaluation()
 	props := e.cfg.Props
 	e.props.Store(&props)
-	e.state = newStateTable(&e.cfg)
+	state, err := newStateTable(&e.cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.state = state
 	e.cache = newModelCache(cfg.CacheEntries)
 	e.registerCacheMetrics()
 	if cfg.Calib != nil {
@@ -93,6 +116,21 @@ func NewEngine(cfg Config) (*Engine, error) {
 		}
 		e.calibrator = ctrl
 	}
+	qsize := cfg.IngestQueue
+	if qsize == 0 {
+		qsize = defaultIngestQueue
+	}
+	e.calibQ = ingest.NewRing[*[]Observation](qsize)
+	e.calibDone = make(chan struct{})
+	e.calibDropped = e.reg.Counter("cosserve_ingest_queue_dropped_total",
+		"Observations whose calibration feed was dropped because the hand-off ring was full.", nil)
+	e.reg.GaugeFunc("cosserve_ingest_queue_depth",
+		"Batches queued for the calibration feeder.", nil,
+		func() float64 { return float64(e.calibQ.Len()) })
+	e.reg.GaugeFunc("cosserve_ingest_stripes",
+		"Lock-stripe count of the observation state table.", nil,
+		func() float64 { return float64(e.state.stripes()) })
+	go e.calibrationFeeder()
 	return e, nil
 }
 
@@ -230,15 +268,82 @@ func (e *Engine) Config() Config { return e.cfg }
 
 // Ingest absorbs a batch of per-device observations (all-or-nothing). With
 // online calibration enabled the accepted batch also feeds the drift
-// detectors; a recalibration failure does not reject the batch (the
-// observations are sound — the swap is what failed) but is logged and
-// counted in the calibration status.
+// detectors synchronously — embedders driving the engine directly get
+// deterministic calibration state after every call; a recalibration failure
+// does not reject the batch (the observations are sound — the swap is what
+// failed) but is logged and counted in the calibration status. The HTTP
+// ingest path uses IngestQueued instead.
 func (e *Engine) Ingest(batch []Observation) error {
 	if err := e.state.ingest(batch); err != nil {
 		return err
 	}
 	e.feedCalibration(batch)
 	return nil
+}
+
+// IngestQueued absorbs a batch like Ingest but hands the calibration feed to
+// the feeder goroutine through the bounded ring: the caller pays only for
+// validation and the striped window update, never for drift detection. When
+// the ring is full (or the engine is closed) the batch still lands in the
+// state table; the skipped calibration feed is counted per observation in
+// cosserve_ingest_queue_dropped_total. The batch slice is copied before
+// queueing, so callers may recycle it immediately (NDJSON chunks are pooled).
+func (e *Engine) IngestQueued(batch []Observation) error {
+	if err := e.state.ingest(batch); err != nil {
+		return err
+	}
+	if e.calibrator == nil {
+		return nil // nothing downstream consumes the feed
+	}
+	buf := ingest.GetBatch()
+	*buf = append((*buf)[:0], batch...)
+	if !e.calibQ.TryPush(buf) {
+		ingest.PutBatch(buf)
+		e.calibDropped.Add(uint64(len(batch)))
+	}
+	return nil
+}
+
+// calibrationFeeder drains the hand-off ring, feeding each queued batch to
+// the drift controller and recycling its pooled buffer. It exits — after
+// draining what is already queued — once Close closes the ring.
+func (e *Engine) calibrationFeeder() {
+	defer close(e.calibDone)
+	for {
+		buf, ok := e.calibQ.Pop()
+		if !ok {
+			return
+		}
+		e.feedCalibration(*buf)
+		ingest.PutBatch(buf)
+		e.calibFed.Add(1)
+	}
+}
+
+// Close stops the calibration feeder after it drains every queued batch and
+// waits for it to exit. The engine keeps answering queries; batches arriving
+// through IngestQueued afterwards still update the state table, with their
+// calibration feed counted as dropped. Safe to call more than once.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() { e.calibQ.Close() })
+	<-e.calibDone
+}
+
+// WaitCalibrationIdle blocks until the feeder has processed every batch
+// queued so far, or the timeout expires; it reports whether the queue went
+// idle. Tests use it to assert on calibration state after asynchronous
+// ingest.
+func (e *Engine) WaitCalibrationIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if e.calibFed.Load() == e.calibQ.Pushed() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // feedCalibration forwards accepted observations to the drift controller.
@@ -253,19 +358,8 @@ func (e *Engine) feedCalibration(batch []Observation) {
 			Index:    o.DiskIndexLat,
 			Meta:     o.DiskMetaLat,
 			Data:     o.DiskDataLat,
+			Metrics:  o.Metrics(e.cfg.ProcsPerDevice),
 		}
-		m := core.OnlineMetrics{
-			Rate:      float64(o.Requests) / o.Interval,
-			MissIndex: missRatio(o.IndexMisses, o.IndexHits),
-			MissMeta:  missRatio(o.MetaMisses, o.MetaHits),
-			MissData:  missRatio(o.DataMisses, o.DataHits),
-			Procs:     e.cfg.ProcsPerDevice,
-		}
-		m.DataRate = math.Max(float64(o.DataReads)/o.Interval, m.Rate)
-		if o.DiskOps > 0 {
-			m.DiskMean = o.DiskBusy / float64(o.DiskOps)
-		}
-		ws.Metrics = m
 		if _, err := e.calibrator.Observe(ws); err != nil {
 			e.cfg.logf("serve: calibration observe (device %d): %v", o.Device, err)
 		}
@@ -612,6 +706,13 @@ type EngineStats struct {
 	// negative (-1) before any ingest.
 	CalibrationAge float64 `json:"calibrationAgeSeconds"`
 	TotalRate      float64 `json:"totalRate"`
+	// IngestStripes is the effective lock-stripe count of the state table.
+	IngestStripes int `json:"ingestStripes"`
+	// CalibQueueDepth is the current calibration hand-off backlog in
+	// batches; CalibQueueDropped counts observations whose calibration feed
+	// was dropped on a full ring (the state table still absorbed them).
+	CalibQueueDepth   int    `json:"calibQueueDepth"`
+	CalibQueueDropped uint64 `json:"calibQueueDroppedObservations"`
 }
 
 // Stats assembles the engine counters.
@@ -632,7 +733,10 @@ func (e *Engine) Stats() EngineStats {
 		Ingested:        ingested,
 		Reporting:       reporting,
 		CalibrationAge:  -1,
+		IngestStripes:   e.state.stripes(),
+		CalibQueueDepth: e.calibQ.Len(),
 	}
+	st.CalibQueueDropped = e.calibDropped.Value()
 	if age, ok := e.state.calibrationAge(); ok {
 		st.CalibrationAge = age
 	}

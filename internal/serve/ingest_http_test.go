@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"cosmodel/internal/calib"
+	"cosmodel/internal/ingest"
+)
+
+// postBody posts raw bytes with an explicit content type and returns the
+// response with its body read.
+func postBody(t testing.TB, url, contentType, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func ndjsonFor(t testing.TB, batch []Observation) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ingest.EncodeNDJSON(&buf, batch); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestIngestNDJSON streams a full batch in NDJSON mode and checks it is
+// indistinguishable from the JSON-array mode: same accepted count, same
+// engine state, predictions work.
+func TestIngestNDJSON(t *testing.T) {
+	s, ts := newTestServer(t, testConfig())
+	batch := make([]Observation, 4)
+	for d := range batch {
+		batch[d] = obsAtRate(d, 50)
+		batch[d].Latencies = []float64{0.004, 0.009}
+	}
+	resp, data := postBody(t, ts.URL+"/ingest", ingest.ContentTypeNDJSON, ndjsonFor(t, batch))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var ack IngestResponse
+	if err := json.Unmarshal(data, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Accepted != 4 {
+		t.Fatalf("accepted = %d, want 4", ack.Accepted)
+	}
+	if st := s.Engine().Stats(); st.Ingested != 4 || st.Reporting != 4 {
+		t.Fatalf("engine stats after NDJSON ingest: %+v", st)
+	}
+	if s.latAll.Count() != 8 {
+		t.Fatalf("observed latencies = %d, want 8", s.latAll.Count())
+	}
+	if _, err := s.Engine().Predict(nil); err != nil {
+		t.Fatalf("predict after NDJSON ingest: %v", err)
+	}
+}
+
+// TestIngestContentTypeNegotiation pins the negotiation matrix: parameters
+// on a supported type are fine, an absent type defaults to JSON, and unknown
+// types get a structured 415 naming the supported encodings.
+func TestIngestContentTypeNegotiation(t *testing.T) {
+	s, ts := newTestServer(t, testConfig())
+	jsonBody := func() string {
+		buf, err := json.Marshal(IngestRequest{Observations: []Observation{obsAtRate(0, 10)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(buf)
+	}()
+
+	resp, data := postBody(t, ts.URL+"/ingest", "application/json; charset=utf-8", jsonBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("json with charset: status %d: %s", resp.StatusCode, data)
+	}
+
+	// No content type at all: defaults to the JSON-array mode.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/ingest", strings.NewReader(jsonBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Del("Content-Type")
+	bare, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare.Body.Close()
+	if bare.StatusCode != http.StatusOK {
+		t.Fatalf("bare content type: status %d", bare.StatusCode)
+	}
+
+	for _, ct := range []string{"text/plain", "application/xml", "bogus;;;"} {
+		resp, data := postBody(t, ts.URL+"/ingest", ct, jsonBody)
+		if resp.StatusCode != http.StatusUnsupportedMediaType {
+			t.Fatalf("content type %q: status %d, want 415", ct, resp.StatusCode)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(data, &eb); err != nil {
+			t.Fatalf("415 body %q not structured: %v", data, err)
+		}
+		if !strings.Contains(eb.Error, ingest.ContentTypeNDJSON) {
+			t.Fatalf("415 error %q does not name the supported types", eb.Error)
+		}
+	}
+	if got := s.unsupMedia.Value(); got != 3 {
+		t.Fatalf("unsupported-media counter = %d, want 3", got)
+	}
+	var m MetricsResponse
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.UnsupMedia != 3 {
+		t.Fatalf("metrics unsupportedMediaTypes = %d, want 3", m.UnsupMedia)
+	}
+}
+
+// TestIngestNDJSONBadLine pins the partial-accept semantics over HTTP:
+// chunks flushed before the bad line stay absorbed, the 400 body reports
+// both the accepted count and the offending line.
+func TestIngestNDJSONBadLine(t *testing.T) {
+	s, ts := newTestServer(t, testConfig())
+	body := ndjsonFor(t, []Observation{obsAtRate(0, 10), obsAtRate(1, 10)}) +
+		`{"device":99,"interval":1}` + "\n"
+	resp, data := postBody(t, ts.URL+"/ingest", ingest.ContentTypeNDJSON, body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, data)
+	}
+	var eb IngestErrorBody
+	if err := json.Unmarshal(data, &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Line != 3 {
+		t.Fatalf("line = %d, want 3: %+v", eb.Line, eb)
+	}
+	// The default chunk size is larger than two observations, so nothing
+	// flushed before the failure.
+	if eb.Accepted != 0 {
+		t.Fatalf("accepted = %d, want 0: %+v", eb.Accepted, eb)
+	}
+	if st := s.Engine().Stats(); st.Ingested != 0 {
+		t.Fatalf("state absorbed %d observations despite unflushed chunk", st.Ingested)
+	}
+}
+
+// TestIngestNDJSONTooLarge keeps the 413 taxonomy in streaming mode.
+func TestIngestNDJSONTooLarge(t *testing.T) {
+	s, ts := newTestServer(t, testConfig())
+	line := ndjsonFor(t, []Observation{obsAtRate(0, 10)})
+	var b strings.Builder
+	for b.Len() <= maxBodyBytes {
+		b.WriteString(line)
+	}
+	resp, data := postBody(t, ts.URL+"/ingest", ingest.ContentTypeNDJSON, b.String())
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413: %s", resp.StatusCode, data)
+	}
+	var eb IngestErrorBody
+	if err := json.Unmarshal(data, &eb); err != nil {
+		t.Fatal(err)
+	}
+	if s.tooLarge.Value() != 1 {
+		t.Fatalf("oversized-body counter = %d, want 1", s.tooLarge.Value())
+	}
+}
+
+// TestIngestQueueDrain exercises the asynchronous calibration hand-off: the
+// HTTP path returns before drift detection runs, yet every queued batch
+// reaches the controller (zero drops) once the feeder drains.
+func TestIngestQueueDrain(t *testing.T) {
+	cfg := testConfig()
+	cc := calib.DefaultConfig(cfg.Devices)
+	cfg.Calib = &cc
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	e := srv.Engine()
+	const rounds = 10
+	for i := 0; i < rounds; i++ {
+		batch := make([]Observation, cfg.Devices)
+		for d := range batch {
+			batch[d] = obsAtRate(d, 50)
+		}
+		if err := e.IngestQueued(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !e.WaitCalibrationIdle(5 * time.Second) {
+		t.Fatal("calibration queue did not drain")
+	}
+	st := e.Stats()
+	if st.CalibQueueDepth != 0 || st.CalibQueueDropped != 0 {
+		t.Fatalf("queue depth %d, dropped %d after drain", st.CalibQueueDepth, st.CalibQueueDropped)
+	}
+	cst, ok := e.CalibrationStatus()
+	if !ok {
+		t.Fatal("calibration subsystem disabled")
+	}
+	if cst.Windows != rounds*uint64(cfg.Devices) {
+		t.Fatalf("controller observed %d windows, want %d", cst.Windows, rounds*cfg.Devices)
+	}
+}
+
+// TestEngineCloseCountsLateDrops pins the post-Close contract: batches still
+// land in the state table, and the skipped calibration feed is counted.
+func TestEngineCloseCountsLateDrops(t *testing.T) {
+	cfg := testConfig()
+	cc := calib.DefaultConfig(cfg.Devices)
+	cfg.Calib = &cc
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e.Close() // idempotent
+	if err := e.IngestQueued([]Observation{obsAtRate(0, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Ingested != 1 {
+		t.Fatalf("post-close ingest lost: %+v", st)
+	}
+	if st.CalibQueueDropped != 1 {
+		t.Fatalf("post-close calibration drop not counted: %+v", st)
+	}
+}

@@ -69,6 +69,18 @@ type Config struct {
 	MaxInflight int
 	// CacheEntries bounds the memoized prediction cache.
 	CacheEntries int
+	// IngestStripes is the lock-stripe count of the observation state
+	// table. 0 picks an automatic count from GOMAXPROCS; 1 is the
+	// single-lock layout. Striping bounds ingest-path lock contention when
+	// many monitoring agents report concurrently.
+	IngestStripes int
+	// IngestQueue bounds the calibration hand-off ring in batches: accepted
+	// HTTP ingest batches are queued for the drift controller instead of
+	// feeding it inline, so ingest latency never includes calibration work.
+	// When the ring is full the batch still updates the state table but is
+	// dropped from calibration feed (counted, surfaced in /metrics). 0 takes
+	// the default.
+	IngestQueue int
 	// Calib enables the online calibration and drift-detection subsystem:
 	// when non-nil, every accepted observation also feeds the drift
 	// controller, and confirmed drift re-solves the device properties and
@@ -111,6 +123,7 @@ func DefaultConfig(props core.DeviceProperties, devices int) Config {
 		MaxObservations: 128,
 		MaxInflight:     64,
 		CacheEntries:    4096,
+		IngestQueue:     256,
 	}
 }
 
@@ -136,6 +149,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("%w: need at least one in-flight slot", ErrBadConfig)
 	case c.CacheEntries < 1:
 		return fmt.Errorf("%w: need at least one cache entry", ErrBadConfig)
+	case c.IngestStripes < 0:
+		return fmt.Errorf("%w: ingest stripes must be non-negative", ErrBadConfig)
+	case c.IngestQueue < 0:
+		return fmt.Errorf("%w: ingest queue must be non-negative", ErrBadConfig)
 	}
 	for _, s := range c.SLAs {
 		if s <= 0 {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"mime"
 	"net/http"
 	"net/http/pprof"
 	"net/url"
@@ -15,6 +16,7 @@ import (
 
 	"cosmodel/internal/calib"
 	"cosmodel/internal/dist"
+	"cosmodel/internal/ingest"
 	"cosmodel/internal/numeric"
 	"cosmodel/internal/obs"
 	"cosmodel/internal/parallel"
@@ -60,6 +62,7 @@ type Server struct {
 	panics      *obs.Counter // panics recovered (handlers and pooled tasks)
 	encodeFails *obs.Counter // JSON responses that failed to encode/write
 	tooLarge    *obs.Counter // request bodies over maxBodyBytes
+	unsupMedia  *obs.Counter // ingest bodies with an unsupported content type
 }
 
 // NewServer builds a serving instance from the configuration.
@@ -94,6 +97,8 @@ func NewServer(cfg Config) (*Server, error) {
 		"JSON responses that failed to encode or write.", nil)
 	s.tooLarge = reg.Counter("cosserve_oversized_bodies_total",
 		"Request bodies rejected for exceeding the size limit.", nil)
+	s.unsupMedia = reg.Counter("cosserve_unsupported_media_total",
+		"Ingest requests rejected for an unsupported content type (415).", nil)
 	reg.GaugeFunc("cosserve_http_inflight",
 		"Model-evaluating queries currently in flight.", nil,
 		func() float64 { return float64(s.inflight.Load()) })
@@ -109,6 +114,10 @@ func NewServer(cfg Config) (*Server, error) {
 // Engine exposes the underlying prediction engine (benchmarks and embedders
 // bypass HTTP through it).
 func (s *Server) Engine() *Engine { return s.engine }
+
+// Close stops the engine's background calibration feeder after draining
+// queued batches. Call after the HTTP server has shut down.
+func (s *Server) Close() { s.engine.Close() }
 
 // Handler returns the route table:
 //
@@ -260,26 +269,104 @@ type IngestResponse struct {
 	Accepted int `json:"accepted"`
 }
 
+// IngestErrorBody is the structured /ingest error payload in NDJSON mode:
+// chunks emitted before the failure stay absorbed (Accepted), and Line names
+// the offending input line when the failure was per-line.
+type IngestErrorBody struct {
+	Error    string `json:"error"`
+	Accepted int    `json:"accepted"`
+	Line     int    `json:"line,omitempty"`
+}
+
+// handleIngest negotiates the batch encoding by content type:
+// application/json is the original array payload (absorbed all-or-nothing),
+// application/x-ndjson streams one observation per line in pooled chunks
+// (earlier chunks stay absorbed when a later line fails). An absent content
+// type defaults to JSON for compatibility with bare clients; anything else
+// is a 415 naming the supported types. Both modes enforce the body limit
+// (413) and feed calibration through the asynchronous hand-off ring.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
 		return
 	}
+	mt := ingest.ContentTypeJSON
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		parsed, _, err := mime.ParseMediaType(ct)
+		if err != nil {
+			s.unsupportedMedia(w, ct)
+			return
+		}
+		mt = parsed
+	}
+	switch mt {
+	case ingest.ContentTypeJSON:
+		s.ingestJSON(w, r)
+	case ingest.ContentTypeNDJSON:
+		s.ingestNDJSON(w, r)
+	default:
+		s.unsupportedMedia(w, mt)
+	}
+}
+
+func (s *Server) unsupportedMedia(w http.ResponseWriter, ct string) {
+	s.unsupMedia.Inc()
+	s.writeJSON(w, http.StatusUnsupportedMediaType, errorBody{
+		Error: fmt.Sprintf("unsupported content type %q: use %s or %s",
+			ct, ingest.ContentTypeJSON, ingest.ContentTypeNDJSON)})
+}
+
+func (s *Server) ingestJSON(w http.ResponseWriter, r *http.Request) {
 	var req IngestRequest
 	if err := decodeStrict(w, r, &req); err != nil {
 		s.badRequest(w, err)
 		return
 	}
-	if err := s.engine.Ingest(req.Observations); err != nil {
+	if err := s.engine.IngestQueued(req.Observations); err != nil {
 		s.badRequest(w, err)
 		return
 	}
-	for _, o := range req.Observations {
+	s.observeLatencies(req.Observations)
+	s.writeJSON(w, http.StatusOK, IngestResponse{Accepted: len(req.Observations)})
+}
+
+func (s *Server) ingestNDJSON(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	accepted, err := ingest.DecodeNDJSON(body, s.engine.Config().Devices, 0,
+		func(chunk []Observation) error {
+			if err := s.engine.IngestQueued(chunk); err != nil {
+				return err
+			}
+			s.observeLatencies(chunk)
+			return nil
+		})
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.tooLarge.Inc()
+			s.writeJSON(w, http.StatusRequestEntityTooLarge, IngestErrorBody{
+				Error:    fmt.Sprintf("body exceeds %d bytes", mbe.Limit),
+				Accepted: accepted})
+			return
+		}
+		s.badRequests.Inc()
+		resp := IngestErrorBody{Error: err.Error(), Accepted: accepted}
+		var le *ingest.LineError
+		if errors.As(err, &le) {
+			resp.Line = le.Line
+		}
+		s.writeJSON(w, http.StatusBadRequest, resp)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, IngestResponse{Accepted: accepted})
+}
+
+func (s *Server) observeLatencies(batch []Observation) {
+	for _, o := range batch {
 		for _, l := range o.Latencies {
 			s.latAll.Observe(l)
 		}
 	}
-	s.writeJSON(w, http.StatusOK, IngestResponse{Accepted: len(req.Observations)})
 }
 
 // ---------------------------------------------------------------------------
@@ -542,6 +629,7 @@ type MetricsResponse struct {
 	PanicsRecov    uint64 `json:"panicsRecovered"`
 	EncodeFails    uint64 `json:"responseEncodeFailures"`
 	TooLarge       uint64 `json:"oversizedBodies"`
+	UnsupMedia     uint64 `json:"unsupportedMediaTypes"`
 	// Observed latency diagnostics over every ingested latency sample.
 	ObservedCount uint64  `json:"observedLatencyCount"`
 	ObservedP50   float64 `json:"observedP50"`
@@ -570,6 +658,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		PanicsRecov:    s.panics.Value(),
 		EncodeFails:    s.encodeFails.Value(),
 		TooLarge:       s.tooLarge.Value(),
+		UnsupMedia:     s.unsupMedia.Value(),
 		ObservedCount:  s.latAll.Count(),
 	}
 	if m.ObservedCount > 0 {
@@ -645,12 +734,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	comps["cache"] = ComponentHealth{Status: "ok",
 		Detail: fmt.Sprintf("%d entries, generation %d", cs.Entries, cs.Generation)}
 
-	ingest := ComponentHealth{Status: "ok",
+	ingestC := ComponentHealth{Status: "ok",
 		Detail: fmt.Sprintf("%d devices reporting", reporting)}
 	if reporting == 0 {
-		ingest = ComponentHealth{Status: "degraded", Detail: "no devices reporting yet"}
+		ingestC = ComponentHealth{Status: "degraded", Detail: "no devices reporting yet"}
 	}
-	comps["ingest"] = ingest
+	comps["ingest"] = ingestC
 
 	if s.engine.Config().ShardMode {
 		comps["shard"] = ComponentHealth{Status: "ok",

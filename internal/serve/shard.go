@@ -152,6 +152,11 @@ type ShardStateResponse struct {
 	Devices        int     `json:"devices"`
 	TotalRate      float64 `json:"totalRate"`
 	CalibrationAge float64 `json:"calibrationAgeSeconds"`
+	// DeviceRates is every device's windowed request rate (0 when idle) —
+	// the state a restarted router seeds its rate tracker from, so a fresh
+	// router fronting warm shards reports the true tier-wide rate instead
+	// of zero.
+	DeviceRates []float64 `json:"deviceRates,omitempty"`
 }
 
 // ShardInvalidateRequest asks a shard to raise its cache generation to at
@@ -201,6 +206,7 @@ func (s *Server) handleShardState(w http.ResponseWriter, r *http.Request) {
 		Devices:        s.engine.Config().Devices,
 		TotalRate:      st.TotalRate,
 		CalibrationAge: st.CalibrationAge,
+		DeviceRates:    s.engine.state.deviceRates(),
 	})
 }
 

@@ -1,242 +1,91 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
-	"math"
 	"sync"
 	"time"
 
 	"cosmodel/internal/core"
+	"cosmodel/internal/ingest"
 	"cosmodel/internal/stats"
 )
 
 // Observation is one batch of per-device measurements covering Interval
-// seconds of operation — the raw material of the paper's §IV-B online
-// metrics. Counters are deltas over the interval, not cumulative totals.
-type Observation struct {
-	// Device identifies the storage device, 0 <= Device < Config.Devices.
-	Device int `json:"device"`
-	// Interval is the wall-clock span the counters cover (seconds).
-	Interval float64 `json:"interval"`
-	// Requests is the number of requests routed to the device (r·Interval).
-	Requests uint64 `json:"requests"`
-	// DataReads is the number of data read operations, cache hits and
-	// misses alike (rdata·Interval).
-	DataReads uint64 `json:"dataReads"`
-	// Cache accesses per operation class.
-	IndexHits   uint64 `json:"indexHits"`
-	IndexMisses uint64 `json:"indexMisses"`
-	MetaHits    uint64 `json:"metaHits"`
-	MetaMisses  uint64 `json:"metaMisses"`
-	DataHits    uint64 `json:"dataHits"`
-	DataMisses  uint64 `json:"dataMisses"`
-	// DiskBusy is the disk busy time (seconds) over DiskOps operations;
-	// together they give the observed overall mean disk service time b.
-	DiskBusy float64 `json:"diskBusy"`
-	DiskOps  uint64  `json:"diskOps"`
-	// Latencies are optional raw response latencies (seconds) observed at
-	// the frontend, kept in sliding-window histograms for the observed
-	// SLA-compliance diagnostics in /metrics.
-	Latencies []float64 `json:"latencies,omitempty"`
-	// DiskIndexLat, DiskMetaLat and DiskDataLat are optional raw disk
-	// service times (seconds) per operation class sampled during the
-	// interval — the feed for the online calibration subsystem's live
-	// refits and shape checks. Ignored (beyond validation) when
-	// Config.Calib is nil.
-	DiskIndexLat []float64 `json:"diskIndexLat,omitempty"`
-	DiskMetaLat  []float64 `json:"diskMetaLat,omitempty"`
-	DiskDataLat  []float64 `json:"diskDataLat,omitempty"`
-}
+// seconds of operation. The wire type lives in internal/ingest (the
+// high-throughput ingest subsystem owns decoding and validation); the alias
+// keeps the serve API unchanged.
+type Observation = ingest.Observation
 
-// Validate checks one observation against the deployment size.
-func (o Observation) Validate(devices int) error {
-	switch {
-	case o.Device < 0 || o.Device >= devices:
-		return fmt.Errorf("%w: device %d outside [0,%d)", ErrBadQuery, o.Device, devices)
-	case o.Interval <= 0 || math.IsNaN(o.Interval) || math.IsInf(o.Interval, 0):
-		return fmt.Errorf("%w: interval %v must be positive and finite", ErrBadQuery, o.Interval)
-	case o.DiskBusy < 0 || math.IsNaN(o.DiskBusy) || math.IsInf(o.DiskBusy, 0):
-		return fmt.Errorf("%w: disk busy time %v", ErrBadQuery, o.DiskBusy)
-	}
-	for _, l := range o.Latencies {
-		if l < 0 || math.IsNaN(l) || math.IsInf(l, 0) {
-			return fmt.Errorf("%w: latency %v", ErrBadQuery, l)
-		}
-	}
-	for _, set := range [][]float64{o.DiskIndexLat, o.DiskMetaLat, o.DiskDataLat} {
-		for _, l := range set {
-			if l < 0 || math.IsNaN(l) || math.IsInf(l, 0) {
-				return fmt.Errorf("%w: disk service sample %v", ErrBadQuery, l)
-			}
-		}
-	}
-	return nil
-}
-
-// windowEntry is one retained observation with its latency histogram.
-type windowEntry struct {
-	obs Observation
-	lat *stats.Histogram // nil when the observation carried no latencies
-}
-
-// deviceWindow is the sliding window of one device's observations, newest
-// last.
-type deviceWindow struct {
-	entries []windowEntry
-	span    float64 // summed intervals of the retained entries
-}
-
-// add appends an entry and evicts the oldest ones that fall outside the
-// window span or the entry-count bound. At least one entry is always kept
-// so a device that reports rarely still has an operating point.
-func (w *deviceWindow) add(e windowEntry, window float64, maxEntries int) {
-	w.entries = append(w.entries, e)
-	w.span += e.obs.Interval
-	for len(w.entries) > 1 &&
-		(w.span-w.entries[0].obs.Interval >= window || len(w.entries) > maxEntries) {
-		w.span -= w.entries[0].obs.Interval
-		w.entries[0] = windowEntry{}
-		w.entries = w.entries[1:]
-	}
-}
-
-// metrics derives the device's current online metrics from the window.
-// ok is false when the window holds no requests (idle device).
-func (w *deviceWindow) metrics(procs int) (core.OnlineMetrics, bool) {
-	if w.span <= 0 {
-		return core.OnlineMetrics{}, false
-	}
-	var (
-		requests, dataReads    uint64
-		idxH, idxM, metH, metM uint64
-		datH, datM, diskOps    uint64
-		diskBusy               float64
-	)
-	for _, e := range w.entries {
-		requests += e.obs.Requests
-		dataReads += e.obs.DataReads
-		idxH += e.obs.IndexHits
-		idxM += e.obs.IndexMisses
-		metH += e.obs.MetaHits
-		metM += e.obs.MetaMisses
-		datH += e.obs.DataHits
-		datM += e.obs.DataMisses
-		diskBusy += e.obs.DiskBusy
-		diskOps += e.obs.DiskOps
-	}
-	if requests == 0 {
-		return core.OnlineMetrics{}, false
-	}
-	m := core.OnlineMetrics{
-		Rate:      float64(requests) / w.span,
-		MissIndex: missRatio(idxM, idxH),
-		MissMeta:  missRatio(metM, metH),
-		MissData:  missRatio(datM, datH),
-		Procs:     procs,
-	}
-	m.DataRate = math.Max(float64(dataReads)/w.span, m.Rate)
-	if diskOps > 0 {
-		m.DiskMean = diskBusy / float64(diskOps)
-	}
-	return m, true
-}
-
-func missRatio(misses, hits uint64) float64 {
-	if misses+hits == 0 {
-		return 0
-	}
-	return float64(misses) / float64(misses+hits)
-}
-
-// stateTable holds every device's sliding window plus ingest bookkeeping.
+// stateTable adapts the striped ingest.Table to the engine: it wraps the
+// ingest-level errors into the serve error taxonomy and memoizes the derived
+// snapshot and its operating-point key on the table's revision counter.
 // All methods are safe for concurrent use.
 type stateTable struct {
-	cfg *Config
-
-	mu         sync.RWMutex
-	devices    []deviceWindow
-	lastIngest time.Time
-	ingested   uint64 // observations accepted
+	cfg   *Config
+	table *ingest.Table
 
 	// Snapshot memo: the derived metrics and their quantized operating-point
 	// key are pure functions of the ingest history, so between ingests every
 	// query can reuse one immutable slice instead of re-deriving both.
 	snapMu    sync.Mutex
 	snapValid bool
-	snapRev   uint64 // ingested revision the memo was derived from
+	snapRev   uint64 // table revision the memo was derived from
 	snapMS    []core.OnlineMetrics
 	snapKey   string
 	snapErr   error
 }
 
-func newStateTable(cfg *Config) *stateTable {
-	return &stateTable{cfg: cfg, devices: make([]deviceWindow, cfg.Devices)}
+func newStateTable(cfg *Config) (*stateTable, error) {
+	table, err := ingest.NewTable(ingest.Config{
+		Devices:    cfg.Devices,
+		Stripes:    cfg.IngestStripes,
+		Window:     cfg.Window,
+		MaxEntries: cfg.MaxObservations,
+		Procs:      cfg.ProcsPerDevice,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	return &stateTable{cfg: cfg, table: table}, nil
+}
+
+// wrapIngestErr converts the ingest package's validation errors into the
+// serve taxonomy (ErrBadQuery → 400 at the HTTP layer).
+func wrapIngestErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ingest.ErrInvalid) {
+		return fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	return err
 }
 
 // ingest validates and absorbs a batch of observations. The batch is
 // all-or-nothing: a single invalid observation rejects the whole batch so
 // partial state never depends on payload order.
 func (t *stateTable) ingest(batch []Observation) error {
-	if len(batch) == 0 {
-		return fmt.Errorf("%w: empty observation batch", ErrBadQuery)
-	}
-	for _, o := range batch {
-		if err := o.Validate(t.cfg.Devices); err != nil {
-			return err
-		}
-	}
-	entries := make([]windowEntry, len(batch))
-	for i, o := range batch {
-		e := windowEntry{obs: o}
-		if len(o.Latencies) > 0 {
-			e.lat = stats.NewLatencyHistogram()
-			for _, l := range o.Latencies {
-				e.lat.Observe(l)
-			}
-			e.obs.Latencies = nil // retained as a histogram, not raw samples
-		}
-		// Raw disk samples feed the calibration controller, not the
-		// sliding windows; don't retain them here.
-		e.obs.DiskIndexLat, e.obs.DiskMetaLat, e.obs.DiskDataLat = nil, nil, nil
-		entries[i] = e
-	}
-	now := t.cfg.now()
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	for _, e := range entries {
-		t.devices[e.obs.Device].add(e, t.cfg.Window, t.cfg.MaxObservations)
-	}
-	t.lastIngest = now
-	t.ingested += uint64(len(entries))
-	return nil
+	return wrapIngestErr(t.table.Ingest(batch, t.cfg.now()))
 }
 
 // snapshot derives the current per-device online metrics. Idle devices are
 // omitted (they contribute nothing to the system mixture). ErrNotReady is
 // returned when no device has observations.
 func (t *stateTable) snapshot() ([]core.OnlineMetrics, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	var out []core.OnlineMetrics
-	for d := range t.devices {
-		if m, ok := t.devices[d].metrics(t.cfg.ProcsPerDevice); ok {
-			out = append(out, m)
-		}
-	}
-	if len(out) == 0 {
+	ms := t.table.Snapshot()
+	if len(ms) == 0 {
 		return nil, ErrNotReady
 	}
-	return out, nil
+	return ms, nil
 }
 
 // snapshotKeyed returns the current per-device metrics together with their
-// quantized operating-point key (opKey), memoized on the ingest revision:
+// quantized operating-point key (opKey), memoized on the table revision:
 // repeated queries at a stable operating point share one derivation and one
 // key string. Callers must treat the returned slice as immutable.
 func (t *stateTable) snapshotKeyed() ([]core.OnlineMetrics, string, error) {
-	t.mu.RLock()
-	rev := t.ingested
-	t.mu.RUnlock()
+	rev := t.table.Revision()
 	t.snapMu.Lock()
 	defer t.snapMu.Unlock()
 	if !t.snapValid || t.snapRev != rev {
@@ -257,60 +106,37 @@ func (t *stateTable) snapshotKeyed() ([]core.OnlineMetrics, string, error) {
 // that has not yet ingested for its devices legitimately contributes zero
 // weight to the merged mixture.
 func (t *stateTable) snapshotDevices(devs []int) (ms []core.OnlineMetrics, covered int, err error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	for _, d := range devs {
-		if d < 0 || d >= len(t.devices) {
-			return nil, 0, fmt.Errorf("%w: device %d outside [0,%d)", ErrBadQuery, d, len(t.devices))
-		}
-		if m, ok := t.devices[d].metrics(t.cfg.ProcsPerDevice); ok {
-			ms = append(ms, m)
-			covered++
-		}
-	}
-	return ms, covered, nil
+	ms, covered, err = t.table.SnapshotDevices(devs)
+	return ms, covered, wrapIngestErr(err)
 }
+
+// deviceRates returns every device's windowed request rate (0 when idle) —
+// the warm-start state a restarted router rebuilds its rate tracker from.
+func (t *stateTable) deviceRates() []float64 { return t.table.DeviceRates() }
 
 // observedLatency merges the windowed latency histograms of all devices
 // (nil when no latencies were ingested).
 func (t *stateTable) observedLatency() *stats.Histogram {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	var merged *stats.Histogram
-	for d := range t.devices {
-		for _, e := range t.devices[d].entries {
-			if e.lat == nil {
-				continue
-			}
-			if merged == nil {
-				merged = stats.NewLatencyHistogram()
-			}
-			// Layouts always match (both NewLatencyHistogram).
-			merged.Merge(e.lat) //nolint:errcheck
-		}
-	}
-	return merged
+	return t.table.ObservedLatency()
 }
 
 // calibrationAge returns the seconds since the last accepted ingest, and
 // whether any ingest happened at all.
 func (t *stateTable) calibrationAge() (float64, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if t.lastIngest.IsZero() {
+	last, ok := t.table.LastIngest()
+	if !ok {
 		return 0, false
 	}
-	return t.cfg.now().Sub(t.lastIngest).Seconds(), true
+	return t.cfg.now().Sub(last).Seconds(), true
 }
 
 // stats returns ingest counters.
 func (t *stateTable) stats() (ingested uint64, reporting int) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	for d := range t.devices {
-		if _, ok := t.devices[d].metrics(t.cfg.ProcsPerDevice); ok {
-			reporting++
-		}
-	}
-	return t.ingested, reporting
+	return t.table.Stats()
 }
+
+// stripes returns the effective lock-stripe count of the state table.
+func (t *stateTable) stripes() int { return t.table.Stripes() }
+
+// lastIngestTime exposes the newest accepted-ingest timestamp.
+func (t *stateTable) lastIngestTime() (time.Time, bool) { return t.table.LastIngest() }
