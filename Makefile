@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-verify bench-smoke fuzz-smoke loadtest chaos chaos-cluster tidy
+.PHONY: check fmt vet build test race e2e bench bench-verify bench-smoke fuzz-smoke loadtest chaos chaos-cluster tidy
 
-check: fmt vet build race bench-verify bench-smoke fuzz-smoke loadtest
+check: fmt vet build race e2e bench-verify bench-smoke fuzz-smoke loadtest
 
 # gofmt -l prints offending files; fail when it prints anything.
 fmt:
@@ -28,6 +28,15 @@ test:
 race:
 	$(GO) test -race -shuffle=on ./...
 
+# The simulator-validated end-to-end suites, run explicitly (race already
+# covers them, but an explicit gate keeps the accuracy bars visible): the
+# read-path sweep and the two-tenant mixed read/write sweep, both holding
+# predictions within MAE <= 0.10 of simstore ground truth.
+e2e:
+	$(GO) test -race -count=1 \
+		-run 'TestEndToEndAgainstSimulator|TestTwoTenantWriteEndToEnd' \
+		./internal/serve
+
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
@@ -36,7 +45,7 @@ bench:
 # drifted from its canonical file (e.g. results/ was regenerated without
 # re-running bench-smoke's copy step).
 bench-verify:
-	@for f in BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json BENCH_PR9.json; do \
+	@for f in BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json BENCH_PR9.json BENCH_PR10.json; do \
 		if [ -f "$$f" ] && ! cmp -s "results/$$f" "$$f"; then \
 			echo "bench artifact drift: $$f differs from canonical results/$$f (run make bench-smoke)"; \
 			exit 1; \
@@ -48,21 +57,25 @@ bench-verify:
 # calibration refresh latency (BENCH_PR4.json), the observability overhead
 # (BENCH_PR5.json), the coded-predict cost (BENCH_PR6.json), the batched
 # evaluation engine (BENCH_PR7.json) and the cluster fan-out overhead
-# (BENCH_PR8.json) and the ingest-pipeline micro/macro numbers
-# (BENCH_PR9.json). The current PRs' artifacts are mirrored at the repo
+# (BENCH_PR8.json), the ingest-pipeline micro/macro numbers
+# (BENCH_PR9.json) and the write-predict and NDJSON-scanner numbers
+# (BENCH_PR10.json). The current PRs' artifacts are mirrored at the repo
 # root for reviewers.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'Fig6|ServePredictColdVsCached|CodedPredict|CDFBatch|RouterFanOut' -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'Fig6|ServePredictColdVsCached|CodedPredict|CDFBatch|RouterFanOut|WritePredict' -benchtime=1x .
 	COSMODEL_BENCH_SMOKE=1 $(GO) test \
-		-run 'TestBenchSmokeArtifact|TestBenchSmokeCalibration|TestBenchSmokeObservability|TestBenchSmokeCoded|TestBenchSmokeBatched|TestBenchSmokeCluster|TestBenchSmokeIngest' .
+		-run 'TestBenchSmokeArtifact|TestBenchSmokeCalibration|TestBenchSmokeObservability|TestBenchSmokeCoded|TestBenchSmokeBatched|TestBenchSmokeCluster|TestBenchSmokeIngest|TestBenchSmokeWrite' .
 	cp results/BENCH_PR4.json BENCH_PR4.json
 	cp results/BENCH_PR5.json BENCH_PR5.json
 	cp results/BENCH_PR6.json BENCH_PR6.json
 	cp results/BENCH_PR7.json BENCH_PR7.json
 	cp results/BENCH_PR8.json BENCH_PR8.json
 	cp results/BENCH_PR9.json BENCH_PR9.json
+	cp results/BENCH_PR10.json BENCH_PR10.json
 
-# Short native-fuzzing runs over the HTTP request parsers, the histogram
+# Short native-fuzzing runs over the HTTP request parsers (including the
+# hand-rolled NDJSON scanner's byte-for-byte equivalence against the stdlib
+# decoder), the histogram
 # invariants, the k-of-n order-statistic combinator, the guarded root
 # finder and the router's partial-CDF merge: enough to catch regressions in
 # the strict decoder, the quantile/bucket arithmetic, the coded-read CDF
@@ -71,6 +84,7 @@ bench-smoke:
 # check into a soak.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzNDJSONDecode$$' -fuzztime=10s ./internal/ingest
+	$(GO) test -run '^$$' -fuzz '^FuzzNDJSONScannerEquivalence$$' -fuzztime=10s ./internal/ingest
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeStrict$$' -fuzztime=10s ./internal/serve
 	$(GO) test -run '^$$' -fuzz '^FuzzParseFloats$$' -fuzztime=10s ./internal/serve
 	$(GO) test -run '^$$' -fuzz '^FuzzHistogramInvariants$$' -fuzztime=10s ./internal/stats

@@ -58,6 +58,10 @@ type (
 	// quorum, and optional hedging delay — consumed by SystemModel's
 	// CodedCDF/CodedQuantile order-statistic predictions.
 	CodedSpec = core.CodedSpec
+	// WriteQuorumSpec describes a w-of-n replicated PUT — replica fan-out
+	// and acknowledgement quorum — consumed by SystemModel's
+	// WriteCDF/WriteQuantile order-statistic predictions.
+	WriteQuorumSpec = core.WriteSpec
 )
 
 // Order-statistic primitives (internal/coscode): KOfNProbability is the
@@ -166,6 +170,16 @@ type (
 	// ServeCodedReadBlock the coded section of a /predict answer.
 	ServeCodedReadSpec  = serve.CodedReadSpec
 	ServeCodedReadBlock = serve.CodedReadBlock
+	// ServeWriteSpec is the wire form of a w-of-n PUT quorum query and
+	// ServeWriteBlock the write section of a /predict answer.
+	ServeWriteSpec  = serve.WriteSpec
+	ServeWriteBlock = serve.WriteBlock
+	// ServeTenantStats is one tenant class's windowed rates;
+	// ServeTenantAdvice and ServeTenantShed are the weighted multi-tenant
+	// admission answer and its per-class allocation rows.
+	ServeTenantStats  = serve.TenantStats
+	ServeTenantAdvice = serve.TenantAdvice
+	ServeTenantShed   = serve.TenantShed
 )
 
 var (

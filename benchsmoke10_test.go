@@ -1,0 +1,232 @@
+// Bench-smoke artifact for the write-prediction path and the hand-rolled
+// NDJSON scanner: the serving engine's W-of-N write /predict latencies cold
+// (model build plus quorum order-statistic per SLA) and cached (memoized),
+// and the streaming decode cost of the flat-field scanner against the
+// per-line encoding/json path it replaced (PR 9's decoder). Written to
+// results/BENCH_PR10.json; gated behind COSMODEL_BENCH_SMOKE=1 like the
+// other artifacts (`make bench-smoke` sets the gate and mirrors the
+// artifacts at the repo root).
+package cosmodel_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"cosmodel"
+	"cosmodel/internal/ingest"
+)
+
+type writeSmokeReport struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// N and W identify the measured write quorum; SLAs the query width.
+	N    int `json:"n"`
+	W    int `json:"w"`
+	SLAs int `json:"slas"`
+	// WriteColdNs and WriteCachedNs are the serving engine's per-query
+	// write-predict latencies: cold invalidates the memo every round
+	// (forcing a model build with the mixed read/write queue, the
+	// frontend-grid discretization, and one quorum order-statistic
+	// bisection per SLA), cached answers from the memo.
+	WriteColdNs   int64 `json:"write_cold_ns"`
+	WriteCachedNs int64 `json:"write_cached_ns"`
+	// NDJSONLines sizes the decode payload; NDJSONScanNs and
+	// NDJSONStdlibNs are one full-payload decode through the hand-rolled
+	// flat-field scanner and through the per-line encoding/json path it
+	// replaced; NDJSONSpeedup is their ratio. ScanAllocsPerLine and
+	// StdlibAllocsPerLine are the per-line allocation counts of the two
+	// paths — the alloc-reduction bar vs PR 9's decoder.
+	NDJSONLines         int     `json:"ndjson_lines"`
+	NDJSONScanNs        int64   `json:"ndjson_scan_ns"`
+	NDJSONStdlibNs      int64   `json:"ndjson_stdlib_ns"`
+	NDJSONSpeedup       float64 `json:"ndjson_speedup"`
+	ScanAllocsPerLine   float64 `json:"scan_allocs_per_line"`
+	StdlibAllocsPerLine float64 `json:"stdlib_allocs_per_line"`
+}
+
+// writeSmokeEngine builds a warm serving engine whose ingested batch
+// carries mixed read/write traffic, shared by the write benchmark and the
+// artifact test.
+func writeSmokeEngine(fatal func(...any)) *cosmodel.ServeEngine {
+	cfg := cosmodel.DefaultServeConfig(clusterSmokeProps(), 4)
+	eng, err := cosmodel.NewServeEngine(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := eng.Ingest(writeSmokeBatch(cfg.Devices)); err != nil {
+		fatal(err)
+	}
+	return eng
+}
+
+// writeSmokeBatch is clusterSmokeBatch plus a write stream: each device
+// also absorbs PUT replica sub-requests averaging 1.5 data chunks.
+func writeSmokeBatch(devices int) []cosmodel.ServeObservation {
+	batch := clusterSmokeBatch(devices)
+	for d := range batch {
+		batch[d].Writes = 80
+		batch[d].WriteChunks = 120
+	}
+	return batch
+}
+
+// BenchmarkWritePredict measures the serving engine's write prediction on
+// a 2-of-3 replication quorum: cold (memo invalidated every iteration) and
+// cached, both with allocations reported.
+func BenchmarkWritePredict(b *testing.B) {
+	spec := cosmodel.ServeWriteSpec{N: 3, W: 2}
+	slas := []float64{0.01, 0.05, 0.1}
+	b.Run("cold", func(b *testing.B) {
+		eng := writeSmokeEngine(b.Fatal)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.InvalidateCache()
+			if _, err := eng.PredictWrite(spec, slas); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		eng := writeSmokeEngine(b.Fatal)
+		if _, err := eng.PredictWrite(spec, slas); err != nil { // warm
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			preds, err := eng.PredictWrite(spec, slas)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !preds[0].Cached {
+				b.Fatal("cache miss on the warmed path")
+			}
+		}
+	})
+}
+
+// ndjsonStdlibDecode is PR 9's per-line decoder, kept as the measured
+// baseline: one strict encoding/json pass plus validation per line.
+func ndjsonStdlibDecode(payload []byte, devices int) (int, error) {
+	n := 0
+	for _, raw := range bytes.Split(payload, []byte{'\n'}) {
+		raw = bytes.TrimSpace(raw)
+		if len(raw) == 0 {
+			continue
+		}
+		var o ingest.Observation
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&o); err != nil {
+			return n, err
+		}
+		if err := o.Validate(devices); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// TestBenchSmokeWrite measures the write predict path cold and cached plus
+// the NDJSON scanner against its stdlib baseline, and writes the PR's
+// bench artifact.
+func TestBenchSmokeWrite(t *testing.T) {
+	if os.Getenv("COSMODEL_BENCH_SMOKE") == "" {
+		t.Skip("set COSMODEL_BENCH_SMOKE=1 to produce results/BENCH_PR10.json")
+	}
+	eng := writeSmokeEngine(t.Fatal)
+	spec := cosmodel.ServeWriteSpec{N: 3, W: 2}
+	slas := []float64{0.01, 0.05, 0.1}
+	predict := func() {
+		if _, err := eng.PredictWrite(spec, slas); err != nil {
+			t.Fatal(err)
+		}
+	}
+	predict() // warm
+
+	// The decode payload: class-labelled observations with write streams,
+	// the full wire surface the scanner must cover.
+	const devices = 64
+	var obsBatch []ingest.Observation
+	for d := 0; d < devices; d++ {
+		o := ingest.Observation{
+			Device: d, Interval: 10, Requests: 500, DataReads: 600,
+			IndexHits: 700, IndexMisses: 300,
+			MetaHits: 650, MetaMisses: 350,
+			DataHits: 500, DataMisses: 500,
+			DiskBusy: 8, DiskOps: 1000,
+			Writes: 80, WriteChunks: 120,
+			Class:     "gold",
+			Latencies: []float64{0.004, 0.009, 0.021},
+		}
+		if d%2 == 1 {
+			o.Class = "bronze"
+		}
+		obsBatch = append(obsBatch, o)
+	}
+	var buf bytes.Buffer
+	if err := ingest.EncodeNDJSON(&buf, obsBatch); err != nil {
+		t.Fatal(err)
+	}
+	payload := buf.Bytes()
+	discard := func([]ingest.Observation) error { return nil }
+	scan := func() {
+		if n, err := ingest.DecodeNDJSON(bytes.NewReader(payload), devices, 0, discard); err != nil || n != devices {
+			t.Fatalf("scanner decode: %d lines, %v", n, err)
+		}
+	}
+	stdlib := func() {
+		if n, err := ndjsonStdlibDecode(payload, devices); err != nil || n != devices {
+			t.Fatalf("stdlib decode: %d lines, %v", n, err)
+		}
+	}
+
+	rep := writeSmokeReport{
+		GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		N:                   spec.N,
+		W:                   spec.W,
+		SLAs:                len(slas),
+		WriteCachedNs:       best(20, func(int) { predict() }),
+		WriteColdNs:         best(20, func(int) { eng.InvalidateCache(); predict() }),
+		NDJSONLines:         devices,
+		NDJSONScanNs:        best(20, func(int) { scan() }),
+		NDJSONStdlibNs:      best(20, func(int) { stdlib() }),
+		ScanAllocsPerLine:   testing.AllocsPerRun(10, scan) / devices,
+		StdlibAllocsPerLine: testing.AllocsPerRun(10, stdlib) / devices,
+	}
+	rep.NDJSONSpeedup = float64(rep.NDJSONStdlibNs) / float64(rep.NDJSONScanNs)
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("results", "BENCH_PR10.json")
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("write predict: cold %dns cached %dns; ndjson: scan %dns stdlib %dns (%.2fx, %.1f vs %.1f allocs/line) -> %s",
+		rep.WriteColdNs, rep.WriteCachedNs, rep.NDJSONScanNs, rep.NDJSONStdlibNs,
+		rep.NDJSONSpeedup, rep.ScanAllocsPerLine, rep.StdlibAllocsPerLine, path)
+
+	// Acceptance bars. The alloc comparison is deterministic so it gates
+	// everywhere; the wall-clock speedup gates only where there are cores
+	// enough for timing to be trustworthy, mirroring the other artifacts.
+	if rep.WriteColdNs <= 0 || rep.WriteCachedNs <= 0 {
+		t.Errorf("degenerate write predict timings: %+v", rep)
+	}
+	if rep.ScanAllocsPerLine >= rep.StdlibAllocsPerLine {
+		t.Errorf("scanner allocates %.1f per line, stdlib %.1f — no reduction",
+			rep.ScanAllocsPerLine, rep.StdlibAllocsPerLine)
+	}
+	if runtime.GOMAXPROCS(0) >= 8 && rep.NDJSONSpeedup < 1.2 {
+		t.Errorf("NDJSON scanner %.2fx stdlib, want >= 1.2x", rep.NDJSONSpeedup)
+	}
+}

@@ -12,6 +12,8 @@
 //	    -rate-start 50 -rate-end 200 -rate-step 50 -step-dur 10 \
 //	    -predict-rate 100 -mode ndjson
 //
+//	cosload -target http://shard0:8080,http://shard1:8080   # round-robin fan-out
+//
 //	cosload -selftest        # spin an in-process cosserve and load it
 //
 // Being open-loop, arrivals never wait for responses: a saturated service
@@ -27,6 +29,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -49,14 +52,18 @@ func main() {
 		defer srv.Close()
 		ts := httptest.NewServer(srv.Handler())
 		defer ts.Close()
-		cfg.Target = ts.URL
+		cfg.Target, cfg.Targets = ts.URL, nil
 		fmt.Fprintf(os.Stderr, "cosload: self-test server at %s\n", cfg.Target)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	targets := cfg.Target
+	if len(cfg.Targets) > 0 {
+		targets = fmt.Sprintf("%d targets (%s)", len(cfg.Targets), strings.Join(cfg.Targets, ", "))
+	}
 	fmt.Fprintf(os.Stderr, "cosload: %d phases over %.1fs against %s (mode %s, predict %.1f/s)\n",
-		len(cfg.Schedule), cfg.Schedule.TotalDuration(), cfg.Target, cfg.Mode, cfg.PredictRate)
+		len(cfg.Schedule), cfg.Schedule.TotalDuration(), targets, cfg.Mode, cfg.PredictRate)
 
 	rep, err := cosmodel.RunLoad(ctx, cfg)
 	if err != nil && rep == nil {
@@ -87,7 +94,7 @@ type runOptions struct {
 func configure(args []string) (cosmodel.LoadConfig, runOptions, error) {
 	fs := flag.NewFlagSet("cosload", flag.ContinueOnError)
 	var (
-		target   = fs.String("target", "http://localhost:8080", "base URL of the cosserve/cosrouter under test")
+		target   = fs.String("target", "http://localhost:8080", "base URL(s) of the cosserve/cosrouter under test; comma-separated list fans out round-robin")
 		devices  = fs.Int("devices", 4, "devices the generated observations describe")
 		mode     = fs.String("mode", cosmodel.LoadModeNDJSON, "ingest wire mode: json | ndjson")
 		predict  = fs.Float64("predict-rate", 50, "independent /predict probe rate (req/s, 0 = off)")
@@ -115,13 +122,22 @@ func configure(args []string) (cosmodel.LoadConfig, runOptions, error) {
 		return cosmodel.LoadConfig{}, runOptions{}, err
 	}
 	cfg := cosmodel.LoadConfig{
-		Target:      *target,
 		Devices:     *devices,
 		Mode:        *mode,
 		Schedule:    sched,
 		PredictRate: *predict,
 		MaxInflight: *inflight,
 		Seed:        *seed,
+	}
+	// A comma-separated -target becomes the round-robin fan-out list; a
+	// single URL stays in the scalar field for backward compatibility.
+	if parts := strings.Split(*target, ","); len(parts) > 1 {
+		for i := range parts {
+			parts[i] = strings.TrimSpace(parts[i])
+		}
+		cfg.Targets = parts
+	} else {
+		cfg.Target = strings.TrimSpace(*target)
 	}
 	return cfg, runOptions{selftest: *selftest, jsonOut: *jsonOut}, nil
 }

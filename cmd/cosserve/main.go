@@ -1,7 +1,11 @@
 // Command cosserve runs the online SLA-prediction and admission-control
-// service: monitoring agents POST per-device observations to /ingest, and
-// clients query /predict (percentile predictions at the current operating
-// point), /advise (max admissible rate and headroom for an SLA target),
+// service: monitoring agents POST per-device observations to /ingest
+// (JSON array or streaming NDJSON, optionally class-labelled and carrying
+// PUT replica counts), and clients query /predict (percentile predictions
+// at the current operating point; add writeN/writeW for W-of-N write-quorum
+// compliance and tenant= for a per-class annotation), /advise (max
+// admissible rate and headroom for an SLA target; add tenants=class:weight,…
+// for a weighted shedding plan that drops the cheapest tenant first),
 // /metrics and /healthz. Predictions are memoized per quantized operating
 // point, so a stable workload is served without re-inverting transforms.
 //

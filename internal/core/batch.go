@@ -26,6 +26,12 @@ const (
 	// Sq ∗ Sbe — the paper's "noWTA" ablation, exact against a model built
 	// with Options.WTA == WTANone.
 	BatchNoWTA
+	// BatchWrite is the frontend-observed single-replica PUT response
+	// Sq ∗ Wa ∗ Swr — what WriteCDFContext with a {N:1, W:1} spec
+	// evaluates. Requires write traffic in the mixture.
+	BatchWrite
+	// BatchWriteBackend is the backend-tier PUT replica response Swr.
+	BatchWriteBackend
 )
 
 // mode maps the public kind onto the engine's internal evaluation mode.
@@ -37,6 +43,10 @@ func (k BatchKind) mode() (evalMode, error) {
 		return modeBackend, nil
 	case BatchNoWTA:
 		return modeNoWTA, nil
+	case BatchWrite:
+		return modeWriteFull, nil
+	case BatchWriteBackend:
+		return modeWriteBackend, nil
 	}
 	return 0, fmt.Errorf("%w: unknown batch kind %d", ErrBadParams, k)
 }
@@ -120,11 +130,19 @@ func (s *SystemModel) mixtureCDFBatch(ctx context.Context, modes []evalMode, ts 
 	for k := range nodes {
 		ws[k] /= nodes[k]
 	}
-	needFE := false
+	needFE, needRead, needWrite := false, false, false
 	for _, mode := range modes {
-		if mode == modeFull || mode == modeNoWTA {
+		if shape := mode.shape(); shape == modeFull || shape == modeNoWTA {
 			needFE = true
 		}
+		if mode.write() {
+			needWrite = true
+		} else {
+			needRead = true
+		}
+	}
+	if needWrite && s.totalWriteRate <= 0 {
+		return fmt.Errorf("%w: no write traffic in the device mixture", ErrBadParams)
 	}
 	fe := a.fe[:0]
 	if needFE {
@@ -145,12 +163,30 @@ func (s *SystemModel) mixtureCDFBatch(ctx context.Context, modes []evalMode, ts 
 	run := func(i int) error {
 		gs := sums[i*stride : (i+1)*stride]
 		dev := s.groups[i].dev
+		// A read-only device contributes nothing to write modes: its
+		// write factors are never evaluated and its write cells stay 0
+		// (the reduction skips them by zero weight).
+		devWrite := needWrite && s.groups[i].writeWeight > 0
 		for j := range ts {
 			for k := offs[j]; k < offs[j+1]; k++ {
-				wa, sbe := dev.responseNode(nodes[k])
+				var wa, sbe, wwa, swr complex128
+				if needRead {
+					wa, sbe = dev.responseNode(nodes[k])
+				}
+				if devWrite {
+					wwa, swr = dev.writeNode(nodes[k])
+				}
 				wr, wi := real(ws[k]), imag(ws[k])
 				for m, mode := range modes {
-					v := nodeValue(mode, fe, k, wa, sbe)
+					var v complex128
+					if mode.write() {
+						if !devWrite {
+							continue
+						}
+						v = nodeValue(mode.shape(), fe, k, wwa, swr)
+					} else {
+						v = nodeValue(mode, fe, k, wa, sbe)
+					}
 					gs[m*nt+j] += wr*real(v) - wi*imag(v)
 				}
 			}
@@ -168,6 +204,11 @@ func (s *SystemModel) mixtureCDFBatch(ctx context.Context, modes []evalMode, ts 
 	// per-group guarded validation, the same group-order weighted sum and
 	// the same final clamp as the scalar mixture.
 	for m, mode := range modes {
+		write := mode.write()
+		denom := s.totalRate
+		if write {
+			denom = s.totalWriteRate
+		}
 		for j, t := range ts {
 			if t <= 0 {
 				out[m][j] = 0
@@ -175,13 +216,19 @@ func (s *SystemModel) mixtureCDFBatch(ctx context.Context, modes []evalMode, ts 
 			}
 			total := 0.0
 			for i := range s.groups {
+				weight := s.groups[i].weight
+				if write {
+					if weight = s.groups[i].writeWeight; weight == 0 {
+						continue
+					}
+				}
 				v, err := s.groupCDFFrom(sums[i*stride+m*nt+j], i, t, mode)
 				if err != nil {
 					return err
 				}
-				total += s.groups[i].weight * v
+				total += weight * v
 			}
-			out[m][j] = numeric.Clamp01(total / s.totalRate)
+			out[m][j] = numeric.Clamp01(total / denom)
 		}
 	}
 	return nil

@@ -19,10 +19,30 @@ type DeviceModel struct {
 	metrics OnlineMetrics
 	opts    Options
 
-	union lst.Transform // Bbe: union operation service time
+	union lst.Transform // Bbe: union operation service time (read class)
 	wbe   lst.Transform // waiting time of the request processing queue
 	sbe   lst.Transform // backend response time (Eq. 1)
 	wa    lst.Transform // waiting time for being accept()-ed
+
+	// Write-class pipeline, populated when OnlineMetrics.WriteRate > 0.
+	// A PUT replica sub-request is parse + index write + WriteChunks
+	// data-chunk writes + metadata write, all reaching the disk (no cache
+	// shortcut) — but the event loop does not serve it as one operation.
+	// The data chunks arrive over the network one at a time, so the
+	// process interleaves other requests between them: the replica is a
+	// head operation (parse + index write), writePW middle operations
+	// (one data-chunk write each) and a tail operation (final chunk +
+	// metadata write), each a separate FCFS arrival to the same
+	// per-process queue as reads.
+	writeOp   lst.Transform // total write work (all ops convolved)
+	swr       lst.Transform // write replica response: per-op sojourns convolved
+	writeRate float64
+	writePW   float64 // mean middle-chunk ops per write (WriteChunks-1)
+	// Normalized service-mixture weights of the shared queue over the
+	// four operation streams [read union, write head, write middle chunk,
+	// write tail]; their arithmetic mirrors lst.Mix exactly so the node
+	// evaluators reproduce the queue's service value bit-for-bit.
+	fracRead, fracHead, fracMid, fracTail float64
 
 	// effective per-operation latency transforms (cache-mixed), kept for
 	// introspection and tests.
@@ -119,9 +139,51 @@ func (d *DeviceModel) build() error {
 	}
 	d.union = lst.Convolve(d.parse, d.opIndex, d.opMeta, d.opData, extra)
 
-	// Step 4: the M/G/1 queue of union operations, per process.
-	d.procRate = m.Rate / float64(m.Procs)
-	q, err := queueing.NewMG1(d.procRate, d.union)
+	// Step 4: the M/G/1 queue of union operations, per process. With
+	// write traffic the same FCFS queue serves both classes, so write
+	// load inflates the waiting (and through it Wa and Sbe) seen by
+	// reads, and vice versa — but a write replica does NOT enter the
+	// queue as one monolithic operation. The event loop serves it as
+	// separate operations with other work interleaved between them (the
+	// chunks arrive over the network one at a time): a head op (parse +
+	// index write), one op per middle data chunk, and a tail op (final
+	// chunk + metadata write). Folding all of that into a single service
+	// time would inflate the service second moment — and through
+	// Pollaczek–Khinchin the waiting of every class — several-fold, so
+	// the queue's service is the rate-weighted mixture over the four
+	// operation streams and its arrival rate counts operations, not
+	// replicas. A zero write rate leaves the read-only pipeline
+	// structurally unchanged.
+	d.writeRate = m.WriteRate
+	svc := d.union
+	totalRate := m.Rate
+	var wHead, wTail lst.Transform
+	if m.WriteRate > 0 {
+		// The middle-chunk count is Poisson with mean WriteChunks-1,
+		// mirroring the read path's extra-reads treatment of a
+		// size-dependent operation count. Every write op reaches the
+		// disk — no cache shortcut.
+		pw := m.WriteChunks - 1
+		d.writePW = pw
+		wHead = lst.Convolve(d.parse, d.rawIdx)
+		wTail = lst.Convolve(d.rawData, d.rawMeta)
+		d.writeOp = lst.Convolve(d.parse, d.rawIdx, d.rawMeta, d.rawData,
+			lst.PoissonCompound(d.rawData, pw))
+		weights := []float64{m.Rate, m.WriteRate, m.WriteRate * pw, m.WriteRate}
+		svc = lst.Mix([]lst.Transform{d.union, wHead, d.rawData, wTail}, weights)
+		// Accumulate the total in lst.Mix's order so the stored
+		// fractions equal its normalized weights bit-for-bit.
+		totalRate = 0
+		for _, w := range weights {
+			totalRate += w
+		}
+		d.fracRead = m.Rate / totalRate
+		d.fracHead = m.WriteRate / totalRate
+		d.fracMid = m.WriteRate * pw / totalRate
+		d.fracTail = m.WriteRate / totalRate
+	}
+	d.procRate = totalRate / float64(m.Procs)
+	q, err := queueing.NewMG1(d.procRate, svc)
 	if err != nil {
 		return fmt.Errorf("%w: device union queue: %v", ErrOverload, err)
 	}
@@ -131,6 +193,18 @@ func (d *DeviceModel) build() error {
 	// Step 5: backend response time, Eq. 1:
 	// Sbe = Wbe ∗ parse ∗ index ∗ meta ∗ data.
 	d.sbe = lst.Convolve(d.wbe, d.parse, d.opIndex, d.opMeta, d.opData)
+	if m.WriteRate > 0 {
+		// Write replica response: each of the replica's operations
+		// queues behind the shared waiting independently, so the
+		// response is the convolution of per-operation sojourns —
+		// head, a Poisson-compound number of middle-chunk ops, and
+		// tail.
+		d.swr = lst.Convolve(
+			lst.Convolve(d.wbe, wHead),
+			lst.PoissonCompound(lst.Convolve(d.wbe, d.rawData), d.writePW),
+			lst.Convolve(d.wbe, wTail),
+		)
+	}
 
 	// Step 6: waiting time for being accept()-ed.
 	switch d.opts.WTA {
@@ -168,13 +242,16 @@ func (d *DeviceModel) diskOperationTransforms() (idx, meta, data lst.Transform, 
 	if d.opts.ODOPR {
 		mi, mm = 0, 0
 	}
-	rIndex := mi * m.Rate
-	rMeta := mm * m.Rate
+	// Writes always reach the disk: every PUT replica adds one index
+	// write, one metadata write and WriteChunks data-chunk writes to the
+	// disk arrival stream (zero terms for a read-only workload).
+	rIndex := mi*m.Rate + m.WriteRate
+	rMeta := mm*m.Rate + m.WriteRate
 	dataRate := m.DataRate
 	if d.opts.ODOPR {
 		dataRate = m.Rate
 	}
-	rData := md * dataRate
+	rData := md*dataRate + m.WriteRate*m.WriteChunks
 	rDisk := rIndex + rMeta + rData
 	if rDisk <= 0 {
 		// Nothing reaches the disk; latencies are all zero.
@@ -222,10 +299,13 @@ func (d *DeviceModel) scaledServiceMeans() (bi, bm, bd float64) {
 	}
 	pi, pm, pd := d.props.Proportions()
 	m := d.metrics
-	// bi/pi = bm/pm = bd/pd = x and
-	// mi·bi·r + mm·bm·r + md·bd·rdata = (mi·r + mm·r + md·rdata)·b.
-	num := (m.MissIndex*m.Rate + m.MissMeta*m.Rate + m.MissData*m.DataRate) * b
-	den := m.MissIndex*pi*m.Rate + m.MissMeta*pm*m.Rate + m.MissData*pd*m.DataRate
+	// bi/pi = bm/pm = bd/pd = x and the rate-weighted mean over every
+	// disk operation class — read misses plus the write stream's
+	// unconditional index/meta/chunk writes — equals the observed b.
+	num := (m.MissIndex*m.Rate + m.MissMeta*m.Rate + m.MissData*m.DataRate +
+		m.WriteRate*(2+m.WriteChunks)) * b
+	den := m.MissIndex*pi*m.Rate + m.MissMeta*pm*m.Rate + m.MissData*pd*m.DataRate +
+		m.WriteRate*(pi+pm+m.WriteChunks*pd)
 	if den <= 0 || num <= 0 {
 		return bi, bm, bd
 	}
@@ -325,11 +405,28 @@ func (d *DeviceModel) Backend() lst.Transform { return d.sbe }
 // WTA returns the accept-waiting transform Wa.
 func (d *DeviceModel) WTA() lst.Transform { return d.wa }
 
-// Utilization returns the per-process union-operation utilization ρ.
-func (d *DeviceModel) Utilization() float64 { return d.procRate * d.union.Mean }
+// Utilization returns the per-process union-operation utilization ρ (both
+// traffic classes when write traffic is modeled).
+func (d *DeviceModel) Utilization() float64 { return d.unionQ.Utilization() }
 
 // Rate returns the device's request arrival rate r.
 func (d *DeviceModel) Rate() float64 { return d.metrics.Rate }
+
+// WriteRate returns the device's PUT replica arrival rate (0 for a
+// read-only workload).
+func (d *DeviceModel) WriteRate() float64 { return d.metrics.WriteRate }
+
+// WriteOp returns the total write-work transform — every operation of one
+// PUT replica convolved (the zero Transform when no write traffic is
+// modeled). The queue serves these as separate operations; this is the
+// summed service, for introspection.
+func (d *DeviceModel) WriteOp() lst.Transform { return d.writeOp }
+
+// WriteResponse returns the write replica response transform Swr: the
+// convolution of the per-operation sojourns (Wbe ∗ head) ∗
+// compound(Wbe ∗ chunk) ∗ (Wbe ∗ tail) — the zero Transform when no write
+// traffic is modeled.
+func (d *DeviceModel) WriteResponse() lst.Transform { return d.swr }
 
 // BackendCDF evaluates the backend response-latency CDF at t.
 func (d *DeviceModel) BackendCDF(t float64) float64 {
@@ -360,28 +457,81 @@ func clampUnit(v float64) float64 {
 // It is safe for concurrent use: all receiver state is immutable after
 // build().
 func (d *DeviceModel) responseNode(s complex128) (wa, sbe complex128) {
-	pr := d.parse.F(s)
-	var pi, pm, pd complex128
-	if d.rawShared {
-		raw := d.rawData.F(s)
-		pi = complex(d.missIdx, 0)*raw + complex(1-d.missIdx, 0)
-		pm = complex(d.missMeta, 0)*raw + complex(1-d.missMeta, 0)
-		pd = complex(d.missData, 0)*raw + complex(1-d.missData, 0)
-	} else {
-		pi = complex(d.missIdx, 0)*d.rawIdx.F(s) + complex(1-d.missIdx, 0)
-		pm = complex(d.missMeta, 0)*d.rawMeta.F(s) + complex(1-d.missMeta, 0)
-		pd = complex(d.missData, 0)*d.rawData.F(s) + complex(1-d.missData, 0)
-	}
+	pr, pi, pm, pd, ri, rm, rd := d.leafValues(s)
 	union := pr * pi * pm * pd * d.extraVal(pd)
-	w := d.unionQ.WaitingValue(s, union)
+	w := d.unionQ.WaitingValue(s, d.serviceValue(union, pr, ri, rm, rd))
 	sbe = w * pr * pi * pm * pd
+	return d.waValue(s, w), sbe
+}
+
+// writeNode is responseNode's write-class sibling: it evaluates Wa and the
+// write replica response Swr (the convolution of per-operation sojourns:
+// head, Poisson-compound middle chunks, tail) at one inversion frequency s,
+// each leaf transform evaluated exactly once. The shared queue's waiting
+// term needs every operation stream's value (the service mixture), so the
+// read factors are computed here too. Only meaningful on a device built
+// with OnlineMetrics.WriteRate > 0; a read-only device reports a zero
+// response (it contributes nothing to a write mixture).
+func (d *DeviceModel) writeNode(s complex128) (wa, swr complex128) {
+	if d.writeRate <= 0 {
+		return 1, 0
+	}
+	pr, pi, pm, pd, ri, rm, rd := d.leafValues(s)
+	union := pr * pi * pm * pd * d.extraVal(pd)
+	head := pr * ri
+	tail := rd * rm
+	svc := complex(d.fracRead, 0)*union + complex(d.fracHead, 0)*head +
+		complex(d.fracMid, 0)*rd + complex(d.fracTail, 0)*tail
+	w := d.unionQ.WaitingValue(s, svc)
+	swr = (w * head) * (w * tail)
+	if d.writePW > 0 {
+		swr *= cmplx.Exp(complex(d.writePW, 0) * (w*rd - 1))
+	}
+	return d.waValue(s, w), swr
+}
+
+// leafValues evaluates every leaf transform of the device pipeline at one
+// frequency: the parse factor, the cache-mixed per-operation factors
+// (pi, pm, pd) and the raw disk factors behind them (ri, rm, rd — the
+// write path reads them directly, misses being certain for writes). In
+// multi-process mode one shared disk-sojourn evaluation stands in for all
+// three raw classes.
+func (d *DeviceModel) leafValues(s complex128) (pr, pi, pm, pd, ri, rm, rd complex128) {
+	pr = d.parse.F(s)
+	if d.rawShared {
+		rd = d.rawData.F(s)
+		ri, rm = rd, rd
+	} else {
+		ri = d.rawIdx.F(s)
+		rm = d.rawMeta.F(s)
+		rd = d.rawData.F(s)
+	}
+	pi = complex(d.missIdx, 0)*ri + complex(1-d.missIdx, 0)
+	pm = complex(d.missMeta, 0)*rm + complex(1-d.missMeta, 0)
+	pd = complex(d.missData, 0)*rd + complex(1-d.missData, 0)
+	return
+}
+
+// serviceValue composes the shared queue's service-transform value from the
+// read union-operation value (and, with write traffic, the three write
+// operation streams): the rate-weighted mixture, mirroring the lst.Mix
+// arithmetic in build() term for term.
+func (d *DeviceModel) serviceValue(union, pr, ri, rm, rd complex128) complex128 {
+	if d.writeRate <= 0 {
+		return union
+	}
+	return complex(d.fracRead, 0)*union + complex(d.fracHead, 0)*(pr*ri) +
+		complex(d.fracMid, 0)*rd + complex(d.fracTail, 0)*(rd*rm)
+}
+
+// waValue maps the shared waiting value onto the configured WTA mode.
+func (d *DeviceModel) waValue(s, w complex128) complex128 {
 	switch d.opts.WTA {
 	case WTANone:
-		wa = 1
+		return 1
 	case WTAExact:
-		wa = d.wa.F(s)
+		return d.wa.F(s)
 	default:
-		wa = w
+		return w
 	}
-	return wa, sbe
 }

@@ -107,6 +107,17 @@ type OnlineMetrics struct {
 	// zero, it is derived from the benchmarked distributions and the
 	// operation mix.
 	DiskMean float64
+	// WriteRate is w: the arrival rate of PUT replica sub-requests at the
+	// device (writes/s). 0 models a read-only workload and leaves the
+	// read pipeline exactly as the paper defines it; a positive rate adds
+	// a write class to the same FCFS union-operation queue, so write load
+	// inflates the waiting time seen by reads and vice versa.
+	WriteRate float64
+	// WriteChunks is the mean number of data-chunk disk writes per PUT
+	// replica sub-request (>= 1 when WriteRate > 0, 0 otherwise). Writes
+	// always reach the disk: a PUT performs an index write, WriteChunks
+	// data-chunk writes and a metadata write with no cache shortcut.
+	WriteChunks float64
 }
 
 // Validate checks the metrics.
@@ -121,6 +132,13 @@ func (m OnlineMetrics) Validate() error {
 		return fmt.Errorf("%w: procs %d", ErrBadParams, m.Procs)
 	case m.DiskMean < 0:
 		return fmt.Errorf("%w: disk mean %v", ErrBadParams, m.DiskMean)
+	case m.WriteRate < 0:
+		return fmt.Errorf("%w: write rate %v must be nonnegative", ErrBadParams, m.WriteRate)
+	case m.WriteRate > 0 && m.WriteChunks < 1:
+		return fmt.Errorf("%w: write chunks %v must be >= 1 when writes arrive (each PUT writes at least one chunk)",
+			ErrBadParams, m.WriteChunks)
+	case m.WriteRate == 0 && m.WriteChunks != 0:
+		return fmt.Errorf("%w: write chunks %v without write traffic", ErrBadParams, m.WriteChunks)
 	}
 	for _, miss := range []float64{m.MissIndex, m.MissMeta, m.MissData} {
 		if miss < 0 || miss > 1 {
@@ -244,10 +262,12 @@ type Options struct {
 // which entry point ran, how much work it did and how long it took.
 type EvalEvent struct {
 	// Op identifies the entry point: "cdf", "backend_cdf", "cdf_batch",
-	// "quantile", "max_admissible_rate", or the coded-read spans
+	// "quantile", "max_admissible_rate", the coded-read spans
 	// "coded_cdf", "coded_backend_cdf", "coded_cdf_batch" and
-	// "coded_quantile". Batched spans cover a whole threshold grid in one
-	// event, with Probes carrying the grid size.
+	// "coded_quantile", or the write-path spans "write_cdf",
+	// "write_backend_cdf", "write_cdf_batch" and "write_quantile".
+	// Batched spans cover a whole threshold grid in one event, with
+	// Probes carrying the grid size.
 	Op string
 	// Groups is the number of distinct mixture groups the evaluation fans
 	// out over (0 for spans without a single underlying model, like

@@ -27,6 +27,13 @@ type mixGroup struct {
 	response lst.Transform // Sq ∗ Wa ∗ Sbe, for non-node inverters
 	beResp   lst.Transform // Wa ∗ Sbe, for non-node inverters
 	noWTA    lst.Transform // Sq ∗ Sbe, for non-node inverters
+
+	// Write-class mixture weight and compositions; writeWeight is 0 for
+	// a read-only device, which then contributes nothing to write-mode
+	// mixtures and is skipped without evaluation.
+	writeWeight float64
+	writeFull   lst.Transform // Sq ∗ Wa ∗ Swr, for non-node inverters
+	writeResp   lst.Transform // Wa ∗ Swr, for non-node inverters
 }
 
 // evalMode selects which composition of the per-device factors the
@@ -48,7 +55,36 @@ const (
 	// with WTANone computes the identical Sbe pipeline and a unit Wa, and
 	// multiplying by the exact complex 1 changes nothing.
 	modeNoWTA
+	// modeWriteFull is the frontend-observed PUT replica response
+	// Sq ∗ Wa ∗ Swr: what a single-replica write experiences end to end.
+	modeWriteFull
+	// modeWriteResponse is the per-replica PUT response Wa ∗ Swr — what
+	// one replica sub-write experiences after the shared frontend
+	// sojourn, the base CDF of the W-of-N quorum order statistic.
+	modeWriteResponse
+	// modeWriteBackend is the backend-tier PUT replica response Swr.
+	modeWriteBackend
 )
+
+// write reports whether the mode draws on the write-class device factors
+// (DeviceModel.writeNode) instead of the read-class ones; write modes also
+// mix with write-rate weights rather than request-rate weights.
+func (m evalMode) write() bool { return m >= modeWriteFull }
+
+// shape maps a mode onto the composition shape shared with the read
+// family: the write modes compose Sq/Wa/Swr exactly as the corresponding
+// read modes compose Sq/Wa/Sbe.
+func (m evalMode) shape() evalMode {
+	switch m {
+	case modeWriteFull:
+		return modeFull
+	case modeWriteResponse:
+		return modeResponse
+	case modeWriteBackend:
+		return modeBackend
+	}
+	return m
+}
 
 // SystemModel combines the frontend model with per-device backend models
 // into the system-level response-latency distribution (Eqs. 2 and 3):
@@ -71,11 +107,12 @@ type SystemModel struct {
 	opts     Options
 	pool     *parallel.Pool
 
-	responses []lst.Transform // per device: Sq ∗ Wa ∗ Sbe
-	weights   []float64
-	groups    []mixGroup
-	totalRate float64
-	nodeCount int // quadrature nodes of the configured inverter, for spans
+	responses      []lst.Transform // per device: Sq ∗ Wa ∗ Sbe
+	weights        []float64
+	groups         []mixGroup
+	totalRate      float64
+	totalWriteRate float64
+	nodeCount      int // quadrature nodes of the configured inverter, for spans
 
 	// Discretized frontend-sojourn distribution for coded-read
 	// evaluation, built lazily by frontendGrid.
@@ -104,17 +141,25 @@ func NewSystemModel(fe *FrontendModel, devices []*DeviceModel, opts Options) (*S
 		s.responses = append(s.responses, lst.Convolve(sq, d.WTA(), d.Backend()))
 		s.weights = append(s.weights, d.Rate())
 		s.totalRate += d.Rate()
+		s.totalWriteRate += d.WriteRate()
 		if g, ok := seen[d]; ok {
 			s.groups[g].weight += d.Rate()
+			s.groups[g].writeWeight += d.WriteRate()
 		} else {
 			seen[d] = len(s.groups)
-			s.groups = append(s.groups, mixGroup{
-				dev:      d,
-				weight:   d.Rate(),
-				response: s.responses[len(s.responses)-1],
-				beResp:   lst.Convolve(d.WTA(), d.Backend()),
-				noWTA:    lst.Convolve(sq, d.Backend()),
-			})
+			g := mixGroup{
+				dev:         d,
+				weight:      d.Rate(),
+				writeWeight: d.WriteRate(),
+				response:    s.responses[len(s.responses)-1],
+				beResp:      lst.Convolve(d.WTA(), d.Backend()),
+				noWTA:       lst.Convolve(sq, d.Backend()),
+			}
+			if d.WriteRate() > 0 {
+				g.writeFull = lst.Convolve(sq, d.WTA(), d.WriteResponse())
+				g.writeResp = lst.Convolve(d.WTA(), d.WriteResponse())
+			}
+			s.groups = append(s.groups, g)
 		}
 	}
 	if s.totalRate <= 0 {
@@ -203,8 +248,9 @@ func (s *SystemModel) groupEvaluator(inv numeric.Inverter, t float64, mode evalM
 		// 32 covers every built-in quadrature (Euler 27, Talbot 32,
 		// Gaver-Stehfest 14) without append regrowth.
 		nodes, ws := ni.AppendNodes(make([]complex128, 0, 32), make([]complex128, 0, 32), t)
+		shape, write := mode.shape(), mode.write()
 		var fe []complex128
-		if mode == modeFull || mode == modeNoWTA {
+		if shape == modeFull || shape == modeNoWTA {
 			// The frontend sojourn factor is identical across the
 			// mixture: evaluate it once per inversion node.
 			sq := s.frontend.Sojourn().F
@@ -214,10 +260,16 @@ func (s *SystemModel) groupEvaluator(inv numeric.Inverter, t float64, mode evalM
 			}
 		}
 		return func(i int) float64 {
+			dev := s.groups[i].dev
 			var sum float64
 			for k, sk := range nodes {
-				wa, sbe := s.groups[i].dev.responseNode(sk)
-				sum += real(ws[k] * (nodeValue(mode, fe, k, wa, sbe) / sk))
+				var wa, resp complex128
+				if write {
+					wa, resp = dev.writeNode(sk)
+				} else {
+					wa, resp = dev.responseNode(sk)
+				}
+				sum += real(ws[k] * (nodeValue(shape, fe, k, wa, resp) / sk))
 			}
 			return sum
 		}
@@ -230,8 +282,10 @@ func (s *SystemModel) groupEvaluator(inv numeric.Inverter, t float64, mode evalM
 	}
 }
 
-// nodeValue composes the per-device node factors (wa, sbe) and the shared
-// frontend factor fe[k] into the transform value mode selects.
+// nodeValue composes the per-device node factors (wa, sbe — or the write
+// pair wa, swr, which shares the same shapes) and the shared frontend
+// factor fe[k] into the transform value mode selects. Callers pass the
+// mode's shape() so the write family reuses the read compositions.
 func nodeValue(mode evalMode, fe []complex128, k int, wa, sbe complex128) complex128 {
 	switch mode {
 	case modeFull:
@@ -255,6 +309,12 @@ func (s *SystemModel) groupTransform(i int, mode evalMode) lst.Transform {
 		return s.groups[i].noWTA
 	case modeResponse:
 		return s.groups[i].beResp
+	case modeWriteFull:
+		return s.groups[i].writeFull
+	case modeWriteResponse:
+		return s.groups[i].writeResp
+	case modeWriteBackend:
+		return s.groups[i].dev.WriteResponse()
 	default:
 		return s.groups[i].dev.Backend()
 	}
@@ -305,14 +365,30 @@ func (s *SystemModel) mixtureCDF(ctx context.Context, t float64, mode evalMode) 
 	if t <= 0 {
 		return 0, nil
 	}
+	write := mode.write()
+	denom := s.totalRate
+	if write {
+		if s.totalWriteRate <= 0 {
+			return 0, fmt.Errorf("%w: no write traffic in the device mixture", ErrBadParams)
+		}
+		denom = s.totalWriteRate
+	}
 	eval := s.groupEvaluator(s.opts.inverter(), t, mode)
 	res := make([]float64, len(s.groups))
 	run := func(i int) error {
+		weight := s.groups[i].weight
+		if write {
+			// Read-only devices carry no write traffic: zero weight,
+			// nothing to evaluate.
+			if weight = s.groups[i].writeWeight; weight == 0 {
+				return nil
+			}
+		}
 		v, err := s.groupCDF(eval, i, t, mode)
 		if err != nil {
 			return err
 		}
-		res[i] = s.groups[i].weight * v
+		res[i] = weight * v
 		return nil
 	}
 	pool := s.pool
@@ -326,7 +402,7 @@ func (s *SystemModel) mixtureCDF(ctx context.Context, t float64, mode evalMode) 
 	for _, r := range res {
 		total += r
 	}
-	return numeric.Clamp01(total / s.totalRate), nil
+	return numeric.Clamp01(total / denom), nil
 }
 
 // BackendPercentileMeetingSLA predicts the backend-tier fraction of
@@ -434,4 +510,20 @@ func (s *SystemModel) MeanResponse() float64 {
 		total += s.weights[j] * tr.Mean
 	}
 	return total / s.totalRate
+}
+
+// MeanWriteResponse returns the write-rate-weighted mean frontend-observed
+// PUT replica response latency (Sq ∗ Wa ∗ Swr), or 0 when the mixture
+// carries no write traffic. Quantile searches use it to seed their bracket.
+func (s *SystemModel) MeanWriteResponse() float64 {
+	if s.totalWriteRate <= 0 {
+		return 0
+	}
+	total := 0.0
+	for _, g := range s.groups {
+		if g.writeWeight > 0 {
+			total += g.writeWeight * g.writeFull.Mean
+		}
+	}
+	return total / s.totalWriteRate
 }

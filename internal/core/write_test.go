@@ -1,0 +1,380 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+// writeTestMetrics is testMetrics plus a write class: a fifth of the read
+// rate arrives as PUT replica sub-requests averaging two data chunks each.
+func writeTestMetrics() OnlineMetrics {
+	m := testMetrics()
+	m.WriteRate = 8
+	m.WriteChunks = 2
+	return m
+}
+
+func buildWriteTestSystem(t *testing.T, nDevices int, opts Options) *SystemModel {
+	t.Helper()
+	devs := make([]*DeviceModel, nDevices)
+	for i := range devs {
+		m := writeTestMetrics()
+		m.Rate *= 1 + 0.02*float64(i)
+		m.DataRate = m.Rate * 1.2
+		m.WriteRate *= 1 + 0.05*float64(i)
+		d, err := NewDeviceModel(testProps(), m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs[i] = d
+	}
+	fe, err := NewFrontendModel((testMetrics().Rate+writeTestMetrics().WriteRate)*float64(nDevices), 12, testProps().ParseFE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystemModel(fe, devs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestOnlineMetricsWriteValidation(t *testing.T) {
+	m := writeTestMetrics()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := m
+	bad.WriteRate = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative write rate should fail")
+	}
+	bad = m
+	bad.WriteChunks = 0.5
+	if err := bad.Validate(); err == nil {
+		t.Error("write chunks < 1 with writes should fail")
+	}
+	bad = m
+	bad.WriteRate = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("write chunks without write traffic should fail")
+	}
+}
+
+func TestWriteSpecValidate(t *testing.T) {
+	for _, sp := range []WriteSpec{{N: 1, W: 1}, {N: 3, W: 2}, {N: 3, W: 3}} {
+		if err := sp.Validate(); err != nil {
+			t.Errorf("%+v: %v", sp, err)
+		}
+	}
+	for _, sp := range []WriteSpec{{N: 0, W: 0}, {N: 3, W: 0}, {N: 3, W: 4}, {N: -1, W: 1}} {
+		if err := sp.Validate(); err == nil {
+			t.Errorf("%+v: expected validation error", sp)
+		}
+	}
+}
+
+// The acceptance bar: the degenerate {N:1, W:1} spec must reproduce the
+// plain single-replica write CDF — the direct mixture evaluation with no
+// frontend-grid discretization — to within 1e-12, mirroring the coscode
+// n=1 bar.
+func TestWriteCDFN1MatchesPlainWriteCDF(t *testing.T) {
+	sys := buildWriteTestSystem(t, 3, Options{})
+	ctx := context.Background()
+	for _, sla := range []float64{0.005, 0.010, 0.050, 0.100} {
+		want, err := sys.mixtureCDF(ctx, sla, modeWriteFull)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sys.WriteCDFContext(ctx, WriteSpec{N: 1, W: 1}, sla)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("sla=%v: write n=1 %v vs plain write CDF %v (diff %g)",
+				sla, got, want, math.Abs(got-want))
+		}
+		// And the backend tier, against the Swr mixture.
+		wantBE, err := sys.mixtureCDF(ctx, sla, modeWriteBackend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotBE, err := sys.WriteBackendCDFContext(ctx, WriteSpec{N: 1, W: 1}, sla)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(gotBE-wantBE) > 1e-12 {
+			t.Errorf("sla=%v: backend write n=1 %v vs Swr mixture %v", sla, gotBE, wantBE)
+		}
+	}
+}
+
+func TestWriteCDFProperties(t *testing.T) {
+	sys := buildWriteTestSystem(t, 3, Options{})
+	ctx := context.Background()
+	spec := WriteSpec{N: 3, W: 2}
+	prev := 0.0
+	for _, tt := range []float64{0.005, 0.01, 0.02, 0.05, 0.1, 0.2} {
+		v, err := sys.WriteCDFContext(ctx, spec, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < 0 || v > 1 {
+			t.Fatalf("t=%v: write CDF %v outside [0,1]", tt, v)
+		}
+		if v < prev-1e-12 {
+			t.Fatalf("t=%v: write CDF not monotone (%v after %v)", tt, v, prev)
+		}
+		prev = v
+	}
+	if v, err := sys.WriteCDFContext(ctx, spec, 0); err != nil || v != 0 {
+		t.Errorf("write CDF at t=0: %v, %v", v, err)
+	}
+	// More acks required -> stochastically slower: W=N lies below W=1 at
+	// every threshold.
+	for _, tt := range []float64{0.01, 0.05, 0.1} {
+		fastest, err := sys.WriteCDFContext(ctx, WriteSpec{N: 3, W: 1}, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		barrier, err := sys.WriteCDFContext(ctx, WriteSpec{N: 3, W: 3}, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if barrier > fastest+1e-12 {
+			t.Errorf("t=%v: W=3 CDF %v above W=1 CDF %v", tt, barrier, fastest)
+		}
+	}
+}
+
+// The batched write evaluation must agree with per-threshold scalar calls
+// bit-for-bit in the N=1 short-circuit and to within 1e-12 through the
+// record/replay grid path.
+func TestWriteCDFBatchMatchesScalar(t *testing.T) {
+	sys := buildWriteTestSystem(t, 3, Options{})
+	ctx := context.Background()
+	ts := []float64{0, 0.005, 0.01, 0.05, 0.1}
+	for _, spec := range []WriteSpec{{N: 1, W: 1}, {N: 3, W: 2}, {N: 3, W: 3}} {
+		batch, err := sys.WriteCDFBatchContext(ctx, spec, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, tt := range ts {
+			want, err := sys.WriteCDFContext(ctx, spec, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(batch[i]-want) > 1e-12 {
+				t.Errorf("spec=%+v t=%v: batch %v vs scalar %v", spec, tt, batch[i], want)
+			}
+		}
+	}
+}
+
+// BatchWrite through CDFBatchKindsContext equals the {N:1,W:1} write CDF,
+// and mixing read and write kinds in one traversal changes neither.
+func TestBatchKindsWriteFamily(t *testing.T) {
+	sys := buildWriteTestSystem(t, 3, Options{})
+	ctx := context.Background()
+	ts := []float64{0.01, 0.05, 0.1}
+	grids, err := sys.CDFBatchKindsContext(ctx, []BatchKind{BatchFrontend, BatchWrite, BatchWriteBackend}, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tt := range ts {
+		read, err := sys.CDFContext(ctx, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(grids[0][i]-read) > 1e-12 {
+			t.Errorf("t=%v: mixed-batch read %v vs scalar %v", tt, grids[0][i], read)
+		}
+		write, err := sys.WriteCDFContext(ctx, WriteSpec{N: 1, W: 1}, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(grids[1][i]-write) > 1e-12 {
+			t.Errorf("t=%v: mixed-batch write %v vs scalar %v", tt, grids[1][i], write)
+		}
+		writeBE, err := sys.WriteBackendCDFContext(ctx, WriteSpec{N: 1, W: 1}, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(grids[2][i]-writeBE) > 1e-12 {
+			t.Errorf("t=%v: mixed-batch write backend %v vs scalar %v", tt, grids[2][i], writeBE)
+		}
+	}
+}
+
+func TestWriteQuantileInvertsCDF(t *testing.T) {
+	sys := buildWriteTestSystem(t, 2, Options{})
+	ctx := context.Background()
+	spec := WriteSpec{N: 3, W: 2}
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		q, err := sys.WriteQuantileContext(ctx, spec, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := sys.WriteCDFContext(ctx, spec, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(v-p) > 1e-6 {
+			t.Errorf("p=%v: CDF(quantile)=%v", p, v)
+		}
+	}
+	if q, err := sys.WriteQuantileContext(ctx, spec, 0); err != nil || q != 0 {
+		t.Errorf("p=0: %v, %v", q, err)
+	}
+	if q, err := sys.WriteQuantileContext(ctx, spec, 1); err != nil || !math.IsInf(q, 1) {
+		t.Errorf("p=1: %v, %v", q, err)
+	}
+}
+
+// A read-only mixture has no write traffic to model: write-mode entry
+// points must reject it rather than divide by a zero rate.
+func TestWriteCDFRejectsReadOnlyMixture(t *testing.T) {
+	d, err := NewDeviceModel(testProps(), testMetrics(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := NewFrontendModel(testMetrics().Rate, 12, testProps().ParseFE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystemModel(fe, []*DeviceModel{d}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := sys.WriteCDFContext(ctx, WriteSpec{N: 1, W: 1}, 0.05); !errors.Is(err, ErrBadParams) {
+		t.Errorf("scalar: want ErrBadParams, got %v", err)
+	}
+	if _, err := sys.WriteCDFBatchContext(ctx, WriteSpec{N: 1, W: 1}, []float64{0.05}); !errors.Is(err, ErrBadParams) {
+		t.Errorf("batch: want ErrBadParams, got %v", err)
+	}
+	if _, err := sys.CDFBatchKindsContext(ctx, []BatchKind{BatchWrite}, []float64{0.05}); !errors.Is(err, ErrBadParams) {
+		t.Errorf("batch kinds: want ErrBadParams, got %v", err)
+	}
+}
+
+// A mixed fleet — some devices carrying writes, some read-only — weights
+// the write mixture by write rate only: the read-only device must not
+// dilute the write CDF.
+func TestWriteMixtureSkipsReadOnlyDevices(t *testing.T) {
+	opts := Options{}
+	writer, err := NewDeviceModel(testProps(), writeTestMetrics(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := NewDeviceModel(testProps(), testMetrics(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := NewFrontendModel(100, 12, testProps().ParseFE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := NewSystemModel(fe, []*DeviceModel{writer, reader}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alone, err := NewSystemModel(fe, []*DeviceModel{writer}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, tt := range []float64{0.01, 0.05, 0.1} {
+		got, err := mixed.WriteCDFContext(ctx, WriteSpec{N: 1, W: 1}, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := alone.WriteCDFContext(ctx, WriteSpec{N: 1, W: 1}, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("t=%v: mixed-fleet write CDF %v vs writer-only %v", tt, got, want)
+		}
+	}
+}
+
+// Adding write load to a device must slow the reads it shares the queue
+// with: the read CDF of the loaded device lies below the read-only one.
+func TestWriteLoadInflatesReadLatency(t *testing.T) {
+	opts := Options{}
+	loaded, err := NewDeviceModel(testProps(), writeTestMetrics(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet, err := NewDeviceModel(testProps(), testMetrics(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lu, qu := loaded.Utilization(), quiet.Utilization(); lu <= qu {
+		t.Fatalf("write load should raise utilization: %v vs %v", lu, qu)
+	}
+	fe, err := NewFrontendModel(60, 12, testProps().ParseFE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, tt := range []float64{0.02, 0.05, 0.1} {
+		sysL, err := NewSystemModel(fe, []*DeviceModel{loaded}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sysQ, err := NewSystemModel(fe, []*DeviceModel{quiet}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vl, err := sysL.CDFContext(ctx, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vq, err := sysQ.CDFContext(ctx, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vl >= vq {
+			t.Errorf("t=%v: loaded read CDF %v not below quiet %v", tt, vl, vq)
+		}
+	}
+}
+
+// Multi-process devices share one disk: write arrivals must enter the disk
+// queue too, and the pipeline must still build and evaluate.
+func TestWriteModelMultiProcess(t *testing.T) {
+	m := writeTestMetrics()
+	m.Procs = 16
+	m.DiskMean = 8e-3
+	d, err := NewDeviceModel(testProps(), m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := NewFrontendModel(m.Rate+m.WriteRate, 12, testProps().ParseFE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystemModel(fe, []*DeviceModel{d}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	prev := 0.0
+	for _, tt := range []float64{0.01, 0.05, 0.1, 0.3} {
+		v, err := sys.WriteCDFContext(ctx, WriteSpec{N: 3, W: 2}, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev-1e-12 || v < 0 || v > 1 {
+			t.Fatalf("t=%v: write CDF %v (prev %v)", tt, v, prev)
+		}
+		prev = v
+	}
+	if prev <= 0 {
+		t.Fatal("write CDF never left zero")
+	}
+}

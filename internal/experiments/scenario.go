@@ -405,7 +405,10 @@ func QuantileSweepContext(ctx context.Context, sc ScenarioConfig, data *SweepDat
 
 // BuildSystemModel glues a measurement window to the analytic model: each
 // device's online metrics come straight from the window, and the frontend
-// model uses the tier-wide totals.
+// model uses the tier-wide totals. Windows carrying PUT replica traffic
+// feed each device's write rate and mean chunks-per-write into the shared
+// queue (and the frontend sees the PUT arrivals too); read-only windows
+// build the exact read pipeline of the paper.
 func BuildSystemModel(cfg simstore.Config, props core.DeviceProperties, win simstore.Window, opts core.Options) (*core.SystemModel, error) {
 	var devs []*core.DeviceModel
 	for d := range win.DeviceRate {
@@ -422,6 +425,13 @@ func BuildSystemModel(cfg simstore.Config, props core.DeviceProperties, win sims
 			Procs:     cfg.ProcsPerDisk,
 			DiskMean:  win.DiskMeanSvc[d],
 		}
+		if d < len(win.DeviceWriteRate) && win.DeviceWriteRate[d] > 0 {
+			m.WriteRate = win.DeviceWriteRate[d]
+			m.WriteChunks = 1
+			if d < len(win.DeviceWriteChunkRate) {
+				m.WriteChunks = math.Max(win.DeviceWriteChunkRate[d]/m.WriteRate, 1)
+			}
+		}
 		dm, err := core.NewDeviceModel(props, m, opts)
 		if err != nil {
 			return nil, fmt.Errorf("device %d: %w", d, err)
@@ -431,7 +441,10 @@ func BuildSystemModel(cfg simstore.Config, props core.DeviceProperties, win sims
 	if len(devs) == 0 {
 		return nil, fmt.Errorf("%w: no active devices in window", core.ErrBadParams)
 	}
-	fe, err := core.NewFrontendModel(win.TotalRate(), cfg.Frontends*cfg.ProcsPerFrontend, props.ParseFE)
+	// The frontend serves both GET and PUT arrivals; win.WriteRate is the
+	// client-visible (quorum-acknowledged) PUT rate, not the replica
+	// fan-out.
+	fe, err := core.NewFrontendModel(win.TotalRate()+win.WriteRate, cfg.Frontends*cfg.ProcsPerFrontend, props.ParseFE)
 	if err != nil {
 		return nil, err
 	}

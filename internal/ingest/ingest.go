@@ -28,12 +28,22 @@ import (
 // ErrInvalid reports an observation or batch that failed validation.
 var ErrInvalid = errors.New("ingest: invalid observation")
 
+// MaxClassLen bounds tenant class labels: long enough for any sane tenant
+// name, short enough that labels can't balloon cache keys.
+const MaxClassLen = 64
+
 // Observation is one batch of per-device measurements covering Interval
 // seconds of operation — the raw material of the paper's §IV-B online
 // metrics. Counters are deltas over the interval, not cumulative totals.
 type Observation struct {
 	// Device identifies the storage device, 0 <= Device < Config.Devices.
 	Device int `json:"device"`
+	// Class optionally labels the tenant / SLA class the counters belong
+	// to. Empty is the default (single-tenant) class. Class-labelled
+	// observations land both in the aggregate table and in the per-class
+	// partition, so per-tenant rates can be read without touching the
+	// shared operating point.
+	Class string `json:"class,omitempty"`
 	// Interval is the wall-clock span the counters cover (seconds).
 	Interval float64 `json:"interval"`
 	// Requests is the number of requests routed to the device (r·Interval).
@@ -52,6 +62,13 @@ type Observation struct {
 	// together they give the observed overall mean disk service time b.
 	DiskBusy float64 `json:"diskBusy"`
 	DiskOps  uint64  `json:"diskOps"`
+	// Writes is the number of PUT replica sub-requests the device served
+	// over the interval and WriteChunks the number of data chunk write
+	// operations they issued; their ratio is the model's mean
+	// chunks-per-write. Zero means a read-only interval — the exact
+	// read-path pipeline of the paper.
+	Writes      uint64 `json:"writes,omitempty"`
+	WriteChunks uint64 `json:"writeChunks,omitempty"`
 	// Latencies are optional raw response latencies (seconds) observed at
 	// the frontend, kept in sliding-window histograms for the observed
 	// SLA-compliance diagnostics in /metrics.
@@ -75,6 +92,15 @@ func (o Observation) Validate(devices int) error {
 		return fmt.Errorf("%w: interval %v must be positive and finite", ErrInvalid, o.Interval)
 	case o.DiskBusy < 0 || math.IsNaN(o.DiskBusy) || math.IsInf(o.DiskBusy, 0):
 		return fmt.Errorf("%w: disk busy time %v", ErrInvalid, o.DiskBusy)
+	case len(o.Class) > MaxClassLen:
+		return fmt.Errorf("%w: class label longer than %d bytes", ErrInvalid, MaxClassLen)
+	case o.WriteChunks > 0 && o.Writes == 0:
+		return fmt.Errorf("%w: %d write chunks without writes", ErrInvalid, o.WriteChunks)
+	}
+	for i := 0; i < len(o.Class); i++ {
+		if c := o.Class[i]; c < 0x20 || c == 0x7f {
+			return fmt.Errorf("%w: control character in class label", ErrInvalid)
+		}
 	}
 	for _, l := range o.Latencies {
 		if l < 0 || math.IsNaN(l) || math.IsInf(l, 0) {

@@ -74,7 +74,20 @@ func PutBatch(b *[]Observation) {
 // batch-atomic); an emit error aborts with that error; a reader error (e.g.
 // http.MaxBytesError from a capped body) is returned unwrapped so callers
 // keep their size taxonomy.
+//
+// Each line is parsed by a hand-rolled flat-field scanner (zero allocations
+// for the common shape); any line the scanner cannot handle with certainty
+// falls back to an encoding/json parse of that line, so the observable
+// behavior is byte-for-byte the stdlib's (FuzzNDJSONScannerEquivalence pins
+// the two paths against each other).
 func DecodeNDJSON(r io.Reader, devices, chunkSize int, emit func([]Observation) error) (accepted int, err error) {
+	return decodeNDJSON(r, devices, chunkSize, emit, true)
+}
+
+// decodeNDJSON is DecodeNDJSON with the fast scanner optionally disabled —
+// the stdlib-only mode is the oracle the equivalence fuzz target compares
+// against.
+func decodeNDJSON(r io.Reader, devices, chunkSize int, emit func([]Observation) error, fast bool) (accepted int, err error) {
 	if chunkSize <= 0 {
 		chunkSize = DefaultChunkSize
 	}
@@ -94,28 +107,34 @@ func DecodeNDJSON(r io.Reader, devices, chunkSize int, emit func([]Observation) 
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
 	line := 0
+	// o lives outside the loop: its address escapes into the decoders, so a
+	// per-iteration declaration would be one heap allocation per line.
+	var o Observation
 	for sc.Scan() {
 		line++
 		raw := bytes.TrimSpace(sc.Bytes())
 		if len(raw) == 0 {
 			continue
 		}
-		var o Observation
-		dec := json.NewDecoder(bytes.NewReader(raw))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&o); err != nil {
-			// A reader error (a capped body, a dropped connection) makes the
-			// scanner surface its buffered remainder as a final, truncated
-			// token; that token failing to parse is the reader's fault, not
-			// the input's — report the reader error so callers keep their
-			// taxonomy (http.MaxBytesError → 413).
-			if rerr := sc.Err(); rerr != nil {
-				return accepted, rerr
+		o = Observation{}
+		if !fast || !scanObservation(raw, &o) {
+			o = Observation{} // discard any partial fast-path state
+			dec := json.NewDecoder(bytes.NewReader(raw))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&o); err != nil {
+				// A reader error (a capped body, a dropped connection) makes the
+				// scanner surface its buffered remainder as a final, truncated
+				// token; that token failing to parse is the reader's fault, not
+				// the input's — report the reader error so callers keep their
+				// taxonomy (http.MaxBytesError → 413).
+				if rerr := sc.Err(); rerr != nil {
+					return accepted, rerr
+				}
+				return accepted, &LineError{Line: line, Err: fmt.Errorf("%w: %v", ErrInvalid, err)}
 			}
-			return accepted, &LineError{Line: line, Err: fmt.Errorf("%w: %v", ErrInvalid, err)}
-		}
-		if dec.More() {
-			return accepted, &LineError{Line: line, Err: fmt.Errorf("%w: trailing data after observation", ErrInvalid)}
+			if dec.More() {
+				return accepted, &LineError{Line: line, Err: fmt.Errorf("%w: trailing data after observation", ErrInvalid)}
+			}
 		}
 		if err := o.Validate(devices); err != nil {
 			return accepted, &LineError{Line: line, Err: err}

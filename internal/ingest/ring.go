@@ -67,6 +67,31 @@ func (r *Ring[T]) Pop() (v T, ok bool) {
 	return v, true
 }
 
+// PopAll blocks until at least one element is available, then drains every
+// queued element into dst (appended, oldest first) in one critical section —
+// one consumer wakeup per backlog instead of one per element. When the ring
+// is closed, the remaining elements still drain (ok stays true for that
+// call); ok is false only once the ring is closed and empty.
+func (r *Ring[T]) PopAll(dst []T) (out []T, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.count == 0 {
+		if r.closed {
+			return dst, false
+		}
+		r.nonempty.Wait()
+	}
+	var zero T
+	for r.count > 0 {
+		dst = append(dst, r.buf[r.head])
+		r.buf[r.head] = zero // release the reference for GC
+		r.head = (r.head + 1) % len(r.buf)
+		r.count--
+		r.popped++
+	}
+	return dst, true
+}
+
 // Close stops the ring: subsequent pushes are refused (and counted as
 // drops), and Pop returns ok=false once the remaining elements drain.
 func (r *Ring[T]) Close() {

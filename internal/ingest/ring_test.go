@@ -52,6 +52,114 @@ func TestRingOrderAndCounters(t *testing.T) {
 	}
 }
 
+// TestRingPopAll pins the coalesced-drain contract: PopAll empties the ring
+// in one call preserving FIFO order, reuses the caller's buffer, blocks for
+// at least one element, and distinguishes closed-with-backlog (ok=true)
+// from closed-and-empty (ok=false).
+func TestRingPopAll(t *testing.T) {
+	r := NewRing[int](8)
+	for i := 1; i <= 5; i++ {
+		r.TryPush(i)
+	}
+	buf := make([]int, 0, 8)
+	out, ok := r.PopAll(buf)
+	if !ok {
+		t.Fatal("PopAll reported closed on an open ring")
+	}
+	if len(out) != 5 {
+		t.Fatalf("PopAll drained %d, want 5", len(out))
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d, want %d (FIFO order)", i, v, i+1)
+		}
+	}
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("PopAll did not reuse the caller's buffer")
+	}
+	if got := r.Popped(); got != 5 {
+		t.Fatalf("popped = %d, want 5", got)
+	}
+
+	// Closed with a backlog: that drain still succeeds; only closed AND
+	// empty reports exhaustion.
+	r.TryPush(6)
+	r.Close()
+	if out, ok = r.PopAll(out[:0]); !ok || len(out) != 1 || out[0] != 6 {
+		t.Fatalf("post-close drain = (%v,%v), want ([6],true)", out, ok)
+	}
+	if out, ok = r.PopAll(out[:0]); ok || len(out) != 0 {
+		t.Fatalf("closed empty ring = (%v,%v), want ([],false)", out, ok)
+	}
+
+	// A blocked PopAll wakes on push and returns everything available.
+	r2 := NewRing[int](4)
+	got := make(chan []int)
+	go func() {
+		v, _ := r2.PopAll(nil)
+		got <- v
+	}()
+	r2.TryPush(42)
+	if v := <-got; len(v) == 0 || v[0] != 42 {
+		t.Fatalf("blocked PopAll woke with %v", v)
+	}
+	r2.Close()
+}
+
+// TestRingConcurrentPopAll is the coalesced-drain version of the accounting
+// test: many producers race TryPush against one PopAll consumer under -race,
+// and pushed + dropped must equal attempts — the drop counters never
+// under-count even when whole backlogs are drained in one critical section.
+func TestRingConcurrentPopAll(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 2000
+	)
+	r := NewRing[int](64)
+	seen := make(map[int]int)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var buf []int
+		for {
+			var ok bool
+			buf, ok = r.PopAll(buf[:0])
+			for _, v := range buf {
+				seen[v]++
+			}
+			if !ok {
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				r.TryPush(p*perProd + i)
+			}
+		}(p)
+	}
+	wg.Wait()
+	r.Close()
+	<-done
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d delivered %d times", v, n)
+		}
+	}
+	if total := r.Pushed() + r.Dropped(); total != producers*perProd {
+		t.Fatalf("pushed %d + dropped %d = %d attempts, want %d",
+			r.Pushed(), r.Dropped(), total, producers*perProd)
+	}
+	if uint64(len(seen)) != r.Popped() || r.Popped() != r.Pushed() {
+		t.Fatalf("delivered %d, popped %d, pushed %d: must all agree",
+			len(seen), r.Popped(), r.Pushed())
+	}
+}
+
 // TestRingConcurrent hammers the ring from many producers with one consumer
 // under -race: everything pushed is popped exactly once, and accepted plus
 // dropped accounts for every attempt — no silent loss.

@@ -1,0 +1,105 @@
+package ingest
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzNDJSONScannerEquivalence pins the hand-rolled line scanner against
+// the stdlib-only decode path: identical accepted observations (deep
+// equality, nil-vs-empty slices included), identical accepted counts, and
+// identical error text for every input.
+func FuzzNDJSONScannerEquivalence(f *testing.F) {
+	f.Add([]byte(`{"device":0,"interval":1,"requests":5}` + "\n"))
+	f.Add([]byte(`{"device":1,"interval":0.5,"class":"gold","writes":3,"writeChunks":7}` + "\n"))
+	f.Add([]byte(`{"device":2,"interval":2,"latencies":[0.1,0.2],"diskDataLat":[]}` + "\n"))
+	f.Add([]byte(`{"device":0,"interval":1e-3,"diskBusy":0.25,"diskOps":9}` + "\n"))
+	f.Add([]byte(`{"device":0,"interval":1.7976931348623157e308}` + "\n"))
+	f.Add([]byte(`{"device":0,"interval":0.1234567890123456789}` + "\n"))
+	f.Add([]byte(`{"Device":0,"Interval":1}` + "\n")) // case-insensitive stdlib match
+	f.Add([]byte(`{"device":0,"interval":1,"device":1}`))
+	f.Add([]byte(`{"device":0,"interval":1,"class":"aAb"}`))
+	f.Add([]byte(`{"device":-1,"interval":1}` + "\n{not json}"))
+	f.Add([]byte(` { "device" : 0 , "interval" : 2.5 } `))
+	f.Add([]byte(`{"device":0,"interval":1} trailing`))
+	f.Add([]byte(`{"device":0,"interval":01}`))
+	f.Add([]byte(`{"device":0,"interval":1,"requests":1.5}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const devices = 4
+		run := func(fast bool) (int, []Observation, string) {
+			var got []Observation
+			n, err := decodeNDJSON(bytes.NewReader(data), devices, 7, func(chunk []Observation) error {
+				for _, o := range chunk {
+					got = append(got, o)
+				}
+				return nil
+			}, fast)
+			msg := ""
+			if err != nil {
+				msg = err.Error()
+			}
+			return n, got, msg
+		}
+		nF, gotF, errF := run(true)
+		nS, gotS, errS := run(false)
+		if nF != nS || errF != errS {
+			t.Fatalf("scanner diverges from stdlib: (%d,%q) vs (%d,%q)", nF, errF, nS, errS)
+		}
+		if !reflect.DeepEqual(gotF, gotS) {
+			t.Fatalf("scanner observations diverge:\n fast: %+v\nstdlib: %+v", gotF, gotS)
+		}
+	})
+}
+
+// TestScannerHandlesWriteAndClassFields spot-checks the new wire fields
+// through the public decoder.
+func TestScannerHandlesWriteAndClassFields(t *testing.T) {
+	in := `{"device":1,"class":"gold","interval":2,"requests":10,"writes":4,"writeChunks":9}` + "\n"
+	var got []Observation
+	n, err := DecodeNDJSON(strings.NewReader(in), 4, 0, func(chunk []Observation) error {
+		got = append(got, chunk...)
+		return nil
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("decode: n=%d err=%v", n, err)
+	}
+	o := got[0]
+	if o.Class != "gold" || o.Writes != 4 || o.WriteChunks != 9 || o.Device != 1 {
+		t.Fatalf("decoded %+v", o)
+	}
+	m := o.Metrics(1)
+	if m.WriteRate != 2 || m.WriteChunks != 2.25 {
+		t.Fatalf("write metrics: rate=%v chunks=%v", m.WriteRate, m.WriteChunks)
+	}
+}
+
+// TestDecodeNDJSONAllocs bounds the steady-state allocation cost of the
+// fast path: amortized over a large batch of plain observations, decoding
+// must stay under a tenth of an allocation per line (the stdlib path costs
+// over a dozen). The payload is built once; each run re-reads it.
+func TestDecodeNDJSONAllocs(t *testing.T) {
+	const lines = 1000
+	var buf bytes.Buffer
+	for i := 0; i < lines; i++ {
+		buf.WriteString(`{"device":3,"interval":1.5,"requests":120,"dataReads":140,` +
+			`"indexHits":80,"indexMisses":40,"metaHits":90,"metaMisses":30,` +
+			`"dataHits":70,"dataMisses":50,"diskBusy":0.42,"diskOps":200,` +
+			`"writes":12,"writeChunks":25}` + "\n")
+	}
+	payload := buf.Bytes()
+	rd := bytes.NewReader(payload)
+	avg := testing.AllocsPerRun(10, func() {
+		rd.Reset(payload)
+		n, err := DecodeNDJSON(rd, 4, 0, func([]Observation) error { return nil })
+		if err != nil || n != lines {
+			t.Fatalf("decode: n=%d err=%v", n, err)
+		}
+	})
+	if perLine := avg / lines; perLine > 0.1 {
+		t.Errorf("fast NDJSON decode allocates %.3f allocs/line (%.0f per batch), want <= 0.1", perLine, avg)
+	}
+}

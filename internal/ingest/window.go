@@ -44,6 +44,7 @@ func (w *deviceWindow) metrics(procs int) (core.OnlineMetrics, bool) {
 		requests, dataReads    uint64
 		idxH, idxM, metH, metM uint64
 		datH, datM, diskOps    uint64
+		writes, writeChunks    uint64
 		diskBusy               float64
 	)
 	for _, e := range w.entries {
@@ -57,6 +58,8 @@ func (w *deviceWindow) metrics(procs int) (core.OnlineMetrics, bool) {
 		datM += e.obs.DataMisses
 		diskBusy += e.obs.DiskBusy
 		diskOps += e.obs.DiskOps
+		writes += e.obs.Writes
+		writeChunks += e.obs.WriteChunks
 	}
 	if requests == 0 {
 		return core.OnlineMetrics{}, false
@@ -72,7 +75,19 @@ func (w *deviceWindow) metrics(procs int) (core.OnlineMetrics, bool) {
 	if diskOps > 0 {
 		m.DiskMean = diskBusy / float64(diskOps)
 	}
+	setWriteMetrics(&m, writes, writeChunks, w.span)
 	return m, true
+}
+
+// setWriteMetrics fills the write-class fields of an operating point from
+// window counters: the replica PUT rate and the mean chunks per write
+// (clamped at 1 — every write lands at least one chunk).
+func setWriteMetrics(m *core.OnlineMetrics, writes, chunks uint64, span float64) {
+	if writes == 0 || span <= 0 {
+		return
+	}
+	m.WriteRate = float64(writes) / span
+	m.WriteChunks = math.Max(float64(chunks)/float64(writes), 1)
 }
 
 // Metrics derives the operating point of this single observation — the
@@ -90,5 +105,6 @@ func (o Observation) Metrics(procs int) core.OnlineMetrics {
 	if o.DiskOps > 0 {
 		m.DiskMean = o.DiskBusy / float64(o.DiskOps)
 	}
+	setWriteMetrics(&m, o.Writes, o.WriteChunks, o.Interval)
 	return m
 }

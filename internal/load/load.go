@@ -40,6 +40,15 @@ type Config struct {
 	// cosrouter — both speak the same /ingest and /predict surface).
 	Target string
 
+	// Targets, when non-empty, fans the run out over several base URLs
+	// round-robin (arrival i goes to target i mod len(Targets)), so a
+	// sharded tier saturates symmetrically instead of hammering one node.
+	// Overrides Target. Each target gets its own in-flight slot pool and
+	// its own drop accounting: one slow shard exhausts only its own slots
+	// and shows up in the per-target report, never throttling (or hiding
+	// behind) the healthy ones.
+	Targets []string
+
 	// Schedule drives the ingest stream: each phase offers Poisson batch
 	// arrivals at Phase.Rate per second for Phase.Duration seconds. Phases
 	// labelled "warmup" or "transition" are generated but not measured.
@@ -61,9 +70,11 @@ type Config struct {
 	// this rate for the whole schedule. Zero disables the stream.
 	PredictRate float64
 
-	// MaxInflight caps concurrently outstanding requests across both
-	// streams. An arrival finding no free slot is dropped and counted —
-	// the generator never blocks. Zero defaults to 256.
+	// MaxInflight caps concurrently outstanding requests per target across
+	// both streams. An arrival finding no free slot on its target is
+	// dropped and counted against that target — the generator never
+	// blocks, and a saturated target cannot starve the others' slots.
+	// Zero defaults to 256.
 	MaxInflight int
 
 	// Seed fixes the arrival processes. Zero means seed 1.
@@ -77,8 +88,13 @@ type Config struct {
 }
 
 func (c *Config) validate() error {
+	for _, t := range c.Targets {
+		if strings.TrimSpace(t) == "" {
+			return fmt.Errorf("%w: empty entry in target list", ErrBadConfig)
+		}
+	}
 	switch {
-	case c.Target == "":
+	case c.Target == "" && len(c.Targets) == 0:
 		return fmt.Errorf("%w: empty target", ErrBadConfig)
 	case c.Devices <= 0:
 		return fmt.Errorf("%w: devices %d", ErrBadConfig, c.Devices)
@@ -157,6 +173,19 @@ type PhaseReport struct {
 	Dropped    uint64  `json:"dropped"`
 }
 
+// TargetReport is one target's slice of a measured run: completed and
+// failed requests plus the open-loop drops charged to that target's own
+// in-flight slot pool.
+type TargetReport struct {
+	Target         string `json:"target"`
+	IngestOK       uint64 `json:"ingestOK"`
+	IngestErrors   uint64 `json:"ingestErrors"`
+	IngestDropped  uint64 `json:"ingestDropped"`
+	PredictOK      uint64 `json:"predictOK"`
+	PredictErrors  uint64 `json:"predictErrors"`
+	PredictDropped uint64 `json:"predictDropped"`
+}
+
 // Report is the outcome of one run. Stream and throughput numbers cover
 // only the benchmark phases; Phases covers everything.
 type Report struct {
@@ -166,6 +195,10 @@ type Report struct {
 
 	Ingest  StreamReport `json:"ingest"`
 	Predict StreamReport `json:"predict"`
+
+	// Targets breaks the measured streams down per fan-out target (one
+	// entry even in the single-target case, preserving the accounting).
+	Targets []TargetReport `json:"targets,omitempty"`
 
 	// Observations counts observations acknowledged by the service during
 	// the measured phases (summed from ingest acks — what the server
@@ -230,11 +263,22 @@ func (s *streamStats) report(measured float64) StreamReport {
 	return r
 }
 
+// targetStats is the per-target accounting of one run: each target owns its
+// own counters so a saturated shard is visible instead of averaged away.
+type targetStats struct {
+	ingestOK, ingestErrs, ingestDropped    atomic.Uint64
+	predictOK, predictErrs, predictDropped atomic.Uint64
+}
+
 // runner is the shared state of one Run.
 type runner struct {
-	cfg    Config
-	client *http.Client
-	slots  chan struct{}
+	cfg     Config
+	client  *http.Client
+	targets []string
+	// slots holds one in-flight pool per target: slot exhaustion on one
+	// target drops only that target's arrivals.
+	slots  []chan struct{}
+	tstats []*targetStats
 	wg     sync.WaitGroup
 
 	measuring atomic.Bool
@@ -261,12 +305,22 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if cfg.MakeBatch == nil {
 		cfg.MakeBatch = SyntheticSource(cfg.Devices)
 	}
+	targets := cfg.Targets
+	if len(targets) == 0 {
+		targets = []string{cfg.Target}
+	}
 	r := &runner{
 		cfg:     cfg,
 		client:  cfg.Client,
-		slots:   make(chan struct{}, cfg.MaxInflight),
+		targets: targets,
+		slots:   make([]chan struct{}, len(targets)),
+		tstats:  make([]*targetStats, len(targets)),
 		ingest:  newStreamStats(),
 		predict: newStreamStats(),
+	}
+	for i := range targets {
+		r.slots[i] = make(chan struct{}, cfg.MaxInflight)
+		r.tstats[i] = &targetStats{}
 	}
 	if r.client == nil {
 		r.client = &http.Client{Timeout: 30 * time.Second}
@@ -293,6 +347,18 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	report.MeasuredSeconds = measured
 	report.Ingest = r.ingest.report(measured)
 	report.Predict = r.predict.report(measured)
+	for i, t := range r.targets {
+		ts := r.tstats[i]
+		report.Targets = append(report.Targets, TargetReport{
+			Target:         t,
+			IngestOK:       ts.ingestOK.Load(),
+			IngestErrors:   ts.ingestErrs.Load(),
+			IngestDropped:  ts.ingestDropped.Load(),
+			PredictOK:      ts.predictOK.Load(),
+			PredictErrors:  ts.predictErrs.Load(),
+			PredictDropped: ts.predictDropped.Load(),
+		})
+	}
 	report.Observations = r.ingest.observations.Load()
 	if measured > 0 {
 		report.ObsPerSec = float64(report.Observations) / measured
@@ -337,8 +403,10 @@ func (r *runner) ingestLoop(ctx context.Context, report *Report) float64 {
 			}
 			pr.Arrivals++
 			batch := r.cfg.MakeBatch(seq)
+			ti := seq % len(r.targets)
 			seq++
-			if !r.launch(func(measured bool) { r.postIngest(ctx, batch, measured) }, r.ingest) {
+			if !r.launch(ti, func(measured bool) { r.postIngest(ctx, ti, batch, measured) },
+				r.ingest, &r.tstats[ti].ingestDropped) {
 				pr.Dropped++
 			}
 		}
@@ -355,9 +423,11 @@ func (r *runner) ingestLoop(ctx context.Context, report *Report) float64 {
 	return time.Duration(measuredNS).Seconds()
 }
 
-// predictLoop issues the constant-rate probe stream until done closes.
+// predictLoop issues the constant-rate probe stream until done closes,
+// round-robining probes over the fan-out targets on its own counter.
 func (r *runner) predictLoop(ctx context.Context, done <-chan struct{}) {
 	rng := rand.New(rand.NewSource(r.cfg.Seed + 1)) //nolint:gosec // load generation
+	seq := 0
 	for {
 		wait := time.Duration(rng.ExpFloat64() / r.cfg.PredictRate * float64(time.Second))
 		t := time.NewTimer(wait)
@@ -370,20 +440,25 @@ func (r *runner) predictLoop(ctx context.Context, done <-chan struct{}) {
 			return
 		case <-t.C:
 		}
-		r.launch(func(measured bool) { r.getPredict(ctx, measured) }, r.predict)
+		ti := seq % len(r.targets)
+		seq++
+		r.launch(ti, func(measured bool) { r.getPredict(ctx, ti, measured) },
+			r.predict, &r.tstats[ti].predictDropped)
 	}
 }
 
-// launch claims an in-flight slot and runs fn on its own goroutine. A full
-// slot pool means the arrival is dropped (counted when measuring) — the
-// open-loop contract. Reports whether the request was launched.
-func (r *runner) launch(fn func(measured bool), st *streamStats) bool {
+// launch claims an in-flight slot on target ti and runs fn on its own
+// goroutine. A full slot pool means the arrival is dropped (counted when
+// measuring, against both the stream and the target) — the open-loop
+// contract. Reports whether the request was launched.
+func (r *runner) launch(ti int, fn func(measured bool), st *streamStats, targetDropped *atomic.Uint64) bool {
 	measured := r.measuring.Load()
 	select {
-	case r.slots <- struct{}{}:
+	case r.slots[ti] <- struct{}{}:
 	default:
 		if measured {
 			st.dropped.Add(1)
+			targetDropped.Add(1)
 		}
 		return false
 	}
@@ -393,35 +468,36 @@ func (r *runner) launch(fn func(measured bool), st *streamStats) bool {
 	r.wg.Add(1)
 	go func() {
 		defer r.wg.Done()
-		defer func() { <-r.slots }()
+		defer func() { <-r.slots[ti] }()
 		fn(measured)
 	}()
 	return true
 }
 
-func (r *runner) postIngest(ctx context.Context, batch []ingest.Observation, measured bool) {
+func (r *runner) postIngest(ctx context.Context, ti int, batch []ingest.Observation, measured bool) {
+	ts := r.tstats[ti]
 	var body bytes.Buffer
 	contentType := ingest.ContentTypeJSON
 	if r.cfg.Mode == ModeNDJSON {
 		contentType = ingest.ContentTypeNDJSON
 		if err := ingest.EncodeNDJSON(&body, batch); err != nil {
-			r.fail(r.ingest, measured, 0)
+			r.fail(r.ingest, &ts.ingestErrs, measured, 0)
 			return
 		}
 	} else if err := json.NewEncoder(&body).Encode(serve.IngestRequest{Observations: batch}); err != nil {
-		r.fail(r.ingest, measured, 0)
+		r.fail(r.ingest, &ts.ingestErrs, measured, 0)
 		return
 	}
 	start := time.Now()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.cfg.Target+"/ingest", &body)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.targets[ti]+"/ingest", &body)
 	if err != nil {
-		r.fail(r.ingest, measured, 0)
+		r.fail(r.ingest, &ts.ingestErrs, measured, 0)
 		return
 	}
 	req.Header.Set("Content-Type", contentType)
 	resp, err := r.client.Do(req)
 	if err != nil {
-		r.fail(r.ingest, measured, 0)
+		r.fail(r.ingest, &ts.ingestErrs, measured, 0)
 		return
 	}
 	defer resp.Body.Close()
@@ -434,23 +510,26 @@ func (r *runner) postIngest(ctx context.Context, batch []ingest.Observation, mea
 	r.ingest.status(resp.StatusCode)
 	if resp.StatusCode != http.StatusOK || decodeErr != nil {
 		r.ingest.errs.Add(1)
+		ts.ingestErrs.Add(1)
 		return
 	}
 	r.ingest.ok.Add(1)
+	ts.ingestOK.Add(1)
 	r.ingest.observations.Add(uint64(ack.Accepted))
 	r.ingest.lat.Observe(time.Since(start).Seconds())
 }
 
-func (r *runner) getPredict(ctx context.Context, measured bool) {
+func (r *runner) getPredict(ctx context.Context, ti int, measured bool) {
+	ts := r.tstats[ti]
 	start := time.Now()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.cfg.Target+"/predict", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.targets[ti]+"/predict", nil)
 	if err != nil {
-		r.fail(r.predict, measured, 0)
+		r.fail(r.predict, &ts.predictErrs, measured, 0)
 		return
 	}
 	resp, err := r.client.Do(req)
 	if err != nil {
-		r.fail(r.predict, measured, 0)
+		r.fail(r.predict, &ts.predictErrs, measured, 0)
 		return
 	}
 	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for connection reuse
@@ -461,19 +540,23 @@ func (r *runner) getPredict(ctx context.Context, measured bool) {
 	r.predict.status(resp.StatusCode)
 	if resp.StatusCode != http.StatusOK {
 		r.predict.errs.Add(1)
+		ts.predictErrs.Add(1)
 		return
 	}
 	r.predict.ok.Add(1)
+	ts.predictOK.Add(1)
 	r.predict.lat.Observe(time.Since(start).Seconds())
 }
 
-// fail records a transport-level failure (status 0) on a measured request.
-func (r *runner) fail(st *streamStats, measured bool, code int) {
+// fail records a transport-level failure (status 0) on a measured request,
+// charging both the stream and the target it was bound for.
+func (r *runner) fail(st *streamStats, targetErrs *atomic.Uint64, measured bool, code int) {
 	if !measured {
 		return
 	}
 	st.status(code)
 	st.errs.Add(1)
+	targetErrs.Add(1)
 }
 
 // sleepUntil sleeps until t or ctx cancellation, whichever first.
@@ -508,6 +591,13 @@ func (rep *Report) Render(w io.Writer) error {
 	}
 	stream("ingest ", rep.Ingest)
 	stream("predict", rep.Predict)
+	if len(rep.Targets) > 1 {
+		for _, t := range rep.Targets {
+			fmt.Fprintf(&b, "  %-28s ingest ok %d err %d drop %d  predict ok %d err %d drop %d\n",
+				t.Target, t.IngestOK, t.IngestErrors, t.IngestDropped,
+				t.PredictOK, t.PredictErrors, t.PredictDropped)
+		}
+	}
 	fmt.Fprintf(&b, "sustained: %.0f obs/s accepted, %.1f predict QPS\n",
 		rep.ObsPerSec, rep.PredictQPS)
 	_, err := io.WriteString(w, b.String())

@@ -48,12 +48,13 @@ func TestConfigValidate(t *testing.T) {
 		t.Fatalf("valid config rejected: %v", err)
 	}
 	for name, mutate := range map[string]func(*Config){
-		"no target":      func(c *Config) { c.Target = "" },
-		"no devices":     func(c *Config) { c.Devices = 0 },
-		"bad mode":       func(c *Config) { c.Mode = "xml" },
-		"neg predict":    func(c *Config) { c.PredictRate = -1 },
-		"neg inflight":   func(c *Config) { c.MaxInflight = -1 },
-		"empty schedule": func(c *Config) { c.Schedule = nil },
+		"no target":         func(c *Config) { c.Target = "" },
+		"blank target list": func(c *Config) { c.Targets = []string{"http://a", " "} },
+		"no devices":        func(c *Config) { c.Devices = 0 },
+		"bad mode":          func(c *Config) { c.Mode = "xml" },
+		"neg predict":       func(c *Config) { c.PredictRate = -1 },
+		"neg inflight":      func(c *Config) { c.MaxInflight = -1 },
+		"empty schedule":    func(c *Config) { c.Schedule = nil },
 	} {
 		c := good
 		mutate(&c)
@@ -168,6 +169,70 @@ func TestOpenLoopDrops(t *testing.T) {
 	// stretched by the server's latency.
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
 		t.Fatalf("run took %v; generator blocked on the slow server", elapsed)
+	}
+}
+
+// TestMultiTargetFanOut pins the round-robin fan-out contract: arrivals
+// alternate over the target list, each target has its own in-flight slot
+// pool, and a saturated target's drops are charged to it alone — the
+// healthy target keeps its full share of the offered load.
+func TestMultiTargetFanOut(t *testing.T) {
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"accepted":1}`)) //nolint:errcheck
+	}))
+	defer fast.Close()
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(50 * time.Millisecond)
+		w.Write([]byte(`{"accepted":1}`)) //nolint:errcheck
+	}))
+	defer slow.Close()
+
+	rep, err := Run(context.Background(), Config{
+		Targets:     []string{fast.URL, slow.URL},
+		Devices:     1,
+		MaxInflight: 1,
+		Schedule:    trace.Schedule{{Rate: 400, Duration: 0.25, Label: "rate=400"}},
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Targets) != 2 {
+		t.Fatalf("want 2 target reports, got %+v", rep.Targets)
+	}
+	ft, st := rep.Targets[0], rep.Targets[1]
+	if ft.Target != fast.URL || st.Target != slow.URL {
+		t.Fatalf("target order not preserved: %+v", rep.Targets)
+	}
+	if ft.IngestOK == 0 || st.IngestOK == 0 {
+		t.Fatalf("round-robin starved a target: fast %+v slow %+v", ft, st)
+	}
+	// The slow shard must drop heavily (1 slot, 50ms service, ~200/s
+	// offered) while the fast one sees at most transient overlap — its slot
+	// pool is independent, so the saturation cannot spill over.
+	if st.IngestDropped < 10 {
+		t.Fatalf("saturated target dropped almost nothing: %+v", st)
+	}
+	if ft.IngestDropped*5 >= st.IngestDropped {
+		t.Fatalf("drops not isolated to the slow target: fast %+v slow %+v", ft, st)
+	}
+	// Per-target accounting must tile the stream totals exactly.
+	if got := ft.IngestOK + st.IngestOK; got != rep.Ingest.OK {
+		t.Fatalf("per-target OK %d != stream OK %d", got, rep.Ingest.OK)
+	}
+	if got := ft.IngestDropped + st.IngestDropped; got != rep.Ingest.Dropped {
+		t.Fatalf("per-target dropped %d != stream dropped %d", got, rep.Ingest.Dropped)
+	}
+	if got := ft.IngestErrors + st.IngestErrors; got != rep.Ingest.Errors {
+		t.Fatalf("per-target errors %d != stream errors %d", got, rep.Ingest.Errors)
+	}
+
+	var b strings.Builder
+	if err := rep.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), slow.URL) {
+		t.Fatalf("multi-target summary missing per-target lines:\n%s", b.String())
 	}
 }
 

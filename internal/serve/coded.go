@@ -132,6 +132,7 @@ func (e *Engine) buildCodedModel(ms []core.OnlineMetrics, spec CodedReadSpec, fa
 	for _, m := range ms {
 		m.Rate *= factor
 		m.DataRate *= factor
+		m.WriteRate *= factor
 		dm := built[m]
 		if dm == nil {
 			var err error

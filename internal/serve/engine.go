@@ -304,19 +304,35 @@ func (e *Engine) IngestQueued(batch []Observation) error {
 	return nil
 }
 
-// calibrationFeeder drains the hand-off ring, feeding each queued batch to
-// the drift controller and recycling its pooled buffer. It exits — after
-// draining what is already queued — once Close closes the ring.
+// calibrationFeeder drains the hand-off ring, feeding queued batches to the
+// drift controller and recycling their pooled buffers. Each wakeup drains
+// the whole backlog at once (Ring.PopAll) and coalesces it into a single
+// batched feed — under a burst the feeder takes the ring lock once per
+// backlog, not once per batch, so it catches up instead of ping-ponging with
+// producers. calibFed advances only after the coalesced feed completed,
+// preserving WaitCalibrationIdle's fed==pushed accounting. The feeder exits
+// — after draining what is already queued — once Close closes the ring.
 func (e *Engine) calibrationFeeder() {
 	defer close(e.calibDone)
+	var (
+		bufs   []*[]Observation
+		merged []Observation
+	)
 	for {
-		buf, ok := e.calibQ.Pop()
+		var ok bool
+		bufs, ok = e.calibQ.PopAll(bufs[:0])
+		if len(bufs) > 0 {
+			merged = merged[:0]
+			for _, buf := range bufs {
+				merged = append(merged, (*buf)...)
+				ingest.PutBatch(buf)
+			}
+			e.feedCalibration(merged)
+			e.calibFed.Add(uint64(len(bufs)))
+		}
 		if !ok {
 			return
 		}
-		e.feedCalibration(*buf)
-		ingest.PutBatch(buf)
-		e.calibFed.Add(1)
 	}
 }
 
@@ -547,8 +563,12 @@ func (e *Engine) buildModelFE(ms []core.OnlineMetrics, factor, feRate float64) (
 	built := make(map[core.OnlineMetrics]*core.DeviceModel, len(ms))
 	total := 0.0
 	for _, m := range ms {
+		// Admission probes scale the whole workload mix, writes included:
+		// a tenant shedding decision that left write load fixed would
+		// overstate read headroom (writes share the same disk queues).
 		m.Rate *= factor
 		m.DataRate *= factor
+		m.WriteRate *= factor
 		dm := built[m]
 		if dm == nil {
 			var err error
@@ -559,7 +579,7 @@ func (e *Engine) buildModelFE(ms []core.OnlineMetrics, factor, feRate float64) (
 			built[m] = dm
 		}
 		devs = append(devs, dm)
-		total += m.Rate
+		total += m.Rate + m.WriteRate
 	}
 	if feRate >= 0 {
 		total = feRate
@@ -706,6 +726,10 @@ type EngineStats struct {
 	// negative (-1) before any ingest.
 	CalibrationAge float64 `json:"calibrationAgeSeconds"`
 	TotalRate      float64 `json:"totalRate"`
+	// TotalWriteRate is the aggregate PUT replica rate of the current
+	// window and TenantClasses the number of tenant partitions registered.
+	TotalWriteRate float64 `json:"totalWriteRate"`
+	TenantClasses  int     `json:"tenantClasses"`
 	// IngestStripes is the effective lock-stripe count of the state table.
 	IngestStripes int `json:"ingestStripes"`
 	// CalibQueueDepth is the current calibration hand-off backlog in
@@ -746,8 +770,10 @@ func (e *Engine) Stats() EngineStats {
 	if ms, err := e.state.snapshot(); err == nil {
 		for _, m := range ms {
 			st.TotalRate += m.Rate
+			st.TotalWriteRate += m.WriteRate
 		}
 	}
+	st.TenantClasses = len(e.state.tenantNames())
 	return st
 }
 
@@ -794,6 +820,10 @@ func opKey(ms []core.OnlineMetrics) string {
 		b.WriteString(strconv.Itoa(m.Procs))
 		b.WriteByte(',')
 		b.WriteString(quantStr(m.DiskMean))
+		b.WriteByte(',')
+		b.WriteString(quantStr(m.WriteRate))
+		b.WriteByte(',')
+		b.WriteString(quantStr(m.WriteChunks))
 	}
 	return b.String()
 }

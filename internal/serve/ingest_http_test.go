@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -211,6 +212,72 @@ func TestIngestQueueDrain(t *testing.T) {
 	}
 	if cst.Windows != rounds*uint64(cfg.Devices) {
 		t.Fatalf("controller observed %d windows, want %d", cst.Windows, rounds*cfg.Devices)
+	}
+}
+
+// TestCalibrationFeederDropAccounting hammers a deliberately tiny hand-off
+// ring from concurrent producers under -race and pins the feeder's
+// accounting: every attempted batch is either fed to the controller or
+// counted in CalibQueueDropped — the coalesced PopAll drain never
+// under-counts drops — and WaitCalibrationIdle still means fed == pushed.
+func TestCalibrationFeederDropAccounting(t *testing.T) {
+	cfg := testConfig()
+	cfg.IngestQueue = 2 // force overflow so drops actually happen
+	cc := calib.DefaultConfig(cfg.Devices)
+	cfg.Calib = &cc
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	const (
+		producers = 4
+		perProd   = 50
+	)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				batch := make([]Observation, cfg.Devices)
+				for d := range batch {
+					batch[d] = obsAtRate(d, 50)
+				}
+				if err := e.IngestQueued(batch); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if !e.WaitCalibrationIdle(5 * time.Second) {
+		t.Fatal("calibration queue did not drain")
+	}
+	st := e.Stats()
+	if st.Ingested != producers*perProd*uint64(cfg.Devices) {
+		t.Fatalf("state table absorbed %d observations, want %d",
+			st.Ingested, producers*perProd*cfg.Devices)
+	}
+	if st.CalibQueueDepth != 0 {
+		t.Fatalf("queue depth %d after idle", st.CalibQueueDepth)
+	}
+	// Fed plus dropped must tile the attempts exactly: a batch the ring
+	// refused is counted per observation, a batch it accepted reaches the
+	// controller as one window per observation.
+	cst, ok := e.CalibrationStatus()
+	if !ok {
+		t.Fatal("calibration subsystem disabled")
+	}
+	if st.CalibQueueDropped == 0 {
+		t.Fatal("2-slot queue under a 4-producer burst dropped nothing — overflow path untested")
+	}
+	attempts := uint64(producers * perProd * cfg.Devices)
+	if got := cst.Windows + st.CalibQueueDropped; got != attempts {
+		t.Fatalf("windows %d + dropped %d = %d observations, want %d attempts",
+			cst.Windows, st.CalibQueueDropped, got, attempts)
 	}
 }
 

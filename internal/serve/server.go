@@ -375,10 +375,17 @@ func (s *Server) observeLatencies(batch []Observation) {
 // PredictRequest is the /predict payload; GET requests pass the bounds as
 // ?sla=0.01,0.05 instead. Empty bounds mean the configured defaults. A
 // non-nil Coded spec (GET: ?codedN=6&codedK=4[&codedHedge=1&codedDelay=Δ])
-// additionally answers the same bounds for (n,k) coded reads.
+// additionally answers the same bounds for (n,k) coded reads; a non-nil
+// Write spec (GET: ?writeN=3&writeW=2) additionally answers them for
+// w-of-n quorum PUTs. Tenant (GET: ?tenant=gold) annotates the answer with
+// that class's windowed rates — the predictions themselves are evaluated at
+// the shared aggregate operating point, because the FCFS queues every class
+// shares serve all tenants the same latency distribution.
 type PredictRequest struct {
-	SLAs  []float64      `json:"slas"`
-	Coded *CodedReadSpec `json:"coded,omitempty"`
+	SLAs   []float64      `json:"slas"`
+	Coded  *CodedReadSpec `json:"coded,omitempty"`
+	Write  *WriteSpec     `json:"write,omitempty"`
+	Tenant string         `json:"tenant,omitempty"`
 }
 
 // CodedReadBlock is the coded-read section of a /predict answer: the
@@ -389,12 +396,25 @@ type CodedReadBlock struct {
 	Saturated   bool          `json:"saturated"`
 }
 
+// WriteBlock is the PUT section of a /predict answer: the quorum model's
+// predictions for the requested replication policy.
+type WriteBlock struct {
+	Spec        WriteSpec    `json:"spec"`
+	Predictions []Prediction `json:"predictions"`
+	Saturated   bool         `json:"saturated"`
+}
+
 // PredictResponse carries one prediction per requested SLA bound.
 type PredictResponse struct {
 	Predictions []Prediction `json:"predictions"`
 	// CodedRead carries the coded-read predictions when the query named a
 	// stripe shape.
 	CodedRead *CodedReadBlock `json:"codedRead,omitempty"`
+	// Write carries the PUT quorum predictions when the query named a
+	// replication policy.
+	Write *WriteBlock `json:"write,omitempty"`
+	// Tenant carries the named tenant class's windowed rates.
+	Tenant *TenantStats `json:"tenant,omitempty"`
 	// Saturated aggregates the per-prediction flags: the current
 	// operating point has no steady state.
 	Saturated bool `json:"saturated"`
@@ -419,6 +439,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			s.badRequest(w, err)
 			return
 		}
+		if req.Write, err = parseWriteParams(q); err != nil {
+			s.badRequest(w, err)
+			return
+		}
+		req.Tenant = strings.TrimSpace(q.Get("tenant"))
 	case http.MethodPost:
 		if err := decodeStrict(w, r, &req); err != nil {
 			s.badRequest(w, err)
@@ -450,6 +475,26 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.CodedRead = blk
 	}
+	if req.Write != nil {
+		wr, err := s.engine.PredictWriteContext(r.Context(), *req.Write, req.SLAs)
+		if err != nil {
+			s.queryError(w, r, err)
+			return
+		}
+		blk := &WriteBlock{Spec: *req.Write, Predictions: wr}
+		for _, p := range wr {
+			blk.Saturated = blk.Saturated || p.Saturated
+		}
+		resp.Write = blk
+	}
+	if req.Tenant != "" {
+		ts, err := s.engine.TenantStats(req.Tenant)
+		if err != nil {
+			s.queryError(w, r, err)
+			return
+		}
+		resp.Tenant = &ts
+	}
 	st := s.engine.Stats()
 	resp.TotalRate = st.TotalRate
 	resp.CalibrationAge = st.CalibrationAge
@@ -464,11 +509,17 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 // /advise
 
 // AdviseRequest is the /advise payload; GET passes ?sla=0.05&target=0.9,
-// plus the optional codedN/codedK/codedHedge/codedDelay stripe shape.
+// plus the optional codedN/codedK/codedHedge/codedDelay stripe shape. A
+// non-empty Tenants map (GET: ?tenants=gold:3,bronze:1) switches to
+// weighted multi-tenant admission: the answer adds the per-class allocation
+// that sheds the cheapest tenant first. Tenant (GET: ?tenant=gold) is the
+// single-tenant shorthand for Tenants{gold: 1}.
 type AdviseRequest struct {
-	SLA    float64        `json:"sla"`
-	Target float64        `json:"target"`
-	Coded  *CodedReadSpec `json:"coded,omitempty"`
+	SLA     float64            `json:"sla"`
+	Target  float64            `json:"target"`
+	Coded   *CodedReadSpec     `json:"coded,omitempty"`
+	Tenant  string             `json:"tenant,omitempty"`
+	Tenants map[string]float64 `json:"tenants,omitempty"`
 }
 
 func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
@@ -489,6 +540,11 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 			s.badRequest(w, err)
 			return
 		}
+		if req.Tenants, err = parseTenantWeights(q.Get("tenants")); err != nil {
+			s.badRequest(w, err)
+			return
+		}
+		req.Tenant = strings.TrimSpace(q.Get("tenant"))
 	case http.MethodPost:
 		if err := decodeStrict(w, r, &req); err != nil {
 			s.badRequest(w, err)
@@ -498,10 +554,23 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET or POST required"})
 		return
 	}
+	if req.Tenant != "" && req.Tenants == nil {
+		req.Tenants = map[string]float64{req.Tenant: 1}
+	}
 	if !s.acquire(w) {
 		return
 	}
 	defer s.release()
+	if len(req.Tenants) > 0 {
+		adv, err := s.engine.AdviseTenantsContext(r.Context(), req.SLA, req.Target, req.Tenants, req.Coded)
+		if err != nil {
+			s.queryError(w, r, err)
+			return
+		}
+		s.served.Inc()
+		s.writeJSON(w, http.StatusOK, adv)
+		return
+	}
 	var adv Advice
 	var err error
 	if req.Coded != nil {
@@ -820,6 +889,52 @@ func parseCodedParams(q url.Values) (*CodedReadSpec, error) {
 		}
 	}
 	return &spec, nil
+}
+
+// parseWriteParams extracts the optional PUT replication policy from GET
+// query parameters; nil when none were supplied.
+func parseWriteParams(q url.Values) (*WriteSpec, error) {
+	if strings.TrimSpace(q.Get("writeN")) == "" && strings.TrimSpace(q.Get("writeW")) == "" {
+		return nil, nil
+	}
+	var spec WriteSpec
+	var err error
+	if spec.N, err = strconv.Atoi(strings.TrimSpace(q.Get("writeN"))); err != nil {
+		return nil, fmt.Errorf("%w: writeN: %v", ErrBadQuery, err)
+	}
+	if spec.W, err = strconv.Atoi(strings.TrimSpace(q.Get("writeW"))); err != nil {
+		return nil, fmt.Errorf("%w: writeW: %v", ErrBadQuery, err)
+	}
+	return &spec, nil
+}
+
+// parseTenantWeights parses the weighted tenant list "gold:3,bronze:1";
+// empty means nil (no weighted admission). Weight values must parse here;
+// their positivity is validated by the engine.
+func parseTenantWeights(s string) (map[string]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	out := make(map[string]float64)
+	for _, part := range strings.Split(s, ",") {
+		class, weight, found := strings.Cut(part, ":")
+		if !found {
+			return nil, fmt.Errorf("%w: tenant weight %q not class:weight", ErrBadQuery, part)
+		}
+		class = strings.TrimSpace(class)
+		if class == "" {
+			return nil, fmt.Errorf("%w: tenant weight %q has an empty class", ErrBadQuery, part)
+		}
+		w, err := parseFloat(weight)
+		if err != nil {
+			return nil, fmt.Errorf("tenant %q weight: %w", class, err)
+		}
+		if _, dup := out[class]; dup {
+			return nil, fmt.Errorf("%w: tenant %q listed twice", ErrBadQuery, class)
+		}
+		out[class] = w
+	}
+	return out, nil
 }
 
 // parseFloats parses a comma-separated float list; empty means nil (use

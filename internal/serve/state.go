@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -17,6 +18,11 @@ import (
 // keeps the serve API unchanged.
 type Observation = ingest.Observation
 
+// maxTenantClasses bounds the per-class partition registry: enough for any
+// sane multi-tenant deployment, small enough that a client inventing class
+// labels cannot grow server state without bound.
+const maxTenantClasses = 64
+
 // stateTable adapts the striped ingest.Table to the engine: it wraps the
 // ingest-level errors into the serve error taxonomy and memoizes the derived
 // snapshot and its operating-point key on the table's revision counter.
@@ -24,6 +30,15 @@ type Observation = ingest.Observation
 type stateTable struct {
 	cfg   *Config
 	table *ingest.Table
+
+	// classes holds one striped partition per tenant class, created lazily
+	// on the first class-labelled ingest. A class-labelled observation lands
+	// both here and in the aggregate table: the aggregate stays the shared
+	// operating point every prediction evaluates (FCFS queues are
+	// classless), while the partition carries the per-tenant rates the
+	// weighted admission controller sheds by.
+	classMu sync.Mutex
+	classes map[string]*ingest.Table
 
 	// Snapshot memo: the derived metrics and their quantized operating-point
 	// key are pure functions of the ingest history, so between ingests every
@@ -64,9 +79,118 @@ func wrapIngestErr(err error) error {
 
 // ingest validates and absorbs a batch of observations. The batch is
 // all-or-nothing: a single invalid observation rejects the whole batch so
-// partial state never depends on payload order.
+// partial state never depends on payload order. Class-labelled observations
+// additionally land in their tenant partition; the class-count bound is
+// checked up front so a rejected batch leaves neither table touched.
 func (t *stateTable) ingest(batch []Observation) error {
-	return wrapIngestErr(t.table.Ingest(batch, t.cfg.now()))
+	if err := t.checkClassBound(batch); err != nil {
+		return err
+	}
+	if err := wrapIngestErr(t.table.Ingest(batch, t.cfg.now())); err != nil {
+		return err
+	}
+	t.ingestClasses(batch)
+	return nil
+}
+
+// checkClassBound rejects a batch whose new class labels would grow the
+// tenant registry past maxTenantClasses. Checked before the aggregate ingest
+// so the all-or-nothing contract holds across both tables.
+func (t *stateTable) checkClassBound(batch []Observation) error {
+	var fresh map[string]bool
+	t.classMu.Lock()
+	defer t.classMu.Unlock()
+	n := len(t.classes)
+	for _, o := range batch {
+		if o.Class == "" || t.classes[o.Class] != nil || fresh[o.Class] {
+			continue
+		}
+		if fresh == nil {
+			fresh = make(map[string]bool)
+		}
+		fresh[o.Class] = true
+		if n++; n > maxTenantClasses {
+			return fmt.Errorf("%w: tenant class %q would exceed the %d-class limit",
+				ErrBadQuery, o.Class, maxTenantClasses)
+		}
+	}
+	return nil
+}
+
+// ingestClasses routes the class-labelled observations of an already
+// accepted batch into their tenant partitions, creating partitions lazily.
+// The batch passed aggregate validation, so the per-class ingests cannot
+// reject; a partition-construction failure would be a config bug and is
+// surfaced through the aggregate path's validation at engine start.
+func (t *stateTable) ingestClasses(batch []Observation) {
+	var byClass map[string][]Observation
+	for _, o := range batch {
+		if o.Class == "" {
+			continue
+		}
+		if byClass == nil {
+			byClass = make(map[string][]Observation)
+		}
+		byClass[o.Class] = append(byClass[o.Class], o)
+	}
+	if byClass == nil {
+		return
+	}
+	now := t.cfg.now()
+	for class, sub := range byClass {
+		tab, err := t.classTable(class)
+		if err != nil {
+			continue // bounded above; unreachable after checkClassBound
+		}
+		tab.Ingest(sub, now) //nolint:errcheck // validated by the aggregate ingest
+	}
+}
+
+// classTable returns (creating if needed) the partition for class.
+func (t *stateTable) classTable(class string) (*ingest.Table, error) {
+	t.classMu.Lock()
+	defer t.classMu.Unlock()
+	if tab := t.classes[class]; tab != nil {
+		return tab, nil
+	}
+	if len(t.classes) >= maxTenantClasses {
+		return nil, fmt.Errorf("%w: tenant class limit reached", ErrBadQuery)
+	}
+	tab, err := ingest.NewTable(ingest.Config{
+		Devices:    t.cfg.Devices,
+		Stripes:    t.cfg.IngestStripes,
+		Window:     t.cfg.Window,
+		MaxEntries: t.cfg.MaxObservations,
+		Procs:      t.cfg.ProcsPerDevice,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	if t.classes == nil {
+		t.classes = make(map[string]*ingest.Table)
+	}
+	t.classes[class] = tab
+	return tab, nil
+}
+
+// tenantTable looks up the partition of one tenant class.
+func (t *stateTable) tenantTable(class string) (*ingest.Table, bool) {
+	t.classMu.Lock()
+	defer t.classMu.Unlock()
+	tab, ok := t.classes[class]
+	return tab, ok
+}
+
+// tenantNames lists the known tenant classes in sorted order.
+func (t *stateTable) tenantNames() []string {
+	t.classMu.Lock()
+	names := make([]string, 0, len(t.classes))
+	for c := range t.classes {
+		names = append(names, c)
+	}
+	t.classMu.Unlock()
+	sort.Strings(names)
+	return names
 }
 
 // snapshot derives the current per-device online metrics. Idle devices are

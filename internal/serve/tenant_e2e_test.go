@@ -1,0 +1,232 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"cosmodel/internal/experiments"
+	"cosmodel/internal/serve"
+	"cosmodel/internal/simstore"
+	"cosmodel/internal/trace"
+)
+
+// TestTwoTenantWriteEndToEnd drives the serving tier with mixed GET/PUT
+// traffic measured from the simulator, reported as two tenant classes
+// (gold on devices 0..n/2, bronze on the rest — a placement-partitioned
+// deployment). Per step it checks BOTH prediction paths against simulator
+// ground truth — read compliance vs Window.MeetFraction and W-of-N write
+// compliance vs Window.WriteMeetFraction, each within MAE <= 0.10 — plus
+// the tenant annotations, and finally that weighted admission sheds the
+// cheaper tenant first under an unmeetable target.
+func TestTwoTenantWriteEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator-driven e2e")
+	}
+	simCfg := simstore.DefaultConfig() // 4 devices, 3 replicas, majority W=2
+	const (
+		writeFrac   = 0.2
+		stepDur     = 30.0
+		stepDiscard = 5.0
+		seed        = 5
+	)
+	// Top out near 80% device utilization: past that the window's
+	// completion rates (which include backlog drain) overstate the
+	// long-run arrival rate and the M/G/1 model rightly reports the
+	// measured operating point as unstable.
+	rates := []float64{60, 120, 150}
+
+	props, err := experiments.Calibrate(simCfg, 1500, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog, err := trace.NewCatalog(60000, trace.WikipediaLikeSizes(), 1.05, 1, seed+10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := simstore.New(simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.PrewarmCaches(catalog, 0.95); err != nil {
+		t.Fatal(err)
+	}
+
+	now := 0.0
+	runPhase := func(rate, dur float64, phaseSeed int64) {
+		t.Helper()
+		recs, err := trace.GenerateMixed(catalog,
+			trace.Schedule{{Rate: rate, Duration: dur, Label: "phase"}}, writeFrac, phaseSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range recs {
+			recs[i].At += now
+		}
+		cluster.Inject(recs)
+		now += dur
+	}
+	runPhase(100, 20, seed+100) // warmup
+	cluster.RunUntil(now)
+
+	measured := stepDur - stepDiscard
+	cfg := serve.DefaultConfig(props, simCfg.Devices())
+	cfg.ProcsPerDevice = simCfg.ProcsPerDisk
+	cfg.FrontendProcs = simCfg.Frontends * simCfg.ProcsPerFrontend
+	cfg.SLAs = simCfg.SLAs
+	cfg.Window = measured
+	srv, err := serve.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	writeSpec := serve.WriteSpec{N: simCfg.Replicas, W: simCfg.Replicas/2 + 1}
+	var readErr, writeErr []float64
+	for step, rate := range rates {
+		runPhase(rate, stepDur, seed+200+int64(step))
+		cluster.RunUntil(now - stepDur + stepDiscard)
+		before := cluster.Snapshot()
+		cluster.RunUntil(now)
+		win := cluster.Window(before, cluster.Snapshot())
+		if win.Responses == 0 || len(win.WriteMeetFraction) == 0 {
+			t.Fatalf("rate %.0f: degenerate window (responses %d)", rate, win.Responses)
+		}
+
+		batch := mixedWindowToObservations(win, simCfg.Devices())
+		buf, err := json.Marshal(serve.IngestRequest{Observations: batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/ingest", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("rate %.0f ingest: %d %s", rate, resp.StatusCode, body)
+		}
+
+		var pr serve.PredictResponse
+		getInto(t, ts.URL+"/predict?writeN=3&writeW=2&tenant=gold", &pr)
+		if pr.Saturated || (pr.Write != nil && pr.Write.Saturated) {
+			t.Errorf("rate %.0f predicted saturated; simulator completed fine", rate)
+			continue
+		}
+		if pr.Write == nil || pr.Write.Spec != writeSpec {
+			t.Fatalf("rate %.0f: write block missing or wrong spec: %+v", rate, pr.Write)
+		}
+		if pr.Tenant == nil || pr.Tenant.Class != "gold" || pr.Tenant.Rate <= 0 || pr.Tenant.WriteRate <= 0 {
+			t.Fatalf("rate %.0f: tenant annotation %+v", rate, pr.Tenant)
+		}
+		for i, p := range pr.Predictions {
+			e := math.Abs(p.MeetRatio - win.MeetFraction[i])
+			readErr = append(readErr, e)
+			t.Logf("rate %.0f read sla %.3f: predicted %.4f observed %.4f", rate, p.SLA, p.MeetRatio, win.MeetFraction[i])
+		}
+		for i, p := range pr.Write.Predictions {
+			e := math.Abs(p.MeetRatio - win.WriteMeetFraction[i])
+			writeErr = append(writeErr, e)
+			t.Logf("rate %.0f write sla %.3f: predicted %.4f observed %.4f", rate, p.SLA, p.MeetRatio, win.WriteMeetFraction[i])
+		}
+	}
+	mae := func(errs []float64) float64 {
+		var sum float64
+		for _, e := range errs {
+			sum += e
+		}
+		return sum / float64(len(errs))
+	}
+	if len(readErr) < 6 || len(writeErr) < 6 {
+		t.Fatalf("sweep degenerated: %d read, %d write comparisons", len(readErr), len(writeErr))
+	}
+	readMAE, writeMAE := mae(readErr), mae(writeErr)
+	t.Logf("read MAE %.4f (%d pairs), write MAE %.4f (%d pairs)",
+		readMAE, len(readErr), writeMAE, len(writeErr))
+	if readMAE > 0.10 {
+		t.Errorf("read MAE %.4f exceeds 0.10", readMAE)
+	}
+	if writeMAE > 0.10 {
+		t.Errorf("write MAE %.4f exceeds 0.10", writeMAE)
+	}
+
+	// Weighted admission. A generous target admits both tenants in full; an
+	// unmeetable one forces shedding, and the waterfill must empty bronze
+	// (weight 1) before touching gold (weight 3).
+	var loose serve.TenantAdvice
+	getInto(t, ts.URL+"/advise?sla=0.1&target=0.5&tenants=gold:3,bronze:1", &loose)
+	if len(loose.Tenants) != 2 || loose.Tenants[0].Class != "bronze" || loose.Tenants[1].Class != "gold" {
+		t.Fatalf("allocation order %+v, want [bronze gold]", loose.Tenants)
+	}
+	for _, ten := range loose.Tenants {
+		if !ten.Admit || ten.ShedRate != 0 {
+			t.Errorf("loose target shed tenant traffic: %+v", ten)
+		}
+	}
+	var strict serve.TenantAdvice
+	getInto(t, ts.URL+"/advise?sla=0.002&target=0.999&tenants=gold:3,bronze:1", &strict)
+	overload := strict.CurrentRate - strict.MaxAdmissibleRate
+	if overload <= 0 {
+		t.Fatalf("2ms@99.9%% target unexpectedly admissible: %+v", strict.Advice)
+	}
+	bronze, gold := strict.Tenants[0], strict.Tenants[1]
+	if bronze.ShedRate <= 0 {
+		t.Errorf("overload did not shed the cheapest tenant: %+v", bronze)
+	}
+	if gold.ShedRate > 0 && bronze.AdmittedRate > 1e-9 {
+		t.Errorf("gold shed %v before bronze was empty (bronze kept %v)", gold.ShedRate, bronze.AdmittedRate)
+	}
+	var shed float64
+	for _, ten := range strict.Tenants {
+		shed += ten.ShedRate
+	}
+	if shed+strict.ResidualShedRate < overload-1e-6 {
+		t.Errorf("shed %v + residual %v below overload %v", shed, strict.ResidualShedRate, overload)
+	}
+}
+
+// mixedWindowToObservations converts a mixed-workload measurement window
+// into class-labelled wire observations: the lower half of the devices
+// reports as tenant "gold", the upper half as "bronze".
+func mixedWindowToObservations(win simstore.Window, devices int) []serve.Observation {
+	const accesses = 1_000_000
+	var out []serve.Observation
+	for d := range win.DeviceRate {
+		if win.DeviceRate[d] <= 0 {
+			continue
+		}
+		hits := func(miss float64) (uint64, uint64) {
+			m := uint64(math.Round(miss * accesses))
+			return accesses - m, m
+		}
+		class := "gold"
+		if d >= devices/2 {
+			class = "bronze"
+		}
+		o := serve.Observation{
+			Device:    d,
+			Class:     class,
+			Interval:  win.Duration,
+			Requests:  uint64(math.Round(win.DeviceRate[d] * win.Duration)),
+			DataReads: uint64(math.Round(win.DeviceChunkRate[d] * win.Duration)),
+			DiskBusy:  win.DiskMeanSvc[d] * accesses,
+			DiskOps:   accesses,
+		}
+		if d < len(win.DeviceWriteRate) {
+			o.Writes = uint64(math.Round(win.DeviceWriteRate[d] * win.Duration))
+			o.WriteChunks = uint64(math.Round(win.DeviceWriteChunkRate[d] * win.Duration))
+		}
+		o.IndexHits, o.IndexMisses = hits(win.MissIndex[d])
+		o.MetaHits, o.MetaMisses = hits(win.MissMeta[d])
+		o.DataHits, o.DataMisses = hits(win.MissData[d])
+		out = append(out, o)
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+
+	"cosmodel/internal/core"
+)
+
+// WriteSpec is the wire form of a PUT replication policy: each write fans
+// out to n replicas and is acknowledged at the w-th replica completion
+// (w-of-n quorum). It mirrors CodedReadSpec for the write path: the engine
+// evaluates the w-th order statistic of the per-replica backend write CDFs.
+type WriteSpec struct {
+	N int `json:"n"`
+	W int `json:"w"`
+}
+
+func (s WriteSpec) spec() core.WriteSpec { return core.WriteSpec{N: s.N, W: s.W} }
+
+func (s WriteSpec) validate() error {
+	if err := s.spec().Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	return nil
+}
+
+// cacheKey is the memo-cache suffix distinguishing write evaluations of the
+// same operating point.
+func (s WriteSpec) cacheKey() string {
+	return "|write=" + strconv.Itoa(s.N) + "," + strconv.Itoa(s.W)
+}
+
+// PredictWrite evaluates the PUT SLA-meeting fractions at the current
+// operating point; see PredictWriteContext.
+func (e *Engine) PredictWrite(spec WriteSpec, slas []float64) ([]Prediction, error) {
+	return e.PredictWriteContext(context.Background(), spec, slas)
+}
+
+// PredictWriteContext is the write-path counterpart of PredictContext: the
+// same memoizing, cancellable evaluation, but through the w-of-n quorum
+// combinator (core.WriteCDF) over the snapshot's write traffic. It returns
+// ErrNotReady when the current window carries no writes — the model cannot
+// answer a PUT question from a read-only operating point.
+func (e *Engine) PredictWriteContext(ctx context.Context, spec WriteSpec, slas []float64) ([]Prediction, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if len(slas) == 0 {
+		slas = e.cfg.SLAs
+	}
+	for _, s := range slas {
+		if !(s > 0) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("%w: SLA %v must be positive and finite", ErrBadQuery, s)
+		}
+	}
+	ms, key, err := e.state.snapshotKeyed()
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := e.cfg.Opts.EvalContext(ctx)
+	defer cancel()
+	v, cached, err := e.evaluateWriteBatch(ctx, ms, gridKey(key, spec.cacheKey(), slas), spec, slas)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Prediction, len(slas))
+	for i, sla := range slas {
+		out[i] = Prediction{SLA: sla, MeetRatio: v.ps[i], Saturated: v.saturated, Cached: cached}
+	}
+	return out, nil
+}
+
+// evaluateWriteBatch answers one (operating point, SLA grid) write query
+// through the cache: a miss builds the shared read/write model once and
+// evaluates every SLA in a single batched traversal of the quorum
+// combinator. A read-only snapshot — core.ErrBadParams from the write
+// mixture — maps to ErrNotReady: the client asked a sound question the
+// server has no write observations to answer yet.
+func (e *Engine) evaluateWriteBatch(ctx context.Context, ms []core.OnlineMetrics, ck string, spec WriteSpec, slas []float64) (cachedValue, bool, error) {
+	v, cached, err := e.cache.do(ctx, ck, func(ctx context.Context) (cachedValue, error) {
+		sys, err := e.buildModel(ms, 1)
+		if errors.Is(err, core.ErrOverload) {
+			return cachedValue{saturated: true, ps: make([]float64, len(slas))}, nil
+		}
+		if err != nil {
+			return cachedValue{}, err
+		}
+		ps, err := sys.WriteCDFBatchContext(ctx, spec.spec(), slas)
+		if err != nil {
+			return cachedValue{}, err
+		}
+		return cachedValue{ps: ps}, nil
+	})
+	if err != nil && errors.Is(err, core.ErrBadParams) {
+		return v, cached, fmt.Errorf("%w: %v", ErrNotReady, err)
+	}
+	if err == nil {
+		e.predictions.Add(uint64(len(slas)))
+		if v.saturated {
+			e.saturations.Add(uint64(len(slas)))
+		}
+	}
+	return v, cached, err
+}

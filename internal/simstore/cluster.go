@@ -130,25 +130,27 @@ func (c *Cluster) Drain() { c.kern.Drain() }
 // Snapshot copies all cumulative counters.
 func (c *Cluster) Snapshot() Snapshot {
 	s := Snapshot{
-		Time:      c.kern.Now(),
-		Responses: c.metrics.responses,
-		Meet:      append([]uint64(nil), c.metrics.meet...),
-		BEMeet:    append([]uint64(nil), c.metrics.beMeet...),
-		LatSum:    c.metrics.latSum,
-		BELatSum:  c.metrics.beLatSum,
-		Completed: c.metrics.completed,
-		WTASum:    c.metrics.wtaSum,
-		WTACount:  c.metrics.wtaCount,
-		Timeouts:  c.metrics.timeouts,
-		Retries:   c.metrics.retries,
-		Hedges:    c.metrics.hedges,
-		DevReqs:   append([]uint64(nil), c.metrics.devReqs...),
-		DevChunks: append([]uint64(nil), c.metrics.devChunks...),
-		DevWrites: append([]uint64(nil), c.metrics.devWrites...),
-		DevResp:   append([]uint64(nil), c.metrics.devResponses...),
-		WriteResp: c.metrics.writeResponses,
-		WriteLat:  c.metrics.writeLatSum,
-		LatHist:   c.metrics.latHist.Clone(),
+		Time:           c.kern.Now(),
+		Responses:      c.metrics.responses,
+		Meet:           append([]uint64(nil), c.metrics.meet...),
+		BEMeet:         append([]uint64(nil), c.metrics.beMeet...),
+		LatSum:         c.metrics.latSum,
+		BELatSum:       c.metrics.beLatSum,
+		Completed:      c.metrics.completed,
+		WTASum:         c.metrics.wtaSum,
+		WTACount:       c.metrics.wtaCount,
+		Timeouts:       c.metrics.timeouts,
+		Retries:        c.metrics.retries,
+		Hedges:         c.metrics.hedges,
+		DevReqs:        append([]uint64(nil), c.metrics.devReqs...),
+		DevChunks:      append([]uint64(nil), c.metrics.devChunks...),
+		DevWrites:      append([]uint64(nil), c.metrics.devWrites...),
+		DevWriteChunks: append([]uint64(nil), c.metrics.devWriteChunks...),
+		DevResp:        append([]uint64(nil), c.metrics.devResponses...),
+		WriteResp:      c.metrics.writeResponses,
+		WriteLat:       c.metrics.writeLatSum,
+		WriteMeet:      append([]uint64(nil), c.metrics.writeMeet...),
+		LatHist:        c.metrics.latHist.Clone(),
 	}
 	s.DevMeet = make([][]uint64, len(c.metrics.devMeet))
 	for d := range c.metrics.devMeet {

@@ -71,6 +71,12 @@ type Config struct {
 	Partitions int
 	Replicas   int
 
+	// WriteQuorum is W: the number of replica acknowledgements required
+	// before a PUT is answered. 0 selects Swift's majority quorum
+	// (Replicas/2 + 1); W=1 acknowledges on the fastest replica, W=Replicas
+	// waits for all of them. Values above Replicas are rejected.
+	WriteQuorum int
+
 	// StripeK, when positive, switches GETs to (n,k) fork-join coded
 	// reads: every GET fans one chunk sub-read (ceil(size/k) bytes) out
 	// to each of the Replicas devices of the object's partition
@@ -198,6 +204,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("%w: partitions must be a power of two", ErrBadConfig)
 	case c.Replicas < 1 || c.Replicas > c.Devices():
 		return fmt.Errorf("%w: replicas=%d with %d devices", ErrBadConfig, c.Replicas, c.Devices())
+	case c.WriteQuorum < 0 || c.WriteQuorum > c.Replicas:
+		return fmt.Errorf("%w: write quorum W=%d outside [0,%d]", ErrBadConfig, c.WriteQuorum, c.Replicas)
 	case c.StripeK < 0 || c.StripeK > c.Replicas:
 		return fmt.Errorf("%w: stripe k=%d outside [0,%d]", ErrBadConfig, c.StripeK, c.Replicas)
 	case c.StripeK > 0 && c.Architecture != EventDriven:

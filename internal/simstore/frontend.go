@@ -66,14 +66,23 @@ func (p *feProc) route(req *Request) {
 }
 
 // routeWrite sends a PUT to every replica of the object's partition; the
-// client is acknowledged once a majority of replicas has durably written
-// the object (Swift's write quorum).
+// client is acknowledged once the configured write quorum of replicas has
+// durably written the object (Swift's majority quorum by default).
 func (p *feProc) routeWrite(req *Request) {
 	part := p.cl.ring.PartitionOfID(req.Object)
 	devs := p.cl.ring.ReplicasOf(part)
+	need := p.cl.cfg.WriteQuorum
+	if need == 0 {
+		need = len(devs)/2 + 1
+	}
+	if need > len(devs) {
+		// A degraded partition can carry fewer replicas than configured;
+		// quorum cannot exceed what exists.
+		need = len(devs)
+	}
 	state := &writeState{
 		arriveFE:   req.ArriveFE,
-		acksNeeded: len(devs)/2 + 1,
+		acksNeeded: need,
 	}
 	req.ConnectAt = p.cl.kern.Now()
 	for _, dev := range devs {

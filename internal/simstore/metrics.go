@@ -29,8 +29,10 @@ type Metrics struct {
 	hedges   uint64 // hedged reserve sub-reads actually issued
 
 	devWrites      []uint64 // PUT replica sub-requests per device
+	devWriteChunks []uint64 // data chunk write operations per device
 	writeResponses uint64   // quorum-acknowledged PUTs
 	writeLatSum    float64
+	writeMeet      []uint64 // per SLA, quorum-ack latency
 
 	// Per-device SLA accounting (the paper: "the system counts the number
 	// of requests that meet or violate the SLA for each storage device").
@@ -46,15 +48,17 @@ type Metrics struct {
 
 func newMetrics(cfg *Config) *Metrics {
 	m := &Metrics{
-		slas:         append([]float64(nil), cfg.SLAs...),
-		meet:         make([]uint64, len(cfg.SLAs)),
-		beMeet:       make([]uint64, len(cfg.SLAs)),
-		devReqs:      make([]uint64, cfg.Devices()),
-		devChunks:    make([]uint64, cfg.Devices()),
-		devWrites:    make([]uint64, cfg.Devices()),
-		devResponses: make([]uint64, cfg.Devices()),
-		devMeet:      make([][]uint64, cfg.Devices()),
-		latHist:      stats.NewLatencyHistogram(),
+		slas:           append([]float64(nil), cfg.SLAs...),
+		meet:           make([]uint64, len(cfg.SLAs)),
+		beMeet:         make([]uint64, len(cfg.SLAs)),
+		devReqs:        make([]uint64, cfg.Devices()),
+		devChunks:      make([]uint64, cfg.Devices()),
+		devWrites:      make([]uint64, cfg.Devices()),
+		devWriteChunks: make([]uint64, cfg.Devices()),
+		writeMeet:      make([]uint64, len(cfg.SLAs)),
+		devResponses:   make([]uint64, cfg.Devices()),
+		devMeet:        make([][]uint64, cfg.Devices()),
+		latHist:        stats.NewLatencyHistogram(),
 	}
 	for d := range m.devMeet {
 		m.devMeet[d] = make([]uint64, len(cfg.SLAs))
@@ -119,6 +123,7 @@ func (m *Metrics) noteChunkRead(dev int)     { m.devChunks[dev]++ }
 func (m *Metrics) noteTimeout()              { m.timeouts++ }
 func (m *Metrics) noteRetry()                { m.retries++ }
 func (m *Metrics) noteDeviceWrite(dev int)   { m.devWrites[dev]++ }
+func (m *Metrics) noteWriteChunk(dev int)    { m.devWriteChunks[dev]++ }
 
 func (m *Metrics) noteHedge() { m.hedges++ }
 
@@ -181,7 +186,13 @@ func (m *Metrics) noteWriteAck(req *Request, now float64) {
 	}
 	ws.recorded = true
 	m.writeResponses++
-	m.writeLatSum += now - ws.arriveFE
+	lat := now - ws.arriveFE
+	m.writeLatSum += lat
+	for i, sla := range m.slas {
+		if lat <= sla {
+			m.writeMeet[i]++
+		}
+	}
 }
 
 // Timeouts returns the cumulative number of request timeouts.
@@ -194,28 +205,30 @@ func (m *Metrics) Retries() uint64 { return m.retries }
 // time, including per-device disk statistics and per-server cache
 // statistics.
 type Snapshot struct {
-	Time      float64
-	Responses uint64
-	Meet      []uint64
-	BEMeet    []uint64
-	LatSum    float64
-	BELatSum  float64
-	Completed uint64
-	WTASum    float64
-	WTACount  uint64
-	Timeouts  uint64
-	Retries   uint64
-	Hedges    uint64
-	DevReqs   []uint64
-	DevChunks []uint64
-	DevWrites []uint64
-	DevResp   []uint64
-	DevMeet   [][]uint64
-	WriteResp uint64
-	WriteLat  float64
-	Disk      []diskStats      // per device
-	Cache     []cache.Stats    // per backend server
-	LatHist   *stats.Histogram // cumulative latency histogram
+	Time           float64
+	Responses      uint64
+	Meet           []uint64
+	BEMeet         []uint64
+	LatSum         float64
+	BELatSum       float64
+	Completed      uint64
+	WTASum         float64
+	WTACount       uint64
+	Timeouts       uint64
+	Retries        uint64
+	Hedges         uint64
+	DevReqs        []uint64
+	DevChunks      []uint64
+	DevWrites      []uint64
+	DevWriteChunks []uint64
+	DevResp        []uint64
+	DevMeet        [][]uint64
+	WriteResp      uint64
+	WriteLat       float64
+	WriteMeet      []uint64
+	Disk           []diskStats      // per device
+	Cache          []cache.Stats    // per backend server
+	LatHist        *stats.Histogram // cumulative latency histogram
 	// DiskSampleLen is the per-device raw-sample cursor (per class) when
 	// Config.DiskSampleEvery > 0; Cluster.Window uses the cursors of two
 	// snapshots to extract the window's samples.
@@ -247,10 +260,17 @@ type Window struct {
 	Latency *stats.Histogram
 	// WriteRate is the aggregate quorum-acknowledged PUT rate and
 	// MeanWriteLatency the mean PUT latency; DeviceWriteRate is the rate
-	// of PUT replica sub-requests per device (unmodeled disk load).
-	WriteRate        float64
-	MeanWriteLatency float64
-	DeviceWriteRate  []float64
+	// of PUT replica sub-requests per device and DeviceWriteChunkRate the
+	// rate of data chunk write operations per device (their ratio is the
+	// model input WriteChunks).
+	WriteRate            float64
+	MeanWriteLatency     float64
+	DeviceWriteRate      []float64
+	DeviceWriteChunkRate []float64
+	// WriteMeetFraction[i] is the fraction of quorum-acknowledged PUTs
+	// meeting SLAs[i] — the write-path ground truth the W-of-N model is
+	// validated against (nil when no PUT completed in the window).
+	WriteMeetFraction []float64
 
 	// Per-device online metrics (model inputs).
 	DeviceRate      []float64 // r: request arrival rate per device
@@ -273,19 +293,20 @@ type Window struct {
 func (cur Snapshot) Sub(prev Snapshot, devToServer []int) Window {
 	n := len(cur.DevReqs)
 	w := Window{
-		Duration:           cur.Time - prev.Time,
-		Responses:          cur.Responses - prev.Responses,
-		MeetFraction:       make([]float64, len(cur.Meet)),
-		BEMeetFraction:     make([]float64, len(cur.Meet)),
-		DeviceRate:         make([]float64, n),
-		DeviceChunkRate:    make([]float64, n),
-		MissIndex:          make([]float64, n),
-		MissMeta:           make([]float64, n),
-		MissData:           make([]float64, n),
-		DiskMeanSvc:        make([]float64, n),
-		DiskUtilization:    make([]float64, n),
-		DeviceWriteRate:    make([]float64, n),
-		DeviceMeetFraction: make([][]float64, n),
+		Duration:             cur.Time - prev.Time,
+		Responses:            cur.Responses - prev.Responses,
+		MeetFraction:         make([]float64, len(cur.Meet)),
+		BEMeetFraction:       make([]float64, len(cur.Meet)),
+		DeviceRate:           make([]float64, n),
+		DeviceChunkRate:      make([]float64, n),
+		MissIndex:            make([]float64, n),
+		MissMeta:             make([]float64, n),
+		MissData:             make([]float64, n),
+		DiskMeanSvc:          make([]float64, n),
+		DiskUtilization:      make([]float64, n),
+		DeviceWriteRate:      make([]float64, n),
+		DeviceWriteChunkRate: make([]float64, n),
+		DeviceMeetFraction:   make([][]float64, n),
 	}
 	if w.Responses > 0 {
 		for i := range cur.Meet {
@@ -305,6 +326,14 @@ func (cur Snapshot) Sub(prev Snapshot, devToServer []int) Window {
 	}
 	if dw := cur.WriteResp - prev.WriteResp; dw > 0 {
 		w.MeanWriteLatency = (cur.WriteLat - prev.WriteLat) / float64(dw)
+		w.WriteMeetFraction = make([]float64, len(cur.WriteMeet))
+		for i := range cur.WriteMeet {
+			var p uint64
+			if i < len(prev.WriteMeet) {
+				p = prev.WriteMeet[i]
+			}
+			w.WriteMeetFraction[i] = float64(cur.WriteMeet[i]-p) / float64(dw)
+		}
 	}
 	if cur.LatHist != nil && prev.LatHist != nil {
 		if d, err := cur.LatHist.Sub(prev.LatHist); err == nil {
@@ -318,6 +347,9 @@ func (cur Snapshot) Sub(prev Snapshot, devToServer []int) Window {
 			w.DeviceRate[d] = float64(cur.DevReqs[d]-prev.DevReqs[d]) / w.Duration
 			w.DeviceChunkRate[d] = float64(cur.DevChunks[d]-prev.DevChunks[d]) / w.Duration
 			w.DeviceWriteRate[d] = float64(cur.DevWrites[d]-prev.DevWrites[d]) / w.Duration
+			if len(cur.DevWriteChunks) > d && len(prev.DevWriteChunks) > d {
+				w.DeviceWriteChunkRate[d] = float64(cur.DevWriteChunks[d]-prev.DevWriteChunks[d]) / w.Duration
+			}
 		}
 		ds := cur.Disk[d].sub(prev.Disk[d])
 		w.DiskMeanSvc[d] = ds.meanService()

@@ -37,6 +37,7 @@ func (p *beProc) scheduleWriteChunk(req *Request, chunk int) {
 // execWriteChunk writes one received chunk to disk; after the last chunk it
 // writes the metadata and acknowledges.
 func (p *beProc) execWriteChunk(req *Request, chunk int) {
+	p.cl.metrics.noteWriteChunk(p.dev.id)
 	p.dev.disk.submit(cache.ClassData, func() {
 		written := int64(chunk+1) * p.cl.cfg.ChunkSize
 		if written < req.Size {
@@ -90,6 +91,7 @@ func (d *device) tpcWriteChunk(req *Request, chunk int) {
 	recvDur := float64(size) / cl.cfg.NetBandwidth
 	r := req
 	cl.kern.After(recvDur, func() {
+		cl.metrics.noteWriteChunk(d.id)
 		d.disk.submit(cache.ClassData, func() {
 			written := int64(chunk+1) * cl.cfg.ChunkSize
 			if written < r.Size {

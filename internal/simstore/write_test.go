@@ -161,6 +161,161 @@ func TestWritesUnderThreadPerConnection(t *testing.T) {
 	}
 }
 
+// TestWriteQuorumConfigValidation pins the W bounds: W in [0,N] is legal
+// (0 selecting the majority default), anything outside is rejected before a
+// cluster exists.
+func TestWriteQuorumConfigValidation(t *testing.T) {
+	for _, w := range []int{0, 1, 2, 3} {
+		cfg := DefaultConfig() // Replicas = 3
+		cfg.WriteQuorum = w
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("W=%d of N=%d rejected: %v", w, cfg.Replicas, err)
+		}
+	}
+	for _, w := range []int{-1, 4, 100} {
+		cfg := DefaultConfig()
+		cfg.WriteQuorum = w
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("W=%d of N=%d accepted", w, cfg.Replicas)
+		}
+	}
+}
+
+// writeReplicasOf finds the replica devices a PUT of obj fans out to, by
+// probing a throwaway cluster and reading the per-device write counters.
+func writeReplicasOf(t *testing.T, cfg Config, obj uint64) []int {
+	t.Helper()
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.InjectRecord(trace.Record{At: 1, Object: obj, Size: 1024, Op: trace.OpPut})
+	cl.Drain()
+	var devs []int
+	for d, w := range cl.Snapshot().DevWrites {
+		if w > 0 {
+			devs = append(devs, d)
+		}
+	}
+	return devs
+}
+
+// meanWriteLat runs count spaced PUTs of obj against a fresh cluster with
+// the given quorum, degrading one replica first, and returns the mean
+// acknowledged-write latency.
+func meanWriteLat(t *testing.T, cfg Config, quorum, slowDev int, obj uint64, count int) float64 {
+	t.Helper()
+	cfg.WriteQuorum = quorum
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.DegradeDisk(slowDev, 100); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < count; i++ {
+		cl.InjectRecord(trace.Record{At: 1 + float64(i), Object: obj, Size: 1024, Op: trace.OpPut})
+	}
+	cl.Drain()
+	snap := cl.Snapshot()
+	if snap.WriteResp != uint64(count) {
+		t.Fatalf("W=%d acknowledged %d of %d writes", quorum, snap.WriteResp, count)
+	}
+	return snap.WriteLat / float64(count)
+}
+
+// TestWriteQuorumMasksSlowReplica pins the order-statistic semantics at the
+// W extremes with a degraded replica in the write set: W=1 and the majority
+// W both acknowledge off the healthy replicas (latency stays near the
+// healthy service time), while W=N must wait for the 100x-degraded disk —
+// exactly the failure-masking the W-of-N model predicts.
+func TestWriteQuorumMasksSlowReplica(t *testing.T) {
+	cfg := DefaultConfig() // N = 3 replicas
+	const obj = 42
+	devs := writeReplicasOf(t, cfg, obj)
+	if len(devs) != cfg.Replicas {
+		t.Fatalf("object %d fanned out to %d devices, want %d", obj, len(devs), cfg.Replicas)
+	}
+	slow := devs[0]
+	const writes = 20
+	latW1 := meanWriteLat(t, cfg, 1, slow, obj, writes)
+	latMaj := meanWriteLat(t, cfg, 2, slow, obj, writes)
+	latAll := meanWriteLat(t, cfg, cfg.Replicas, slow, obj, writes)
+	if !(latW1 <= latMaj && latMaj <= latAll) {
+		t.Fatalf("quorum latencies not monotone: W=1 %v, W=2 %v, W=3 %v", latW1, latMaj, latAll)
+	}
+	// The majority quorum reaches ack without the degraded replica, so a
+	// 100x slowdown must barely move it; W=N eats the slowdown in full.
+	if latAll < 5*latMaj {
+		t.Fatalf("W=N %v not dominated by the degraded replica (majority %v)", latAll, latMaj)
+	}
+}
+
+// TestMixedWorkloadDeterminism pins the shared read/write queue discipline:
+// two clusters replaying the same mixed trace must agree on every counter —
+// the write path introduces no scheduling nondeterminism (run under -race
+// in CI, which would also flag any shared-state races).
+func TestMixedWorkloadDeterminism(t *testing.T) {
+	cat := testCatalog(t, 5000, 11)
+	recs, err := trace.GenerateMixed(cat, trace.Schedule{{Rate: 80, Duration: 10, Label: "x"}}, 0.25, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() Snapshot {
+		cl, err := New(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.Inject(recs)
+		cl.Drain()
+		return cl.Snapshot()
+	}
+	a, b := run(), run()
+	if a.Responses != b.Responses || a.WriteResp != b.WriteResp {
+		t.Fatalf("response counts diverged: %d/%d vs %d/%d",
+			a.Responses, a.WriteResp, b.Responses, b.WriteResp)
+	}
+	if a.LatSum != b.LatSum || a.WriteLat != b.WriteLat {
+		t.Fatalf("latency sums diverged: read %v vs %v, write %v vs %v",
+			a.LatSum, b.LatSum, a.WriteLat, b.WriteLat)
+	}
+	for d := range a.Disk {
+		if a.Disk[d].Ops != b.Disk[d].Ops {
+			t.Fatalf("device %d disk ops diverged: %v vs %v", d, a.Disk[d].Ops, b.Disk[d].Ops)
+		}
+	}
+}
+
+// TestWritesInflateReadLatency pins the queue-sharing direction the mixed
+// model depends on: adding PUT load to a fixed read workload must increase
+// observed read latency — writes and reads contend for the same disks.
+func TestWritesInflateReadLatency(t *testing.T) {
+	cat := testCatalog(t, 5000, 7)
+	meanRead := func(writeFrac float64) float64 {
+		recs, err := trace.GenerateMixed(cat,
+			trace.Schedule{{Rate: 120, Duration: 15, Label: "x"}}, writeFrac, 31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err := New(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.Inject(recs)
+		cl.Drain()
+		snap := cl.Snapshot()
+		if snap.Responses == 0 {
+			t.Fatal("no read responses")
+		}
+		return snap.LatSum / float64(snap.Responses)
+	}
+	pure := meanRead(0)
+	mixed := meanRead(0.4)
+	if mixed <= pure {
+		t.Fatalf("read latency did not rise under write load: pure %v, mixed %v", pure, mixed)
+	}
+}
+
 func TestZeroSizeWrite(t *testing.T) {
 	cfg := smallConfig()
 	cl, err := New(cfg)
